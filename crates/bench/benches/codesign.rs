@@ -1,0 +1,75 @@
+//! The §VII co-design ablation as a criterion benchmark: end-to-end worker
+//! wall time per configuration (baseline map files vs fully optimized).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpp::{ExtractCostModel, Worker};
+use dsi_bench::{LabConfig, RmLab};
+use dsi_types::WorkerId;
+use dwrf::{CoalescePolicy, WriterOptions};
+use std::hint::black_box;
+use std::sync::Arc;
+use synth::RmClass;
+
+fn run_config(
+    lab: &RmLab,
+    policy: CoalescePolicy,
+    cost: ExtractCostModel,
+) -> impl Fn() + use<'_> {
+    let spec = Arc::new(lab.session_spec(lab.rc_projection(), 64));
+    let scan = lab
+        .table
+        .scan(spec.partitions(), spec.projection.clone())
+        .with_policy(policy);
+    let splits = scan.plan_splits();
+    move || {
+        let mut worker =
+            Worker::new(WorkerId(0), Arc::clone(&spec), scan.clone()).with_cost_model(cost);
+        for split in &splits {
+            black_box(worker.process_split(split).expect("lab read"));
+        }
+        black_box(worker.flush());
+    }
+}
+
+fn bench_codesign(c: &mut Criterion) {
+    let cfg = LabConfig::tiny();
+    let rowmajor = ExtractCostModel {
+        decode_cycles_per_byte: 6.0,
+        decode_membw_per_byte: 12.0,
+        batch_membw_per_byte: 6.0,
+        ..Default::default()
+    };
+    let baseline_lab = RmLab::build_with_writer(
+        RmClass::Rm1,
+        cfg,
+        Some(WriterOptions {
+            flattened: false,
+            rows_per_stripe: cfg.rows_per_stripe,
+            ..Default::default()
+        }),
+    );
+    let optimized_lab = {
+        let seed_lab = RmLab::build(RmClass::Rm1, cfg);
+        let writer = seed_lab.popularity_writer_options();
+        RmLab::build_with_writer(RmClass::Rm1, cfg, Some(writer))
+    };
+    let rows = cfg.days as u64 * cfg.rows_per_day;
+
+    let mut group = c.benchmark_group("codesign");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(rows));
+    let baseline = run_config(&baseline_lab, CoalescePolicy::None, rowmajor);
+    group.bench_function("baseline_map_scattered_rowmajor", |b| b.iter(&baseline));
+    let optimized = run_config(
+        &optimized_lab,
+        CoalescePolicy::default_window(),
+        ExtractCostModel::default(),
+    );
+    group.bench_function("flattened_coalesced_reordered_flatmap", |b| {
+        b.iter(&optimized)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codesign);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! DPP Worker split-processing throughput per RM class.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dpp::Worker;
+use dsi_bench::{LabConfig, RmLab};
+use dsi_types::WorkerId;
+use std::hint::black_box;
+use std::sync::Arc;
+use synth::RmClass;
+
+fn bench_worker(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dpp_worker");
+    group.sample_size(10);
+    for class in [RmClass::Rm1, RmClass::Rm2, RmClass::Rm3] {
+        let lab = RmLab::build(class, LabConfig::tiny());
+        let spec = Arc::new(lab.session_spec(lab.rc_projection(), 64));
+        let scan = lab
+            .table
+            .scan(spec.partitions(), spec.projection.clone())
+            .with_policy(spec.policy);
+        let splits = scan.plan_splits();
+        let rows: u64 = splits.iter().map(|s| s.rows).sum();
+        group.throughput(Throughput::Elements(rows));
+        group.bench_function(format!("{class}_session"), |b| {
+            b.iter(|| {
+                let mut worker = Worker::new(WorkerId(0), Arc::clone(&spec), scan.clone());
+                for split in &splits {
+                    black_box(worker.process_split(split).expect("lab read"));
+                }
+                black_box(worker.flush());
+                black_box(worker.report())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_worker);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! DWRF encode/decode throughput, flattened vs map layout, and
+//! projection-driven read planning.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dsi_types::{FeatureId, Projection, Sample, SparseList};
+use dwrf::{CoalescePolicy, FileReader, FileWriter, WriterOptions};
+use std::hint::black_box;
+
+fn rows(n: u64) -> Vec<Sample> {
+    (0..n)
+        .map(|i| {
+            let mut s = Sample::new(i as f32);
+            for f in 0..20u64 {
+                s.set_dense(FeatureId(f), (i * f) as f32);
+            }
+            for f in 20..26u64 {
+                s.set_sparse(
+                    FeatureId(f),
+                    SparseList::from_ids((0..12).map(|k| i * k + f).collect()),
+                );
+            }
+            s
+        })
+        .collect()
+}
+
+fn payload_bytes(rows: &[Sample]) -> u64 {
+    rows.iter().map(|s| s.payload_bytes() as u64).sum()
+}
+
+fn bench_write(c: &mut Criterion) {
+    let data = rows(512);
+    let payload = payload_bytes(&data);
+    let mut group = c.benchmark_group("dwrf_write");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(payload));
+    for (name, opts) in [
+        ("flattened", WriterOptions::default()),
+        ("unflattened_map", WriterOptions::unflattened_baseline()),
+        (
+            "flattened_plain",
+            WriterOptions {
+                compressed: false,
+                encrypted: false,
+                ..Default::default()
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut w = FileWriter::new(opts.clone());
+                for s in &data {
+                    w.push(s.clone());
+                }
+                black_box(w.finish().expect("non-empty"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_read(c: &mut Criterion) {
+    let data = rows(512);
+    let payload = payload_bytes(&data);
+    let build = |opts: WriterOptions| {
+        let mut w = FileWriter::new(opts);
+        for s in &data {
+            w.push(s.clone());
+        }
+        w.finish().expect("non-empty")
+    };
+    let flattened = build(WriterOptions::default());
+    let mapfile = build(WriterOptions::unflattened_baseline());
+    let narrow = Projection::new(vec![FeatureId(3), FeatureId(21)]);
+
+    let mut group = c.benchmark_group("dwrf_read");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(payload));
+    group.bench_function("full_flattened", |b| {
+        let reader = FileReader::open(flattened.bytes().clone()).expect("valid");
+        b.iter(|| black_box(reader.read_all_unprojected().expect("decodable")))
+    });
+    group.bench_function("projected_flattened", |b| {
+        let reader = FileReader::open(flattened.bytes().clone()).expect("valid");
+        b.iter(|| black_box(reader.read_all(&narrow).expect("decodable")))
+    });
+    group.bench_function("projected_mapfile", |b| {
+        let reader = FileReader::open(mapfile.bytes().clone()).expect("valid");
+        b.iter(|| black_box(reader.read_all(&narrow).expect("decodable")))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("dwrf_plan");
+    group.sample_size(50);
+    let reader = FileReader::open(flattened.bytes().clone()).expect("valid");
+    group.bench_function("plan_projected_coalesced", |b| {
+        b.iter(|| {
+            black_box(
+                reader
+                    .plan_stripe(0, Some(&narrow), CoalescePolicy::default_window())
+                    .expect("in range"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_write, bench_read);
+criterion_main!(benches);

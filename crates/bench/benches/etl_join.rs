@@ -1,0 +1,49 @@
+//! Offline generation: streaming join/label throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dsi_types::{FeatureId, Sample, SparseList};
+use scribe::{EventRecord, FeatureLogRecord, StreamingJoiner};
+use std::hint::black_box;
+
+fn feature_record(rid: u64) -> FeatureLogRecord {
+    let mut s = Sample::new(0.0);
+    s.set_dense(FeatureId(1), rid as f32);
+    s.set_sparse(FeatureId(2), SparseList::from_ids(vec![rid % 97, rid % 13]));
+    FeatureLogRecord::new(rid, rid * 1_000, s)
+}
+
+fn bench_join(c: &mut Criterion) {
+    let n = 10_000u64;
+    let mut group = c.benchmark_group("etl_join");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(n));
+    group.bench_function("matched_pairs", |b| {
+        b.iter(|| {
+            let mut joiner = StreamingJoiner::new(1_000_000);
+            let mut joined = 0u64;
+            for rid in 0..n {
+                joiner.offer_features(feature_record(rid));
+                if joiner
+                    .offer_event(EventRecord::positive(rid, rid * 1_000 + 10))
+                    .is_some()
+                {
+                    joined += 1;
+                }
+            }
+            black_box(joined)
+        })
+    });
+    group.bench_function("expiring_negatives", |b| {
+        b.iter(|| {
+            let mut joiner = StreamingJoiner::new(1_000);
+            for rid in 0..n {
+                joiner.offer_features(feature_record(rid));
+            }
+            black_box(joiner.expire(u64::MAX).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Per-model DSI provisioning and power roll-ups (Fig. 1).
+//!
+//! Fig. 1 shows the headline result: for some production models, the
+//! storage and preprocessing legs of the DSI pipeline consume **more power
+//! than the GPU trainers themselves**. This module derives that breakdown
+//! from first principles: trainer count → tensor demand → DPP workers
+//! (Table IX) and storage nodes (IOPS-bound provisioning, §VII).
+
+use hwsim::{PowerBreakdown, PowerModel};
+use serde::{Deserialize, Serialize};
+use synth::RmProfile;
+use tectonic::{ProvisionPlan, StorageNodeClass};
+
+/// Provisioned node counts and power for one model's training deployment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelProvisioning {
+    /// Model name.
+    pub model: String,
+    /// Trainer nodes.
+    pub trainers: f64,
+    /// DPP worker nodes.
+    pub preproc_nodes: f64,
+    /// Storage nodes.
+    pub storage_nodes: f64,
+    /// Throughput-to-storage gap on the storage leg.
+    pub storage_gap: f64,
+    /// Power breakdown.
+    pub power: PowerBreakdown,
+}
+
+/// Provisions the DSI pipeline for `trainers` trainer nodes of one model.
+///
+/// * Preprocessing scales by Table IX's workers-per-trainer ratio.
+/// * Storage must serve the fleet's aggregate *raw* read demand (tensor
+///   demand amplified by the extract-side data reduction) at Table VI's
+///   mean IO size, over the model's used partitions, with 3× replication.
+pub fn provision_model(
+    profile: &RmProfile,
+    trainers: f64,
+    mean_io_size: u64,
+    power: &PowerModel,
+) -> ModelProvisioning {
+    let preproc_nodes = trainers * profile.workers_per_trainer;
+    // Raw storage demand: each worker pulls `worker_storage_rx` compressed
+    // bytes/s at saturation.
+    let storage_demand = preproc_nodes * profile.worker_storage_rx;
+    let plan = ProvisionPlan::for_workload(
+        &StorageNodeClass::hdd(),
+        profile.used_partitions,
+        3,
+        storage_demand,
+        mean_io_size,
+    );
+    ModelProvisioning {
+        model: profile.class.to_string(),
+        trainers,
+        preproc_nodes,
+        storage_nodes: plan.nodes_provisioned,
+        storage_gap: plan.throughput_to_storage_gap,
+        power: power.breakdown(plan.nodes_provisioned, preproc_nodes, trainers),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_dsi_power_can_exceed_training_power() {
+        let power = PowerModel::production();
+        // RM3: 55 workers per trainer — DSI dominates.
+        let rm3 = provision_model(&RmProfile::rm3(), 16.0, 23_200, &power);
+        assert!(
+            rm3.power.dsi_fraction() > 0.5,
+            "RM3 DSI share {:.2}",
+            rm3.power.dsi_fraction()
+        );
+        // RM2: ~9 workers per trainer — training dominates.
+        let rm2 = provision_model(&RmProfile::rm2(), 16.0, 23_200, &power);
+        assert!(
+            rm2.power.dsi_fraction() < rm3.power.dsi_fraction(),
+            "RM2 {:.2} vs RM3 {:.2}",
+            rm2.power.dsi_fraction(),
+            rm3.power.dsi_fraction()
+        );
+    }
+
+    #[test]
+    fn preproc_nodes_scale_with_table_ix() {
+        let p = provision_model(&RmProfile::rm1(), 10.0, 23_200, &PowerModel::production());
+        assert!((p.preproc_nodes - 241.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn storage_leg_is_iops_bound_for_rm1() {
+        let p = provision_model(&RmProfile::rm1(), 64.0, 23_200, &PowerModel::production());
+        assert!(
+            p.storage_gap > 1.0,
+            "storage should be IOPS-bound, gap {:.2}",
+            p.storage_gap
+        );
+        assert!(p.storage_nodes > 0.0);
+    }
+
+    #[test]
+    fn power_scales_linearly_with_trainers() {
+        let power = PowerModel::production();
+        let small = provision_model(&RmProfile::rm1(), 8.0, 23_200, &power);
+        let large = provision_model(&RmProfile::rm1(), 16.0, 23_200, &power);
+        assert!((large.power.preproc_w / small.power.preproc_w - 2.0).abs() < 1e-9);
+        assert!((large.power.training_w / small.power.training_w - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,267 @@
+//! The Master's auto-scaling controller.
+//!
+//! The controller collects utilization (CPU, memory, network) statistics
+//! and the number of buffered tensors from each Worker, then periodically
+//! computes how many Workers to launch or drain, targeting a non-zero
+//! buffered-tensor count (trainer demand met — no data stalls) at maximal
+//! utilization (no over-provisioning) — §III-B1.
+
+use serde::{Deserialize, Serialize};
+
+/// One worker's telemetry sample for a controller tick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerTelemetry {
+    /// Tensors currently buffered at the worker.
+    pub buffered_batches: usize,
+    /// The worker's most-utilized resource, as a fraction of capacity.
+    pub max_utilization: f64,
+}
+
+/// A scaling decision for one tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingDecision {
+    /// Launch this many additional workers.
+    ScaleUp(usize),
+    /// Drain this many workers.
+    ScaleDown(usize),
+    /// Stay put.
+    Hold,
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalerConfig {
+    /// Never drop below this many workers.
+    pub min_workers: usize,
+    /// Never exceed this many workers.
+    pub max_workers: usize,
+    /// Scale up when mean buffered tensors per worker falls below this.
+    pub low_buffer_watermark: f64,
+    /// Consider scaling down when mean buffered tensors per worker
+    /// exceeds this.
+    pub high_buffer_watermark: f64,
+    /// Only scale down when mean max-utilization is below this (workers
+    /// are idle enough that fewer can carry the load).
+    pub scale_down_utilization: f64,
+    /// Fraction of the fleet added/removed per decision.
+    pub step_fraction: f64,
+}
+
+impl Default for ScalerConfig {
+    fn default() -> Self {
+        Self {
+            min_workers: 1,
+            max_workers: 512,
+            low_buffer_watermark: 1.0,
+            high_buffer_watermark: 6.0,
+            scale_down_utilization: 0.5,
+            step_fraction: 0.25,
+        }
+    }
+}
+
+/// The auto-scaling controller.
+#[derive(Debug, Clone)]
+pub struct AutoScaler {
+    config: ScalerConfig,
+    /// Consecutive ticks that wanted a scale-down (hysteresis).
+    down_streak: u32,
+}
+
+impl AutoScaler {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is inconsistent (`min > max`, non-positive
+    /// step, or watermarks out of order).
+    pub fn new(config: ScalerConfig) -> Self {
+        assert!(config.min_workers <= config.max_workers, "min <= max");
+        assert!(config.step_fraction > 0.0, "step must be positive");
+        assert!(
+            config.low_buffer_watermark < config.high_buffer_watermark,
+            "watermarks must be ordered"
+        );
+        Self {
+            config,
+            down_streak: 0,
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &ScalerConfig {
+        &self.config
+    }
+
+    /// Evaluates one tick of telemetry and returns a decision.
+    ///
+    /// An empty fleet always scales up to `min_workers`.
+    pub fn evaluate(&mut self, telemetry: &[WorkerTelemetry]) -> ScalingDecision {
+        let n = telemetry.len();
+        if n < self.config.min_workers {
+            self.down_streak = 0;
+            return ScalingDecision::ScaleUp(self.config.min_workers - n);
+        }
+        let mean_buffered =
+            telemetry.iter().map(|t| t.buffered_batches as f64).sum::<f64>() / n as f64;
+        let mean_util = telemetry.iter().map(|t| t.max_utilization).sum::<f64>() / n as f64;
+        let step = ((n as f64 * self.config.step_fraction).ceil() as usize).max(1);
+
+        if mean_buffered < self.config.low_buffer_watermark {
+            // Buffers draining: trainers are outpacing workers — the
+            // data-stall precursor. Scale out.
+            self.down_streak = 0;
+            let headroom = self.config.max_workers - n;
+            return if headroom == 0 {
+                ScalingDecision::Hold
+            } else {
+                ScalingDecision::ScaleUp(step.min(headroom))
+            };
+        }
+        if mean_buffered > self.config.high_buffer_watermark
+            && mean_util < self.config.scale_down_utilization
+        {
+            // Buffers full and workers idle: over-provisioned. Require two
+            // consecutive ticks before draining (hysteresis).
+            self.down_streak += 1;
+            if self.down_streak >= 2 {
+                self.down_streak = 0;
+                let removable = n - self.config.min_workers;
+                return if removable == 0 {
+                    ScalingDecision::Hold
+                } else {
+                    ScalingDecision::ScaleDown(step.min(removable))
+                };
+            }
+            return ScalingDecision::Hold;
+        }
+        self.down_streak = 0;
+        ScalingDecision::Hold
+    }
+
+    /// Convenience: applies a decision to a worker count.
+    pub fn apply(decision: ScalingDecision, workers: usize) -> usize {
+        match decision {
+            ScalingDecision::ScaleUp(k) => workers + k,
+            ScalingDecision::ScaleDown(k) => workers.saturating_sub(k),
+            ScalingDecision::Hold => workers,
+        }
+    }
+}
+
+impl Default for AutoScaler {
+    fn default() -> Self {
+        Self::new(ScalerConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn telemetry(n: usize, buffered: usize, util: f64) -> Vec<WorkerTelemetry> {
+        vec![
+            WorkerTelemetry {
+                buffered_batches: buffered,
+                max_utilization: util,
+            };
+            n
+        ]
+    }
+
+    #[test]
+    fn empty_fleet_scales_to_minimum() {
+        let mut s = AutoScaler::default();
+        assert_eq!(s.evaluate(&[]), ScalingDecision::ScaleUp(1));
+    }
+
+    #[test]
+    fn draining_buffers_scale_up() {
+        let mut s = AutoScaler::default();
+        let d = s.evaluate(&telemetry(8, 0, 0.95));
+        assert_eq!(d, ScalingDecision::ScaleUp(2)); // 25% of 8
+    }
+
+    #[test]
+    fn scale_up_respects_max() {
+        let mut s = AutoScaler::new(ScalerConfig {
+            max_workers: 9,
+            ..Default::default()
+        });
+        assert_eq!(s.evaluate(&telemetry(8, 0, 0.9)), ScalingDecision::ScaleUp(1));
+        assert_eq!(s.evaluate(&telemetry(9, 0, 0.9)), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn idle_full_buffers_scale_down_with_hysteresis() {
+        let mut s = AutoScaler::default();
+        let t = telemetry(8, 10, 0.2);
+        assert_eq!(s.evaluate(&t), ScalingDecision::Hold); // first tick
+        assert_eq!(s.evaluate(&t), ScalingDecision::ScaleDown(2)); // second
+        assert_eq!(s.evaluate(&t), ScalingDecision::Hold); // streak reset
+    }
+
+    #[test]
+    fn busy_workers_are_not_drained() {
+        let mut s = AutoScaler::default();
+        let t = telemetry(8, 10, 0.9); // full buffers but highly utilized
+        assert_eq!(s.evaluate(&t), ScalingDecision::Hold);
+        assert_eq!(s.evaluate(&t), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn scale_down_respects_min() {
+        let mut s = AutoScaler::new(ScalerConfig {
+            min_workers: 4,
+            ..Default::default()
+        });
+        let t = telemetry(4, 10, 0.1);
+        s.evaluate(&t);
+        assert_eq!(s.evaluate(&t), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn steady_state_holds() {
+        let mut s = AutoScaler::default();
+        // Buffers healthy (between watermarks): hold regardless of util.
+        assert_eq!(s.evaluate(&telemetry(8, 3, 0.8)), ScalingDecision::Hold);
+        assert_eq!(s.evaluate(&telemetry(8, 3, 0.2)), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn apply_arithmetic() {
+        assert_eq!(AutoScaler::apply(ScalingDecision::ScaleUp(2), 3), 5);
+        assert_eq!(AutoScaler::apply(ScalingDecision::ScaleDown(2), 3), 1);
+        assert_eq!(AutoScaler::apply(ScalingDecision::Hold, 3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "watermarks must be ordered")]
+    fn bad_config_rejected() {
+        AutoScaler::new(ScalerConfig {
+            low_buffer_watermark: 9.0,
+            high_buffer_watermark: 1.0,
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn convergence_under_simulated_load() {
+        // A fleet that starts tiny converges upward under starved buffers,
+        // then back down when demand vanishes.
+        let mut s = AutoScaler::default();
+        let mut workers = 1usize;
+        for _ in 0..10 {
+            let d = s.evaluate(&telemetry(workers, 0, 0.9));
+            workers = AutoScaler::apply(d, workers);
+        }
+        assert!(workers > 4, "should have grown, got {workers}");
+        let grown = workers;
+        for _ in 0..20 {
+            let d = s.evaluate(&telemetry(workers, 10, 0.1));
+            workers = AutoScaler::apply(d, workers);
+        }
+        assert!(workers < grown, "should have shrunk from {grown}, got {workers}");
+        assert!(workers >= 1);
+    }
+}

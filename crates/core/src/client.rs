@@ -1,0 +1,379 @@
+//! DPP Clients: the trainer-side hook that fetches preprocessed tensors.
+//!
+//! A Client runs on each training node; the training runtime calls
+//! [`Client::next_batch`] to obtain the next mini-batch tensor, which the
+//! Client transparently fetches from Worker buffers. Clients use
+//! **partitioned round-robin routing**: each polls a capped window of the
+//! worker fleet so connection counts stay bounded as both sides scale
+//! (§III-B1).
+//!
+//! Delivery is exactly-once: tensors travel in envelopes tagged with their
+//! split and sequence number; Clients acknowledge a split to the Master
+//! only once its last tensor is *consumed*, and drop replayed duplicates
+//! after a worker crash. A crashed worker's unconsumed splits therefore
+//! replay on its replacement without loss or duplication.
+
+use crate::master::Master;
+use crossbeam::channel::{Receiver, TryRecvError};
+use dsi_types::{MiniBatchTensor, WorkerId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A tensor in flight from a Worker to a Client.
+#[derive(Debug, Clone)]
+pub(crate) struct Envelope {
+    /// Split the tensor's rows came from.
+    pub(crate) split: u64,
+    /// Sequence number of this tensor within the split.
+    pub(crate) seq: u32,
+    /// Whether this is the split's final tensor.
+    pub(crate) last: bool,
+    /// The worker that produced (or replayed) the split.
+    pub(crate) worker: WorkerId,
+    /// The payload.
+    pub(crate) tensor: MiniBatchTensor,
+}
+
+/// A worker endpoint visible to clients.
+#[derive(Debug, Clone)]
+pub(crate) struct Endpoint {
+    pub(crate) id: WorkerId,
+    pub(crate) receiver: Receiver<Envelope>,
+    pub(crate) capacity: usize,
+}
+
+/// Shared per-session consumption progress: split → tensors consumed.
+pub(crate) type Progress = Arc<Mutex<HashMap<u64, u32>>>;
+
+/// A trainer-side tensor fetcher.
+#[derive(Debug, Clone)]
+pub struct Client {
+    registry: Arc<RwLock<Vec<Endpoint>>>,
+    master: Master,
+    progress: Progress,
+    /// Maximum simultaneous worker connections (round-robin partition).
+    fanout: usize,
+    /// This client's partition offset into the worker list.
+    offset: usize,
+    cursor: usize,
+}
+
+impl Client {
+    pub(crate) fn new(
+        registry: Arc<RwLock<Vec<Endpoint>>>,
+        master: Master,
+        progress: Progress,
+        fanout: usize,
+        offset: usize,
+    ) -> Self {
+        Self {
+            registry,
+            master,
+            progress,
+            fanout: fanout.max(1),
+            offset,
+            cursor: 0,
+        }
+    }
+
+    /// The connection cap.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Fetches the next tensor batch, blocking until one is available or
+    /// the session completes. Returns `None` at end of session.
+    pub fn next_batch(&mut self) -> Option<MiniBatchTensor> {
+        loop {
+            match self.poll_once() {
+                Poll::Batch(t) => return Some(t),
+                Poll::Finished => return None,
+                Poll::Pending => std::thread::sleep(Duration::from_micros(200)),
+            }
+        }
+    }
+
+    /// Like [`Client::next_batch`] but gives up after `deadline`.
+    pub fn next_batch_deadline(&mut self, deadline: Duration) -> Option<MiniBatchTensor> {
+        let start = Instant::now();
+        loop {
+            match self.poll_once() {
+                Poll::Batch(t) => return Some(t),
+                Poll::Finished => return None,
+                Poll::Pending => {
+                    if start.elapsed() > deadline {
+                        return None;
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+
+    /// Non-blocking fetch.
+    pub fn try_next_batch(&mut self) -> Option<MiniBatchTensor> {
+        match self.poll_once() {
+            Poll::Batch(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Accepts an envelope if it is not a replayed duplicate, acking its
+    /// split on the final tensor.
+    fn accept(&self, env: Envelope) -> Option<MiniBatchTensor> {
+        let mut progress = self.progress.lock();
+        let expected = progress.entry(env.split).or_insert(0);
+        if env.seq < *expected {
+            return None; // duplicate from a replayed split
+        }
+        *expected = env.seq + 1;
+        drop(progress);
+        if env.last {
+            // Late acks for crashed workers are rejected by the master and
+            // simply replayed; ignore the error.
+            let _ = self.master.complete_split(env.worker, env.split);
+        }
+        Some(env.tensor)
+    }
+
+    fn poll_once(&mut self) -> Poll {
+        let endpoints = self.registry.read().clone();
+        if endpoints.is_empty() {
+            return if self.master.is_complete() {
+                Poll::Finished
+            } else {
+                Poll::Pending
+            };
+        }
+        let n = endpoints.len();
+        let window = self.fanout.min(n);
+        let mut disconnected = 0;
+        for k in 0..window {
+            let i = (self.offset + self.cursor + k) % n;
+            loop {
+                match endpoints[i].receiver.try_recv() {
+                    Ok(env) => {
+                        if let Some(t) = self.accept(env) {
+                            self.cursor = (self.cursor + k + 1) % n.max(1);
+                            return Poll::Batch(t);
+                        }
+                        // Duplicate dropped: keep draining this endpoint.
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        disconnected += 1;
+                        break;
+                    }
+                }
+            }
+        }
+        // Every polled endpoint dead and the dataset fully consumed:
+        // nothing more will arrive through this client's partition.
+        if disconnected == window && self.master.is_complete() {
+            // Widen to all endpoints once the session is done, in case the
+            // partition missed stragglers.
+            for e in &endpoints {
+                while let Ok(env) = e.receiver.try_recv() {
+                    if let Some(t) = self.accept(env) {
+                        return Poll::Batch(t);
+                    }
+                }
+            }
+            return Poll::Finished;
+        }
+        // Rotate the partition window so capped-fanout clients cover the
+        // whole fleet over successive polls (partitioned round-robin).
+        self.cursor = (self.cursor + 1) % n;
+        Poll::Pending
+    }
+}
+
+enum Poll {
+    Batch(MiniBatchTensor),
+    Pending,
+    Finished,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::bounded;
+    use dsi_types::{Batch, Sample, SessionId};
+
+    fn envelope(split: u64, seq: u32, last: bool, label: f32) -> Envelope {
+        Envelope {
+            split,
+            seq,
+            last,
+            worker: WorkerId(0),
+            tensor: Batch::from_samples(vec![Sample::new(label)]).materialize(&[], &[]),
+        }
+    }
+
+    fn empty_master() -> Master {
+        Master::new(SessionId(1), Vec::new())
+    }
+
+    fn client(endpoints: Vec<Endpoint>, master: Master, fanout: usize) -> Client {
+        Client::new(
+            Arc::new(RwLock::new(endpoints)),
+            master,
+            Arc::new(Mutex::new(HashMap::new())),
+            fanout,
+            0,
+        )
+    }
+
+    #[test]
+    fn round_robin_across_endpoints() {
+        let (tx1, rx1) = bounded(4);
+        let (tx2, rx2) = bounded(4);
+        let endpoints = vec![
+            Endpoint {
+                id: WorkerId(0),
+                receiver: rx1,
+                capacity: 4,
+            },
+            Endpoint {
+                id: WorkerId(1),
+                receiver: rx2,
+                capacity: 4,
+            },
+        ];
+        tx1.send(envelope(0, 0, false, 1.0)).unwrap();
+        tx1.send(envelope(0, 1, true, 2.0)).unwrap();
+        tx2.send(envelope(1, 0, true, 3.0)).unwrap();
+        let mut c = client(endpoints, empty_master(), usize::MAX);
+        let mut labels = Vec::new();
+        for _ in 0..3 {
+            labels.push(c.try_next_batch().unwrap().labels[0]);
+        }
+        labels.sort_by(f32::total_cmp);
+        assert_eq!(labels, vec![1.0, 2.0, 3.0]);
+        drop((tx1, tx2));
+    }
+
+    #[test]
+    fn duplicates_from_replay_are_dropped() {
+        let (tx, rx) = bounded(8);
+        let endpoints = vec![Endpoint {
+            id: WorkerId(0),
+            receiver: rx,
+            capacity: 8,
+        }];
+        // Original delivery of seq 0, then a full replay of the split.
+        tx.send(envelope(5, 0, false, 1.0)).unwrap();
+        tx.send(envelope(5, 0, false, 1.0)).unwrap(); // replayed seq 0
+        tx.send(envelope(5, 1, true, 2.0)).unwrap();
+        drop(tx);
+        let mut c = client(endpoints, empty_master(), usize::MAX);
+        assert_eq!(c.try_next_batch().unwrap().labels[0], 1.0);
+        // The duplicate seq 0 is skipped; seq 1 comes through.
+        assert_eq!(c.try_next_batch().unwrap().labels[0], 2.0);
+        assert!(c.try_next_batch().is_none());
+    }
+
+    #[test]
+    fn finishes_when_complete_and_disconnected() {
+        let (tx, rx) = bounded::<Envelope>(1);
+        let endpoints = vec![Endpoint {
+            id: WorkerId(0),
+            receiver: rx,
+            capacity: 1,
+        }];
+        let master = empty_master(); // zero splits: complete by definition
+        assert!(master.is_complete());
+        tx.send(envelope(0, 0, false, 5.0)).unwrap();
+        drop(tx);
+        let mut c = client(endpoints, master, usize::MAX);
+        assert_eq!(c.next_batch().unwrap().labels[0], 5.0);
+        assert!(c.next_batch().is_none());
+    }
+
+    #[test]
+    fn deadline_elapses_while_pending() {
+        let (_tx, rx) = bounded::<Envelope>(1);
+        let endpoints = vec![Endpoint {
+            id: WorkerId(0),
+            receiver: rx,
+            capacity: 1,
+        }];
+        let mut c = client(endpoints, empty_master(), usize::MAX);
+        // Master is complete but the channel is alive (worker running):
+        // empty channel + live sender -> Pending until deadline.
+        let got = c.next_batch_deadline(Duration::from_millis(20));
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn fanout_widens_at_completion() {
+        // A client partitioned away from the only productive worker still
+        // drains it once the session completes.
+        let (tx1, rx1) = bounded::<Envelope>(2);
+        let (tx2, rx2) = bounded::<Envelope>(2);
+        let endpoints = vec![
+            Endpoint {
+                id: WorkerId(0),
+                receiver: rx1,
+                capacity: 2,
+            },
+            Endpoint {
+                id: WorkerId(1),
+                receiver: rx2,
+                capacity: 2,
+            },
+        ];
+        tx2.send(envelope(0, 0, true, 9.0)).unwrap();
+        drop(tx1);
+        drop(tx2);
+        let mut c = client(endpoints, empty_master(), 1);
+        assert_eq!(c.fanout(), 1);
+        assert_eq!(c.next_batch().unwrap().labels[0], 9.0);
+        assert!(c.next_batch().is_none());
+    }
+
+    #[test]
+    fn consuming_last_tensor_acks_master() {
+        // Build a master with one real split and verify the client ack
+        // completes it.
+        use dsi_types::{FeatureId, PartitionId, Projection, TableId};
+        use warehouse::{Table, TableConfig};
+        let cluster = tectonic::TectonicCluster::new(tectonic::ClusterConfig::small());
+        let table = Table::create(cluster, TableConfig::new(TableId(1), "ack")).unwrap();
+        let mut s = Sample::new(0.0);
+        s.set_dense(FeatureId(1), 1.0);
+        table.write_partition(PartitionId::new(0), vec![s]).unwrap();
+        let splits = table
+            .scan(
+                PartitionId::new(0)..PartitionId::new(1),
+                Projection::new(vec![FeatureId(1)]),
+            )
+            .plan_splits();
+        let master = Master::new(SessionId(1), splits);
+        let w = master.register_worker();
+        let split = master.request_split(w).unwrap().unwrap();
+        assert!(!master.is_complete());
+
+        let (tx, rx) = bounded(2);
+        let endpoints = vec![Endpoint {
+            id: w,
+            receiver: rx,
+            capacity: 2,
+        }];
+        tx.send(Envelope {
+            split: split.index,
+            seq: 0,
+            last: true,
+            worker: w,
+            tensor: Batch::from_samples(vec![Sample::new(1.0)]).materialize(&[], &[]),
+        })
+        .unwrap();
+        drop(tx);
+        let mut c = client(endpoints, master.clone(), usize::MAX);
+        assert!(c.next_batch().is_some());
+        assert!(master.is_complete());
+        assert!(c.next_batch().is_none());
+    }
+}

@@ -1,0 +1,252 @@
+//! Virtual-time fleet simulation of a DPP session.
+//!
+//! The threaded [`crate::DppSession`] runs real bytes on real threads; this
+//! module complements it with an *analytic* session in simulated time, for
+//! experiments at fleet scale (hours of training, hundreds of workers)
+//! where executing every byte is unnecessary: given a measured per-sample
+//! worker demand and a trainer demand, it integrates buffer levels, stall
+//! time, and the auto-scaling controller's decisions over virtual seconds —
+//! the controller loop of §III-B1 ("maintain a non-zero number of buffered
+//! tensors ... with minimal DPP resource requirement").
+
+use crate::autoscale::{AutoScaler, ScalingDecision, WorkerTelemetry};
+use hwsim::{NodeSpec, ResourceVector};
+use serde::{Deserialize, Serialize};
+
+/// One sampled point of the fleet trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetPoint {
+    /// Virtual time in seconds.
+    pub t: f64,
+    /// Live workers.
+    pub workers: usize,
+    /// Buffered tensors (aggregate batches across workers).
+    pub buffered: f64,
+    /// Instantaneous supply in samples/s.
+    pub supply: f64,
+    /// Whether the trainer was stalled during this step.
+    pub stalled: bool,
+}
+
+/// Result of a fleet simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetTrace {
+    /// Sampled points, one per controller tick.
+    pub points: Vec<FleetPoint>,
+    /// Fraction of time the trainer spent stalled.
+    pub stall_fraction: f64,
+    /// Mean live workers over the run.
+    pub mean_workers: f64,
+    /// Final worker count.
+    pub final_workers: usize,
+}
+
+impl FleetTrace {
+    /// Workers strictly needed to meet demand (supply == demand).
+    pub fn ideal_workers(demand_qps: f64, per_worker_qps: f64) -> f64 {
+        demand_qps / per_worker_qps
+    }
+
+    /// Over-provisioning factor versus the ideal worker count.
+    pub fn overprovisioning(&self, demand_qps: f64, per_worker_qps: f64) -> f64 {
+        self.mean_workers / Self::ideal_workers(demand_qps, per_worker_qps)
+    }
+}
+
+/// Analytic fleet simulation of one session.
+#[derive(Debug, Clone)]
+pub struct FleetSim {
+    /// The compute node workers run on.
+    pub node: NodeSpec,
+    /// Measured per-sample worker resource demand.
+    pub per_sample: ResourceVector,
+    /// Trainer fleet demand in samples/s.
+    pub demand_qps: f64,
+    /// Samples per buffered batch.
+    pub batch_size: f64,
+    /// Per-worker buffer capacity in batches.
+    pub buffer_capacity: f64,
+    /// Seconds between controller ticks.
+    pub tick_secs: f64,
+}
+
+impl FleetSim {
+    /// Creates a simulation with the paper-ish defaults: 256-sample
+    /// batches, 8-batch worker buffers, 10-second controller ticks.
+    pub fn new(node: NodeSpec, per_sample: ResourceVector, demand_qps: f64) -> Self {
+        Self {
+            node,
+            per_sample,
+            demand_qps,
+            batch_size: 256.0,
+            buffer_capacity: 8.0,
+            tick_secs: 10.0,
+        }
+    }
+
+    /// Saturation throughput of one worker, in samples/s.
+    pub fn per_worker_qps(&self) -> f64 {
+        self.node.max_rate(&self.per_sample)
+    }
+
+    /// Runs the simulation for `duration_secs` of virtual time starting
+    /// from `initial_workers`, letting `scaler` drive the fleet.
+    pub fn run(
+        &self,
+        scaler: &mut AutoScaler,
+        initial_workers: usize,
+        duration_secs: f64,
+    ) -> FleetTrace {
+        let per_worker = self.per_worker_qps();
+        let mut workers = initial_workers.max(1);
+        let mut draining = 0usize;
+        let mut buffered = 0.0f64; // batches, aggregate
+        let mut points = Vec::new();
+        let mut stalled_time = 0.0;
+        let mut worker_time = 0.0;
+        let mut t = 0.0;
+        while t < duration_secs {
+            // A worker produces at its saturation rate while buffers have
+            // room; demand drains the buffer.
+            let supply = workers as f64 * per_worker;
+            let cap = workers as f64 * self.buffer_capacity;
+            let net_batches = (supply - self.demand_qps) / self.batch_size;
+            buffered = (buffered + net_batches * self.tick_secs).clamp(0.0, cap);
+            let stalled = buffered <= 0.0 && supply < self.demand_qps;
+            if stalled {
+                stalled_time += self.tick_secs;
+            }
+            worker_time += workers as f64 * self.tick_secs;
+            points.push(FleetPoint {
+                t,
+                workers,
+                buffered,
+                supply,
+                stalled,
+            });
+
+            // Controller tick: per-worker telemetry synthesized from the
+            // aggregate state.
+            let per_worker_buffered = (buffered / workers as f64).round() as usize;
+            let utilization = (self.demand_qps / supply).min(1.0);
+            let telemetry = vec![
+                WorkerTelemetry {
+                    buffered_batches: per_worker_buffered,
+                    max_utilization: utilization,
+                };
+                workers
+            ];
+            match scaler.evaluate(&telemetry) {
+                ScalingDecision::ScaleUp(k) => workers += k,
+                ScalingDecision::ScaleDown(k) => {
+                    // Draining takes one tick: capacity leaves next step.
+                    draining = k.min(workers.saturating_sub(1));
+                }
+                ScalingDecision::Hold => {}
+            }
+            if draining > 0 {
+                workers -= draining;
+                draining = 0;
+            }
+            t += self.tick_secs;
+        }
+        FleetTrace {
+            stall_fraction: stalled_time / duration_secs,
+            mean_workers: worker_time / duration_secs,
+            final_workers: workers,
+            points,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoscale::ScalerConfig;
+
+    fn rm_like() -> FleetSim {
+        // ~10k samples/s per worker on C-v1.
+        let per_sample = ResourceVector {
+            cpu_cycles: 45e9 / 10_000.0,
+            membw_bytes: 1_000.0,
+            ..Default::default()
+        };
+        FleetSim::new(NodeSpec::c_v1(), per_sample, 240_000.0) // needs ~24 workers
+    }
+
+    #[test]
+    fn autoscaler_converges_to_demand_and_removes_stalls() {
+        let sim = rm_like();
+        let mut scaler = AutoScaler::default();
+        let trace = sim.run(&mut scaler, 1, 4_000.0);
+        let ideal = FleetTrace::ideal_workers(sim.demand_qps, sim.per_worker_qps());
+        // Converged near the ideal fleet size without gross over-provisioning.
+        assert!(
+            (trace.final_workers as f64) >= ideal,
+            "final {} vs ideal {ideal:.1}",
+            trace.final_workers
+        );
+        assert!(
+            trace.final_workers as f64 <= ideal * 1.8,
+            "final {} vs ideal {ideal:.1}",
+            trace.final_workers
+        );
+        // Early stalls while ramping, none at the end.
+        let late = &trace.points[trace.points.len() / 2..];
+        assert!(late.iter().all(|p| !p.stalled), "stalls after convergence");
+        assert!(trace.stall_fraction < 0.5);
+    }
+
+    #[test]
+    fn adequate_initial_fleet_never_stalls() {
+        let sim = rm_like();
+        let mut scaler = AutoScaler::default();
+        let trace = sim.run(&mut scaler, 30, 2_000.0);
+        assert_eq!(trace.stall_fraction, 0.0);
+    }
+
+    #[test]
+    fn overprovisioned_fleet_is_drained() {
+        let sim = rm_like();
+        let mut scaler = AutoScaler::new(ScalerConfig {
+            min_workers: 1,
+            ..Default::default()
+        });
+        let trace = sim.run(&mut scaler, 120, 6_000.0);
+        assert!(
+            trace.final_workers < 120,
+            "should drain from 120, got {}",
+            trace.final_workers
+        );
+        assert_eq!(trace.stall_fraction, 0.0, "draining must not cause stalls");
+    }
+
+    #[test]
+    fn demand_spikes_grow_the_fleet_back() {
+        // Converge at low demand, then raise demand mid-run.
+        let mut sim = rm_like();
+        sim.demand_qps = 60_000.0;
+        let mut scaler = AutoScaler::default();
+        let low = sim.run(&mut scaler, 1, 3_000.0);
+        let low_workers = low.final_workers;
+        sim.demand_qps = 240_000.0;
+        let high = sim.run(&mut scaler, low_workers, 3_000.0);
+        assert!(
+            high.final_workers > low_workers,
+            "fleet should grow {} -> {}",
+            low_workers,
+            high.final_workers
+        );
+        let late = &high.points[high.points.len() * 3 / 4..];
+        assert!(late.iter().all(|p| !p.stalled));
+    }
+
+    #[test]
+    fn overprovisioning_metric() {
+        let sim = rm_like();
+        let mut scaler = AutoScaler::default();
+        let trace = sim.run(&mut scaler, 24, 2_000.0);
+        let f = trace.overprovisioning(sim.demand_qps, sim.per_worker_qps());
+        assert!(f > 0.9 && f < 2.0, "overprovisioning {f:.2}");
+    }
+}

@@ -1,0 +1,61 @@
+//! DPP — the Data PreProcessing Service.
+//!
+//! DPP is the paper's disaggregated online-preprocessing service: for every
+//! training job it reads raw training data from warehouse storage,
+//! preprocesses it into ready-to-load tensors, and serves them to trainers,
+//! scaling from tens to hundreds of worker nodes so that expensive GPUs
+//! never stall on data (§III-B).
+//!
+//! The service splits into a **control plane** and a **data plane**:
+//!
+//! * [`session`] — the session specification (the `DATASET` a training job
+//!   submits): dataset selection, transforms, batching;
+//! * [`master`] — the DPP Master: split distribution, progress tracking,
+//!   checkpointing, worker health, and replicated-failover state;
+//! * [`autoscale`] — the Master's auto-scaling controller, driven by worker
+//!   utilization and the buffered-tensor signal;
+//! * [`worker`] — stateless DPP Workers: the extract → transform → load
+//!   executor over real DWRF bytes, with per-stage resource accounting;
+//! * [`client`] — DPP Clients: the trainer-side hook that fetches tensor
+//!   batches over partitioned round-robin connections;
+//! * [`service`] — [`DppSession`]: wiring master, threaded workers, and
+//!   clients together for an end-to-end run;
+//! * [`fleet`] — a virtual-time analytic session for fleet-scale
+//!   right-sizing experiments.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dpp::{DppSession, SessionSpec};
+//! use dsi_types::{FeatureId, PartitionId, Projection, SessionId};
+//! # fn table() -> warehouse::Table { unimplemented!() }
+//!
+//! let spec = SessionSpec::builder(SessionId(1))
+//!     .partitions(PartitionId::new(0)..PartitionId::new(7))
+//!     .projection(Projection::new(vec![FeatureId(1), FeatureId(2)]))
+//!     .batch_size(64)
+//!     .build();
+//! let session = DppSession::launch(table(), spec, 4).unwrap();
+//! while let Some(batch) = session.client().next_batch() {
+//!     let _ = batch; // feed the trainer
+//! }
+//! session.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod autoscale;
+pub mod client;
+pub mod fleet;
+pub mod master;
+pub mod service;
+pub mod session;
+pub mod worker;
+
+pub use autoscale::{AutoScaler, ScalerConfig, ScalingDecision, WorkerTelemetry};
+pub use client::Client;
+pub use fleet::{FleetPoint, FleetSim, FleetTrace};
+pub use master::{Master, MasterCheckpoint, SplitState};
+pub use service::DppSession;
+pub use session::{Injection, SessionSpec, SessionSpecBuilder};
+pub use worker::{ExtractCostModel, Worker, WorkerReport};

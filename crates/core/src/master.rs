@@ -1,0 +1,428 @@
+//! The DPP Master: split distribution, progress tracking, checkpointing,
+//! worker health, and replicated failover.
+//!
+//! The Master breaks the whole preprocessing workload into independent,
+//! self-contained **splits** (successive rows of the dataset) and serves
+//! them to Workers on request, tracking progress as splits complete
+//! (§III-B1). Workers are stateless, so a failed worker's in-flight splits
+//! are simply requeued; the Master itself checkpoints its reader state
+//! periodically and is replicated to avoid a single point of failure.
+
+use dsi_types::{DsiError, Result, SessionId, WorkerId};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
+use warehouse::Split;
+
+/// Progress state of one split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SplitState {
+    /// Waiting in the queue.
+    Pending,
+    /// Handed to a worker, not yet completed.
+    InFlight(WorkerId),
+    /// Completed.
+    Done,
+}
+
+/// A restorable snapshot of the Master's reader state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MasterCheckpoint {
+    /// The owning session.
+    pub session: SessionId,
+    /// Indices of completed splits.
+    pub completed: BTreeSet<u64>,
+    /// Total splits in the session.
+    pub total: u64,
+}
+
+impl MasterCheckpoint {
+    /// Fraction of splits completed.
+    pub fn progress(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.completed.len() as f64 / self.total as f64
+    }
+}
+
+#[derive(Debug)]
+struct MasterState {
+    queue: VecDeque<u64>,
+    splits: Vec<Split>,
+    state: Vec<SplitState>,
+    in_flight: HashMap<WorkerId, BTreeSet<u64>>,
+    registered: BTreeSet<WorkerId>,
+    next_worker_id: u64,
+    completed_count: u64,
+}
+
+/// The session Master (cheaply cloneable; clones share state, which also
+/// models the replicated-master pair — both replicas observe one durable
+/// state).
+#[derive(Clone)]
+pub struct Master {
+    session: SessionId,
+    state: Arc<Mutex<MasterState>>,
+}
+
+impl std::fmt::Debug for Master {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.lock();
+        f.debug_struct("Master")
+            .field("session", &self.session)
+            .field("total", &s.splits.len())
+            .field("completed", &s.completed_count)
+            .field("queued", &s.queue.len())
+            .finish()
+    }
+}
+
+impl Master {
+    /// Creates a Master over the session's splits (dataset order).
+    pub fn new(session: SessionId, splits: Vec<Split>) -> Self {
+        let n = splits.len();
+        Self {
+            session,
+            state: Arc::new(Mutex::new(MasterState {
+                queue: (0..n as u64).collect(),
+                state: vec![SplitState::Pending; n],
+                splits,
+                in_flight: HashMap::new(),
+                registered: BTreeSet::new(),
+                next_worker_id: 0,
+                completed_count: 0,
+            })),
+        }
+    }
+
+    /// The owning session.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Registers a new worker, returning its id.
+    pub fn register_worker(&self) -> WorkerId {
+        let mut s = self.state.lock();
+        let id = WorkerId(s.next_worker_id);
+        s.next_worker_id += 1;
+        s.registered.insert(id);
+        s.in_flight.insert(id, BTreeSet::new());
+        id
+    }
+
+    /// Deregisters a failed or aborting worker: its in-flight
+    /// (not-yet-consumed) splits are requeued and late completions from it
+    /// are rejected.
+    pub fn deregister_worker(&self, worker: WorkerId) {
+        let mut s = self.state.lock();
+        s.registered.remove(&worker);
+        if let Some(splits) = s.in_flight.remove(&worker) {
+            for idx in splits {
+                s.state[idx as usize] = SplitState::Pending;
+                s.queue.push_front(idx);
+            }
+        }
+    }
+
+    /// Gracefully drains a worker: it stops receiving new splits, but
+    /// splits it has already processed and buffered stay in flight so
+    /// Clients can finish consuming (and acknowledging) them.
+    pub fn drain_worker(&self, worker: WorkerId) {
+        self.state.lock().registered.remove(&worker);
+    }
+
+    /// Marks a worker failed (hard crash): identical effect to
+    /// [`Master::deregister_worker`] — its unconsumed splits replay
+    /// elsewhere. Stateless workers need no checkpoint restore.
+    pub fn fail_worker(&self, worker: WorkerId) {
+        self.deregister_worker(worker);
+    }
+
+    /// Serves the next split to `worker`, or `None` when the queue is
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::InvalidState`] for unregistered workers.
+    pub fn request_split(&self, worker: WorkerId) -> Result<Option<Split>> {
+        let mut s = self.state.lock();
+        if !s.registered.contains(&worker) {
+            return Err(DsiError::InvalidState(format!(
+                "worker {worker} is not registered"
+            )));
+        }
+        match s.queue.pop_front() {
+            Some(idx) => {
+                s.state[idx as usize] = SplitState::InFlight(worker);
+                s.in_flight
+                    .get_mut(&worker)
+                    .expect("registered worker has in-flight set")
+                    .insert(idx);
+                Ok(Some(s.splits[idx as usize].clone()))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Records a split completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::InvalidState`] if the split was not in flight at
+    /// this worker (e.g. it was requeued after a presumed failure).
+    pub fn complete_split(&self, worker: WorkerId, split_index: u64) -> Result<()> {
+        let mut s = self.state.lock();
+        let owned = s
+            .in_flight
+            .get_mut(&worker)
+            .is_some_and(|set| set.remove(&split_index));
+        if !owned {
+            return Err(DsiError::InvalidState(format!(
+                "split {split_index} is not in flight at {worker}"
+            )));
+        }
+        s.state[split_index as usize] = SplitState::Done;
+        s.completed_count += 1;
+        Ok(())
+    }
+
+    /// State of one split.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `split_index` is out of range.
+    pub fn split_state(&self, split_index: u64) -> SplitState {
+        self.state.lock().state[split_index as usize]
+    }
+
+    /// Total splits in the session.
+    pub fn total_splits(&self) -> u64 {
+        self.state.lock().splits.len() as u64
+    }
+
+    /// Completed splits.
+    pub fn completed_splits(&self) -> u64 {
+        self.state.lock().completed_count
+    }
+
+    /// Whether every split has completed.
+    pub fn is_complete(&self) -> bool {
+        let s = self.state.lock();
+        s.completed_count == s.splits.len() as u64
+    }
+
+    /// Currently registered workers.
+    pub fn worker_count(&self) -> usize {
+        self.state.lock().registered.len()
+    }
+
+    /// Takes a checkpoint of reader progress.
+    pub fn checkpoint(&self) -> MasterCheckpoint {
+        let s = self.state.lock();
+        let completed = s
+            .state
+            .iter()
+            .enumerate()
+            .filter(|(_, st)| **st == SplitState::Done)
+            .map(|(i, _)| i as u64)
+            .collect();
+        MasterCheckpoint {
+            session: self.session,
+            completed,
+            total: s.splits.len() as u64,
+        }
+    }
+
+    /// Restores a Master from a checkpoint and the (re-planned) splits:
+    /// completed splits stay done; in-flight work from the failed Master is
+    /// requeued.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::InvalidSpec`] if the checkpoint does not match
+    /// the split count or session.
+    pub fn restore(checkpoint: &MasterCheckpoint, splits: Vec<Split>) -> Result<Master> {
+        if checkpoint.total != splits.len() as u64 {
+            return Err(DsiError::invalid_spec(format!(
+                "checkpoint covers {} splits, scan planned {}",
+                checkpoint.total,
+                splits.len()
+            )));
+        }
+        let n = splits.len() as u64;
+        let mut state = vec![SplitState::Pending; splits.len()];
+        let mut queue = VecDeque::new();
+        for i in 0..n {
+            if checkpoint.completed.contains(&i) {
+                state[i as usize] = SplitState::Done;
+            } else {
+                queue.push_back(i);
+            }
+        }
+        Ok(Master {
+            session: checkpoint.session,
+            state: Arc::new(Mutex::new(MasterState {
+                queue,
+                state,
+                completed_count: checkpoint.completed.len() as u64,
+                splits,
+                in_flight: HashMap::new(),
+                registered: BTreeSet::new(),
+                next_worker_id: 0,
+            })),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_types::{PartitionId, Projection, Sample, TableId};
+    use warehouse::{Table, TableConfig};
+
+    fn make_splits(n: usize) -> Vec<Split> {
+        // Build a real table to get genuine splits.
+        let cluster = tectonic::TectonicCluster::new(tectonic::ClusterConfig::small());
+        let opts = dwrf::WriterOptions {
+            rows_per_stripe: 5,
+            ..Default::default()
+        };
+        let table = Table::create(
+            cluster,
+            TableConfig::new(TableId(1), "m").with_writer_options(opts),
+        )
+        .unwrap();
+        let samples: Vec<Sample> = (0..n * 5)
+            .map(|i| {
+                let mut s = Sample::new(i as f32);
+                s.set_dense(dsi_types::FeatureId(1), i as f32);
+                s
+            })
+            .collect();
+        table.write_partition(PartitionId::new(0), samples).unwrap();
+        table
+            .scan(
+                PartitionId::new(0)..PartitionId::new(1),
+                Projection::new(vec![dsi_types::FeatureId(1)]),
+            )
+            .plan_splits()
+    }
+
+    #[test]
+    fn splits_served_exactly_once() {
+        let master = Master::new(SessionId(1), make_splits(4));
+        let w = master.register_worker();
+        let mut seen = Vec::new();
+        while let Some(split) = master.request_split(w).unwrap() {
+            seen.push(split.index);
+            master.complete_split(w, split.index).unwrap();
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        assert!(master.is_complete());
+        assert_eq!(master.completed_splits(), 4);
+    }
+
+    #[test]
+    fn unregistered_worker_rejected() {
+        let master = Master::new(SessionId(1), make_splits(1));
+        assert!(master.request_split(WorkerId(99)).is_err());
+    }
+
+    #[test]
+    fn failed_worker_splits_requeued() {
+        let master = Master::new(SessionId(1), make_splits(3));
+        let w1 = master.register_worker();
+        let s1 = master.request_split(w1).unwrap().unwrap();
+        let _s2 = master.request_split(w1).unwrap().unwrap();
+        assert_eq!(master.split_state(s1.index), SplitState::InFlight(w1));
+
+        master.fail_worker(w1);
+        assert_eq!(master.split_state(s1.index), SplitState::Pending);
+        assert_eq!(master.worker_count(), 0);
+
+        // A fresh worker picks the requeued work; stale completions from
+        // the failed worker are rejected.
+        assert!(master.complete_split(w1, s1.index).is_err());
+        let w2 = master.register_worker();
+        let mut count = 0;
+        while let Some(split) = master.request_split(w2).unwrap() {
+            master.complete_split(w2, split.index).unwrap();
+            count += 1;
+        }
+        assert_eq!(count, 3);
+        assert!(master.is_complete());
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes() {
+        let splits = make_splits(4);
+        let master = Master::new(SessionId(2), splits.clone());
+        let w = master.register_worker();
+        // Complete two splits, leave one in flight.
+        for _ in 0..2 {
+            let s = master.request_split(w).unwrap().unwrap();
+            master.complete_split(w, s.index).unwrap();
+        }
+        let _in_flight = master.request_split(w).unwrap().unwrap();
+        let ckpt = master.checkpoint();
+        assert_eq!(ckpt.completed.len(), 2);
+        assert!((ckpt.progress() - 0.5).abs() < 1e-9);
+
+        // "Master failure": restore from the checkpoint.
+        let restored = Master::restore(&ckpt, splits).unwrap();
+        let w2 = restored.register_worker();
+        let mut remaining = Vec::new();
+        while let Some(s) = restored.request_split(w2).unwrap() {
+            remaining.push(s.index);
+            restored.complete_split(w2, s.index).unwrap();
+        }
+        // The two incomplete splits (including the in-flight one) replay.
+        assert_eq!(remaining.len(), 2);
+        assert!(restored.is_complete());
+    }
+
+    #[test]
+    fn restore_validates_split_count() {
+        let splits = make_splits(2);
+        let ckpt = MasterCheckpoint {
+            session: SessionId(1),
+            completed: BTreeSet::new(),
+            total: 99,
+        };
+        assert!(Master::restore(&ckpt, splits).is_err());
+    }
+
+    #[test]
+    fn replicated_handles_share_state() {
+        let master = Master::new(SessionId(1), make_splits(2));
+        let replica = master.clone();
+        let w = master.register_worker();
+        let s = master.request_split(w).unwrap().unwrap();
+        replica.complete_split(w, s.index).unwrap();
+        assert_eq!(master.completed_splits(), 1);
+    }
+
+    #[test]
+    fn concurrent_workers_partition_the_queue() {
+        let master = Master::new(SessionId(1), make_splits(20));
+        let counted = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let master = master.clone();
+                let counted = &counted;
+                scope.spawn(move || {
+                    let w = master.register_worker();
+                    while let Some(split) = master.request_split(w).unwrap() {
+                        master.complete_split(w, split.index).unwrap();
+                        counted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(counted.load(std::sync::atomic::Ordering::Relaxed), 20);
+        assert!(master.is_complete());
+    }
+}

@@ -1,0 +1,599 @@
+//! End-to-end DPP sessions: master + threaded workers + clients.
+//!
+//! [`DppSession::launch`] plans the dataset scan, builds the [`Master`],
+//! and spawns Worker threads whose bounded output channels are the tensor
+//! buffers of §III-B1. Trainers attach [`Client`]s; the session exposes the
+//! Master's health-monitor actions (failure recovery, auto-scaling).
+
+use crate::autoscale::{AutoScaler, ScalingDecision, WorkerTelemetry};
+use crate::client::{Client, Endpoint, Envelope, Progress};
+use crate::master::Master;
+use crate::session::SessionSpec;
+use crate::worker::{Worker, WorkerReport};
+use crossbeam::channel::{bounded, Sender};
+use dsi_types::{DsiError, Result, WorkerId};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use warehouse::Table;
+
+struct WorkerControl {
+    kill: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
+    handle: JoinHandle<WorkerReport>,
+}
+
+/// A running preprocessing session.
+pub struct DppSession {
+    master: Master,
+    spec: Arc<SessionSpec>,
+    table: Table,
+    registry: Arc<RwLock<Vec<Endpoint>>>,
+    controls: Mutex<HashMap<WorkerId, WorkerControl>>,
+    finished_reports: Arc<Mutex<WorkerReport>>,
+    clients_created: Mutex<usize>,
+    progress: Progress,
+}
+
+impl std::fmt::Debug for DppSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DppSession")
+            .field("session", &self.master.session())
+            .field("workers", &self.master.worker_count())
+            .field("progress", &self.master.checkpoint().progress())
+            .finish()
+    }
+}
+
+impl DppSession {
+    /// Launches a session over `table` with `workers` initial Workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::InvalidSpec`] if the selection matches no data.
+    pub fn launch(table: Table, spec: SessionSpec, workers: usize) -> Result<DppSession> {
+        let scan = table
+            .scan(spec.partitions(), spec.projection.clone())
+            .with_policy(spec.policy);
+        let splits = scan.plan_splits();
+        if splits.is_empty() {
+            return Err(DsiError::invalid_spec(
+                "session selects no partitions or rows",
+            ));
+        }
+        let master = Master::new(spec.id, splits);
+        let session = DppSession {
+            master,
+            spec: Arc::new(spec),
+            table,
+            registry: Arc::new(RwLock::new(Vec::new())),
+            controls: Mutex::new(HashMap::new()),
+            finished_reports: Arc::new(Mutex::new(WorkerReport::default())),
+            clients_created: Mutex::new(0),
+            progress: Arc::new(Mutex::new(HashMap::new())),
+        };
+        for _ in 0..workers.max(1) {
+            session.spawn_worker();
+        }
+        Ok(session)
+    }
+
+    /// Resumes a session from a Master checkpoint (e.g. after the primary
+    /// Master and its workers were lost): completed splits are not
+    /// re-read; everything else replays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::InvalidSpec`] if the checkpoint does not match
+    /// the spec's scan (the dataset or selection changed), and the same
+    /// validation errors as [`DppSession::launch`].
+    pub fn resume(
+        table: Table,
+        spec: SessionSpec,
+        checkpoint: &crate::master::MasterCheckpoint,
+        workers: usize,
+    ) -> Result<DppSession> {
+        let scan = table
+            .scan(spec.partitions(), spec.projection.clone())
+            .with_policy(spec.policy);
+        let splits = scan.plan_splits();
+        let master = Master::restore(checkpoint, splits)?;
+        let session = DppSession {
+            master,
+            spec: Arc::new(spec),
+            table,
+            registry: Arc::new(RwLock::new(Vec::new())),
+            controls: Mutex::new(HashMap::new()),
+            finished_reports: Arc::new(Mutex::new(WorkerReport::default())),
+            clients_created: Mutex::new(0),
+            progress: Arc::new(Mutex::new(HashMap::new())),
+        };
+        for _ in 0..workers.max(1) {
+            session.spawn_worker();
+        }
+        Ok(session)
+    }
+
+    /// The session's Master handle (shared).
+    pub fn master(&self) -> &Master {
+        &self.master
+    }
+
+    /// The session spec.
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
+    /// Spawns one additional Worker, returning its id.
+    pub fn spawn_worker(&self) -> WorkerId {
+        let id = self.master.register_worker();
+        let (tx, rx) = bounded::<Envelope>(self.spec.buffer_capacity);
+        let kill = Arc::new(AtomicBool::new(false));
+        let drain = Arc::new(AtomicBool::new(false));
+        let scan = self
+            .table
+            .scan(self.spec.partitions(), self.spec.projection.clone())
+            .with_policy(self.spec.policy);
+        let worker = Worker::new(id, Arc::clone(&self.spec), scan);
+        let master = self.master.clone();
+        let reports = Arc::clone(&self.finished_reports);
+        let kill2 = Arc::clone(&kill);
+        let drain2 = Arc::clone(&drain);
+        let handle = std::thread::spawn(move || {
+            let report = worker_loop(master, worker, tx, kill2, drain2);
+            reports.lock().merge(&report);
+            report
+        });
+        self.registry.write().push(Endpoint {
+            id,
+            receiver: rx,
+            capacity: self.spec.buffer_capacity,
+        });
+        self.controls.lock().insert(
+            id,
+            WorkerControl {
+                kill,
+                drain,
+                handle,
+            },
+        );
+        id
+    }
+
+    /// Live (registered) worker count.
+    pub fn worker_count(&self) -> usize {
+        self.master.worker_count()
+    }
+
+    /// Creates a trainer-side client with the given connection cap.
+    /// Clients are offset round-robin so their partitions interleave.
+    pub fn client_with_fanout(&self, fanout: usize) -> Client {
+        let mut created = self.clients_created.lock();
+        let offset = *created;
+        *created += 1;
+        Client::new(
+            Arc::clone(&self.registry),
+            self.master.clone(),
+            Arc::clone(&self.progress),
+            fanout,
+            offset,
+        )
+    }
+
+    /// Creates a client connected to every worker.
+    pub fn client(&self) -> Client {
+        self.client_with_fanout(usize::MAX)
+    }
+
+    /// Simulates a hard Worker crash and the Master's recovery: the thread
+    /// stops without acknowledging its in-flight split, the Master requeues
+    /// that work, and (worker statelessness) a replacement is spawned
+    /// without any checkpoint restore. Returns the replacement's id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::NotFound`] for unknown worker ids.
+    pub fn crash_and_replace(&self, worker: WorkerId) -> Result<WorkerId> {
+        let control = self
+            .controls
+            .lock()
+            .remove(&worker)
+            .ok_or_else(|| DsiError::not_found(format!("worker {worker}")))?;
+        control.kill.store(true, Ordering::SeqCst);
+        // Sever the connection first: undelivered buffered tensors are lost
+        // with the crash, and a worker blocked on a full buffer unblocks
+        // (its send fails) instead of deadlocking the health monitor.
+        self.registry.write().retain(|e| e.id != worker);
+        let _ = control.handle.join();
+        // The health monitor requeues the dead worker's unconsumed work...
+        self.master.fail_worker(worker);
+        // ...and restarts capacity.
+        Ok(self.spawn_worker())
+    }
+
+    /// Telemetry snapshot for the autoscaler: buffered tensors per live
+    /// worker and a utilization proxy (a full buffer means the worker is
+    /// ahead of demand; an empty one means it is saturated).
+    pub fn telemetry(&self) -> Vec<WorkerTelemetry> {
+        let controls = self.controls.lock();
+        self.registry
+            .read()
+            .iter()
+            .filter(|e| {
+                controls
+                    .get(&e.id)
+                    .is_some_and(|c| !c.handle.is_finished())
+            })
+            .map(|e| {
+                let buffered = e.receiver.len();
+                WorkerTelemetry {
+                    buffered_batches: buffered,
+                    max_utilization: 1.0 - buffered as f64 / e.capacity.max(1) as f64,
+                }
+            })
+            .collect()
+    }
+
+    /// Runs one autoscaler tick: evaluates telemetry and applies the
+    /// decision (spawning or draining workers). Returns the decision.
+    pub fn autoscale_tick(&self, scaler: &mut AutoScaler) -> ScalingDecision {
+        let telemetry = self.telemetry();
+        let decision = scaler.evaluate(&telemetry);
+        match decision {
+            ScalingDecision::ScaleUp(k) => {
+                for _ in 0..k {
+                    self.spawn_worker();
+                }
+            }
+            ScalingDecision::ScaleDown(k) => {
+                let controls = self.controls.lock();
+                // Drain the most-buffered (least needed) workers first.
+                let mut candidates: Vec<(usize, WorkerId)> = self
+                    .registry
+                    .read()
+                    .iter()
+                    .filter(|e| {
+                        controls
+                            .get(&e.id)
+                            .is_some_and(|c| {
+                                !c.handle.is_finished() && !c.drain.load(Ordering::SeqCst)
+                            })
+                    })
+                    .map(|e| (e.receiver.len(), e.id))
+                    .collect();
+                candidates.sort_by(|a, b| b.0.cmp(&a.0));
+                for (_, id) in candidates.into_iter().take(k) {
+                    if let Some(c) = controls.get(&id) {
+                        c.drain.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
+            ScalingDecision::Hold => {}
+        }
+        decision
+    }
+
+    /// Whether every split has been processed and acknowledged.
+    pub fn is_complete(&self) -> bool {
+        self.master.is_complete()
+    }
+
+    /// Shuts the session down: signals workers, unblocks any sender by
+    /// dropping the tensor buffers, joins all threads, and returns merged
+    /// worker telemetry.
+    pub fn shutdown(self) -> WorkerReport {
+        {
+            let controls = self.controls.lock();
+            for c in controls.values() {
+                c.drain.store(true, Ordering::SeqCst);
+            }
+        }
+        // Drop receivers so blocked senders error out and exit.
+        self.registry.write().clear();
+        let controls = std::mem::take(&mut *self.controls.lock());
+        for (_, c) in controls {
+            let _ = c.handle.join();
+        }
+        *self.finished_reports.lock()
+    }
+}
+
+fn worker_loop(
+    master: Master,
+    mut worker: Worker,
+    tx: Sender<Envelope>,
+    kill: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
+) -> WorkerReport {
+    let id = worker.id();
+    loop {
+        if kill.load(Ordering::SeqCst) {
+            // Hard crash: no deregistration, no acknowledgement. The health
+            // monitor will requeue this worker's unconsumed splits.
+            return worker.report();
+        }
+        if drain.load(Ordering::SeqCst) {
+            // Graceful drain: stop taking new work; splits already buffered
+            // stay in flight until clients consume and acknowledge them.
+            master.drain_worker(id);
+            break;
+        }
+        match master.request_split(id) {
+            Ok(Some(split)) => {
+                let mut tensors = match worker.process_split(&split) {
+                    Ok(t) => t,
+                    Err(_) => {
+                        // Storage failure: report self as failed so the
+                        // split is requeued elsewhere.
+                        master.fail_worker(id);
+                        return worker.report();
+                    }
+                };
+                // Per-split flush keeps replay exact under failures (no
+                // cross-split rows inside any delivered tensor).
+                tensors.extend(worker.flush());
+                if kill.load(Ordering::SeqCst) {
+                    // Crash before delivering: the split replays on another
+                    // worker, so rows are still delivered exactly once.
+                    return worker.report();
+                }
+                if tensors.is_empty() {
+                    // Nothing to deliver (e.g. sampling filtered every
+                    // row): safe to acknowledge immediately.
+                    let _ = master.complete_split(id, split.index);
+                    continue;
+                }
+                let total = tensors.len();
+                for (seq, tensor) in tensors.into_iter().enumerate() {
+                    let env = Envelope {
+                        split: split.index,
+                        seq: seq as u32,
+                        last: seq + 1 == total,
+                        worker: id,
+                        tensor,
+                    };
+                    if tx.send(env).is_err() {
+                        // Session shut down under us.
+                        master.deregister_worker(id);
+                        return worker.report();
+                    }
+                }
+                // Completion is acknowledged by the Client that consumes
+                // the split's last tensor — not here.
+            }
+            Ok(None) => {
+                master.drain_worker(id);
+                break;
+            }
+            Err(_) => return worker.report(), // deregistered concurrently
+        }
+    }
+    worker.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::SessionSpec;
+    use dsi_types::{FeatureId, PartitionId, Projection, Sample, SessionId, SparseList, TableId};
+    use warehouse::TableConfig;
+
+    fn build_table(days: u32, rows_per_day: u64) -> Table {
+        let cluster = tectonic::TectonicCluster::new(tectonic::ClusterConfig::small());
+        let opts = dwrf::WriterOptions {
+            rows_per_stripe: 16,
+            ..Default::default()
+        };
+        let table = Table::create(
+            cluster,
+            TableConfig::new(TableId(1), "svc").with_writer_options(opts),
+        )
+        .unwrap();
+        for day in 0..days {
+            let samples: Vec<Sample> = (0..rows_per_day)
+                .map(|i| {
+                    let label = (day as u64 * rows_per_day + i) as f32;
+                    let mut s = Sample::new(label);
+                    s.set_dense(FeatureId(1), i as f32);
+                    s.set_sparse(FeatureId(2), SparseList::from_ids(vec![i % 7]));
+                    s
+                })
+                .collect();
+            table.write_partition(PartitionId::new(day), samples).unwrap();
+        }
+        table
+    }
+
+    fn spec(days: u32) -> SessionSpec {
+        SessionSpec::builder(SessionId(5))
+            .partitions(PartitionId::new(0)..PartitionId::new(days))
+            .projection(Projection::new(vec![FeatureId(1), FeatureId(2)]))
+            .batch_size(16)
+            .dense_ids(vec![FeatureId(1)])
+            .sparse_ids(vec![FeatureId(2)])
+            .buffer_capacity(4)
+            .build();
+        // (builder consumed; rebuild below)
+        SessionSpec::builder(SessionId(5))
+            .partitions(PartitionId::new(0)..PartitionId::new(days))
+            .projection(Projection::new(vec![FeatureId(1), FeatureId(2)]))
+            .batch_size(16)
+            .dense_ids(vec![FeatureId(1)])
+            .sparse_ids(vec![FeatureId(2)])
+            .buffer_capacity(4)
+            .build()
+    }
+
+    fn drain_labels(client: &mut Client) -> Vec<u32> {
+        let mut labels = Vec::new();
+        while let Some(t) = client.next_batch() {
+            labels.extend(t.labels.iter().map(|&l| l as u32));
+        }
+        labels.sort_unstable();
+        labels
+    }
+
+    #[test]
+    fn delivers_every_row_exactly_once() {
+        let table = build_table(3, 64);
+        let session = DppSession::launch(table, spec(3), 4).unwrap();
+        let mut client = session.client();
+        let labels = drain_labels(&mut client);
+        assert_eq!(labels, (0..192).collect::<Vec<_>>());
+        assert!(session.is_complete());
+        let report = session.shutdown();
+        assert_eq!(report.samples, 192);
+        assert!(report.batches >= 12);
+    }
+
+    #[test]
+    fn multiple_partitioned_clients_cover_the_fleet() {
+        let table = build_table(2, 64);
+        let session = DppSession::launch(table, spec(2), 4).unwrap();
+        let mut c1 = session.client_with_fanout(2);
+        let mut c2 = session.client_with_fanout(2);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|s| {
+            for mut c in [c1.clone(), c2.clone()] {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    while let Some(t) = c.next_batch() {
+                        for &l in &t.labels {
+                            tx.send(l as u32).unwrap();
+                        }
+                    }
+                });
+            }
+            drop(tx);
+        });
+        let mut labels: Vec<u32> = rx.into_iter().collect();
+        labels.sort_unstable();
+        assert_eq!(labels, (0..128).collect::<Vec<_>>());
+        // Silence unused warnings for the original handles.
+        let _ = c1.try_next_batch();
+        let _ = c2.try_next_batch();
+        session.shutdown();
+    }
+
+    #[test]
+    fn worker_crash_recovers_without_loss_or_duplication() {
+        let table = build_table(3, 64);
+        let session = DppSession::launch(table, spec(3), 2).unwrap();
+        // Crash one worker immediately; the master requeues and a
+        // replacement carries on.
+        let victim = {
+            let reg = session.registry.read();
+            reg[0].id
+        };
+        let replacement = session.crash_and_replace(victim).unwrap();
+        assert_ne!(victim, replacement);
+        let mut client = session.client();
+        let labels = drain_labels(&mut client);
+        assert_eq!(labels, (0..192).collect::<Vec<_>>());
+        session.shutdown();
+    }
+
+    #[test]
+    fn autoscaler_grows_starved_session() {
+        let table = build_table(4, 128);
+        let session = DppSession::launch(table, spec(4), 1).unwrap();
+        let mut scaler = AutoScaler::default();
+        // Consume slowly with ticks in between: buffers stay empty early,
+        // so the controller should add workers.
+        let before = session.worker_count();
+        let mut client = session.client();
+        let mut grew = false;
+        for _ in 0..50 {
+            let _ = client.try_next_batch();
+            let d = session.autoscale_tick(&mut scaler);
+            if matches!(d, ScalingDecision::ScaleUp(_)) {
+                grew = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(grew, "expected a scale-up from {before} workers");
+        // Finish the session.
+        while client.next_batch().is_some() {}
+        session.shutdown();
+    }
+
+    #[test]
+    fn resume_from_checkpoint_skips_completed_splits() {
+        let table = build_table(3, 64);
+        let session = DppSession::launch(table.clone(), spec(3), 2).unwrap();
+        let mut client = session.client();
+        // Consume roughly half the dataset, then take a checkpoint and
+        // tear the whole session down (master + workers "lost").
+        let mut first_half = Vec::new();
+        while first_half.len() < 96 {
+            let t = client.next_batch().expect("mid-session batches");
+            first_half.extend(t.labels.iter().map(|&l| l as u32));
+        }
+        let checkpoint = session.master().checkpoint();
+        assert!(checkpoint.completed.len() >= 2);
+        session.shutdown();
+
+        // A replacement master resumes from the checkpoint.
+        let resumed = DppSession::resume(table, spec(3), &checkpoint, 2).unwrap();
+        let mut client = resumed.client();
+        let mut rest = Vec::new();
+        while let Some(t) = client.next_batch() {
+            rest.extend(t.labels.iter().map(|&l| l as u32));
+        }
+        resumed.shutdown();
+
+        // Completed splits did not replay; incomplete ones did. Together
+        // with the first half, coverage is complete (overlap only from
+        // splits that were in flight at checkpoint time).
+        let mut all: Vec<u32> = first_half.iter().chain(rest.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all, (0..192).collect::<Vec<_>>(), "full coverage after resume");
+        // The resumed session re-read at most the non-checkpointed rows
+        // plus one in-flight split worth of replay.
+        assert!(rest.len() <= 192 - 96 + 96, "rest {}", rest.len());
+    }
+
+    #[test]
+    fn empty_selection_rejected() {
+        let table = build_table(1, 8);
+        let bad = SessionSpec::builder(SessionId(1))
+            .partitions(PartitionId::new(5)..PartitionId::new(6))
+            .build();
+        assert!(DppSession::launch(table, bad, 1).is_err());
+    }
+
+    #[test]
+    fn shutdown_unblocks_unconsumed_workers() {
+        // Nobody consumes: workers fill their buffers and block; shutdown
+        // must still join cleanly.
+        let table = build_table(2, 128);
+        let session = DppSession::launch(table, spec(2), 2).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let report = session.shutdown();
+        assert!(report.samples > 0);
+    }
+
+    #[test]
+    fn transforms_applied_in_flight() {
+        let table = build_table(1, 64);
+        let mut spec = spec(1);
+        spec.plan = transforms::TransformPlan::new(vec![transforms::TransformOp::SigridHash {
+            input: FeatureId(2),
+            salt: 1,
+            modulus: 3,
+        }]);
+        let session = DppSession::launch(table, spec, 2).unwrap();
+        let mut client = session.client();
+        let mut rows = 0;
+        while let Some(t) = client.next_batch() {
+            rows += t.batch_size();
+            assert!(t.sparse[0].values().iter().all(|&v| v < 3));
+        }
+        assert_eq!(rows, 64);
+        session.shutdown();
+    }
+}

@@ -1,0 +1,460 @@
+//! Mini-batches and materialized tensors.
+//!
+//! The load phase of online preprocessing batches transformed samples into
+//! tensors laid out the way the trainer consumes them: a dense matrix
+//! (`batch × features`) and, per sparse feature, a CSR-style
+//! (offsets, values) pair — the *flatmap* layout the paper's co-design work
+//! adopted to cut format conversions and memory-bandwidth demand.
+
+use crate::feature::SparseList;
+use crate::id::FeatureId;
+use crate::sample::Sample;
+use serde::{Deserialize, Serialize};
+
+/// An ordered collection of samples awaiting batching.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Batch {
+    samples: Vec<Sample>,
+}
+
+impl Batch {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a batch from samples.
+    pub fn from_samples(samples: Vec<Sample>) -> Self {
+        Self { samples }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, sample: Sample) {
+        self.samples.push(sample);
+    }
+
+    /// The samples in insertion order.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Mutable access to the samples (transform phase operates in place).
+    pub fn samples_mut(&mut self) -> &mut [Sample] {
+        &mut self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Consumes the batch, returning its samples.
+    pub fn into_samples(self) -> Vec<Sample> {
+        self.samples
+    }
+
+    /// Total payload bytes across all samples.
+    pub fn payload_bytes(&self) -> usize {
+        self.samples.iter().map(Sample::payload_bytes).sum()
+    }
+
+    /// Materializes the batch into trainer-ready tensors.
+    ///
+    /// `dense_ids` and `sparse_ids` fix the column order; a sample missing a
+    /// dense feature contributes `0.0`, and a missing sparse feature
+    /// contributes an empty list (standard DLRM semantics for absent
+    /// features).
+    pub fn materialize(&self, dense_ids: &[FeatureId], sparse_ids: &[FeatureId]) -> MiniBatchTensor {
+        let rows = self.samples.len();
+        let mut dense = DenseMatrix::zeros(rows, dense_ids.len());
+        for (r, s) in self.samples.iter().enumerate() {
+            for (c, &id) in dense_ids.iter().enumerate() {
+                if let Some(v) = s.dense(id) {
+                    dense.set(r, c, v);
+                }
+            }
+        }
+        let sparse = sparse_ids
+            .iter()
+            .map(|&id| {
+                let mut t = SparseTensor::new(id);
+                for s in &self.samples {
+                    match s.sparse(id) {
+                        Some(list) => t.push_row(list),
+                        None => t.push_row(&SparseList::new()),
+                    }
+                }
+                t
+            })
+            .collect();
+        let labels = self.samples.iter().map(Sample::label).collect();
+        MiniBatchTensor {
+            dense,
+            sparse,
+            labels,
+        }
+    }
+}
+
+impl FromIterator<Sample> for Batch {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        Self::from_samples(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Sample> for Batch {
+    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
+        self.samples.extend(iter);
+    }
+}
+
+/// A row-major `rows × cols` matrix of `f32` dense features.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The backing row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Payload size in bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Applies `f` to every element of column `c` in place (columnar
+    /// normalization path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn map_col_in_place<F: FnMut(f32) -> f32>(&mut self, c: usize, mut f: F) {
+        assert!(c < self.cols, "column out of bounds");
+        for r in 0..self.rows {
+            let i = r * self.cols + c;
+            self.data[i] = f(self.data[i]);
+        }
+    }
+}
+
+/// CSR-style tensor for one sparse feature across a mini-batch.
+///
+/// `offsets` has `rows + 1` entries; row `r`'s values occupy
+/// `values[offsets[r]..offsets[r + 1]]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseTensor {
+    feature: FeatureId,
+    offsets: Vec<u32>,
+    values: Vec<u64>,
+    scores: Vec<f32>,
+    scored: bool,
+}
+
+impl SparseTensor {
+    /// Creates an empty tensor for the given feature.
+    pub fn new(feature: FeatureId) -> Self {
+        Self {
+            feature,
+            offsets: vec![0],
+            values: Vec::new(),
+            scores: Vec::new(),
+            scored: false,
+        }
+    }
+
+    /// The feature this tensor holds.
+    pub fn feature(&self) -> FeatureId {
+        self.feature
+    }
+
+    /// Appends one sample's list as the next row.
+    pub fn push_row(&mut self, list: &SparseList) {
+        self.values.extend_from_slice(list.ids());
+        if let Some(scores) = list.scores() {
+            self.scored = true;
+            self.scores.extend_from_slice(scores);
+        } else if self.scored {
+            // Keep scores aligned when a mix of scored/unscored rows appears.
+            self.scores.extend(list.ids().iter().map(|_| 1.0f32));
+        }
+        self.offsets.push(self.values.len() as u32);
+    }
+
+    /// Number of rows (samples).
+    pub fn rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of categorical values across all rows.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The row offsets (length `rows + 1`).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The concatenated categorical values.
+    pub fn values(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The concatenated scores, if any row carried scores.
+    pub fn scores(&self) -> Option<&[f32]> {
+        if self.scored {
+            Some(&self.scores)
+        } else {
+            None
+        }
+    }
+
+    /// Values of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row(&self, r: usize) -> &[u64] {
+        let start = self.offsets[r] as usize;
+        let end = self.offsets[r + 1] as usize;
+        &self.values[start..end]
+    }
+
+    /// Payload size in bytes (offsets + values + scores).
+    pub fn payload_bytes(&self) -> usize {
+        self.offsets.len() * 4 + self.values.len() * 8 + self.scores.len() * 4
+    }
+
+    /// Applies `f` to every categorical value in place (columnar
+    /// normalization path — one pass over the flat buffer).
+    pub fn map_values_in_place<F: FnMut(u64) -> u64>(&mut self, mut f: F) {
+        for v in &mut self.values {
+            *v = f(*v);
+        }
+    }
+
+    /// Truncates every row to at most `x` values (columnar `FirstX`),
+    /// rebuilding offsets and compacting values/scores in one pass.
+    pub fn truncate_rows(&mut self, x: usize) {
+        let rows = self.rows();
+        let mut new_values = Vec::with_capacity(self.values.len().min(rows * x));
+        let mut new_scores = Vec::new();
+        let mut new_offsets = Vec::with_capacity(rows + 1);
+        new_offsets.push(0u32);
+        for r in 0..rows {
+            let start = self.offsets[r] as usize;
+            let end = self.offsets[r + 1] as usize;
+            let keep = (end - start).min(x);
+            new_values.extend_from_slice(&self.values[start..start + keep]);
+            if self.scored {
+                new_scores.extend_from_slice(&self.scores[start..start + keep]);
+            }
+            new_offsets.push(new_values.len() as u32);
+        }
+        self.values = new_values;
+        self.scores = new_scores;
+        self.offsets = new_offsets;
+    }
+
+    /// Applies `f` to every score in place (columnar `ComputeScore`); no-op
+    /// for unscored tensors.
+    pub fn map_scores_in_place<F: FnMut(f32) -> f32>(&mut self, mut f: F) {
+        for v in &mut self.scores {
+            *v = f(*v);
+        }
+    }
+}
+
+/// A fully-materialized mini-batch ready to be loaded into trainer memory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MiniBatchTensor {
+    /// Dense features, `batch × dense_features`.
+    pub dense: DenseMatrix,
+    /// One CSR tensor per sparse feature.
+    pub sparse: Vec<SparseTensor>,
+    /// Per-sample labels.
+    pub labels: Vec<f32>,
+}
+
+impl MiniBatchTensor {
+    /// Batch size (number of samples).
+    pub fn batch_size(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Total payload bytes across dense, sparse, and label tensors — the
+    /// volume the DPP Worker ships to the trainer.
+    pub fn payload_bytes(&self) -> usize {
+        self.dense.payload_bytes()
+            + self
+                .sparse
+                .iter()
+                .map(SparseTensor::payload_bytes)
+                .sum::<usize>()
+            + self.labels.len() * std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_batch() -> Batch {
+        let mut b = Batch::new();
+        for i in 0..3 {
+            let mut s = Sample::new(i as f32);
+            s.set_dense(FeatureId(1), i as f32 * 0.1);
+            if i != 1 {
+                s.set_sparse(FeatureId(5), SparseList::from_ids(vec![i, i + 10]));
+            }
+            b.push(s);
+        }
+        b
+    }
+
+    #[test]
+    fn materialize_shapes_and_defaults() {
+        let b = make_batch();
+        let t = b.materialize(&[FeatureId(1), FeatureId(2)], &[FeatureId(5)]);
+        assert_eq!(t.batch_size(), 3);
+        assert_eq!(t.dense.rows(), 3);
+        assert_eq!(t.dense.cols(), 2);
+        // Missing dense feature defaults to 0.
+        assert_eq!(t.dense.get(0, 1), 0.0);
+        assert!((t.dense.get(2, 0) - 0.2).abs() < 1e-6);
+        // Missing sparse row is empty.
+        let st = &t.sparse[0];
+        assert_eq!(st.rows(), 3);
+        assert_eq!(st.row(0), &[0, 10]);
+        assert_eq!(st.row(1), &[] as &[u64]);
+        assert_eq!(st.row(2), &[2, 12]);
+        assert_eq!(st.nnz(), 4);
+    }
+
+    #[test]
+    fn sparse_tensor_offsets_are_monotone() {
+        let b = make_batch();
+        let t = b.materialize(&[], &[FeatureId(5)]);
+        let offs = t.sparse[0].offsets();
+        assert_eq!(offs.len(), 4);
+        assert!(offs.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*offs.last().unwrap() as usize, t.sparse[0].nnz());
+    }
+
+    #[test]
+    fn mixed_scored_rows_backfill_unit_scores() {
+        let mut t = SparseTensor::new(FeatureId(9));
+        t.push_row(&SparseList::from_scored(vec![1], vec![2.0]));
+        t.push_row(&SparseList::from_ids(vec![3, 4]));
+        assert_eq!(t.scores().unwrap(), &[2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn payload_bytes_nonzero_for_materialized_batch() {
+        let b = make_batch();
+        let t = b.materialize(&[FeatureId(1)], &[FeatureId(5)]);
+        // dense 3*1*4 + sparse (4*4 + 4*8) + labels 3*4
+        assert_eq!(t.payload_bytes(), 12 + 16 + 32 + 12);
+    }
+
+    #[test]
+    fn batch_collects_and_extends() {
+        let samples = vec![Sample::new(0.0), Sample::new(1.0)];
+        let mut b: Batch = samples.into_iter().collect();
+        assert_eq!(b.len(), 2);
+        b.extend(vec![Sample::new(2.0)]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn columnar_mutators() {
+        let mut t = SparseTensor::new(FeatureId(1));
+        t.push_row(&SparseList::from_ids(vec![1, 2, 3, 4]));
+        t.push_row(&SparseList::from_ids(vec![5]));
+        t.push_row(&SparseList::from_ids(vec![6, 7, 8]));
+        t.map_values_in_place(|v| v * 10);
+        assert_eq!(t.row(0), &[10, 20, 30, 40]);
+        t.truncate_rows(2);
+        assert_eq!(t.row(0), &[10, 20]);
+        assert_eq!(t.row(1), &[50]);
+        assert_eq!(t.row(2), &[60, 70]);
+        assert_eq!(t.nnz(), 5);
+
+        let mut m = DenseMatrix::zeros(2, 3);
+        m.set(0, 1, 2.0);
+        m.set(1, 1, 4.0);
+        m.map_col_in_place(1, |v| v + 1.0);
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 1), 5.0);
+        assert_eq!(m.get(0, 0), 0.0); // other columns untouched
+    }
+
+    #[test]
+    fn truncate_rows_keeps_scores_aligned() {
+        let mut t = SparseTensor::new(FeatureId(1));
+        t.push_row(&SparseList::from_scored(vec![1, 2, 3], vec![0.1, 0.2, 0.3]));
+        t.push_row(&SparseList::from_scored(vec![4], vec![0.4]));
+        t.truncate_rows(2);
+        assert_eq!(t.values(), &[1, 2, 4]);
+        assert_eq!(t.scores().unwrap(), &[0.1, 0.2, 0.4]);
+        t.map_scores_in_place(|s| s * 10.0);
+        assert!((t.scores().unwrap()[2] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn dense_matrix_bounds_checked() {
+        let m = DenseMatrix::zeros(2, 2);
+        let _ = m.get(2, 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! The shared error type for the DSI pipeline.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, DsiError>;
+
+/// Errors surfaced by DSI pipeline components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DsiError {
+    /// A referenced entity (table, partition, file, feature, ...) was not found.
+    NotFound(String),
+    /// Data failed to decode (corrupt stream, bad magic, truncated block).
+    Corrupt(String),
+    /// An operation was invalid in the current state.
+    InvalidState(String),
+    /// A configuration or specification error.
+    InvalidSpec(String),
+    /// A capacity or resource limit was exceeded.
+    Exhausted(String),
+    /// A component (worker, node) failed or was unreachable.
+    Unavailable(String),
+}
+
+impl DsiError {
+    /// Creates a [`DsiError::NotFound`] with a formatted message.
+    pub fn not_found(what: impl fmt::Display) -> Self {
+        DsiError::NotFound(what.to_string())
+    }
+
+    /// Creates a [`DsiError::Corrupt`] with a formatted message.
+    pub fn corrupt(what: impl fmt::Display) -> Self {
+        DsiError::Corrupt(what.to_string())
+    }
+
+    /// Creates a [`DsiError::InvalidSpec`] with a formatted message.
+    pub fn invalid_spec(what: impl fmt::Display) -> Self {
+        DsiError::InvalidSpec(what.to_string())
+    }
+}
+
+impl fmt::Display for DsiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DsiError::NotFound(s) => write!(f, "not found: {s}"),
+            DsiError::Corrupt(s) => write!(f, "corrupt data: {s}"),
+            DsiError::InvalidState(s) => write!(f, "invalid state: {s}"),
+            DsiError::InvalidSpec(s) => write!(f, "invalid specification: {s}"),
+            DsiError::Exhausted(s) => write!(f, "resource exhausted: {s}"),
+            DsiError::Unavailable(s) => write!(f, "unavailable: {s}"),
+        }
+    }
+}
+
+impl StdError for DsiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DsiError::not_found("table tbl9");
+        assert_eq!(e.to_string(), "not found: table tbl9");
+        let e = DsiError::corrupt("bad stripe magic");
+        assert!(e.to_string().contains("bad stripe magic"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: StdError + Send + Sync + 'static>() {}
+        assert_bounds::<DsiError>();
+    }
+}

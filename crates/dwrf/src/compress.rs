@@ -1,0 +1,214 @@
+//! An LZ77-style block compressor for DWRF streams.
+//!
+//! Streams are compressed before encryption. The codec favors encode speed
+//! over ratio (storage bytes in the paper's tables are "compressed sizes",
+//! and extraction cost includes decompression, so the work must be real).
+//!
+//! Format: a 1-byte mode tag (`0` = stored, `1` = LZ), then for LZ blocks a
+//! varint uncompressed length followed by a token stream. Each token is a
+//! control byte: `0x00..=0x7f` means a literal run of `ctl + 1` bytes;
+//! `0x80..=0xff` means a match of length `(ctl & 0x7f) + MIN_MATCH` at a
+//! varint back-distance.
+
+use crate::encoding::{read_varint, write_varint};
+use dsi_types::{DsiError, Result};
+
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = 0x7f + MIN_MATCH;
+const HASH_BITS: u32 = 15;
+
+#[inline]
+fn hash4(data: &[u8]) -> usize {
+    let v = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+    (v.wrapping_mul(0x9e37_79b1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input`, returning the encoded block.
+///
+/// Falls back to a stored block when compression does not help.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    if input.len() < MIN_MATCH * 2 {
+        return stored_block(input);
+    }
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.push(1u8);
+    write_varint(&mut out, input.len() as u64);
+
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut i = 0;
+    let mut literal_start = 0;
+    while i + MIN_MATCH <= input.len() {
+        let h = hash4(&input[i..]);
+        let candidate = table[h];
+        table[h] = i;
+        if candidate != usize::MAX
+            && candidate < i
+            && input[candidate..candidate + MIN_MATCH] == input[i..i + MIN_MATCH]
+        {
+            // Extend the match.
+            let mut len = MIN_MATCH;
+            while i + len < input.len()
+                && len < MAX_MATCH
+                && input[candidate + len] == input[i + len]
+            {
+                len += 1;
+            }
+            flush_literals(&mut out, &input[literal_start..i]);
+            let dist = i - candidate;
+            out.push(0x80 | (len - MIN_MATCH) as u8);
+            write_varint(&mut out, dist as u64);
+            // Index a few positions inside the match to keep the table warm.
+            let end = i + len;
+            let mut j = i + 1;
+            while j + MIN_MATCH <= input.len() && j < end {
+                table[hash4(&input[j..])] = j;
+                j += 2;
+            }
+            i = end;
+            literal_start = i;
+        } else {
+            i += 1;
+        }
+    }
+    flush_literals(&mut out, &input[literal_start..]);
+
+    if out.len() >= input.len() + 1 {
+        stored_block(input)
+    } else {
+        out
+    }
+}
+
+fn stored_block(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() + 1);
+    out.push(0u8);
+    out.extend_from_slice(input);
+    out
+}
+
+fn flush_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
+    while !lits.is_empty() {
+        let n = lits.len().min(0x80);
+        out.push((n - 1) as u8);
+        out.extend_from_slice(&lits[..n]);
+        lits = &lits[n..];
+    }
+}
+
+/// Decompresses a block produced by [`compress`].
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] on malformed input.
+pub fn decompress(block: &[u8]) -> Result<Vec<u8>> {
+    let (&mode, rest) = block
+        .split_first()
+        .ok_or_else(|| DsiError::corrupt("empty compressed block"))?;
+    match mode {
+        0 => Ok(rest.to_vec()),
+        1 => {
+            let mut pos = 0;
+            let expect = read_varint(rest, &mut pos)? as usize;
+            let mut out = Vec::with_capacity(expect);
+            while pos < rest.len() {
+                let ctl = rest[pos];
+                pos += 1;
+                if ctl & 0x80 == 0 {
+                    let n = ctl as usize + 1;
+                    if pos + n > rest.len() {
+                        return Err(DsiError::corrupt("truncated literal run"));
+                    }
+                    out.extend_from_slice(&rest[pos..pos + n]);
+                    pos += n;
+                } else {
+                    let len = (ctl & 0x7f) as usize + MIN_MATCH;
+                    let dist = read_varint(rest, &mut pos)? as usize;
+                    if dist == 0 || dist > out.len() {
+                        return Err(DsiError::corrupt("match distance out of range"));
+                    }
+                    let start = out.len() - dist;
+                    // Overlapping copies are legal (repeat patterns).
+                    for k in 0..len {
+                        let b = out[start + k];
+                        out.push(b);
+                    }
+                }
+            }
+            if out.len() != expect {
+                return Err(DsiError::corrupt(format!(
+                    "decompressed {} bytes, expected {expect}",
+                    out.len()
+                )));
+            }
+            Ok(out)
+        }
+        _ => Err(DsiError::corrupt("unknown compression mode")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_types::rng::SplitMix64;
+
+    fn round_trip(data: &[u8]) {
+        let enc = compress(data);
+        let dec = decompress(&enc).unwrap();
+        assert_eq!(dec, data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_data_compresses() {
+        let data: Vec<u8> = b"featurefeaturefeature".repeat(100);
+        let enc = compress(&data);
+        assert!(enc.len() < data.len() / 3, "len {} vs {}", enc.len(), data.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn random_data_stored_without_blowup() {
+        let mut r = SplitMix64::new(1);
+        let data: Vec<u8> = (0..4096).map(|_| r.next_u64() as u8).collect();
+        let enc = compress(&data);
+        assert!(enc.len() <= data.len() + 1);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn overlapping_match_round_trip() {
+        // "abab" repeated produces distance-2 overlapping matches.
+        let data = b"ab".repeat(500);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn structured_columnar_like_data() {
+        // Simulates varint-heavy columnar content: small ints with runs.
+        let mut data = Vec::new();
+        for i in 0u32..2000 {
+            data.extend_from_slice(&(i % 17).to_le_bytes());
+        }
+        let enc = compress(&data);
+        assert!(enc.len() < data.len());
+        round_trip(&data);
+    }
+
+    #[test]
+    fn corrupt_inputs_error() {
+        assert!(decompress(&[]).is_err());
+        assert!(decompress(&[9, 1, 2]).is_err());
+        // LZ block claiming length but with bad match distance.
+        let mut bad = vec![1u8];
+        write_varint(&mut bad, 8);
+        bad.push(0x80); // match of MIN_MATCH at distance...
+        write_varint(&mut bad, 99); // ...out of range
+        assert!(decompress(&bad).is_err());
+    }
+}

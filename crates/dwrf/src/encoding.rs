@@ -1,0 +1,468 @@
+//! Primitive codecs: LEB128 varints, zigzag, run-length encoding, float
+//! arrays, and a tiny binary metadata writer/reader used for stripe and file
+//! footers.
+
+use dsi_types::{DsiError, Result};
+
+/// Appends a LEB128 varint encoding of `v` to `out`.
+pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from `buf` starting at `*pos`, advancing `*pos`.
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] on truncated or over-long input.
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf
+            .get(*pos)
+            .ok_or_else(|| DsiError::corrupt("truncated varint"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(DsiError::corrupt("varint overflow"));
+        }
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-encodes a signed value so small magnitudes become small varints.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Run-length encodes a u64 slice as `(run_len, value)` varint pairs,
+/// falling back to literal runs for non-repeating data.
+///
+/// Layout per group: a varint header `h`. If `h & 1 == 0`, a repeat run of
+/// `h >> 1` copies of the next varint value; else a literal run of `h >> 1`
+/// varint values.
+pub fn rle_encode(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut i = 0;
+    while i < values.len() {
+        // Count the repeat run at i.
+        let mut run = 1;
+        while i + run < values.len() && values[i + run] == values[i] {
+            run += 1;
+        }
+        if run >= 3 {
+            write_varint(&mut out, (run as u64) << 1);
+            write_varint(&mut out, values[i]);
+            i += run;
+        } else {
+            // Gather a literal run until the next repeat run of >= 3.
+            let start = i;
+            i += run;
+            while i < values.len() {
+                let mut r = 1;
+                while i + r < values.len() && values[i + r] == values[i] {
+                    r += 1;
+                }
+                if r >= 3 {
+                    break;
+                }
+                i += r;
+            }
+            let lit = &values[start..i];
+            write_varint(&mut out, ((lit.len() as u64) << 1) | 1);
+            for &v in lit {
+                write_varint(&mut out, v);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a buffer produced by [`rle_encode`].
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] on malformed input.
+pub fn rle_decode(buf: &[u8]) -> Result<Vec<u64>> {
+    /// Upper bound on decoded values — far above any stripe's row count,
+    /// guards only against corrupt headers requesting absurd expansions.
+    const MAX_VALUES: usize = 1 << 26;
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < buf.len() {
+        let header = read_varint(buf, &mut pos)?;
+        let count = (header >> 1) as usize;
+        if out.len().saturating_add(count) > MAX_VALUES {
+            return Err(DsiError::corrupt("rle output too long"));
+        }
+        if header & 1 == 0 {
+            let value = read_varint(buf, &mut pos)?;
+            out.extend(std::iter::repeat_n(value, count));
+        } else {
+            for _ in 0..count {
+                out.push(read_varint(buf, &mut pos)?);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Appends little-endian `f32`s.
+pub fn write_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Decodes a buffer of little-endian `f32`s.
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] if the buffer length is not a multiple of 4.
+pub fn read_f32s(buf: &[u8]) -> Result<Vec<f32>> {
+    if buf.len() % 4 != 0 {
+        return Err(DsiError::corrupt("f32 stream length not multiple of 4"));
+    }
+    Ok(buf
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+/// Encodes `f32`s as varint XOR deltas: each value's bits are XORed with
+/// the previous value's (first against zero). Repeated values (labels,
+/// constant columns) collapse to one byte; slowly-varying columns keep
+/// their shared sign/exponent bits out of the stream.
+pub fn write_f32s_xor(out: &mut Vec<u8>, values: &[f32]) {
+    write_varint(out, values.len() as u64);
+    let mut prev = 0u32;
+    for v in values {
+        let bits = v.to_bits();
+        write_varint(out, (bits ^ prev) as u64);
+        prev = bits;
+    }
+}
+
+/// Decodes a buffer produced by [`write_f32s_xor`].
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] on truncated or malformed input.
+pub fn read_f32s_xor(buf: &[u8]) -> Result<Vec<f32>> {
+    let mut pos = 0;
+    let n = read_varint(buf, &mut pos)? as usize;
+    if n > (1 << 26) {
+        return Err(DsiError::corrupt("f32 xor stream too long"));
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0u32;
+    for _ in 0..n {
+        let delta = read_varint(buf, &mut pos)?;
+        if delta > u32::MAX as u64 {
+            return Err(DsiError::corrupt("f32 xor delta out of range"));
+        }
+        prev ^= delta as u32;
+        out.push(f32::from_bits(prev));
+    }
+    if pos != buf.len() {
+        return Err(DsiError::corrupt("trailing bytes in f32 xor stream"));
+    }
+    Ok(out)
+}
+
+/// Packs a boolean presence vector into bits (LSB-first within each byte).
+pub fn write_bitmap(out: &mut Vec<u8>, bits: &[bool]) {
+    write_varint(out, bits.len() as u64);
+    let mut byte = 0u8;
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            byte |= 1 << (i % 8);
+        }
+        if i % 8 == 7 {
+            out.push(byte);
+            byte = 0;
+        }
+    }
+    if !bits.is_empty() && bits.len() % 8 != 0 {
+        out.push(byte);
+    }
+}
+
+/// Decodes a bitmap produced by [`write_bitmap`].
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] on truncation.
+pub fn read_bitmap(buf: &[u8], pos: &mut usize) -> Result<Vec<bool>> {
+    let n = read_varint(buf, pos)? as usize;
+    let nbytes = n.div_ceil(8);
+    if *pos + nbytes > buf.len() {
+        return Err(DsiError::corrupt("truncated bitmap"));
+    }
+    let mut bits = Vec::with_capacity(n);
+    for i in 0..n {
+        let byte = buf[*pos + i / 8];
+        bits.push(byte & (1 << (i % 8)) != 0);
+    }
+    *pos += nbytes;
+    Ok(bits)
+}
+
+/// A growable little-endian binary writer for footers and metadata.
+#[derive(Debug, Default, Clone)]
+pub struct MetaWriter {
+    buf: Vec<u8>,
+}
+
+impl MetaWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a varint.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        write_varint(&mut self.buf, v);
+        self
+    }
+
+    /// Appends a length-prefixed byte slice.
+    pub fn bytes(&mut self, b: &[u8]) -> &mut Self {
+        write_varint(&mut self.buf, b.len() as u64);
+        self.buf.extend_from_slice(b);
+        self
+    }
+
+    /// Appends a little-endian `f64`.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Cursor-style reader matching [`MetaWriter`].
+#[derive(Debug)]
+pub struct MetaReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> MetaReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Reads a varint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::Corrupt`] on truncation.
+    pub fn u64(&mut self) -> Result<u64> {
+        read_varint(self.buf, &mut self.pos)
+    }
+
+    /// Reads a length-prefixed byte slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::Corrupt`] on truncation.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.u64()? as usize;
+        if self.pos + n > self.buf.len() {
+            return Err(DsiError::corrupt("truncated bytes field"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::Corrupt`] on truncation.
+    pub fn f64(&mut self) -> Result<f64> {
+        if self.pos + 8 > self.buf.len() {
+            return Err(DsiError::corrupt("truncated f64 field"));
+        }
+        let mut a = [0u8; 8];
+        a.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(f64::from_le_bytes(a))
+    }
+
+    /// Whether the cursor has consumed the whole buffer.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&buf, &mut pos).unwrap(), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_truncation_errors() {
+        let buf = [0x80u8, 0x80]; // never-terminated varint
+        let mut pos = 0;
+        assert!(read_varint(&buf, &mut pos).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [-5i64, -1, 0, 1, 5, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn rle_round_trip_mixed() {
+        let values = vec![7, 7, 7, 7, 1, 2, 3, 9, 9, 9, 4];
+        let enc = rle_encode(&values);
+        assert_eq!(rle_decode(&enc).unwrap(), values);
+        // The run of 7s compresses well versus literals.
+        let runs = rle_encode(&vec![5u64; 1000]);
+        assert!(runs.len() < 10);
+    }
+
+    #[test]
+    fn rle_long_repeat_runs_decode() {
+        // A constant column over a large stripe is one tiny repeat run —
+        // regression test for a guard that rejected it as corrupt.
+        for n in [1024usize, 100_000] {
+            let values = vec![7u64; n];
+            let enc = rle_encode(&values);
+            assert!(enc.len() < 8);
+            assert_eq!(rle_decode(&enc).unwrap(), values);
+        }
+    }
+
+    #[test]
+    fn rle_rejects_absurd_runs() {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, (1u64 << 60) << 1); // repeat run of 2^60
+        write_varint(&mut buf, 1);
+        assert!(rle_decode(&buf).is_err());
+    }
+
+    #[test]
+    fn rle_empty_and_singleton() {
+        assert!(rle_decode(&rle_encode(&[])).unwrap().is_empty());
+        assert_eq!(rle_decode(&rle_encode(&[42])).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn f32_round_trip() {
+        let vals = vec![0.0f32, -1.5, 3.25, f32::MAX];
+        let mut buf = Vec::new();
+        write_f32s(&mut buf, &vals);
+        assert_eq!(read_f32s(&buf).unwrap(), vals);
+        assert!(read_f32s(&buf[..3]).is_err());
+    }
+
+    #[test]
+    fn f32_xor_round_trip_and_compactness() {
+        let cases: Vec<Vec<f32>> = vec![
+            vec![],
+            vec![0.0],
+            vec![1.0; 500], // constant labels
+            (0..100).map(|i| i as f32 * 0.01).collect(),
+            vec![f32::MAX, f32::MIN, 0.0, -0.0, 1e-38],
+        ];
+        for vals in cases {
+            let mut buf = Vec::new();
+            write_f32s_xor(&mut buf, &vals);
+            let got = read_f32s_xor(&buf).unwrap();
+            assert_eq!(got.len(), vals.len());
+            for (a, b) in got.iter().zip(&vals) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Constant streams collapse: 500 repeats ≈ 2 + 5 + 499 bytes vs 2000 raw.
+        let mut buf = Vec::new();
+        write_f32s_xor(&mut buf, &vec![1.0f32; 500]);
+        assert!(buf.len() < 520, "xor labels stream {} bytes", buf.len());
+    }
+
+    #[test]
+    fn f32_xor_rejects_corruption() {
+        assert!(read_f32s_xor(&[0x80]).is_err()); // truncated varint
+        let mut buf = Vec::new();
+        write_f32s_xor(&mut buf, &[1.0]);
+        buf.push(0); // trailing byte
+        assert!(read_f32s_xor(&buf).is_err());
+    }
+
+    #[test]
+    fn bitmap_round_trip() {
+        for n in [0usize, 1, 7, 8, 9, 64, 100] {
+            let bits: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let mut buf = Vec::new();
+            write_bitmap(&mut buf, &bits);
+            let mut pos = 0;
+            assert_eq!(read_bitmap(&buf, &mut pos).unwrap(), bits);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn meta_round_trip() {
+        let mut w = MetaWriter::new();
+        w.u64(7).bytes(b"hello").f64(2.5).u64(u64::MAX);
+        let buf = w.into_bytes();
+        let mut r = MetaReader::new(&buf);
+        assert_eq!(r.u64().unwrap(), 7);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.f64().unwrap(), 2.5);
+        assert_eq!(r.u64().unwrap(), u64::MAX);
+        assert!(r.is_exhausted());
+    }
+}

@@ -1,0 +1,566 @@
+//! DWRF file reader: footer parsing, projection-driven IO planning, and
+//! stripe decoding.
+//!
+//! The reader separates *planning* (which byte ranges a projection needs,
+//! [`FileReader::plan_stripe`]) from *fetching* (any [`ChunkSource`] — an
+//! in-memory slice here, a Tectonic client in the `tectonic` crate) from
+//! *decoding* (decrypt → decompress → column decode). This mirrors the DPP
+//! Worker extract path and lets storage simulations charge real IO.
+
+use crate::cipher::StreamCipher;
+use crate::compress;
+use crate::plan::{CoalescePolicy, IoPlan};
+use crate::stream::{
+    decode_dense_column, decode_dense_map, decode_labels, decode_sparse_column,
+    decode_sparse_map, StreamInfo, StreamKind, FILE_LEVEL,
+};
+use crate::writer::{decode_footer, FileFooter, MAGIC};
+use bytes::Bytes;
+use dsi_types::{DsiError, FeatureId, Projection, Result, Sample};
+use std::collections::HashMap;
+
+/// A source of raw file bytes addressed by `(offset, len)`.
+///
+/// Implementations may charge simulated IO (see the `tectonic` crate).
+pub trait ChunkSource {
+    /// Reads `len` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`DsiError`] on out-of-range or failed reads.
+    fn read(&mut self, offset: u64, len: u64) -> Result<Vec<u8>>;
+}
+
+/// A [`ChunkSource`] over an in-memory buffer.
+#[derive(Debug, Clone)]
+pub struct SliceSource {
+    bytes: Bytes,
+}
+
+impl SliceSource {
+    /// Creates a source over `bytes`.
+    pub fn new(bytes: Bytes) -> Self {
+        Self { bytes }
+    }
+}
+
+impl ChunkSource for SliceSource {
+    fn read(&mut self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let start = offset as usize;
+        let end = start
+            .checked_add(len as usize)
+            .ok_or_else(|| DsiError::corrupt("read range overflow"))?;
+        if end > self.bytes.len() {
+            return Err(DsiError::corrupt(format!(
+                "read [{start}, {end}) beyond file of {} bytes",
+                self.bytes.len()
+            )));
+        }
+        Ok(self.bytes[start..end].to_vec())
+    }
+}
+
+/// Reads DWRF files.
+#[derive(Debug, Clone)]
+pub struct FileReader {
+    bytes: Option<Bytes>,
+    footer: FileFooter,
+}
+
+impl FileReader {
+    /// Opens a complete in-memory file: verifies the magic and parses the
+    /// footer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::Corrupt`] if the magic or footer is malformed.
+    pub fn open(bytes: Bytes) -> Result<Self> {
+        let footer = parse_footer(&bytes)?;
+        Ok(Self {
+            bytes: Some(bytes),
+            footer,
+        })
+    }
+
+    /// Creates a reader from a previously-parsed footer; all data must then
+    /// be fetched through an external [`ChunkSource`].
+    pub fn from_footer(footer: FileFooter) -> Self {
+        Self {
+            bytes: None,
+            footer,
+        }
+    }
+
+    /// The parsed footer.
+    pub fn footer(&self) -> &FileFooter {
+        &self.footer
+    }
+
+    /// Number of stripes.
+    pub fn num_stripes(&self) -> usize {
+        self.footer.stripes.len()
+    }
+
+    /// Total rows across stripes.
+    pub fn total_rows(&self) -> u64 {
+        self.footer.total_rows()
+    }
+
+    /// The streams a selection needs from stripe `idx`.
+    ///
+    /// `selection = None` selects every feature. Flattened files narrow to
+    /// the selected features' streams (plus labels); unflattened files must
+    /// always fetch the whole row maps.
+    fn wanted_streams(&self, idx: usize, selection: Option<&Projection>) -> Vec<StreamInfo> {
+        let stripe = &self.footer.stripes[idx];
+        stripe
+            .streams
+            .iter()
+            .filter(|s| {
+                if s.feature == FILE_LEVEL {
+                    return true; // labels / row maps
+                }
+                match selection {
+                    Some(p) if self.footer.flattened => p.contains(FeatureId(s.feature)),
+                    _ => true,
+                }
+            })
+            .copied()
+            .collect()
+    }
+
+    /// Plans the IO for reading stripe `idx` under a selection and policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::NotFound`] if the stripe index is out of range.
+    pub fn plan_stripe(
+        &self,
+        idx: usize,
+        selection: Option<&Projection>,
+        policy: CoalescePolicy,
+    ) -> Result<IoPlan> {
+        if idx >= self.footer.stripes.len() {
+            return Err(DsiError::not_found(format!("stripe {idx}")));
+        }
+        let ranges = self
+            .wanted_streams(idx, selection)
+            .iter()
+            .map(|s| (s.offset, s.len))
+            .collect();
+        Ok(IoPlan::build(ranges, policy))
+    }
+
+    /// Reads and decodes stripe `idx` through `source`, returning the rows
+    /// and the executed IO plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the stripe index is out of range, the source
+    /// fails, or the data is corrupt.
+    pub fn read_stripe_from(
+        &self,
+        idx: usize,
+        selection: Option<&Projection>,
+        policy: CoalescePolicy,
+        source: &mut dyn ChunkSource,
+    ) -> Result<(Vec<Sample>, IoPlan)> {
+        let mut plan = self.plan_stripe(idx, selection, policy)?;
+        // Fetch each planned read once.
+        let mut buffers: Vec<(u64, Vec<u8>)> = Vec::with_capacity(plan.reads.len());
+        for r in &plan.reads {
+            buffers.push((r.offset, source.read(r.offset, r.len)?));
+        }
+        let fetch = |info: &StreamInfo| -> Result<Vec<u8>> {
+            for (off, buf) in &buffers {
+                if info.offset >= *off && info.offset + info.len <= off + buf.len() as u64 {
+                    let start = (info.offset - off) as usize;
+                    return Ok(buf[start..start + info.len as usize].to_vec());
+                }
+            }
+            Err(DsiError::corrupt("stream not covered by IO plan"))
+        };
+        let uncompressed = std::cell::Cell::new(0u64);
+        let rows = self.decode_stripe(idx, selection, fetch, &uncompressed)?;
+        plan.uncompressed_bytes = uncompressed.get();
+        Ok((rows, plan))
+    }
+
+    /// Decodes stripe `idx` given a function that produces each wanted
+    /// stream's encoded bytes.
+    fn decode_stripe(
+        &self,
+        idx: usize,
+        selection: Option<&Projection>,
+        mut fetch: impl FnMut(&StreamInfo) -> Result<Vec<u8>>,
+        uncompressed: &std::cell::Cell<u64>,
+    ) -> Result<Vec<Sample>> {
+        let stripe = &self.footer.stripes[idx];
+        let row_count = stripe.row_count as usize;
+        let cipher = StreamCipher::new(self.footer.file_key);
+        let mut decode_payload = |info: &StreamInfo| -> Result<Vec<u8>> {
+            let mut payload = fetch(info)?;
+            if self.footer.encrypted {
+                cipher.apply_in_place(info.nonce, &mut payload);
+            }
+            if self.footer.compressed {
+                payload = compress::decompress(&payload)?;
+            }
+            uncompressed.set(uncompressed.get() + payload.len() as u64);
+            Ok(payload)
+        };
+
+        let wanted = self.wanted_streams(idx, selection);
+        let mut labels: Option<Vec<f32>> = None;
+        let mut samples: Vec<Sample> = vec![Sample::new(0.0); row_count];
+
+        if self.footer.flattened {
+            // Walk feature streams in directory order; each Present stream
+            // begins a new column group for its feature.
+            let mut group: Vec<(StreamInfo, Vec<u8>)> = Vec::new();
+            let flush_group =
+                |group: &mut Vec<(StreamInfo, Vec<u8>)>, samples: &mut [Sample]| -> Result<()> {
+                    if group.is_empty() {
+                        return Ok(());
+                    }
+                    let fid = FeatureId(group[0].0.feature);
+                    let by_kind: HashMap<StreamKind, &[u8]> = group
+                        .iter()
+                        .map(|(info, raw)| (info.kind, raw.as_slice()))
+                        .collect();
+                    let present = by_kind
+                        .get(&StreamKind::Present)
+                        .ok_or_else(|| DsiError::corrupt("column group missing present"))?;
+                    if let Some(data) = by_kind.get(&StreamKind::DenseData) {
+                        for (row, v) in decode_dense_column(present, data)?.into_iter().enumerate()
+                        {
+                            if let Some(v) = v {
+                                samples[row].set_dense(fid, v);
+                            }
+                        }
+                    } else {
+                        let lengths = by_kind
+                            .get(&StreamKind::Length)
+                            .ok_or_else(|| DsiError::corrupt("sparse column missing lengths"))?;
+                        let data = by_kind
+                            .get(&StreamKind::Data)
+                            .ok_or_else(|| DsiError::corrupt("sparse column missing data"))?;
+                        let dict = by_kind.get(&StreamKind::Dict).copied();
+                        let scores = by_kind.get(&StreamKind::Score).copied();
+                        for (row, l) in decode_sparse_column(present, lengths, data, dict, scores)?
+                            .into_iter()
+                            .enumerate()
+                        {
+                            if let Some(l) = l {
+                                samples[row].set_sparse(fid, l);
+                            }
+                        }
+                    }
+                    group.clear();
+                    Ok(())
+                };
+            for info in &wanted {
+                if info.feature == FILE_LEVEL {
+                    if info.kind == StreamKind::Label {
+                        labels = Some(decode_labels(&decode_payload(info)?)?);
+                    }
+                    continue;
+                }
+                if info.kind == StreamKind::Present {
+                    flush_group(&mut group, &mut samples)?;
+                }
+                let raw = decode_payload(info)?;
+                group.push((*info, raw));
+            }
+            flush_group(&mut group, &mut samples)?;
+        } else {
+            for info in &wanted {
+                let raw = decode_payload(info)?;
+                match info.kind {
+                    StreamKind::DenseMap => {
+                        for (row, pairs) in decode_dense_map(&raw, row_count)?.into_iter().enumerate()
+                        {
+                            for (fid, v) in pairs {
+                                if selection.is_none_or(|p| p.contains(fid)) {
+                                    samples[row].set_dense(fid, v);
+                                }
+                            }
+                        }
+                    }
+                    StreamKind::SparseMap => {
+                        for (row, pairs) in
+                            decode_sparse_map(&raw, row_count)?.into_iter().enumerate()
+                        {
+                            for (fid, l) in pairs {
+                                if selection.is_none_or(|p| p.contains(fid)) {
+                                    samples[row].set_sparse(fid, l);
+                                }
+                            }
+                        }
+                    }
+                    StreamKind::Label => labels = Some(decode_labels(&raw)?),
+                    other => {
+                        return Err(DsiError::corrupt(format!(
+                            "unexpected stream {other:?} in unflattened file"
+                        )))
+                    }
+                }
+            }
+        }
+
+        let labels = labels.ok_or_else(|| DsiError::corrupt("stripe missing label stream"))?;
+        if labels.len() != row_count {
+            return Err(DsiError::corrupt("label stream row count mismatch"));
+        }
+        for (s, l) in samples.iter_mut().zip(labels) {
+            s.set_label(l);
+        }
+        Ok(samples)
+    }
+
+    fn own_source(&self) -> Result<SliceSource> {
+        self.bytes
+            .clone()
+            .map(SliceSource::new)
+            .ok_or_else(|| DsiError::InvalidState("reader has no in-memory bytes".into()))
+    }
+
+    /// Reads one stripe from the in-memory file with the given projection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the reader was created via
+    /// [`FileReader::from_footer`], the index is out of range, or the data
+    /// is corrupt.
+    pub fn read_stripe(&self, idx: usize, projection: &Projection) -> Result<Vec<Sample>> {
+        let mut src = self.own_source()?;
+        let (rows, _) =
+            self.read_stripe_from(idx, Some(projection), CoalescePolicy::None, &mut src)?;
+        Ok(rows)
+    }
+
+    /// Reads every stripe with the given projection.
+    ///
+    /// # Errors
+    ///
+    /// See [`FileReader::read_stripe`].
+    pub fn read_all(&self, projection: &Projection) -> Result<Vec<Sample>> {
+        let mut out = Vec::with_capacity(self.total_rows() as usize);
+        for i in 0..self.num_stripes() {
+            out.extend(self.read_stripe(i, projection)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads every stripe with every feature (no projection).
+    ///
+    /// # Errors
+    ///
+    /// See [`FileReader::read_stripe`].
+    pub fn read_all_unprojected(&self) -> Result<Vec<Sample>> {
+        let mut src = self.own_source()?;
+        let mut out = Vec::with_capacity(self.total_rows() as usize);
+        for i in 0..self.num_stripes() {
+            let (rows, _) = self.read_stripe_from(i, None, CoalescePolicy::None, &mut src)?;
+            out.extend(rows);
+        }
+        Ok(out)
+    }
+}
+
+/// Parses the footer from a complete file buffer.
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] if the magic or structure is invalid.
+pub fn parse_footer(bytes: &Bytes) -> Result<FileFooter> {
+    if bytes.len() < 16 {
+        return Err(DsiError::corrupt("file too short for footer"));
+    }
+    let magic_at = bytes.len() - 8;
+    if &bytes[magic_at..] != MAGIC {
+        return Err(DsiError::corrupt("bad DWRF magic"));
+    }
+    let len_at = magic_at - 8;
+    let mut len_buf = [0u8; 8];
+    len_buf.copy_from_slice(&bytes[len_at..magic_at]);
+    let footer_len = u64::from_le_bytes(len_buf) as usize;
+    if footer_len > len_at {
+        return Err(DsiError::corrupt("footer length out of range"));
+    }
+    decode_footer(&bytes[len_at - footer_len..len_at])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{FileWriter, WriterOptions};
+    use dsi_types::SparseList;
+
+    fn build_file(opts: WriterOptions, rows: u64) -> crate::writer::DwrfFile {
+        let mut w = FileWriter::new(opts);
+        for i in 0..rows {
+            let mut s = Sample::new(i as f32);
+            s.set_dense(FeatureId(1), i as f32 * 0.5);
+            s.set_dense(FeatureId(3), -(i as f32));
+            s.set_sparse(FeatureId(2), SparseList::from_ids(vec![i, i + 1]));
+            if i % 2 == 0 {
+                s.set_sparse(
+                    FeatureId(4),
+                    SparseList::from_scored(vec![i * 7], vec![i as f32]),
+                );
+            }
+            w.push(s);
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn full_round_trip_flattened() {
+        let file = build_file(WriterOptions::default(), 20);
+        let reader = FileReader::open(file.bytes().clone()).unwrap();
+        let rows = reader.read_all_unprojected().unwrap();
+        assert_eq!(rows.len(), 20);
+        assert_eq!(rows[4].label(), 4.0);
+        assert_eq!(rows[4].dense(FeatureId(1)), Some(2.0));
+        assert_eq!(rows[4].sparse(FeatureId(2)).unwrap().ids(), &[4, 5]);
+        assert_eq!(rows[4].sparse(FeatureId(4)).unwrap().scores().unwrap(), &[4.0]);
+        assert!(rows[5].sparse(FeatureId(4)).is_none());
+    }
+
+    #[test]
+    fn full_round_trip_unflattened() {
+        let file = build_file(WriterOptions::unflattened_baseline(), 12);
+        let reader = FileReader::open(file.bytes().clone()).unwrap();
+        let rows = reader.read_all_unprojected().unwrap();
+        assert_eq!(rows.len(), 12);
+        assert_eq!(rows[3].dense(FeatureId(3)), Some(-3.0));
+        assert_eq!(rows[3].sparse(FeatureId(2)).unwrap().ids(), &[3, 4]);
+    }
+
+    #[test]
+    fn projection_reads_fewer_bytes_when_flattened() {
+        let file = build_file(WriterOptions::default(), 200);
+        let reader = FileReader::open(file.bytes().clone()).unwrap();
+        let proj = Projection::new(vec![FeatureId(1)]);
+        let full = reader.plan_stripe(0, None, CoalescePolicy::None).unwrap();
+        let narrow = reader
+            .plan_stripe(0, Some(&proj), CoalescePolicy::None)
+            .unwrap();
+        assert!(narrow.wanted_bytes < full.wanted_bytes);
+        let rows = reader.read_all(&proj).unwrap();
+        assert!(rows[0].dense(FeatureId(1)).is_some());
+        assert!(rows[0].sparse(FeatureId(2)).is_none());
+        assert_eq!(rows[1].label(), 1.0); // labels always delivered
+    }
+
+    #[test]
+    fn projection_cannot_reduce_io_when_unflattened() {
+        let file = build_file(WriterOptions::unflattened_baseline(), 200);
+        let reader = FileReader::open(file.bytes().clone()).unwrap();
+        let proj = Projection::new(vec![FeatureId(1)]);
+        let full = reader.plan_stripe(0, None, CoalescePolicy::None).unwrap();
+        let narrow = reader
+            .plan_stripe(0, Some(&proj), CoalescePolicy::None)
+            .unwrap();
+        // Map layout forces whole-row reads regardless of projection.
+        assert_eq!(narrow.wanted_bytes, full.wanted_bytes);
+        // But decoded rows are still filtered.
+        let rows = reader.read_all(&proj).unwrap();
+        assert!(rows[0].sparse(FeatureId(2)).is_none());
+    }
+
+    #[test]
+    fn coalescing_reduces_io_count() {
+        let file = build_file(WriterOptions::default(), 500);
+        let reader = FileReader::open(file.bytes().clone()).unwrap();
+        let proj = Projection::new(vec![FeatureId(1), FeatureId(4)]);
+        let scattered = reader
+            .plan_stripe(0, Some(&proj), CoalescePolicy::None)
+            .unwrap();
+        let merged = reader
+            .plan_stripe(0, Some(&proj), CoalescePolicy::default_window())
+            .unwrap();
+        assert!(merged.io_count() <= scattered.io_count());
+        assert!(merged.read_bytes >= merged.wanted_bytes);
+        // Coalesced reads still decode correctly.
+        let mut src = SliceSource::new(file.bytes().clone());
+        let (rows, _) = reader
+            .read_stripe_from(0, Some(&proj), CoalescePolicy::default_window(), &mut src)
+            .unwrap();
+        assert_eq!(rows.len(), 500);
+    }
+
+    #[test]
+    fn plaintext_uncompressed_round_trip() {
+        let opts = WriterOptions {
+            compressed: false,
+            encrypted: false,
+            ..Default::default()
+        };
+        let file = build_file(opts, 8);
+        let reader = FileReader::open(file.bytes().clone()).unwrap();
+        let rows = reader.read_all_unprojected().unwrap();
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[7].dense(FeatureId(1)), Some(3.5));
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let file = build_file(WriterOptions::default(), 4);
+        let mut bytes = file.bytes().to_vec();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        assert!(FileReader::open(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn corrupt_stream_detected() {
+        let file = build_file(WriterOptions::default(), 50);
+        let mut bytes = file.bytes().to_vec();
+        // Flip bytes early in the stream area.
+        for b in bytes.iter_mut().take(64) {
+            *b ^= 0xa5;
+        }
+        let reader = FileReader::open(Bytes::from(bytes)).unwrap();
+        assert!(reader.read_all_unprojected().is_err());
+    }
+
+    #[test]
+    fn out_of_range_stripe_errors() {
+        let file = build_file(WriterOptions::default(), 4);
+        let reader = FileReader::open(file.bytes().clone()).unwrap();
+        assert!(reader
+            .plan_stripe(9, None, CoalescePolicy::None)
+            .is_err());
+    }
+
+    #[test]
+    fn from_footer_requires_external_source() {
+        let file = build_file(WriterOptions::default(), 4);
+        let reader = FileReader::from_footer(file.footer().clone());
+        assert!(reader.read_all_unprojected().is_err());
+        let mut src = SliceSource::new(file.bytes().clone());
+        let (rows, _) = reader
+            .read_stripe_from(0, None, CoalescePolicy::None, &mut src)
+            .unwrap();
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn multi_stripe_read_preserves_order() {
+        let file = build_file(
+            WriterOptions {
+                rows_per_stripe: 7,
+                ..Default::default()
+            },
+            23,
+        );
+        let reader = FileReader::open(file.bytes().clone()).unwrap();
+        let rows = reader.read_all_unprojected().unwrap();
+        assert_eq!(rows.len(), 23);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.label(), i as f32);
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! Logical column streams: how feature columns become byte streams.
+//!
+//! With **feature flattening** each feature is encoded as its own set of
+//! streams (present bitmap, lengths, data, scores), so selective readers can
+//! fetch only the features a job needs. The unflattened baseline encodes the
+//! whole dense/sparse maps row-by-row into two monolithic streams, forcing
+//! whole-row reads — the pre-optimization layout §VII's co-design work
+//! replaced.
+
+use crate::encoding::{
+    read_bitmap, read_f32s, read_f32s_xor, read_varint, rle_decode, rle_encode, write_bitmap,
+    write_f32s, write_f32s_xor, write_varint,
+};
+use dsi_types::{DsiError, FeatureId, Result, Sample, SparseList};
+use serde::{Deserialize, Serialize};
+
+/// Sentinel feature id for file-level (non-feature) streams.
+pub const FILE_LEVEL: u64 = u64::MAX;
+
+/// The role of a stream within a stripe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StreamKind {
+    /// Presence bitmap: one bit per row.
+    Present,
+    /// RLE varint list lengths, one per present row (sparse features).
+    Length,
+    /// Varint categorical ids, concatenated across present rows.
+    Data,
+    /// `f32` scores aligned with [`StreamKind::Data`].
+    Score,
+    /// `f32` dense values, one per present row.
+    DenseData,
+    /// `f32` labels, one per row (file-level).
+    Label,
+    /// Unflattened row-wise dense map (file-level baseline).
+    DenseMap,
+    /// Unflattened row-wise sparse map (file-level baseline).
+    SparseMap,
+    /// Dictionary of distinct categorical ids; when present, the feature's
+    /// `Data` stream holds varint indexes into this dictionary.
+    Dict,
+}
+
+impl StreamKind {
+    /// Stable numeric tag for footers.
+    pub fn tag(self) -> u64 {
+        match self {
+            StreamKind::Present => 0,
+            StreamKind::Length => 1,
+            StreamKind::Data => 2,
+            StreamKind::Score => 3,
+            StreamKind::DenseData => 4,
+            StreamKind::Label => 5,
+            StreamKind::DenseMap => 6,
+            StreamKind::SparseMap => 7,
+            StreamKind::Dict => 8,
+        }
+    }
+
+    /// Inverse of [`StreamKind::tag`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::Corrupt`] for unknown tags.
+    pub fn from_tag(tag: u64) -> Result<Self> {
+        Ok(match tag {
+            0 => StreamKind::Present,
+            1 => StreamKind::Length,
+            2 => StreamKind::Data,
+            3 => StreamKind::Score,
+            4 => StreamKind::DenseData,
+            5 => StreamKind::Label,
+            6 => StreamKind::DenseMap,
+            7 => StreamKind::SparseMap,
+            8 => StreamKind::Dict,
+            _ => return Err(DsiError::corrupt(format!("unknown stream kind {tag}"))),
+        })
+    }
+}
+
+/// Directory entry for one physical stream in the file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamInfo {
+    /// Owning feature id, or [`FILE_LEVEL`].
+    pub feature: u64,
+    /// Stream role.
+    pub kind: StreamKind,
+    /// Byte offset within the file.
+    pub offset: u64,
+    /// Encoded (compressed + encrypted) length in bytes.
+    pub len: u64,
+    /// Cipher nonce.
+    pub nonce: u64,
+}
+
+/// The raw (unencoded) streams produced for one column of one stripe.
+pub type RawStreams = Vec<(StreamKind, Vec<u8>)>;
+
+/// Encodes a dense feature column over `rows`.
+///
+/// Produces a `Present` bitmap and a `DenseData` stream of present values.
+pub fn encode_dense_column(rows: &[Sample], fid: FeatureId) -> RawStreams {
+    let mut present = Vec::with_capacity(rows.len());
+    let mut values = Vec::new();
+    for row in rows {
+        match row.dense(fid) {
+            Some(v) => {
+                present.push(true);
+                values.push(v);
+            }
+            None => present.push(false),
+        }
+    }
+    let mut pbuf = Vec::new();
+    write_bitmap(&mut pbuf, &present);
+    let mut dbuf = Vec::new();
+    write_f32s_xor(&mut dbuf, &values);
+    vec![(StreamKind::Present, pbuf), (StreamKind::DenseData, dbuf)]
+}
+
+/// Decodes a dense feature column into per-row optional values.
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] if the streams disagree or are malformed.
+pub fn decode_dense_column(present: &[u8], data: &[u8]) -> Result<Vec<Option<f32>>> {
+    let mut pos = 0;
+    let bits = read_bitmap(present, &mut pos)?;
+    let values = read_f32s_xor(data)?;
+    let expected = bits.iter().filter(|&&b| b).count();
+    if values.len() != expected {
+        return Err(DsiError::corrupt(format!(
+            "dense column has {} values for {expected} present rows",
+            values.len()
+        )));
+    }
+    let mut it = values.into_iter();
+    Ok(bits
+        .into_iter()
+        .map(|b| if b { it.next() } else { None })
+        .collect())
+}
+
+/// Encodes a sparse feature column over `rows`.
+///
+/// Produces `Present`, `Length` (RLE), `Data` (varint ids), and — when any
+/// row is scored — a `Score` stream.
+///
+/// Scored-ness is a column-level property (as in the production schema):
+/// if any row of the stripe carries scores, the whole column round-trips
+/// as scored, with unscored rows canonicalized to unit scores.
+pub fn encode_sparse_column(rows: &[Sample], fid: FeatureId) -> RawStreams {
+    let mut present = Vec::with_capacity(rows.len());
+    let mut lengths = Vec::new();
+    let mut all_ids: Vec<u64> = Vec::new();
+    let mut scores = Vec::new();
+    let mut any_scored = false;
+    for row in rows {
+        match row.sparse(fid) {
+            Some(list) => {
+                present.push(true);
+                lengths.push(list.len() as u64);
+                all_ids.extend_from_slice(list.ids());
+                if list.is_scored() {
+                    any_scored = true;
+                }
+            }
+            None => present.push(false),
+        }
+    }
+    // Dictionary-encode when ids repeat enough to pay for the dictionary:
+    // hot categorical ids (page ids, topic ids) recur across samples.
+    let mut distinct: Vec<u64> = all_ids.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let use_dict = !all_ids.is_empty()
+        && distinct.len() * 2 <= all_ids.len()
+        && distinct.len() <= 4096;
+    let mut ids_buf = Vec::new();
+    let mut dict_buf = Vec::new();
+    if use_dict {
+        write_varint(&mut dict_buf, distinct.len() as u64);
+        for &v in &distinct {
+            write_varint(&mut dict_buf, v);
+        }
+        for &id in &all_ids {
+            let idx = distinct.binary_search(&id).expect("id is in its own dictionary");
+            write_varint(&mut ids_buf, idx as u64);
+        }
+    } else {
+        for &id in &all_ids {
+            write_varint(&mut ids_buf, id);
+        }
+    }
+    if any_scored {
+        // Second pass: align scores with every present id (unscored rows
+        // contribute unit scores).
+        for row in rows {
+            if let Some(list) = row.sparse(fid) {
+                for (_, s) in list.iter_scored() {
+                    scores.push(s);
+                }
+            }
+        }
+    }
+    let mut pbuf = Vec::new();
+    write_bitmap(&mut pbuf, &present);
+    let lbuf = rle_encode(&lengths);
+    let mut out = vec![
+        (StreamKind::Present, pbuf),
+        (StreamKind::Length, lbuf),
+        (StreamKind::Data, ids_buf),
+    ];
+    if use_dict {
+        out.push((StreamKind::Dict, dict_buf));
+    }
+    if any_scored {
+        let mut sbuf = Vec::new();
+        write_f32s(&mut sbuf, &scores);
+        out.push((StreamKind::Score, sbuf));
+    }
+    out
+}
+
+/// Decodes a sparse feature column into per-row optional lists.
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] if stream lengths disagree.
+pub fn decode_sparse_column(
+    present: &[u8],
+    lengths: &[u8],
+    data: &[u8],
+    dict: Option<&[u8]>,
+    scores: Option<&[u8]>,
+) -> Result<Vec<Option<SparseList>>> {
+    let mut pos = 0;
+    let bits = read_bitmap(present, &mut pos)?;
+    let lens = rle_decode(lengths)?;
+    let present_count = bits.iter().filter(|&&b| b).count();
+    if lens.len() != present_count {
+        return Err(DsiError::corrupt(format!(
+            "sparse column has {} lengths for {present_count} present rows",
+            lens.len()
+        )));
+    }
+    // Materialize the dictionary, if this column is dictionary-encoded.
+    let dictionary: Option<Vec<u64>> = match dict {
+        Some(buf) => {
+            let mut dp = 0;
+            let n = read_varint(buf, &mut dp)? as usize;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(read_varint(buf, &mut dp)?);
+            }
+            if dp != buf.len() {
+                return Err(DsiError::corrupt("trailing bytes in dictionary stream"));
+            }
+            Some(values)
+        }
+        None => None,
+    };
+    let total: u64 = lens.iter().sum();
+    let mut ids = Vec::with_capacity(total as usize);
+    let mut dpos = 0;
+    for _ in 0..total {
+        let raw = read_varint(data, &mut dpos)?;
+        let id = match &dictionary {
+            Some(d) => *d
+                .get(raw as usize)
+                .ok_or_else(|| DsiError::corrupt("dictionary index out of range"))?,
+            None => raw,
+        };
+        ids.push(id);
+    }
+    if dpos != data.len() {
+        return Err(DsiError::corrupt("trailing bytes in sparse data stream"));
+    }
+    let score_vals = match scores {
+        Some(s) => {
+            let vals = read_f32s(s)?;
+            if vals.len() != ids.len() {
+                return Err(DsiError::corrupt("score stream misaligned with ids"));
+            }
+            Some(vals)
+        }
+        None => None,
+    };
+    let mut out = Vec::with_capacity(bits.len());
+    let mut cursor = 0usize;
+    let mut len_it = lens.into_iter();
+    for b in bits {
+        if b {
+            let n = len_it.next().expect("length count checked") as usize;
+            let row_ids = ids[cursor..cursor + n].to_vec();
+            let list = match &score_vals {
+                Some(sv) => SparseList::from_scored(row_ids, sv[cursor..cursor + n].to_vec()),
+                None => SparseList::from_ids(row_ids),
+            };
+            cursor += n;
+            out.push(Some(list));
+        } else {
+            out.push(None);
+        }
+    }
+    Ok(out)
+}
+
+/// Encodes labels for a stripe.
+pub fn encode_labels(rows: &[Sample]) -> Vec<u8> {
+    let labels: Vec<f32> = rows.iter().map(Sample::label).collect();
+    let mut buf = Vec::new();
+    write_f32s_xor(&mut buf, &labels);
+    buf
+}
+
+/// Decodes a label stream.
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] on malformed input.
+pub fn decode_labels(buf: &[u8]) -> Result<Vec<f32>> {
+    read_f32s_xor(buf)
+}
+
+/// Encodes the unflattened row-wise dense map for a stripe (baseline).
+pub fn encode_dense_map(rows: &[Sample]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for row in rows {
+        write_varint(&mut buf, row.dense_count() as u64);
+        for (fid, v) in row.dense_iter() {
+            write_varint(&mut buf, fid.0);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    buf
+}
+
+/// Decodes the row-wise dense map into `(feature, value)` pairs per row.
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] on malformed input.
+pub fn decode_dense_map(buf: &[u8], rows: usize) -> Result<Vec<Vec<(FeatureId, f32)>>> {
+    let mut out = Vec::with_capacity(rows);
+    let mut pos = 0;
+    for _ in 0..rows {
+        let n = read_varint(buf, &mut pos)? as usize;
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            let fid = read_varint(buf, &mut pos)?;
+            if pos + 4 > buf.len() {
+                return Err(DsiError::corrupt("truncated dense map value"));
+            }
+            let v = f32::from_le_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]]);
+            pos += 4;
+            row.push((FeatureId(fid), v));
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+/// Encodes the unflattened row-wise sparse map for a stripe (baseline).
+pub fn encode_sparse_map(rows: &[Sample]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for row in rows {
+        write_varint(&mut buf, row.sparse_count() as u64);
+        for (fid, list) in row.sparse_iter() {
+            write_varint(&mut buf, fid.0);
+            write_varint(&mut buf, list.len() as u64);
+            write_varint(&mut buf, u64::from(list.is_scored()));
+            for &id in list.ids() {
+                write_varint(&mut buf, id);
+            }
+            if let Some(scores) = list.scores() {
+                write_f32s(&mut buf, scores);
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes the row-wise sparse map into `(feature, list)` pairs per row.
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] on malformed input.
+pub fn decode_sparse_map(buf: &[u8], rows: usize) -> Result<Vec<Vec<(FeatureId, SparseList)>>> {
+    let mut out = Vec::with_capacity(rows);
+    let mut pos = 0;
+    for _ in 0..rows {
+        let n = read_varint(buf, &mut pos)? as usize;
+        let mut row = Vec::with_capacity(n);
+        for _ in 0..n {
+            let fid = read_varint(buf, &mut pos)?;
+            let len = read_varint(buf, &mut pos)? as usize;
+            let scored = read_varint(buf, &mut pos)? != 0;
+            let mut ids = Vec::with_capacity(len);
+            for _ in 0..len {
+                ids.push(read_varint(buf, &mut pos)?);
+            }
+            let list = if scored {
+                if pos + 4 * len > buf.len() {
+                    return Err(DsiError::corrupt("truncated sparse map scores"));
+                }
+                let scores = read_f32s(&buf[pos..pos + 4 * len])?;
+                pos += 4 * len;
+                SparseList::from_scored(ids, scores)
+            } else {
+                SparseList::from_ids(ids)
+            };
+            row.push((FeatureId(fid), list));
+        }
+        out.push(row);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Sample> {
+        let mut out = Vec::new();
+        for i in 0..5u64 {
+            let mut s = Sample::new(i as f32 / 10.0);
+            if i != 2 {
+                s.set_dense(FeatureId(1), i as f32);
+            }
+            if i % 2 == 0 {
+                s.set_sparse(FeatureId(7), SparseList::from_ids(vec![i, i * 10]));
+            }
+            s.set_sparse(
+                FeatureId(8),
+                SparseList::from_scored(vec![i + 100], vec![i as f32]),
+            );
+            out.push(s);
+        }
+        out
+    }
+
+    #[test]
+    fn dense_column_round_trip() {
+        let rows = rows();
+        let streams = encode_dense_column(&rows, FeatureId(1));
+        let present = &streams[0].1;
+        let data = &streams[1].1;
+        let decoded = decode_dense_column(present, data).unwrap();
+        assert_eq!(decoded.len(), 5);
+        assert_eq!(decoded[0], Some(0.0));
+        assert_eq!(decoded[2], None);
+        assert_eq!(decoded[4], Some(4.0));
+    }
+
+    #[test]
+    fn sparse_column_round_trip() {
+        let rows = rows();
+        let streams = encode_sparse_column(&rows, FeatureId(7));
+        assert_eq!(streams.len(), 3); // no scores
+        let decoded =
+            decode_sparse_column(&streams[0].1, &streams[1].1, &streams[2].1, None, None).unwrap();
+        assert_eq!(decoded[0].as_ref().unwrap().ids(), &[0, 0]);
+        assert!(decoded[1].is_none());
+        assert_eq!(decoded[4].as_ref().unwrap().ids(), &[4, 40]);
+    }
+
+    #[test]
+    fn scored_sparse_column_round_trip() {
+        let rows = rows();
+        let streams = encode_sparse_column(&rows, FeatureId(8));
+        assert_eq!(streams.len(), 4);
+        let decoded = decode_sparse_column(
+            &streams[0].1,
+            &streams[1].1,
+            &streams[2].1,
+            None,
+            Some(&streams[3].1),
+        )
+        .unwrap();
+        let l = decoded[3].as_ref().unwrap();
+        assert_eq!(l.ids(), &[103]);
+        assert_eq!(l.scores().unwrap(), &[3.0]);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let rows = rows();
+        let buf = encode_labels(&rows);
+        let labels = decode_labels(&buf).unwrap();
+        assert_eq!(labels.len(), 5);
+        assert!((labels[3] - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dense_map_round_trip() {
+        let rows = rows();
+        let buf = encode_dense_map(&rows);
+        let decoded = decode_dense_map(&buf, 5).unwrap();
+        assert_eq!(decoded[0], vec![(FeatureId(1), 0.0)]);
+        assert!(decoded[2].is_empty());
+    }
+
+    #[test]
+    fn sparse_map_round_trip() {
+        let rows = rows();
+        let buf = encode_sparse_map(&rows);
+        let decoded = decode_sparse_map(&buf, 5).unwrap();
+        assert_eq!(decoded[0].len(), 2); // f7 and f8
+        let (fid, list) = &decoded[1][0];
+        assert_eq!(*fid, FeatureId(8));
+        assert_eq!(list.scores().unwrap(), &[1.0]);
+    }
+
+    #[test]
+    fn stream_kind_tags_round_trip() {
+        for kind in [
+            StreamKind::Present,
+            StreamKind::Length,
+            StreamKind::Data,
+            StreamKind::Score,
+            StreamKind::DenseData,
+            StreamKind::Label,
+            StreamKind::DenseMap,
+            StreamKind::SparseMap,
+        ] {
+            assert_eq!(StreamKind::from_tag(kind.tag()).unwrap(), kind);
+        }
+        assert!(StreamKind::from_tag(99).is_err());
+    }
+
+    #[test]
+    fn repetitive_ids_use_a_dictionary() {
+        let mut rows2 = Vec::new();
+        for i in 0..50u64 {
+            let mut s = Sample::new(0.0);
+            s.set_sparse(
+                FeatureId(3),
+                SparseList::from_ids(vec![i % 4, i % 4 + 100, 7]),
+            );
+            rows2.push(s);
+        }
+        let streams = encode_sparse_column(&rows2, FeatureId(3));
+        let kinds: Vec<StreamKind> = streams.iter().map(|(k, _)| *k).collect();
+        assert!(kinds.contains(&StreamKind::Dict), "dictionary expected");
+        let dict = &streams.iter().find(|(k, _)| *k == StreamKind::Dict).expect("dict").1;
+        let data = &streams.iter().find(|(k, _)| *k == StreamKind::Data).expect("data").1;
+        let decoded = decode_sparse_column(
+            &streams[0].1,
+            &streams[1].1,
+            data,
+            Some(dict),
+            None,
+        )
+        .unwrap();
+        assert_eq!(decoded[9].as_ref().unwrap().ids(), &[1, 101, 7]);
+        // Indexes are tiny: the data stream is one byte per value.
+        assert_eq!(data.len(), 150);
+    }
+
+    #[test]
+    fn unique_ids_skip_the_dictionary() {
+        let mut rows2 = Vec::new();
+        for i in 0..20u64 {
+            let mut s = Sample::new(0.0);
+            s.set_sparse(FeatureId(3), SparseList::from_ids(vec![i * 1_000_003]));
+            rows2.push(s);
+        }
+        let streams = encode_sparse_column(&rows2, FeatureId(3));
+        assert!(!streams.iter().any(|(k, _)| *k == StreamKind::Dict));
+    }
+
+    #[test]
+    fn corrupt_dictionary_detected() {
+        let mut bad_dict = Vec::new();
+        write_varint(&mut bad_dict, 1); // one entry
+        write_varint(&mut bad_dict, 42);
+        let mut present = Vec::new();
+        write_bitmap(&mut present, &[true]);
+        let lengths = rle_encode(&[1]);
+        let mut data = Vec::new();
+        write_varint(&mut data, 5); // index 5 out of range
+        assert!(decode_sparse_column(&present, &lengths, &data, Some(&bad_dict), None).is_err());
+    }
+
+    #[test]
+    fn corrupt_dense_column_detected() {
+        let rows = rows();
+        let streams = encode_dense_column(&rows, FeatureId(1));
+        // Chop a value off the data stream.
+        let bad = &streams[1].1[..streams[1].1.len() - 4];
+        assert!(decode_dense_column(&streams[0].1, bad).is_err());
+    }
+}

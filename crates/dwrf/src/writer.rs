@@ -1,0 +1,501 @@
+//! DWRF file writer: stripes, stream encoding, and the file footer.
+
+use crate::cipher::StreamCipher;
+use crate::compress;
+use crate::encoding::MetaWriter;
+use crate::layout::StreamOrder;
+use crate::stream::{
+    encode_dense_column, encode_dense_map, encode_labels, encode_sparse_column,
+    encode_sparse_map, StreamInfo, StreamKind, FILE_LEVEL,
+};
+use bytes::Bytes;
+use dsi_types::{DsiError, FeatureId, Result, Sample};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Trailing file magic.
+pub const MAGIC: &[u8; 8] = b"DWRF\0v1\0";
+
+/// Writer configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WriterOptions {
+    /// Feature flattening: each feature gets its own streams (production
+    /// layout). When `false`, the whole row maps are serialized per stripe
+    /// (the pre-optimization baseline).
+    pub flattened: bool,
+    /// Compress streams.
+    pub compressed: bool,
+    /// Encrypt streams.
+    pub encrypted: bool,
+    /// Rows per stripe before an automatic flush.
+    pub rows_per_stripe: usize,
+    /// Stream layout order within each stripe.
+    pub order: StreamOrder,
+    /// File encryption key.
+    pub file_key: u64,
+}
+
+impl Default for WriterOptions {
+    fn default() -> Self {
+        Self {
+            flattened: true,
+            compressed: true,
+            encrypted: true,
+            rows_per_stripe: 1024,
+            order: StreamOrder::ById,
+            file_key: 0x5eed_f00d,
+        }
+    }
+}
+
+impl WriterOptions {
+    /// The pre-optimization baseline: unflattened maps, id layout.
+    pub fn unflattened_baseline() -> Self {
+        Self {
+            flattened: false,
+            ..Self::default()
+        }
+    }
+}
+
+/// Directory metadata for one stripe.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StripeMeta {
+    /// Rows in this stripe.
+    pub row_count: u64,
+    /// Minimum label value in the stripe (for predicate skipping).
+    pub label_min: f32,
+    /// Maximum label value in the stripe.
+    pub label_max: f32,
+    /// Directory of the stripe's physical streams.
+    pub streams: Vec<StreamInfo>,
+}
+
+impl StripeMeta {
+    /// Total encoded bytes of the stripe's streams.
+    pub fn encoded_bytes(&self) -> u64 {
+        self.streams.iter().map(|s| s.len).sum()
+    }
+
+    /// Whether a `label == value` predicate can possibly match this stripe.
+    pub fn may_contain_label(&self, value: f32) -> bool {
+        value >= self.label_min && value <= self.label_max
+    }
+}
+
+/// Parsed file footer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FileFooter {
+    /// Whether feature flattening was used.
+    pub flattened: bool,
+    /// Whether streams are compressed.
+    pub compressed: bool,
+    /// Whether streams are encrypted.
+    pub encrypted: bool,
+    /// File encryption key (carried in-file for the simulation).
+    pub file_key: u64,
+    /// Stripe directory.
+    pub stripes: Vec<StripeMeta>,
+}
+
+impl FileFooter {
+    /// Total rows across stripes.
+    pub fn total_rows(&self) -> u64 {
+        self.stripes.iter().map(|s| s.row_count).sum()
+    }
+
+    /// Distinct feature ids that have streams in this file (flattened
+    /// files only; empty for map files).
+    pub fn feature_ids(&self) -> Vec<FeatureId> {
+        let mut ids = BTreeSet::new();
+        for stripe in &self.stripes {
+            for s in &stripe.streams {
+                if s.feature != FILE_LEVEL {
+                    ids.insert(FeatureId(s.feature));
+                }
+            }
+        }
+        ids.into_iter().collect()
+    }
+}
+
+/// A finished, immutable DWRF file.
+#[derive(Debug, Clone)]
+pub struct DwrfFile {
+    bytes: Bytes,
+    footer: FileFooter,
+}
+
+impl DwrfFile {
+    /// The full encoded file.
+    pub fn bytes(&self) -> &Bytes {
+        &self.bytes
+    }
+
+    /// The parsed footer.
+    pub fn footer(&self) -> &FileFooter {
+        &self.footer
+    }
+
+    /// Total encoded size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the file holds no bytes (never true for a finished file).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Total rows stored.
+    pub fn total_rows(&self) -> u64 {
+        self.footer.total_rows()
+    }
+}
+
+/// Streaming DWRF writer.
+///
+/// Rows are buffered and flushed as stripes; [`FileWriter::finish`] appends
+/// the footer and returns the immutable [`DwrfFile`].
+#[derive(Debug)]
+pub struct FileWriter {
+    opts: WriterOptions,
+    pending: Vec<Sample>,
+    buf: Vec<u8>,
+    stripes: Vec<StripeMeta>,
+    next_nonce: u64,
+}
+
+impl FileWriter {
+    /// Creates a writer with the given options.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows_per_stripe` is zero.
+    pub fn new(opts: WriterOptions) -> Self {
+        assert!(opts.rows_per_stripe > 0, "rows_per_stripe must be positive");
+        Self {
+            opts,
+            pending: Vec::new(),
+            buf: Vec::new(),
+            stripes: Vec::new(),
+            next_nonce: 0,
+        }
+    }
+
+    /// The writer's options.
+    pub fn options(&self) -> &WriterOptions {
+        &self.opts
+    }
+
+    /// Appends a row, flushing a stripe when the row budget is reached.
+    pub fn push(&mut self, sample: Sample) {
+        self.pending.push(sample);
+        if self.pending.len() >= self.opts.rows_per_stripe {
+            self.flush_stripe();
+        }
+    }
+
+    /// Rows buffered but not yet flushed into a stripe.
+    pub fn pending_rows(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Flushes buffered rows into a stripe (no-op when empty).
+    pub fn flush_stripe(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let rows = std::mem::take(&mut self.pending);
+        let mut streams: Vec<StreamInfo> = Vec::new();
+
+        let emit = |writer: &mut Self,
+                        feature: u64,
+                        kind: StreamKind,
+                        raw: Vec<u8>,
+                        streams: &mut Vec<StreamInfo>| {
+            let mut payload = if writer.opts.compressed {
+                compress::compress(&raw)
+            } else {
+                raw
+            };
+            let nonce = writer.next_nonce;
+            writer.next_nonce += 1;
+            if writer.opts.encrypted {
+                StreamCipher::new(writer.opts.file_key).apply_in_place(nonce, &mut payload);
+            }
+            streams.push(StreamInfo {
+                feature,
+                kind,
+                offset: writer.buf.len() as u64,
+                len: payload.len() as u64,
+                nonce,
+            });
+            writer.buf.extend_from_slice(&payload);
+        };
+
+        if self.opts.flattened {
+            let mut dense_ids = BTreeSet::new();
+            let mut sparse_ids = BTreeSet::new();
+            for row in &rows {
+                dense_ids.extend(row.dense_iter().map(|(id, _)| id));
+                sparse_ids.extend(row.sparse_iter().map(|(id, _)| id));
+            }
+            let ordered = self
+                .opts
+                .order
+                .clone()
+                .order(dense_ids.iter().chain(sparse_ids.iter()).copied().collect());
+            for fid in ordered {
+                if dense_ids.contains(&fid) {
+                    for (kind, raw) in encode_dense_column(&rows, fid) {
+                        emit(self, fid.0, kind, raw, &mut streams);
+                    }
+                }
+                if sparse_ids.contains(&fid) {
+                    for (kind, raw) in encode_sparse_column(&rows, fid) {
+                        emit(self, fid.0, kind, raw, &mut streams);
+                    }
+                }
+            }
+        } else {
+            let dense_map = encode_dense_map(&rows);
+            emit(self, FILE_LEVEL, StreamKind::DenseMap, dense_map, &mut streams);
+            let sparse_map = encode_sparse_map(&rows);
+            emit(
+                self,
+                FILE_LEVEL,
+                StreamKind::SparseMap,
+                sparse_map,
+                &mut streams,
+            );
+        }
+        let labels = encode_labels(&rows);
+        emit(self, FILE_LEVEL, StreamKind::Label, labels, &mut streams);
+
+        let label_min = rows.iter().map(Sample::label).fold(f32::INFINITY, f32::min);
+        let label_max = rows.iter().map(Sample::label).fold(f32::NEG_INFINITY, f32::max);
+        self.stripes.push(StripeMeta {
+            row_count: rows.len() as u64,
+            label_min,
+            label_max,
+            streams,
+        });
+    }
+
+    /// Finishes the file: flushes the final stripe, appends the footer and
+    /// magic, and returns the immutable file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::InvalidState`] if no rows were ever written.
+    pub fn finish(mut self) -> Result<DwrfFile> {
+        self.flush_stripe();
+        if self.stripes.is_empty() {
+            return Err(DsiError::InvalidState(
+                "cannot finish an empty DWRF file".into(),
+            ));
+        }
+        let footer = FileFooter {
+            flattened: self.opts.flattened,
+            compressed: self.opts.compressed,
+            encrypted: self.opts.encrypted,
+            file_key: self.opts.file_key,
+            stripes: self.stripes,
+        };
+        let footer_bytes = encode_footer(&footer);
+        let mut buf = self.buf;
+        buf.extend_from_slice(&footer_bytes);
+        buf.extend_from_slice(&(footer_bytes.len() as u64).to_le_bytes());
+        buf.extend_from_slice(MAGIC);
+        Ok(DwrfFile {
+            bytes: Bytes::from(buf),
+            footer,
+        })
+    }
+}
+
+/// Serializes a footer with the metadata codec.
+pub fn encode_footer(footer: &FileFooter) -> Vec<u8> {
+    let mut w = MetaWriter::new();
+    let flags = u64::from(footer.flattened)
+        | (u64::from(footer.compressed) << 1)
+        | (u64::from(footer.encrypted) << 2);
+    w.u64(flags).u64(footer.file_key).u64(footer.stripes.len() as u64);
+    for stripe in &footer.stripes {
+        w.u64(stripe.row_count)
+            .f64(stripe.label_min as f64)
+            .f64(stripe.label_max as f64)
+            .u64(stripe.streams.len() as u64);
+        for s in &stripe.streams {
+            w.u64(s.feature)
+                .u64(s.kind.tag())
+                .u64(s.offset)
+                .u64(s.len)
+                .u64(s.nonce);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Parses a footer produced by [`encode_footer`].
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] on malformed input.
+pub fn decode_footer(buf: &[u8]) -> Result<FileFooter> {
+    let mut r = crate::encoding::MetaReader::new(buf);
+    let flags = r.u64()?;
+    let file_key = r.u64()?;
+    let n_stripes = r.u64()? as usize;
+    let mut stripes = Vec::with_capacity(n_stripes);
+    for _ in 0..n_stripes {
+        let row_count = r.u64()?;
+        let label_min = r.f64()? as f32;
+        let label_max = r.f64()? as f32;
+        let n_streams = r.u64()? as usize;
+        let mut streams = Vec::with_capacity(n_streams);
+        for _ in 0..n_streams {
+            streams.push(StreamInfo {
+                feature: r.u64()?,
+                kind: StreamKind::from_tag(r.u64()?)?,
+                offset: r.u64()?,
+                len: r.u64()?,
+                nonce: r.u64()?,
+            });
+        }
+        stripes.push(StripeMeta {
+            row_count,
+            label_min,
+            label_max,
+            streams,
+        });
+    }
+    Ok(FileFooter {
+        flattened: flags & 1 != 0,
+        compressed: flags & 2 != 0,
+        encrypted: flags & 4 != 0,
+        file_key,
+        stripes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_types::SparseList;
+
+    fn sample(i: u64) -> Sample {
+        let mut s = Sample::new(i as f32);
+        s.set_dense(FeatureId(1), i as f32 * 0.5);
+        s.set_sparse(FeatureId(2), SparseList::from_ids(vec![i, i + 1, i + 2]));
+        s
+    }
+
+    #[test]
+    fn writer_flushes_stripes_by_row_budget() {
+        let mut w = FileWriter::new(WriterOptions {
+            rows_per_stripe: 4,
+            ..Default::default()
+        });
+        for i in 0..10 {
+            w.push(sample(i));
+        }
+        assert_eq!(w.pending_rows(), 2);
+        let file = w.finish().unwrap();
+        assert_eq!(file.footer().stripes.len(), 3);
+        assert_eq!(file.total_rows(), 10);
+        assert_eq!(
+            file.footer()
+                .stripes
+                .iter()
+                .map(|s| s.row_count)
+                .collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+    }
+
+    #[test]
+    fn footer_round_trip() {
+        let mut w = FileWriter::new(WriterOptions::default());
+        for i in 0..5 {
+            w.push(sample(i));
+        }
+        let file = w.finish().unwrap();
+        let enc = encode_footer(file.footer());
+        let dec = decode_footer(&enc).unwrap();
+        assert_eq!(&dec, file.footer());
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        let w = FileWriter::new(WriterOptions::default());
+        assert!(w.finish().is_err());
+    }
+
+    #[test]
+    fn flattened_file_has_per_feature_streams() {
+        let mut w = FileWriter::new(WriterOptions::default());
+        for i in 0..3 {
+            w.push(sample(i));
+        }
+        let file = w.finish().unwrap();
+        assert_eq!(
+            file.footer().feature_ids(),
+            vec![FeatureId(1), FeatureId(2)]
+        );
+        let kinds: Vec<_> = file.footer().stripes[0]
+            .streams
+            .iter()
+            .map(|s| s.kind)
+            .collect();
+        assert!(kinds.contains(&StreamKind::DenseData));
+        assert!(kinds.contains(&StreamKind::Data));
+        assert!(kinds.contains(&StreamKind::Label));
+    }
+
+    #[test]
+    fn unflattened_file_has_map_streams_only() {
+        let mut w = FileWriter::new(WriterOptions::unflattened_baseline());
+        for i in 0..3 {
+            w.push(sample(i));
+        }
+        let file = w.finish().unwrap();
+        assert!(file.footer().feature_ids().is_empty());
+        let kinds: Vec<_> = file.footer().stripes[0]
+            .streams
+            .iter()
+            .map(|s| s.kind)
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![StreamKind::DenseMap, StreamKind::SparseMap, StreamKind::Label]
+        );
+    }
+
+    #[test]
+    fn file_ends_with_magic() {
+        let mut w = FileWriter::new(WriterOptions::default());
+        w.push(sample(0));
+        let file = w.finish().unwrap();
+        let bytes = file.bytes();
+        assert_eq!(&bytes[bytes.len() - 8..], MAGIC);
+    }
+
+    #[test]
+    fn stream_offsets_are_disjoint_and_ordered() {
+        let mut w = FileWriter::new(WriterOptions::default());
+        for i in 0..6 {
+            w.push(sample(i));
+        }
+        let file = w.finish().unwrap();
+        let mut last_end = 0u64;
+        for stripe in &file.footer().stripes {
+            for s in &stripe.streams {
+                assert!(s.offset >= last_end);
+                last_end = s.offset + s.len;
+            }
+        }
+        assert!(last_end <= file.len() as u64);
+    }
+}

@@ -1,0 +1,152 @@
+//! The topic-addressed message bus every host's Scribe daemon writes to.
+
+use crate::logdevice::{LogStream, Lsn};
+use crate::record::ScribeRecord;
+use dsi_types::Result;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A logical stream name, e.g. `"rm1/features"`.
+pub type Topic = String;
+
+#[derive(Default)]
+struct BusInner {
+    streams: RwLock<HashMap<Topic, Arc<RwLock<LogStream>>>>,
+}
+
+/// A cheaply-cloneable handle to the message bus.
+///
+/// Services on every host pass raw feature and event logs to their local
+/// daemon; the bus groups them into per-topic [`LogStream`]s.
+#[derive(Clone, Default)]
+pub struct MessageBus {
+    inner: Arc<BusInner>,
+}
+
+impl std::fmt::Debug for MessageBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MessageBus")
+            .field("topics", &self.inner.streams.read().len())
+            .finish()
+    }
+}
+
+impl MessageBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn stream(&self, topic: &str) -> Arc<RwLock<LogStream>> {
+        if let Some(s) = self.inner.streams.read().get(topic) {
+            return Arc::clone(s);
+        }
+        let mut streams = self.inner.streams.write();
+        Arc::clone(
+            streams
+                .entry(topic.to_string())
+                .or_insert_with(|| Arc::new(RwLock::new(LogStream::new()))),
+        )
+    }
+
+    /// Publishes a record to a topic, returning its LSN.
+    pub fn publish(&self, topic: &str, record: ScribeRecord) -> Lsn {
+        self.stream(topic).write().append(record)
+    }
+
+    /// The next-LSN (tail) of a topic; `Lsn(0)` for unknown topics.
+    pub fn tail(&self, topic: &str) -> Lsn {
+        self.inner
+            .streams
+            .read()
+            .get(topic)
+            .map_or(Lsn(0), |s| s.read().tail())
+    }
+
+    /// Reads `[from, to)` from a topic (empty for unknown topics).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `from` precedes the topic's trim point.
+    pub fn read(&self, topic: &str, from: Lsn, to: Lsn) -> Result<Vec<ScribeRecord>> {
+        match self.inner.streams.read().get(topic) {
+            Some(s) => s.read().read_range(from, to),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Trims a topic up to `upto`.
+    pub fn trim(&self, topic: &str, upto: Lsn) {
+        if let Some(s) = self.inner.streams.read().get(topic) {
+            s.write().trim(upto);
+        }
+    }
+
+    /// All topic names, sorted.
+    pub fn topics(&self) -> Vec<Topic> {
+        let mut t: Vec<_> = self.inner.streams.read().keys().cloned().collect();
+        t.sort();
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::EventRecord;
+
+    #[test]
+    fn publish_and_read() {
+        let bus = MessageBus::new();
+        bus.publish("t", EventRecord::positive(1, 0).into());
+        bus.publish("t", EventRecord::negative(2, 1).into());
+        let got = bus.read("t", Lsn(0), bus.tail("t")).unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn topics_are_isolated() {
+        let bus = MessageBus::new();
+        bus.publish("a", EventRecord::positive(1, 0).into());
+        assert_eq!(bus.tail("a"), Lsn(1));
+        assert_eq!(bus.tail("b"), Lsn(0));
+        assert!(bus.read("b", Lsn(0), Lsn(10)).unwrap().is_empty());
+        assert_eq!(bus.topics(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let bus = MessageBus::new();
+        let bus2 = bus.clone();
+        bus.publish("t", EventRecord::positive(1, 0).into());
+        assert_eq!(bus2.tail("t"), Lsn(1));
+    }
+
+    #[test]
+    fn concurrent_publishers() {
+        let bus = MessageBus::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let bus = bus.clone();
+                s.spawn(move || {
+                    for i in 0..100 {
+                        bus.publish("t", EventRecord::positive(t * 100 + i, 0).into());
+                    }
+                });
+            }
+        });
+        assert_eq!(bus.tail("t"), Lsn(400));
+    }
+
+    #[test]
+    fn trim_through_bus() {
+        let bus = MessageBus::new();
+        for i in 0..10 {
+            bus.publish("t", EventRecord::positive(i, 0).into());
+        }
+        bus.trim("t", Lsn(5));
+        assert!(bus.read("t", Lsn(0), Lsn(10)).is_err());
+        assert_eq!(bus.read("t", Lsn(5), Lsn(10)).unwrap().len(), 5);
+    }
+}

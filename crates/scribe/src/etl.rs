@@ -1,0 +1,332 @@
+//! ETL: the streaming join/label engine and periodic batch ETL.
+//!
+//! Streaming engines join feature and event logs by request id within a time
+//! window and publish labeled samples (used to update in-production models).
+//! Batch engines periodically drain labeled samples from the bus, downsample
+//! negatives, and emit day-partitioned sample sets for the warehouse
+//! (§III-A1).
+
+use crate::bus::MessageBus;
+use crate::logdevice::Lsn;
+use crate::record::{EventRecord, FeatureLogRecord, ScribeRecord};
+use dsi_types::{PartitionId, Result, Sample};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Counters for an ETL engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EtlStats {
+    /// Feature logs offered.
+    pub features_in: u64,
+    /// Events offered.
+    pub events_in: u64,
+    /// Joined (labeled) samples emitted.
+    pub joined: u64,
+    /// Feature logs expired without a matching event (labeled negative).
+    pub expired_negative: u64,
+    /// Events that arrived with no pending feature log (dropped).
+    pub orphan_events: u64,
+}
+
+/// Joins feature logs with outcome events inside a time window.
+///
+/// A feature log waits up to `window_ns` for its event; on expiry it is
+/// emitted with a negative label (no interaction observed), matching
+/// production click-through labeling.
+#[derive(Debug)]
+pub struct StreamingJoiner {
+    window_ns: u64,
+    pending: HashMap<u64, FeatureLogRecord>,
+    arrival_order: VecDeque<(u64, u64)>, // (ts, request_id)
+    stats: EtlStats,
+}
+
+impl StreamingJoiner {
+    /// Creates a joiner with the given join window in nanoseconds.
+    pub fn new(window_ns: u64) -> Self {
+        Self {
+            window_ns,
+            pending: HashMap::new(),
+            arrival_order: VecDeque::new(),
+            stats: EtlStats::default(),
+        }
+    }
+
+    /// Offers a feature log; it will wait for its event.
+    pub fn offer_features(&mut self, record: FeatureLogRecord) {
+        self.stats.features_in += 1;
+        self.arrival_order.push_back((record.ts_ns, record.request_id));
+        self.pending.insert(record.request_id, record);
+    }
+
+    /// Offers an event. Returns the labeled sample when it joins a pending
+    /// feature log; `None` for orphans.
+    pub fn offer_event(&mut self, event: EventRecord) -> Option<Sample> {
+        self.stats.events_in += 1;
+        match self.pending.remove(&event.request_id) {
+            Some(rec) => {
+                self.stats.joined += 1;
+                let mut sample = rec.features;
+                sample.set_label(event.label);
+                Some(sample)
+            }
+            None => {
+                self.stats.orphan_events += 1;
+                None
+            }
+        }
+    }
+
+    /// Expires feature logs older than the window relative to `now_ns`,
+    /// emitting them with negative labels.
+    pub fn expire(&mut self, now_ns: u64) -> Vec<Sample> {
+        let mut out = Vec::new();
+        while let Some(&(ts, request_id)) = self.arrival_order.front() {
+            if now_ns.saturating_sub(ts) < self.window_ns {
+                break;
+            }
+            self.arrival_order.pop_front();
+            if let Some(rec) = self.pending.remove(&request_id) {
+                self.stats.expired_negative += 1;
+                let mut sample = rec.features;
+                sample.set_label(0.0);
+                out.push(sample);
+            }
+        }
+        out
+    }
+
+    /// Feature logs still waiting for events.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> EtlStats {
+        self.stats
+    }
+}
+
+/// Periodic batch ETL: drains raw topics from the bus, joins and labels,
+/// downsamples negatives, and groups output by day partition.
+#[derive(Debug)]
+pub struct BatchEtl {
+    joiner: StreamingJoiner,
+    feature_cursor: Lsn,
+    event_cursor: Lsn,
+    /// Keep this fraction of negative samples (production datasets
+    /// downsample the overwhelming negative class).
+    negative_keep_fraction: f64,
+    ns_per_day: u64,
+    negative_seen: u64,
+}
+
+impl BatchEtl {
+    /// Creates a batch ETL with a join window and negative downsampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `negative_keep_fraction` is outside `[0, 1]`.
+    pub fn new(window_ns: u64, negative_keep_fraction: f64, ns_per_day: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&negative_keep_fraction),
+            "keep fraction in [0, 1]"
+        );
+        Self {
+            joiner: StreamingJoiner::new(window_ns),
+            feature_cursor: Lsn(0),
+            event_cursor: Lsn(0),
+            negative_keep_fraction,
+            ns_per_day,
+            negative_seen: 0,
+        }
+    }
+
+    fn keep_negative(&mut self) -> bool {
+        // Deterministic stride-based downsampling.
+        self.negative_seen += 1;
+        if self.negative_keep_fraction >= 1.0 {
+            return true;
+        }
+        if self.negative_keep_fraction <= 0.0 {
+            return false;
+        }
+        let stride = (1.0 / self.negative_keep_fraction).round() as u64;
+        self.negative_seen % stride == 0
+    }
+
+    /// Runs one ETL pass: reads new records from `features_topic` and
+    /// `events_topic` on `bus`, joins/labels/downsamples, and returns
+    /// samples grouped by day partition. Also trims consumed log prefixes.
+    ///
+    /// `now_ns` drives join-window expiry; timestamps map to partitions via
+    /// `ts / ns_per_day`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bus read failures.
+    pub fn run_pass(
+        &mut self,
+        bus: &MessageBus,
+        features_topic: &str,
+        events_topic: &str,
+        now_ns: u64,
+    ) -> Result<BTreeMap<PartitionId, Vec<Sample>>> {
+        let mut out: BTreeMap<PartitionId, Vec<Sample>> = BTreeMap::new();
+        let mut emit = |this: &mut Self, ts_ns: u64, sample: Sample| {
+            let keep = sample.label() > 0.0 || this.keep_negative();
+            if keep {
+                let day = (ts_ns / this.ns_per_day) as u32;
+                out.entry(PartitionId::new(day)).or_default().push(sample);
+            }
+        };
+
+        let f_tail = bus.tail(features_topic);
+        let feature_records = bus.read(features_topic, self.feature_cursor, f_tail)?;
+        // Remember per-request timestamps so joined samples land in the
+        // partition of their serving day.
+        let mut ts_of: HashMap<u64, u64> = HashMap::new();
+        for r in feature_records {
+            if let ScribeRecord::Feature(f) = r {
+                ts_of.insert(f.request_id, f.ts_ns);
+                self.joiner.offer_features(f);
+            }
+        }
+        self.feature_cursor = f_tail;
+
+        let e_tail = bus.tail(events_topic);
+        let event_records = bus.read(events_topic, self.event_cursor, e_tail)?;
+        for r in event_records {
+            if let ScribeRecord::Event(e) = r {
+                let ts = ts_of.get(&e.request_id).copied().unwrap_or(e.ts_ns);
+                if let Some(sample) = self.joiner.offer_event(e) {
+                    emit(self, ts, sample);
+                }
+            }
+        }
+        self.event_cursor = e_tail;
+
+        // Expired feature logs become negatives in their serving partition.
+        for sample in self.joiner.expire(now_ns) {
+            emit(self, now_ns.saturating_sub(self.joiner.window_ns), sample);
+        }
+
+        bus.trim(features_topic, self.feature_cursor);
+        bus.trim(events_topic, self.event_cursor);
+        Ok(out)
+    }
+
+    /// Joiner counters.
+    pub fn stats(&self) -> EtlStats {
+        self.joiner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_types::FeatureId;
+
+    fn features(request_id: u64, ts: u64) -> FeatureLogRecord {
+        let mut s = Sample::new(0.0);
+        s.set_dense(FeatureId(1), request_id as f32);
+        FeatureLogRecord::new(request_id, ts, s)
+    }
+
+    #[test]
+    fn join_labels_sample() {
+        let mut j = StreamingJoiner::new(100);
+        j.offer_features(features(1, 0));
+        let s = j.offer_event(EventRecord::positive(1, 50)).unwrap();
+        assert_eq!(s.label(), 1.0);
+        assert_eq!(s.dense(FeatureId(1)), Some(1.0));
+        assert_eq!(j.stats().joined, 1);
+        assert_eq!(j.pending_count(), 0);
+    }
+
+    #[test]
+    fn orphan_events_are_dropped() {
+        let mut j = StreamingJoiner::new(100);
+        assert!(j.offer_event(EventRecord::positive(9, 0)).is_none());
+        assert_eq!(j.stats().orphan_events, 1);
+    }
+
+    #[test]
+    fn expiry_emits_negatives_in_order() {
+        let mut j = StreamingJoiner::new(100);
+        j.offer_features(features(1, 0));
+        j.offer_features(features(2, 50));
+        j.offer_features(features(3, 150));
+        let expired = j.expire(160);
+        assert_eq!(expired.len(), 2);
+        assert!(expired.iter().all(|s| s.label() == 0.0));
+        assert_eq!(j.pending_count(), 1);
+        assert_eq!(j.stats().expired_negative, 2);
+    }
+
+    #[test]
+    fn joined_request_does_not_expire() {
+        let mut j = StreamingJoiner::new(100);
+        j.offer_features(features(1, 0));
+        j.offer_event(EventRecord::positive(1, 10)).unwrap();
+        assert!(j.expire(1000).is_empty());
+    }
+
+    #[test]
+    fn batch_etl_partitions_by_day() {
+        let bus = MessageBus::new();
+        let day = 1000u64;
+        for (rid, ts) in [(1u64, 10u64), (2, 500), (3, 1500)] {
+            bus.publish("f", features(rid, ts).into());
+            bus.publish("e", EventRecord::positive(rid, ts + 1).into());
+        }
+        let mut etl = BatchEtl::new(100, 1.0, day);
+        let parts = etl.run_pass(&bus, "f", "e", 2000).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[&PartitionId::new(0)].len(), 2);
+        assert_eq!(parts[&PartitionId::new(1)].len(), 1);
+        // Consumed prefixes trimmed.
+        assert_eq!(bus.read("f", Lsn(0), Lsn(1)).err().is_some(), true);
+    }
+
+    #[test]
+    fn batch_etl_downsamples_negatives() {
+        let bus = MessageBus::new();
+        for rid in 0..100u64 {
+            bus.publish("f", features(rid, rid).into());
+            // Only 10 positives; the rest will expire negative.
+            if rid < 10 {
+                bus.publish("e", EventRecord::positive(rid, rid + 1).into());
+            }
+        }
+        let mut etl = BatchEtl::new(10, 0.5, 1_000_000);
+        let parts = etl.run_pass(&bus, "f", "e", 1_000).unwrap();
+        let total: usize = parts.values().map(Vec::len).sum();
+        // 10 positives + ~45 of 90 negatives.
+        assert!((50..=60).contains(&total), "total {total}");
+        let positives: usize = parts
+            .values()
+            .flatten()
+            .filter(|s| s.label() > 0.0)
+            .count();
+        assert_eq!(positives, 10);
+    }
+
+    #[test]
+    fn batch_etl_is_incremental() {
+        let bus = MessageBus::new();
+        let mut etl = BatchEtl::new(10, 1.0, 1_000_000);
+        bus.publish("f", features(1, 0).into());
+        bus.publish("e", EventRecord::positive(1, 1).into());
+        let first = etl.run_pass(&bus, "f", "e", 100).unwrap();
+        assert_eq!(first.values().flatten().count(), 1);
+        // Nothing new: second pass is empty.
+        let second = etl.run_pass(&bus, "f", "e", 200).unwrap();
+        assert!(second.is_empty());
+        // New records picked up from the cursor.
+        bus.publish("f", features(2, 150).into());
+        bus.publish("e", EventRecord::negative(2, 151).into());
+        let third = etl.run_pass(&bus, "f", "e", 300).unwrap();
+        assert_eq!(third.values().flatten().count(), 1);
+    }
+}

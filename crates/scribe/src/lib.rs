@@ -1,0 +1,40 @@
+//! Offline data generation: Scribe-style logging, LogDevice-style streams,
+//! and the ETL jobs that join raw logs into labeled training samples.
+//!
+//! Training data is *generated at serving time*: the model-serving framework
+//! logs the **features** used for each prediction, and the requesting
+//! service later logs the **event** (outcome) of the recommendation. Logging
+//! both at serving time avoids train/serve data leakage (§III-A). Streaming
+//! joiners label feature logs with their events; batch ETL drains labeled
+//! samples into warehouse partitions.
+//!
+//! * [`record`] — feature/event log records;
+//! * [`logdevice`] — append-only, trimmable, segmented log streams;
+//! * [`bus`] — the topic-addressed message bus every host daemon writes to;
+//! * [`etl`] — the streaming join/label engine and periodic batch ETL.
+//!
+//! # Example
+//!
+//! ```
+//! use scribe::{EventRecord, FeatureLogRecord, StreamingJoiner};
+//! use dsi_types::{FeatureId, Sample};
+//!
+//! let mut joiner = StreamingJoiner::new(1_000_000_000); // 1 s join window
+//! let mut features = Sample::new(0.0);
+//! features.set_dense(FeatureId(1), 0.5);
+//! joiner.offer_features(FeatureLogRecord::new(42, 0, features));
+//! let labeled = joiner.offer_event(EventRecord::positive(42, 100));
+//! assert_eq!(labeled.unwrap().label(), 1.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod etl;
+pub mod logdevice;
+pub mod record;
+
+pub use bus::{MessageBus, Topic};
+pub use etl::{BatchEtl, EtlStats, StreamingJoiner};
+pub use logdevice::{LogStream, Lsn};
+pub use record::{EventRecord, FeatureLogRecord, ScribeRecord};

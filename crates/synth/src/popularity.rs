@@ -1,0 +1,376 @@
+//! Feature popularity and per-job feature projections.
+//!
+//! Jobs for a model do not pick features uniformly: engineers build on the
+//! current production model, so a **core** of popular features appears in
+//! almost every job, while experimental **tail** features vary job-to-job
+//! (§V-B). This module provides a Zipf sampler and a projection sampler
+//! whose core/tail parameters are calibrated per RM, reproducing Fig. 7's
+//! popularity CDFs.
+
+use crate::profiles::RmProfile;
+use dsi_types::rng::SplitMix64;
+use dsi_types::{FeatureDef, FeatureId, Projection, Schema};
+
+/// Samples from a Zipf distribution over ranks `0..n` with exponent `s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s < 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s >= 0.0, "exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Probability mass of rank `k` (0-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+
+    /// Draws a rank.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Generates per-job feature projections with core/tail structure.
+#[derive(Debug, Clone)]
+pub struct JobProjectionSampler {
+    /// All features sorted by descending popularity, with per-row byte
+    /// weight (sparse features dominate this ranking — §V-A notes read
+    /// features skew toward heavy, high-signal ones).
+    ranked: Vec<(FeatureId, f64)>,
+    total_bytes: f64,
+    core_count: usize,
+    tail_byte_target: f64,
+    tail_zipf: ZipfSampler,
+    /// Dense features by descending popularity. Models read dense features
+    /// at a *count* fraction (Table IV: model versions are ~80% dense by
+    /// count) even though dense bytes are negligible.
+    dense_ranked: Vec<FeatureId>,
+    dense_core: usize,
+    dense_tail_draws: usize,
+}
+
+impl JobProjectionSampler {
+    /// Builds a sampler for `schema` calibrated to `profile`.
+    ///
+    /// Popularity rank follows byte weight perturbed deterministically; the
+    /// core prefix is sized to hold `profile.core_byte_fraction` of the
+    /// schema's bytes, each job adds tail features worth
+    /// `profile.tail_byte_fraction` of bytes (Zipf-biased toward the front
+    /// of the tail), and dense features are additionally selected at the
+    /// profile's count fraction.
+    pub fn new(schema: &Schema, profile: &RmProfile, seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed ^ 0xfeed);
+        // Rank features: popularity loosely correlates with byte weight
+        // (engineers favor high-signal, longer features — §V-A), with noise.
+        let mut ranked: Vec<(FeatureId, f64, f64, bool)> = schema
+            .iter()
+            .map(|d: &FeatureDef| {
+                let w = d.expected_bytes_per_row();
+                let pop = w * (0.25 + rng.next_f64());
+                (d.id, w, pop, d.kind.is_sparse())
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite popularity"));
+        let total_bytes: f64 = ranked.iter().map(|r| r.1).sum();
+
+        // Core prefix: smallest k whose byte mass reaches the core target.
+        let core_target = profile.core_byte_fraction * total_bytes;
+        let mut acc = 0.0;
+        let mut core_count = 0;
+        for (i, r) in ranked.iter().enumerate() {
+            acc += r.1;
+            if acc >= core_target {
+                core_count = i + 1;
+                break;
+            }
+        }
+        if core_count == 0 {
+            core_count = ranked.len();
+        }
+        let tail_len = (ranked.len() - core_count).max(1);
+
+        let dense_ranked: Vec<FeatureId> = ranked
+            .iter()
+            .filter(|r| !r.3)
+            .map(|r| r.0)
+            .collect();
+        let dense_target =
+            (dense_ranked.len() as f64 * profile.dense_use_fraction()).round() as usize;
+        let dense_core = (dense_target * 4 / 5).min(dense_ranked.len());
+        let dense_tail_draws = dense_target - dense_core;
+
+        Self {
+            ranked: ranked.into_iter().map(|(f, w, _, _)| (f, w)).collect(),
+            total_bytes,
+            core_count,
+            tail_byte_target: profile.tail_byte_fraction * total_bytes,
+            tail_zipf: ZipfSampler::new(tail_len, 1.1),
+            dense_ranked,
+            dense_core,
+            dense_tail_draws,
+        }
+    }
+
+    /// Features ranked by descending popularity with byte weights.
+    pub fn ranked(&self) -> &[(FeatureId, f64)] {
+        &self.ranked
+    }
+
+    /// Size of the always-read byte-weighted core prefix.
+    pub fn core_count(&self) -> usize {
+        self.core_count
+    }
+
+    /// Samples one job's feature projection.
+    pub fn sample_projection(&self, rng: &mut SplitMix64) -> Projection {
+        let mut ids: Vec<FeatureId> =
+            self.ranked[..self.core_count].iter().map(|r| r.0).collect();
+        if self.core_count < self.ranked.len() {
+            let mut tail_bytes = 0.0;
+            let mut guard = 0;
+            while tail_bytes < self.tail_byte_target && guard < self.ranked.len() * 4 {
+                guard += 1;
+                let k = self.tail_zipf.sample(rng);
+                let (fid, w) = self.ranked[self.core_count + k];
+                if !ids.contains(&fid) {
+                    ids.push(fid);
+                    tail_bytes += w;
+                }
+            }
+        }
+        // Dense features by count: a stable popular core plus varying tail.
+        ids.extend(&self.dense_ranked[..self.dense_core]);
+        if self.dense_tail_draws > 0 && self.dense_core < self.dense_ranked.len() {
+            let pool = self.dense_ranked.len() - self.dense_core;
+            let zipf = ZipfSampler::new(pool, 0.8);
+            let mut added = 0;
+            let mut guard = 0;
+            while added < self.dense_tail_draws && guard < pool * 8 {
+                guard += 1;
+                let fid = self.dense_ranked[self.dense_core + zipf.sample(rng)];
+                if !ids.contains(&fid) {
+                    ids.push(fid);
+                    added += 1;
+                }
+            }
+        }
+        Projection::new(ids)
+    }
+
+    /// Byte fraction of the schema that a projection selects.
+    pub fn byte_fraction(&self, projection: &Projection) -> f64 {
+        let selected: f64 = self
+            .ranked
+            .iter()
+            .filter(|(f, _)| projection.contains(*f))
+            .map(|(_, w)| w)
+            .sum();
+        selected / self.total_bytes
+    }
+
+    /// Simulates `jobs` projections and returns the popularity CDF of
+    /// Fig. 7: points `(byte_fraction, traffic_fraction)` where the most
+    /// popular `byte_fraction` of stored bytes absorbs `traffic_fraction`
+    /// of all read traffic.
+    pub fn popularity_cdf(&self, jobs: usize, seed: u64) -> Vec<(f64, f64)> {
+        let mut rng = SplitMix64::new(seed);
+        let mut traffic: Vec<f64> = vec![0.0; self.ranked.len()];
+        for _ in 0..jobs {
+            let p = self.sample_projection(&mut rng);
+            for (i, (fid, w)) in self.ranked.iter().enumerate() {
+                if p.contains(*fid) {
+                    traffic[i] += w;
+                }
+            }
+        }
+        // Sort features by traffic contribution, descending.
+        let mut order: Vec<usize> = (0..self.ranked.len()).collect();
+        order.sort_by(|&a, &b| traffic[b].partial_cmp(&traffic[a]).expect("finite"));
+        let total_traffic: f64 = traffic.iter().sum();
+        let mut points = Vec::with_capacity(order.len());
+        let mut bytes_acc = 0.0;
+        let mut traffic_acc = 0.0;
+        for i in order {
+            bytes_acc += self.ranked[i].1;
+            traffic_acc += traffic[i];
+            points.push((
+                bytes_acc / self.total_bytes,
+                if total_traffic > 0.0 {
+                    traffic_acc / total_traffic
+                } else {
+                    0.0
+                },
+            ));
+        }
+        points
+    }
+
+    /// Ranks every feature by how often jobs select it — the signal the
+    /// write path uses to place frequently-read streams adjacently (§VII).
+    /// Simulates `jobs` projections and returns `(feature, selection
+    /// count)` sorted most-selected first.
+    pub fn access_frequency_ranking(&self, jobs: usize, seed: u64) -> Vec<(FeatureId, f64)> {
+        let mut rng = SplitMix64::new(seed);
+        let mut counts: std::collections::HashMap<FeatureId, f64> = std::collections::HashMap::new();
+        for _ in 0..jobs {
+            let p = self.sample_projection(&mut rng);
+            for &fid in p.ids() {
+                *counts.entry(fid).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut ranked: Vec<(FeatureId, f64)> = self
+            .ranked
+            .iter()
+            .map(|&(fid, w)| {
+                // Tie-break equal frequencies by byte weight so heavy
+                // streams cluster deepest inside the hot prefix.
+                (fid, counts.get(&fid).copied().unwrap_or(0.0) + w / 1e9)
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite counts"));
+        ranked
+    }
+
+    /// The byte fraction needed to absorb `traffic_target` of traffic,
+    /// linearly interpolated from a CDF from [`Self::popularity_cdf`].
+    pub fn bytes_for_traffic(cdf: &[(f64, f64)], traffic_target: f64) -> f64 {
+        for pair in cdf {
+            if pair.1 >= traffic_target {
+                return pair.0;
+            }
+        }
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::RmProfile;
+
+    #[test]
+    fn zipf_mass_concentrates_on_low_ranks() {
+        let z = ZipfSampler::new(1000, 1.0);
+        assert!(z.pmf(0) > z.pmf(10));
+        assert!(z.pmf(10) > z.pmf(500));
+        let mut rng = SplitMix64::new(1);
+        let mut low = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) < 10 {
+                low += 1;
+            }
+        }
+        // Top-10 ranks carry ~39% of a Zipf(1.0, 1000) distribution.
+        assert!((low as f64 / n as f64) > 0.3, "low-rank share {low}/{n}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_is_zero() {
+        let z = ZipfSampler::new(100, 0.0);
+        assert!((z.pmf(0) - 0.01).abs() < 1e-9);
+        assert!((z.pmf(99) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projections_include_core_and_vary_in_tail() {
+        let profile = RmProfile::rm1();
+        let schema = profile.build_schema(500);
+        let sampler = JobProjectionSampler::new(&schema, &profile, 7);
+        let mut rng = SplitMix64::new(99);
+        let a = sampler.sample_projection(&mut rng);
+        let b = sampler.sample_projection(&mut rng);
+        // Core is shared.
+        for (fid, _) in &sampler.ranked()[..sampler.core_count()] {
+            assert!(a.contains(*fid) && b.contains(*fid));
+        }
+        // Tails differ.
+        assert_ne!(a.ids(), b.ids());
+    }
+
+    #[test]
+    fn individual_byte_fraction_near_profile() {
+        for profile in RmProfile::all() {
+            let schema = profile.build_schema(800);
+            let sampler = JobProjectionSampler::new(&schema, &profile, 3);
+            let mut rng = SplitMix64::new(5);
+            let mut fracs = Vec::new();
+            for _ in 0..20 {
+                let p = sampler.sample_projection(&mut rng);
+                fracs.push(sampler.byte_fraction(&p));
+            }
+            let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
+            // Dense count-based picks add a few byte points on top of the
+            // byte-targeted core+tail.
+            let target = profile.core_byte_fraction + profile.tail_byte_fraction;
+            assert!(
+                mean >= target - 0.05 && mean <= target + 0.12,
+                "{}: mean byte fraction {mean:.2} vs target {target:.2}",
+                profile.class
+            );
+        }
+    }
+
+    #[test]
+    fn fig7_rm3_needs_fewer_bytes_for_80pct_than_rm1() {
+        let mk_cdf = |profile: &RmProfile| {
+            let schema = profile.build_schema(600);
+            let sampler = JobProjectionSampler::new(&schema, profile, 11);
+            sampler.popularity_cdf(30, 17)
+        };
+        let rm1 = JobProjectionSampler::bytes_for_traffic(&mk_cdf(&RmProfile::rm1()), 0.8);
+        let rm3 = JobProjectionSampler::bytes_for_traffic(&mk_cdf(&RmProfile::rm3()), 0.8);
+        assert!(
+            rm3 < rm1,
+            "RM3 ({rm3:.2}) should need fewer popular bytes than RM1 ({rm1:.2})"
+        );
+        // Both well below reading the whole dataset.
+        assert!(rm1 < 0.6 && rm3 < 0.4, "rm1 {rm1:.2} rm3 {rm3:.2}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let profile = RmProfile::rm2();
+        let schema = profile.build_schema(300);
+        let sampler = JobProjectionSampler::new(&schema, &profile, 1);
+        let cdf = sampler.popularity_cdf(10, 2);
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+        let last = cdf.last().unwrap();
+        assert!((last.0 - 1.0).abs() < 1e-9 && (last.1 - 1.0).abs() < 1e-9);
+    }
+}

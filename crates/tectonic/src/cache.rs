@@ -1,0 +1,317 @@
+//! An SSD-backed byte-range cache in front of the HDD cluster.
+//!
+//! §VII: training jobs for a model collectively favor popular bytes
+//! (Fig. 7 — ~40% of bytes absorb 80% of traffic), so "a system that
+//! places popular features on an SSD-based cache" can serve most IOPS from
+//! flash while HDDs provide capacity. This module implements that system:
+//! a page-granular LRU cache whose hits are charged to a simulated SSD and
+//! whose misses fall through to the HDD cluster (and fill the cache).
+
+use crate::cluster::TectonicCluster;
+use crate::block::hash_path;
+use dsi_types::{ByteSize, Result};
+use dwrf::ChunkSource;
+use hwsim::{DeviceStats, DiskModel, IoRequest};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Cache page size: 64 KiB.
+pub const PAGE_SIZE: u64 = 64 * 1024;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PageKey {
+    file: u64,
+    page: u64,
+}
+
+#[derive(Debug)]
+struct PageEntry {
+    /// Offset of this page's copy on the SSD's address space.
+    ssd_offset: u64,
+    last_used: u64,
+}
+
+/// Cumulative cache telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CacheStats {
+    /// Page lookups that hit.
+    pub hits: u64,
+    /// Page lookups that missed.
+    pub misses: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+    /// SSD device statistics.
+    pub ssd: DeviceStats,
+}
+
+impl CacheStats {
+    /// Hit fraction of all lookups.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheInner {
+    ssd: DiskModel,
+    pages: HashMap<PageKey, PageEntry>,
+    capacity_pages: usize,
+    clockhand: u64,
+    next_ssd_offset: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A shared SSD cache over page-granular byte ranges.
+#[derive(Clone)]
+pub struct SsdCache {
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+impl std::fmt::Debug for SsdCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("SsdCache")
+            .field("pages", &inner.pages.len())
+            .field("capacity_pages", &inner.capacity_pages)
+            .finish()
+    }
+}
+
+impl SsdCache {
+    /// Creates a cache of the given byte capacity on a simulated SSD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is smaller than one page.
+    pub fn new(capacity: ByteSize) -> Self {
+        assert!(
+            capacity.bytes() >= PAGE_SIZE,
+            "cache must hold at least one page"
+        );
+        Self {
+            inner: Arc::new(Mutex::new(CacheInner {
+                ssd: DiskModel::ssd(),
+                pages: HashMap::new(),
+                capacity_pages: (capacity.bytes() / PAGE_SIZE) as usize,
+                clockhand: 0,
+                next_ssd_offset: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            })),
+        }
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            ssd: inner.ssd.stats(),
+        }
+    }
+
+    /// Resident pages.
+    pub fn len(&self) -> usize {
+        self.inner.lock().pages.len()
+    }
+
+    /// Whether the cache holds no pages.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().pages.is_empty()
+    }
+
+    /// Looks up one page; on hit, charges an SSD read and returns true.
+    fn touch_page(&self, key: PageKey) -> bool {
+        let mut inner = self.inner.lock();
+        inner.clockhand += 1;
+        let now = inner.clockhand;
+        if let Some(entry) = inner.pages.get_mut(&key) {
+            entry.last_used = now;
+            let off = entry.ssd_offset;
+            inner.ssd.serve(IoRequest::new(off, PAGE_SIZE));
+            inner.hits += 1;
+            true
+        } else {
+            inner.misses += 1;
+            false
+        }
+    }
+
+    /// Inserts a page after a miss, evicting the least-recently-used page
+    /// when full. Charges an SSD write-sized access.
+    fn fill_page(&self, key: PageKey) {
+        let mut inner = self.inner.lock();
+        if inner.pages.contains_key(&key) {
+            return; // racing fill
+        }
+        if inner.pages.len() >= inner.capacity_pages {
+            if let Some((&victim, _)) = inner
+                .pages
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+            {
+                inner.pages.remove(&victim);
+                inner.evictions += 1;
+            }
+        }
+        inner.clockhand += 1;
+        let now = inner.clockhand;
+        let off = inner.next_ssd_offset;
+        inner.next_ssd_offset =
+            (inner.next_ssd_offset + PAGE_SIZE) % inner.ssd.capacity().bytes();
+        inner.ssd.serve(IoRequest::new(off, PAGE_SIZE));
+        inner.pages.insert(
+            key,
+            PageEntry {
+                ssd_offset: off,
+                last_used: now,
+            },
+        );
+    }
+}
+
+/// A [`ChunkSource`] reading one file through a shared [`SsdCache`]: page
+/// hits are served (and charged) on the SSD; misses read through to the
+/// cluster's HDD nodes and fill the cache.
+#[derive(Debug, Clone)]
+pub struct CachedSource {
+    cluster: TectonicCluster,
+    cache: SsdCache,
+    path: String,
+    file_hash: u64,
+}
+
+impl CachedSource {
+    /// Creates a cached source over `path`.
+    pub fn new(cluster: TectonicCluster, cache: SsdCache, path: impl Into<String>) -> Self {
+        let path = path.into();
+        let file_hash = hash_path(&path);
+        Self {
+            cluster,
+            cache,
+            path,
+            file_hash,
+        }
+    }
+}
+
+impl ChunkSource for CachedSource {
+    fn read(&mut self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        // Data bytes always come from the cluster's name-space (contents
+        // are authoritative there); the cache decides which *device* is
+        // charged for each page.
+        let first = offset / PAGE_SIZE;
+        let last = (offset + len.max(1) - 1) / PAGE_SIZE;
+        let mut missed_any = false;
+        for page in first..=last {
+            let key = PageKey {
+                file: self.file_hash,
+                page,
+            };
+            if !self.cache.touch_page(key) {
+                missed_any = true;
+                self.cache.fill_page(key);
+            }
+        }
+        if missed_any {
+            // Misses pay the HDD path.
+            self.cluster.read(&self.path, offset, len)
+        } else {
+            // All pages hot: serve without touching HDDs.
+            self.cluster.read_uncharged(&self.path, offset, len)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use bytes::Bytes;
+
+    fn setup(capacity: ByteSize) -> (TectonicCluster, SsdCache) {
+        let cluster = TectonicCluster::new(ClusterConfig::small());
+        let data: Vec<u8> = (0..2_000_000u32).map(|i| (i % 251) as u8).collect();
+        cluster.append("hot/file", Bytes::from(data)).unwrap();
+        (cluster, SsdCache::new(capacity))
+    }
+
+    #[test]
+    fn repeat_reads_hit_the_cache_and_spare_hdds() {
+        let (cluster, cache) = setup(ByteSize::mib(8));
+        let mut src = CachedSource::new(cluster.clone(), cache.clone(), "hot/file");
+        let a = src.read(100_000, 5_000).unwrap();
+        cluster.reset_stats();
+        let b = src.read(100_000, 5_000).unwrap();
+        assert_eq!(a, b);
+        // The repeat read touched no HDD.
+        assert_eq!(cluster.total_stats().ios, 0);
+        let stats = cache.stats();
+        assert!(stats.hits >= 1);
+        assert!(stats.ssd.ios > 0);
+    }
+
+    #[test]
+    fn correctness_preserved_through_cache() {
+        let (cluster, cache) = setup(ByteSize::mib(4));
+        let mut cached = CachedSource::new(cluster.clone(), cache, "hot/file");
+        for (off, len) in [(0u64, 100u64), (64 * 1024 - 10, 50), (1_500_000, 4_000)] {
+            let direct = cluster.read("hot/file", off, len).unwrap();
+            let through = cached.read(off, len).unwrap();
+            assert_eq!(direct, through, "range ({off}, {len})");
+            // Read again from cache.
+            assert_eq!(cached.read(off, len).unwrap(), direct);
+        }
+    }
+
+    #[test]
+    fn lru_evicts_cold_pages() {
+        // A 2-page cache cycling over 4 pages evicts constantly.
+        let (cluster, cache) = setup(ByteSize(2 * PAGE_SIZE));
+        let mut src = CachedSource::new(cluster, cache.clone(), "hot/file");
+        for round in 0..3 {
+            for page in 0..4u64 {
+                src.read(page * PAGE_SIZE, 16).unwrap();
+            }
+            let _ = round;
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0);
+        assert!(cache.len() <= 2);
+        // But a hot page re-read immediately hits.
+        src.read(0, 16).unwrap();
+        let before = cache.stats().hits;
+        src.read(0, 16).unwrap();
+        assert_eq!(cache.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn zipf_traffic_yields_high_hit_rate() {
+        // Popular-byte traffic (Fig. 7): a cache holding the hot set
+        // absorbs most IO.
+        let (cluster, cache) = setup(ByteSize::mib(1)); // 16 pages hot set
+        let mut src = CachedSource::new(cluster, cache.clone(), "hot/file");
+        let mut rng = dsi_types::rng::SplitMix64::new(5);
+        for _ in 0..2_000 {
+            // 90% of reads to the 1 MiB hot prefix, 10% uniform cold.
+            let off = if rng.chance(0.9) {
+                rng.next_below(1_000_000)
+            } else {
+                1_000_000 + rng.next_below(900_000)
+            };
+            src.read(off, 512).unwrap();
+        }
+        let rate = cache.stats().hit_rate();
+        assert!(rate > 0.6, "hit rate {rate:.2}");
+    }
+}

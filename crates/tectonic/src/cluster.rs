@@ -1,0 +1,680 @@
+//! The Tectonic name node and client API.
+//!
+//! [`TectonicCluster`] is a cheaply-cloneable handle (shared state behind
+//! locks) so DPP Workers on many threads can read concurrently. Appends
+//! split data into blocks, place three replicas by rendezvous hashing, and
+//! update the name-node file metadata. Reads pick a replica round-robin and
+//! charge the owning node's simulated disk.
+
+use crate::block::{place_replicas, BlockId, DEFAULT_BLOCK_SIZE, REPLICATION_FACTOR};
+use crate::node::{NodeStats, StorageNode};
+use bytes::Bytes;
+use dsi_types::{DsiError, NodeId, Result};
+use hwsim::{DeviceStats, DiskModel, SimClock};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of storage nodes.
+    pub nodes: usize,
+    /// Block size in bytes.
+    pub block_size: u64,
+    /// Replicas per block.
+    pub replication: usize,
+    /// Whether nodes use HDDs (`true`) or SSDs (`false`).
+    pub hdd: bool,
+}
+
+impl ClusterConfig {
+    /// A small test cluster: 8 HDD nodes, 1 MiB blocks, R3.
+    pub fn small() -> Self {
+        Self {
+            nodes: 8,
+            block_size: 1024 * 1024,
+            replication: REPLICATION_FACTOR,
+            hdd: true,
+        }
+    }
+
+    /// A production-flavored cluster: `nodes` HDD nodes, 8 MiB blocks, R3.
+    pub fn production(nodes: usize) -> Self {
+        Self {
+            nodes,
+            block_size: DEFAULT_BLOCK_SIZE,
+            replication: REPLICATION_FACTOR,
+            hdd: true,
+        }
+    }
+
+    /// Same shape but SSD-backed.
+    pub fn ssd(mut self) -> Self {
+        self.hdd = false;
+        self
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self::small()
+    }
+}
+
+/// Name-node metadata for one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Total file length in bytes.
+    pub len: u64,
+    /// Replica locations per block (block `i` lives on `blocks[i]`).
+    pub blocks: Vec<Vec<NodeId>>,
+}
+
+struct ClusterInner {
+    config: ClusterConfig,
+    nodes: Vec<Mutex<StorageNode>>,
+    failed: RwLock<std::collections::HashSet<NodeId>>,
+    files: RwLock<HashMap<String, FileMeta>>,
+    replica_cursor: AtomicU64,
+    clock: SimClock,
+}
+
+/// A handle to a simulated Tectonic cluster.
+#[derive(Clone)]
+pub struct TectonicCluster {
+    inner: Arc<ClusterInner>,
+}
+
+impl std::fmt::Debug for TectonicCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TectonicCluster")
+            .field("nodes", &self.inner.nodes.len())
+            .field("files", &self.inner.files.read().len())
+            .finish()
+    }
+}
+
+impl TectonicCluster {
+    /// Builds a cluster per the config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has zero nodes, zero block size, or more
+    /// replicas than nodes.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.nodes > 0, "cluster needs at least one node");
+        assert!(config.block_size > 0, "block size must be positive");
+        assert!(
+            config.replication >= 1 && config.replication <= config.nodes,
+            "replication must be within [1, nodes]"
+        );
+        let nodes = (0..config.nodes)
+            .map(|_| {
+                Mutex::new(StorageNode::new(if config.hdd {
+                    DiskModel::hdd()
+                } else {
+                    DiskModel::ssd()
+                }))
+            })
+            .collect();
+        Self {
+            inner: Arc::new(ClusterInner {
+                config,
+                nodes,
+                failed: RwLock::new(std::collections::HashSet::new()),
+                files: RwLock::new(HashMap::new()),
+                replica_cursor: AtomicU64::new(0),
+                clock: SimClock::new(),
+            }),
+        }
+    }
+
+    /// The cluster's configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.inner.config
+    }
+
+    /// The shared simulated clock (advanced by IO service time).
+    pub fn clock(&self) -> &SimClock {
+        &self.inner.clock
+    }
+
+    /// Number of storage nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.len()
+    }
+
+    /// Appends a new file (or appends more bytes to an existing one),
+    /// splitting it into replicated blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::Exhausted`] if any target node is out of space.
+    pub fn append(&self, path: &str, data: Bytes) -> Result<()> {
+        let mut files = self.inner.files.write();
+        let meta = files.entry(path.to_string()).or_insert(FileMeta {
+            len: 0,
+            blocks: Vec::new(),
+        });
+        let bs = self.inner.config.block_size;
+        let mut written = 0u64;
+        // Fill the tail block first if the file doesn't end on a boundary.
+        // Append-only semantics: we only ever add new blocks; a partial tail
+        // block is replaced by a longer one on its original nodes.
+        while written < data.len() as u64 {
+            let block_index = meta.len / bs;
+            let within = meta.len % bs;
+            let take = ((bs - within).min(data.len() as u64 - written)) as usize;
+            let chunk = data.slice(written as usize..written as usize + take);
+            let id = BlockId::new(path, block_index);
+            if within == 0 {
+                let replicas = place_replicas(
+                    id,
+                    self.inner.config.nodes,
+                    self.inner.config.replication,
+                );
+                for &node in &replicas {
+                    self.inner.nodes[node.0 as usize]
+                        .lock()
+                        .store(id, chunk.clone())?;
+                }
+                meta.blocks.push(replicas);
+            } else {
+                // Extend the partial tail block in place on its replicas.
+                let replicas = meta.blocks[block_index as usize].clone();
+                for &node in &replicas {
+                    let mut n = self.inner.nodes[node.0 as usize].lock();
+                    let (existing, _) = n.read(id, 0, within)?;
+                    let mut combined = existing.to_vec();
+                    combined.extend_from_slice(&chunk);
+                    n.store(id, Bytes::from(combined))?;
+                }
+            }
+            meta.len += take as u64;
+            written += take as u64;
+        }
+        Ok(())
+    }
+
+    /// File metadata, if the file exists.
+    pub fn stat(&self, path: &str) -> Option<FileMeta> {
+        self.inner.files.read().get(path).cloned()
+    }
+
+    /// Lists all file paths.
+    pub fn list_files(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.files.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Total logical bytes across files (before replication).
+    pub fn total_file_bytes(&self) -> u64 {
+        self.inner.files.read().values().map(|m| m.len).sum()
+    }
+
+    /// Reads `len` bytes of `path` at `offset`, charging simulated disk
+    /// time on the chosen replicas and advancing the cluster clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::NotFound`] for missing files and
+    /// [`DsiError::Corrupt`] for out-of-range reads.
+    pub fn read(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let meta = self
+            .stat(path)
+            .ok_or_else(|| DsiError::not_found(format!("file {path}")))?;
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| DsiError::corrupt("read range overflow"))?;
+        if end > meta.len {
+            return Err(DsiError::corrupt(format!(
+                "read [{offset}, {end}) beyond file of {} bytes",
+                meta.len
+            )));
+        }
+        let bs = self.inner.config.block_size;
+        let mut out = Vec::with_capacity(len as usize);
+        let mut pos = offset;
+        let mut total_ns = 0u64;
+        while pos < end {
+            let block_index = pos / bs;
+            let within = pos % bs;
+            let take = (bs - within).min(end - pos);
+            let all_replicas = &meta.blocks[block_index as usize];
+            let failed = self.inner.failed.read();
+            let replicas: Vec<NodeId> = all_replicas
+                .iter()
+                .filter(|n| !failed.contains(n))
+                .copied()
+                .collect();
+            drop(failed);
+            if replicas.is_empty() {
+                return Err(DsiError::Unavailable(format!(
+                    "every replica of {path} block {block_index} is on a failed node"
+                )));
+            }
+            let pick = self.inner.replica_cursor.fetch_add(1, Ordering::Relaxed) as usize
+                % replicas.len();
+            let node = replicas[pick];
+            let id = BlockId::new(path, block_index);
+            let (bytes, ns) =
+                self.inner.nodes[node.0 as usize]
+                    .lock()
+                    .read(id, within, take)?;
+            out.extend_from_slice(&bytes);
+            total_ns += ns;
+            pos += take;
+        }
+        self.inner.clock.advance_ns(total_ns);
+        Ok(out)
+    }
+
+    /// Deletes a file: removes its name-node entry and every block replica
+    /// (retention and privacy reaping — old partitions are deleted even in
+    /// an append-only store).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::NotFound`] for unknown paths.
+    pub fn delete(&self, path: &str) -> Result<()> {
+        let meta = self
+            .inner
+            .files
+            .write()
+            .remove(path)
+            .ok_or_else(|| DsiError::not_found(format!("file {path}")))?;
+        for (block_index, replicas) in meta.blocks.iter().enumerate() {
+            let id = BlockId::new(path, block_index as u64);
+            for &node in replicas {
+                self.inner.nodes[node.0 as usize].lock().remove(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks a storage node failed: it stops serving reads until repaired.
+    /// Durable data survives via the remaining replicas.
+    pub fn fail_node(&self, node: NodeId) {
+        self.inner.failed.write().insert(node);
+    }
+
+    /// Returns a failed node to service (e.g. after replacement). Blocks it
+    /// hosted are stale until [`TectonicCluster::repair`] runs, but since
+    /// files are immutable its replicas remain valid.
+    pub fn recover_node(&self, node: NodeId) {
+        self.inner.failed.write().remove(&node);
+    }
+
+    /// Currently failed nodes.
+    pub fn failed_nodes(&self) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self.inner.failed.read().iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Re-replicates every block that lost a replica to a failed node,
+    /// copying from a surviving replica onto a healthy node not already
+    /// holding the block. Returns the number of replicas restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::Unavailable`] if some block has no surviving
+    /// replica, or [`DsiError::Exhausted`] if healthy nodes lack capacity.
+    pub fn repair(&self) -> Result<u64> {
+        let failed: std::collections::HashSet<NodeId> =
+            self.inner.failed.read().iter().copied().collect();
+        if failed.is_empty() {
+            return Ok(0);
+        }
+        let mut restored = 0u64;
+        let mut files = self.inner.files.write();
+        let healthy: Vec<NodeId> = (0..self.inner.nodes.len() as u64)
+            .map(NodeId)
+            .filter(|n| !failed.contains(n))
+            .collect();
+        for (path, meta) in files.iter_mut() {
+            for (block_index, replicas) in meta.blocks.iter_mut().enumerate() {
+                let lost = replicas.iter().filter(|n| failed.contains(n)).count();
+                if lost == 0 {
+                    continue;
+                }
+                let id = BlockId::new(path, block_index as u64);
+                let source = replicas
+                    .iter()
+                    .find(|n| !failed.contains(n))
+                    .copied()
+                    .ok_or_else(|| {
+                        DsiError::Unavailable(format!(
+                            "block {block_index} of {path} lost every replica"
+                        ))
+                    })?;
+                let data = {
+                    let node = self.inner.nodes[source.0 as usize].lock();
+                    node.peek(id, 0, node.peek_len(id)?)?
+                };
+                // Place replacements on healthy nodes not already holding it.
+                let mut targets: Vec<NodeId> = healthy
+                    .iter()
+                    .filter(|n| !replicas.contains(n))
+                    .copied()
+                    .collect();
+                targets.sort_by_key(|n| crate::block::place_replicas(id, healthy.len().max(1), 1)
+                    .first()
+                    .map_or(u64::MAX, |p| p.0 ^ n.0));
+                let mut placed = 0;
+                for target in targets {
+                    if placed == lost {
+                        break;
+                    }
+                    self.inner.nodes[target.0 as usize]
+                        .lock()
+                        .store(id, data.clone())?;
+                    // Swap one failed replica entry for the new holder.
+                    if let Some(slot) = replicas.iter_mut().find(|n| failed.contains(n)) {
+                        *slot = target;
+                    }
+                    placed += 1;
+                    restored += 1;
+                }
+            }
+        }
+        Ok(restored)
+    }
+
+    /// Like [`TectonicCluster::read`] but charges no disk time — used by
+    /// cache tiers that accounted the IO on another device.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TectonicCluster::read`].
+    pub fn read_uncharged(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let meta = self
+            .stat(path)
+            .ok_or_else(|| DsiError::not_found(format!("file {path}")))?;
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| DsiError::corrupt("read range overflow"))?;
+        if end > meta.len {
+            return Err(DsiError::corrupt(format!(
+                "read [{offset}, {end}) beyond file of {} bytes",
+                meta.len
+            )));
+        }
+        let bs = self.inner.config.block_size;
+        let mut out = Vec::with_capacity(len as usize);
+        let mut pos = offset;
+        while pos < end {
+            let block_index = pos / bs;
+            let within = pos % bs;
+            let take = (bs - within).min(end - pos);
+            let node = meta.blocks[block_index as usize][0];
+            let id = BlockId::new(path, block_index);
+            let bytes = self.inner.nodes[node.0 as usize]
+                .lock()
+                .peek(id, within, take)?;
+            out.extend_from_slice(&bytes);
+            pos += take;
+        }
+        Ok(out)
+    }
+
+    /// Aggregated device stats across all nodes.
+    pub fn total_stats(&self) -> DeviceStats {
+        let mut total = DeviceStats::default();
+        for n in &self.inner.nodes {
+            let s = n.lock().stats().device;
+            total.ios += s.ios;
+            total.bytes += s.bytes;
+            total.busy_ns += s.busy_ns;
+            total.seeks += s.seeks;
+        }
+        total
+    }
+
+    /// Per-node telemetry snapshots.
+    pub fn node_stats(&self) -> Vec<NodeStats> {
+        self.inner.nodes.iter().map(|n| n.lock().stats()).collect()
+    }
+
+    /// Every recorded IO size across nodes (enable recording first).
+    pub fn all_io_sizes(&self) -> Vec<u64> {
+        let mut all = Vec::new();
+        for n in &self.inner.nodes {
+            all.extend(n.lock().stats().io_sizes);
+        }
+        all
+    }
+
+    /// Enables or disables per-IO size recording on every node.
+    pub fn set_record_io_sizes(&self, on: bool) {
+        for n in &self.inner.nodes {
+            n.lock().set_record_io_sizes(on);
+        }
+    }
+
+    /// Clears telemetry on every node.
+    pub fn reset_stats(&self) {
+        for n in &self.inner.nodes {
+            n.lock().reset_stats();
+        }
+    }
+
+    /// Physical bytes stored across all nodes (includes replication).
+    pub fn stored_bytes(&self) -> u64 {
+        self.inner.nodes.iter().map(|n| n.lock().stored_bytes()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_and_read_across_blocks() {
+        let c = TectonicCluster::new(ClusterConfig {
+            nodes: 5,
+            block_size: 1000,
+            replication: 3,
+            hdd: true,
+        });
+        let data: Vec<u8> = (0..3500u32).map(|i| (i % 251) as u8).collect();
+        c.append("f", Bytes::from(data.clone())).unwrap();
+        let meta = c.stat("f").unwrap();
+        assert_eq!(meta.len, 3500);
+        assert_eq!(meta.blocks.len(), 4);
+        // Read spanning three blocks.
+        let got = c.read("f", 900, 2200).unwrap();
+        assert_eq!(got, &data[900..3100]);
+    }
+
+    #[test]
+    fn replication_is_physical() {
+        let c = TectonicCluster::new(ClusterConfig {
+            nodes: 4,
+            block_size: 1024,
+            replication: 3,
+            hdd: true,
+        });
+        c.append("f", Bytes::from(vec![1u8; 2048])).unwrap();
+        assert_eq!(c.total_file_bytes(), 2048);
+        assert_eq!(c.stored_bytes(), 3 * 2048);
+    }
+
+    #[test]
+    fn incremental_append_extends_tail_block() {
+        let c = TectonicCluster::new(ClusterConfig {
+            nodes: 4,
+            block_size: 100,
+            replication: 2,
+            hdd: true,
+        });
+        c.append("f", Bytes::from(vec![1u8; 30])).unwrap();
+        c.append("f", Bytes::from(vec![2u8; 30])).unwrap();
+        c.append("f", Bytes::from(vec![3u8; 60])).unwrap();
+        let meta = c.stat("f").unwrap();
+        assert_eq!(meta.len, 120);
+        assert_eq!(meta.blocks.len(), 2);
+        let got = c.read("f", 0, 120).unwrap();
+        assert_eq!(&got[..30], &[1u8; 30]);
+        assert_eq!(&got[30..60], &[2u8; 30]);
+        assert_eq!(&got[60..], &[3u8; 60]);
+    }
+
+    #[test]
+    fn reads_charge_disk_time_and_advance_clock() {
+        let c = TectonicCluster::new(ClusterConfig::small());
+        c.append("f", Bytes::from(vec![0u8; 10_000])).unwrap();
+        assert_eq!(c.clock().now_ns(), 0);
+        c.read("f", 0, 4096).unwrap();
+        assert!(c.clock().now_ns() > 0);
+        let stats = c.total_stats();
+        assert_eq!(stats.ios, 1);
+        assert_eq!(stats.bytes, 4096);
+    }
+
+    #[test]
+    fn missing_file_and_bad_range() {
+        let c = TectonicCluster::new(ClusterConfig::small());
+        assert!(matches!(c.read("nope", 0, 1), Err(DsiError::NotFound(_))));
+        c.append("f", Bytes::from(vec![0u8; 10])).unwrap();
+        assert!(c.read("f", 5, 10).is_err());
+    }
+
+    #[test]
+    fn io_size_recording_round_trip() {
+        let c = TectonicCluster::new(ClusterConfig::small());
+        c.append("f", Bytes::from(vec![0u8; 10_000])).unwrap();
+        c.set_record_io_sizes(true);
+        c.read("f", 0, 100).unwrap();
+        c.read("f", 500, 200).unwrap();
+        let mut sizes = c.all_io_sizes();
+        sizes.sort();
+        assert_eq!(sizes, vec![100, 200]);
+        c.reset_stats();
+        assert!(c.all_io_sizes().is_empty());
+    }
+
+    #[test]
+    fn delete_reaps_blocks_everywhere() {
+        let c = TectonicCluster::new(ClusterConfig {
+            nodes: 5,
+            block_size: 1000,
+            replication: 3,
+            hdd: true,
+        });
+        c.append("keep", Bytes::from(vec![1u8; 2500])).unwrap();
+        c.append("reap", Bytes::from(vec![2u8; 2500])).unwrap();
+        let before = c.list_files().len();
+        c.delete("reap").unwrap();
+        assert_eq!(c.list_files().len(), before - 1);
+        assert!(matches!(c.read("reap", 0, 1), Err(DsiError::NotFound(_))));
+        // Blocks are gone from every node.
+        let total_blocks: usize = (0..5)
+            .map(|i| c.inner.nodes[i].lock().block_count())
+            .sum();
+        assert_eq!(total_blocks, 3 * 3); // only "keep"'s 3 blocks x R3
+        // The kept file is intact.
+        assert_eq!(c.read("keep", 0, 2500).unwrap(), vec![1u8; 2500]);
+        assert!(c.delete("reap").is_err());
+    }
+
+    #[test]
+    fn reads_survive_node_failure_via_replicas() {
+        let c = TectonicCluster::new(ClusterConfig {
+            nodes: 6,
+            block_size: 1024,
+            replication: 3,
+            hdd: true,
+        });
+        let data: Vec<u8> = (0..5000u32).map(|i| (i % 253) as u8).collect();
+        c.append("f", Bytes::from(data.clone())).unwrap();
+        // Fail two nodes: every block still has at least one replica.
+        c.fail_node(NodeId(0));
+        c.fail_node(NodeId(1));
+        assert_eq!(c.failed_nodes(), vec![NodeId(0), NodeId(1)]);
+        let got = c.read("f", 0, 5000).unwrap();
+        assert_eq!(got, data);
+    }
+
+    #[test]
+    fn repair_restores_replication_factor() {
+        let c = TectonicCluster::new(ClusterConfig {
+            nodes: 6,
+            block_size: 512,
+            replication: 3,
+            hdd: true,
+        });
+        c.append("f", Bytes::from(vec![9u8; 4096])).unwrap();
+        c.fail_node(NodeId(2));
+        let restored = c.repair().unwrap();
+        // Blocks that had a replica on node 2 were re-replicated.
+        let meta = c.stat("f").unwrap();
+        for replicas in &meta.blocks {
+            assert!(!replicas.contains(&NodeId(2)));
+            assert_eq!(replicas.len(), 3);
+            let mut uniq = replicas.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3, "replicas must be distinct");
+        }
+        // Some blocks likely lived on node 2 (rendezvous spread).
+        assert!(restored > 0, "expected restorations, got {restored}");
+        // After repair even the failed node's data is readable elsewhere.
+        assert_eq!(c.read("f", 0, 4096).unwrap(), vec![9u8; 4096]);
+        // Repair is idempotent.
+        assert_eq!(c.repair().unwrap(), 0);
+    }
+
+    #[test]
+    fn losing_every_replica_is_unavailable() {
+        let c = TectonicCluster::new(ClusterConfig {
+            nodes: 3,
+            block_size: 1024,
+            replication: 3,
+            hdd: true,
+        });
+        c.append("f", Bytes::from(vec![1u8; 100])).unwrap();
+        c.fail_node(NodeId(0));
+        c.fail_node(NodeId(1));
+        c.fail_node(NodeId(2));
+        assert!(matches!(c.read("f", 0, 10), Err(DsiError::Unavailable(_))));
+        assert!(c.repair().is_err());
+        // Recovery restores service (immutable blocks are still valid).
+        c.recover_node(NodeId(0));
+        c.recover_node(NodeId(1));
+        c.recover_node(NodeId(2));
+        assert_eq!(c.read("f", 0, 100).unwrap(), vec![1u8; 100]);
+    }
+
+    #[test]
+    fn handles_are_shared() {
+        let c = TectonicCluster::new(ClusterConfig::small());
+        let c2 = c.clone();
+        c.append("f", Bytes::from(vec![0u8; 100])).unwrap();
+        assert!(c2.stat("f").is_some());
+        assert_eq!(c2.list_files(), vec!["f".to_string()]);
+    }
+
+    #[test]
+    fn concurrent_reads_are_safe() {
+        let c = TectonicCluster::new(ClusterConfig::small());
+        c.append("f", Bytes::from(vec![7u8; 100_000])).unwrap();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let off = (t * 1000 + i * 13) as u64;
+                        let data = c.read("f", off, 64).unwrap();
+                        assert_eq!(data, vec![7u8; 64]);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.total_stats().ios, 200);
+    }
+}

@@ -1,0 +1,240 @@
+//! A storage node: one simulated disk plus its resident blocks and
+//! telemetry.
+
+use crate::block::BlockId;
+use bytes::Bytes;
+use dsi_types::{DsiError, Result};
+use hwsim::{DeviceStats, DiskModel, IoRequest};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Cumulative node telemetry (device stats plus IO size distribution).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodeStats {
+    /// Underlying device statistics.
+    pub device: DeviceStats,
+    /// Every served IO size in bytes (for distribution analysis, Table VI).
+    pub io_sizes: Vec<u64>,
+}
+
+impl NodeStats {
+    /// Total bytes served.
+    pub fn bytes(&self) -> u64 {
+        self.device.bytes
+    }
+}
+
+/// One storage node holding replicated blocks on a simulated disk.
+#[derive(Debug)]
+pub struct StorageNode {
+    disk: DiskModel,
+    blocks: HashMap<BlockId, (u64, Bytes)>,
+    next_offset: u64,
+    io_sizes: Vec<u64>,
+    record_io_sizes: bool,
+}
+
+impl StorageNode {
+    /// Creates a node over the given disk model.
+    pub fn new(disk: DiskModel) -> Self {
+        Self {
+            disk,
+            blocks: HashMap::new(),
+            next_offset: 0,
+            io_sizes: Vec::new(),
+            record_io_sizes: false,
+        }
+    }
+
+    /// Enables per-IO size recording (used by the Table VI experiment).
+    pub fn set_record_io_sizes(&mut self, on: bool) {
+        self.record_io_sizes = on;
+    }
+
+    /// Stores a block replica (append-only: sequential placement on disk).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::Exhausted`] if the disk is out of capacity.
+    pub fn store(&mut self, id: BlockId, data: Bytes) -> Result<()> {
+        if self.next_offset + data.len() as u64 > self.disk.capacity().bytes() {
+            return Err(DsiError::Exhausted(format!(
+                "storage node disk full at {} bytes",
+                self.next_offset
+            )));
+        }
+        let offset = self.next_offset;
+        self.next_offset += data.len() as u64;
+        self.blocks.insert(id, (offset, data));
+        Ok(())
+    }
+
+    /// Whether this node holds a replica of `id`.
+    pub fn holds(&self, id: BlockId) -> bool {
+        self.blocks.contains_key(&id)
+    }
+
+    /// Number of resident block replicas.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Bytes of resident block data.
+    pub fn stored_bytes(&self) -> u64 {
+        self.next_offset
+    }
+
+    /// Reads `len` bytes at `offset` within block `id`, charging disk time.
+    /// Returns the data and the simulated service time in nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::NotFound`] if the block is absent, or
+    /// [`DsiError::Corrupt`] if the range exceeds the block.
+    pub fn read(&mut self, id: BlockId, offset: u64, len: u64) -> Result<(Bytes, u64)> {
+        let (disk_offset, data) = self
+            .blocks
+            .get(&id)
+            .ok_or_else(|| DsiError::not_found(format!("block {id:?}")))?;
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= data.len() as u64)
+            .ok_or_else(|| DsiError::corrupt("read beyond block"))?;
+        let slice = data.slice(offset as usize..end as usize);
+        let ns = self.disk.serve(IoRequest::new(disk_offset + offset, len));
+        if self.record_io_sizes {
+            self.io_sizes.push(len);
+        }
+        Ok((slice, ns))
+    }
+
+    /// Reads block bytes without charging the device (cache-served data
+    /// whose IO was accounted elsewhere).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::NotFound`] / [`DsiError::Corrupt`] like
+    /// [`StorageNode::read`].
+    pub fn peek(&self, id: BlockId, offset: u64, len: u64) -> Result<Bytes> {
+        let (_, data) = self
+            .blocks
+            .get(&id)
+            .ok_or_else(|| DsiError::not_found(format!("block {id:?}")))?;
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= data.len() as u64)
+            .ok_or_else(|| DsiError::corrupt("read beyond block"))?;
+        Ok(data.slice(offset as usize..end as usize))
+    }
+
+    /// Removes a block replica (retention/reaping). The disk space is
+    /// reclaimed logically; the append-only offset is not compacted.
+    pub fn remove(&mut self, id: BlockId) -> bool {
+        self.blocks.remove(&id).is_some()
+    }
+
+    /// Length of a resident block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::NotFound`] if the block is absent.
+    pub fn peek_len(&self, id: BlockId) -> Result<u64> {
+        self.blocks
+            .get(&id)
+            .map(|(_, data)| data.len() as u64)
+            .ok_or_else(|| DsiError::not_found(format!("block {id:?}")))
+    }
+
+    /// Telemetry snapshot.
+    pub fn stats(&self) -> NodeStats {
+        NodeStats {
+            device: self.disk.stats(),
+            io_sizes: self.io_sizes.clone(),
+        }
+    }
+
+    /// Clears telemetry.
+    pub fn reset_stats(&mut self) {
+        self.disk.reset_stats();
+        self.io_sizes.clear();
+    }
+
+    /// The node's disk model (for capacity/power queries).
+    pub fn disk(&self) -> &DiskModel {
+        &self.disk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_types::ByteSize;
+    use hwsim::DeviceKind;
+
+    fn node() -> StorageNode {
+        StorageNode::new(DiskModel::hdd())
+    }
+
+    #[test]
+    fn store_and_read_round_trip() {
+        let mut n = node();
+        let id = BlockId::new("f", 0);
+        n.store(id, Bytes::from(vec![9u8; 1000])).unwrap();
+        let (data, ns) = n.read(id, 100, 50).unwrap();
+        assert_eq!(data.as_ref(), &[9u8; 50][..]);
+        assert!(ns > 0);
+        assert!(n.holds(id));
+        assert_eq!(n.block_count(), 1);
+        assert_eq!(n.stored_bytes(), 1000);
+    }
+
+    #[test]
+    fn missing_block_is_not_found() {
+        let mut n = node();
+        assert!(matches!(
+            n.read(BlockId::new("f", 0), 0, 1),
+            Err(DsiError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn read_beyond_block_is_corrupt() {
+        let mut n = node();
+        let id = BlockId::new("f", 0);
+        n.store(id, Bytes::from(vec![0u8; 10])).unwrap();
+        assert!(n.read(id, 5, 10).is_err());
+        assert!(n.read(id, u64::MAX, 1).is_err());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let small = DiskModel::custom(
+            DeviceKind::Hdd,
+            ByteSize(100),
+            1000,
+            0,
+            1_000_000,
+            5.0,
+            100.0,
+        );
+        let mut n = StorageNode::new(small);
+        assert!(n.store(BlockId::new("f", 0), Bytes::from(vec![0u8; 60])).is_ok());
+        assert!(n.store(BlockId::new("f", 1), Bytes::from(vec![0u8; 60])).is_err());
+    }
+
+    #[test]
+    fn io_sizes_recorded_when_enabled() {
+        let mut n = node();
+        let id = BlockId::new("f", 0);
+        n.store(id, Bytes::from(vec![0u8; 1000])).unwrap();
+        n.read(id, 0, 10).unwrap();
+        assert!(n.stats().io_sizes.is_empty());
+        n.set_record_io_sizes(true);
+        n.read(id, 0, 10).unwrap();
+        n.read(id, 20, 30).unwrap();
+        assert_eq!(n.stats().io_sizes, vec![10, 30]);
+        n.reset_stats();
+        assert!(n.stats().io_sizes.is_empty());
+        assert_eq!(n.stats().device.ios, 0);
+    }
+}

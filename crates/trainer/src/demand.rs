@@ -1,0 +1,74 @@
+//! GPU ingestion demand: how fast a trainer node consumes tensors.
+
+use serde::{Deserialize, Serialize};
+
+/// A trainer node's tensor ingestion demand.
+///
+/// Demand varies over 6× across models (Table VIII) because operational
+/// intensity (compute per sample) and inter-GPU synchronization overheads
+/// differ; a compute-light model drains tensors much faster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuDemand {
+    /// Tensor bytes per second the node's GPUs consume.
+    pub bytes_per_sec: f64,
+    /// Mean tensor bytes per sample for this model.
+    pub bytes_per_sample: f64,
+}
+
+impl GpuDemand {
+    /// Creates a demand model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either argument is not positive.
+    pub fn new(bytes_per_sec: f64, bytes_per_sample: f64) -> Self {
+        assert!(bytes_per_sec > 0.0, "demand must be positive");
+        assert!(bytes_per_sample > 0.0, "sample size must be positive");
+        Self {
+            bytes_per_sec,
+            bytes_per_sample,
+        }
+    }
+
+    /// Samples per second the node consumes.
+    pub fn samples_per_sec(&self) -> f64 {
+        self.bytes_per_sec / self.bytes_per_sample
+    }
+
+    /// Seconds of GPU work per mini-batch of `batch_size` samples.
+    pub fn batch_service_secs(&self, batch_size: usize) -> f64 {
+        batch_size as f64 / self.samples_per_sec()
+    }
+
+    /// DPP workers needed to meet this demand, given per-worker tensor
+    /// egress throughput (Table IX's "# nodes required").
+    pub fn workers_required(&self, worker_tx_bytes_per_sec: f64) -> f64 {
+        self.bytes_per_sec / worker_tx_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let d = GpuDemand::new(16.5e9, 50_000.0);
+        assert!((d.samples_per_sec() - 330_000.0).abs() < 1.0);
+        assert!((d.batch_service_secs(330) - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workers_required_matches_table_ix_arithmetic() {
+        // RM1: 16.5 GB/s node demand over 0.68 GB/s worker egress ≈ 24.
+        let d = GpuDemand::new(16.5e9, 50_000.0);
+        let workers = d.workers_required(0.68e9);
+        assert!((workers - 24.26).abs() < 0.1, "workers {workers:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "demand must be positive")]
+    fn zero_demand_rejected() {
+        GpuDemand::new(0.0, 1.0);
+    }
+}

@@ -1,0 +1,201 @@
+//! Multi-node data-parallel training jobs.
+//!
+//! Production jobs train on hundreds of trainer nodes, each running a DPP
+//! Client and receiving *different* mini-batches (data parallelism, §II).
+//! [`TrainingJob`] drives N concurrent [`LiveTrainer`]s against one DPP
+//! session — each on its own thread with a partitioned client — and
+//! aggregates coverage and stall statistics. Parameter synchronization
+//! happens on a dedicated backend network and does not touch the data
+//! ingestion path (§III-B), so it is modeled as part of each trainer's
+//! batch service time.
+
+use crate::demand::GpuDemand;
+use crate::live::LiveTrainer;
+use crate::stall::StallReport;
+use dpp::DppSession;
+use serde::{Deserialize, Serialize};
+
+/// Aggregated results of a multi-trainer job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobReport {
+    /// Per-trainer stall reports.
+    pub trainers: Vec<StallReport>,
+    /// Samples consumed per trainer.
+    pub samples_per_trainer: Vec<u64>,
+    /// Total samples consumed across trainers.
+    pub total_samples: u64,
+}
+
+impl JobReport {
+    /// Mean stall fraction across trainers.
+    pub fn mean_stall(&self) -> f64 {
+        if self.trainers.is_empty() {
+            return 0.0;
+        }
+        self.trainers.iter().map(|t| t.stall_fraction).sum::<f64>() / self.trainers.len() as f64
+    }
+
+    /// Load-balance skew: max/mean samples per trainer (1.0 = perfect).
+    pub fn balance_skew(&self) -> f64 {
+        let max = self.samples_per_trainer.iter().copied().max().unwrap_or(0) as f64;
+        let mean = self.total_samples as f64 / self.samples_per_trainer.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// A data-parallel training job over one DPP session.
+#[derive(Debug)]
+pub struct TrainingJob {
+    trainers: usize,
+    demand: GpuDemand,
+    fanout: usize,
+    time_scale: f64,
+}
+
+impl TrainingJob {
+    /// Creates a job with `trainers` trainer nodes of the given per-node
+    /// demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trainers == 0`.
+    pub fn new(trainers: usize, demand: GpuDemand) -> Self {
+        assert!(trainers > 0, "job needs at least one trainer");
+        Self {
+            trainers,
+            demand,
+            fanout: usize::MAX,
+            time_scale: 1.0,
+        }
+    }
+
+    /// Caps each trainer's worker connections (partitioned round-robin).
+    pub fn with_fanout(mut self, fanout: usize) -> Self {
+        self.fanout = fanout;
+        self
+    }
+
+    /// Scales simulated GPU service time (useful in tests).
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        self.time_scale = scale;
+        self
+    }
+
+    /// Runs the job to session completion, consuming every tensor exactly
+    /// once across the trainer fleet.
+    pub fn run(&self, session: &DppSession) -> JobReport {
+        let results: Vec<(StallReport, u64)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.trainers)
+                .map(|_| {
+                    let client = session.client_with_fanout(self.fanout);
+                    let demand = self.demand;
+                    let scale = self.time_scale;
+                    scope.spawn(move || {
+                        LiveTrainer::new(client, demand)
+                            .with_time_scale(scale)
+                            .train(u64::MAX)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("trainer threads do not panic"))
+                .collect()
+        });
+        let samples_per_trainer: Vec<u64> = results.iter().map(|(_, s)| *s).collect();
+        JobReport {
+            total_samples: samples_per_trainer.iter().sum(),
+            samples_per_trainer,
+            trainers: results.into_iter().map(|(r, _)| r).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpp::SessionSpec;
+    use dsi_types::{FeatureId, PartitionId, Projection, Sample, SessionId, SparseList, TableId};
+    use warehouse::{Table, TableConfig};
+
+    fn build_session(rows: u64, workers: usize) -> DppSession {
+        let cluster = tectonic::TectonicCluster::new(tectonic::ClusterConfig::small());
+        let opts = dwrf::WriterOptions {
+            rows_per_stripe: 32,
+            ..Default::default()
+        };
+        let table = Table::create(
+            cluster,
+            TableConfig::new(TableId(1), "job").with_writer_options(opts),
+        )
+        .unwrap();
+        let samples: Vec<Sample> = (0..rows)
+            .map(|i| {
+                let mut s = Sample::new(i as f32);
+                s.set_dense(FeatureId(1), i as f32);
+                s.set_sparse(FeatureId(2), SparseList::from_ids(vec![i % 9]));
+                s
+            })
+            .collect();
+        table.write_partition(PartitionId::new(0), samples).unwrap();
+        let spec = SessionSpec::builder(SessionId(1))
+            .partitions(PartitionId::new(0)..PartitionId::new(1))
+            .projection(Projection::new(vec![FeatureId(1), FeatureId(2)]))
+            .batch_size(32)
+            .dense_ids(vec![FeatureId(1)])
+            .sparse_ids(vec![FeatureId(2)])
+            .buffer_capacity(4)
+            .build();
+        DppSession::launch(table, spec, workers).unwrap()
+    }
+
+    #[test]
+    fn data_parallel_trainers_partition_the_data() {
+        let session = build_session(512, 3);
+        let demand = GpuDemand::new(6.4e6, 100.0); // fast consumers
+        let job = TrainingJob::new(4, demand).with_time_scale(0.05);
+        let report = job.run(&session);
+        assert_eq!(report.total_samples, 512);
+        assert_eq!(report.trainers.len(), 4);
+        // Different mini-batches went to different trainers: at least two
+        // trainers consumed something.
+        let active = report
+            .samples_per_trainer
+            .iter()
+            .filter(|&&s| s > 0)
+            .count();
+        assert!(active >= 2, "work should spread: {:?}", report.samples_per_trainer);
+        assert!(session.is_complete());
+        session.shutdown();
+    }
+
+    #[test]
+    fn partitioned_fanout_still_covers_everything() {
+        let session = build_session(256, 4);
+        let demand = GpuDemand::new(6.4e6, 100.0);
+        let job = TrainingJob::new(2, demand).with_fanout(2).with_time_scale(0.05);
+        let report = job.run(&session);
+        assert_eq!(report.total_samples, 256);
+        session.shutdown();
+    }
+
+    #[test]
+    fn report_statistics() {
+        let session = build_session(128, 2);
+        let job = TrainingJob::new(2, GpuDemand::new(6.4e6, 100.0)).with_time_scale(0.05);
+        let report = job.run(&session);
+        assert!(report.mean_stall() >= 0.0);
+        assert!(report.balance_skew() >= 1.0);
+        session.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trainer")]
+    fn zero_trainers_rejected() {
+        TrainingJob::new(0, GpuDemand::new(1.0, 1.0));
+    }
+}

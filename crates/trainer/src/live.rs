@@ -1,0 +1,159 @@
+//! A wall-clock trainer that consumes a live DPP session.
+//!
+//! [`LiveTrainer`] drives a real [`dpp::Client`]: each iteration fetches a
+//! tensor (measuring time blocked on data) and then "trains" on it for the
+//! model's batch service time. It is the measurement harness the
+//! integration tests and the end-to-end example use to show that DPP
+//! eliminates stalls a starved configuration exhibits.
+
+use crate::demand::GpuDemand;
+use crate::stall::StallReport;
+use dpp::Client;
+use std::time::{Duration, Instant};
+
+/// A wall-clock training loop over a DPP client.
+#[derive(Debug)]
+pub struct LiveTrainer {
+    client: Client,
+    demand: GpuDemand,
+    /// Scales simulated GPU time (1.0 = real time; smaller = faster tests).
+    time_scale: f64,
+}
+
+impl LiveTrainer {
+    /// Creates a trainer over `client` with the given demand model.
+    pub fn new(client: Client, demand: GpuDemand) -> Self {
+        Self {
+            client,
+            demand,
+            time_scale: 1.0,
+        }
+    }
+
+    /// Scales simulated GPU service time (builder-style; useful in tests).
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        self.time_scale = scale;
+        self
+    }
+
+    /// Consumes up to `max_batches` batches (or until the session ends),
+    /// returning the stall report and the number of samples trained.
+    pub fn train(&mut self, max_batches: u64) -> (StallReport, u64) {
+        let start = Instant::now();
+        let mut stalled = Duration::ZERO;
+        let mut batches = 0u64;
+        let mut samples = 0u64;
+        while batches < max_batches {
+            let wait_start = Instant::now();
+            let Some(tensor) = self.client.next_batch() else {
+                break;
+            };
+            stalled += wait_start.elapsed();
+            batches += 1;
+            samples += tensor.batch_size() as u64;
+            // "Train": occupy the GPU for the batch's service time.
+            let service =
+                self.demand.batch_service_secs(tensor.batch_size()) * self.time_scale;
+            spin_sleep(Duration::from_secs_f64(service));
+        }
+        let elapsed = start.elapsed();
+        (
+            StallReport {
+                batches,
+                elapsed_secs: elapsed.as_secs_f64(),
+                stalled_secs: stalled.as_secs_f64(),
+                stall_fraction: if elapsed.is_zero() {
+                    0.0
+                } else {
+                    stalled.as_secs_f64() / elapsed.as_secs_f64()
+                },
+            },
+            samples,
+        )
+    }
+}
+
+/// Sleeps short durations accurately enough for the tests.
+fn spin_sleep(d: Duration) {
+    if d > Duration::from_millis(2) {
+        std::thread::sleep(d);
+    } else {
+        let end = Instant::now() + d;
+        while Instant::now() < end {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpp::{DppSession, SessionSpec};
+    use dsi_types::{FeatureId, PartitionId, Projection, Sample, SessionId, SparseList, TableId};
+    use warehouse::{Table, TableConfig};
+
+    fn build_table(rows: u64) -> Table {
+        let cluster = tectonic::TectonicCluster::new(tectonic::ClusterConfig::small());
+        let opts = dwrf::WriterOptions {
+            rows_per_stripe: 32,
+            ..Default::default()
+        };
+        let table = Table::create(
+            cluster,
+            TableConfig::new(TableId(1), "live").with_writer_options(opts),
+        )
+        .unwrap();
+        let samples: Vec<Sample> = (0..rows)
+            .map(|i| {
+                let mut s = Sample::new(i as f32);
+                s.set_dense(FeatureId(1), i as f32);
+                s.set_sparse(FeatureId(2), SparseList::from_ids(vec![i % 13]));
+                s
+            })
+            .collect();
+        table.write_partition(PartitionId::new(0), samples).unwrap();
+        table
+    }
+
+    fn spec() -> SessionSpec {
+        SessionSpec::builder(SessionId(1))
+            .partitions(PartitionId::new(0)..PartitionId::new(1))
+            .projection(Projection::new(vec![FeatureId(1), FeatureId(2)]))
+            .batch_size(32)
+            .dense_ids(vec![FeatureId(1)])
+            .sparse_ids(vec![FeatureId(2)])
+            .buffer_capacity(4)
+            .build()
+    }
+
+    #[test]
+    fn live_trainer_consumes_session() {
+        let table = build_table(256);
+        let session = DppSession::launch(table, spec(), 2).unwrap();
+        // A slow GPU (low demand): preprocessing keeps up, stalls near 0.
+        let demand = GpuDemand::new(3.2e6, 100.0); // 32k samples/s
+        let mut trainer = LiveTrainer::new(session.client(), demand);
+        let (report, samples) = trainer.train(u64::MAX);
+        assert_eq!(samples, 256);
+        assert_eq!(report.batches, 8);
+        session.shutdown();
+        // After warm-up the buffer should hide most production time; allow
+        // generous slack for CI machines.
+        assert!(
+            report.stall_fraction < 0.9,
+            "stall {:.3}",
+            report.stall_fraction
+        );
+    }
+
+    #[test]
+    fn max_batches_caps_consumption() {
+        let table = build_table(256);
+        let session = DppSession::launch(table, spec(), 2).unwrap();
+        let demand = GpuDemand::new(3.2e6, 100.0);
+        let mut trainer = LiveTrainer::new(session.client(), demand).with_time_scale(0.1);
+        let (report, _) = trainer.train(3);
+        assert_eq!(report.batches, 3);
+        session.shutdown();
+    }
+}

@@ -1,0 +1,99 @@
+//! Host-side data loading costs (Fig. 8).
+//!
+//! Even with all extraction and transformation offloaded to DPP, the
+//! trainer host still pays the "datacenter tax" — network stack, TLS
+//! decryption, Thrift-style deserialization, memory management — for every
+//! tensor byte loaded. This module sweeps ingestion rate against the
+//! trainer node model to reproduce the CPU / memory-bandwidth curves of
+//! Fig. 8.
+
+use hwsim::{DatacenterTax, NodeSpec, ResourceVector, Utilization};
+use serde::{Deserialize, Serialize};
+
+/// Per-byte host cost of loading tensors over the network.
+pub fn loading_cost(tax: &DatacenterTax) -> ResourceVector {
+    tax.rx_cost(1.0)
+}
+
+/// One point of the Fig. 8 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadingPoint {
+    /// Ingestion rate in bytes/second.
+    pub rate: f64,
+    /// Host utilization at that rate.
+    pub utilization: Utilization,
+    /// Whether the demand is infeasible on this node (some resource > 1).
+    pub saturated: bool,
+}
+
+/// Sweeps data-loading utilization over ingestion rates on `node`.
+pub fn loading_sweep(node: &NodeSpec, tax: &DatacenterTax, rates: &[f64]) -> Vec<LoadingPoint> {
+    let per_byte = loading_cost(tax);
+    rates
+        .iter()
+        .map(|&rate| {
+            let utilization = node.utilization_at(&per_byte, rate);
+            let (_, max) = utilization.max_component();
+            LoadingPoint {
+                rate,
+                utilization,
+                saturated: max >= 1.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_grows_linearly_with_rate() {
+        let node = NodeSpec::trainer();
+        let tax = DatacenterTax::production();
+        let pts = loading_sweep(&node, &tax, &[1e9, 2e9, 4e9]);
+        assert!(pts[1].utilization.cpu > pts[0].utilization.cpu);
+        assert!(
+            (pts[2].utilization.cpu - 4.0 * pts[0].utilization.cpu).abs() < 1e-9,
+            "linear scaling"
+        );
+    }
+
+    #[test]
+    fn rm1_demand_lands_in_fig8_bands() {
+        // At RM1's 16.5 GB/s: ~40% CPU, ~55% membw, NIC approaching
+        // saturation on the 2×100 Gbps front-end.
+        let node = NodeSpec::trainer();
+        let tax = DatacenterTax::production();
+        let pt = &loading_sweep(&node, &tax, &[16.5e9])[0];
+        assert!((0.30..=0.50).contains(&pt.utilization.cpu), "cpu {}", pt.utilization.cpu);
+        assert!(
+            (0.45..=0.65).contains(&pt.utilization.membw),
+            "membw {}",
+            pt.utilization.membw
+        );
+        assert!(
+            pt.utilization.nic_rx > 0.6,
+            "nic approaching saturation: {}",
+            pt.utilization.nic_rx
+        );
+        assert!(!pt.saturated);
+    }
+
+    #[test]
+    fn excessive_rate_saturates() {
+        let node = NodeSpec::trainer();
+        let tax = DatacenterTax::production();
+        let pt = &loading_sweep(&node, &tax, &[60e9])[0];
+        assert!(pt.saturated);
+    }
+
+    #[test]
+    fn tls_offload_cuts_loading_cost() {
+        let node = NodeSpec::trainer();
+        let full = loading_sweep(&node, &DatacenterTax::production(), &[16.5e9]);
+        let off = loading_sweep(&node, &DatacenterTax::tls_offloaded(), &[16.5e9]);
+        assert!(off[0].utilization.cpu < full[0].utilization.cpu);
+        assert!(off[0].utilization.membw < full[0].utilization.membw * 0.6);
+    }
+}

@@ -1,0 +1,120 @@
+//! The on-host preprocessing baseline (Table VII).
+//!
+//! Before DPP, preprocessing ran on each trainer's own CPUs. Table VII
+//! shows the result for RM1 on a 2-socket, 8-GPU node: 56% of GPU cycles
+//! stalled waiting for data, at 92% host CPU utilization — the host simply
+//! cannot extract + transform + load fast enough. This module computes
+//! that equilibrium from a measured per-sample preprocessing demand vector.
+
+use crate::demand::GpuDemand;
+use hwsim::{DatacenterTax, NodeSpec, ResourceVector, Utilization};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of running preprocessing on the trainer host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnHostReport {
+    /// Samples/second the host can supply.
+    pub supply_qps: f64,
+    /// Samples/second the GPUs demand.
+    pub demand_qps: f64,
+    /// Fraction of GPU time stalled waiting for data.
+    pub stall_fraction: f64,
+    /// Host utilization at the operating point.
+    pub utilization: Utilization,
+}
+
+/// Computes the on-host equilibrium.
+///
+/// `preproc_per_sample` is the measured extract+transform demand per sample
+/// (e.g. from a `dpp::WorkerReport`); storage receive bytes are charged the
+/// datacenter tax because the host still pulls raw data over the network.
+/// The host runs preprocessing as fast as its binding resource allows; GPUs
+/// stall for the remainder of the demand.
+pub fn onhost_baseline(
+    node: &NodeSpec,
+    tax: &DatacenterTax,
+    preproc_per_sample: &ResourceVector,
+    storage_rx_bytes_per_sample: f64,
+    demand: &GpuDemand,
+) -> OnHostReport {
+    // On-host loading replaces the worker->trainer hop: the host pays tax
+    // on the raw storage bytes instead (no tensor egress).
+    let total = preproc_per_sample.plus(&tax.rx_cost(storage_rx_bytes_per_sample));
+    let supply = node.max_rate(&total);
+    let demand_qps = demand.samples_per_sec();
+    let operating = supply.min(demand_qps);
+    let stall = (1.0 - supply / demand_qps).max(0.0);
+    OnHostReport {
+        supply_qps: supply,
+        demand_qps,
+        stall_fraction: stall,
+        utilization: node.utilization_at(&total, operating),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An RM1-flavoured per-sample preprocessing demand: heavy transform
+    /// cycles and memory traffic per sample (values in the range produced
+    /// by `dpp::WorkerReport` on the synthetic RM1 dataset).
+    fn rm1_like_preproc() -> ResourceVector {
+        ResourceVector {
+            cpu_cycles: 860_000.0,
+            membw_bytes: 470_000.0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn rm1_on_host_stalls_over_half_the_time() {
+        let node = NodeSpec::trainer();
+        let tax = DatacenterTax::production();
+        // RM1: 16.5 GB/s of tensors at ~50 KB/sample -> 330k samples/s.
+        let demand = GpuDemand::new(16.5e9, 50_000.0);
+        let report = onhost_baseline(&node, &tax, &rm1_like_preproc(), 25_000.0, &demand);
+        assert!(
+            (0.45..=0.70).contains(&report.stall_fraction),
+            "stall {:.2} outside Table VII band",
+            report.stall_fraction
+        );
+        assert!(
+            report.utilization.cpu > 0.85,
+            "host CPU should be nearly saturated: {:.2}",
+            report.utilization.cpu
+        );
+        assert!(
+            (0.3..0.9).contains(&report.utilization.membw),
+            "membw {:.2}",
+            report.utilization.membw
+        );
+    }
+
+    #[test]
+    fn cheap_preprocessing_does_not_stall() {
+        let node = NodeSpec::trainer();
+        let tax = DatacenterTax::production();
+        let demand = GpuDemand::new(4.69e9, 50_000.0); // RM2-ish demand
+        let light = ResourceVector {
+            cpu_cycles: 5_000.0,
+            membw_bytes: 10_000.0,
+            ..Default::default()
+        };
+        let report = onhost_baseline(&node, &tax, &light, 10_000.0, &demand);
+        assert_eq!(report.stall_fraction, 0.0);
+        assert!(report.utilization.cpu < 1.0);
+    }
+
+    #[test]
+    fn stall_grows_with_demand() {
+        let node = NodeSpec::trainer();
+        let tax = DatacenterTax::production();
+        let pre = rm1_like_preproc();
+        let low = onhost_baseline(&node, &tax, &pre, 25_000.0, &GpuDemand::new(4e9, 50_000.0));
+        let high = onhost_baseline(&node, &tax, &pre, 25_000.0, &GpuDemand::new(20e9, 50_000.0));
+        assert!(high.stall_fraction > low.stall_fraction);
+        // Supply is demand-independent (host-bound).
+        assert!((high.supply_qps - low.supply_qps).abs() < 1e-6);
+    }
+}

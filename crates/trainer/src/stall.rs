@@ -1,0 +1,189 @@
+//! A virtual-time data-stall simulator.
+//!
+//! Models the trainer's ingest loop as a bounded buffer between a tensor
+//! producer (the preprocessing pipeline, possibly bursty) and the GPU
+//! consumer: the GPU stalls whenever the buffer is empty at iteration
+//! start. This is the mechanism DPP's buffered tensors are sized against
+//! (§III-B1: "maintaining a non-zero number of buffered tensors").
+
+use dsi_types::rng::SplitMix64;
+use serde::{Deserialize, Serialize};
+
+/// Result of a stall simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StallReport {
+    /// Batches consumed.
+    pub batches: u64,
+    /// Total simulated seconds.
+    pub elapsed_secs: f64,
+    /// Seconds the GPU spent waiting for data.
+    pub stalled_secs: f64,
+    /// `stalled_secs / elapsed_secs`.
+    pub stall_fraction: f64,
+}
+
+/// A bounded-buffer producer/consumer stall simulator in virtual time.
+#[derive(Debug, Clone)]
+pub struct StallSim {
+    /// Mean seconds between produced batches.
+    pub produce_interval: f64,
+    /// Seconds of GPU work per batch.
+    pub consume_interval: f64,
+    /// Buffer capacity in batches.
+    pub buffer_capacity: usize,
+    /// Log-normal sigma of producer jitter (0 = deterministic).
+    pub producer_jitter: f64,
+}
+
+impl StallSim {
+    /// Creates a simulator from supply and demand rates (batches/s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate or the buffer capacity is not positive.
+    pub fn from_rates(supply_bps: f64, demand_bps: f64, buffer_capacity: usize) -> Self {
+        assert!(supply_bps > 0.0 && demand_bps > 0.0, "rates must be positive");
+        assert!(buffer_capacity > 0, "buffer must hold at least one batch");
+        Self {
+            produce_interval: 1.0 / supply_bps,
+            consume_interval: 1.0 / demand_bps,
+            buffer_capacity,
+            producer_jitter: 0.0,
+        }
+    }
+
+    /// Sets producer jitter (builder-style).
+    pub fn with_jitter(mut self, sigma: f64) -> Self {
+        self.producer_jitter = sigma;
+        self
+    }
+
+    /// Runs `batches` iterations of the consumer and reports stalls.
+    pub fn run(&self, batches: u64, seed: u64) -> StallReport {
+        let mut rng = SplitMix64::new(seed);
+        let mut now = 0.0f64;
+        // Times at which produced batches become available.
+        let mut next_produce = 0.0f64;
+        let mut available: std::collections::VecDeque<f64> = std::collections::VecDeque::new();
+        let mut produced = 0u64;
+        let mut stalled = 0.0f64;
+
+        let produce_until = |t: f64,
+                                 available: &mut std::collections::VecDeque<f64>,
+                                 next_produce: &mut f64,
+                                 produced: &mut u64,
+                                 rng: &mut SplitMix64| {
+            while *next_produce <= t && available.len() < self.buffer_capacity {
+                available.push_back(*next_produce);
+                *produced += 1;
+                let interval = if self.producer_jitter > 0.0 {
+                    rng.next_lognormal(self.produce_interval, self.producer_jitter)
+                } else {
+                    self.produce_interval
+                };
+                *next_produce += interval;
+            }
+            // A full buffer back-pressures the producer: it resumes when
+            // space frees (modeled by pushing its clock forward).
+            if available.len() >= self.buffer_capacity && *next_produce < t {
+                *next_produce = t;
+            }
+        };
+
+        for _ in 0..batches {
+            produce_until(now, &mut available, &mut next_produce, &mut produced, &mut rng);
+            let batch_ready = match available.pop_front() {
+                Some(_) => now,
+                None => {
+                    // Stall until the producer delivers.
+                    let ready = next_produce.max(now);
+                    stalled += ready - now;
+                    // The batch produced at `ready` is consumed immediately.
+                    let interval = if self.producer_jitter > 0.0 {
+                        rng.next_lognormal(self.produce_interval, self.producer_jitter)
+                    } else {
+                        self.produce_interval
+                    };
+                    next_produce = ready + interval;
+                    ready
+                }
+            };
+            now = batch_ready + self.consume_interval;
+        }
+        StallReport {
+            batches,
+            elapsed_secs: now,
+            stalled_secs: stalled,
+            stall_fraction: if now > 0.0 { stalled / now } else { 0.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oversupplied_trainer_never_stalls() {
+        let sim = StallSim::from_rates(1000.0, 100.0, 8);
+        let r = sim.run(10_000, 1);
+        assert_eq!(r.stalled_secs, 0.0);
+        assert_eq!(r.stall_fraction, 0.0);
+    }
+
+    #[test]
+    fn undersupplied_trainer_stalls_by_the_deficit() {
+        // Supply half of demand: the GPU should stall ~50% of time.
+        let sim = StallSim::from_rates(50.0, 100.0, 8);
+        let r = sim.run(20_000, 2);
+        assert!(
+            (0.45..=0.55).contains(&r.stall_fraction),
+            "stall {:.3}",
+            r.stall_fraction
+        );
+    }
+
+    #[test]
+    fn table_vii_operating_point() {
+        // RM1 on-host: supply ≈ 0.44× demand -> 56% stall.
+        let sim = StallSim::from_rates(44.0, 100.0, 8);
+        let r = sim.run(20_000, 3);
+        assert!(
+            (0.52..=0.60).contains(&r.stall_fraction),
+            "stall {:.3}",
+            r.stall_fraction
+        );
+    }
+
+    #[test]
+    fn buffering_absorbs_jitter() {
+        // With supply == demand and jitter, a tiny buffer stalls more than
+        // a deep one.
+        let shallow = StallSim::from_rates(100.0, 100.0, 1)
+            .with_jitter(0.5)
+            .run(20_000, 4);
+        let deep = StallSim::from_rates(100.0, 100.0, 32)
+            .with_jitter(0.5)
+            .run(20_000, 4);
+        assert!(
+            deep.stall_fraction < shallow.stall_fraction,
+            "deep {:.3} vs shallow {:.3}",
+            deep.stall_fraction,
+            shallow.stall_fraction
+        );
+    }
+
+    #[test]
+    fn elapsed_accounts_for_consume_time() {
+        let sim = StallSim::from_rates(1000.0, 100.0, 8);
+        let r = sim.run(100, 5);
+        assert!((r.elapsed_secs - 1.0).abs() < 0.05, "elapsed {}", r.elapsed_secs);
+        assert_eq!(r.batches, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "rates must be positive")]
+    fn invalid_rates_rejected() {
+        StallSim::from_rates(0.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! Columnar (flatmap) transform execution over materialized tensors.
+//!
+//! §VII: DWRF and tensor formats both represent feature values contiguously
+//! across rows, so DPP Workers adopted in-memory flatmaps to avoid format
+//! conversions; the TorchArrow/Velox efforts push further toward vectorized
+//! columnar execution. This module is that execution path: normalization
+//! ops applied directly to [`MiniBatchTensor`] columns in single flat-buffer
+//! passes, with results identical to the per-sample row path.
+//!
+//! Only ops that are per-element over one feature qualify; feature
+//! *generation* (Cartesian, NGram, ...) materializes new columns and stays
+//! on the row path. [`ColumnarPlan::try_from_plan`] splits a plan
+//! accordingly.
+
+use crate::op::TransformOp;
+use dsi_types::rng::mix2;
+use dsi_types::{FeatureId, MiniBatchTensor};
+use serde::{Deserialize, Serialize};
+
+/// A transform plan restricted to columnar-executable ops.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnarPlan {
+    ops: Vec<TransformOp>,
+}
+
+impl ColumnarPlan {
+    /// Whether an op can run columnar (per-element over one feature).
+    pub fn supports(op: &TransformOp) -> bool {
+        matches!(
+            op,
+            TransformOp::SigridHash { .. }
+                | TransformOp::PositiveModulus { .. }
+                | TransformOp::FirstX { .. }
+                | TransformOp::ComputeScore { .. }
+                | TransformOp::Clamp { .. }
+                | TransformOp::Logit { .. }
+                | TransformOp::BoxCox { .. }
+                | TransformOp::GetLocalHour { .. }
+        )
+    }
+
+    /// Builds a columnar plan when *every* op qualifies; `None` otherwise.
+    pub fn try_from_plan(plan: &crate::plan::TransformPlan) -> Option<ColumnarPlan> {
+        if plan.ops().iter().all(Self::supports) {
+            Some(ColumnarPlan {
+                ops: plan.ops().to_vec(),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Splits a plan into `(columnar-executable suffix, row-path prefix)`:
+    /// the longest suffix of qualifying ops can run columnar after the
+    /// row path handles the rest.
+    pub fn split_plan(
+        plan: &crate::plan::TransformPlan,
+    ) -> (crate::plan::TransformPlan, ColumnarPlan) {
+        let ops = plan.ops();
+        let mut cut = ops.len();
+        while cut > 0 && Self::supports(&ops[cut - 1]) {
+            cut -= 1;
+        }
+        (
+            crate::plan::TransformPlan::new(ops[..cut].to_vec()),
+            ColumnarPlan {
+                ops: ops[cut..].to_vec(),
+            },
+        )
+    }
+
+    /// The plan's ops.
+    pub fn ops(&self) -> &[TransformOp] {
+        &self.ops
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Applies the plan to a materialized mini-batch. `dense_ids` gives the
+    /// dense matrix's column order (as passed to `Batch::materialize`).
+    pub fn apply(&self, tensor: &mut MiniBatchTensor, dense_ids: &[FeatureId]) {
+        let dense_col = |f: FeatureId| dense_ids.iter().position(|&d| d == f);
+        for op in &self.ops {
+            match op {
+                TransformOp::SigridHash {
+                    input,
+                    salt,
+                    modulus,
+                } => {
+                    if let Some(t) = tensor.sparse.iter_mut().find(|t| t.feature() == *input) {
+                        t.map_values_in_place(|v| mix2(*salt, v) % modulus);
+                    }
+                }
+                TransformOp::PositiveModulus { input, modulus } => {
+                    if let Some(t) = tensor.sparse.iter_mut().find(|t| t.feature() == *input) {
+                        t.map_values_in_place(|v| v % modulus);
+                    }
+                }
+                TransformOp::FirstX { input, x } => {
+                    if let Some(t) = tensor.sparse.iter_mut().find(|t| t.feature() == *input) {
+                        t.truncate_rows(*x);
+                    }
+                }
+                TransformOp::ComputeScore {
+                    input,
+                    scale,
+                    offset,
+                } => {
+                    if let Some(t) = tensor.sparse.iter_mut().find(|t| t.feature() == *input) {
+                        t.map_scores_in_place(|s| s * scale + offset);
+                    }
+                }
+                TransformOp::Clamp { input, min, max } => {
+                    if let Some(c) = dense_col(*input) {
+                        tensor.dense.map_col_in_place(c, |v| v.clamp(*min, *max));
+                    }
+                }
+                TransformOp::Logit { input } => {
+                    if let Some(c) = dense_col(*input) {
+                        tensor.dense.map_col_in_place(c, |v| {
+                            let p = (v as f64).clamp(1e-6, 1.0 - 1e-6);
+                            (p / (1.0 - p)).ln() as f32
+                        });
+                    }
+                }
+                TransformOp::BoxCox { input, lambda } => {
+                    if let Some(c) = dense_col(*input) {
+                        tensor.dense.map_col_in_place(c, |v| {
+                            let x = (v as f64).max(1e-9);
+                            if lambda.abs() < 1e-12 {
+                                x.ln() as f32
+                            } else {
+                                ((x.powf(*lambda) - 1.0) / lambda) as f32
+                            }
+                        });
+                    }
+                }
+                TransformOp::GetLocalHour {
+                    input,
+                    tz_offset_secs,
+                } => {
+                    if let Some(c) = dense_col(*input) {
+                        let tz = *tz_offset_secs as i64;
+                        tensor.dense.map_col_in_place(c, |v| {
+                            ((v as i64 + tz).rem_euclid(86_400) / 3_600) as f32
+                        });
+                    }
+                }
+                // try_from_plan/split_plan guarantee only supported ops here.
+                other => debug_assert!(Self::supports(other), "unsupported columnar op"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::TransformPlan;
+    use dsi_types::{Batch, Sample, SparseList};
+
+    fn batch() -> Batch {
+        (0..64u64)
+            .map(|i| {
+                let mut s = Sample::new(0.0);
+                s.set_dense(FeatureId(0), i as f32 / 64.0);
+                s.set_dense(FeatureId(1), i as f32 * 3_600.0);
+                s.set_sparse(
+                    FeatureId(10),
+                    SparseList::from_ids((0..(i % 6 + 1)).map(|k| i * 31 + k).collect()),
+                );
+                s
+            })
+            .collect()
+    }
+
+    fn norm_plan() -> TransformPlan {
+        TransformPlan::new(vec![
+            TransformOp::SigridHash {
+                input: FeatureId(10),
+                salt: 5,
+                modulus: 997,
+            },
+            TransformOp::FirstX {
+                input: FeatureId(10),
+                x: 3,
+            },
+            TransformOp::Logit { input: FeatureId(0) },
+            TransformOp::Clamp {
+                input: FeatureId(1),
+                min: 0.0,
+                max: 10_000.0,
+            },
+        ])
+    }
+
+    #[test]
+    fn columnar_matches_row_path_exactly() {
+        let dense_ids = [FeatureId(0), FeatureId(1)];
+        let sparse_ids = [FeatureId(10)];
+        let plan = norm_plan();
+
+        // Row path: transform samples, then materialize.
+        let mut row_batch = batch();
+        for s in row_batch.samples_mut() {
+            plan.apply_sample(s);
+        }
+        let row_tensor = row_batch.materialize(&dense_ids, &sparse_ids);
+
+        // Columnar path: materialize raw, then transform tensors.
+        let columnar = ColumnarPlan::try_from_plan(&plan).expect("all ops qualify");
+        let mut col_tensor = batch().materialize(&dense_ids, &sparse_ids);
+        columnar.apply(&mut col_tensor, &dense_ids);
+
+        assert_eq!(row_tensor, col_tensor);
+    }
+
+    #[test]
+    fn generation_ops_disqualify_full_columnar() {
+        let plan = TransformPlan::new(vec![
+            TransformOp::NGram {
+                input: FeatureId(10),
+                n: 2,
+                output: FeatureId(20),
+            },
+            TransformOp::SigridHash {
+                input: FeatureId(20),
+                salt: 0,
+                modulus: 100,
+            },
+        ]);
+        assert!(ColumnarPlan::try_from_plan(&plan).is_none());
+        // But the hash suffix still splits off.
+        let (row, col) = ColumnarPlan::split_plan(&plan);
+        assert_eq!(row.len(), 1);
+        assert_eq!(col.ops().len(), 1);
+    }
+
+    #[test]
+    fn split_respects_order() {
+        // A qualifying op *before* a generation op must stay on the row
+        // path (it may feed the generator).
+        let plan = TransformPlan::new(vec![
+            TransformOp::FirstX {
+                input: FeatureId(10),
+                x: 4,
+            },
+            TransformOp::NGram {
+                input: FeatureId(10),
+                n: 2,
+                output: FeatureId(20),
+            },
+            TransformOp::Clamp {
+                input: FeatureId(0),
+                min: 0.0,
+                max: 1.0,
+            },
+        ]);
+        let (row, col) = ColumnarPlan::split_plan(&plan);
+        assert_eq!(row.len(), 2);
+        assert_eq!(col.ops().len(), 1);
+    }
+
+    #[test]
+    fn split_of_pure_normalization_is_all_columnar() {
+        let (row, col) = ColumnarPlan::split_plan(&norm_plan());
+        assert!(row.is_empty());
+        assert_eq!(col.ops().len(), 4);
+    }
+
+    #[test]
+    fn missing_features_are_ignored() {
+        let columnar = ColumnarPlan::try_from_plan(&TransformPlan::new(vec![
+            TransformOp::SigridHash {
+                input: FeatureId(99),
+                salt: 0,
+                modulus: 10,
+            },
+            TransformOp::Clamp {
+                input: FeatureId(98),
+                min: 0.0,
+                max: 1.0,
+            },
+        ]))
+        .expect("qualifying ops");
+        let mut tensor = batch().materialize(&[FeatureId(0)], &[FeatureId(10)]);
+        let before = tensor.clone();
+        columnar.apply(&mut tensor, &[FeatureId(0)]);
+        assert_eq!(tensor, before);
+    }
+}

@@ -1,0 +1,122 @@
+//! The warehouse catalog: a registry of tables over one storage cluster.
+//!
+//! A centralized warehouse with a common schema convention is what lets
+//! hundreds of models, interactive query engines, and the DSI pipeline
+//! interoperate (§III-A).
+
+use crate::table::{Table, TableConfig};
+use dsi_types::{DsiError, Result, TableId};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tectonic::TectonicCluster;
+
+/// A registry of tables sharing one Tectonic cluster.
+#[derive(Clone)]
+pub struct Warehouse {
+    cluster: TectonicCluster,
+    tables: Arc<RwLock<BTreeMap<TableId, Table>>>,
+}
+
+impl std::fmt::Debug for Warehouse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Warehouse")
+            .field("tables", &self.tables.read().len())
+            .finish()
+    }
+}
+
+impl Warehouse {
+    /// Creates an empty warehouse over `cluster`.
+    pub fn new(cluster: TectonicCluster) -> Self {
+        Self {
+            cluster,
+            tables: Arc::new(RwLock::new(BTreeMap::new())),
+        }
+    }
+
+    /// The backing cluster.
+    pub fn cluster(&self) -> &TectonicCluster {
+        &self.cluster
+    }
+
+    /// Creates and registers a table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::InvalidState`] if the id is already registered.
+    pub fn create_table(&self, config: TableConfig) -> Result<Table> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(&config.id) {
+            return Err(DsiError::InvalidState(format!(
+                "table {} already exists",
+                config.id
+            )));
+        }
+        let id = config.id;
+        let table = Table::create(self.cluster.clone(), config)?;
+        tables.insert(id, table.clone());
+        Ok(table)
+    }
+
+    /// Looks up a table by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::NotFound`] for unknown ids.
+    pub fn table(&self, id: TableId) -> Result<Table> {
+        self.tables
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| DsiError::not_found(format!("table {id}")))
+    }
+
+    /// All registered table ids.
+    pub fn table_ids(&self) -> Vec<TableId> {
+        self.tables.read().keys().copied().collect()
+    }
+
+    /// Total encoded bytes across all tables (logical, pre-replication).
+    pub fn total_encoded_bytes(&self) -> u64 {
+        self.tables
+            .read()
+            .values()
+            .map(Table::total_encoded_bytes)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_types::{FeatureId, PartitionId, Sample};
+    use tectonic::ClusterConfig;
+
+    #[test]
+    fn create_and_lookup() {
+        let wh = Warehouse::new(TectonicCluster::new(ClusterConfig::small()));
+        wh.create_table(TableConfig::new(TableId(1), "a")).unwrap();
+        wh.create_table(TableConfig::new(TableId(2), "b")).unwrap();
+        assert_eq!(wh.table_ids(), vec![TableId(1), TableId(2)]);
+        assert_eq!(wh.table(TableId(2)).unwrap().name(), "b");
+        assert!(wh.table(TableId(9)).is_err());
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let wh = Warehouse::new(TectonicCluster::new(ClusterConfig::small()));
+        wh.create_table(TableConfig::new(TableId(1), "a")).unwrap();
+        assert!(wh.create_table(TableConfig::new(TableId(1), "dup")).is_err());
+    }
+
+    #[test]
+    fn totals_roll_up() {
+        let wh = Warehouse::new(TectonicCluster::new(ClusterConfig::small()));
+        let t = wh.create_table(TableConfig::new(TableId(1), "a")).unwrap();
+        let mut s = Sample::new(0.0);
+        s.set_dense(FeatureId(1), 1.0);
+        t.write_partition(PartitionId::new(0), vec![s]).unwrap();
+        assert!(wh.total_encoded_bytes() > 0);
+    }
+}

@@ -1,0 +1,69 @@
+//! Fleet coordination: a combo window hitting the global scheduler.
+//!
+//! ```text
+//! cargo run --example combo_week
+//! ```
+//!
+//! Simulates §IV's collaborative release process: one model's combo window
+//! produces tens of large concurrent jobs with skewed durations and high
+//! kill rates (Fig. 4); fleet demand peaks when several models' windows
+//! overlap (Fig. 5); and the global scheduler's placement policy decides
+//! how many regional dataset copies the fleet pays for (Fig. 6).
+
+use cluster::scheduler::fig6_models;
+use cluster::{
+    DemandModel, GlobalScheduler, JobKind, JobStatus, PlacementPolicy, ReleaseProcess,
+};
+use dsi_types::ByteSize;
+
+fn main() {
+    // --- One combo window for one model (Fig. 4) ---
+    let process = ReleaseProcess::default();
+    let jobs = process.generate_iteration(2024);
+    let combos: Vec<_> = jobs.iter().filter(|j| j.kind == JobKind::Combo).collect();
+    let completed = combos
+        .iter()
+        .filter(|j| j.status == JobStatus::Completed)
+        .count();
+    println!(
+        "combo window: {} jobs ({} completed, {} failed/killed)",
+        combos.len(),
+        completed,
+        combos.len() - completed
+    );
+    let concurrency = ReleaseProcess::combo_concurrency(&jobs, 21);
+    let peak = concurrency.iter().max().copied().unwrap_or(0);
+    println!("peak concurrent combo jobs: {peak}");
+    for (day, c) in concurrency.iter().enumerate() {
+        println!("  day {day:>2}: {}", "#".repeat(*c as usize));
+    }
+
+    // --- A year of fleet demand (Fig. 5) ---
+    let series = DemandModel::default().series(364, 11);
+    println!(
+        "\nfleet demand over one year: peak/mean = {:.2} (datacenters are sized for the peaks)",
+        DemandModel::peak_to_mean(&series)
+    );
+
+    // --- Global placement (Fig. 6) ---
+    let scheduler = GlobalScheduler::five_regions(120.0);
+    let models = fig6_models(ByteSize::tib(25));
+    let balanced = scheduler.place(&models, PlacementPolicy::BalanceEverywhere, 5);
+    let packed = scheduler.place(&models, PlacementPolicy::BinPack, 5);
+    println!(
+        "\nplacement: balanced-everywhere stores {} of datasets across regions",
+        balanced.stored_bytes
+    );
+    println!(
+        "placement: bin-packing stores {} ({}% saved), feasible: {}",
+        packed.stored_bytes,
+        100 - 100 * packed.stored_bytes.bytes() / balanced.stored_bytes.bytes().max(1),
+        packed.feasible
+    );
+    for m in &models {
+        println!(
+            "  model {}: {} copies balanced, {} copies packed",
+            m.name, balanced.copies_per_model[&m.name], packed.copies_per_model[&m.name]
+        );
+    }
+}

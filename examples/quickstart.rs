@@ -1,0 +1,96 @@
+//! Quickstart: generate data, store it, preprocess it with DPP, train.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Walks the full DSI pipeline on a small synthetic dataset: raw feature
+//! and event logs flow through Scribe and the batch ETL into warehouse
+//! partitions (DWRF files in a simulated Tectonic cluster), then a DPP
+//! session extracts, transforms, and serves tensors to a consumer loop.
+
+use dsi::prelude::*;
+
+fn main() -> dsi_types::Result<()> {
+    // ------------------------------------------------- 1. offline logging
+    // Serving-time feature logs and outcome events land on the message bus.
+    let bus = MessageBus::new();
+    let ns_per_day = 86_400_000_000_000u64;
+    for request_id in 0..2_000u64 {
+        let ts = request_id * 40_000_000_000; // ~25 requests per "day"
+        let mut features = Sample::new(0.0);
+        features.set_dense(FeatureId(1), (request_id % 100) as f32 / 100.0);
+        features.set_sparse(
+            FeatureId(2),
+            SparseList::from_ids(vec![request_id % 50, request_id % 13]),
+        );
+        bus.publish("rm/features", FeatureLogRecord::new(request_id, ts, features).into());
+        // Every 7th recommendation gets a click.
+        let event = if request_id % 7 == 0 {
+            EventRecord::positive(request_id, ts + 1_000)
+        } else {
+            EventRecord::negative(request_id, ts + 1_000)
+        };
+        bus.publish("rm/events", event.into());
+    }
+
+    // ----------------------------------------- 2. ETL into the warehouse
+    let cluster = TectonicCluster::new(ClusterConfig::small());
+    let table = Table::create(cluster, TableConfig::new(TableId(1), "quickstart"))?;
+    let mut etl = BatchEtl::new(10_000_000_000, 1.0, ns_per_day);
+    let partitions = etl.run_pass(&bus, "rm/features", "rm/events", u64::MAX)?;
+    for (partition, samples) in partitions {
+        table.write_partition(partition, samples)?;
+    }
+    println!(
+        "warehouse: {} rows in {} partitions ({} encoded)",
+        table.total_rows(),
+        table.partitions().len(),
+        ByteSize(table.total_encoded_bytes())
+    );
+
+    // ------------------------------------------------- 3. a DPP session
+    let last_day = table.partitions().last().copied().unwrap_or_default();
+    let spec = SessionSpec::builder(SessionId(1))
+        .partitions(PartitionId::new(0)..last_day.plus_days(1))
+        .projection(Projection::new(vec![FeatureId(1), FeatureId(2)]))
+        .plan(TransformPlan::new(vec![
+            TransformOp::Logit { input: FeatureId(1) },
+            TransformOp::SigridHash {
+                input: FeatureId(2),
+                salt: 7,
+                modulus: 1_000,
+            },
+            TransformOp::FirstX {
+                input: FeatureId(2),
+                x: 8,
+            },
+        ]))
+        .batch_size(128)
+        .dense_ids(vec![FeatureId(1)])
+        .sparse_ids(vec![FeatureId(2)])
+        .build();
+    let session = DppSession::launch(table, spec, 3)?;
+
+    // --------------------------------------------------- 4. the trainer
+    let mut client = session.client();
+    let mut batches = 0u64;
+    let mut rows = 0u64;
+    let mut positives = 0u64;
+    while let Some(tensor) = client.next_batch() {
+        batches += 1;
+        rows += tensor.batch_size() as u64;
+        positives += tensor.labels.iter().filter(|&&l| l > 0.0).count() as u64;
+    }
+    let report = session.shutdown();
+    println!(
+        "trained on {rows} rows in {batches} mini-batches ({positives} positives)"
+    );
+    println!(
+        "dpp: read {} from storage, shipped {} of tensors over {} splits",
+        ByteSize(report.storage_rx_bytes),
+        ByteSize(report.transform_tx_bytes),
+        report.splits
+    );
+    Ok(())
+}

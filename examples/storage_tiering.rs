@@ -1,0 +1,100 @@
+//! Heterogeneous storage: the throughput-to-storage gap and tiering.
+//!
+//! ```text
+//! cargo run --example storage_tiering
+//! ```
+//!
+//! §VII observes that HDD-based storage must be over-provisioned ~8× for
+//! IOPS, while SSDs give 326% of the IOPS per watt at only 9% of the
+//! capacity per watt. Because training jobs collectively favor popular
+//! bytes (Fig. 7), a tiered layout placing the hot fraction on flash can
+//! serve most traffic at a fraction of the power.
+
+use dsi_types::PIB;
+use dsi_types::ByteSize;
+use synth::{JobProjectionSampler, RmProfile};
+use tectonic::{ProvisionPlan, StorageNodeClass, TieredPlacement};
+
+fn main() {
+    let profile = RmProfile::rm1();
+    let demand_bytes_per_sec = 64.0 * profile.workers_per_trainer * profile.worker_storage_rx;
+    let mean_io = 512 * 1024; // post-coalescing effective IO size
+    let dataset = profile.used_partitions;
+
+    println!(
+        "RM1 fleet: {:.1} PB used partitions, {:.0} GB/s of raw reads at {} KiB IOs",
+        dataset.as_pib(),
+        demand_bytes_per_sec / 1e9,
+        mean_io / 1024
+    );
+
+    // Popularity: how hot are the hottest bytes? (Fig. 7, measured)
+    let schema = profile.build_schema(600);
+    let sampler = JobProjectionSampler::new(&schema, &profile, 3);
+    let cdf = sampler.popularity_cdf(30, 9);
+    let hot_fraction = JobProjectionSampler::bytes_for_traffic(&cdf, 0.8);
+    println!(
+        "popularity: the hottest {:.0}% of bytes absorb 80% of traffic",
+        hot_fraction * 100.0
+    );
+
+    // Three provisioning strategies.
+    let hdd = ProvisionPlan::for_workload(
+        &StorageNodeClass::hdd(),
+        dataset,
+        3,
+        demand_bytes_per_sec,
+        mean_io,
+    );
+    let ssd = ProvisionPlan::for_workload(
+        &StorageNodeClass::ssd(),
+        dataset,
+        3,
+        demand_bytes_per_sec,
+        mean_io,
+    );
+    let tiered = TieredPlacement::plan(
+        dataset,
+        3,
+        demand_bytes_per_sec,
+        mean_io,
+        hot_fraction,
+        0.8,
+    );
+
+    println!("\nall-HDD:  {:>7.0} nodes, {:>6.2} MW (gap {:.1}x: IOPS-bound)",
+        hdd.nodes_provisioned, hdd.watts / 1e6, hdd.throughput_to_storage_gap);
+    println!("all-SSD:  {:>7.0} nodes, {:>6.2} MW (gap {:.2}x: capacity-bound)",
+        ssd.nodes_provisioned, ssd.watts / 1e6, ssd.throughput_to_storage_gap);
+    println!(
+        "tiered:   {:>7.0} nodes, {:>6.2} MW ({:.0} SSD hot + {:.0} HDD cold)",
+        tiered.hot.nodes_provisioned + tiered.cold.nodes_provisioned,
+        tiered.watts() / 1e6,
+        tiered.hot.nodes_provisioned,
+        tiered.cold.nodes_provisioned
+    );
+    let best = hdd.watts.min(ssd.watts);
+    println!(
+        "\ntiering saves {:.0}% of power vs the best single-medium plan",
+        100.0 * (1.0 - tiered.watts() / best)
+    );
+
+    // Sensitivity: what if the dataset keeps growing (Fig. 2)?
+    println!("\ndataset growth sensitivity (all-HDD gap):");
+    for factor in [1.0f64, 1.5, 2.0, 3.0] {
+        let plan = ProvisionPlan::for_workload(
+            &StorageNodeClass::hdd(),
+            ByteSize((dataset.bytes() as f64 * factor) as u64),
+            3,
+            demand_bytes_per_sec,
+            mean_io,
+        );
+        println!(
+            "  {:>4.1}x dataset ({:>5.1} PB): gap {:.2}x, {:.0} nodes",
+            factor,
+            dataset.bytes() as f64 * factor / PIB as f64,
+            plan.throughput_to_storage_gap,
+            plan.nodes_provisioned
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! §V: a model's dataset is read concurrently by multiple training jobs and
+//! analytics engines, all against the same storage. These tests run two DPP
+//! sessions plus interactive queries against one table at once, and check
+//! inter-job reuse through the cache tier.
+
+use dsi::prelude::*;
+use dsi_types::FeatureKind;
+use warehouse::{Aggregate, Predicate, Query};
+
+fn build_table() -> Table {
+    let profile = RmProfile::rm1();
+    let schema = profile.build_schema(60);
+    let cluster = TectonicCluster::new(ClusterConfig::small());
+    let opts = WriterOptions {
+        rows_per_stripe: 100,
+        ..Default::default()
+    };
+    let table = Table::create(
+        cluster,
+        TableConfig::new(TableId(1), "shared")
+            .with_schema(schema.clone())
+            .with_writer_options(opts),
+    )
+    .unwrap();
+    let mut generator = SampleGenerator::new(&schema, 31).with_positive_rate(0.2);
+    for day in 0..3u32 {
+        table
+            .write_partition(PartitionId::new(day), generator.take_samples(600))
+            .unwrap();
+    }
+    table
+}
+
+fn spec_for(table: &Table, id: u64, features: usize) -> SessionSpec {
+    let schema = table.schema();
+    let dense: Vec<_> = schema
+        .ids_of_kind(FeatureKind::Dense)
+        .into_iter()
+        .take(features)
+        .collect();
+    let sparse: Vec<_> = schema
+        .ids_of_kind(FeatureKind::Sparse)
+        .into_iter()
+        .take(3)
+        .collect();
+    let projection: Projection = dense.iter().chain(sparse.iter()).copied().collect();
+    SessionSpec::builder(SessionId(id))
+        .partitions(PartitionId::new(0)..PartitionId::new(3))
+        .projection(projection)
+        .batch_size(64)
+        .dense_ids(dense)
+        .sparse_ids(sparse)
+        .buffer_capacity(4)
+        .build()
+}
+
+#[test]
+fn two_jobs_and_an_analyst_share_one_table() {
+    let table = build_table();
+    // Two training jobs with overlapping (not identical) projections.
+    let session_a = DppSession::launch(table.clone(), spec_for(&table, 1, 20), 2).unwrap();
+    let session_b = DppSession::launch(table.clone(), spec_for(&table, 2, 35), 2).unwrap();
+
+    let (rows_a, rows_b, query_rows) = std::thread::scope(|s| {
+        let a = s.spawn(|| {
+            let mut client = session_a.client();
+            let mut n = 0;
+            while let Some(t) = client.next_batch() {
+                n += t.batch_size();
+            }
+            n
+        });
+        let b = s.spawn(|| {
+            let mut client = session_b.client();
+            let mut n = 0;
+            while let Some(t) = client.next_batch() {
+                n += t.batch_size();
+            }
+            n
+        });
+        // The analyst queries while both jobs stream.
+        let q = s.spawn(|| {
+            let mut total = 0;
+            for _ in 0..5 {
+                let r = Query::new(PartitionId::new(0)..PartitionId::new(3))
+                    .filter(Predicate::LabelEq(1.0))
+                    .select(vec![Aggregate::Count])
+                    .execute(&table)
+                    .unwrap();
+                total = r.rows_matched;
+            }
+            total
+        });
+        (
+            a.join().unwrap(),
+            b.join().unwrap(),
+            q.join().unwrap(),
+        )
+    });
+    assert_eq!(rows_a, 1800);
+    assert_eq!(rows_b, 1800);
+    assert!(query_rows > 250 && query_rows < 500, "CTR-ish count {query_rows}");
+    session_a.shutdown();
+    session_b.shutdown();
+    // Every byte for all three readers came off the same simulated disks.
+    let stats = table.cluster().total_stats();
+    assert!(stats.ios > 0 && stats.busy_ns > 0);
+}
+
+#[test]
+fn cache_tier_absorbs_the_second_job() {
+    let table = build_table();
+    table.attach_cache(tectonic::SsdCache::new(ByteSize::mib(128)));
+
+    // Job 1 warms the cache.
+    let s1 = DppSession::launch(table.clone(), spec_for(&table, 1, 25), 2).unwrap();
+    let mut c = s1.client();
+    while c.next_batch().is_some() {}
+    s1.shutdown();
+
+    let cache = table.cache().unwrap();
+    let misses_after_first = cache.stats().misses;
+    table.cluster().reset_stats();
+
+    // Job 2 (same projection shape → §V-B reuse) rides the cache.
+    let s2 = DppSession::launch(table.clone(), spec_for(&table, 2, 25), 2).unwrap();
+    let mut c = s2.client();
+    let mut n = 0;
+    while let Some(t) = c.next_batch() {
+        n += t.batch_size();
+    }
+    s2.shutdown();
+    assert_eq!(n, 1800);
+
+    let new_misses = cache.stats().misses - misses_after_first;
+    let hdd_ios = table.cluster().total_stats().ios;
+    assert_eq!(new_misses, 0, "identical projection should fully hit");
+    assert_eq!(hdd_ios, 0, "no HDD traffic for the cached job");
+    assert!(cache.stats().hit_rate() > 0.45);
+}

@@ -1,0 +1,153 @@
+//! Fault-tolerance integration: worker crashes, master checkpoint/restore,
+//! and scaling under churn.
+
+use dpp::{Master, SessionSpec};
+use dsi::prelude::*;
+use std::collections::HashSet;
+
+fn build_table(days: u32, rows_per_day: u64) -> Table {
+    let cluster = TectonicCluster::new(ClusterConfig::small());
+    let opts = WriterOptions {
+        rows_per_stripe: 20,
+        ..Default::default()
+    };
+    let table = Table::create(
+        cluster,
+        TableConfig::new(TableId(1), "ft").with_writer_options(opts),
+    )
+    .unwrap();
+    for day in 0..days {
+        let samples: Vec<Sample> = (0..rows_per_day)
+            .map(|i| {
+                let mut s = Sample::new((day as u64 * rows_per_day + i) as f32);
+                s.set_dense(FeatureId(1), i as f32);
+                s
+            })
+            .collect();
+        table.write_partition(PartitionId::new(day), samples).unwrap();
+    }
+    table
+}
+
+fn spec(days: u32) -> SessionSpec {
+    SessionSpec::builder(SessionId(1))
+        .partitions(PartitionId::new(0)..PartitionId::new(days))
+        .projection(Projection::new(vec![FeatureId(1)]))
+        .batch_size(20)
+        .dense_ids(vec![FeatureId(1)])
+        .buffer_capacity(4)
+        .build()
+}
+
+#[test]
+fn repeated_crashes_never_lose_or_duplicate_rows() {
+    let table = build_table(4, 100);
+    let session = DppSession::launch(table, spec(4), 3).unwrap();
+    let mut client = session.client();
+    let mut seen = HashSet::new();
+    let mut consumed = 0usize;
+    let mut crashes = 0;
+    while let Some(tensor) = client.next_batch() {
+        for &l in &tensor.labels {
+            assert!(seen.insert(l as u64), "row {l} duplicated");
+            consumed += 1;
+        }
+        // Crash a live worker every ~60 rows consumed, up to 4 times.
+        if crashes < 4 && consumed > (crashes + 1) * 60 {
+            let victim = session.master().checkpoint(); // any progress point
+            let _ = victim; // (checkpoint exercised under churn)
+            // Find a live worker id via telemetry ordering: crash the
+            // first registered one that still exists.
+            let ids: Vec<_> = (0..20).map(dsi_types::WorkerId).collect();
+            for id in ids {
+                if session.crash_and_replace(id).is_ok() {
+                    crashes += 1;
+                    break;
+                }
+            }
+        }
+    }
+    assert_eq!(seen.len(), 400, "all rows delivered exactly once");
+    assert!(crashes >= 3, "exercised at least 3 crashes, got {crashes}");
+    assert!(session.is_complete());
+    session.shutdown();
+}
+
+#[test]
+fn master_checkpoint_restore_replays_only_incomplete_work() {
+    let table = build_table(2, 100);
+    let s = spec(2);
+    let scan = table.scan(s.partitions(), s.projection.clone());
+    let splits = scan.plan_splits();
+    let master = Master::new(SessionId(1), splits.clone());
+    let w = master.register_worker();
+
+    // Process 4 splits "to completion" (consumed), leave the rest.
+    for _ in 0..4 {
+        let split = master.request_split(w).unwrap().unwrap();
+        master.complete_split(w, split.index).unwrap();
+    }
+    let checkpoint = master.checkpoint();
+    assert_eq!(checkpoint.completed.len(), 4);
+
+    // Master dies; replica restores from the checkpoint + re-planned scan.
+    let restored = Master::restore(&checkpoint, splits).unwrap();
+    let w2 = restored.register_worker();
+    let mut replayed = 0;
+    while let Some(split) = restored.request_split(w2).unwrap() {
+        assert!(
+            !checkpoint.completed.contains(&split.index),
+            "split {} replayed despite checkpoint",
+            split.index
+        );
+        restored.complete_split(w2, split.index).unwrap();
+        replayed += 1;
+    }
+    assert_eq!(replayed as u64, restored.total_splits() - 4);
+    assert!(restored.is_complete());
+}
+
+#[test]
+fn autoscale_down_drains_without_loss() {
+    let table = build_table(3, 100);
+    let session = DppSession::launch(table, spec(3), 6).unwrap();
+    // Force a drain of most of the fleet mid-session.
+    let mut scaler = dpp::AutoScaler::new(dpp::ScalerConfig {
+        min_workers: 1,
+        high_buffer_watermark: 0.5, // everything looks over-buffered
+        low_buffer_watermark: 0.1,
+        scale_down_utilization: 1.1, // always "idle enough"
+        ..Default::default()
+    });
+    let mut client = session.client();
+    let mut labels = Vec::new();
+    let mut ticks = 0;
+    while let Some(t) = client.next_batch() {
+        labels.extend(t.labels.iter().map(|&l| l as u64));
+        if ticks < 6 {
+            session.autoscale_tick(&mut scaler);
+            ticks += 1;
+        }
+    }
+    labels.sort_unstable();
+    labels.dedup();
+    assert_eq!(labels.len(), 300, "drains must not lose rows");
+    session.shutdown();
+}
+
+#[test]
+fn replicated_master_failover_is_transparent() {
+    // Two handles to the same master state: requests served through one,
+    // completions through the other, progress visible from both.
+    let table = build_table(1, 60);
+    let s = spec(1);
+    let splits = table.scan(s.partitions(), s.projection.clone()).plan_splits();
+    let primary = Master::new(SessionId(3), splits);
+    let replica = primary.clone();
+    let w = primary.register_worker();
+    while let Some(split) = replica.request_split(w).unwrap() {
+        primary.complete_split(w, split.index).unwrap();
+    }
+    assert!(replica.is_complete());
+    assert_eq!(replica.checkpoint(), primary.checkpoint());
+}

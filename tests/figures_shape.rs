@@ -1,0 +1,209 @@
+//! Shape assertions for the paper's headline results, measured end-to-end
+//! on the simulated deployment (slower, coarse-scale checks; the `figures`
+//! binary prints the full tables).
+
+use dsi_bench::{LabConfig, RmLab};
+use dsi_types::{ByteSize, PIB};
+use hwsim::{DatacenterTax, NodeSpec, PowerModel};
+use synth::{GrowthModel, JobProjectionSampler, RmClass, RmProfile};
+use tectonic::{ProvisionPlan, StorageNodeClass, TieredPlacement};
+use trainer::loading_sweep;
+
+#[test]
+fn fig1_dsi_power_exceeds_half_for_worker_heavy_models() {
+    let power = PowerModel::production();
+    for profile in RmProfile::all() {
+        let prov = cluster::provision_model(&profile, 16.0, 1 << 20, &power);
+        assert!(
+            prov.power.dsi_fraction() > 0.5,
+            "{}: DSI share {:.2}",
+            profile.class,
+            prov.power.dsi_fraction()
+        );
+    }
+}
+
+#[test]
+fn fig2_growth_doubles_size_quadruples_bandwidth() {
+    let last = *GrowthModel::default().trajectory(8).last().unwrap();
+    assert!(last.dataset_size > 2.0 && last.dataset_size < 2.5);
+    assert!(last.ingestion_bandwidth > 4.0 && last.ingestion_bandwidth < 4.8);
+}
+
+#[test]
+fn fig7_popularity_ordering_holds_across_models() {
+    let bytes_at_80 = |profile: &RmProfile| {
+        let schema = profile.build_schema(400);
+        let sampler = JobProjectionSampler::new(&schema, profile, 11);
+        JobProjectionSampler::bytes_for_traffic(&sampler.popularity_cdf(25, 3), 0.8)
+    };
+    let rm1 = bytes_at_80(&RmProfile::rm1());
+    let rm3 = bytes_at_80(&RmProfile::rm3());
+    // RM3 concentrates: fewer popular bytes absorb 80% of traffic.
+    assert!(rm3 < rm1, "rm3 {rm3:.2} vs rm1 {rm1:.2}");
+    assert!(rm1 < 0.6, "popular bytes dominate traffic: {rm1:.2}");
+    assert!(rm3 < 0.35, "rm3 hot set is small: {rm3:.2}");
+}
+
+#[test]
+fn fig8_loading_alone_consumes_significant_host_resources() {
+    let node = NodeSpec::trainer();
+    let tax = DatacenterTax::production();
+    let pt = &loading_sweep(&node, &tax, &[16.5e9])[0];
+    assert!(pt.utilization.cpu > 0.3 && pt.utilization.cpu < 0.5);
+    assert!(pt.utilization.membw > 0.45 && pt.utilization.membw < 0.65);
+    assert!(pt.utilization.nic_rx > 0.6, "approaching NIC saturation");
+}
+
+#[test]
+fn table9_worker_throughput_ordering_and_scale() {
+    let node = NodeSpec::c_v1();
+    let tax = DatacenterTax::production();
+    let qps = |class: RmClass| {
+        let lab = RmLab::build(class, LabConfig::default());
+        let projection = lab.rc_projection();
+        let model_features =
+            (lab.profile.model_dense_features + lab.profile.model_sparse_features) as f64;
+        let scale = model_features / projection.len().max(1) as f64;
+        let report = lab.measure_worker(&lab.session_spec(projection, 128));
+        let d = report.per_sample_demand(&tax);
+        let scaled = hwsim::ResourceVector {
+            cpu_cycles: d.cpu_cycles * scale,
+            membw_bytes: d.membw_bytes * scale,
+            nic_rx_bytes: d.nic_rx_bytes * scale,
+            nic_tx_bytes: d.nic_tx_bytes * scale,
+            ..d
+        };
+        node.max_rate(&scaled)
+    };
+    let rm1 = qps(RmClass::Rm1);
+    let rm2 = qps(RmClass::Rm2);
+    let rm3 = qps(RmClass::Rm3);
+    // Paper ordering: RM3 (36.9k) > RM1 (11.6k) > RM2 (8.0k).
+    assert!(rm3 > rm1 && rm1 > rm2, "qps rm1 {rm1:.0} rm2 {rm2:.0} rm3 {rm3:.0}");
+    // Several-fold spread between the extremes.
+    assert!(rm3 / rm2 > 3.0, "spread {:.1}", rm3 / rm2);
+    // RM1 lands within 3x of the paper's 11.6 kQPS.
+    assert!(
+        (4_000.0..35_000.0).contains(&rm1),
+        "rm1 saturation {rm1:.0} qps"
+    );
+}
+
+#[test]
+fn s7_storage_gap_exceeds_8x_at_table_vi_io_sizes() {
+    let rm1 = RmProfile::rm1();
+    let demand = 64.0 * rm1.workers_per_trainer * rm1.worker_storage_rx;
+    let plan = ProvisionPlan::for_workload(
+        &StorageNodeClass::hdd(),
+        rm1.used_partitions,
+        3,
+        demand,
+        23_200,
+    );
+    assert!(
+        plan.throughput_to_storage_gap > 8.0,
+        "gap {:.1}",
+        plan.throughput_to_storage_gap
+    );
+    // SSD flips to capacity-bound.
+    let ssd = ProvisionPlan::for_workload(
+        &StorageNodeClass::ssd(),
+        rm1.used_partitions,
+        3,
+        demand,
+        1 << 20,
+    );
+    assert!(ssd.throughput_to_storage_gap < 1.0);
+}
+
+#[test]
+fn s7_tiering_beats_single_medium_power() {
+    let rm1 = RmProfile::rm1();
+    let demand = 64.0 * rm1.workers_per_trainer * rm1.worker_storage_rx;
+    let io = 512 * 1024;
+    let hdd =
+        ProvisionPlan::for_workload(&StorageNodeClass::hdd(), rm1.used_partitions, 3, demand, io);
+    let ssd =
+        ProvisionPlan::for_workload(&StorageNodeClass::ssd(), rm1.used_partitions, 3, demand, io);
+    let tiered = TieredPlacement::plan(rm1.used_partitions, 3, demand, io, 0.39, 0.8);
+    assert!(
+        tiered.watts() < hdd.watts.min(ssd.watts),
+        "tiered {:.2} MW vs hdd {:.2} / ssd {:.2}",
+        tiered.watts() / 1e6,
+        hdd.watts / 1e6,
+        ssd.watts / 1e6
+    );
+}
+
+#[test]
+fn s7_codesign_improves_dpp_and_power() {
+    // Baseline (unflattened, scattered, row-major) vs fully optimized, on
+    // a stripe size large enough for sequential reads to matter.
+    use dpp::ExtractCostModel;
+    use dwrf::{CoalescePolicy, WriterOptions};
+    let cfg = LabConfig {
+        features: 200,
+        days: 2,
+        rows_per_day: 1_500,
+        rows_per_stripe: 750,
+        seed: 0xc0de,
+    };
+    let tax = DatacenterTax::production();
+    let node = NodeSpec::c_v1();
+    let rowmajor = ExtractCostModel {
+        decode_cycles_per_byte: 6.0,
+        decode_membw_per_byte: 12.0,
+        batch_membw_per_byte: 6.0,
+        ..Default::default()
+    };
+    let baseline_lab = RmLab::build_with_writer(
+        RmClass::Rm1,
+        cfg,
+        Some(WriterOptions {
+            flattened: false,
+            rows_per_stripe: cfg.rows_per_stripe,
+            ..Default::default()
+        }),
+    );
+    let spec = baseline_lab.session_spec(baseline_lab.rc_projection(), 128);
+    let base =
+        baseline_lab.measure_worker_custom(&spec, CoalescePolicy::None, Some(rowmajor));
+    let base_qps = node.max_rate(&base.per_sample_demand(&tax));
+
+    let opt_lab = {
+        let seed = RmLab::build(RmClass::Rm1, cfg);
+        RmLab::build_with_writer(RmClass::Rm1, cfg, Some(seed.popularity_writer_options()))
+    };
+    let spec = opt_lab.session_spec(opt_lab.rc_projection(), 128);
+    let opt = opt_lab.measure_worker_custom(
+        &spec,
+        CoalescePolicy::default_window(),
+        Some(ExtractCostModel::default()),
+    );
+    let opt_qps = node.max_rate(&opt.per_sample_demand(&tax));
+    assert!(
+        opt_qps / base_qps > 1.3,
+        "co-design should raise worker throughput: {:.2}x",
+        opt_qps / base_qps
+    );
+    // The optimized path wants far fewer storage bytes per sample (the
+    // flattening win); coalescing trades some of it back as over-read.
+    let base_bytes = base.storage_wanted_bytes as f64 / base.samples as f64;
+    let opt_bytes = opt.storage_wanted_bytes as f64 / opt.samples as f64;
+    assert!(
+        base_bytes / opt_bytes > 1.5,
+        "wanted bytes/sample {base_bytes:.0} -> {opt_bytes:.0}"
+    );
+}
+
+#[test]
+fn datasets_dwarf_local_storage() {
+    // Table III: used partitions alone are petabytes — orders of magnitude
+    // beyond a trainer node's local storage.
+    let local = ByteSize::tib(8); // generous local NVMe
+    for p in RmProfile::all() {
+        assert!(p.used_partitions.bytes() > 100 * local.bytes());
+        assert!(p.all_partitions.bytes() as f64 / PIB as f64 > 1.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end pipeline integration: logs → ETL → warehouse → DPP → trainer.
+
+use dsi::prelude::*;
+use dsi_types::FeatureKind;
+use std::collections::HashSet;
+
+const NS_PER_DAY: u64 = 1_000_000_000;
+
+/// Builds a bus with `n` request/event pairs spanning several "days".
+fn log_traffic(bus: &MessageBus, n: u64) {
+    for rid in 0..n {
+        let ts = rid * (NS_PER_DAY / 100); // 100 requests per day
+        let mut features = Sample::new(0.0);
+        features.set_dense(FeatureId(1), rid as f32);
+        features.set_sparse(FeatureId(2), SparseList::from_ids(vec![rid % 5, rid % 11]));
+        bus.publish("f", FeatureLogRecord::new(rid, ts, features).into());
+        let ev = if rid % 3 == 0 {
+            EventRecord::positive(rid, ts + 10)
+        } else {
+            EventRecord::negative(rid, ts + 10)
+        };
+        bus.publish("e", ev.into());
+    }
+}
+
+#[test]
+fn logs_to_tensors_exactly_once() {
+    // 1. Offline generation.
+    let bus = MessageBus::new();
+    log_traffic(&bus, 600);
+    let mut etl = BatchEtl::new(NS_PER_DAY, 1.0, NS_PER_DAY);
+    let partitions = etl
+        .run_pass(&bus, "f", "e", u64::MAX)
+        .expect("etl pass succeeds");
+    assert!(partitions.len() >= 5, "traffic spans multiple days");
+
+    // 2. Warehouse storage.
+    let cluster = TectonicCluster::new(ClusterConfig::small());
+    let table = Table::create(cluster, TableConfig::new(TableId(1), "pipe")).unwrap();
+    let mut total_rows = 0u64;
+    for (p, samples) in partitions {
+        total_rows += samples.len() as u64;
+        table.write_partition(p, samples).unwrap();
+    }
+    assert_eq!(total_rows, 600);
+    assert_eq!(table.total_rows(), 600);
+
+    // 3. Online preprocessing over a partition subrange.
+    let last = table.partitions().last().copied().unwrap();
+    let spec = SessionSpec::builder(SessionId(1))
+        .partitions(PartitionId::new(0)..last.plus_days(1))
+        .projection(Projection::new(vec![FeatureId(1), FeatureId(2)]))
+        .plan(TransformPlan::new(vec![TransformOp::SigridHash {
+            input: FeatureId(2),
+            salt: 5,
+            modulus: 64,
+        }]))
+        .batch_size(32)
+        .dense_ids(vec![FeatureId(1)])
+        .sparse_ids(vec![FeatureId(2)])
+        .build();
+    let session = DppSession::launch(table, spec, 3).unwrap();
+
+    // 4. Trainer-side consumption: every request id seen exactly once
+    //    (dense feature 1 carries the request id).
+    let mut client = session.client();
+    let mut seen = HashSet::new();
+    let mut positives = 0u64;
+    while let Some(tensor) = client.next_batch() {
+        for r in 0..tensor.batch_size() {
+            let rid = tensor.dense.get(r, 0) as u64;
+            assert!(seen.insert(rid), "request {rid} delivered twice");
+            if tensor.labels[r] > 0.0 {
+                positives += 1;
+            }
+        }
+        // Transform ran in flight.
+        assert!(tensor.sparse[0].values().iter().all(|&v| v < 64));
+    }
+    assert_eq!(seen.len(), 600);
+    assert_eq!(positives, 200); // every 3rd request clicked
+    assert!(session.is_complete());
+    let report = session.shutdown();
+    assert_eq!(report.samples, 600);
+    assert!(report.storage_rx_bytes > 0);
+}
+
+#[test]
+fn projection_filters_at_storage_not_after() {
+    // Reading 1 of 30 features must fetch far fewer bytes than reading all.
+    let profile = RmProfile::rm1(); // sparse features every ~8th id
+    let schema = profile.build_schema(40);
+    let cluster = TectonicCluster::new(ClusterConfig::small());
+    let table = Table::create(
+        cluster,
+        TableConfig::new(TableId(2), "proj").with_schema(schema.clone()),
+    )
+    .unwrap();
+    let mut generator = SampleGenerator::new(&schema, 5);
+    table
+        .write_partition(PartitionId::new(0), generator.take_samples(400))
+        .unwrap();
+
+    let heavy = schema.ids_of_kind(FeatureKind::Sparse)[0];
+    let narrow = table
+        .scan(
+            PartitionId::new(0)..PartitionId::new(1),
+            Projection::new(vec![heavy]),
+        )
+        .with_policy(CoalescePolicy::None);
+    let all = table
+        .scan(
+            PartitionId::new(0)..PartitionId::new(1),
+            Projection::new(schema.iter().map(|d| d.id).collect()),
+        )
+        .with_policy(CoalescePolicy::None);
+    let (_, narrow_stats) = narrow.read_all_with_stats().unwrap();
+    let (_, all_stats) = all.read_all_with_stats().unwrap();
+    assert!(
+        (narrow_stats.wanted_bytes as f64) < 0.5 * all_stats.wanted_bytes as f64,
+        "narrow scan read {} of {}",
+        narrow_stats.wanted_bytes,
+        all_stats.wanted_bytes
+    );
+}
+
+#[test]
+fn live_trainer_with_adequate_dpp_barely_stalls() {
+    let schema = RmProfile::rm3().build_schema(40);
+    let cluster = TectonicCluster::new(ClusterConfig::small());
+    let table = Table::create(
+        cluster,
+        TableConfig::new(TableId(3), "stall").with_schema(schema.clone()),
+    )
+    .unwrap();
+    let mut generator = SampleGenerator::new(&schema, 8);
+    table
+        .write_partition(PartitionId::new(0), generator.take_samples(1_000))
+        .unwrap();
+    let dense = schema.ids_of_kind(FeatureKind::Dense);
+    let spec = SessionSpec::builder(SessionId(9))
+        .partitions(PartitionId::new(0)..PartitionId::new(1))
+        .projection(Projection::new(dense.clone()))
+        .batch_size(50)
+        .dense_ids(dense)
+        .buffer_capacity(8)
+        .build();
+    let session = DppSession::launch(table, spec, 4).unwrap();
+    // A modest GPU demand that 4 workers easily satisfy.
+    let demand = GpuDemand::new(1.0e6, 100.0);
+    let mut trainer = LiveTrainer::new(session.client(), demand);
+    let (report, samples) = trainer.train(u64::MAX);
+    assert_eq!(samples, 1_000);
+    session.shutdown();
+    assert!(
+        report.stall_fraction < 0.5,
+        "well-provisioned DPP should mostly hide preprocessing: {:.2}",
+        report.stall_fraction
+    );
+}
