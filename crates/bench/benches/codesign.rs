@@ -10,11 +10,7 @@ use std::hint::black_box;
 use std::sync::Arc;
 use synth::RmClass;
 
-fn run_config(
-    lab: &RmLab,
-    policy: CoalescePolicy,
-    cost: ExtractCostModel,
-) -> impl Fn() + use<'_> {
+fn run_config(lab: &RmLab, policy: CoalescePolicy, cost: ExtractCostModel) -> impl Fn() + use<'_> {
     let spec = Arc::new(lab.session_spec(lab.rc_projection(), 64));
     let scan = lab
         .table

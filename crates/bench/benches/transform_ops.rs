@@ -10,7 +10,11 @@ fn sample_with_lists(len: usize) -> Sample {
     s.set_dense(FeatureId(0), 0.37);
     s.set_sparse(
         FeatureId(1),
-        SparseList::from_ids((0..len as u64).map(|i| i.wrapping_mul(2_654_435_761)).collect()),
+        SparseList::from_ids(
+            (0..len as u64)
+                .map(|i| i.wrapping_mul(2_654_435_761))
+                .collect(),
+        ),
     );
     s.set_sparse(
         FeatureId(2),
@@ -63,7 +67,12 @@ fn bench_ops(c: &mut Criterion) {
                 output: FeatureId(12),
             },
         ),
-        ("logit", TransformOp::Logit { input: FeatureId(0) }),
+        (
+            "logit",
+            TransformOp::Logit {
+                input: FeatureId(0),
+            },
+        ),
         (
             "boxcox",
             TransformOp::BoxCox {
@@ -113,7 +122,9 @@ fn bench_plans(c: &mut Criterion) {
             salt: 2,
             modulus: 100_000,
         },
-        TransformOp::Logit { input: FeatureId(0) },
+        TransformOp::Logit {
+            input: FeatureId(0),
+        },
         TransformOp::NGram {
             input: FeatureId(1),
             n: 2,
@@ -164,7 +175,9 @@ fn bench_columnar(c: &mut Criterion) {
             salt: 2,
             modulus: 100_000,
         },
-        TransformOp::Logit { input: FeatureId(0) },
+        TransformOp::Logit {
+            input: FeatureId(0),
+        },
     ]);
     group.bench_function("row_path_batch512", |b| {
         b.iter(|| {

@@ -17,7 +17,9 @@ use dsi_bench::{LabConfig, RmLab};
 use dsi_types::{ByteSize, Projection};
 use dwrf::{CoalescePolicy, WriterOptions};
 use hwsim::{DatacenterTax, NodeSpec, PowerModel, ResourceVector};
-use synth::{GrowthModel, JobProjectionSampler, LifecycleModel, LifecycleSnapshot, RmClass, RmProfile};
+use synth::{
+    GrowthModel, JobProjectionSampler, LifecycleModel, LifecycleSnapshot, RmClass, RmProfile,
+};
 use tectonic::{ProvisionPlan, StorageNodeClass, TieredPlacement};
 use trainer::{loading_sweep, onhost_baseline, GpuDemand, StallSim};
 use transforms::{AccelModel, TransformOp, TransformPlan};
@@ -189,7 +191,10 @@ fn fig4() {
         vec!["completed".into(), count(JobStatus::Completed).to_string()],
         vec!["failed".into(), count(JobStatus::Failed).to_string()],
         vec!["killed".into(), count(JobStatus::Killed).to_string()],
-        vec!["p50 duration (days)".into(), f(durations[durations.len() / 2], 1)],
+        vec![
+            "p50 duration (days)".into(),
+            f(durations[durations.len() / 2], 1),
+        ],
         vec![
             "p90 duration (days)".into(),
             f(durations[durations.len() * 9 / 10], 1),
@@ -286,7 +291,13 @@ fn fig7() {
     }
     print_table(
         "Fig 7: popular bytes needed to absorb X% of storage traffic (30 jobs / RM)",
-        &["model", "50% traffic", "80% traffic", "95% traffic", "paper @80%"],
+        &[
+            "model",
+            "50% traffic",
+            "80% traffic",
+            "95% traffic",
+            "paper @80%",
+        ],
         &rows,
     );
 }
@@ -304,7 +315,11 @@ fn fig8() {
                 pct(p.utilization.cpu),
                 pct(p.utilization.membw),
                 pct(p.utilization.nic_rx),
-                if p.saturated { "SATURATED".into() } else { String::new() },
+                if p.saturated {
+                    "SATURATED".into()
+                } else {
+                    String::new()
+                },
             ]
         })
         .collect();
@@ -346,7 +361,14 @@ fn fig9() {
     print_table(
         "Fig 9: DPP Worker utilization at saturation on C-v1 (measured on synthetic RMs)",
         &[
-            "model", "cpu", "..xform", "..extract", "..misc", "membw", "nic rx", "bottleneck",
+            "model",
+            "cpu",
+            "..xform",
+            "..extract",
+            "..misc",
+            "membw",
+            "nic rx",
+            "bottleneck",
         ],
         &rows,
     );
@@ -399,7 +421,14 @@ fn table3() {
         .collect();
     print_table(
         "Table III: compressed partition sizes (PB) and derived partition counts",
-        &["model", "all (PB)", "each (PB)", "used (PB)", "# parts", "# used"],
+        &[
+            "model",
+            "all (PB)",
+            "each (PB)",
+            "used (PB)",
+            "# parts",
+            "# used",
+        ],
         &rows,
     );
     // Measured analogue at lab scale.
@@ -448,7 +477,11 @@ fn table5() {
             f(p.sparse_avg_len, 2),
             pct(feats),
             pct(bytes),
-            format!("{}/{}", pct(p.feats_used_fraction), pct(p.bytes_used_fraction)),
+            format!(
+                "{}/{}",
+                pct(p.feats_used_fraction),
+                pct(p.bytes_used_fraction)
+            ),
         ]);
     }
     print_table(
@@ -535,12 +568,8 @@ fn table7() {
     let tax = DatacenterTax::production();
     let onhost = onhost_baseline(&node, &tax, &preproc, storage_rx, &demand);
     // The stall fraction also falls out of the virtual-time trainer sim.
-    let sim = StallSim::from_rates(
-        onhost.supply_qps / 128.0,
-        onhost.demand_qps / 128.0,
-        8,
-    )
-    .run(20_000, 7);
+    let sim = StallSim::from_rates(onhost.supply_qps / 128.0, onhost.demand_qps / 128.0, 8)
+        .run(20_000, 7);
     let rows = vec![
         vec![
             "measured".into(),
@@ -653,7 +682,9 @@ fn table10() {
         &["node", "# cores", "NIC (Gbps)", "mem (GB)", "mem BW (GB/s)"],
         &rows,
     );
-    println!("(cores and NIC grow 2x while memory bandwidth grows ~1.1x: memBW becomes the bottleneck)");
+    println!(
+        "(cores and NIC grow 2x while memory bandwidth grows ~1.1x: memBW becomes the bottleneck)"
+    );
 }
 
 fn table11() {
@@ -679,7 +710,11 @@ fn table11() {
         .iter()
         .map(|(n, d)| vec![n.to_string(), d.to_string()])
         .collect();
-    print_table("Table XI: the production transform operations", &["op", "description"], &rows);
+    print_table(
+        "Table XI: the production transform operations",
+        &["op", "description"],
+        &rows,
+    );
 
     // Measured cycle-class split on the RM1 plan.
     let (_, _, report) = measure(RmClass::Rm1);
@@ -754,7 +789,10 @@ fn gap() {
         ],
         vec![
             "tiered (hot->SSD)".into(),
-            f(tiered.cold.nodes_provisioned + tiered.hot.nodes_provisioned, 0),
+            f(
+                tiered.cold.nodes_provisioned + tiered.hot.nodes_provisioned,
+                0,
+            ),
             "-".into(),
             "-".into(),
             f(tiered.watts() / 1e6, 2),
@@ -762,7 +800,13 @@ fn gap() {
     ];
     print_table(
         "S7: RM1 storage provisioning at 64 trainer nodes (throughput-to-storage gap)",
-        &["configuration", "nodes for capacity", "nodes for IOPS", "gap", "MW"],
+        &[
+            "configuration",
+            "nodes for capacity",
+            "nodes for IOPS",
+            "gap",
+            "MW",
+        ],
         &rows,
     );
     println!(
@@ -793,7 +837,9 @@ fn accel() {
             n: 2,
             output: FeatureId(2),
         },
-        TransformOp::Logit { input: FeatureId(1) },
+        TransformOp::Logit {
+            input: FeatureId(1),
+        },
         TransformOp::MapId {
             input: FeatureId(1),
             mapping: Default::default(),
@@ -963,9 +1009,7 @@ fn codesign() {
         let sizes = lab.table.cluster().all_io_sizes();
         let service_secs: f64 = sizes
             .iter()
-            .map(|&len| {
-                hdd.service_time_ns(hwsim::IoRequest::new(u64::MAX / 2, len)) as f64 / 1e9
-            })
+            .map(|&len| hdd.service_time_ns(hwsim::IoRequest::new(u64::MAX / 2, len)) as f64 / 1e9)
             .sum();
         let io_size = stats.mean_io_size().max(1.0) as u64;
         let useful_stream = if step.flattened {
@@ -1069,7 +1113,11 @@ fn fleet() {
                 pt.workers.to_string(),
                 f(pt.buffered, 0),
                 f(pt.supply / 1e3, 1),
-                if pt.stalled { "STALL".into() } else { String::new() },
+                if pt.stalled {
+                    "STALL".into()
+                } else {
+                    String::new()
+                },
                 "#".repeat(pt.workers.min(60)),
             ]
         })
@@ -1118,7 +1166,9 @@ fn capacity() {
         ],
         &rows,
     );
-    println!("(the paper's motivation quantified: DSI power converts directly into training capacity)");
+    println!(
+        "(the paper's motivation quantified: DSI power converts directly into training capacity)"
+    );
 }
 
 /// Per-sample demand scaled from lab feature counts to production counts.

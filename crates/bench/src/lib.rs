@@ -10,8 +10,8 @@
 
 #![warn(missing_docs)]
 
-pub mod rmlab;
 pub mod report;
+pub mod rmlab;
 
 pub use report::{print_table, Row};
 pub use rmlab::{LabConfig, RmLab};

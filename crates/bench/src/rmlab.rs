@@ -199,7 +199,9 @@ impl RmLab {
     /// streams are laid out by how often jobs read the feature, so a job's
     /// coalesced reads land on one contiguous hot prefix.
     pub fn popularity_writer_options(&self) -> WriterOptions {
-        let weights = self.sampler.access_frequency_ranking(40, self.config.seed ^ 0x9);
+        let weights = self
+            .sampler
+            .access_frequency_ranking(40, self.config.seed ^ 0x9);
         WriterOptions {
             rows_per_stripe: self.config.rows_per_stripe,
             order: StreamOrder::from_weights(&weights),

@@ -57,8 +57,7 @@ impl DemandModel {
             let mut iteration = 0u64;
             let mut start = offset;
             while start < days {
-                let jobs =
-                    process.generate_iteration(seed ^ (m as u64) << 32 ^ iteration);
+                let jobs = process.generate_iteration(seed ^ (m as u64) << 32 ^ iteration);
                 for job in jobs {
                     let s = start as f64 + job.submit_day;
                     let e = s + job.duration_days;
@@ -67,8 +66,7 @@ impl DemandModel {
                     let hi = (e.ceil() as usize).min(days as usize);
                     for slot in lo..hi {
                         let day = slot as f64;
-                        let overlap =
-                            (e.min(day + 1.0) - s.max(day)).clamp(0.0, 1.0);
+                        let overlap = (e.min(day + 1.0) - s.max(day)).clamp(0.0, 1.0);
                         total[slot] += rate * overlap;
                         if job.kind == JobKind::Combo {
                             combo[slot] += rate * overlap;
@@ -135,7 +133,11 @@ mod tests {
         // In the quietest decile, combo share is lower than at the peak.
         let mut sorted: Vec<&DemandPoint> = series.iter().collect();
         sorted.sort_by(|a, b| a.total.partial_cmp(&b.total).unwrap());
-        let quiet_combo: f64 = sorted[..36].iter().map(|p| p.combo / p.total.max(1e-9)).sum::<f64>() / 36.0;
+        let quiet_combo: f64 = sorted[..36]
+            .iter()
+            .map(|p| p.combo / p.total.max(1e-9))
+            .sum::<f64>()
+            / 36.0;
         assert!(quiet_combo < peak.combo / peak.total);
     }
 

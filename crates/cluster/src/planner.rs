@@ -77,8 +77,8 @@ pub fn plan_capacity(
         plan.nodes_for_iops
     };
     let storage_per_trainer = iops_nodes_per_trainer * class.watts;
-    let marginal = power.trainer_node_w
-        + (preproc_per_trainer + storage_per_trainer) / dsi_efficiency;
+    let marginal =
+        power.trainer_node_w + (preproc_per_trainer + storage_per_trainer) / dsi_efficiency;
 
     let trainers = ((budget_watts - capacity_w) / marginal).max(0.0);
     let preproc_w = trainers * preproc_per_trainer / dsi_efficiency;
@@ -112,7 +112,13 @@ pub fn capacity_gain(
     efficiency_factor: f64,
 ) -> f64 {
     let before = plan_capacity(profile, budget_watts, mean_io_size, power, 1.0);
-    let after = plan_capacity(profile, budget_watts, mean_io_size, power, efficiency_factor);
+    let after = plan_capacity(
+        profile,
+        budget_watts,
+        mean_io_size,
+        power,
+        efficiency_factor,
+    );
     after.trainers / before.trainers.max(1e-9)
 }
 
@@ -177,12 +183,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "budget must be positive")]
     fn zero_budget_rejected() {
-        plan_capacity(
-            &RmProfile::rm1(),
-            0.0,
-            IO,
-            &PowerModel::production(),
-            1.0,
-        );
+        plan_capacity(&RmProfile::rm1(), 0.0, IO, &PowerModel::production(), 1.0);
     }
 }

@@ -229,7 +229,10 @@ mod tests {
     fn iteration_has_configured_job_counts() {
         let jobs = ReleaseProcess::default().generate_iteration(1);
         let c = ReleaseConfig::default();
-        assert_eq!(jobs.len() as u32, c.explore_jobs + c.combo_jobs + c.release_candidates);
+        assert_eq!(
+            jobs.len() as u32,
+            c.explore_jobs + c.combo_jobs + c.release_candidates
+        );
         assert_eq!(combos(&jobs).len() as u32, c.combo_jobs);
     }
 

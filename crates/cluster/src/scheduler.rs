@@ -108,8 +108,7 @@ impl GlobalScheduler {
         let mut demand_by_model_region = BTreeMap::new();
         let mut copies_per_model = BTreeMap::new();
         let mut stored = ByteSize::ZERO;
-        let mut load: BTreeMap<RegionId, f64> =
-            self.regions.iter().map(|r| (r.id, 0.0)).collect();
+        let mut load: BTreeMap<RegionId, f64> = self.regions.iter().map(|r| (r.id, 0.0)).collect();
 
         match policy {
             PlacementPolicy::BalanceEverywhere => {
@@ -119,9 +118,7 @@ impl GlobalScheduler {
                     let mut weights: Vec<f64> = self
                         .regions
                         .iter()
-                        .map(|r| {
-                            r.compute_capacity / total_cap * (0.7 + 0.6 * rng.next_f64())
-                        })
+                        .map(|r| r.compute_capacity / total_cap * (0.7 + 0.6 * rng.next_f64()))
                         .collect();
                     let wsum: f64 = weights.iter().sum();
                     for w in &mut weights {
@@ -220,7 +217,7 @@ mod tests {
         let sched = GlobalScheduler::five_regions(100.0);
         let summary = sched.place(&models(), PlacementPolicy::BalanceEverywhere, 1);
         assert!(summary.feasible);
-        for (_, copies) in &summary.copies_per_model {
+        for copies in summary.copies_per_model.values() {
             assert_eq!(*copies, 5);
         }
         assert_eq!(
@@ -228,7 +225,7 @@ mod tests {
             ByteSize::tib(10) * 5 * 10 // 10 models × 5 copies
         );
         // Every model has demand in every region (Fig. 6 bars).
-        for (_, per_region) in &summary.demand_by_model_region {
+        for per_region in summary.demand_by_model_region.values() {
             assert_eq!(per_region.len(), 5);
             assert!(per_region.values().all(|&d| d > 0.0));
         }
@@ -247,7 +244,11 @@ mod tests {
             balanced.stored_bytes
         );
         // Most models should fit in very few regions.
-        let mean_copies: f64 = packed.copies_per_model.values().map(|&c| c as f64).sum::<f64>()
+        let mean_copies: f64 = packed
+            .copies_per_model
+            .values()
+            .map(|&c| c as f64)
+            .sum::<f64>()
             / packed.copies_per_model.len() as f64;
         assert!(mean_copies < 3.0, "mean copies {mean_copies:.1}");
     }

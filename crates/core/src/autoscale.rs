@@ -102,8 +102,11 @@ impl AutoScaler {
             self.down_streak = 0;
             return ScalingDecision::ScaleUp(self.config.min_workers - n);
         }
-        let mean_buffered =
-            telemetry.iter().map(|t| t.buffered_batches as f64).sum::<f64>() / n as f64;
+        let mean_buffered = telemetry
+            .iter()
+            .map(|t| t.buffered_batches as f64)
+            .sum::<f64>()
+            / n as f64;
         let mean_util = telemetry.iter().map(|t| t.max_utilization).sum::<f64>() / n as f64;
         let step = ((n as f64 * self.config.step_fraction).ceil() as usize).max(1);
 
@@ -188,7 +191,10 @@ mod tests {
             max_workers: 9,
             ..Default::default()
         });
-        assert_eq!(s.evaluate(&telemetry(8, 0, 0.9)), ScalingDecision::ScaleUp(1));
+        assert_eq!(
+            s.evaluate(&telemetry(8, 0, 0.9)),
+            ScalingDecision::ScaleUp(1)
+        );
         assert_eq!(s.evaluate(&telemetry(9, 0, 0.9)), ScalingDecision::Hold);
     }
 
@@ -261,7 +267,10 @@ mod tests {
             let d = s.evaluate(&telemetry(workers, 10, 0.1));
             workers = AutoScaler::apply(d, workers);
         }
-        assert!(workers < grown, "should have shrunk from {grown}, got {workers}");
+        assert!(
+            workers < grown,
+            "should have shrunk from {grown}, got {workers}"
+        );
         assert!(workers >= 1);
     }
 }

@@ -58,6 +58,7 @@ pub struct Client {
     /// This client's partition offset into the worker list.
     offset: usize,
     cursor: usize,
+    obs: Option<dsi_obs::Registry>,
 }
 
 impl Client {
@@ -75,6 +76,7 @@ impl Client {
             fanout: fanout.max(1),
             offset,
             cursor: 0,
+            obs: None,
         }
     }
 
@@ -83,14 +85,45 @@ impl Client {
         self.fanout
     }
 
+    /// Attaches a metrics registry: fetch latency, delivered batches, and
+    /// starved polls (fan-out starvation, §III-B1) are published into it.
+    pub fn attach_registry(&mut self, registry: &dsi_obs::Registry) {
+        self.obs = Some(registry.clone());
+    }
+
+    /// Records a successful fetch: latency since `start` plus the batch.
+    fn note_batch(&self, start: Instant) {
+        if let Some(reg) = &self.obs {
+            reg.histogram(dsi_obs::names::CLIENT_FETCH_SECONDS, &[])
+                .record(start.elapsed().as_secs_f64());
+            reg.counter(dsi_obs::names::CLIENT_BATCHES_TOTAL, &[]).inc();
+        }
+    }
+
+    /// Records a poll that found every polled buffer empty — the trainer
+    /// would have stalled on this poll.
+    fn note_starved(&self) {
+        if let Some(reg) = &self.obs {
+            reg.counter(dsi_obs::names::CLIENT_STARVED_POLLS_TOTAL, &[])
+                .inc();
+        }
+    }
+
     /// Fetches the next tensor batch, blocking until one is available or
     /// the session completes. Returns `None` at end of session.
     pub fn next_batch(&mut self) -> Option<MiniBatchTensor> {
+        let start = Instant::now();
         loop {
             match self.poll_once() {
-                Poll::Batch(t) => return Some(t),
+                Poll::Batch(t) => {
+                    self.note_batch(start);
+                    return Some(t);
+                }
                 Poll::Finished => return None,
-                Poll::Pending => std::thread::sleep(Duration::from_micros(200)),
+                Poll::Pending => {
+                    self.note_starved();
+                    std::thread::sleep(Duration::from_micros(200));
+                }
             }
         }
     }
@@ -100,9 +133,13 @@ impl Client {
         let start = Instant::now();
         loop {
             match self.poll_once() {
-                Poll::Batch(t) => return Some(t),
+                Poll::Batch(t) => {
+                    self.note_batch(start);
+                    return Some(t);
+                }
                 Poll::Finished => return None,
                 Poll::Pending => {
+                    self.note_starved();
                     if start.elapsed() > deadline {
                         return None;
                     }
@@ -114,9 +151,17 @@ impl Client {
 
     /// Non-blocking fetch.
     pub fn try_next_batch(&mut self) -> Option<MiniBatchTensor> {
+        let start = Instant::now();
         match self.poll_once() {
-            Poll::Batch(t) => Some(t),
-            _ => None,
+            Poll::Batch(t) => {
+                self.note_batch(start);
+                Some(t)
+            }
+            Poll::Pending => {
+                self.note_starved();
+                None
+            }
+            Poll::Finished => None,
         }
     }
 
@@ -332,6 +377,29 @@ mod tests {
         assert_eq!(c.fanout(), 1);
         assert_eq!(c.next_batch().unwrap().labels[0], 9.0);
         assert!(c.next_batch().is_none());
+    }
+
+    #[test]
+    fn metrics_count_batches_and_starved_polls() {
+        use dsi_obs::names;
+        let (tx, rx) = bounded(4);
+        let endpoints = vec![Endpoint {
+            id: WorkerId(0),
+            receiver: rx,
+            capacity: 4,
+        }];
+        tx.send(envelope(0, 0, true, 1.0)).unwrap();
+        let mut c = client(endpoints, empty_master(), usize::MAX);
+        let reg = dsi_obs::Registry::new();
+        c.attach_registry(&reg);
+        assert!(c.try_next_batch().is_some());
+        // Channel empty but the sender is alive: a starved poll.
+        assert!(c.try_next_batch().is_none());
+        assert_eq!(reg.counter_value(names::CLIENT_BATCHES_TOTAL, &[]), 1);
+        assert_eq!(reg.counter_value(names::CLIENT_STARVED_POLLS_TOTAL, &[]), 1);
+        let snap = reg.histogram(names::CLIENT_FETCH_SECONDS, &[]).snapshot();
+        assert_eq!(snap.count, 1);
+        drop(tx);
     }
 
     #[test]

@@ -56,6 +56,25 @@ struct MasterState {
     registered: BTreeSet<WorkerId>,
     next_worker_id: u64,
     completed_count: u64,
+    registry: Option<dsi_obs::Registry>,
+}
+
+impl MasterState {
+    /// Publishes queue depth, worker count, and split progress. The
+    /// registry lives inside the shared state so every Master clone
+    /// (replica) reports into the same series.
+    fn publish_metrics(&self) {
+        let Some(reg) = &self.registry else { return };
+        use dsi_obs::names;
+        reg.gauge(names::MASTER_QUEUE_DEPTH, &[])
+            .set(self.queue.len() as f64);
+        reg.gauge(names::MASTER_WORKERS, &[])
+            .set(self.registered.len() as f64);
+        reg.counter(names::MASTER_SPLITS_TOTAL, &[])
+            .advance_to(self.splits.len() as u64);
+        reg.counter(names::MASTER_SPLITS_COMPLETED_TOTAL, &[])
+            .advance_to(self.completed_count);
+    }
 }
 
 /// The session Master (cheaply cloneable; clones share state, which also
@@ -93,6 +112,7 @@ impl Master {
                 registered: BTreeSet::new(),
                 next_worker_id: 0,
                 completed_count: 0,
+                registry: None,
             })),
         }
     }
@@ -102,6 +122,15 @@ impl Master {
         self.session
     }
 
+    /// Attaches a metrics registry: queue depth, worker count, split
+    /// progress, and checkpoint counts are published into it from then on.
+    /// Clones share state, so attaching through any replica covers all.
+    pub fn attach_registry(&self, registry: &dsi_obs::Registry) {
+        let mut s = self.state.lock();
+        s.registry = Some(registry.clone());
+        s.publish_metrics();
+    }
+
     /// Registers a new worker, returning its id.
     pub fn register_worker(&self) -> WorkerId {
         let mut s = self.state.lock();
@@ -109,6 +138,7 @@ impl Master {
         s.next_worker_id += 1;
         s.registered.insert(id);
         s.in_flight.insert(id, BTreeSet::new());
+        s.publish_metrics();
         id
     }
 
@@ -124,13 +154,16 @@ impl Master {
                 s.queue.push_front(idx);
             }
         }
+        s.publish_metrics();
     }
 
     /// Gracefully drains a worker: it stops receiving new splits, but
     /// splits it has already processed and buffered stay in flight so
     /// Clients can finish consuming (and acknowledging) them.
     pub fn drain_worker(&self, worker: WorkerId) {
-        self.state.lock().registered.remove(&worker);
+        let mut s = self.state.lock();
+        s.registered.remove(&worker);
+        s.publish_metrics();
     }
 
     /// Marks a worker failed (hard crash): identical effect to
@@ -160,7 +193,9 @@ impl Master {
                     .get_mut(&worker)
                     .expect("registered worker has in-flight set")
                     .insert(idx);
-                Ok(Some(s.splits[idx as usize].clone()))
+                let split = s.splits[idx as usize].clone();
+                s.publish_metrics();
+                Ok(Some(split))
             }
             None => Ok(None),
         }
@@ -185,6 +220,7 @@ impl Master {
         }
         s.state[split_index as usize] = SplitState::Done;
         s.completed_count += 1;
+        s.publish_metrics();
         Ok(())
     }
 
@@ -221,6 +257,10 @@ impl Master {
     /// Takes a checkpoint of reader progress.
     pub fn checkpoint(&self) -> MasterCheckpoint {
         let s = self.state.lock();
+        if let Some(reg) = &s.registry {
+            reg.counter(dsi_obs::names::MASTER_CHECKPOINTS_TOTAL, &[])
+                .inc();
+        }
         let completed = s
             .state
             .iter()
@@ -271,6 +311,7 @@ impl Master {
                 in_flight: HashMap::new(),
                 registered: BTreeSet::new(),
                 next_worker_id: 0,
+                registry: None,
             })),
         })
     }
@@ -403,6 +444,37 @@ mod tests {
         let s = master.request_split(w).unwrap().unwrap();
         replica.complete_split(w, s.index).unwrap();
         assert_eq!(master.completed_splits(), 1);
+    }
+
+    #[test]
+    fn metrics_track_queue_depth_and_progress() {
+        use dsi_obs::names;
+        let master = Master::new(SessionId(1), make_splits(3));
+        let reg = dsi_obs::Registry::new();
+        master.attach_registry(&reg);
+        assert_eq!(reg.counter_value(names::MASTER_SPLITS_TOTAL, &[]), 3);
+        assert!((reg.gauge_value(names::MASTER_QUEUE_DEPTH, &[]) - 3.0).abs() < 1e-9);
+
+        let w = master.register_worker();
+        assert!((reg.gauge_value(names::MASTER_WORKERS, &[]) - 1.0).abs() < 1e-9);
+        let s = master.request_split(w).unwrap().unwrap();
+        assert!((reg.gauge_value(names::MASTER_QUEUE_DEPTH, &[]) - 2.0).abs() < 1e-9);
+        master.complete_split(w, s.index).unwrap();
+        assert_eq!(
+            reg.counter_value(names::MASTER_SPLITS_COMPLETED_TOTAL, &[]),
+            1
+        );
+
+        // A failed worker's in-flight split returns to the queue.
+        let s2 = master.request_split(w).unwrap().unwrap();
+        assert_eq!(s2.index, 1);
+        master.fail_worker(w);
+        assert!((reg.gauge_value(names::MASTER_QUEUE_DEPTH, &[]) - 2.0).abs() < 1e-9);
+        assert!((reg.gauge_value(names::MASTER_WORKERS, &[]) - 0.0).abs() < 1e-9);
+
+        master.checkpoint();
+        master.checkpoint();
+        assert_eq!(reg.counter_value(names::MASTER_CHECKPOINTS_TOTAL, &[]), 2);
     }
 
     #[test]

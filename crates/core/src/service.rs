@@ -35,6 +35,7 @@ pub struct DppSession {
     finished_reports: Arc<Mutex<WorkerReport>>,
     clients_created: Mutex<usize>,
     progress: Progress,
+    obs: Mutex<Option<dsi_obs::Registry>>,
 }
 
 impl std::fmt::Debug for DppSession {
@@ -73,6 +74,7 @@ impl DppSession {
             finished_reports: Arc::new(Mutex::new(WorkerReport::default())),
             clients_created: Mutex::new(0),
             progress: Arc::new(Mutex::new(HashMap::new())),
+            obs: Mutex::new(None),
         };
         for _ in 0..workers.max(1) {
             session.spawn_worker();
@@ -109,11 +111,34 @@ impl DppSession {
             finished_reports: Arc::new(Mutex::new(WorkerReport::default())),
             clients_created: Mutex::new(0),
             progress: Arc::new(Mutex::new(HashMap::new())),
+            obs: Mutex::new(None),
         };
         for _ in 0..workers.max(1) {
             session.spawn_worker();
         }
         Ok(session)
+    }
+
+    /// Attaches a metrics registry to the whole session: the Master
+    /// publishes live (queue depth, workers, split progress, checkpoints),
+    /// clients created afterwards publish fetch latency and starvation, and
+    /// [`DppSession::publish_metrics`] / [`DppSession::shutdown`] bridge
+    /// the merged worker telemetry.
+    pub fn attach_registry(&self, registry: &dsi_obs::Registry) {
+        self.master.attach_registry(registry);
+        // Workers scan through the session's table handle, so this also
+        // turns on DWRF decode telemetry for every split they extract.
+        self.table.attach_registry(registry);
+        *self.obs.lock() = Some(registry.clone());
+    }
+
+    /// Publishes the merged telemetry of all *finished* workers into the
+    /// attached registry (live workers report at thread exit). No-op
+    /// without an attached registry.
+    pub fn publish_metrics(&self) {
+        if let Some(reg) = self.obs.lock().clone() {
+            self.finished_reports.lock().publish_metrics(&reg);
+        }
     }
 
     /// The session's Master handle (shared).
@@ -173,13 +198,17 @@ impl DppSession {
         let mut created = self.clients_created.lock();
         let offset = *created;
         *created += 1;
-        Client::new(
+        let mut client = Client::new(
             Arc::clone(&self.registry),
             self.master.clone(),
             Arc::clone(&self.progress),
             fanout,
             offset,
-        )
+        );
+        if let Some(reg) = self.obs.lock().as_ref() {
+            client.attach_registry(reg);
+        }
+        client
     }
 
     /// Creates a client connected to every worker.
@@ -221,11 +250,7 @@ impl DppSession {
         self.registry
             .read()
             .iter()
-            .filter(|e| {
-                controls
-                    .get(&e.id)
-                    .is_some_and(|c| !c.handle.is_finished())
-            })
+            .filter(|e| controls.get(&e.id).is_some_and(|c| !c.handle.is_finished()))
             .map(|e| {
                 let buffered = e.receiver.len();
                 WorkerTelemetry {
@@ -255,15 +280,13 @@ impl DppSession {
                     .read()
                     .iter()
                     .filter(|e| {
-                        controls
-                            .get(&e.id)
-                            .is_some_and(|c| {
-                                !c.handle.is_finished() && !c.drain.load(Ordering::SeqCst)
-                            })
+                        controls.get(&e.id).is_some_and(|c| {
+                            !c.handle.is_finished() && !c.drain.load(Ordering::SeqCst)
+                        })
                     })
                     .map(|e| (e.receiver.len(), e.id))
                     .collect();
-                candidates.sort_by(|a, b| b.0.cmp(&a.0));
+                candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
                 for (_, id) in candidates.into_iter().take(k) {
                     if let Some(c) = controls.get(&id) {
                         c.drain.store(true, Ordering::SeqCst);
@@ -296,7 +319,11 @@ impl DppSession {
         for (_, c) in controls {
             let _ = c.handle.join();
         }
-        *self.finished_reports.lock()
+        let report = *self.finished_reports.lock();
+        if let Some(reg) = self.obs.lock().as_ref() {
+            report.publish_metrics(reg);
+        }
+        report
     }
 }
 
@@ -401,7 +428,9 @@ mod tests {
                     s
                 })
                 .collect();
-            table.write_partition(PartitionId::new(day), samples).unwrap();
+            table
+                .write_partition(PartitionId::new(day), samples)
+                .unwrap();
         }
         table
     }
@@ -551,7 +580,11 @@ mod tests {
         let mut all: Vec<u32> = first_half.iter().chain(rest.iter()).copied().collect();
         all.sort_unstable();
         all.dedup();
-        assert_eq!(all, (0..192).collect::<Vec<_>>(), "full coverage after resume");
+        assert_eq!(
+            all,
+            (0..192).collect::<Vec<_>>(),
+            "full coverage after resume"
+        );
         // The resumed session re-read at most the non-checkpointed rows
         // plus one in-flight split worth of replay.
         assert!(rest.len() <= 192 - 96 + 96, "rest {}", rest.len());
@@ -575,6 +608,40 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(20));
         let report = session.shutdown();
         assert!(report.samples > 0);
+    }
+
+    #[test]
+    fn session_metrics_cover_master_client_and_workers() {
+        use dsi_obs::names;
+        let table = build_table(3, 64);
+        let session = DppSession::launch(table, spec(3), 4).unwrap();
+        let reg = dsi_obs::Registry::new();
+        session.attach_registry(&reg);
+        let mut client = session.client();
+        let labels = drain_labels(&mut client);
+        assert_eq!(labels.len(), 192);
+        let total = session.master().total_splits();
+        let report = session.shutdown();
+
+        // Master progress flowed through the registry.
+        assert_eq!(reg.counter_value(names::MASTER_SPLITS_TOTAL, &[]), total);
+        assert_eq!(
+            reg.counter_value(names::MASTER_SPLITS_COMPLETED_TOTAL, &[]),
+            total
+        );
+        // Client fetch latency histogram saw every delivered batch.
+        let fetch = reg.histogram(names::CLIENT_FETCH_SECONDS, &[]).snapshot();
+        assert_eq!(
+            fetch.count,
+            reg.counter_value(names::CLIENT_BATCHES_TOTAL, &[])
+        );
+        assert!(fetch.count > 0);
+        // Shutdown bridged the merged worker report.
+        assert_eq!(
+            reg.counter_value(names::WORKER_SAMPLES_TOTAL, &[]),
+            report.samples
+        );
+        assert!(reg.counter_value(names::WORKER_STORAGE_RX_BYTES_TOTAL, &[]) > 0);
     }
 
     #[test]

@@ -114,6 +114,50 @@ impl WorkerReport {
         self.peak_resident_bytes = self.peak_resident_bytes.max(other.peak_resident_bytes);
     }
 
+    /// Publishes the report's cumulative totals into `registry`: sample /
+    /// batch / byte counters plus simulated stage cycles (extract,
+    /// transform, and the transform sub-stages of Table IX). Totals
+    /// advance monotonically, so republishing a merged session report —
+    /// or a superset after further merges — is idempotent.
+    pub fn publish_metrics(&self, registry: &dsi_obs::Registry) {
+        use dsi_obs::{names, span};
+        registry
+            .counter(names::WORKER_SAMPLES_TOTAL, &[])
+            .advance_to(self.samples);
+        registry
+            .counter(names::WORKER_BATCHES_TOTAL, &[])
+            .advance_to(self.batches);
+        registry
+            .counter(names::WORKER_STORAGE_RX_BYTES_TOTAL, &[])
+            .advance_to(self.storage_rx_bytes);
+        registry
+            .counter(names::WORKER_STORAGE_WANTED_BYTES_TOTAL, &[])
+            .advance_to(self.storage_wanted_bytes);
+        registry
+            .counter(names::WORKER_MEMBW_BYTES_TOTAL, &[])
+            .advance_to(self.membw_bytes.round() as u64);
+        for (stage, cycles) in [
+            (span::stage::EXTRACT, self.extract_cycles),
+            (span::stage::TRANSFORM, self.transform_cycles),
+            (
+                "transform/feature_generation",
+                self.feature_generation_cycles,
+            ),
+            (
+                "transform/sparse_normalization",
+                self.sparse_normalization_cycles,
+            ),
+            (
+                "transform/dense_normalization",
+                self.dense_normalization_cycles,
+            ),
+        ] {
+            registry
+                .counter(span::STAGE_CYCLES_TOTAL, &[("stage", stage)])
+                .advance_to(cycles.round() as u64);
+        }
+    }
+
     /// Mean per-sample resource demand including the datacenter tax on
     /// storage receive and tensor transmit — the vector that, against a
     /// [`NodeSpec`], yields the worker's saturation throughput.
@@ -281,9 +325,10 @@ impl Worker {
         self.report.transform_tx_bytes += bytes;
         self.report.membw_bytes += bytes as f64 * self.cost.batch_membw_per_byte;
         self.report.batches += 1;
-        self.report.peak_resident_bytes = self.report.peak_resident_bytes.max(
-            bytes * self.spec.buffer_capacity as u64,
-        );
+        self.report.peak_resident_bytes = self
+            .report
+            .peak_resident_bytes
+            .max(bytes * self.spec.buffer_capacity as u64);
         tensor
     }
 }
@@ -430,6 +475,44 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.samples, 15);
         assert_eq!(a.peak_resident_bytes, 300);
+    }
+
+    #[test]
+    fn report_publishes_metrics_idempotently() {
+        let table = build_table(48);
+        let spec = spec();
+        let scan = scan_for(&table, &spec);
+        let mut worker = Worker::new(WorkerId(0), Arc::clone(&spec), scan.clone());
+        for split in scan.plan_splits() {
+            worker.process_split(&split).unwrap();
+        }
+        worker.flush();
+        let r = worker.report();
+        let reg = dsi_obs::Registry::new();
+        r.publish_metrics(&reg);
+        r.publish_metrics(&reg); // monotone advance: double-publish is safe
+        assert_eq!(
+            reg.counter_value(dsi_obs::names::WORKER_SAMPLES_TOTAL, &[]),
+            r.samples
+        );
+        assert_eq!(
+            reg.counter_value(dsi_obs::names::WORKER_BATCHES_TOTAL, &[]),
+            r.batches
+        );
+        assert_eq!(
+            reg.counter_value(dsi_obs::span::STAGE_CYCLES_TOTAL, &[("stage", "extract")]),
+            r.extract_cycles.round() as u64
+        );
+        assert!(
+            reg.counter_value(dsi_obs::span::STAGE_CYCLES_TOTAL, &[("stage", "transform")]) > 0
+        );
+        assert_eq!(
+            reg.counter_value(
+                dsi_obs::span::STAGE_CYCLES_TOTAL,
+                &[("stage", "transform/sparse_normalization")]
+            ),
+            r.sparse_normalization_cycles.round() as u64
+        );
     }
 
     #[test]

@@ -69,7 +69,11 @@ impl Batch {
     /// dense feature contributes `0.0`, and a missing sparse feature
     /// contributes an empty list (standard DLRM semantics for absent
     /// features).
-    pub fn materialize(&self, dense_ids: &[FeatureId], sparse_ids: &[FeatureId]) -> MiniBatchTensor {
+    pub fn materialize(
+        &self,
+        dense_ids: &[FeatureId],
+        sparse_ids: &[FeatureId],
+    ) -> MiniBatchTensor {
         let rows = self.samples.len();
         let mut dense = DenseMatrix::zeros(rows, dense_ids.len());
         for (r, s) in self.samples.iter().enumerate() {

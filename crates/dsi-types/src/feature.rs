@@ -178,7 +178,10 @@ impl FromIterator<u64> for SparseList {
 
 impl Extend<u64> for SparseList {
     fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
-        assert!(self.scores.is_none(), "cannot extend a scored list with ids");
+        assert!(
+            self.scores.is_none(),
+            "cannot extend a scored list with ids"
+        );
         self.ids.extend(iter);
     }
 }

@@ -125,11 +125,7 @@ impl Sample {
     pub fn payload_bytes(&self) -> usize {
         let key = std::mem::size_of::<FeatureId>();
         let dense = self.dense.len() * (key + std::mem::size_of::<DenseValue>());
-        let sparse: usize = self
-            .sparse
-            .values()
-            .map(|l| key + l.payload_bytes())
-            .sum();
+        let sparse: usize = self.sparse.values().map(|l| key + l.payload_bytes()).sum();
         dense + sparse + std::mem::size_of::<f32>()
     }
 }
@@ -143,10 +139,7 @@ mod tests {
         s.set_dense(FeatureId(1), 0.25);
         s.set_dense(FeatureId(2), 0.5);
         s.set_sparse(FeatureId(10), SparseList::from_ids(vec![100, 200]));
-        s.set_sparse(
-            FeatureId(11),
-            SparseList::from_scored(vec![7], vec![3.0]),
-        );
+        s.set_sparse(FeatureId(11), SparseList::from_scored(vec![7], vec![3.0]));
         s
     }
 

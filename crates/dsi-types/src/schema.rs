@@ -265,7 +265,11 @@ impl Projection {
         if schema.is_empty() {
             return 0.0;
         }
-        let hits = self.ids.iter().filter(|id| schema.feature(**id).is_some()).count();
+        let hits = self
+            .ids
+            .iter()
+            .filter(|id| schema.feature(**id).is_some())
+            .count();
         hits as f64 / schema.len() as f64
     }
 

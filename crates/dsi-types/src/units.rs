@@ -181,9 +181,6 @@ mod tests {
 
     #[test]
     fn saturating_sub_clamps() {
-        assert_eq!(
-            ByteSize(5).saturating_sub(ByteSize(10)),
-            ByteSize::ZERO
-        );
+        assert_eq!(ByteSize(5).saturating_sub(ByteSize(10)), ByteSize::ZERO);
     }
 }

@@ -72,7 +72,7 @@ pub fn compress(input: &[u8]) -> Vec<u8> {
     }
     flush_literals(&mut out, &input[literal_start..]);
 
-    if out.len() >= input.len() + 1 {
+    if out.len() > input.len() {
         stored_block(input)
     } else {
         out
@@ -168,7 +168,12 @@ mod tests {
     fn repetitive_data_compresses() {
         let data: Vec<u8> = b"featurefeaturefeature".repeat(100);
         let enc = compress(&data);
-        assert!(enc.len() < data.len() / 3, "len {} vs {}", enc.len(), data.len());
+        assert!(
+            enc.len() < data.len() / 3,
+            "len {} vs {}",
+            enc.len(),
+            data.len()
+        );
         round_trip(&data);
     }
 

@@ -136,7 +136,7 @@ pub fn write_f32s(out: &mut Vec<u8>, values: &[f32]) {
 ///
 /// Returns [`DsiError::Corrupt`] if the buffer length is not a multiple of 4.
 pub fn read_f32s(buf: &[u8]) -> Result<Vec<f32>> {
-    if buf.len() % 4 != 0 {
+    if !buf.len().is_multiple_of(4) {
         return Err(DsiError::corrupt("f32 stream length not multiple of 4"));
     }
     Ok(buf
@@ -199,7 +199,7 @@ pub fn write_bitmap(out: &mut Vec<u8>, bits: &[bool]) {
             byte = 0;
         }
     }
-    if !bits.is_empty() && bits.len() % 8 != 0 {
+    if !bits.is_empty() && !bits.len().is_multiple_of(8) {
         out.push(byte);
     }
 }

@@ -70,8 +70,11 @@ mod tests {
 
     #[test]
     fn from_weights_ranks_by_weight() {
-        let order =
-            StreamOrder::from_weights(&[(FeatureId(1), 0.1), (FeatureId(2), 0.9), (FeatureId(3), 0.5)]);
+        let order = StreamOrder::from_weights(&[
+            (FeatureId(1), 0.1),
+            (FeatureId(2), 0.9),
+            (FeatureId(3), 0.5),
+        ]);
         match &order {
             StreamOrder::Popularity(rank) => {
                 assert_eq!(rank, &vec![FeatureId(2), FeatureId(3), FeatureId(1)]);

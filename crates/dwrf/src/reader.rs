@@ -11,8 +11,8 @@ use crate::cipher::StreamCipher;
 use crate::compress;
 use crate::plan::{CoalescePolicy, IoPlan};
 use crate::stream::{
-    decode_dense_column, decode_dense_map, decode_labels, decode_sparse_column,
-    decode_sparse_map, StreamInfo, StreamKind, FILE_LEVEL,
+    decode_dense_column, decode_dense_map, decode_labels, decode_sparse_column, decode_sparse_map,
+    StreamInfo, StreamKind, FILE_LEVEL,
 };
 use crate::writer::{decode_footer, FileFooter, MAGIC};
 use bytes::Bytes;
@@ -65,6 +65,7 @@ impl ChunkSource for SliceSource {
 pub struct FileReader {
     bytes: Option<Bytes>,
     footer: FileFooter,
+    registry: Option<dsi_obs::Registry>,
 }
 
 impl FileReader {
@@ -79,6 +80,7 @@ impl FileReader {
         Ok(Self {
             bytes: Some(bytes),
             footer,
+            registry: None,
         })
     }
 
@@ -88,7 +90,16 @@ impl FileReader {
         Self {
             bytes: None,
             footer,
+            registry: None,
         }
+    }
+
+    /// Attaches a metrics registry: stripe reads then emit
+    /// `dsi_dwrf_stripes_decoded_total`, read vs wanted byte counters, and
+    /// extract/decompress/deserialize stage timings.
+    pub fn with_registry(mut self, registry: &dsi_obs::Registry) -> Self {
+        self.registry = Some(registry.clone());
+        self
     }
 
     /// The parsed footer.
@@ -167,10 +178,12 @@ impl FileReader {
     ) -> Result<(Vec<Sample>, IoPlan)> {
         let mut plan = self.plan_stripe(idx, selection, policy)?;
         // Fetch each planned read once.
+        let fetch_started = std::time::Instant::now();
         let mut buffers: Vec<(u64, Vec<u8>)> = Vec::with_capacity(plan.reads.len());
         for r in &plan.reads {
             buffers.push((r.offset, source.read(r.offset, r.len)?));
         }
+        let fetch_secs = fetch_started.elapsed().as_secs_f64();
         let fetch = |info: &StreamInfo| -> Result<Vec<u8>> {
             for (off, buf) in &buffers {
                 if info.offset >= *off && info.offset + info.len <= off + buf.len() as u64 {
@@ -181,8 +194,27 @@ impl FileReader {
             Err(DsiError::corrupt("stream not covered by IO plan"))
         };
         let uncompressed = std::cell::Cell::new(0u64);
-        let rows = self.decode_stripe(idx, selection, fetch, &uncompressed)?;
+        let decompress_secs = std::cell::Cell::new(0f64);
+        let decode_started = std::time::Instant::now();
+        let rows = self.decode_stripe(idx, selection, fetch, &uncompressed, &decompress_secs)?;
         plan.uncompressed_bytes = uncompressed.get();
+        if let Some(reg) = &self.registry {
+            use dsi_obs::{names, observe_stage_seconds, stage};
+            reg.counter(names::DWRF_STRIPES_DECODED_TOTAL, &[]).inc();
+            reg.counter(names::DWRF_READ_BYTES_TOTAL, &[])
+                .add(plan.read_bytes);
+            reg.counter(names::DWRF_WANTED_BYTES_TOTAL, &[])
+                .add(plan.wanted_bytes);
+            observe_stage_seconds(reg, stage::EXTRACT, fetch_secs);
+            observe_stage_seconds(reg, stage::DECOMPRESS, decompress_secs.get());
+            // Deserialize excludes decompression: it is the column/map
+            // decode cost the paper attributes to wire-format handling.
+            observe_stage_seconds(
+                reg,
+                stage::DESERIALIZE,
+                (decode_started.elapsed().as_secs_f64() - decompress_secs.get()).max(0.0),
+            );
+        }
         Ok((rows, plan))
     }
 
@@ -194,6 +226,7 @@ impl FileReader {
         selection: Option<&Projection>,
         mut fetch: impl FnMut(&StreamInfo) -> Result<Vec<u8>>,
         uncompressed: &std::cell::Cell<u64>,
+        decompress_secs: &std::cell::Cell<f64>,
     ) -> Result<Vec<Sample>> {
         let stripe = &self.footer.stripes[idx];
         let row_count = stripe.row_count as usize;
@@ -204,7 +237,9 @@ impl FileReader {
                 cipher.apply_in_place(info.nonce, &mut payload);
             }
             if self.footer.compressed {
+                let started = std::time::Instant::now();
                 payload = compress::decompress(&payload)?;
+                decompress_secs.set(decompress_secs.get() + started.elapsed().as_secs_f64());
             }
             uncompressed.set(uncompressed.get() + payload.len() as u64);
             Ok(payload)
@@ -218,47 +253,47 @@ impl FileReader {
             // Walk feature streams in directory order; each Present stream
             // begins a new column group for its feature.
             let mut group: Vec<(StreamInfo, Vec<u8>)> = Vec::new();
-            let flush_group =
-                |group: &mut Vec<(StreamInfo, Vec<u8>)>, samples: &mut [Sample]| -> Result<()> {
-                    if group.is_empty() {
-                        return Ok(());
-                    }
-                    let fid = FeatureId(group[0].0.feature);
-                    let by_kind: HashMap<StreamKind, &[u8]> = group
-                        .iter()
-                        .map(|(info, raw)| (info.kind, raw.as_slice()))
-                        .collect();
-                    let present = by_kind
-                        .get(&StreamKind::Present)
-                        .ok_or_else(|| DsiError::corrupt("column group missing present"))?;
-                    if let Some(data) = by_kind.get(&StreamKind::DenseData) {
-                        for (row, v) in decode_dense_column(present, data)?.into_iter().enumerate()
-                        {
-                            if let Some(v) = v {
-                                samples[row].set_dense(fid, v);
-                            }
-                        }
-                    } else {
-                        let lengths = by_kind
-                            .get(&StreamKind::Length)
-                            .ok_or_else(|| DsiError::corrupt("sparse column missing lengths"))?;
-                        let data = by_kind
-                            .get(&StreamKind::Data)
-                            .ok_or_else(|| DsiError::corrupt("sparse column missing data"))?;
-                        let dict = by_kind.get(&StreamKind::Dict).copied();
-                        let scores = by_kind.get(&StreamKind::Score).copied();
-                        for (row, l) in decode_sparse_column(present, lengths, data, dict, scores)?
-                            .into_iter()
-                            .enumerate()
-                        {
-                            if let Some(l) = l {
-                                samples[row].set_sparse(fid, l);
-                            }
+            let flush_group = |group: &mut Vec<(StreamInfo, Vec<u8>)>,
+                               samples: &mut [Sample]|
+             -> Result<()> {
+                if group.is_empty() {
+                    return Ok(());
+                }
+                let fid = FeatureId(group[0].0.feature);
+                let by_kind: HashMap<StreamKind, &[u8]> = group
+                    .iter()
+                    .map(|(info, raw)| (info.kind, raw.as_slice()))
+                    .collect();
+                let present = by_kind
+                    .get(&StreamKind::Present)
+                    .ok_or_else(|| DsiError::corrupt("column group missing present"))?;
+                if let Some(data) = by_kind.get(&StreamKind::DenseData) {
+                    for (row, v) in decode_dense_column(present, data)?.into_iter().enumerate() {
+                        if let Some(v) = v {
+                            samples[row].set_dense(fid, v);
                         }
                     }
-                    group.clear();
-                    Ok(())
-                };
+                } else {
+                    let lengths = by_kind
+                        .get(&StreamKind::Length)
+                        .ok_or_else(|| DsiError::corrupt("sparse column missing lengths"))?;
+                    let data = by_kind
+                        .get(&StreamKind::Data)
+                        .ok_or_else(|| DsiError::corrupt("sparse column missing data"))?;
+                    let dict = by_kind.get(&StreamKind::Dict).copied();
+                    let scores = by_kind.get(&StreamKind::Score).copied();
+                    for (row, l) in decode_sparse_column(present, lengths, data, dict, scores)?
+                        .into_iter()
+                        .enumerate()
+                    {
+                        if let Some(l) = l {
+                            samples[row].set_sparse(fid, l);
+                        }
+                    }
+                }
+                group.clear();
+                Ok(())
+            };
             for info in &wanted {
                 if info.feature == FILE_LEVEL {
                     if info.kind == StreamKind::Label {
@@ -278,7 +313,8 @@ impl FileReader {
                 let raw = decode_payload(info)?;
                 match info.kind {
                     StreamKind::DenseMap => {
-                        for (row, pairs) in decode_dense_map(&raw, row_count)?.into_iter().enumerate()
+                        for (row, pairs) in
+                            decode_dense_map(&raw, row_count)?.into_iter().enumerate()
                         {
                             for (fid, v) in pairs {
                                 if selection.is_none_or(|p| p.contains(fid)) {
@@ -424,7 +460,10 @@ mod tests {
         assert_eq!(rows[4].label(), 4.0);
         assert_eq!(rows[4].dense(FeatureId(1)), Some(2.0));
         assert_eq!(rows[4].sparse(FeatureId(2)).unwrap().ids(), &[4, 5]);
-        assert_eq!(rows[4].sparse(FeatureId(4)).unwrap().scores().unwrap(), &[4.0]);
+        assert_eq!(
+            rows[4].sparse(FeatureId(4)).unwrap().scores().unwrap(),
+            &[4.0]
+        );
         assert!(rows[5].sparse(FeatureId(4)).is_none());
     }
 
@@ -530,9 +569,7 @@ mod tests {
     fn out_of_range_stripe_errors() {
         let file = build_file(WriterOptions::default(), 4);
         let reader = FileReader::open(file.bytes().clone()).unwrap();
-        assert!(reader
-            .plan_stripe(9, None, CoalescePolicy::None)
-            .is_err());
+        assert!(reader.plan_stripe(9, None, CoalescePolicy::None).is_err());
     }
 
     #[test]
@@ -545,6 +582,41 @@ mod tests {
             .read_stripe_from(0, None, CoalescePolicy::None, &mut src)
             .unwrap();
         assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
+    fn attached_registry_tracks_stripes_and_overread() {
+        let file = build_file(WriterOptions::default(), 300);
+        let reg = dsi_obs::Registry::new();
+        let reader = FileReader::open(file.bytes().clone())
+            .unwrap()
+            .with_registry(&reg);
+        let proj = Projection::new(vec![FeatureId(1), FeatureId(4)]);
+        let mut src = SliceSource::new(file.bytes().clone());
+        let (_, plan) = reader
+            .read_stripe_from(0, Some(&proj), CoalescePolicy::default_window(), &mut src)
+            .unwrap();
+        use dsi_obs::names;
+        assert_eq!(reg.counter_value(names::DWRF_STRIPES_DECODED_TOTAL, &[]), 1);
+        assert_eq!(
+            reg.counter_value(names::DWRF_READ_BYTES_TOTAL, &[]),
+            plan.read_bytes
+        );
+        assert_eq!(
+            reg.counter_value(names::DWRF_WANTED_BYTES_TOTAL, &[]),
+            plan.wanted_bytes
+        );
+        // Coalescing never reads less than wanted.
+        assert!(plan.read_bytes >= plan.wanted_bytes);
+        // Stage timings landed (extract + decompress + deserialize).
+        for st in ["extract", "decompress", "deserialize"] {
+            match reg.value(dsi_obs::STAGE_SECONDS, &[("stage", st)]) {
+                Some(dsi_obs::MetricValue::Histogram(s)) => {
+                    assert!(s.count >= 1, "stage {st} has no spans")
+                }
+                other => panic!("stage {st}: unexpected {other:?}"),
+            }
+        }
     }
 
     #[test]

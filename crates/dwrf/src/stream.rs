@@ -173,9 +173,8 @@ pub fn encode_sparse_column(rows: &[Sample], fid: FeatureId) -> RawStreams {
     let mut distinct: Vec<u64> = all_ids.clone();
     distinct.sort_unstable();
     distinct.dedup();
-    let use_dict = !all_ids.is_empty()
-        && distinct.len() * 2 <= all_ids.len()
-        && distinct.len() <= 4096;
+    let use_dict =
+        !all_ids.is_empty() && distinct.len() * 2 <= all_ids.len() && distinct.len() <= 4096;
     let mut ids_buf = Vec::new();
     let mut dict_buf = Vec::new();
     if use_dict {
@@ -184,7 +183,9 @@ pub fn encode_sparse_column(rows: &[Sample], fid: FeatureId) -> RawStreams {
             write_varint(&mut dict_buf, v);
         }
         for &id in &all_ids {
-            let idx = distinct.binary_search(&id).expect("id is in its own dictionary");
+            let idx = distinct
+                .binary_search(&id)
+                .expect("id is in its own dictionary");
             write_varint(&mut ids_buf, idx as u64);
         }
     } else {
@@ -543,16 +544,18 @@ mod tests {
         let streams = encode_sparse_column(&rows2, FeatureId(3));
         let kinds: Vec<StreamKind> = streams.iter().map(|(k, _)| *k).collect();
         assert!(kinds.contains(&StreamKind::Dict), "dictionary expected");
-        let dict = &streams.iter().find(|(k, _)| *k == StreamKind::Dict).expect("dict").1;
-        let data = &streams.iter().find(|(k, _)| *k == StreamKind::Data).expect("data").1;
-        let decoded = decode_sparse_column(
-            &streams[0].1,
-            &streams[1].1,
-            data,
-            Some(dict),
-            None,
-        )
-        .unwrap();
+        let dict = &streams
+            .iter()
+            .find(|(k, _)| *k == StreamKind::Dict)
+            .expect("dict")
+            .1;
+        let data = &streams
+            .iter()
+            .find(|(k, _)| *k == StreamKind::Data)
+            .expect("data")
+            .1;
+        let decoded =
+            decode_sparse_column(&streams[0].1, &streams[1].1, data, Some(dict), None).unwrap();
         assert_eq!(decoded[9].as_ref().unwrap().ids(), &[1, 101, 7]);
         // Indexes are tiny: the data stream is one byte per value.
         assert_eq!(data.len(), 150);

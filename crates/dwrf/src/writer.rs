@@ -5,8 +5,8 @@ use crate::compress;
 use crate::encoding::MetaWriter;
 use crate::layout::StreamOrder;
 use crate::stream::{
-    encode_dense_column, encode_dense_map, encode_labels, encode_sparse_column,
-    encode_sparse_map, StreamInfo, StreamKind, FILE_LEVEL,
+    encode_dense_column, encode_dense_map, encode_labels, encode_sparse_column, encode_sparse_map,
+    StreamInfo, StreamKind, FILE_LEVEL,
 };
 use bytes::Bytes;
 use dsi_types::{DsiError, FeatureId, Result, Sample};
@@ -210,10 +210,10 @@ impl FileWriter {
         let mut streams: Vec<StreamInfo> = Vec::new();
 
         let emit = |writer: &mut Self,
-                        feature: u64,
-                        kind: StreamKind,
-                        raw: Vec<u8>,
-                        streams: &mut Vec<StreamInfo>| {
+                    feature: u64,
+                    kind: StreamKind,
+                    raw: Vec<u8>,
+                    streams: &mut Vec<StreamInfo>| {
             let mut payload = if writer.opts.compressed {
                 compress::compress(&raw)
             } else {
@@ -260,7 +260,13 @@ impl FileWriter {
             }
         } else {
             let dense_map = encode_dense_map(&rows);
-            emit(self, FILE_LEVEL, StreamKind::DenseMap, dense_map, &mut streams);
+            emit(
+                self,
+                FILE_LEVEL,
+                StreamKind::DenseMap,
+                dense_map,
+                &mut streams,
+            );
             let sparse_map = encode_sparse_map(&rows);
             emit(
                 self,
@@ -274,7 +280,10 @@ impl FileWriter {
         emit(self, FILE_LEVEL, StreamKind::Label, labels, &mut streams);
 
         let label_min = rows.iter().map(Sample::label).fold(f32::INFINITY, f32::min);
-        let label_max = rows.iter().map(Sample::label).fold(f32::NEG_INFINITY, f32::max);
+        let label_max = rows
+            .iter()
+            .map(Sample::label)
+            .fold(f32::NEG_INFINITY, f32::max);
         self.stripes.push(StripeMeta {
             row_count: rows.len() as u64,
             label_min,
@@ -321,7 +330,9 @@ pub fn encode_footer(footer: &FileFooter) -> Vec<u8> {
     let flags = u64::from(footer.flattened)
         | (u64::from(footer.compressed) << 1)
         | (u64::from(footer.encrypted) << 2);
-    w.u64(flags).u64(footer.file_key).u64(footer.stripes.len() as u64);
+    w.u64(flags)
+        .u64(footer.file_key)
+        .u64(footer.stripes.len() as u64);
     for stripe in &footer.stripes {
         w.u64(stripe.row_count)
             .f64(stripe.label_min as f64)
@@ -469,7 +480,11 @@ mod tests {
             .collect();
         assert_eq!(
             kinds,
-            vec![StreamKind::DenseMap, StreamKind::SparseMap, StreamKind::Label]
+            vec![
+                StreamKind::DenseMap,
+                StreamKind::SparseMap,
+                StreamKind::Label
+            ]
         );
     }
 

@@ -372,7 +372,7 @@ mod tests {
         let node = NodeSpec::c_v1();
         let v = ResourceVector {
             resident_bytes: (1u64 << 30) as f64, // 1 GiB held per item
-            residency_secs: 8.0,       // for 8 seconds
+            residency_secs: 8.0,                 // for 8 seconds
             ..Default::default()
         };
         let r = node.max_rate(&v);

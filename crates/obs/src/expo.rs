@@ -1,0 +1,264 @@
+//! Exposition: Prometheus text format and a JSON snapshot.
+//!
+//! Histograms are exposed as Prometheus *summaries* (quantile series plus
+//! `_sum`/`_count`) — the log-linear buckets already reduce to stable
+//! p50/p95/p99 estimates, and summaries keep scrape output proportional
+//! to the series count rather than the bucket count.
+
+use std::fmt::Write as _;
+
+use crate::registry::{MetricKey, MetricValue, Registry};
+
+fn fmt_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v}")
+    }
+}
+
+fn label_block(key: &MetricKey, extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = key
+        .labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{v}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn escape_json(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no Inf/NaN; null keeps consumers honest.
+        "null".to_string()
+    }
+}
+
+/// Renders the registry in Prometheus text exposition format.
+///
+/// Counters and gauges become single samples; histograms become
+/// summaries with `quantile="0.5" / "0.95" / "0.99"` series plus
+/// `_sum`, `_count`, and a `_max` gauge.
+pub fn prometheus_text(registry: &Registry) -> String {
+    let snapshot = registry.snapshot();
+    let mut out = String::new();
+    let mut last_name: Option<(String, &'static str)> = None;
+    for (key, value) in &snapshot {
+        let kind = match value {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "summary",
+        };
+        if last_name.as_ref() != Some(&(key.name.clone(), kind)) {
+            let _ = writeln!(out, "# TYPE {} {kind}", key.name);
+            last_name = Some((key.name.clone(), kind));
+        }
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {v}", key.name, label_block(key, None));
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    key.name,
+                    label_block(key, None),
+                    fmt_f64(*v)
+                );
+            }
+            MetricValue::Histogram(s) => {
+                for (q, v) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        key.name,
+                        label_block(key, Some(("quantile", q))),
+                        fmt_f64(v)
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    key.name,
+                    label_block(key, None),
+                    fmt_f64(s.sum)
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    key.name,
+                    label_block(key, None),
+                    s.count
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_max{} {}",
+                    key.name,
+                    label_block(key, None),
+                    fmt_f64(s.max)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Renders the registry as a JSON document:
+/// `{"metrics":[{"name":...,"type":...,"labels":{...},...}]}`.
+pub fn json_snapshot(registry: &Registry) -> String {
+    let snapshot = registry.snapshot();
+    let mut out = String::from("{\"metrics\":[");
+    for (i, (key, value)) in snapshot.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"name\":\"{}\",", escape_json(&key.name));
+        out.push_str("\"labels\":{");
+        for (j, (k, v)) in key.labels.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+        }
+        out.push_str("},");
+        match value {
+            MetricValue::Counter(v) => {
+                let _ = write!(out, "\"type\":\"counter\",\"value\":{v}");
+            }
+            MetricValue::Gauge(v) => {
+                let _ = write!(out, "\"type\":\"gauge\",\"value\":{}", json_f64(*v));
+            }
+            MetricValue::Histogram(s) => {
+                let _ = write!(
+                    out,
+                    "\"type\":\"summary\",\"count\":{},\"sum\":{},\"mean\":{},\
+                     \"p50\":{},\"p95\":{},\"p99\":{},\"max\":{}",
+                    s.count,
+                    json_f64(s.sum),
+                    json_f64(s.mean),
+                    json_f64(s.p50),
+                    json_f64(s.p95),
+                    json_f64(s.p99),
+                    json_f64(s.max)
+                );
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_golden_output() {
+        let r = Registry::new();
+        r.counter("dsi_cache_hits_total", &[("node", "0")]).add(7);
+        r.counter("dsi_cache_hits_total", &[("node", "1")]).add(3);
+        r.gauge("dsi_master_queue_depth", &[]).set(12.0);
+        let h = r.histogram("dsi_client_fetch_seconds", &[]);
+        h.record(0.5);
+        h.record(0.5);
+
+        let text = prometheus_text(&r);
+        let expected = "\
+# TYPE dsi_cache_hits_total counter
+dsi_cache_hits_total{node=\"0\"} 7
+dsi_cache_hits_total{node=\"1\"} 3
+# TYPE dsi_client_fetch_seconds summary
+dsi_client_fetch_seconds{quantile=\"0.5\"} 0.5
+dsi_client_fetch_seconds{quantile=\"0.95\"} 0.5
+dsi_client_fetch_seconds{quantile=\"0.99\"} 0.5
+dsi_client_fetch_seconds_sum 1
+dsi_client_fetch_seconds_count 2
+dsi_client_fetch_seconds_max 0.5
+# TYPE dsi_master_queue_depth gauge
+dsi_master_queue_depth 12
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn type_header_emitted_once_per_name() {
+        let r = Registry::new();
+        r.counter("m", &[("a", "1")]).inc();
+        r.counter("m", &[("a", "2")]).inc();
+        let text = prometheus_text(&r);
+        assert_eq!(text.matches("# TYPE m counter").count(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("m", &[("path", "a\"b\\c\nd")]).inc();
+        let text = prometheus_text(&r);
+        assert!(text.contains("path=\"a\\\"b\\\\c\\nd\""));
+    }
+
+    #[test]
+    fn json_is_wellformed_and_complete() {
+        let r = Registry::new();
+        r.counter("c", &[("k", "v")]).add(2);
+        r.gauge("g", &[]).set(0.25);
+        r.histogram("h", &[]).record(1.0);
+        let json = json_snapshot(&r);
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json
+            .contains("\"name\":\"c\",\"labels\":{\"k\":\"v\"},\"type\":\"counter\",\"value\":2"));
+        assert!(json.contains("\"type\":\"gauge\",\"value\":0.25"));
+        assert!(json.contains("\"type\":\"summary\",\"count\":1"));
+        // Balanced braces/brackets (cheap well-formedness check given
+        // all strings are escaped).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_documents() {
+        let r = Registry::new();
+        assert_eq!(prometheus_text(&r), "");
+        assert_eq!(json_snapshot(&r), "{\"metrics\":[]}");
+    }
+}

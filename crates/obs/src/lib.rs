@@ -1,0 +1,64 @@
+//! # dsi-obs — unified observability for the DSI pipeline
+//!
+//! One registry, three primitives, zero locks on the hot path. Every
+//! component of the pipeline — Scribe bus and streaming ETL, the DWRF
+//! reader, the Tectonic storage nodes and SSD cache, the DPP
+//! master/workers/clients, and the trainer — emits into a shared
+//! [`Registry`], which can then be scraped as Prometheus text
+//! ([`prometheus_text`]), dumped as JSON ([`json_snapshot`]), or folded
+//! into the paper-style characterization tables of [`PipelineReport`].
+//!
+//! ```
+//! use dsi_obs::{Registry, StageScope, stage, PipelineReport};
+//!
+//! let reg = Registry::new();
+//! {
+//!     let scope = StageScope::enter(&reg, stage::EXTRACT);
+//!     scope.add_cycles(1_000);
+//! }
+//! reg.counter("dsi_cache_hits_total", &[]).add(42);
+//! println!("{}", dsi_obs::prometheus_text(&reg));
+//! println!("{}", PipelineReport::collect(&reg));
+//! ```
+//!
+//! Components accept a `Registry` handle (cheap `Arc` clone) so tests
+//! can isolate their metrics; processes that want one shared sink use
+//! [`global()`].
+
+pub mod expo;
+pub mod metrics;
+pub mod names;
+pub mod registry;
+pub mod report;
+pub mod span;
+
+pub use expo::{json_snapshot, prometheus_text};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use registry::{Metric, MetricKey, MetricValue, Registry};
+pub use report::{NodeRow, PipelineReport, StageRow};
+pub use span::{
+    add_stage_cycles, observe_stage_seconds, stage, SpanTimer, StageScope, STAGE_CYCLES_TOTAL,
+    STAGE_SECONDS,
+};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry. First call creates it; clones share state.
+pub fn global() -> Registry {
+    GLOBAL.get_or_init(Registry::new).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = global();
+        let b = global();
+        a.counter("dsi_test_global_total", &[]).add(3);
+        assert_eq!(b.counter_value("dsi_test_global_total", &[]), 3);
+    }
+}

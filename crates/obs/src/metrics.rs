@@ -1,0 +1,343 @@
+//! The three metric primitives: [`Counter`], [`Gauge`], [`Histogram`].
+//!
+//! All updates are plain atomic operations — no locks on the hot path, so
+//! workers, clients, and storage nodes can emit from any thread at full
+//! rate. Histograms use log-linear buckets (octaves split into
+//! [`Histogram::SUBBUCKETS`] linear sub-buckets), bounding quantile
+//! relative error to `1/SUBBUCKETS` while keeping memory fixed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Adds `v` to an f64 stored as atomic bits (CAS loop).
+fn f64_add(bits: &AtomicU64, v: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + v).to_bits();
+        match bits.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// Raises an f64 stored as atomic bits to at least `v` (CAS loop).
+fn f64_max(bits: &AtomicU64, v: f64) {
+    let mut cur = bits.load(Ordering::Relaxed);
+    loop {
+        if f64::from_bits(cur) >= v {
+            return;
+        }
+        match bits.compare_exchange_weak(cur, v.to_bits(), Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(c) => cur = c,
+        }
+    }
+}
+
+/// A monotonically-increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub const fn new() -> Self {
+        Self {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the counter to at least `v`.
+    ///
+    /// Bridges components that track their own monotone totals (cache
+    /// stats, device stats): re-publishing a snapshot is idempotent
+    /// instead of double-counting.
+    #[inline]
+    pub fn advance_to(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value (f64).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `v` (may be negative).
+    #[inline]
+    pub fn add(&self, v: f64) {
+        f64_add(&self.bits, v);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// An immutable view of a histogram's state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values.
+    pub sum: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median estimate.
+    pub p50: f64,
+    /// 95th-percentile estimate.
+    pub p95: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Largest recorded value (exact).
+    pub max: f64,
+}
+
+/// A lock-free log-linear histogram over non-negative values.
+///
+/// Values are assigned to one of 512 buckets: 64 powers-of-two octaves
+/// (2⁻³² … 2³¹) each split into 8 linear sub-buckets, clamping outliers
+/// into the extreme buckets. Quantile estimates return a bucket's
+/// midpoint, so relative error is bounded by half a sub-bucket (~6%) and
+/// quantiles are monotone in the requested rank by construction.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Linear sub-buckets per power-of-two octave.
+    pub const SUBBUCKETS: usize = 8;
+    /// Smallest representable octave exponent.
+    const MIN_EXP: i32 = -32;
+    /// Largest representable octave exponent.
+    const MAX_EXP: i32 = 31;
+    /// Total bucket count.
+    pub const BUCKETS: usize = ((Self::MAX_EXP - Self::MIN_EXP + 1) as usize) * Self::SUBBUCKETS;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..Self::BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+            max_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// The bucket a value lands in.
+    pub fn bucket_index(v: f64) -> usize {
+        if v.is_nan() || v <= 0.0 {
+            return 0;
+        }
+        let e = (v.log2().floor() as i32).clamp(Self::MIN_EXP, Self::MAX_EXP);
+        let lo = (e as f64).exp2();
+        let frac = (v / lo - 1.0).clamp(0.0, 1.0 - 1e-9);
+        (e - Self::MIN_EXP) as usize * Self::SUBBUCKETS + (frac * Self::SUBBUCKETS as f64) as usize
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    pub fn bucket_lower(i: usize) -> f64 {
+        let octave = (i / Self::SUBBUCKETS) as i32 + Self::MIN_EXP;
+        let sub = (i % Self::SUBBUCKETS) as f64;
+        (octave as f64).exp2() * (1.0 + sub / Self::SUBBUCKETS as f64)
+    }
+
+    /// Exclusive upper bound of bucket `i`.
+    pub fn bucket_upper(i: usize) -> f64 {
+        if i + 1 >= Self::BUCKETS {
+            f64::INFINITY
+        } else {
+            Self::bucket_lower(i + 1)
+        }
+    }
+
+    /// Records one value (negative and NaN values count as zero).
+    #[inline]
+    pub fn record(&self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 { v } else { 0.0 };
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        f64_add(&self.sum_bits, v);
+        f64_max(&self.max_bits, v);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Quantile estimate for `q` in `[0, 1]` (0 when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // Midpoint of the bucket, capped by the observed max so
+                // single-value histograms report that value's bucket.
+                let mid = (Self::bucket_lower(i)
+                    + Self::bucket_lower(i) / Self::SUBBUCKETS as f64 / 2.0)
+                    .min(self.max());
+                return mid;
+            }
+        }
+        self.max()
+    }
+
+    /// Largest recorded value (exact, not bucketed).
+    pub fn max(&self) -> f64 {
+        f64::from_bits(self.max_bits.load(Ordering::Relaxed))
+    }
+
+    /// A consistent-enough view for reporting (concurrent updates may be
+    /// partially visible, as with any sampling of live counters).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        let sum = self.sum();
+        HistogramSnapshot {
+            count,
+            sum,
+            mean: if count == 0 { 0.0 } else { sum / count as f64 },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(2.5);
+        g.add(-0.5);
+        assert!((g.get() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_consistent() {
+        // Every bucket's lower bound maps back to that bucket, and
+        // upper/lower bounds tile the positive axis.
+        for i in 1..Histogram::BUCKETS - 1 {
+            let lo = Histogram::bucket_lower(i);
+            assert_eq!(
+                Histogram::bucket_index(lo),
+                i,
+                "lower bound of bucket {i} ({lo}) must land in it"
+            );
+            assert_eq!(Histogram::bucket_upper(i), Histogram::bucket_lower(i + 1));
+            // A value just below the upper bound stays in bucket i.
+            let hi = Histogram::bucket_upper(i);
+            assert_eq!(Histogram::bucket_index(hi * (1.0 - 1e-12)), i);
+        }
+    }
+
+    #[test]
+    fn zero_negative_and_nan_fold_to_bucket_zero() {
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(-5.0), 0);
+        assert_eq!(Histogram::bucket_index(f64::NAN), 0);
+        let h = Histogram::new();
+        h.record(-1.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 0.0);
+    }
+
+    #[test]
+    fn extremes_clamp_into_end_buckets() {
+        assert_eq!(Histogram::bucket_index(1e-300), 0);
+        assert_eq!(Histogram::bucket_index(1e300), Histogram::BUCKETS - 1);
+        let h = Histogram::new();
+        h.record(1e300);
+        assert_eq!(h.max(), 1e300);
+        assert!(h.quantile(0.5) <= 1e300);
+    }
+
+    #[test]
+    fn quantiles_bound_relative_error() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i as f64);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert!((s.mean - 500.5).abs() < 1e-9);
+        for (q, exact) in [(s.p50, 500.0), (s.p95, 950.0), (s.p99, 990.0)] {
+            let rel = (q - exact).abs() / exact;
+            assert!(rel < 0.10, "estimate {q} vs {exact}: rel err {rel:.3}");
+        }
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+    }
+
+    #[test]
+    fn single_value_quantiles_report_that_value() {
+        let h = Histogram::new();
+        h.record(0.125);
+        let s = h.snapshot();
+        assert_eq!(s.max, 0.125);
+        assert!(s.p50 <= 0.125 && s.p50 > 0.1, "p50 {}", s.p50);
+        assert_eq!(s.p50, s.p99);
+    }
+}

@@ -1,0 +1,91 @@
+//! Canonical series names for every metric the DSI pipeline emits.
+//!
+//! Instrumented crates and the [`crate::report::PipelineReport`] share
+//! these constants so the catalog in `DESIGN.md` stays the single source
+//! of truth. Suffix conventions follow Prometheus: `_total` for
+//! counters, `_seconds`/`_bytes` units, bare names for gauges.
+
+// ---- scribe: message bus + streaming ETL ----------------------------------
+
+/// Counter, labels `{topic}`: messages published to the bus.
+pub const SCRIBE_PUBLISHED_TOTAL: &str = "dsi_scribe_published_total";
+/// Gauge, labels `{topic}`: messages retained in the bus log (backlog).
+pub const SCRIBE_BUS_BACKLOG: &str = "dsi_scribe_bus_backlog";
+/// Counter: feature/event pairs joined by the streaming ETL.
+pub const ETL_JOINED_TOTAL: &str = "dsi_etl_joined_total";
+/// Counter: events arriving with no pending feature row.
+pub const ETL_ORPHAN_EVENTS_TOTAL: &str = "dsi_etl_orphan_events_total";
+/// Counter: feature rows expired into negative samples.
+pub const ETL_EXPIRED_NEGATIVE_TOTAL: &str = "dsi_etl_expired_negative_total";
+/// Gauge: feature rows currently waiting in the join window.
+pub const ETL_PENDING_JOINS: &str = "dsi_etl_pending_joins";
+/// Histogram (seconds): feature→event arrival lag of successful joins.
+pub const ETL_JOIN_LAG_SECONDS: &str = "dsi_etl_join_lag_seconds";
+
+// ---- tectonic: distributed FS + SSD cache ---------------------------------
+
+/// Counter: SSD-cache page hits.
+pub const CACHE_HITS_TOTAL: &str = "dsi_cache_hits_total";
+/// Counter: SSD-cache page misses.
+pub const CACHE_MISSES_TOTAL: &str = "dsi_cache_misses_total";
+/// Counter: SSD-cache evictions.
+pub const CACHE_EVICTIONS_TOTAL: &str = "dsi_cache_evictions_total";
+/// Gauge in `[0,1]`: cache hit rate since start.
+pub const CACHE_HIT_RATE: &str = "dsi_cache_hit_rate";
+/// Gauge: pages resident in the SSD cache.
+pub const CACHE_RESIDENT_PAGES: &str = "dsi_cache_resident_pages";
+/// Counter, labels `{node}`: I/O operations served per storage node.
+pub const STORAGE_NODE_IOS_TOTAL: &str = "dsi_storage_node_ios_total";
+/// Counter, labels `{node}`: bytes served per storage node.
+pub const STORAGE_NODE_BYTES_TOTAL: &str = "dsi_storage_node_bytes_total";
+
+// ---- dwrf: columnar format reader -----------------------------------------
+
+/// Counter: stripes decoded by DWRF readers.
+pub const DWRF_STRIPES_DECODED_TOTAL: &str = "dsi_dwrf_stripes_decoded_total";
+/// Counter: bytes physically read (after coalescing over-read).
+pub const DWRF_READ_BYTES_TOTAL: &str = "dsi_dwrf_read_bytes_total";
+/// Counter: bytes actually wanted by the projected columns.
+pub const DWRF_WANTED_BYTES_TOTAL: &str = "dsi_dwrf_wanted_bytes_total";
+
+// ---- dpp: master / workers / clients --------------------------------------
+
+/// Gauge: splits waiting in the master queue.
+pub const MASTER_QUEUE_DEPTH: &str = "dsi_master_queue_depth";
+/// Counter: splits enqueued over the session.
+pub const MASTER_SPLITS_TOTAL: &str = "dsi_master_splits_total";
+/// Counter: splits completed by workers.
+pub const MASTER_SPLITS_COMPLETED_TOTAL: &str = "dsi_master_splits_completed_total";
+/// Counter: master checkpoints taken.
+pub const MASTER_CHECKPOINTS_TOTAL: &str = "dsi_master_checkpoints_total";
+/// Gauge: workers currently registered with the master.
+pub const MASTER_WORKERS: &str = "dsi_master_workers";
+/// Counter: samples produced by DPP workers.
+pub const WORKER_SAMPLES_TOTAL: &str = "dsi_worker_samples_total";
+/// Counter: batches produced by DPP workers.
+pub const WORKER_BATCHES_TOTAL: &str = "dsi_worker_batches_total";
+/// Counter: compressed bytes received from storage by workers.
+pub const WORKER_STORAGE_RX_BYTES_TOTAL: &str = "dsi_worker_storage_rx_bytes_total";
+/// Counter: bytes the workers' column projection actually wanted.
+pub const WORKER_STORAGE_WANTED_BYTES_TOTAL: &str = "dsi_worker_storage_wanted_bytes_total";
+/// Counter: memory-bandwidth bytes moved during preprocessing.
+pub const WORKER_MEMBW_BYTES_TOTAL: &str = "dsi_worker_membw_bytes_total";
+/// Histogram (seconds): trainer-client batch fetch latency.
+pub const CLIENT_FETCH_SECONDS: &str = "dsi_client_fetch_seconds";
+/// Counter: client polls that returned no batch (fan-out starvation).
+pub const CLIENT_STARVED_POLLS_TOTAL: &str = "dsi_client_starved_polls_total";
+/// Counter: batches accepted by clients.
+pub const CLIENT_BATCHES_TOTAL: &str = "dsi_client_batches_total";
+
+// ---- trainer ---------------------------------------------------------------
+
+/// Gauge in `[0,1]`: fraction of trainer wall time spent data-stalled.
+pub const TRAINER_STALL_FRACTION: &str = "dsi_trainer_stall_fraction";
+/// Counter: batches consumed by the trainer.
+pub const TRAINER_BATCHES_TOTAL: &str = "dsi_trainer_batches_total";
+/// Counter: samples consumed by the trainer.
+pub const TRAINER_SAMPLES_TOTAL: &str = "dsi_trainer_samples_total";
+/// Gauge (seconds, accumulating): trainer time spent waiting on data.
+pub const TRAINER_STALLED_SECONDS: &str = "dsi_trainer_stalled_seconds";
+/// Gauge (seconds, accumulating): trainer wall time observed.
+pub const TRAINER_ELAPSED_SECONDS: &str = "dsi_trainer_elapsed_seconds";

@@ -1,0 +1,255 @@
+//! Label-aware metric registry.
+//!
+//! Registration (first access of a `(name, labels)` pair) takes a write
+//! lock; every subsequent update goes straight to the `Arc`'d metric and
+//! touches only atomics. Components should therefore resolve their
+//! handles once and hold them, but even the lookup path is a single
+//! read-lock + BTreeMap probe, cheap enough for per-batch use.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+
+/// Identity of one metric series: a name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, e.g. `dsi_cache_hits_total`.
+    pub name: String,
+    /// Label pairs, sorted by key for a canonical identity.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    /// Builds a key with labels sorted canonically.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotone counter.
+    Counter(Arc<Counter>),
+    /// Instantaneous gauge.
+    Gauge(Arc<Gauge>),
+    /// Log-linear histogram.
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A point-in-time value of one series, used by exposition and reports.
+#[derive(Debug, Clone)]
+pub enum MetricValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(f64),
+    /// Histogram summary.
+    Histogram(HistogramSnapshot),
+}
+
+/// Shared, cloneable handle to a metric registry.
+///
+/// Clones share the same underlying series map, so a registry can be
+/// handed to every pipeline component and scraped from one place.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<RwLock<BTreeMap<MetricKey, Metric>>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        wrap: impl Fn(Arc<T>) -> Metric,
+        unwrap: impl Fn(&Metric) -> Option<Arc<T>>,
+        make: impl Fn() -> T,
+    ) -> Arc<T> {
+        let key = MetricKey::new(name, labels);
+        if let Some(m) = self.inner.read().get(&key) {
+            return unwrap(m)
+                .unwrap_or_else(|| panic!("metric {name} already registered as a {}", m.kind()));
+        }
+        let mut map = self.inner.write();
+        let entry = map.entry(key).or_insert_with(|| wrap(Arc::new(make())));
+        unwrap(entry)
+            .unwrap_or_else(|| panic!("metric {name} already registered as a {}", entry.kind()))
+    }
+
+    /// Counter handle for `(name, labels)`, registering it on first use.
+    ///
+    /// Panics if the series already exists with a different type.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            labels,
+            Metric::Counter,
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+            Counter::new,
+        )
+    }
+
+    /// Gauge handle for `(name, labels)`, registering it on first use.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            labels,
+            Metric::Gauge,
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+            Gauge::new,
+        )
+    }
+
+    /// Histogram handle for `(name, labels)`, registering it on first use.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            labels,
+            Metric::Histogram,
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+            Histogram::new,
+        )
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Point-in-time values of every series, sorted by key.
+    pub fn snapshot(&self) -> Vec<(MetricKey, MetricValue)> {
+        self.inner
+            .read()
+            .iter()
+            .map(|(k, m)| {
+                let v = match m {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                };
+                (k.clone(), v)
+            })
+            .collect()
+    }
+
+    /// Reading of one series, if registered.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<MetricValue> {
+        let key = MetricKey::new(name, labels);
+        self.inner.read().get(&key).map(|m| match m {
+            Metric::Counter(c) => MetricValue::Counter(c.get()),
+            Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+            Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+        })
+    }
+
+    /// Counter reading as u64 (0 when absent; panics on type mismatch).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.value(name, labels) {
+            Some(MetricValue::Counter(v)) => v,
+            Some(_) => panic!("metric {name} is not a counter"),
+            None => 0,
+        }
+    }
+
+    /// Gauge reading as f64 (0 when absent; panics on type mismatch).
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        match self.value(name, labels) {
+            Some(MetricValue::Gauge(v)) => v,
+            Some(_) => panic!("metric {name} is not a gauge"),
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_key_returns_same_metric() {
+        let r = Registry::new();
+        let a = r.counter("hits", &[("node", "0")]);
+        let b = r.counter("hits", &[("node", "0")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let r = Registry::new();
+        let a = r.counter("m", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("m", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn distinct_labels_are_distinct_series() {
+        let r = Registry::new();
+        r.counter("m", &[("node", "0")]).inc();
+        r.counter("m", &[("node", "1")]).add(5);
+        assert_eq!(r.counter_value("m", &[("node", "0")]), 1);
+        assert_eq!(r.counter_value("m", &[("node", "1")]), 5);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("m", &[]);
+        r.gauge("m", &[]);
+    }
+
+    #[test]
+    fn absent_series_read_as_zero() {
+        let r = Registry::new();
+        assert_eq!(r.counter_value("nope", &[]), 0);
+        assert_eq!(r.gauge_value("nope", &[]), 0.0);
+        assert!(r.value("nope", &[]).is_none());
+    }
+}

@@ -1,0 +1,403 @@
+//! The `PipelineReport`: a pretty-printed characterization of one DSI
+//! run, mirroring the tables the paper uses to describe production
+//! workloads — per-stage time/cycle shares (datacenter tax), storage
+//! read amplification and per-node IOPS spread, cache effectiveness,
+//! and the trainer's data-stall fraction.
+
+use std::fmt;
+
+use crate::names;
+use crate::registry::{MetricValue, Registry};
+use crate::span::{STAGE_CYCLES_TOTAL, STAGE_SECONDS};
+
+/// One row of the per-stage breakdown.
+#[derive(Debug, Clone)]
+pub struct StageRow {
+    /// Hierarchical stage path (`extract`, `load/tls`, ...).
+    pub stage: String,
+    /// Spans recorded for this stage.
+    pub spans: u64,
+    /// Total wall seconds attributed to the stage.
+    pub seconds: f64,
+    /// Simulated cycles attributed to the stage.
+    pub cycles: u64,
+}
+
+/// Per-storage-node totals.
+#[derive(Debug, Clone)]
+pub struct NodeRow {
+    /// Node label.
+    pub node: String,
+    /// I/O operations served.
+    pub ios: u64,
+    /// Bytes served.
+    pub bytes: u64,
+}
+
+/// Collected characterization numbers for one run.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineReport {
+    /// Per-stage rows, sorted by descending seconds.
+    pub stages: Vec<StageRow>,
+    /// Per-node storage rows, sorted by node label.
+    pub nodes: Vec<NodeRow>,
+    /// ETL pairs joined.
+    pub etl_joined: u64,
+    /// ETL orphan events.
+    pub etl_orphans: u64,
+    /// ETL expired-negative samples.
+    pub etl_expired: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Cache hit rate in `[0,1]`.
+    pub cache_hit_rate: f64,
+    /// Bytes physically read from storage.
+    pub read_bytes: u64,
+    /// Bytes the readers actually wanted.
+    pub wanted_bytes: u64,
+    /// Samples produced by workers.
+    pub worker_samples: u64,
+    /// Batches produced by workers.
+    pub worker_batches: u64,
+    /// Batches consumed by the trainer.
+    pub trainer_batches: u64,
+    /// Trainer data-stall fraction in `[0,1]`.
+    pub stall_fraction: f64,
+    /// Trainer wall seconds observed.
+    pub trainer_elapsed: f64,
+}
+
+impl PipelineReport {
+    /// Gathers a report from the registry's current state.
+    pub fn collect(registry: &Registry) -> Self {
+        let mut report = Self::default();
+        let mut stages: Vec<StageRow> = Vec::new();
+        for (key, value) in registry.snapshot() {
+            let label = |want: &str| {
+                key.labels
+                    .iter()
+                    .find(|(k, _)| k == want)
+                    .map(|(_, v)| v.clone())
+            };
+            match (key.name.as_str(), &value) {
+                (STAGE_SECONDS, MetricValue::Histogram(s)) => {
+                    if let Some(stage) = label("stage") {
+                        match stages.iter_mut().find(|r| r.stage == stage) {
+                            Some(row) => {
+                                row.spans = s.count;
+                                row.seconds = s.sum;
+                            }
+                            None => stages.push(StageRow {
+                                stage,
+                                spans: s.count,
+                                seconds: s.sum,
+                                cycles: 0,
+                            }),
+                        }
+                    }
+                }
+                (STAGE_CYCLES_TOTAL, MetricValue::Counter(c)) => {
+                    if let Some(stage) = label("stage") {
+                        match stages.iter_mut().find(|r| r.stage == stage) {
+                            Some(row) => row.cycles = *c,
+                            None => stages.push(StageRow {
+                                stage,
+                                spans: 0,
+                                seconds: 0.0,
+                                cycles: *c,
+                            }),
+                        }
+                    }
+                }
+                (names::STORAGE_NODE_IOS_TOTAL, MetricValue::Counter(c)) => {
+                    if let Some(node) = label("node") {
+                        match report.nodes.iter_mut().find(|r| r.node == node) {
+                            Some(row) => row.ios = *c,
+                            None => report.nodes.push(NodeRow {
+                                node,
+                                ios: *c,
+                                bytes: 0,
+                            }),
+                        }
+                    }
+                }
+                (names::STORAGE_NODE_BYTES_TOTAL, MetricValue::Counter(c)) => {
+                    if let Some(node) = label("node") {
+                        match report.nodes.iter_mut().find(|r| r.node == node) {
+                            Some(row) => row.bytes = *c,
+                            None => report.nodes.push(NodeRow {
+                                node,
+                                ios: 0,
+                                bytes: *c,
+                            }),
+                        }
+                    }
+                }
+                (names::ETL_JOINED_TOTAL, MetricValue::Counter(c)) => report.etl_joined = *c,
+                (names::ETL_ORPHAN_EVENTS_TOTAL, MetricValue::Counter(c)) => {
+                    report.etl_orphans = *c
+                }
+                (names::ETL_EXPIRED_NEGATIVE_TOTAL, MetricValue::Counter(c)) => {
+                    report.etl_expired = *c
+                }
+                (names::CACHE_HITS_TOTAL, MetricValue::Counter(c)) => report.cache_hits += *c,
+                (names::CACHE_MISSES_TOTAL, MetricValue::Counter(c)) => report.cache_misses += *c,
+                (names::CACHE_HIT_RATE, MetricValue::Gauge(v)) => report.cache_hit_rate = *v,
+                (names::DWRF_READ_BYTES_TOTAL, MetricValue::Counter(c)) => report.read_bytes += *c,
+                (names::DWRF_WANTED_BYTES_TOTAL, MetricValue::Counter(c)) => {
+                    report.wanted_bytes += *c
+                }
+                (names::WORKER_STORAGE_RX_BYTES_TOTAL, MetricValue::Counter(c)) => {
+                    report.read_bytes += *c
+                }
+                (names::WORKER_STORAGE_WANTED_BYTES_TOTAL, MetricValue::Counter(c)) => {
+                    report.wanted_bytes += *c
+                }
+                (names::WORKER_SAMPLES_TOTAL, MetricValue::Counter(c)) => {
+                    report.worker_samples = *c
+                }
+                (names::WORKER_BATCHES_TOTAL, MetricValue::Counter(c)) => {
+                    report.worker_batches = *c
+                }
+                (names::TRAINER_BATCHES_TOTAL, MetricValue::Counter(c)) => {
+                    report.trainer_batches = *c
+                }
+                (names::TRAINER_STALL_FRACTION, MetricValue::Gauge(v)) => {
+                    report.stall_fraction = *v
+                }
+                (names::TRAINER_ELAPSED_SECONDS, MetricValue::Gauge(v)) => {
+                    report.trainer_elapsed = *v
+                }
+                _ => {}
+            }
+        }
+        stages.sort_by(|a, b| {
+            b.seconds
+                .partial_cmp(&a.seconds)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| b.cycles.cmp(&a.cycles))
+        });
+        report.stages = stages;
+        report.nodes.sort_by(
+            |a, b| match (a.node.parse::<u64>(), b.node.parse::<u64>()) {
+                (Ok(x), Ok(y)) => x.cmp(&y),
+                _ => a.node.cmp(&b.node),
+            },
+        );
+        report
+    }
+
+    /// Read amplification: bytes read divided by bytes wanted (1.0 when
+    /// nothing was wanted).
+    pub fn overread_ratio(&self) -> f64 {
+        if self.wanted_bytes == 0 {
+            1.0
+        } else {
+            self.read_bytes as f64 / self.wanted_bytes as f64
+        }
+    }
+
+    /// Share of total cycles spent in "datacenter tax" stages (any stage
+    /// path containing `tls` or `deserialize`).
+    pub fn tax_cycle_share(&self) -> f64 {
+        let total: u64 = self.stages.iter().map(|r| r.cycles).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let tax: u64 = self
+            .stages
+            .iter()
+            .filter(|r| {
+                r.stage
+                    .split('/')
+                    .any(|s| s == crate::span::stage::TLS || s == crate::span::stage::DESERIALIZE)
+            })
+            .map(|r| r.cycles)
+            .sum();
+        tax as f64 / total as f64
+    }
+}
+
+fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    if u == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.2} {}", UNITS[u])
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== DSI pipeline characterization ==")?;
+
+        let total_secs: f64 = self.stages.iter().map(|r| r.seconds).sum();
+        let total_cycles: u64 = self.stages.iter().map(|r| r.cycles).sum();
+        writeln!(f, "\n-- stage breakdown (wall time / simulated cycles) --")?;
+        writeln!(
+            f,
+            "{:<32} {:>8} {:>12} {:>7} {:>14} {:>7}",
+            "stage", "spans", "seconds", "time%", "cycles", "cyc%"
+        )?;
+        for row in &self.stages {
+            let time_pct = if total_secs > 0.0 {
+                100.0 * row.seconds / total_secs
+            } else {
+                0.0
+            };
+            let cyc_pct = if total_cycles > 0 {
+                100.0 * row.cycles as f64 / total_cycles as f64
+            } else {
+                0.0
+            };
+            writeln!(
+                f,
+                "{:<32} {:>8} {:>12.6} {:>6.1}% {:>14} {:>6.1}%",
+                row.stage, row.spans, row.seconds, time_pct, row.cycles, cyc_pct
+            )?;
+        }
+        if total_cycles > 0 {
+            writeln!(
+                f,
+                "datacenter tax (tls+deserialize): {:.1}% of cycles",
+                100.0 * self.tax_cycle_share()
+            )?;
+        }
+
+        if self.etl_joined + self.etl_orphans + self.etl_expired > 0 {
+            writeln!(f, "\n-- streaming ETL --")?;
+            writeln!(
+                f,
+                "joined: {}  orphan events: {}  expired->negative: {}",
+                self.etl_joined, self.etl_orphans, self.etl_expired
+            )?;
+        }
+
+        writeln!(f, "\n-- storage --")?;
+        writeln!(
+            f,
+            "bytes read: {}  bytes wanted: {}  over-read ratio: {:.3}x",
+            human_bytes(self.read_bytes),
+            human_bytes(self.wanted_bytes),
+            self.overread_ratio()
+        )?;
+        if !self.nodes.is_empty() {
+            let max_ios = self.nodes.iter().map(|n| n.ios).max().unwrap_or(0);
+            let min_ios = self.nodes.iter().map(|n| n.ios).min().unwrap_or(0);
+            writeln!(
+                f,
+                "storage nodes: {}  IOPS spread min/max: {}/{}",
+                self.nodes.len(),
+                min_ios,
+                max_ios
+            )?;
+            for n in &self.nodes {
+                writeln!(
+                    f,
+                    "  node {:<8} ios: {:>10}  bytes: {}",
+                    n.node,
+                    n.ios,
+                    human_bytes(n.bytes)
+                )?;
+            }
+        }
+        writeln!(
+            f,
+            "cache: hits {}  misses {}  hit rate {:.1}%",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.cache_hit_rate
+        )?;
+
+        writeln!(f, "\n-- preprocessing / training --")?;
+        writeln!(
+            f,
+            "worker samples: {}  worker batches: {}  trainer batches: {}",
+            self.worker_samples, self.worker_batches, self.trainer_batches
+        )?;
+        let batches_per_sec = if self.trainer_elapsed > 0.0 {
+            self.trainer_batches as f64 / self.trainer_elapsed
+        } else {
+            0.0
+        };
+        writeln!(
+            f,
+            "data-stall fraction: {:.1}%  trainer throughput: {:.2} batches/s",
+            100.0 * self.stall_fraction,
+            batches_per_sec
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{add_stage_cycles, observe_stage_seconds, stage};
+
+    #[test]
+    fn collect_groups_stage_time_and_cycles() {
+        let r = Registry::new();
+        observe_stage_seconds(&r, stage::EXTRACT, 2.0);
+        observe_stage_seconds(&r, stage::TRANSFORM, 1.0);
+        add_stage_cycles(&r, stage::EXTRACT, 400);
+        add_stage_cycles(&r, stage::TLS, 100);
+        let report = PipelineReport::collect(&r);
+        assert_eq!(report.stages.len(), 3);
+        assert_eq!(report.stages[0].stage, "extract");
+        assert_eq!(report.stages[0].cycles, 400);
+        assert!((report.tax_cycle_share() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_rows_merge_ios_and_bytes_and_sort_numerically() {
+        let r = Registry::new();
+        r.counter(names::STORAGE_NODE_BYTES_TOTAL, &[("node", "0")])
+            .add(100);
+        r.counter(names::STORAGE_NODE_IOS_TOTAL, &[("node", "0")])
+            .add(3);
+        r.counter(names::STORAGE_NODE_IOS_TOTAL, &[("node", "10")])
+            .add(1);
+        r.counter(names::STORAGE_NODE_IOS_TOTAL, &[("node", "2")])
+            .add(2);
+        let report = PipelineReport::collect(&r);
+        assert_eq!(report.nodes.len(), 3);
+        assert_eq!(report.nodes[0].node, "0");
+        assert_eq!(report.nodes[0].ios, 3);
+        assert_eq!(report.nodes[0].bytes, 100);
+        assert_eq!(report.nodes[1].node, "2");
+        assert_eq!(report.nodes[2].node, "10");
+    }
+
+    #[test]
+    fn overread_ratio_handles_zero_wanted() {
+        let report = PipelineReport::default();
+        assert_eq!(report.overread_ratio(), 1.0);
+    }
+
+    #[test]
+    fn display_includes_headline_numbers() {
+        let r = Registry::new();
+        observe_stage_seconds(&r, stage::EXTRACT, 1.5);
+        r.counter(names::CACHE_HITS_TOTAL, &[]).add(9);
+        r.counter(names::CACHE_MISSES_TOTAL, &[]).add(1);
+        r.gauge(names::CACHE_HIT_RATE, &[]).set(0.9);
+        r.counter(names::STORAGE_NODE_IOS_TOTAL, &[("node", "n0")])
+            .add(17);
+        r.gauge(names::TRAINER_STALL_FRACTION, &[]).set(0.25);
+        let text = PipelineReport::collect(&r).to_string();
+        assert!(text.contains("== DSI pipeline characterization =="));
+        assert!(text.contains("extract"));
+        assert!(text.contains("hit rate 90.0%"));
+        assert!(text.contains("data-stall fraction: 25.0%"));
+        assert!(text.contains("node n0"));
+    }
+}

@@ -89,6 +89,22 @@ impl MessageBus {
         t.sort();
         t
     }
+
+    /// Publishes per-topic telemetry into `registry`: total records ever
+    /// published (`dsi_scribe_published_total`) and the current retained
+    /// backlog (`dsi_scribe_bus_backlog`).
+    pub fn publish_metrics(&self, registry: &dsi_obs::Registry) {
+        let streams = self.inner.streams.read();
+        for (topic, stream) in streams.iter() {
+            let s = stream.read();
+            registry
+                .counter(dsi_obs::names::SCRIBE_PUBLISHED_TOTAL, &[("topic", topic)])
+                .advance_to(s.tail().0);
+            registry
+                .gauge(dsi_obs::names::SCRIBE_BUS_BACKLOG, &[("topic", topic)])
+                .set(s.len() as f64);
+        }
+    }
 }
 
 #[cfg(test)]

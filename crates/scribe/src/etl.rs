@@ -39,6 +39,7 @@ pub struct StreamingJoiner {
     pending: HashMap<u64, FeatureLogRecord>,
     arrival_order: VecDeque<(u64, u64)>, // (ts, request_id)
     stats: EtlStats,
+    registry: Option<dsi_obs::Registry>,
 }
 
 impl StreamingJoiner {
@@ -49,13 +50,39 @@ impl StreamingJoiner {
             pending: HashMap::new(),
             arrival_order: VecDeque::new(),
             stats: EtlStats::default(),
+            registry: None,
         }
+    }
+
+    /// Attaches a metrics registry: joins record their feature→event lag
+    /// into `dsi_etl_join_lag_seconds`, and [`StreamingJoiner::publish_metrics`]
+    /// bridges the counters.
+    pub fn attach_registry(&mut self, registry: &dsi_obs::Registry) {
+        self.registry = Some(registry.clone());
+    }
+
+    /// Bridges the joiner's counters and pending depth into `registry`.
+    pub fn publish_metrics(&self, registry: &dsi_obs::Registry) {
+        use dsi_obs::names;
+        registry
+            .counter(names::ETL_JOINED_TOTAL, &[])
+            .advance_to(self.stats.joined);
+        registry
+            .counter(names::ETL_ORPHAN_EVENTS_TOTAL, &[])
+            .advance_to(self.stats.orphan_events);
+        registry
+            .counter(names::ETL_EXPIRED_NEGATIVE_TOTAL, &[])
+            .advance_to(self.stats.expired_negative);
+        registry
+            .gauge(names::ETL_PENDING_JOINS, &[])
+            .set(self.pending.len() as f64);
     }
 
     /// Offers a feature log; it will wait for its event.
     pub fn offer_features(&mut self, record: FeatureLogRecord) {
         self.stats.features_in += 1;
-        self.arrival_order.push_back((record.ts_ns, record.request_id));
+        self.arrival_order
+            .push_back((record.ts_ns, record.request_id));
         self.pending.insert(record.request_id, record);
     }
 
@@ -66,6 +93,11 @@ impl StreamingJoiner {
         match self.pending.remove(&event.request_id) {
             Some(rec) => {
                 self.stats.joined += 1;
+                if let Some(reg) = &self.registry {
+                    let lag_ns = event.ts_ns.saturating_sub(rec.ts_ns);
+                    reg.histogram(dsi_obs::names::ETL_JOIN_LAG_SECONDS, &[])
+                        .record(lag_ns as f64 / 1e9);
+                }
                 let mut sample = rec.features;
                 sample.set_label(event.label);
                 Some(sample)
@@ -152,7 +184,7 @@ impl BatchEtl {
             return false;
         }
         let stride = (1.0 / self.negative_keep_fraction).round() as u64;
-        self.negative_seen % stride == 0
+        self.negative_seen.is_multiple_of(stride)
     }
 
     /// Runs one ETL pass: reads new records from `features_topic` and
@@ -213,7 +245,17 @@ impl BatchEtl {
 
         bus.trim(features_topic, self.feature_cursor);
         bus.trim(events_topic, self.event_cursor);
+        if let Some(reg) = self.joiner.registry.clone() {
+            self.joiner.publish_metrics(&reg);
+            bus.publish_metrics(&reg);
+        }
         Ok(out)
+    }
+
+    /// Attaches a metrics registry; every [`BatchEtl::run_pass`] then
+    /// records join lag and republishes ETL counters and bus backlog.
+    pub fn attach_registry(&mut self, registry: &dsi_obs::Registry) {
+        self.joiner.attach_registry(registry);
     }
 
     /// Joiner counters.
@@ -286,7 +328,7 @@ mod tests {
         assert_eq!(parts[&PartitionId::new(0)].len(), 2);
         assert_eq!(parts[&PartitionId::new(1)].len(), 1);
         // Consumed prefixes trimmed.
-        assert_eq!(bus.read("f", Lsn(0), Lsn(1)).err().is_some(), true);
+        assert!(bus.read("f", Lsn(0), Lsn(1)).is_err());
     }
 
     #[test]
@@ -304,12 +346,42 @@ mod tests {
         let total: usize = parts.values().map(Vec::len).sum();
         // 10 positives + ~45 of 90 negatives.
         assert!((50..=60).contains(&total), "total {total}");
-        let positives: usize = parts
-            .values()
-            .flatten()
-            .filter(|s| s.label() > 0.0)
-            .count();
+        let positives: usize = parts.values().flatten().filter(|s| s.label() > 0.0).count();
         assert_eq!(positives, 10);
+    }
+
+    #[test]
+    fn metrics_bridge_tracks_joins_and_backlog() {
+        let reg = dsi_obs::Registry::new();
+        let bus = MessageBus::new();
+        let mut etl = BatchEtl::new(100, 1.0, 1_000_000);
+        etl.attach_registry(&reg);
+        for rid in 0..5u64 {
+            bus.publish("f", features(rid, rid * 10).into());
+            bus.publish("e", EventRecord::positive(rid, rid * 10 + 7).into());
+        }
+        etl.run_pass(&bus, "f", "e", 1_000).unwrap();
+        assert_eq!(reg.counter_value(dsi_obs::names::ETL_JOINED_TOTAL, &[]), 5);
+        // Every join lagged 7ns.
+        match reg
+            .value(dsi_obs::names::ETL_JOIN_LAG_SECONDS, &[])
+            .unwrap()
+        {
+            dsi_obs::MetricValue::Histogram(s) => {
+                assert_eq!(s.count, 5);
+                assert!((s.max - 7e-9).abs() < 1e-15);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Published totals survive trimming; backlog reflects the trim.
+        assert_eq!(
+            reg.counter_value(dsi_obs::names::SCRIBE_PUBLISHED_TOTAL, &[("topic", "f")]),
+            5
+        );
+        assert_eq!(
+            reg.gauge_value(dsi_obs::names::SCRIBE_BUS_BACKLOG, &[("topic", "f")]),
+            0.0
+        );
     }
 
     #[test]

@@ -152,7 +152,10 @@ mod tests {
             s.append(ev(i));
         }
         let got = s
-            .read_range(Lsn(SEGMENT_CAPACITY as u64 - 5), Lsn(SEGMENT_CAPACITY as u64 + 5))
+            .read_range(
+                Lsn(SEGMENT_CAPACITY as u64 - 5),
+                Lsn(SEGMENT_CAPACITY as u64 + 5),
+            )
             .unwrap();
         assert_eq!(got.len(), 10);
         match &got[0] {

@@ -109,7 +109,10 @@ mod tests {
             ScribeRecord::from(FeatureLogRecord::new(1, 7, s.clone())).ts_ns(),
             Some(7)
         );
-        assert_eq!(ScribeRecord::from(EventRecord::positive(1, 9)).ts_ns(), Some(9));
+        assert_eq!(
+            ScribeRecord::from(EventRecord::positive(1, 9)).ts_ns(),
+            Some(9)
+        );
         assert_eq!(ScribeRecord::Labeled(s).ts_ns(), None);
     }
 }

@@ -172,9 +172,7 @@ mod tests {
         let schema = small_schema();
         let mut g = SampleGenerator::new(&schema, 1).with_positive_rate(0.3);
         let n = 3000;
-        let pos = (0..n)
-            .filter(|_| g.next_sample().label() > 0.0)
-            .count();
+        let pos = (0..n).filter(|_| g.next_sample().label() > 0.0).count();
         let frac = pos as f64 / n as f64;
         assert!((frac - 0.3).abs() < 0.05, "positive rate {frac}");
     }

@@ -49,8 +49,7 @@ impl GrowthModel {
     pub fn trajectory(&self, quarters: u32) -> Vec<GrowthPoint> {
         (0..=quarters)
             .map(|q| {
-                let size =
-                    (self.samples_q * self.bytes_per_sample_q).powi(q as i32);
+                let size = (self.samples_q * self.bytes_per_sample_q).powi(q as i32);
                 let bandwidth = size * self.trainer_speed_q.powi(q as i32);
                 GrowthPoint {
                     quarter: q,

@@ -77,7 +77,12 @@ impl LifecycleModel {
     /// Simulates `proposal_months` of new-feature proposals followed by
     /// `aging_months` of pure aging, returning the final status counts of
     /// every feature proposed in the window.
-    pub fn simulate(&self, proposal_months: u32, aging_months: u32, seed: u64) -> LifecycleSnapshot {
+    pub fn simulate(
+        &self,
+        proposal_months: u32,
+        aging_months: u32,
+        seed: u64,
+    ) -> LifecycleSnapshot {
         let mut rng = SplitMix64::new(seed);
         let mut statuses: Vec<FeatureStatus> = Vec::new();
         for month in 0..proposal_months + aging_months {
@@ -103,9 +108,10 @@ impl LifecycleModel {
             }
             // Propose new features only during the proposal window.
             if month < proposal_months {
-                statuses.extend(
-                    std::iter::repeat_n(FeatureStatus::Beta, self.proposals_per_month as usize),
-                );
+                statuses.extend(std::iter::repeat_n(
+                    FeatureStatus::Beta,
+                    self.proposals_per_month as usize,
+                ));
             }
         }
         let mut snap = LifecycleSnapshot::default();
@@ -188,7 +194,14 @@ mod tests {
     #[test]
     fn logged_partitions_window() {
         let parts = logged_partitions(3, Some(6), 10);
-        assert_eq!(parts, vec![PartitionId::new(3), PartitionId::new(4), PartitionId::new(5)]);
+        assert_eq!(
+            parts,
+            vec![
+                PartitionId::new(3),
+                PartitionId::new(4),
+                PartitionId::new(5)
+            ]
+        );
         let parts = logged_partitions(8, None, 10);
         assert_eq!(parts.len(), 2);
         assert!(logged_partitions(12, None, 10).is_empty());

@@ -124,11 +124,7 @@ impl JobProjectionSampler {
         }
         let tail_len = (ranked.len() - core_count).max(1);
 
-        let dense_ranked: Vec<FeatureId> = ranked
-            .iter()
-            .filter(|r| !r.3)
-            .map(|r| r.0)
-            .collect();
+        let dense_ranked: Vec<FeatureId> = ranked.iter().filter(|r| !r.3).map(|r| r.0).collect();
         let dense_target =
             (dense_ranked.len() as f64 * profile.dense_use_fraction()).round() as usize;
         let dense_core = (dense_target * 4 / 5).min(dense_ranked.len());
@@ -158,8 +154,7 @@ impl JobProjectionSampler {
 
     /// Samples one job's feature projection.
     pub fn sample_projection(&self, rng: &mut SplitMix64) -> Projection {
-        let mut ids: Vec<FeatureId> =
-            self.ranked[..self.core_count].iter().map(|r| r.0).collect();
+        let mut ids: Vec<FeatureId> = self.ranked[..self.core_count].iter().map(|r| r.0).collect();
         if self.core_count < self.ranked.len() {
             let mut tail_bytes = 0.0;
             let mut guard = 0;
@@ -246,7 +241,8 @@ impl JobProjectionSampler {
     /// count)` sorted most-selected first.
     pub fn access_frequency_ranking(&self, jobs: usize, seed: u64) -> Vec<(FeatureId, f64)> {
         let mut rng = SplitMix64::new(seed);
-        let mut counts: std::collections::HashMap<FeatureId, f64> = std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<FeatureId, f64> =
+            std::collections::HashMap::new();
         for _ in 0..jobs {
             let p = self.sample_projection(&mut rng);
             for &fid in p.ids() {

@@ -277,8 +277,7 @@ mod tests {
     #[test]
     fn table_v_fractions_bound_table_iv_counts() {
         for p in RmProfile::all() {
-            let used =
-                (p.model_dense_features + p.model_sparse_features) as f64;
+            let used = (p.model_dense_features + p.model_sparse_features) as f64;
             let logged = p.dataset_total_features() as f64;
             let frac = used / logged;
             // Tables IV/V: jobs read ~9-11% of logged features.
@@ -291,7 +290,7 @@ mod tests {
     }
 
     #[test]
-    fn trainer_demand_spans_over_3x(){
+    fn trainer_demand_spans_over_3x() {
         let demands: Vec<f64> = RmProfile::all()
             .iter()
             .map(|p| p.trainer_node_demand)
@@ -338,7 +337,10 @@ mod tests {
         );
         let max = lens.iter().cloned().fold(0.0, f64::max);
         let min = lens.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max / min > 5.0, "lengths should disperse: {min:.1}..{max:.1}");
+        assert!(
+            max / min > 5.0,
+            "lengths should disperse: {min:.1}..{max:.1}"
+        );
     }
 
     #[test]

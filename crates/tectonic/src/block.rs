@@ -11,9 +11,7 @@ pub const DEFAULT_BLOCK_SIZE: u64 = 8 * 1024 * 1024;
 pub const REPLICATION_FACTOR: usize = 3;
 
 /// Identifies one block of one file.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct BlockId {
     /// Hash of the owning file path.
     pub file_hash: u64,
@@ -59,9 +57,7 @@ pub fn place_replicas(block: BlockId, node_count: usize, replicas: usize) -> Vec
         "cannot place {replicas} replicas on {node_count} nodes"
     );
     let key = block.placement_key();
-    let mut weighted: Vec<(u64, u64)> = (0..node_count as u64)
-        .map(|n| (mix2(key, n), n))
-        .collect();
+    let mut weighted: Vec<(u64, u64)> = (0..node_count as u64).map(|n| (mix2(key, n), n)).collect();
     weighted.sort_unstable_by(|a, b| b.cmp(a));
     weighted
         .into_iter()
@@ -99,10 +95,7 @@ mod tests {
         }
         // 9000 placements over 10 nodes: each should be within 2x of mean.
         for (&node, &c) in &counts {
-            assert!(
-                (450..=1800).contains(&c),
-                "node {node} got {c} placements"
-            );
+            assert!((450..=1800).contains(&c), "node {node} got {c} placements");
         }
         assert_eq!(counts.len(), nodes);
     }

@@ -7,8 +7,8 @@
 //! a page-granular LRU cache whose hits are charged to a simulated SSD and
 //! whose misses fall through to the HDD cluster (and fill the cache).
 
-use crate::cluster::TectonicCluster;
 use crate::block::hash_path;
+use crate::cluster::TectonicCluster;
 use dsi_types::{ByteSize, Result};
 use dwrf::ChunkSource;
 use hwsim::{DeviceStats, DiskModel, IoRequest};
@@ -120,6 +120,28 @@ impl SsdCache {
         }
     }
 
+    /// Publishes cache telemetry into `registry`: hit/miss/eviction
+    /// counters, the `[0,1]` hit-rate gauge, and resident pages.
+    pub fn publish_metrics(&self, registry: &dsi_obs::Registry) {
+        use dsi_obs::names;
+        let stats = self.stats();
+        registry
+            .counter(names::CACHE_HITS_TOTAL, &[])
+            .advance_to(stats.hits);
+        registry
+            .counter(names::CACHE_MISSES_TOTAL, &[])
+            .advance_to(stats.misses);
+        registry
+            .counter(names::CACHE_EVICTIONS_TOTAL, &[])
+            .advance_to(stats.evictions);
+        registry
+            .gauge(names::CACHE_HIT_RATE, &[])
+            .set(stats.hit_rate());
+        registry
+            .gauge(names::CACHE_RESIDENT_PAGES, &[])
+            .set(self.len() as f64);
+    }
+
     /// Resident pages.
     pub fn len(&self) -> usize {
         self.inner.lock().pages.len()
@@ -155,11 +177,7 @@ impl SsdCache {
             return; // racing fill
         }
         if inner.pages.len() >= inner.capacity_pages {
-            if let Some((&victim, _)) = inner
-                .pages
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-            {
+            if let Some((&victim, _)) = inner.pages.iter().min_by_key(|(_, e)| e.last_used) {
                 inner.pages.remove(&victim);
                 inner.evictions += 1;
             }
@@ -167,8 +185,7 @@ impl SsdCache {
         inner.clockhand += 1;
         let now = inner.clockhand;
         let off = inner.next_ssd_offset;
-        inner.next_ssd_offset =
-            (inner.next_ssd_offset + PAGE_SIZE) % inner.ssd.capacity().bytes();
+        inner.next_ssd_offset = (inner.next_ssd_offset + PAGE_SIZE) % inner.ssd.capacity().bytes();
         inner.ssd.serve(IoRequest::new(off, PAGE_SIZE));
         inner.pages.insert(
             key,
@@ -293,6 +310,64 @@ mod tests {
         let before = cache.stats().hits;
         src.read(0, 16).unwrap();
         assert_eq!(cache.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn hit_rate_stays_within_unit_interval() {
+        // Zero lookups must not divide by zero.
+        let fresh = CacheStats::default();
+        assert_eq!(fresh.hit_rate(), 0.0);
+        let cache = SsdCache::new(ByteSize::mib(1));
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+
+        // After arbitrary traffic the rate is still in [0, 1].
+        let (cluster, cache) = setup(ByteSize(2 * PAGE_SIZE));
+        let mut src = CachedSource::new(cluster, cache.clone(), "hot/file");
+        for i in 0..200u64 {
+            src.read((i % 7) * PAGE_SIZE, 32).unwrap();
+        }
+        let rate = cache.stats().hit_rate();
+        assert!((0.0..=1.0).contains(&rate), "hit rate {rate}");
+        // All-miss and all-hit extremes are representable.
+        let all_hits = CacheStats {
+            hits: 10,
+            ..Default::default()
+        };
+        assert_eq!(all_hits.hit_rate(), 1.0);
+        let all_misses = CacheStats {
+            misses: 10,
+            ..Default::default()
+        };
+        assert_eq!(all_misses.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn publish_metrics_bridges_stats_idempotently() {
+        let (cluster, cache) = setup(ByteSize::mib(8));
+        let mut src = CachedSource::new(cluster.clone(), cache.clone(), "hot/file");
+        src.read(0, 5_000).unwrap();
+        src.read(0, 5_000).unwrap();
+        let reg = dsi_obs::Registry::new();
+        cache.publish_metrics(&reg);
+        cluster.publish_metrics(&reg);
+        let stats = cache.stats();
+        use dsi_obs::names;
+        assert_eq!(reg.counter_value(names::CACHE_HITS_TOTAL, &[]), stats.hits);
+        assert_eq!(
+            reg.counter_value(names::CACHE_MISSES_TOTAL, &[]),
+            stats.misses
+        );
+        let rate = reg.gauge_value(names::CACHE_HIT_RATE, &[]);
+        assert!((0.0..=1.0).contains(&rate));
+        assert!((rate - stats.hit_rate()).abs() < 1e-12);
+        // Publishing a snapshot twice must not double-count.
+        cache.publish_metrics(&reg);
+        assert_eq!(reg.counter_value(names::CACHE_HITS_TOTAL, &[]), stats.hits);
+        // Node IOPS landed per-node and sum to the cluster total.
+        let total: u64 = (0..cluster.node_count())
+            .map(|i| reg.counter_value(names::STORAGE_NODE_IOS_TOTAL, &[("node", &i.to_string())]))
+            .sum();
+        assert_eq!(total, cluster.total_stats().ios);
     }
 
     #[test]

@@ -171,11 +171,8 @@ impl TectonicCluster {
             let chunk = data.slice(written as usize..written as usize + take);
             let id = BlockId::new(path, block_index);
             if within == 0 {
-                let replicas = place_replicas(
-                    id,
-                    self.inner.config.nodes,
-                    self.inner.config.replication,
-                );
+                let replicas =
+                    place_replicas(id, self.inner.config.nodes, self.inner.config.replication);
                 for &node in &replicas {
                     self.inner.nodes[node.0 as usize]
                         .lock()
@@ -257,14 +254,13 @@ impl TectonicCluster {
                     "every replica of {path} block {block_index} is on a failed node"
                 )));
             }
-            let pick = self.inner.replica_cursor.fetch_add(1, Ordering::Relaxed) as usize
-                % replicas.len();
+            let pick =
+                self.inner.replica_cursor.fetch_add(1, Ordering::Relaxed) as usize % replicas.len();
             let node = replicas[pick];
             let id = BlockId::new(path, block_index);
-            let (bytes, ns) =
-                self.inner.nodes[node.0 as usize]
-                    .lock()
-                    .read(id, within, take)?;
+            let (bytes, ns) = self.inner.nodes[node.0 as usize]
+                .lock()
+                .read(id, within, take)?;
             out.extend_from_slice(&bytes);
             total_ns += ns;
             pos += take;
@@ -362,14 +358,12 @@ impl TectonicCluster {
                     .filter(|n| !replicas.contains(n))
                     .copied()
                     .collect();
-                targets.sort_by_key(|n| crate::block::place_replicas(id, healthy.len().max(1), 1)
-                    .first()
-                    .map_or(u64::MAX, |p| p.0 ^ n.0));
-                let mut placed = 0;
-                for target in targets {
-                    if placed == lost {
-                        break;
-                    }
+                targets.sort_by_key(|n| {
+                    crate::block::place_replicas(id, healthy.len().max(1), 1)
+                        .first()
+                        .map_or(u64::MAX, |p| p.0 ^ n.0)
+                });
+                for target in targets.into_iter().take(lost) {
                     self.inner.nodes[target.0 as usize]
                         .lock()
                         .store(id, data.clone())?;
@@ -377,7 +371,6 @@ impl TectonicCluster {
                     if let Some(slot) = replicas.iter_mut().find(|n| failed.contains(n)) {
                         *slot = target;
                     }
-                    placed += 1;
                     restored += 1;
                 }
             }
@@ -465,7 +458,28 @@ impl TectonicCluster {
 
     /// Physical bytes stored across all nodes (includes replication).
     pub fn stored_bytes(&self) -> u64 {
-        self.inner.nodes.iter().map(|n| n.lock().stored_bytes()).sum()
+        self.inner
+            .nodes
+            .iter()
+            .map(|n| n.lock().stored_bytes())
+            .sum()
+    }
+
+    /// Publishes per-node IO telemetry into `registry`:
+    /// `dsi_storage_node_ios_total{node}` and
+    /// `dsi_storage_node_bytes_total{node}`.
+    pub fn publish_metrics(&self, registry: &dsi_obs::Registry) {
+        use dsi_obs::names;
+        for (i, n) in self.inner.nodes.iter().enumerate() {
+            let s = n.lock().stats().device;
+            let node = i.to_string();
+            registry
+                .counter(names::STORAGE_NODE_IOS_TOTAL, &[("node", &node)])
+                .advance_to(s.ios);
+            registry
+                .counter(names::STORAGE_NODE_BYTES_TOTAL, &[("node", &node)])
+                .advance_to(s.bytes);
+        }
     }
 }
 
@@ -573,11 +587,9 @@ mod tests {
         assert_eq!(c.list_files().len(), before - 1);
         assert!(matches!(c.read("reap", 0, 1), Err(DsiError::NotFound(_))));
         // Blocks are gone from every node.
-        let total_blocks: usize = (0..5)
-            .map(|i| c.inner.nodes[i].lock().block_count())
-            .sum();
+        let total_blocks: usize = (0..5).map(|i| c.inner.nodes[i].lock().block_count()).sum();
         assert_eq!(total_blocks, 3 * 3); // only "keep"'s 3 blocks x R3
-        // The kept file is intact.
+                                         // The kept file is intact.
         assert_eq!(c.read("keep", 0, 2500).unwrap(), vec![1u8; 2500]);
         assert!(c.delete("reap").is_err());
     }

@@ -218,8 +218,12 @@ mod tests {
             100.0,
         );
         let mut n = StorageNode::new(small);
-        assert!(n.store(BlockId::new("f", 0), Bytes::from(vec![0u8; 60])).is_ok());
-        assert!(n.store(BlockId::new("f", 1), Bytes::from(vec![0u8; 60])).is_err());
+        assert!(n
+            .store(BlockId::new("f", 0), Bytes::from(vec![0u8; 60]))
+            .is_ok());
+        assert!(n
+            .store(BlockId::new("f", 1), Bytes::from(vec![0u8; 60]))
+            .is_err());
     }
 
     #[test]

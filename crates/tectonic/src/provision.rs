@@ -138,7 +138,10 @@ impl TieredPlacement {
         hot_byte_fraction: f64,
         hot_traffic_fraction: f64,
     ) -> TieredPlacement {
-        assert!((0.0..=1.0).contains(&hot_byte_fraction), "fraction in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&hot_byte_fraction),
+            "fraction in [0,1]"
+        );
         assert!(
             (0.0..=1.0).contains(&hot_traffic_fraction),
             "fraction in [0,1]"
@@ -188,8 +191,7 @@ mod tests {
     #[test]
     fn hdd_provisioning_is_iops_bound_with_large_gap() {
         let (bytes, demand, io) = rm1_demand();
-        let plan =
-            ProvisionPlan::for_workload(&StorageNodeClass::hdd(), bytes, 3, demand, io);
+        let plan = ProvisionPlan::for_workload(&StorageNodeClass::hdd(), bytes, 3, demand, io);
         assert!(
             plan.throughput_to_storage_gap > 8.0,
             "gap {:.1} should exceed 8x",
@@ -201,8 +203,7 @@ mod tests {
     #[test]
     fn pure_ssd_is_capacity_bound() {
         let (bytes, demand, io) = rm1_demand();
-        let plan =
-            ProvisionPlan::for_workload(&StorageNodeClass::ssd(), bytes, 3, demand, io);
+        let plan = ProvisionPlan::for_workload(&StorageNodeClass::ssd(), bytes, 3, demand, io);
         // The inverse problem: on SSD the dataset, not the IOPS, dominates.
         assert!(plan.throughput_to_storage_gap < 1.0);
         assert_eq!(plan.nodes_provisioned, plan.nodes_for_capacity);
@@ -211,8 +212,7 @@ mod tests {
     #[test]
     fn tiering_popular_bytes_saves_power() {
         let (bytes, demand, io) = rm1_demand();
-        let all_hdd =
-            ProvisionPlan::for_workload(&StorageNodeClass::hdd(), bytes, 3, demand, io);
+        let all_hdd = ProvisionPlan::for_workload(&StorageNodeClass::hdd(), bytes, 3, demand, io);
         // Fig. 7 for RM1: ~39% of bytes absorb ~80% of traffic.
         let tiered = TieredPlacement::plan(bytes, 3, demand, io, 0.39, 0.80);
         assert!(
@@ -239,12 +239,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "mean IO size")]
     fn zero_io_size_panics() {
-        ProvisionPlan::for_workload(
-            &StorageNodeClass::hdd(),
-            ByteSize::gib(1),
-            3,
-            1e6,
-            0,
-        );
+        ProvisionPlan::for_workload(&StorageNodeClass::hdd(), ByteSize::gib(1), 3, 1e6, 0);
     }
 }

@@ -168,7 +168,11 @@ mod tests {
             .iter()
             .filter(|&&s| s > 0)
             .count();
-        assert!(active >= 2, "work should spread: {:?}", report.samples_per_trainer);
+        assert!(
+            active >= 2,
+            "work should spread: {:?}",
+            report.samples_per_trainer
+        );
         assert!(session.is_complete());
         session.shutdown();
     }
@@ -177,7 +181,9 @@ mod tests {
     fn partitioned_fanout_still_covers_everything() {
         let session = build_session(256, 4);
         let demand = GpuDemand::new(6.4e6, 100.0);
-        let job = TrainingJob::new(2, demand).with_fanout(2).with_time_scale(0.05);
+        let job = TrainingJob::new(2, demand)
+            .with_fanout(2)
+            .with_time_scale(0.05);
         let report = job.run(&session);
         assert_eq!(report.total_samples, 256);
         session.shutdown();

@@ -30,4 +30,4 @@ pub use job::{JobReport, TrainingJob};
 pub use live::LiveTrainer;
 pub use loading::{loading_cost, loading_sweep, LoadingPoint};
 pub use onhost::{onhost_baseline, OnHostReport};
-pub use stall::{StallSim, StallReport};
+pub use stall::{StallReport, StallSim};

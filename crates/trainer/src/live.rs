@@ -18,6 +18,7 @@ pub struct LiveTrainer {
     demand: GpuDemand,
     /// Scales simulated GPU time (1.0 = real time; smaller = faster tests).
     time_scale: f64,
+    registry: Option<dsi_obs::Registry>,
 }
 
 impl LiveTrainer {
@@ -27,12 +28,20 @@ impl LiveTrainer {
             client,
             demand,
             time_scale: 1.0,
+            registry: None,
         }
     }
 
     /// Scales simulated GPU service time (builder-style; useful in tests).
     pub fn with_time_scale(mut self, scale: f64) -> Self {
         self.time_scale = scale;
+        self
+    }
+
+    /// Attaches a metrics registry (builder-style): each [`LiveTrainer::train`]
+    /// call publishes its [`StallReport`] and trained-sample count into it.
+    pub fn with_registry(mut self, registry: &dsi_obs::Registry) -> Self {
+        self.registry = Some(registry.clone());
         self
     }
 
@@ -52,24 +61,26 @@ impl LiveTrainer {
             batches += 1;
             samples += tensor.batch_size() as u64;
             // "Train": occupy the GPU for the batch's service time.
-            let service =
-                self.demand.batch_service_secs(tensor.batch_size()) * self.time_scale;
+            let service = self.demand.batch_service_secs(tensor.batch_size()) * self.time_scale;
             spin_sleep(Duration::from_secs_f64(service));
         }
         let elapsed = start.elapsed();
-        (
-            StallReport {
-                batches,
-                elapsed_secs: elapsed.as_secs_f64(),
-                stalled_secs: stalled.as_secs_f64(),
-                stall_fraction: if elapsed.is_zero() {
-                    0.0
-                } else {
-                    stalled.as_secs_f64() / elapsed.as_secs_f64()
-                },
+        let report = StallReport {
+            batches,
+            elapsed_secs: elapsed.as_secs_f64(),
+            stalled_secs: stalled.as_secs_f64(),
+            stall_fraction: if elapsed.is_zero() {
+                0.0
+            } else {
+                stalled.as_secs_f64() / elapsed.as_secs_f64()
             },
-            samples,
-        )
+        };
+        if let Some(reg) = &self.registry {
+            report.publish_metrics(reg);
+            reg.counter(dsi_obs::names::TRAINER_SAMPLES_TOTAL, &[])
+                .add(samples);
+        }
+        (report, samples)
     }
 }
 
@@ -143,6 +154,33 @@ mod tests {
             report.stall_fraction < 0.9,
             "stall {:.3}",
             report.stall_fraction
+        );
+    }
+
+    #[test]
+    fn live_trainer_publishes_stall_metrics() {
+        use dsi_obs::names;
+        let table = build_table(128);
+        let session = DppSession::launch(table, spec(), 2).unwrap();
+        let reg = dsi_obs::Registry::new();
+        session.attach_registry(&reg);
+        let demand = GpuDemand::new(3.2e6, 100.0);
+        let mut trainer = LiveTrainer::new(session.client(), demand)
+            .with_time_scale(0.1)
+            .with_registry(&reg);
+        let (report, samples) = trainer.train(u64::MAX);
+        session.shutdown();
+        assert_eq!(
+            reg.counter_value(names::TRAINER_SAMPLES_TOTAL, &[]),
+            samples
+        );
+        assert_eq!(
+            reg.counter_value(names::TRAINER_BATCHES_TOTAL, &[]),
+            report.batches
+        );
+        assert!(
+            (reg.gauge_value(names::TRAINER_STALL_FRACTION, &[]) - report.stall_fraction).abs()
+                < 1e-12
         );
     }
 

@@ -66,7 +66,11 @@ mod tests {
         let node = NodeSpec::trainer();
         let tax = DatacenterTax::production();
         let pt = &loading_sweep(&node, &tax, &[16.5e9])[0];
-        assert!((0.30..=0.50).contains(&pt.utilization.cpu), "cpu {}", pt.utilization.cpu);
+        assert!(
+            (0.30..=0.50).contains(&pt.utilization.cpu),
+            "cpu {}",
+            pt.utilization.cpu
+        );
         assert!(
             (0.45..=0.65).contains(&pt.utilization.membw),
             "membw {}",

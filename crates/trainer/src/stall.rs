@@ -22,6 +22,29 @@ pub struct StallReport {
     pub stall_fraction: f64,
 }
 
+impl StallReport {
+    /// Publishes this report into `registry`: the data-stall fraction,
+    /// stalled/elapsed wall-time gauges, the consumed-batch counter, and
+    /// one `stall` stage observation carrying the total stalled time (so
+    /// the pipeline report's stage table shows where the GPU waited).
+    pub fn publish_metrics(&self, registry: &dsi_obs::Registry) {
+        use dsi_obs::names;
+        registry
+            .gauge(names::TRAINER_STALL_FRACTION, &[])
+            .set(self.stall_fraction);
+        registry
+            .gauge(names::TRAINER_STALLED_SECONDS, &[])
+            .set(self.stalled_secs);
+        registry
+            .gauge(names::TRAINER_ELAPSED_SECONDS, &[])
+            .set(self.elapsed_secs);
+        registry
+            .counter(names::TRAINER_BATCHES_TOTAL, &[])
+            .add(self.batches);
+        dsi_obs::observe_stage_seconds(registry, dsi_obs::stage::STALL, self.stalled_secs);
+    }
+}
+
 /// A bounded-buffer producer/consumer stall simulator in virtual time.
 #[derive(Debug, Clone)]
 pub struct StallSim {
@@ -42,7 +65,10 @@ impl StallSim {
     ///
     /// Panics if either rate or the buffer capacity is not positive.
     pub fn from_rates(supply_bps: f64, demand_bps: f64, buffer_capacity: usize) -> Self {
-        assert!(supply_bps > 0.0 && demand_bps > 0.0, "rates must be positive");
+        assert!(
+            supply_bps > 0.0 && demand_bps > 0.0,
+            "rates must be positive"
+        );
         assert!(buffer_capacity > 0, "buffer must hold at least one batch");
         Self {
             produce_interval: 1.0 / supply_bps,
@@ -69,10 +95,10 @@ impl StallSim {
         let mut stalled = 0.0f64;
 
         let produce_until = |t: f64,
-                                 available: &mut std::collections::VecDeque<f64>,
-                                 next_produce: &mut f64,
-                                 produced: &mut u64,
-                                 rng: &mut SplitMix64| {
+                             available: &mut std::collections::VecDeque<f64>,
+                             next_produce: &mut f64,
+                             produced: &mut u64,
+                             rng: &mut SplitMix64| {
             while *next_produce <= t && available.len() < self.buffer_capacity {
                 available.push_back(*next_produce);
                 *produced += 1;
@@ -91,7 +117,13 @@ impl StallSim {
         };
 
         for _ in 0..batches {
-            produce_until(now, &mut available, &mut next_produce, &mut produced, &mut rng);
+            produce_until(
+                now,
+                &mut available,
+                &mut next_produce,
+                &mut produced,
+                &mut rng,
+            );
             let batch_ready = match available.pop_front() {
                 Some(_) => now,
                 None => {
@@ -177,7 +209,11 @@ mod tests {
     fn elapsed_accounts_for_consume_time() {
         let sim = StallSim::from_rates(1000.0, 100.0, 8);
         let r = sim.run(100, 5);
-        assert!((r.elapsed_secs - 1.0).abs() < 0.05, "elapsed {}", r.elapsed_secs);
+        assert!(
+            (r.elapsed_secs - 1.0).abs() < 0.05,
+            "elapsed {}",
+            r.elapsed_secs
+        );
         assert_eq!(r.batches, 100);
     }
 
@@ -185,5 +221,30 @@ mod tests {
     #[should_panic(expected = "rates must be positive")]
     fn invalid_rates_rejected() {
         StallSim::from_rates(0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn report_publishes_stall_metrics() {
+        use dsi_obs::names;
+        let sim = StallSim::from_rates(50.0, 100.0, 8);
+        let r = sim.run(1_000, 2);
+        let reg = dsi_obs::Registry::new();
+        r.publish_metrics(&reg);
+        assert!(
+            (reg.gauge_value(names::TRAINER_STALL_FRACTION, &[]) - r.stall_fraction).abs() < 1e-12
+        );
+        assert!(
+            (reg.gauge_value(names::TRAINER_STALLED_SECONDS, &[]) - r.stalled_secs).abs() < 1e-12
+        );
+        assert_eq!(reg.counter_value(names::TRAINER_BATCHES_TOTAL, &[]), 1_000);
+        // The stall stage carries the GPU's waiting time.
+        let stall = reg
+            .histogram(
+                dsi_obs::span::STAGE_SECONDS,
+                &[("stage", dsi_obs::stage::STALL)],
+            )
+            .snapshot();
+        assert_eq!(stall.count, 1);
+        assert!((stall.sum - r.stalled_secs).abs() < 1e-12);
     }
 }

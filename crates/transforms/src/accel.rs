@@ -152,8 +152,14 @@ mod tests {
         let small = model.effective_plan_speedup(&plan, 8, 25.0);
         let large = model.effective_plan_speedup(&plan, 8192, 25.0);
         assert!(large > small);
-        assert!(large > 8.0, "large-batch speedup {large:.1} should approach 11.9");
-        assert!(small < 3.0, "small-batch speedup {small:.1} should be launch-bound");
+        assert!(
+            large > 8.0,
+            "large-batch speedup {large:.1} should approach 11.9"
+        );
+        assert!(
+            small < 3.0,
+            "small-batch speedup {small:.1} should be launch-bound"
+        );
     }
 
     #[test]

@@ -188,7 +188,9 @@ mod tests {
                 input: FeatureId(10),
                 x: 3,
             },
-            TransformOp::Logit { input: FeatureId(0) },
+            TransformOp::Logit {
+                input: FeatureId(0),
+            },
             TransformOp::Clamp {
                 input: FeatureId(1),
                 min: 0.0,

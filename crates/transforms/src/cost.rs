@@ -127,7 +127,9 @@ mod tests {
             OpClass::SparseNormalization
         );
         assert_eq!(
-            OpCost::class_of(&TransformOp::Logit { input: FeatureId(1) }),
+            OpCost::class_of(&TransformOp::Logit {
+                input: FeatureId(1)
+            }),
             OpClass::DenseNormalization
         );
         assert_eq!(

@@ -250,7 +250,12 @@ impl TransformOp {
                     return;
                 };
                 let set: std::collections::BTreeSet<u64> = lb.ids().iter().copied().collect();
-                let out: SparseList = la.ids().iter().copied().filter(|id| set.contains(id)).collect();
+                let out: SparseList = la
+                    .ids()
+                    .iter()
+                    .copied()
+                    .filter(|id| set.contains(id))
+                    .collect();
                 s.set_sparse(*output, out);
             }
             TransformOp::BoxCox { input, lambda } => {
@@ -470,7 +475,10 @@ mod tests {
             offset: 1.0,
         }
         .apply(&mut s);
-        assert_eq!(s.sparse(FeatureId(12)).unwrap().scores().unwrap(), &[2.0, 4.0]);
+        assert_eq!(
+            s.sparse(FeatureId(12)).unwrap().scores().unwrap(),
+            &[2.0, 4.0]
+        );
         // No-op on unscored lists.
         TransformOp::ComputeScore {
             input: FeatureId(10),
@@ -485,7 +493,10 @@ mod tests {
     fn enumerate_distinguishes_positions() {
         let mut s = Sample::new(0.0);
         s.set_sparse(FeatureId(1), SparseList::from_ids(vec![5, 5]));
-        TransformOp::Enumerate { input: FeatureId(1) }.apply(&mut s);
+        TransformOp::Enumerate {
+            input: FeatureId(1),
+        }
+        .apply(&mut s);
         let ids = s.sparse(FeatureId(1)).unwrap().ids();
         assert_ne!(ids[0], ids[1], "same id at different positions must differ");
     }
@@ -498,7 +509,12 @@ mod tests {
             modulus: 5,
         }
         .apply(&mut s);
-        assert!(s.sparse(FeatureId(10)).unwrap().ids().iter().all(|&i| i < 5));
+        assert!(s
+            .sparse(FeatureId(10))
+            .unwrap()
+            .ids()
+            .iter()
+            .all(|&i| i < 5));
     }
 
     #[test]
@@ -524,7 +540,10 @@ mod tests {
         assert!((s.dense(FeatureId(1)).unwrap() - 0.5f32.ln()).abs() < 1e-6);
 
         let mut s2 = sample();
-        TransformOp::Logit { input: FeatureId(1) }.apply(&mut s2);
+        TransformOp::Logit {
+            input: FeatureId(1),
+        }
+        .apply(&mut s2);
         assert!(s2.dense(FeatureId(1)).unwrap().abs() < 1e-6); // logit(0.5) = 0
     }
 
@@ -576,7 +595,12 @@ mod tests {
         op.apply(&mut a);
         op.apply(&mut b);
         assert_eq!(a.sparse(FeatureId(10)), b.sparse(FeatureId(10)));
-        assert!(a.sparse(FeatureId(10)).unwrap().ids().iter().all(|&i| i < 100));
+        assert!(a
+            .sparse(FeatureId(10))
+            .unwrap()
+            .ids()
+            .iter()
+            .all(|&i| i < 100));
         // Equal input ids hash equal.
         let ids = a.sparse(FeatureId(10)).unwrap().ids();
         assert_eq!(ids[1], ids[3]);
@@ -632,7 +656,10 @@ mod tests {
 
     #[test]
     fn sampling_rate_is_respected() {
-        let op = TransformOp::Sampling { rate: 0.25, seed: 3 };
+        let op = TransformOp::Sampling {
+            rate: 0.25,
+            seed: 3,
+        };
         let survivors = (0..10_000).filter(|&i| op.sample_survives(i)).count();
         let frac = survivors as f64 / 10_000.0;
         assert!((frac - 0.25).abs() < 0.02, "survival {frac}");
@@ -650,7 +677,9 @@ mod tests {
                 b: FeatureId(2),
                 output: FeatureId(3),
             },
-            TransformOp::Logit { input: FeatureId(1) },
+            TransformOp::Logit {
+                input: FeatureId(1),
+            },
             TransformOp::SigridHash {
                 input: FeatureId(1),
                 salt: 0,

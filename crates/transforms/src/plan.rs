@@ -195,8 +195,7 @@ impl TransformPlan {
         // Feature generation: ~3-5 distinct kernels per derived feature is
         // typical (§VII); here each derived feature is one generation op
         // plus the normalizations that follow it.
-        let derived =
-            ((sparse.len() + dense.len()) as f64 * derived_fraction).round() as usize;
+        let derived = ((sparse.len() + dense.len()) as f64 * derived_fraction).round() as usize;
         for d in 0..derived {
             let out = FeatureId(DERIVED_FEATURE_BASE + d as u64);
             // Rotation weighted like production mixes: n-grams and
@@ -266,9 +265,7 @@ impl TransformPlan {
     pub fn class_counts(&self) -> BTreeMap<String, usize> {
         let mut counts = BTreeMap::new();
         for op in &self.ops {
-            *counts
-                .entry(OpCost::class_of(op).to_string())
-                .or_insert(0) += 1;
+            *counts.entry(OpCost::class_of(op).to_string()).or_insert(0) += 1;
         }
         counts
     }
@@ -311,7 +308,12 @@ mod tests {
     fn preset_covers_projection() {
         let sparse = vec![FeatureId(10), FeatureId(11)];
         let dense = vec![FeatureId(0), FeatureId(1)];
-        let proj = Projection::new(vec![FeatureId(0), FeatureId(1), FeatureId(10), FeatureId(11)]);
+        let proj = Projection::new(vec![
+            FeatureId(0),
+            FeatureId(1),
+            FeatureId(10),
+            FeatureId(11),
+        ]);
         let plan = TransformPlan::preset(&proj, &sparse, &dense, 0.25, 10_000);
         assert!(!plan.is_empty());
         assert_eq!(plan.derived_feature_count(), 1);
@@ -352,7 +354,10 @@ mod tests {
         let mut s = sample();
         let cost = plan.apply_sample_with_cost(&mut s);
         let (generation, sparse, dense) = cost.class_shares();
-        assert!(generation > sparse && sparse > dense, "{generation} {sparse} {dense}");
+        assert!(
+            generation > sparse && sparse > dense,
+            "{generation} {sparse} {dense}"
+        );
         assert!(cost.membw_bytes > 0.0);
         assert!((generation + sparse + dense - 1.0).abs() < 1e-9);
     }

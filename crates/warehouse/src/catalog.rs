@@ -107,7 +107,9 @@ mod tests {
     fn duplicate_ids_rejected() {
         let wh = Warehouse::new(TectonicCluster::new(ClusterConfig::small()));
         wh.create_table(TableConfig::new(TableId(1), "a")).unwrap();
-        assert!(wh.create_table(TableConfig::new(TableId(1), "dup")).is_err());
+        assert!(wh
+            .create_table(TableConfig::new(TableId(1), "dup"))
+            .is_err());
     }
 
     #[test]

@@ -82,9 +82,9 @@ impl Aggregate {
     fn required_feature(&self) -> Option<FeatureId> {
         match self {
             Aggregate::Count | Aggregate::MeanLabel => None,
-            Aggregate::MeanDense(f)
-            | Aggregate::MeanSparseLen(f)
-            | Aggregate::Coverage(f) => Some(*f),
+            Aggregate::MeanDense(f) | Aggregate::MeanSparseLen(f) | Aggregate::Coverage(f) => {
+                Some(*f)
+            }
         }
     }
 }
@@ -274,15 +274,14 @@ mod tests {
                     let mut s = Sample::new(if i % 5 == 0 { 1.0 } else { 0.0 });
                     s.set_dense(FeatureId(1), i as f32);
                     if i % 2 == 0 {
-                        s.set_sparse(
-                            FeatureId(2),
-                            SparseList::from_ids((0..(i % 7)).collect()),
-                        );
+                        s.set_sparse(FeatureId(2), SparseList::from_ids((0..(i % 7)).collect()));
                     }
                     s
                 })
                 .collect();
-            table.write_partition(PartitionId::new(day), samples).unwrap();
+            table
+                .write_partition(PartitionId::new(day), samples)
+                .unwrap();
         }
         table
     }
@@ -334,8 +333,8 @@ mod tests {
     #[test]
     fn query_reads_only_needed_columns() {
         let table = build_table();
-        let q = Query::new(PartitionId::new(0)..PartitionId::new(3))
-            .select(vec![Aggregate::MeanLabel]);
+        let q =
+            Query::new(PartitionId::new(0)..PartitionId::new(3)).select(vec![Aggregate::MeanLabel]);
         assert!(q.projection().is_empty()); // labels ride along free
         let result = q.execute(&table).unwrap();
         // Scan fetched fewer bytes than a query touching both features.

@@ -145,7 +145,10 @@ impl TableScan {
     ///
     /// Propagates storage and decode failures.
     pub fn read_split(&self, split: &Split) -> Result<(Vec<Sample>, IoPlan)> {
-        let reader = FileReader::from_footer((*split.footer).clone());
+        let mut reader = FileReader::from_footer((*split.footer).clone());
+        if let Some(reg) = self.table.registry() {
+            reader = reader.with_registry(&reg);
+        }
         match self.table.cache() {
             Some(cache) => {
                 let mut source = tectonic::CachedSource::new(
@@ -229,7 +232,9 @@ mod tests {
                     s
                 })
                 .collect();
-            table.write_partition(PartitionId::new(day), samples).unwrap();
+            table
+                .write_partition(PartitionId::new(day), samples)
+                .unwrap();
         }
         table
     }
@@ -344,6 +349,30 @@ mod tests {
         assert_eq!(cache.stats().misses, misses_after_first);
         assert_eq!(table.cluster().total_stats().ios, 0);
         assert!(cache.stats().hit_rate() > 0.4);
+    }
+
+    #[test]
+    fn attached_registry_sees_scan_decode_telemetry() {
+        let table = build_table(50);
+        let reg = dsi_obs::Registry::new();
+        table.attach_registry(&reg);
+        let scan = table.scan(
+            PartitionId::new(0)..PartitionId::new(4),
+            Projection::new(vec![FeatureId(1), FeatureId(2)]),
+        );
+        let (_, stats) = scan.read_all_with_stats().unwrap();
+        assert_eq!(
+            reg.counter_value(dsi_obs::names::DWRF_STRIPES_DECODED_TOTAL, &[]),
+            stats.splits
+        );
+        assert_eq!(
+            reg.counter_value(dsi_obs::names::DWRF_READ_BYTES_TOTAL, &[]),
+            stats.read_bytes
+        );
+        let extract = reg
+            .histogram(dsi_obs::span::STAGE_SECONDS, &[("stage", "extract")])
+            .snapshot();
+        assert_eq!(extract.count, stats.splits);
     }
 
     #[test]

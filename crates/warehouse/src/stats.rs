@@ -1,9 +1,9 @@
 //! Table statistics: the measurements behind Tables III and V.
 
 use crate::table::Table;
+use dsi_types::FeatureId;
 use dsi_types::{ByteSize, PartitionId, Projection};
 use dwrf::stream::FILE_LEVEL;
-use dsi_types::FeatureId;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::ops::Range;

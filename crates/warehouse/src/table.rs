@@ -65,6 +65,7 @@ pub(crate) struct TableInner {
     pub(crate) schema: RwLock<Schema>,
     pub(crate) partitions: RwLock<BTreeMap<PartitionId, Vec<PartitionFile>>>,
     pub(crate) cache: RwLock<Option<tectonic::SsdCache>>,
+    pub(crate) obs: RwLock<Option<dsi_obs::Registry>>,
 }
 
 /// A handle to a warehouse table (cheaply cloneable).
@@ -99,8 +100,20 @@ impl Table {
                 schema: RwLock::new(schema),
                 partitions: RwLock::new(BTreeMap::new()),
                 cache: RwLock::new(None),
+                obs: RwLock::new(None),
             }),
         })
+    }
+
+    /// Attaches a metrics registry: every subsequent scan read publishes
+    /// DWRF decode telemetry (stripes, bytes, stage timings) into it.
+    pub fn attach_registry(&self, registry: &dsi_obs::Registry) {
+        *self.inner.obs.write() = Some(registry.clone());
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn registry(&self) -> Option<dsi_obs::Registry> {
+        self.inner.obs.read().clone()
     }
 
     /// The table id.
@@ -138,7 +151,9 @@ impl Table {
     /// Returns an error if `samples` is empty or storage is exhausted.
     pub fn write_partition(&self, partition: PartitionId, samples: Vec<Sample>) -> Result<()> {
         if samples.is_empty() {
-            return Err(DsiError::invalid_spec("cannot write an empty partition file"));
+            return Err(DsiError::invalid_spec(
+                "cannot write an empty partition file",
+            ));
         }
         let rows = samples.len() as u64;
         let mut writer = FileWriter::new(self.inner.config.writer_options.clone());
@@ -273,7 +288,10 @@ mod tests {
             .unwrap();
         t.write_partition(PartitionId::new(1), (15..20).map(sample).collect())
             .unwrap();
-        assert_eq!(t.partitions(), vec![PartitionId::new(0), PartitionId::new(1)]);
+        assert_eq!(
+            t.partitions(),
+            vec![PartitionId::new(0), PartitionId::new(1)]
+        );
         assert_eq!(t.partition_files(PartitionId::new(0)).len(), 2);
         assert_eq!(t.total_rows(), 20);
         assert!(t.total_encoded_bytes() > 0);
@@ -326,7 +344,8 @@ mod tests {
     fn handles_share_state() {
         let t = table();
         let t2 = t.clone();
-        t.write_partition(PartitionId::new(3), vec![sample(1)]).unwrap();
+        t.write_partition(PartitionId::new(3), vec![sample(1)])
+            .unwrap();
         assert_eq!(t2.total_rows(), 1);
         assert_eq!(t2.name(), "rm_test");
         assert_eq!(t2.id(), TableId(9));

@@ -11,9 +11,7 @@
 //! how many regional dataset copies the fleet pays for (Fig. 6).
 
 use cluster::scheduler::fig6_models;
-use cluster::{
-    DemandModel, GlobalScheduler, JobKind, JobStatus, PlacementPolicy, ReleaseProcess,
-};
+use cluster::{DemandModel, GlobalScheduler, JobKind, JobStatus, PlacementPolicy, ReleaseProcess};
 use dsi_types::ByteSize;
 
 fn main() {

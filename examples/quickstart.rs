@@ -24,7 +24,10 @@ fn main() -> dsi_types::Result<()> {
             FeatureId(2),
             SparseList::from_ids(vec![request_id % 50, request_id % 13]),
         );
-        bus.publish("rm/features", FeatureLogRecord::new(request_id, ts, features).into());
+        bus.publish(
+            "rm/features",
+            FeatureLogRecord::new(request_id, ts, features).into(),
+        );
         // Every 7th recommendation gets a click.
         let event = if request_id % 7 == 0 {
             EventRecord::positive(request_id, ts + 1_000)
@@ -55,7 +58,9 @@ fn main() -> dsi_types::Result<()> {
         .partitions(PartitionId::new(0)..last_day.plus_days(1))
         .projection(Projection::new(vec![FeatureId(1), FeatureId(2)]))
         .plan(TransformPlan::new(vec![
-            TransformOp::Logit { input: FeatureId(1) },
+            TransformOp::Logit {
+                input: FeatureId(1),
+            },
             TransformOp::SigridHash {
                 input: FeatureId(2),
                 salt: 7,
@@ -83,9 +88,7 @@ fn main() -> dsi_types::Result<()> {
         positives += tensor.labels.iter().filter(|&&l| l > 0.0).count() as u64;
     }
     let report = session.shutdown();
-    println!(
-        "trained on {rows} rows in {batches} mini-batches ({positives} positives)"
-    );
+    println!("trained on {rows} rows in {batches} mini-batches ({positives} positives)");
     println!(
         "dpp: read {} from storage, shipped {} of tensors over {} splits",
         ByteSize(report.storage_rx_bytes),

@@ -10,8 +10,8 @@
 //! bytes (Fig. 7), a tiered layout placing the hot fraction on flash can
 //! serve most traffic at a fraction of the power.
 
-use dsi_types::PIB;
 use dsi_types::ByteSize;
+use dsi_types::PIB;
 use synth::{JobProjectionSampler, RmProfile};
 use tectonic::{ProvisionPlan, StorageNodeClass, TieredPlacement};
 
@@ -53,19 +53,21 @@ fn main() {
         demand_bytes_per_sec,
         mean_io,
     );
-    let tiered = TieredPlacement::plan(
-        dataset,
-        3,
-        demand_bytes_per_sec,
-        mean_io,
-        hot_fraction,
-        0.8,
-    );
+    let tiered =
+        TieredPlacement::plan(dataset, 3, demand_bytes_per_sec, mean_io, hot_fraction, 0.8);
 
-    println!("\nall-HDD:  {:>7.0} nodes, {:>6.2} MW (gap {:.1}x: IOPS-bound)",
-        hdd.nodes_provisioned, hdd.watts / 1e6, hdd.throughput_to_storage_gap);
-    println!("all-SSD:  {:>7.0} nodes, {:>6.2} MW (gap {:.2}x: capacity-bound)",
-        ssd.nodes_provisioned, ssd.watts / 1e6, ssd.throughput_to_storage_gap);
+    println!(
+        "\nall-HDD:  {:>7.0} nodes, {:>6.2} MW (gap {:.1}x: IOPS-bound)",
+        hdd.nodes_provisioned,
+        hdd.watts / 1e6,
+        hdd.throughput_to_storage_gap
+    );
+    println!(
+        "all-SSD:  {:>7.0} nodes, {:>6.2} MW (gap {:.2}x: capacity-bound)",
+        ssd.nodes_provisioned,
+        ssd.watts / 1e6,
+        ssd.throughput_to_storage_gap
+    );
     println!(
         "tiered:   {:>7.0} nodes, {:>6.2} MW ({:.0} SSD hot + {:.0} HDD cold)",
         tiered.hot.nodes_provisioned + tiered.cold.nodes_provisioned,

@@ -1,0 +1,190 @@
+//! Offline shim of `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `sample_size`, `throughput`, `bench_function`, `Bencher::iter`) as a
+//! simple wall-clock harness: each benchmark runs a short warm-up, then
+//! `sample_size` timed batches, and prints mean time per iteration plus
+//! derived throughput. No statistics beyond mean/min/max — enough to
+//! compare hot paths offline.
+
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the closure given to `bench_function`.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`, keeping its output alive.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks sharing sample-size and throughput config.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark: warm-up, then `sample_size` timed samples.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.as_ref();
+        // Warm-up and per-sample iteration calibration: aim for samples of
+        // at least ~1 ms so Instant overhead stays negligible.
+        let mut calib = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut calib);
+        let per_iter = calib.elapsed.max(Duration::from_nanos(1));
+        let iters_per_sample = (Duration::from_millis(1).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 100_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut iters = 0u64;
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                iters: iters_per_sample,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let per = b.elapsed / iters_per_sample as u32;
+            min = min.min(per);
+            max = max.max(per);
+            total += b.elapsed;
+            iters += b.iters;
+        }
+        let mean = total.as_secs_f64() / iters.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!(" {:>10.1} MiB/s", n as f64 / mean / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!(" {:>10.1} Kelem/s", n as f64 / mean / 1e3)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{id}: mean {:>12} min {:>12} max {:>12}{rate}",
+            self.name,
+            fmt_secs(mean),
+            fmt_secs(min.as_secs_f64()),
+            fmt_secs(max.as_secs_f64()),
+        );
+        self
+    }
+
+    /// Ends the group (printing is incremental; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs each group, mirroring criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2)
+            .throughput(Throughput::Elements(10))
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

@@ -1,0 +1,16 @@
+//! Offline shim of `serde`.
+//!
+//! Provides `Serialize`/`Deserialize` as marker traits and re-exports the
+//! no-op derives so `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The workspace
+//! never serializes through serde at runtime (it has its own byte
+//! formats), so no functional serialization machinery is needed.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

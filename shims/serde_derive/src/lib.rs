@@ -1,0 +1,21 @@
+//! Offline shim of `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` for documentation and
+//! future wire formats but never serializes through serde at runtime (it
+//! has its own byte formats), so these derives expand to nothing: the
+//! annotation compiles, no trait impl is generated, and no code can bound
+//! on the marker traits (none does).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -55,6 +55,7 @@
 
 pub use cluster;
 pub use dpp;
+pub use dsi_obs as obs;
 pub use dsi_types as types;
 pub use dwrf;
 pub use hwsim;
@@ -68,9 +69,10 @@ pub use warehouse;
 /// Commonly-used items across the whole pipeline.
 pub mod prelude {
     pub use dpp::{AutoScaler, Client, DppSession, Master, SessionSpec};
+    pub use dsi_obs::{json_snapshot, prometheus_text, PipelineReport, Registry};
     pub use dsi_types::{
-        Batch, ByteSize, DsiError, FeatureId, MiniBatchTensor, PartitionId, Projection,
-        Sample, Schema, SessionId, SparseList, TableId,
+        Batch, ByteSize, DsiError, FeatureId, MiniBatchTensor, PartitionId, Projection, Sample,
+        Schema, SessionId, SparseList, TableId,
     };
     pub use dwrf::{CoalescePolicy, FileReader, FileWriter, WriterOptions};
     pub use hwsim::{DatacenterTax, NodeSpec, PowerModel, ResourceVector};

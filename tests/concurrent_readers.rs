@@ -91,15 +91,14 @@ fn two_jobs_and_an_analyst_share_one_table() {
             }
             total
         });
-        (
-            a.join().unwrap(),
-            b.join().unwrap(),
-            q.join().unwrap(),
-        )
+        (a.join().unwrap(), b.join().unwrap(), q.join().unwrap())
     });
     assert_eq!(rows_a, 1800);
     assert_eq!(rows_b, 1800);
-    assert!(query_rows > 250 && query_rows < 500, "CTR-ish count {query_rows}");
+    assert!(
+        query_rows > 250 && query_rows < 500,
+        "CTR-ish count {query_rows}"
+    );
     session_a.shutdown();
     session_b.shutdown();
     // Every byte for all three readers came off the same simulated disks.

@@ -24,7 +24,9 @@ fn build_table(days: u32, rows_per_day: u64) -> Table {
                 s
             })
             .collect();
-        table.write_partition(PartitionId::new(day), samples).unwrap();
+        table
+            .write_partition(PartitionId::new(day), samples)
+            .unwrap();
     }
     table
 }
@@ -56,8 +58,8 @@ fn repeated_crashes_never_lose_or_duplicate_rows() {
         if crashes < 4 && consumed > (crashes + 1) * 60 {
             let victim = session.master().checkpoint(); // any progress point
             let _ = victim; // (checkpoint exercised under churn)
-            // Find a live worker id via telemetry ordering: crash the
-            // first registered one that still exists.
+                            // Find a live worker id via telemetry ordering: crash the
+                            // first registered one that still exists.
             let ids: Vec<_> = (0..20).map(dsi_types::WorkerId).collect();
             for id in ids {
                 if session.crash_and_replace(id).is_ok() {
@@ -141,7 +143,9 @@ fn replicated_master_failover_is_transparent() {
     // completions through the other, progress visible from both.
     let table = build_table(1, 60);
     let s = spec(1);
-    let splits = table.scan(s.partitions(), s.projection.clone()).plan_splits();
+    let splits = table
+        .scan(s.partitions(), s.projection.clone())
+        .plan_splits();
     let primary = Master::new(SessionId(3), splits);
     let replica = primary.clone();
     let w = primary.register_worker();

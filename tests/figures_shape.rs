@@ -80,7 +80,10 @@ fn table9_worker_throughput_ordering_and_scale() {
     let rm2 = qps(RmClass::Rm2);
     let rm3 = qps(RmClass::Rm3);
     // Paper ordering: RM3 (36.9k) > RM1 (11.6k) > RM2 (8.0k).
-    assert!(rm3 > rm1 && rm1 > rm2, "qps rm1 {rm1:.0} rm2 {rm2:.0} rm3 {rm3:.0}");
+    assert!(
+        rm3 > rm1 && rm1 > rm2,
+        "qps rm1 {rm1:.0} rm2 {rm2:.0} rm3 {rm3:.0}"
+    );
     // Several-fold spread between the extremes.
     assert!(rm3 / rm2 > 3.0, "spread {:.1}", rm3 / rm2);
     // RM1 lands within 3x of the paper's 11.6 kQPS.
@@ -167,8 +170,7 @@ fn s7_codesign_improves_dpp_and_power() {
         }),
     );
     let spec = baseline_lab.session_spec(baseline_lab.rc_projection(), 128);
-    let base =
-        baseline_lab.measure_worker_custom(&spec, CoalescePolicy::None, Some(rowmajor));
+    let base = baseline_lab.measure_worker_custom(&spec, CoalescePolicy::None, Some(rowmajor));
     let base_qps = node.max_rate(&base.per_sample_demand(&tax));
 
     let opt_lab = {
