@@ -1,0 +1,125 @@
+//! RecD dedup hot paths: DedupSet stream encode/decode and the set-aware
+//! transform executor vs the plain per-row path.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dedup::DedupConfig;
+use dsi_types::{Batch, FeatureId, Projection, Sample, SparseList};
+use dwrf::{FileReader, FileWriter, WriterOptions};
+use std::hint::black_box;
+use transforms::TransformPlan;
+
+/// Sessionized rows: every `members` consecutive rows share one sparse
+/// payload, dense/labels stay fresh — the shape the ETL emits.
+fn sessionized_rows(sessions: u64, members: u64) -> Vec<Sample> {
+    (0..sessions * members)
+        .map(|i| {
+            let session = i / members;
+            let mut s = Sample::new(i as f32);
+            s.set_dense(FeatureId(1), i as f32 * 0.25);
+            s.set_dense(FeatureId(2), (i % 7) as f32);
+            for f in 10..14u64 {
+                s.set_sparse(
+                    FeatureId(f),
+                    SparseList::from_ids((0..16).map(|k| session * 1000 + f * 100 + k).collect()),
+                );
+            }
+            s
+        })
+        .collect()
+}
+
+fn payload_bytes(rows: &[Sample]) -> u64 {
+    rows.iter().map(|s| s.payload_bytes() as u64).sum()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let data = sessionized_rows(64, 8);
+    let payload = payload_bytes(&data);
+    let mut group = c.benchmark_group("dedup_encode");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(payload));
+    let raw = WriterOptions {
+        compressed: false,
+        encrypted: false,
+        ..Default::default()
+    };
+    for (name, opts) in [
+        ("plain_write", raw.clone()),
+        (
+            "dedup_write",
+            WriterOptions {
+                dedup: true,
+                ..raw.clone()
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut w = FileWriter::new(opts.clone());
+                for s in &data {
+                    w.push(s.clone());
+                }
+                black_box(w.finish().expect("non-empty"))
+            })
+        });
+    }
+    group.finish();
+
+    let build = |opts: WriterOptions| {
+        let mut w = FileWriter::new(opts);
+        for s in &data {
+            w.push(s.clone());
+        }
+        w.finish().expect("non-empty")
+    };
+    let plain = build(raw.clone());
+    let deduped = build(WriterOptions { dedup: true, ..raw });
+    let projection = Projection::new(vec![FeatureId(1), FeatureId(10), FeatureId(11)]);
+    let mut group = c.benchmark_group("dedup_decode");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(payload));
+    group.bench_function("plain_read", |b| {
+        let reader = FileReader::open(plain.bytes().clone()).expect("valid");
+        b.iter(|| black_box(reader.read_all(&projection).expect("decodable")))
+    });
+    group.bench_function("dedup_read", |b| {
+        let reader = FileReader::open(deduped.bytes().clone()).expect("valid");
+        b.iter(|| black_box(reader.read_all(&projection).expect("decodable")))
+    });
+    group.finish();
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let data = sessionized_rows(64, 8);
+    let sparse: Vec<FeatureId> = (10..14).map(FeatureId).collect();
+    let dense = vec![FeatureId(1), FeatureId(2)];
+    let projection = Projection::new(
+        dense
+            .iter()
+            .chain(sparse.iter())
+            .copied()
+            .collect::<Vec<_>>(),
+    );
+    let plan = TransformPlan::preset(&projection, &sparse, &dense, 0.8, 1_000_000);
+    let cfg = DedupConfig::default();
+    let mut group = c.benchmark_group("dedup_transform");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("plain_apply", |b| {
+        b.iter(|| black_box(plan.apply_batch(Batch::from_samples(data.clone()), 0)))
+    });
+    group.bench_function("dedup_apply", |b| {
+        b.iter(|| {
+            black_box(dedup::apply_batch_dedup(
+                &plan,
+                Batch::from_samples(data.clone()),
+                0,
+                &cfg,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_transform);
+criterion_main!(benches);

@@ -1,5 +1,6 @@
 //! Scaled-down, fully-functional RM deployments for measurement.
 
+use dedup::DedupConfig;
 use dpp::{SessionSpec, Worker, WorkerReport};
 use dsi_types::{FeatureId, PartitionId, Projection, Sample, SessionId, TableId};
 use dwrf::{CoalescePolicy, StreamOrder, WriterOptions};
@@ -74,6 +75,18 @@ impl RmLab {
         config: LabConfig,
         writer: Option<WriterOptions>,
     ) -> RmLab {
+        Self::build_dedup(class, config, writer, None)
+    }
+
+    /// Full-control build for the dedup ablation: optional writer options
+    /// and optional RecD session duplication in the generated dataset
+    /// (members of a session share one sparse payload).
+    pub fn build_dedup(
+        class: RmClass,
+        config: LabConfig,
+        writer: Option<WriterOptions>,
+        dedup: Option<DedupConfig>,
+    ) -> RmLab {
         let profile = RmProfile::of(class);
         let schema = profile.build_schema(config.features);
         let sampler = JobProjectionSampler::new(&schema, &profile, config.seed);
@@ -95,6 +108,14 @@ impl RmLab {
         )
         .expect("table creation is infallible");
         let mut generator = SampleGenerator::new(&schema, config.seed);
+        if let Some(cfg) = dedup {
+            // The RecD labs log ids at production width: sparse streams
+            // carry 64-bit hashed ids, which is what gives them their
+            // dominant byte share on disk (cf. the RM profiles, where
+            // sparse payloads dwarf the float features). The small-domain
+            // default would under-weight exactly the bytes dedup removes.
+            generator = generator.with_duplication(cfg).with_hashed_ids();
+        }
         for day in 0..config.days {
             let samples: Vec<Sample> = generator.take_samples(config.rows_per_day as usize);
             table
@@ -195,6 +216,18 @@ impl RmLab {
         worker.report()
     }
 
+    /// Like [`RmLab::measure_worker`], additionally publishing the
+    /// report's metrics (including dedup reuse counters) into `registry`.
+    pub fn measure_worker_publishing(
+        &self,
+        spec: &SessionSpec,
+        registry: &dsi_obs::Registry,
+    ) -> WorkerReport {
+        let report = self.measure_worker(spec);
+        report.publish_metrics(registry);
+        report
+    }
+
     /// Writer options for the popularity-ordered write path (§VII):
     /// streams are laid out by how often jobs read the feature, so a job's
     /// coalesced reads land on one contiguous hot prefix.
@@ -240,5 +273,43 @@ mod tests {
             t1 > t3,
             "RM1 transform cycles/sample {t1:.0} should exceed RM3 {t3:.0}"
         );
+    }
+
+    #[test]
+    fn dedup_lab_shrinks_storage_on_sessionized_data() {
+        let cfg = LabConfig {
+            features: 40,
+            days: 1,
+            rows_per_day: 4096,
+            rows_per_stripe: 4096,
+            seed: 0xd0d0,
+        };
+        let dcfg = dedup::DedupConfig::with_ratio(4.0);
+        let raw = WriterOptions {
+            compressed: false,
+            encrypted: false,
+            rows_per_stripe: cfg.rows_per_stripe,
+            ..Default::default()
+        };
+        let off = RmLab::build_dedup(RmClass::Rm1, cfg, Some(raw.clone()), Some(dcfg));
+        let on = RmLab::build_dedup(
+            RmClass::Rm1,
+            cfg,
+            Some(WriterOptions {
+                dedup: true,
+                dedup_window: dcfg.session_window,
+                ..raw
+            }),
+            Some(dcfg),
+        );
+        let (b_off, b_on) = (
+            off.table.total_encoded_bytes(),
+            on.table.total_encoded_bytes(),
+        );
+        assert!(
+            b_off as f64 >= 2.0 * b_on as f64,
+            "4x-duplicated lab should dedup >=2x on disk ({b_off} vs {b_on})"
+        );
+        assert_eq!(off.table.total_rows(), on.table.total_rows());
     }
 }

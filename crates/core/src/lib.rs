@@ -27,8 +27,12 @@
 //!
 //! ```no_run
 //! use dpp::{DppSession, SessionSpec};
-//! use dsi_types::{FeatureId, PartitionId, Projection, SessionId};
-//! # fn table() -> warehouse::Table { unimplemented!() }
+//! use dsi_types::{FeatureId, PartitionId, Projection, SessionId, TableId};
+//! # fn table() -> warehouse::Table {
+//! #     let cluster = tectonic::TectonicCluster::new(tectonic::ClusterConfig::small());
+//! #     warehouse::Table::create(cluster, warehouse::TableConfig::new(TableId(1), "clicks"))
+//! #         .unwrap()
+//! # }
 //!
 //! let spec = SessionSpec::builder(SessionId(1))
 //!     .partitions(PartitionId::new(0)..PartitionId::new(7))

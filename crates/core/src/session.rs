@@ -4,6 +4,7 @@
 //! table, the partitions to read, the features to extract, the
 //! transformations to apply, and how tensors are batched and buffered.
 
+use dedup::DedupConfig;
 use dsi_types::{FeatureId, FeatureValue, PartitionId, Projection, Sample, SessionId};
 use dwrf::CoalescePolicy;
 use serde::{Deserialize, Serialize};
@@ -73,6 +74,9 @@ pub struct SessionSpec {
     pub buffer_capacity: usize,
     /// Beta features dynamically joined at extraction time (§IV-C).
     pub injections: Vec<Injection>,
+    /// RecD-style deduplication: workers detect DedupSets in each split,
+    /// transform the canonical copy once, and fan results out to members.
+    pub dedup: Option<DedupConfig>,
 }
 
 impl SessionSpec {
@@ -110,6 +114,7 @@ impl SessionSpecBuilder {
                 sparse_ids: Vec::new(),
                 buffer_capacity: 8,
                 injections: Vec::new(),
+                dedup: None,
             },
         }
     }
@@ -176,6 +181,13 @@ impl SessionSpecBuilder {
     /// Adds a back-filled beta feature (builder-style).
     pub fn inject(mut self, injection: Injection) -> Self {
         self.spec.injections.push(injection);
+        self
+    }
+
+    /// Enables dedup-aware transform execution (transform once per
+    /// DedupSet, fan out to members).
+    pub fn dedup(mut self, config: DedupConfig) -> Self {
+        self.spec.dedup = Some(config);
         self
     }
 

@@ -92,6 +92,14 @@ pub struct WorkerReport {
     pub membw_bytes: f64,
     /// Peak resident working set in bytes (decoded split + tensors).
     pub peak_resident_bytes: u64,
+    /// DedupSets detected while transforming (dedup sessions only).
+    pub dedup_sets: u64,
+    /// Rows covered by those DedupSets.
+    pub dedup_rows: u64,
+    /// Transform op applications replaced by canonical-result fan-out.
+    pub dedup_reuse_hits: u64,
+    /// Tensor bytes the shared-row wire encoding avoided shipping.
+    pub dedup_tx_saved_bytes: u64,
 }
 
 impl WorkerReport {
@@ -112,6 +120,10 @@ impl WorkerReport {
         self.dense_normalization_cycles += other.dense_normalization_cycles;
         self.membw_bytes += other.membw_bytes;
         self.peak_resident_bytes = self.peak_resident_bytes.max(other.peak_resident_bytes);
+        self.dedup_sets += other.dedup_sets;
+        self.dedup_rows += other.dedup_rows;
+        self.dedup_reuse_hits += other.dedup_reuse_hits;
+        self.dedup_tx_saved_bytes += other.dedup_tx_saved_bytes;
     }
 
     /// Publishes the report's cumulative totals into `registry`: sample /
@@ -136,6 +148,9 @@ impl WorkerReport {
         registry
             .counter(names::WORKER_MEMBW_BYTES_TOTAL, &[])
             .advance_to(self.membw_bytes.round() as u64);
+        registry
+            .counter(names::DEDUP_TRANSFORM_REUSE_HITS_TOTAL, &[])
+            .advance_to(self.dedup_reuse_hits);
         for (stage, cycles) in [
             (span::stage::EXTRACT, self.extract_cycles),
             (span::stage::TRANSFORM, self.transform_cycles),
@@ -288,7 +303,16 @@ impl Worker {
         let base_row = split.index * 1_000_000; // distinct sampling domains per split
         let mut batch = std::mem::take(&mut self.carry);
         batch.extend(rows);
-        let (transformed, cost) = self.spec.plan.apply_batch(batch, base_row);
+        let (transformed, cost) = if let Some(cfg) = &self.spec.dedup {
+            let (out, cost, stats) =
+                dedup::apply_batch_dedup(&self.spec.plan, batch, base_row, cfg);
+            self.report.dedup_sets += stats.sets;
+            self.report.dedup_rows += stats.rows;
+            self.report.dedup_reuse_hits += stats.reuse_hits;
+            (out, cost)
+        } else {
+            self.spec.plan.apply_batch(batch, base_row)
+        };
         self.report.transform_cycles += cost.cycles;
         self.report.feature_generation_cycles += cost.feature_generation_cycles;
         self.report.sparse_normalization_cycles += cost.sparse_normalization_cycles;
@@ -322,8 +346,18 @@ impl Worker {
     fn materialize(&mut self, batch: &Batch) -> MiniBatchTensor {
         let tensor = batch.materialize(&self.spec.dense_ids, &self.spec.sparse_ids);
         let bytes = tensor.payload_bytes() as u64;
-        self.report.transform_tx_bytes += bytes;
-        self.report.membw_bytes += bytes as f64 * self.cost.batch_membw_per_byte;
+        // Dedup sessions ship sparse rows shared within a set as 4-byte
+        // back-references instead of repeated payloads, so the wire (and
+        // flatmap-copy) cost is the deduped encoding's size.
+        let shipped = if self.spec.dedup.is_some() {
+            let refs = dedup::shared_row_refs(&tensor);
+            dedup::deduped_tensor_bytes(&tensor, &refs) as u64
+        } else {
+            bytes
+        };
+        self.report.dedup_tx_saved_bytes += bytes - shipped;
+        self.report.transform_tx_bytes += shipped;
+        self.report.membw_bytes += shipped as f64 * self.cost.batch_membw_per_byte;
         self.report.batches += 1;
         self.report.peak_resident_bytes = self
             .report
@@ -512,6 +546,82 @@ mod tests {
                 &[("stage", "transform/sparse_normalization")]
             ),
             r.sparse_normalization_cycles.round() as u64
+        );
+    }
+
+    #[test]
+    fn dedup_sessions_reuse_transforms_and_match_plain_output() {
+        // 64 rows in 8-member sessions: sparse payloads repeat within a
+        // session, dense/labels differ per member.
+        let cluster = tectonic::TectonicCluster::new(tectonic::ClusterConfig::small());
+        let opts = dwrf::WriterOptions {
+            rows_per_stripe: 16,
+            ..Default::default()
+        };
+        let table = Table::create(
+            cluster,
+            TableConfig::new(TableId(2), "sessions").with_writer_options(opts),
+        )
+        .unwrap();
+        let samples: Vec<Sample> = (0..64u64)
+            .map(|i| {
+                let session = i / 8;
+                let mut s = Sample::new(i as f32);
+                s.set_dense(FeatureId(1), 0.25 + i as f32 * 0.01);
+                s.set_sparse(
+                    FeatureId(2),
+                    SparseList::from_ids((0..20).map(|k| session * 100 + k).collect()),
+                );
+                s
+            })
+            .collect();
+        table.write_partition(PartitionId::new(0), samples).unwrap();
+
+        let base = SessionSpec::builder(SessionId(1))
+            .partitions(PartitionId::new(0)..PartitionId::new(1))
+            .projection(Projection::new(vec![FeatureId(1), FeatureId(2)]))
+            .plan(TransformPlan::new(vec![TransformOp::SigridHash {
+                input: FeatureId(2),
+                salt: 3,
+                modulus: 100_000,
+            }]))
+            .batch_size(16)
+            .dense_ids(vec![FeatureId(1)])
+            .sparse_ids(vec![FeatureId(2)]);
+        let plain = Arc::new(base.clone().build());
+        let deduped = Arc::new(base.dedup(dedup::DedupConfig::default()).build());
+
+        let run = |spec: Arc<SessionSpec>| {
+            let scan = scan_for(&table, &spec);
+            let mut worker = Worker::new(WorkerId(0), Arc::clone(&spec), scan.clone());
+            let mut tensors = Vec::new();
+            for split in scan.plan_splits() {
+                tensors.extend(worker.process_split(&split).unwrap());
+            }
+            tensors.extend(worker.flush());
+            (tensors, worker.report())
+        };
+        let (plain_tensors, plain_report) = run(plain);
+        let (dedup_tensors, dedup_report) = run(deduped);
+
+        assert_eq!(plain_tensors, dedup_tensors, "dedup must be bit-identical");
+        assert!(dedup_report.dedup_sets >= 8);
+        assert_eq!(dedup_report.dedup_rows, 64);
+        assert!(dedup_report.dedup_reuse_hits > 0);
+        assert!(dedup_report.dedup_tx_saved_bytes > 0);
+        assert!(
+            dedup_report.transform_cycles < plain_report.transform_cycles * 0.6,
+            "reuse should cut transform cycles: {} vs {}",
+            dedup_report.transform_cycles,
+            plain_report.transform_cycles
+        );
+        assert!(dedup_report.transform_tx_bytes < plain_report.transform_tx_bytes);
+
+        let reg = dsi_obs::Registry::new();
+        dedup_report.publish_metrics(&reg);
+        assert_eq!(
+            reg.counter_value(dsi_obs::names::DEDUP_TRANSFORM_REUSE_HITS_TOTAL, &[]),
+            dedup_report.dedup_reuse_hits
         );
     }
 

@@ -64,5 +64,5 @@ pub mod writer;
 pub use layout::StreamOrder;
 pub use plan::{CoalescePolicy, IoPlan, PlannedRead};
 pub use reader::{ChunkSource, FileReader, SliceSource};
-pub use stream::{StreamInfo, StreamKind};
+pub use stream::{DedupEncodeStats, StreamInfo, StreamKind};
 pub use writer::{DwrfFile, FileWriter, WriterOptions};

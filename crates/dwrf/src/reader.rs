@@ -11,8 +11,8 @@ use crate::cipher::StreamCipher;
 use crate::compress;
 use crate::plan::{CoalescePolicy, IoPlan};
 use crate::stream::{
-    decode_dense_column, decode_dense_map, decode_labels, decode_sparse_column, decode_sparse_map,
-    StreamInfo, StreamKind, FILE_LEVEL,
+    decode_dedup_sparse, decode_dense_column, decode_dense_map, decode_labels,
+    decode_sparse_column, decode_sparse_map, StreamInfo, StreamKind, FILE_LEVEL,
 };
 use crate::writer::{decode_footer, FileFooter, MAGIC};
 use bytes::Bytes;
@@ -248,6 +248,8 @@ impl FileReader {
         let wanted = self.wanted_streams(idx, selection);
         let mut labels: Option<Vec<f32>> = None;
         let mut samples: Vec<Sample> = vec![Sample::new(0.0); row_count];
+        let mut dedup_refs: Option<Vec<u8>> = None;
+        let mut dedup_data: Option<Vec<u8>> = None;
 
         if self.footer.flattened {
             // Walk feature streams in directory order; each Present stream
@@ -296,8 +298,13 @@ impl FileReader {
             };
             for info in &wanted {
                 if info.feature == FILE_LEVEL {
-                    if info.kind == StreamKind::Label {
-                        labels = Some(decode_labels(&decode_payload(info)?)?);
+                    match info.kind {
+                        StreamKind::Label => {
+                            labels = Some(decode_labels(&decode_payload(info)?)?);
+                        }
+                        StreamKind::DedupRefs => dedup_refs = Some(decode_payload(info)?),
+                        StreamKind::DedupData => dedup_data = Some(decode_payload(info)?),
+                        _ => {}
                     }
                     continue;
                 }
@@ -335,10 +342,29 @@ impl FileReader {
                         }
                     }
                     StreamKind::Label => labels = Some(decode_labels(&raw)?),
+                    StreamKind::DedupRefs => dedup_refs = Some(raw),
+                    StreamKind::DedupData => dedup_data = Some(raw),
                     other => {
                         return Err(DsiError::corrupt(format!(
                             "unexpected stream {other:?} in unflattened file"
                         )))
+                    }
+                }
+            }
+        }
+
+        if self.footer.dedup {
+            // Reconstitute logical rows from the canonical table: decode
+            // each referenced payload once, clone per referencing row.
+            let refs = dedup_refs.ok_or_else(|| DsiError::corrupt("dedup file missing refs"))?;
+            let data = dedup_data.ok_or_else(|| DsiError::corrupt("dedup file missing data"))?;
+            for (row, pairs) in decode_dedup_sparse(&refs, &data, row_count)?
+                .into_iter()
+                .enumerate()
+            {
+                for (fid, l) in pairs {
+                    if selection.is_none_or(|p| p.contains(fid)) {
+                        samples[row].set_sparse(fid, l);
                     }
                 }
             }
@@ -617,6 +643,116 @@ mod tests {
                 other => panic!("stage {st}: unexpected {other:?}"),
             }
         }
+    }
+
+    fn build_duplicated_file(
+        opts: WriterOptions,
+        sessions: u64,
+        members: u64,
+    ) -> crate::writer::DwrfFile {
+        let mut w = FileWriter::new(opts);
+        for s in 0..sessions {
+            for m in 0..members {
+                let mut row = Sample::new(m as f32);
+                row.set_dense(FeatureId(1), s as f32 + m as f32 * 0.5);
+                row.set_sparse(
+                    FeatureId(2),
+                    SparseList::from_ids((0..20).map(|k| s * 1000 + k).collect()),
+                );
+                row.set_sparse(
+                    FeatureId(4),
+                    SparseList::from_scored(vec![s * 7, s * 7 + 1], vec![0.5, 1.5]),
+                );
+                w.push(row);
+            }
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn dedup_file_round_trips_and_shrinks() {
+        let plain = build_duplicated_file(WriterOptions::default(), 16, 8);
+        let deduped = build_duplicated_file(WriterOptions::deduped(), 16, 8);
+        assert!(deduped.footer().dedup);
+        assert_eq!(deduped.dedup_stats().rows, 128);
+        assert_eq!(deduped.dedup_stats().canonicals, 16);
+        assert!(deduped.dedup_stats().bytes_saved > 0);
+        // Same logical rows back out.
+        let expect = FileReader::open(plain.bytes().clone())
+            .unwrap()
+            .read_all_unprojected()
+            .unwrap();
+        let got = FileReader::open(deduped.bytes().clone())
+            .unwrap()
+            .read_all_unprojected()
+            .unwrap();
+        assert_eq!(got, expect);
+        // Duplicated sparse payloads stored once: the file shrinks even
+        // though LZ compression already squeezes repeats in the plain file.
+        assert!(
+            (deduped.len() as f64) < plain.len() as f64 * 0.75,
+            "deduped {} vs plain {}",
+            deduped.len(),
+            plain.len()
+        );
+        // On the uncompressed byte path (what extraction pays) the win is
+        // the full duplication factor: 8 members per canonical.
+        let raw_plain = build_duplicated_file(
+            WriterOptions {
+                compressed: false,
+                encrypted: false,
+                ..Default::default()
+            },
+            16,
+            8,
+        );
+        let raw_deduped = build_duplicated_file(
+            WriterOptions {
+                compressed: false,
+                encrypted: false,
+                ..WriterOptions::deduped()
+            },
+            16,
+            8,
+        );
+        assert!(
+            (raw_deduped.len() as f64) < raw_plain.len() as f64 / 2.0,
+            "raw deduped {} vs raw plain {}",
+            raw_deduped.len(),
+            raw_plain.len()
+        );
+    }
+
+    #[test]
+    fn dedup_file_respects_projection_and_unflattened_layout() {
+        let opts = WriterOptions {
+            flattened: false,
+            ..WriterOptions::deduped()
+        };
+        let file = build_duplicated_file(opts, 4, 4);
+        let reader = FileReader::open(file.bytes().clone()).unwrap();
+        let proj = Projection::new(vec![FeatureId(1), FeatureId(2)]);
+        let rows = reader.read_all(&proj).unwrap();
+        assert_eq!(rows.len(), 16);
+        assert!(rows[0].sparse(FeatureId(2)).is_some());
+        assert!(
+            rows[0].sparse(FeatureId(4)).is_none(),
+            "projection filters dedup payloads"
+        );
+        assert!(rows[0].dense(FeatureId(1)).is_some());
+    }
+
+    #[test]
+    fn dedup_file_without_duplication_round_trips() {
+        let file = build_file(WriterOptions::deduped(), 20);
+        let reader = FileReader::open(file.bytes().clone()).unwrap();
+        let rows = reader.read_all_unprojected().unwrap();
+        let expect = FileReader::open(build_file(WriterOptions::default(), 20).bytes().clone())
+            .unwrap()
+            .read_all_unprojected()
+            .unwrap();
+        assert_eq!(rows, expect);
+        assert_eq!(file.dedup_stats().bytes_saved, 0);
     }
 
     #[test]

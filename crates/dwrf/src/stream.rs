@@ -39,6 +39,12 @@ pub enum StreamKind {
     /// Dictionary of distinct categorical ids; when present, the feature's
     /// `Data` stream holds varint indexes into this dictionary.
     Dict,
+    /// Per-row back-references into [`StreamKind::DedupData`] (file-level):
+    /// RLE'd varint canonical-payload indexes, one per row.
+    DedupRefs,
+    /// Canonical sparse payloads, each stored once per stripe (file-level);
+    /// rows reference them through [`StreamKind::DedupRefs`].
+    DedupData,
 }
 
 impl StreamKind {
@@ -54,6 +60,8 @@ impl StreamKind {
             StreamKind::DenseMap => 6,
             StreamKind::SparseMap => 7,
             StreamKind::Dict => 8,
+            StreamKind::DedupRefs => 9,
+            StreamKind::DedupData => 10,
         }
     }
 
@@ -73,6 +81,8 @@ impl StreamKind {
             6 => StreamKind::DenseMap,
             7 => StreamKind::SparseMap,
             8 => StreamKind::Dict,
+            9 => StreamKind::DedupRefs,
+            10 => StreamKind::DedupData,
             _ => return Err(DsiError::corrupt(format!("unknown stream kind {tag}"))),
         })
     }
@@ -362,22 +372,60 @@ pub fn decode_dense_map(buf: &[u8], rows: usize) -> Result<Vec<Vec<(FeatureId, f
     Ok(out)
 }
 
+/// Encodes one row's sparse map (feature count + per-feature payloads) into
+/// `buf`. Shared by the unflattened baseline and the dedup canonical table.
+pub fn encode_row_sparse(buf: &mut Vec<u8>, row: &Sample) {
+    write_varint(buf, row.sparse_count() as u64);
+    for (fid, list) in row.sparse_iter() {
+        write_varint(buf, fid.0);
+        write_varint(buf, list.len() as u64);
+        write_varint(buf, u64::from(list.is_scored()));
+        for &id in list.ids() {
+            write_varint(buf, id);
+        }
+        if let Some(scores) = list.scores() {
+            write_f32s(buf, scores);
+        }
+    }
+}
+
+/// Decodes one row's sparse map from `buf` at `pos` (inverse of
+/// [`encode_row_sparse`]).
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] on malformed input.
+pub fn decode_row_sparse(buf: &[u8], pos: &mut usize) -> Result<Vec<(FeatureId, SparseList)>> {
+    let n = read_varint(buf, pos)? as usize;
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        let fid = read_varint(buf, pos)?;
+        let len = read_varint(buf, pos)? as usize;
+        let scored = read_varint(buf, pos)? != 0;
+        let mut ids = Vec::with_capacity(len);
+        for _ in 0..len {
+            ids.push(read_varint(buf, pos)?);
+        }
+        let list = if scored {
+            if *pos + 4 * len > buf.len() {
+                return Err(DsiError::corrupt("truncated sparse map scores"));
+            }
+            let scores = read_f32s(&buf[*pos..*pos + 4 * len])?;
+            *pos += 4 * len;
+            SparseList::from_scored(ids, scores)
+        } else {
+            SparseList::from_ids(ids)
+        };
+        row.push((FeatureId(fid), list));
+    }
+    Ok(row)
+}
+
 /// Encodes the unflattened row-wise sparse map for a stripe (baseline).
 pub fn encode_sparse_map(rows: &[Sample]) -> Vec<u8> {
     let mut buf = Vec::new();
     for row in rows {
-        write_varint(&mut buf, row.sparse_count() as u64);
-        for (fid, list) in row.sparse_iter() {
-            write_varint(&mut buf, fid.0);
-            write_varint(&mut buf, list.len() as u64);
-            write_varint(&mut buf, u64::from(list.is_scored()));
-            for &id in list.ids() {
-                write_varint(&mut buf, id);
-            }
-            if let Some(scores) = list.scores() {
-                write_f32s(&mut buf, scores);
-            }
-        }
+        encode_row_sparse(&mut buf, row);
     }
     buf
 }
@@ -391,31 +439,103 @@ pub fn decode_sparse_map(buf: &[u8], rows: usize) -> Result<Vec<Vec<(FeatureId, 
     let mut out = Vec::with_capacity(rows);
     let mut pos = 0;
     for _ in 0..rows {
-        let n = read_varint(buf, &mut pos)? as usize;
-        let mut row = Vec::with_capacity(n);
-        for _ in 0..n {
-            let fid = read_varint(buf, &mut pos)?;
-            let len = read_varint(buf, &mut pos)? as usize;
-            let scored = read_varint(buf, &mut pos)? != 0;
-            let mut ids = Vec::with_capacity(len);
-            for _ in 0..len {
-                ids.push(read_varint(buf, &mut pos)?);
-            }
-            let list = if scored {
-                if pos + 4 * len > buf.len() {
-                    return Err(DsiError::corrupt("truncated sparse map scores"));
-                }
-                let scores = read_f32s(&buf[pos..pos + 4 * len])?;
-                pos += 4 * len;
-                SparseList::from_scored(ids, scores)
-            } else {
-                SparseList::from_ids(ids)
-            };
-            row.push((FeatureId(fid), list));
-        }
-        out.push(row);
+        out.push(decode_row_sparse(buf, &mut pos)?);
     }
     Ok(out)
+}
+
+/// Byte-savings accounting from one dedup stripe encode.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DedupEncodeStats {
+    /// Logical rows encoded.
+    pub rows: u64,
+    /// Canonical payloads stored.
+    pub canonicals: u64,
+    /// Payload bytes that duplicate rows did *not* re-store.
+    pub bytes_saved: u64,
+}
+
+/// Encodes a stripe's sparse maps RecD-style: each distinct payload is
+/// stored once in a canonical table (`DedupData`) and every row carries a
+/// back-reference into it (`DedupRefs`, RLE'd — consecutive duplicate rows
+/// cost ~0 bytes each).
+///
+/// `window` bounds how many recent distinct payloads a row may reference
+/// (sessions are temporally local; an unbounded window would make the
+/// matcher quadratic on adversarial data).
+pub fn encode_dedup_sparse(rows: &[Sample], window: usize) -> (Vec<u8>, Vec<u8>, DedupEncodeStats) {
+    let window = window.max(1);
+    let mut canonicals: Vec<u8> = Vec::new(); // concatenated payloads
+    let mut count = 0u64;
+    // Lookback window of (canonical index, payload bytes), newest last.
+    let mut recent: std::collections::VecDeque<(u64, Vec<u8>)> = std::collections::VecDeque::new();
+    let mut refs = Vec::with_capacity(rows.len());
+    let mut stats = DedupEncodeStats::default();
+    for row in rows {
+        stats.rows += 1;
+        let mut payload = Vec::new();
+        encode_row_sparse(&mut payload, row);
+        match recent.iter().rev().find(|(_, p)| *p == payload) {
+            Some(&(idx, _)) => {
+                refs.push(idx);
+                stats.bytes_saved += payload.len() as u64;
+            }
+            None => {
+                let idx = count;
+                count += 1;
+                canonicals.extend_from_slice(&payload);
+                refs.push(idx);
+                recent.push_back((idx, payload));
+                if recent.len() > window {
+                    recent.pop_front();
+                }
+            }
+        }
+    }
+    stats.canonicals = count;
+    let mut data = Vec::new();
+    write_varint(&mut data, count);
+    data.extend_from_slice(&canonicals);
+    (rle_encode(&refs), data, stats)
+}
+
+/// Decodes a dedup-encoded stripe back into per-row sparse maps: the
+/// canonical table is decoded once and each row's reference resolves to a
+/// clone of its canonical payload.
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] if references or payloads are malformed.
+pub fn decode_dedup_sparse(
+    refs: &[u8],
+    data: &[u8],
+    rows: usize,
+) -> Result<Vec<Vec<(FeatureId, SparseList)>>> {
+    let mut pos = 0;
+    let count = read_varint(data, &mut pos)? as usize;
+    let mut canonicals = Vec::with_capacity(count);
+    for _ in 0..count {
+        canonicals.push(decode_row_sparse(data, &mut pos)?);
+    }
+    if pos != data.len() {
+        return Err(DsiError::corrupt("trailing bytes in dedup data stream"));
+    }
+    let indexes = rle_decode(refs)?;
+    if indexes.len() != rows {
+        return Err(DsiError::corrupt(format!(
+            "dedup refs hold {} rows, stripe has {rows}",
+            indexes.len()
+        )));
+    }
+    indexes
+        .into_iter()
+        .map(|idx| {
+            canonicals
+                .get(idx as usize)
+                .cloned()
+                .ok_or_else(|| DsiError::corrupt("dedup reference out of range"))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -524,10 +644,90 @@ mod tests {
             StreamKind::Label,
             StreamKind::DenseMap,
             StreamKind::SparseMap,
+            StreamKind::Dict,
+            StreamKind::DedupRefs,
+            StreamKind::DedupData,
         ] {
             assert_eq!(StreamKind::from_tag(kind.tag()).unwrap(), kind);
         }
         assert!(StreamKind::from_tag(99).is_err());
+    }
+
+    fn sessionized_rows(runs: &[(u64, usize)]) -> Vec<Sample> {
+        let mut out = Vec::new();
+        for &(salt, n) in runs {
+            for m in 0..n {
+                let mut s = Sample::new(m as f32);
+                s.set_dense(FeatureId(1), salt as f32 + m as f32);
+                s.set_sparse(FeatureId(7), SparseList::from_ids(vec![salt, salt + 9]));
+                s.set_sparse(
+                    FeatureId(8),
+                    SparseList::from_scored(vec![salt * 2], vec![0.5]),
+                );
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn dedup_sparse_round_trip() {
+        let rows = sessionized_rows(&[(3, 4), (11, 1), (20, 6)]);
+        let (refs, data, stats) = encode_dedup_sparse(&rows, 64);
+        assert_eq!(stats.rows, 11);
+        assert_eq!(stats.canonicals, 3);
+        assert!(stats.bytes_saved > 0);
+        let decoded = decode_dedup_sparse(&refs, &data, rows.len()).unwrap();
+        let expected = decode_sparse_map(&encode_sparse_map(&rows), rows.len()).unwrap();
+        assert_eq!(decoded, expected);
+        // Duplicated rows shrink the byte path vs the plain map.
+        let plain = encode_sparse_map(&rows).len();
+        assert!(
+            refs.len() + data.len() < plain / 2,
+            "{} vs {plain}",
+            refs.len() + data.len()
+        );
+    }
+
+    #[test]
+    fn dedup_sparse_no_duplication_round_trip() {
+        let rows: Vec<Sample> = (0..8)
+            .map(|i| {
+                let mut s = Sample::new(0.0);
+                s.set_sparse(FeatureId(7), SparseList::from_ids(vec![i * 1_000_003]));
+                s
+            })
+            .collect();
+        let (refs, data, stats) = encode_dedup_sparse(&rows, 64);
+        assert_eq!(stats.canonicals, 8);
+        assert_eq!(stats.bytes_saved, 0);
+        let decoded = decode_dedup_sparse(&refs, &data, rows.len()).unwrap();
+        let expected = decode_sparse_map(&encode_sparse_map(&rows), rows.len()).unwrap();
+        assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn dedup_window_caps_lookback() {
+        // A-B-A with window 1: the second A falls outside the window and is
+        // re-stored rather than referenced.
+        let rows = sessionized_rows(&[(1, 1), (2, 1), (1, 1)]);
+        let (_, _, stats) = encode_dedup_sparse(&rows, 1);
+        assert_eq!(stats.canonicals, 3);
+        let (_, _, wide) = encode_dedup_sparse(&rows, 8);
+        assert_eq!(wide.canonicals, 2);
+    }
+
+    #[test]
+    fn corrupt_dedup_streams_detected() {
+        let rows = sessionized_rows(&[(3, 3)]);
+        let (refs, data, _) = encode_dedup_sparse(&rows, 64);
+        // Row count mismatch.
+        assert!(decode_dedup_sparse(&refs, &data, 5).is_err());
+        // Out-of-range reference.
+        let bad_refs = rle_encode(&[7, 7, 7]);
+        assert!(decode_dedup_sparse(&bad_refs, &data, 3).is_err());
+        // Truncated canonical table.
+        assert!(decode_dedup_sparse(&refs, &data[..data.len() - 2], 3).is_err());
     }
 
     #[test]

@@ -5,8 +5,8 @@ use crate::compress;
 use crate::encoding::MetaWriter;
 use crate::layout::StreamOrder;
 use crate::stream::{
-    encode_dense_column, encode_dense_map, encode_labels, encode_sparse_column, encode_sparse_map,
-    StreamInfo, StreamKind, FILE_LEVEL,
+    encode_dedup_sparse, encode_dense_column, encode_dense_map, encode_labels,
+    encode_sparse_column, encode_sparse_map, DedupEncodeStats, StreamInfo, StreamKind, FILE_LEVEL,
 };
 use bytes::Bytes;
 use dsi_types::{DsiError, FeatureId, Result, Sample};
@@ -33,6 +33,13 @@ pub struct WriterOptions {
     pub order: StreamOrder,
     /// File encryption key.
     pub file_key: u64,
+    /// RecD-style sparse deduplication: each stripe stores one canonical
+    /// copy of every distinct sparse payload plus per-row back-references,
+    /// instead of re-serializing the payload for every duplicate row.
+    pub dedup: bool,
+    /// Lookback window (distinct recent payloads) for dedup matching; see
+    /// [`encode_dedup_sparse`].
+    pub dedup_window: usize,
 }
 
 impl Default for WriterOptions {
@@ -44,6 +51,8 @@ impl Default for WriterOptions {
             rows_per_stripe: 1024,
             order: StreamOrder::ById,
             file_key: 0x5eed_f00d,
+            dedup: false,
+            dedup_window: 64,
         }
     }
 }
@@ -53,6 +62,14 @@ impl WriterOptions {
     pub fn unflattened_baseline() -> Self {
         Self {
             flattened: false,
+            ..Self::default()
+        }
+    }
+
+    /// The production layout with sparse deduplication enabled.
+    pub fn deduped() -> Self {
+        Self {
+            dedup: true,
             ..Self::default()
         }
     }
@@ -92,6 +109,9 @@ pub struct FileFooter {
     pub compressed: bool,
     /// Whether streams are encrypted.
     pub encrypted: bool,
+    /// Whether sparse payloads are dedup-encoded (canonical table +
+    /// per-row back-references).
+    pub dedup: bool,
     /// File encryption key (carried in-file for the simulation).
     pub file_key: u64,
     /// Stripe directory.
@@ -124,6 +144,7 @@ impl FileFooter {
 pub struct DwrfFile {
     bytes: Bytes,
     footer: FileFooter,
+    dedup_stats: DedupEncodeStats,
 }
 
 impl DwrfFile {
@@ -151,6 +172,12 @@ impl DwrfFile {
     pub fn total_rows(&self) -> u64 {
         self.footer.total_rows()
     }
+
+    /// Dedup byte-savings accounting accumulated while writing (zeroed for
+    /// non-dedup files; not serialized — writer-side only).
+    pub fn dedup_stats(&self) -> DedupEncodeStats {
+        self.dedup_stats
+    }
 }
 
 /// Streaming DWRF writer.
@@ -164,6 +191,7 @@ pub struct FileWriter {
     buf: Vec<u8>,
     stripes: Vec<StripeMeta>,
     next_nonce: u64,
+    dedup_stats: DedupEncodeStats,
 }
 
 impl FileWriter {
@@ -180,6 +208,7 @@ impl FileWriter {
             buf: Vec::new(),
             stripes: Vec::new(),
             next_nonce: 0,
+            dedup_stats: DedupEncodeStats::default(),
         }
     }
 
@@ -252,7 +281,9 @@ impl FileWriter {
                         emit(self, fid.0, kind, raw, &mut streams);
                     }
                 }
-                if sparse_ids.contains(&fid) {
+                // Deduped files carry the whole sparse map in the canonical
+                // table instead of per-feature sparse streams.
+                if !self.opts.dedup && sparse_ids.contains(&fid) {
                     for (kind, raw) in encode_sparse_column(&rows, fid) {
                         emit(self, fid.0, kind, raw, &mut streams);
                     }
@@ -267,14 +298,26 @@ impl FileWriter {
                 dense_map,
                 &mut streams,
             );
-            let sparse_map = encode_sparse_map(&rows);
-            emit(
-                self,
-                FILE_LEVEL,
-                StreamKind::SparseMap,
-                sparse_map,
-                &mut streams,
-            );
+            if !self.opts.dedup {
+                let sparse_map = encode_sparse_map(&rows);
+                emit(
+                    self,
+                    FILE_LEVEL,
+                    StreamKind::SparseMap,
+                    sparse_map,
+                    &mut streams,
+                );
+            }
+        }
+        if self.opts.dedup {
+            // Canonical payloads once, per-row back-references RLE'd:
+            // duplicate rows shrink to ~0 bytes on the real byte path.
+            let (refs, data, stats) = encode_dedup_sparse(&rows, self.opts.dedup_window);
+            self.dedup_stats.rows += stats.rows;
+            self.dedup_stats.canonicals += stats.canonicals;
+            self.dedup_stats.bytes_saved += stats.bytes_saved;
+            emit(self, FILE_LEVEL, StreamKind::DedupRefs, refs, &mut streams);
+            emit(self, FILE_LEVEL, StreamKind::DedupData, data, &mut streams);
         }
         let labels = encode_labels(&rows);
         emit(self, FILE_LEVEL, StreamKind::Label, labels, &mut streams);
@@ -309,6 +352,7 @@ impl FileWriter {
             flattened: self.opts.flattened,
             compressed: self.opts.compressed,
             encrypted: self.opts.encrypted,
+            dedup: self.opts.dedup,
             file_key: self.opts.file_key,
             stripes: self.stripes,
         };
@@ -320,6 +364,7 @@ impl FileWriter {
         Ok(DwrfFile {
             bytes: Bytes::from(buf),
             footer,
+            dedup_stats: self.dedup_stats,
         })
     }
 }
@@ -329,7 +374,8 @@ pub fn encode_footer(footer: &FileFooter) -> Vec<u8> {
     let mut w = MetaWriter::new();
     let flags = u64::from(footer.flattened)
         | (u64::from(footer.compressed) << 1)
-        | (u64::from(footer.encrypted) << 2);
+        | (u64::from(footer.encrypted) << 2)
+        | (u64::from(footer.dedup) << 3);
     w.u64(flags)
         .u64(footer.file_key)
         .u64(footer.stripes.len() as u64);
@@ -386,6 +432,7 @@ pub fn decode_footer(buf: &[u8]) -> Result<FileFooter> {
         flattened: flags & 1 != 0,
         compressed: flags & 2 != 0,
         encrypted: flags & 4 != 0,
+        dedup: flags & 8 != 0,
         file_key,
         stripes,
     })

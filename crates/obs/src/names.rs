@@ -77,6 +77,20 @@ pub const CLIENT_STARVED_POLLS_TOTAL: &str = "dsi_client_starved_polls_total";
 /// Counter: batches accepted by clients.
 pub const CLIENT_BATCHES_TOTAL: &str = "dsi_client_batches_total";
 
+// ---- dedup: RecD-style deduplication --------------------------------------
+
+/// Counter: DedupSets formed (canonical payloads kept) across storage
+/// writes and worker transforms.
+pub const DEDUP_SETS_TOTAL: &str = "dsi_dedup_sets_total";
+/// Counter: logical rows covered by DedupSets.
+pub const DEDUP_ROWS_TOTAL: &str = "dsi_dedup_rows_total";
+/// Counter: storage bytes duplicate rows did not re-store.
+pub const DEDUP_BYTES_SAVED_TOTAL: &str = "dsi_dedup_bytes_saved_total";
+/// Counter: transform op applications replaced by canonical-result fan-out.
+pub const DEDUP_TRANSFORM_REUSE_HITS_TOTAL: &str = "dsi_dedup_transform_reuse_hits_total";
+/// Gauge: observed logical rows per canonical payload (1.0 = no duplication).
+pub const DEDUP_RATIO: &str = "dsi_dedup_ratio";
+
 // ---- trainer ---------------------------------------------------------------
 
 /// Gauge in `[0,1]`: fraction of trainer wall time spent data-stalled.

@@ -67,6 +67,16 @@ pub struct PipelineReport {
     pub stall_fraction: f64,
     /// Trainer wall seconds observed.
     pub trainer_elapsed: f64,
+    /// DedupSets formed (storage writes + worker transforms).
+    pub dedup_sets: u64,
+    /// Logical rows covered by DedupSets.
+    pub dedup_rows: u64,
+    /// Storage bytes duplicate rows did not re-store.
+    pub dedup_bytes_saved: u64,
+    /// Transform op applications replaced by canonical fan-out.
+    pub dedup_reuse_hits: u64,
+    /// Observed rows per canonical payload (1.0 = no duplication).
+    pub dedup_ratio: f64,
 }
 
 impl PipelineReport {
@@ -170,6 +180,15 @@ impl PipelineReport {
                 (names::TRAINER_ELAPSED_SECONDS, MetricValue::Gauge(v)) => {
                     report.trainer_elapsed = *v
                 }
+                (names::DEDUP_SETS_TOTAL, MetricValue::Counter(c)) => report.dedup_sets = *c,
+                (names::DEDUP_ROWS_TOTAL, MetricValue::Counter(c)) => report.dedup_rows = *c,
+                (names::DEDUP_BYTES_SAVED_TOTAL, MetricValue::Counter(c)) => {
+                    report.dedup_bytes_saved = *c
+                }
+                (names::DEDUP_TRANSFORM_REUSE_HITS_TOTAL, MetricValue::Counter(c)) => {
+                    report.dedup_reuse_hits = *c
+                }
+                (names::DEDUP_RATIO, MetricValue::Gauge(v)) => report.dedup_ratio = *v,
                 _ => {}
             }
         }
@@ -317,6 +336,19 @@ impl fmt::Display for PipelineReport {
             100.0 * self.cache_hit_rate
         )?;
 
+        if self.dedup_sets + self.dedup_rows + self.dedup_reuse_hits > 0 {
+            writeln!(f, "\n-- dedup (RecD) --")?;
+            writeln!(
+                f,
+                "sets: {}  rows: {}  ratio: {:.2}x  bytes saved: {}  reuse hits: {}",
+                self.dedup_sets,
+                self.dedup_rows,
+                self.dedup_ratio,
+                human_bytes(self.dedup_bytes_saved),
+                self.dedup_reuse_hits
+            )?;
+        }
+
         writeln!(f, "\n-- preprocessing / training --")?;
         writeln!(
             f,
@@ -375,6 +407,30 @@ mod tests {
         assert_eq!(report.nodes[0].bytes, 100);
         assert_eq!(report.nodes[1].node, "2");
         assert_eq!(report.nodes[2].node, "10");
+    }
+
+    #[test]
+    fn dedup_section_collects_and_displays() {
+        let r = Registry::new();
+        r.counter(names::DEDUP_SETS_TOTAL, &[]).add(4);
+        r.counter(names::DEDUP_ROWS_TOTAL, &[]).add(16);
+        r.counter(names::DEDUP_BYTES_SAVED_TOTAL, &[]).add(2048);
+        r.counter(names::DEDUP_TRANSFORM_REUSE_HITS_TOTAL, &[])
+            .add(12);
+        r.gauge(names::DEDUP_RATIO, &[]).set(4.0);
+        let report = PipelineReport::collect(&r);
+        assert_eq!(report.dedup_sets, 4);
+        assert_eq!(report.dedup_rows, 16);
+        assert_eq!(report.dedup_bytes_saved, 2048);
+        assert_eq!(report.dedup_reuse_hits, 12);
+        assert!((report.dedup_ratio - 4.0).abs() < 1e-12);
+        let text = report.to_string();
+        assert!(text.contains("-- dedup (RecD) --"));
+        assert!(text.contains("ratio: 4.00x"));
+
+        // Dedup-off runs print no dedup section.
+        let off = PipelineReport::collect(&Registry::new()).to_string();
+        assert!(!off.contains("dedup (RecD)"));
     }
 
     #[test]

@@ -1,7 +1,29 @@
 //! Deterministic synthetic sample generation for any schema.
 
+use dedup::DedupConfig;
 use dsi_types::rng::SplitMix64;
-use dsi_types::{FeatureKind, Sample, Schema, SparseList};
+use dsi_types::{FeatureId, FeatureKind, Sample, Schema, SparseList};
+
+/// RecD-style session duplication state: while a session is open, members
+/// reuse the canonical sparse payload; a dedicated RNG stream draws session
+/// sizes so the base (dense/label) stream is independent of the config.
+#[derive(Debug)]
+struct DupState {
+    cfg: DedupConfig,
+    rng: SplitMix64,
+    remaining: usize,
+    canonical_sparse: Vec<(FeatureId, SparseList)>,
+}
+
+impl DupState {
+    /// Session size: uniform in `[1, 2*ratio - 1]` (mean `ratio`), capped
+    /// at the config's `max_set_size`.
+    fn next_session_len(&mut self) -> usize {
+        let span = (2.0 * self.cfg.duplication_ratio - 1.0).max(1.0).round() as u64;
+        let len = 1 + self.rng.next_below(span) as usize;
+        len.min(self.cfg.max_set_size.max(1))
+    }
+}
 
 /// Generates samples whose per-feature presence, list lengths, and value
 /// distributions follow the schema's [`dsi_types::FeatureDef`]s.
@@ -16,6 +38,8 @@ pub struct SampleGenerator {
     /// Click-through-style positive rate.
     positive_rate: f64,
     produced: u64,
+    dup: Option<DupState>,
+    hashed_ids: bool,
 }
 
 impl SampleGenerator {
@@ -26,6 +50,8 @@ impl SampleGenerator {
             rng: SplitMix64::new(seed),
             positive_rate: 0.1,
             produced: 0,
+            dup: None,
+            hashed_ids: false,
         }
     }
 
@@ -37,6 +63,40 @@ impl SampleGenerator {
     pub fn with_positive_rate(mut self, rate: f64) -> Self {
         assert!((0.0..=1.0).contains(&rate), "rate in [0, 1]");
         self.positive_rate = rate;
+        self
+    }
+
+    /// Enables RecD-style session duplication (builder-style): consecutive
+    /// samples form sessions whose members share one bit-identical sparse
+    /// payload while dense features and labels stay fresh, with mean
+    /// session length `config.duplication_ratio`. Session sizes are drawn
+    /// from a dedicated RNG stream, so enabling duplication never perturbs
+    /// the dense/label value sequence of the base generator.
+    pub fn with_duplication(mut self, config: DedupConfig) -> Self {
+        // Peek (without consuming) the base stream's state to derive an
+        // independent session-size stream.
+        let mut peek = self.rng;
+        self.dup = Some(DupState {
+            cfg: config,
+            rng: SplitMix64::new(peek.next_u64() ^ 0x5e55_10ed_dedb_0b5eu64),
+            remaining: 0,
+            canonical_sparse: Vec::new(),
+        });
+        self
+    }
+
+    /// Logs categorical ids with production statistics (builder-style):
+    /// ids are drawn from production-cardinality populations (a
+    /// million-id hot set instead of the small-domain default) and passed
+    /// through a 64-bit finalizer, modeling the logging tier where sparse
+    /// ids are full-width hashes over huge entity spaces. RNG consumption
+    /// per sample is unchanged, so dense values, labels, presence, and
+    /// list lengths stay bit-identical to the default generator — only the
+    /// id values differ. This is what gives sparse streams their dominant
+    /// byte share on disk: per-stripe id cardinality exceeds any
+    /// dictionary, as it does at production scale.
+    pub fn with_hashed_ids(mut self) -> Self {
+        self.hashed_ids = true;
         self
     }
 
@@ -85,6 +145,24 @@ impl SampleGenerator {
                 }
             }
         }
+        // Session duplication: members regenerate (keeping the base RNG
+        // stream bit-identical to a duplication-free run) and then swap
+        // their sparse map for the session's canonical payload.
+        if let Some(dup) = &mut self.dup {
+            if dup.remaining > 0 {
+                dup.remaining -= 1;
+                let own: Vec<FeatureId> = s.sparse_iter().map(|(f, _)| f).collect();
+                for fid in own {
+                    s.remove(fid);
+                }
+                for (fid, list) in &dup.canonical_sparse {
+                    s.set_sparse(*fid, list.clone());
+                }
+            } else {
+                dup.canonical_sparse = s.sparse_iter().map(|(f, l)| (f, l.clone())).collect();
+                dup.remaining = dup.next_session_len() - 1;
+            }
+        }
         s
     }
 
@@ -100,11 +178,31 @@ impl SampleGenerator {
     }
 
     fn sample_categorical(&mut self, feature_salt: u64) -> u64 {
-        // 80/20 reuse: most draws come from a small per-feature hot set.
-        if self.rng.chance(0.8) {
-            feature_salt * 1_000_003 + self.rng.next_below(1_000)
+        // 80/20 reuse: most draws come from a per-feature hot set. The
+        // hot/cold populations scale with the id regime (small enumerated
+        // domain by default, production-cardinality entity spaces under
+        // `with_hashed_ids`); either way exactly one `chance` and one
+        // `next_below` are consumed, keeping the two regimes' RNG streams
+        // aligned draw for draw.
+        let (hot, cold) = if self.hashed_ids {
+            (1_000_000, 1_000_000_000)
         } else {
-            feature_salt * 1_000_003 + self.rng.next_below(1_000_000)
+            (1_000, 1_000_000)
+        };
+        let id = if self.rng.chance(0.8) {
+            feature_salt * 1_000_003 + self.rng.next_below(hot)
+        } else {
+            feature_salt * 1_000_003 + self.rng.next_below(cold)
+        };
+        if self.hashed_ids {
+            // SplitMix64 finalizer: widens the id to the full 64-bit hash
+            // domain without consuming RNG state.
+            let mut z = id.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        } else {
+            id
         }
     }
 }
@@ -194,6 +292,100 @@ mod tests {
             }
         }
         assert!(repeats > 100, "expected id reuse, saw {repeats} repeats");
+    }
+
+    #[test]
+    fn hashed_ids_widen_values_without_perturbing_shape() {
+        let schema = small_schema();
+        let plain: Vec<_> = SampleGenerator::new(&schema, 42).take_samples(200);
+        let hashed: Vec<_> = SampleGenerator::new(&schema, 42)
+            .with_hashed_ids()
+            .take_samples(200);
+        let mut wide = 0usize;
+        let mut total = 0usize;
+        for (p, h) in plain.iter().zip(&hashed) {
+            // Equal RNG consumption: dense/label streams and the sparse
+            // shape (features present, list lengths) are bit-identical;
+            // only the id values change regime.
+            assert_eq!(p.label(), h.label());
+            assert_eq!(
+                p.dense_iter().collect::<Vec<_>>(),
+                h.dense_iter().collect::<Vec<_>>()
+            );
+            for ((pf, pl), (hf, hl)) in p.sparse_iter().zip(h.sparse_iter()) {
+                assert_eq!(pf, hf);
+                assert_eq!(pl.len(), hl.len());
+                total += hl.len();
+                wide += hl
+                    .ids()
+                    .iter()
+                    .filter(|&&b| b > u64::from(u32::MAX))
+                    .count();
+            }
+        }
+        assert!(
+            wide * 2 > total,
+            "hashed ids should span the 64-bit domain ({wide}/{total} wide)"
+        );
+    }
+
+    #[test]
+    fn hashed_ids_compose_with_duplication() {
+        let schema = small_schema();
+        let cfg = DedupConfig::with_ratio(4.0);
+        let samples = SampleGenerator::new(&schema, 7)
+            .with_duplication(cfg)
+            .with_hashed_ids()
+            .take_samples(2000);
+        let (sets, stats) = dedup::cluster_sessions(&samples, &cfg);
+        let ratio = stats.ratio();
+        assert!((3.0..=5.0).contains(&ratio), "observed ratio {ratio}");
+        assert_eq!(dedup::expand_sets(&sets), samples, "lossless round-trip");
+    }
+
+    #[test]
+    fn duplication_preserves_dense_label_stream() {
+        let schema = small_schema();
+        let plain: Vec<_> = SampleGenerator::new(&schema, 42).take_samples(200);
+        let duped: Vec<_> = SampleGenerator::new(&schema, 42)
+            .with_duplication(DedupConfig::default())
+            .take_samples(200);
+        for (p, d) in plain.iter().zip(&duped) {
+            assert_eq!(p.label(), d.label());
+            assert_eq!(
+                p.dense_iter().collect::<Vec<_>>(),
+                d.dense_iter().collect::<Vec<_>>()
+            );
+        }
+        assert_ne!(plain, duped, "sparse payloads should be sessionized");
+    }
+
+    #[test]
+    fn duplication_hits_requested_ratio() {
+        let schema = small_schema();
+        let cfg = DedupConfig::with_ratio(4.0);
+        let samples = SampleGenerator::new(&schema, 7)
+            .with_duplication(cfg)
+            .take_samples(4000);
+        let (_, stats) = dedup::cluster_sessions(&samples, &cfg);
+        let ratio = stats.ratio();
+        assert!((3.0..=5.0).contains(&ratio), "observed ratio {ratio}");
+    }
+
+    #[test]
+    fn unit_ratio_degenerates_to_singletons() {
+        let schema = small_schema();
+        let cfg = DedupConfig::with_ratio(1.0);
+        let samples = SampleGenerator::new(&schema, 7)
+            .with_duplication(cfg)
+            .take_samples(500);
+        let (sets, stats) = dedup::cluster_sessions(&samples, &cfg);
+        assert_eq!(stats.rows, 500);
+        assert!(
+            sets.len() as f64 > 490.0,
+            "near-singleton sets, got {}",
+            sets.len()
+        );
     }
 
     #[test]

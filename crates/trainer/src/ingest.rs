@@ -1,0 +1,152 @@
+//! Dedup-aware trainer ingestion accounting.
+//!
+//! When DPP ships RecD-deduplicated batches, sparse rows shared within a
+//! session arrive once — duplicate rows are 4-byte back-references — so the
+//! trainer's datacenter tax (Fig. 8) is paid on the deduped wire volume,
+//! and embedding-table lookups for duplicate rows reuse the canonical row's
+//! fetched indices instead of re-reading HBM. This module accounts for both
+//! effects on top of the regular [`crate::loading`] model; the tensors the
+//! model consumes are still the full, expanded batches (training math is
+//! unchanged — asserted bit-identical by the pipeline integration tests).
+
+use dsi_types::MiniBatchTensor;
+use hwsim::{DatacenterTax, ResourceVector};
+use serde::{Deserialize, Serialize};
+
+/// Cumulative shared-tensor accounting for a dedup-aware trainer.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DedupIngest {
+    /// Batches accepted.
+    pub batches: u64,
+    /// Logical rows accepted (what the model trains on).
+    pub rows: u64,
+    /// Rows carrying their own sparse payload (canonical rows).
+    pub canonical_rows: u64,
+    /// Bytes actually crossing the wire (deduped encoding).
+    pub wire_bytes: u64,
+    /// Bytes the expanded tensors occupy (what a dedup-off run ships).
+    pub full_bytes: u64,
+    /// Embedding-lookup input rows served by the canonical row's sparse
+    /// ids instead of a fresh tensor row (one per duplicate row per
+    /// sparse tensor).
+    pub lookup_reuse_hits: u64,
+}
+
+impl DedupIngest {
+    /// Accepts one batch, detecting shared sparse rows and accumulating
+    /// wire/lookup savings.
+    pub fn accept(&mut self, tensor: &MiniBatchTensor) {
+        let refs = dedup::shared_row_refs(tensor);
+        let canonicals = refs
+            .iter()
+            .enumerate()
+            .filter(|&(r, &rf)| rf as usize == r)
+            .count() as u64;
+        let rows = tensor.batch_size() as u64;
+        self.batches += 1;
+        self.rows += rows;
+        self.canonical_rows += canonicals;
+        self.wire_bytes += dedup::deduped_tensor_bytes(tensor, &refs) as u64;
+        self.full_bytes += tensor.payload_bytes() as u64;
+        self.lookup_reuse_hits += (rows - canonicals) * tensor.sparse.len() as u64;
+    }
+
+    /// Wire bytes the shared-row encoding avoided shipping.
+    pub fn bytes_saved(&self) -> u64 {
+        self.full_bytes.saturating_sub(self.wire_bytes)
+    }
+
+    /// Observed logical rows per canonical sparse row.
+    pub fn ratio(&self) -> f64 {
+        if self.canonical_rows == 0 {
+            return 1.0;
+        }
+        self.rows as f64 / self.canonical_rows as f64
+    }
+
+    /// Mean per-sample host loading demand at the deduped wire volume —
+    /// drop-in for [`crate::loading::loading_cost`] times the full byte
+    /// rate in Fig. 8 sweeps.
+    pub fn per_sample_loading_demand(&self, tax: &DatacenterTax) -> ResourceVector {
+        if self.rows == 0 {
+            return ResourceVector::default();
+        }
+        tax.rx_cost(self.wire_bytes as f64 / self.rows as f64)
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &DedupIngest) {
+        self.batches += other.batches;
+        self.rows += other.rows;
+        self.canonical_rows += other.canonical_rows;
+        self.wire_bytes += other.wire_bytes;
+        self.full_bytes += other.full_bytes;
+        self.lookup_reuse_hits += other.lookup_reuse_hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_types::{Batch, FeatureId, Sample, SparseList};
+
+    fn sessionized_batch(sessions: usize, members: usize) -> MiniBatchTensor {
+        let samples: Vec<Sample> = (0..sessions * members)
+            .map(|i| {
+                let session = (i / members) as u64;
+                let mut s = Sample::new(i as f32);
+                s.set_dense(FeatureId(1), i as f32 * 0.5);
+                s.set_sparse(
+                    FeatureId(2),
+                    SparseList::from_ids((0..16).map(|k| session * 100 + k).collect()),
+                );
+                s
+            })
+            .collect();
+        Batch::from_samples(samples).materialize(&[FeatureId(1)], &[FeatureId(2)])
+    }
+
+    #[test]
+    fn shared_rows_cut_wire_bytes_and_lookups() {
+        let mut ingest = DedupIngest::default();
+        ingest.accept(&sessionized_batch(4, 8));
+        assert_eq!(ingest.rows, 32);
+        assert_eq!(ingest.canonical_rows, 4);
+        assert_eq!(ingest.lookup_reuse_hits, 28);
+        assert!((ingest.ratio() - 8.0).abs() < 1e-9);
+        assert!(
+            ingest.wire_bytes * 2 < ingest.full_bytes,
+            "wire {} vs full {}",
+            ingest.wire_bytes,
+            ingest.full_bytes
+        );
+        let tax = DatacenterTax::production();
+        let deduped = ingest.per_sample_loading_demand(&tax);
+        let full = tax.rx_cost(ingest.full_bytes as f64 / ingest.rows as f64);
+        assert!(deduped.cpu_cycles < full.cpu_cycles);
+        assert!(deduped.nic_rx_bytes < full.nic_rx_bytes);
+    }
+
+    #[test]
+    fn unduplicated_batches_pay_full_cost() {
+        let mut ingest = DedupIngest::default();
+        ingest.accept(&sessionized_batch(8, 1));
+        assert_eq!(ingest.rows, ingest.canonical_rows);
+        assert_eq!(ingest.lookup_reuse_hits, 0);
+        assert_eq!(ingest.bytes_saved(), 0);
+        assert_eq!(ingest.ratio(), 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = DedupIngest::default();
+        a.accept(&sessionized_batch(2, 4));
+        let mut b = DedupIngest::default();
+        b.accept(&sessionized_batch(1, 4));
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.batches, 2);
+        assert_eq!(merged.rows, 12);
+        assert_eq!(merged.canonical_rows, 3);
+    }
+}

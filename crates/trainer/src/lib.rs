@@ -14,11 +14,13 @@
 //!   consumer);
 //! * [`live`] — a wall-clock trainer that consumes a live DPP client and
 //!   measures real stall time;
-//! * [`job`] — multi-node data-parallel jobs over partitioned clients.
+//! * [`job`] — multi-node data-parallel jobs over partitioned clients;
+//! * [`ingest`] — RecD shared-tensor accounting for deduped batches.
 
 #![warn(missing_docs)]
 
 pub mod demand;
+pub mod ingest;
 pub mod job;
 pub mod live;
 pub mod loading;
@@ -26,6 +28,7 @@ pub mod onhost;
 pub mod stall;
 
 pub use demand::GpuDemand;
+pub use ingest::DedupIngest;
 pub use job::{JobReport, TrainingJob};
 pub use live::LiveTrainer;
 pub use loading::{loading_cost, loading_sweep, LoadingPoint};

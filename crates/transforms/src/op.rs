@@ -168,6 +168,39 @@ impl TransformOp {
         }
     }
 
+    /// Whether this op reads any dense feature. Dense values vary per
+    /// sample even inside a dedup session, so dense-reading ops can never
+    /// be computed once per DedupSet and fanned out.
+    pub fn reads_dense(&self) -> bool {
+        matches!(
+            self,
+            TransformOp::Bucketize { .. }
+                | TransformOp::BoxCox { .. }
+                | TransformOp::Logit { .. }
+                | TransformOp::GetLocalHour { .. }
+                | TransformOp::Onehot { .. }
+                | TransformOp::Clamp { .. }
+        )
+    }
+
+    /// The sparse features this op reads (empty for dense-only ops and
+    /// `Sampling`).
+    pub fn sparse_inputs(&self) -> Vec<FeatureId> {
+        match self {
+            TransformOp::Cartesian { a, b, .. } | TransformOp::IdListTransform { a, b, .. } => {
+                vec![*a, *b]
+            }
+            TransformOp::ComputeScore { input, .. }
+            | TransformOp::Enumerate { input }
+            | TransformOp::PositiveModulus { input, .. }
+            | TransformOp::MapId { input, .. }
+            | TransformOp::FirstX { input, .. }
+            | TransformOp::SigridHash { input, .. }
+            | TransformOp::NGram { input, .. } => vec![*input],
+            _ => Vec::new(),
+        }
+    }
+
     /// Whether this op derives a *new* feature (feature generation class).
     pub fn derives_feature(&self) -> bool {
         matches!(

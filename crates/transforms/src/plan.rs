@@ -72,6 +72,12 @@ impl TransformPlan {
         &self.ops
     }
 
+    /// The plan's cycle cost model (dedup-aware executors charge per-op
+    /// costs through the same model this plan uses internally).
+    pub fn cost_model(&self) -> &OpCost {
+        &self.cost_model
+    }
+
     /// Number of operations.
     pub fn len(&self) -> usize {
         self.ops.len()

@@ -161,6 +161,20 @@ impl Table {
             writer.push(s);
         }
         let file = writer.finish()?;
+        if self.inner.config.writer_options.dedup {
+            if let Some(reg) = self.registry() {
+                use dsi_obs::names;
+                let st = file.dedup_stats();
+                reg.counter(names::DEDUP_SETS_TOTAL, &[]).add(st.canonicals);
+                reg.counter(names::DEDUP_ROWS_TOTAL, &[]).add(st.rows);
+                reg.counter(names::DEDUP_BYTES_SAVED_TOTAL, &[])
+                    .add(st.bytes_saved);
+                if st.canonicals > 0 {
+                    reg.gauge(names::DEDUP_RATIO, &[])
+                        .set(st.rows as f64 / st.canonicals as f64);
+                }
+            }
+        }
         let mut partitions = self.inner.partitions.write();
         let files = partitions.entry(partition).or_default();
         let path = format!(
@@ -328,6 +342,40 @@ mod tests {
             .unwrap();
         assert_eq!(rows.len(), 10);
         assert!(t.drop_partition(PartitionId::new(0)).is_err());
+    }
+
+    #[test]
+    fn deduped_writes_shrink_storage_and_publish_metrics() {
+        let cluster = TectonicCluster::new(ClusterConfig::small());
+        let config = TableConfig::new(TableId(10), "rm_dedup")
+            .with_writer_options(dwrf::WriterOptions::deduped());
+        let t = Table::create(cluster, config).unwrap();
+        let reg = dsi_obs::Registry::new();
+        t.attach_registry(&reg);
+        // 4 sessions of 8 members sharing a sparse payload.
+        let mut samples = Vec::new();
+        for sess in 0..4u64 {
+            for m in 0..8u64 {
+                let mut s = sample(sess);
+                s.set_dense(FeatureId(1), m as f32);
+                samples.push(s);
+            }
+        }
+        let expected = samples.clone();
+        t.write_partition(PartitionId::new(0), samples).unwrap();
+        use dsi_obs::names;
+        assert_eq!(reg.counter_value(names::DEDUP_ROWS_TOTAL, &[]), 32);
+        assert_eq!(reg.counter_value(names::DEDUP_SETS_TOTAL, &[]), 4);
+        assert!(reg.counter_value(names::DEDUP_BYTES_SAVED_TOTAL, &[]) > 0);
+        // Scans reconstitute the logical rows.
+        let rows = t
+            .scan(
+                PartitionId::new(0)..PartitionId::new(1),
+                Projection::new(vec![FeatureId(1), FeatureId(2)]),
+            )
+            .read_all()
+            .unwrap();
+        assert_eq!(rows, expected);
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! generation ([`scribe`]), a partitioned warehouse of DWRF columnar files
 //! ([`warehouse`], [`dwrf`]) on a Tectonic-style distributed filesystem
 //! ([`tectonic`]), the disaggregated DPP online-preprocessing service
-//! ([`dpp`], [`transforms`]), trainer-side models ([`trainer`]),
+//! ([`dpp`], [`transforms`]), RecD-style end-to-end deduplication
+//! ([`dedup`]), trainer-side models ([`trainer`]),
 //! fleet-level coordination ([`cluster`]), a hardware simulation substrate
 //! ([`hwsim`]), and calibrated synthetic workloads ([`synth`]).
 //!
@@ -54,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub use cluster;
+pub use dedup;
 pub use dpp;
 pub use dsi_obs as obs;
 pub use dsi_types as types;
@@ -68,6 +70,7 @@ pub use warehouse;
 
 /// Commonly-used items across the whole pipeline.
 pub mod prelude {
+    pub use dedup::{DedupConfig, DedupSet, DedupStats};
     pub use dpp::{AutoScaler, Client, DppSession, Master, SessionSpec};
     pub use dsi_obs::{json_snapshot, prometheus_text, PipelineReport, Registry};
     pub use dsi_types::{
@@ -79,7 +82,7 @@ pub mod prelude {
     pub use scribe::{BatchEtl, EventRecord, FeatureLogRecord, MessageBus};
     pub use synth::{RmProfile, SampleGenerator};
     pub use tectonic::{ClusterConfig, TectonicCluster};
-    pub use trainer::{GpuDemand, LiveTrainer, StallSim};
+    pub use trainer::{DedupIngest, GpuDemand, LiveTrainer, StallSim};
     pub use transforms::{TransformOp, TransformPlan};
     pub use warehouse::{Table, TableConfig, Warehouse};
 }

@@ -77,11 +77,14 @@ fn repeated_crashes_never_lose_or_duplicate_rows() {
 
 #[test]
 fn master_checkpoint_restore_replays_only_incomplete_work() {
+    use dsi::obs::names;
     let table = build_table(2, 100);
     let s = spec(2);
     let scan = table.scan(s.partitions(), s.projection.clone());
     let splits = scan.plan_splits();
     let master = Master::new(SessionId(1), splits.clone());
+    let reg = Registry::new();
+    master.attach_registry(&reg);
     let w = master.register_worker();
 
     // Process 4 splits "to completion" (consumed), leave the rest.
@@ -91,9 +94,26 @@ fn master_checkpoint_restore_replays_only_incomplete_work() {
     }
     let checkpoint = master.checkpoint();
     assert_eq!(checkpoint.completed.len(), 4);
+    // The checkpoint and progress show up in the obs counters.
+    assert_eq!(reg.counter_value(names::MASTER_CHECKPOINTS_TOTAL, &[]), 1);
+    assert_eq!(
+        reg.counter_value(names::MASTER_SPLITS_TOTAL, &[]),
+        splits.len() as u64
+    );
+    assert_eq!(
+        reg.counter_value(names::MASTER_SPLITS_COMPLETED_TOTAL, &[]),
+        4
+    );
 
     // Master dies; replica restores from the checkpoint + re-planned scan.
+    // The replica reports into the same registry: completed-split progress
+    // resumes from the checkpoint instead of resetting.
     let restored = Master::restore(&checkpoint, splits).unwrap();
+    restored.attach_registry(&reg);
+    assert_eq!(
+        reg.counter_value(names::MASTER_SPLITS_COMPLETED_TOTAL, &[]),
+        4
+    );
     let w2 = restored.register_worker();
     let mut replayed = 0;
     while let Some(split) = restored.request_split(w2).unwrap() {
@@ -107,6 +127,12 @@ fn master_checkpoint_restore_replays_only_incomplete_work() {
     }
     assert_eq!(replayed as u64, restored.total_splits() - 4);
     assert!(restored.is_complete());
+    let _ = restored.checkpoint();
+    assert_eq!(reg.counter_value(names::MASTER_CHECKPOINTS_TOTAL, &[]), 2);
+    assert_eq!(
+        reg.counter_value(names::MASTER_SPLITS_COMPLETED_TOTAL, &[]),
+        restored.total_splits()
+    );
 }
 
 #[test]

@@ -85,6 +85,126 @@ fn logs_to_tensors_exactly_once() {
     assert!(report.storage_rx_bytes > 0);
 }
 
+/// Sessionized traffic: `sessions` sessions of `members` rows; members
+/// share one bit-identical sparse payload, dense feature 1 carries a
+/// globally unique request id.
+fn sessionized_samples(sessions: u64, members: u64) -> Vec<Sample> {
+    (0..sessions * members)
+        .map(|rid| {
+            let session = rid / members;
+            let mut s = Sample::new((rid % 3 == 0) as u64 as f32);
+            s.set_dense(FeatureId(1), rid as f32);
+            s.set_sparse(
+                FeatureId(2),
+                SparseList::from_ids((0..16).map(|k| session * 1_000_003 + k * 97).collect()),
+            );
+            s
+        })
+        .collect()
+}
+
+#[test]
+fn dedup_pipeline_is_exactly_once_and_bitwise_identical() {
+    // Same rows, same stripe boundaries; only the dedup flag differs.
+    let base = WriterOptions {
+        compressed: false,
+        encrypted: false,
+        rows_per_stripe: 128,
+        ..Default::default()
+    };
+    let build = |opts: WriterOptions, id: u64| {
+        let cluster = TectonicCluster::new(ClusterConfig::small());
+        let table = Table::create(
+            cluster,
+            TableConfig::new(TableId(id), "recd").with_writer_options(opts),
+        )
+        .unwrap();
+        for day in 0..2u32 {
+            let mut samples = sessionized_samples(75, 4);
+            for s in &mut samples {
+                // Distinct request ids per partition.
+                let rid = s.dense(FeatureId(1)).unwrap() + day as f32 * 300.0;
+                s.set_dense(FeatureId(1), rid);
+            }
+            table
+                .write_partition(PartitionId::new(day), samples)
+                .unwrap();
+        }
+        table
+    };
+    let plain = build(base.clone(), 4);
+    let deduped = build(
+        WriterOptions {
+            dedup: true,
+            ..base
+        },
+        5,
+    );
+    assert!(
+        deduped.total_encoded_bytes() < plain.total_encoded_bytes(),
+        "4x-sessionized table should shrink under DedupSet encoding ({} vs {})",
+        deduped.total_encoded_bytes(),
+        plain.total_encoded_bytes()
+    );
+
+    let spec = |dedup: Option<dedup::DedupConfig>| {
+        let mut b = SessionSpec::builder(SessionId(7))
+            .partitions(PartitionId::new(0)..PartitionId::new(2))
+            .projection(Projection::new(vec![FeatureId(1), FeatureId(2)]))
+            .plan(TransformPlan::new(vec![TransformOp::SigridHash {
+                input: FeatureId(2),
+                salt: 11,
+                modulus: 100_000,
+            }]))
+            .batch_size(32)
+            .dense_ids(vec![FeatureId(1)])
+            .sparse_ids(vec![FeatureId(2)]);
+        if let Some(cfg) = dedup {
+            b = b.dedup(cfg);
+        }
+        b.build()
+    };
+    // Single worker each: batch order is then deterministic and the two
+    // runs are comparable tensor for tensor.
+    let drain = |table: Table, spec: SessionSpec| {
+        let session = DppSession::launch(table, spec, 1).unwrap();
+        let mut client = session.client();
+        let mut batches = Vec::new();
+        while let Some(t) = client.next_batch() {
+            batches.push(t);
+        }
+        assert!(session.is_complete());
+        (batches, session.shutdown())
+    };
+    let (batches_off, _) = drain(plain, spec(None));
+    let (batches_on, report_on) = drain(deduped, spec(Some(dedup::DedupConfig::default())));
+
+    // Dedup-on delivers bitwise-identical training batches on the same
+    // seed/data — deduplication is an optimization, not a semantic change.
+    assert_eq!(batches_off, batches_on);
+    assert!(report_on.dedup_sets > 0, "sessions should form DedupSets");
+    assert!(
+        report_on.dedup_reuse_hits > 0,
+        "transforms should be reused"
+    );
+
+    // Exactly-once per epoch with dedup enabled: every request id appears
+    // exactly once across the epoch's batches.
+    let mut seen = HashSet::new();
+    let mut rows = 0u64;
+    for t in &batches_on {
+        for r in 0..t.batch_size() {
+            assert!(
+                seen.insert(t.dense.get(r, 0) as u64),
+                "request delivered twice"
+            );
+            rows += 1;
+        }
+    }
+    assert_eq!(rows, 600);
+    assert_eq!(seen.len(), 600);
+}
+
 #[test]
 fn projection_filters_at_storage_not_after() {
     // Reading 1 of 30 features must fetch far fewer bytes than reading all.

@@ -199,6 +199,91 @@ proptest! {
     }
 
     #[test]
+    fn dedup_stream_round_trips_sessionized_samples(
+        samples in proptest::collection::vec(arb_sample(), 1..40),
+        session_len in 1usize..6,
+        rows_per_stripe in 1usize..40,
+        window in 1usize..80,
+    ) {
+        // Expand each sample into a session whose members share its sparse
+        // payload (session_len == 1 is the degenerate no-duplication case:
+        // every row is its own canonical payload and the refs stream is
+        // the identity).
+        let rows: Vec<Sample> = samples
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                (0..session_len).map(move |m| {
+                    let mut member = s.clone();
+                    member.set_dense(FeatureId(90), (i * 7 + m) as f32);
+                    member
+                })
+            })
+            .collect();
+        let mut w = FileWriter::new(WriterOptions {
+            dedup: true,
+            dedup_window: window,
+            rows_per_stripe,
+            ..Default::default()
+        });
+        for s in &rows {
+            w.push(s.clone());
+        }
+        let file = w.finish().expect("non-empty file");
+        let reader = FileReader::open(file.bytes().clone()).expect("valid file");
+        let decoded = reader.read_all_unprojected().expect("decodable");
+        prop_assert_eq!(&decoded, &rows);
+        let stats = file.dedup_stats();
+        prop_assert_eq!(stats.rows, rows.len() as u64);
+        prop_assert!(stats.canonicals <= stats.rows);
+        // Dedup is per-stripe: savings are only guaranteed when a whole
+        // session (consecutive rows sharing a payload) fits in one stripe.
+        // session_len == 1 is the degenerate no-duplication case — nothing
+        // to save, but the round trip above must still be exact.
+        if session_len > 1 && rows_per_stripe >= session_len {
+            prop_assert!(stats.canonicals < stats.rows);
+        }
+    }
+
+    #[test]
+    fn dedup_codec_round_trips_and_saves_exactly(
+        samples in proptest::collection::vec(arb_sample(), 1..30),
+        window in 1usize..64,
+    ) {
+        use dwrf::stream::{decode_dedup_sparse, encode_dedup_sparse};
+        let (refs, data, stats) = encode_dedup_sparse(&samples, window);
+        let decoded = decode_dedup_sparse(&refs, &data, samples.len()).expect("decodable");
+        for (row, got) in samples.iter().zip(&decoded) {
+            let expect: Vec<(FeatureId, SparseList)> =
+                row.sparse_iter().map(|(f, l)| (f, l.clone())).collect();
+            prop_assert_eq!(&expect, got);
+        }
+        prop_assert_eq!(stats.rows, samples.len() as u64);
+        prop_assert!(stats.canonicals >= 1);
+        prop_assert!(stats.canonicals <= stats.rows);
+    }
+
+    #[test]
+    fn cluster_sessions_expand_is_lossless(
+        samples in proptest::collection::vec(arb_sample(), 0..40),
+        session_window in 1usize..8,
+        max_set_size in 1usize..12,
+    ) {
+        let cfg = dedup::DedupConfig {
+            session_window,
+            max_set_size,
+            ..Default::default()
+        };
+        let (sets, stats) = dedup::cluster_sessions(&samples, &cfg);
+        prop_assert_eq!(dedup::expand_sets(&sets), samples.clone());
+        prop_assert_eq!(stats.rows, samples.len() as u64);
+        prop_assert_eq!(stats.sets, sets.len() as u64);
+        for set in &sets {
+            prop_assert!(set.len() <= max_set_size);
+        }
+    }
+
+    #[test]
     fn dictionary_encoding_round_trips_repetitive_ids(
         hot in proptest::collection::vec(0u64..16, 1..8),
         rows in 8usize..80,
