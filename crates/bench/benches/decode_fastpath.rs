@@ -1,0 +1,81 @@
+//! Fastpath vs legacy copying decode: full-file and narrow-projection
+//! stripe reads, measured over the same encoded bytes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dsi_types::{FeatureId, Projection, Sample, SparseList};
+use dwrf::{CoalescePolicy, DecodeMode, FileReader, FileWriter, SliceSource, WriterOptions};
+use std::hint::black_box;
+
+fn rows(n: u64) -> Vec<Sample> {
+    (0..n)
+        .map(|i| {
+            let mut s = Sample::new(i as f32);
+            for f in 0..24u64 {
+                s.set_dense(FeatureId(f), (i ^ f) as f32);
+            }
+            for f in 24..32u64 {
+                s.set_sparse(
+                    FeatureId(f),
+                    SparseList::from_ids((0..16).map(|k| i * 31 + k * f).collect()),
+                );
+            }
+            s
+        })
+        .collect()
+}
+
+fn payload_bytes(rows: &[Sample]) -> u64 {
+    rows.iter().map(|s| s.payload_bytes() as u64).sum()
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let data = rows(512);
+    let payload = payload_bytes(&data);
+    let file = {
+        let mut w = FileWriter::new(WriterOptions {
+            rows_per_stripe: 128,
+            ..Default::default()
+        });
+        for s in &data {
+            w.push(s.clone());
+        }
+        w.finish().expect("non-empty")
+    };
+    let narrow = Projection::new(vec![FeatureId(5), FeatureId(26)]);
+
+    let mut group = c.benchmark_group("decode_fastpath");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(payload));
+    for (mode_name, mode) in [
+        ("fastpath", DecodeMode::Fastpath),
+        ("copying", DecodeMode::Copying),
+    ] {
+        let reader = FileReader::open(file.bytes().clone())
+            .expect("valid")
+            .with_decode_mode(mode);
+        group.bench_function(format!("full_{mode_name}"), |b| {
+            b.iter(|| black_box(reader.read_all_unprojected().expect("decodable")))
+        });
+        group.bench_function(format!("projected_{mode_name}"), |b| {
+            b.iter(|| {
+                let mut src = SliceSource::new(file.bytes().clone());
+                for i in 0..reader.num_stripes() {
+                    black_box(
+                        reader
+                            .read_stripe_from(
+                                i,
+                                Some(&narrow),
+                                CoalescePolicy::default_window(),
+                                &mut src,
+                            )
+                            .expect("decodable"),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

@@ -87,15 +87,28 @@ impl RmLab {
         writer: Option<WriterOptions>,
         dedup: Option<DedupConfig>,
     ) -> RmLab {
+        Self::build_custom(class, config, writer, dedup, None)
+    }
+
+    /// Full-control build: everything [`RmLab::build_dedup`] offers plus an
+    /// explicit Tectonic cluster config (e.g. production-sized blocks so
+    /// coalesced reads stay within one block).
+    pub fn build_custom(
+        class: RmClass,
+        config: LabConfig,
+        writer: Option<WriterOptions>,
+        dedup: Option<DedupConfig>,
+        cluster: Option<ClusterConfig>,
+    ) -> RmLab {
         let profile = RmProfile::of(class);
         let schema = profile.build_schema(config.features);
         let sampler = JobProjectionSampler::new(&schema, &profile, config.seed);
-        let cluster = TectonicCluster::new(ClusterConfig {
+        let cluster = TectonicCluster::new(cluster.unwrap_or(ClusterConfig {
             nodes: 8,
             block_size: 4 * 1024 * 1024,
             replication: 3,
             hdd: true,
-        });
+        }));
         let opts = writer.unwrap_or(WriterOptions {
             rows_per_stripe: config.rows_per_stripe,
             ..Default::default()

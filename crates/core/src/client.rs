@@ -14,12 +14,18 @@
 //! replay on its replacement without loss or duplication.
 
 use crate::master::Master;
-use crossbeam::channel::{Receiver, TryRecvError};
+use crossbeam::channel::{Receiver, Select, TryRecvError};
 use dsi_types::{MiniBatchTensor, WorkerId};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Upper bound on one parked wait. Wakeups for new data arrive eagerly via
+/// channel signals; the slice only bounds how long session-level changes the
+/// channels cannot signal (completion by another client, autoscaler growth)
+/// go unobserved.
+const WAIT_SLICE: Duration = Duration::from_millis(5);
 
 /// A tensor in flight from a Worker to a Client.
 #[derive(Debug, Clone)]
@@ -122,7 +128,7 @@ impl Client {
                 Poll::Finished => return None,
                 Poll::Pending => {
                     self.note_starved();
-                    std::thread::sleep(Duration::from_micros(200));
+                    self.wait_for_data(WAIT_SLICE);
                 }
             }
         }
@@ -140,13 +146,36 @@ impl Client {
                 Poll::Finished => return None,
                 Poll::Pending => {
                     self.note_starved();
-                    if start.elapsed() > deadline {
+                    let elapsed = start.elapsed();
+                    if elapsed > deadline {
                         return None;
                     }
-                    std::thread::sleep(Duration::from_micros(200));
+                    self.wait_for_data(WAIT_SLICE.min(deadline - elapsed));
                 }
             }
         }
+    }
+
+    /// Parks until some endpoint this client can see has data (or its
+    /// worker hangs up), capped at `cap`. The endpoint list is
+    /// re-snapshotted on every call so workers added by the autoscaler are
+    /// picked up, and the cap bounds how stale a completion flip (e.g. a
+    /// *different* client consuming the session's last tensor) can go
+    /// unnoticed. Spurious wakeups are harmless: the caller re-polls.
+    fn wait_for_data(&self, cap: Duration) {
+        // Clone out of the registry so the autoscaler's write lock is not
+        // held off for the duration of the park.
+        let endpoints = self.registry.read().clone();
+        let mut sel = Select::new();
+        for e in endpoints.iter() {
+            // Exhausted endpoints (drained + hung up) are permanently
+            // "ready"; selecting on them would spin. Nothing more can
+            // arrive from them, so leave them out of the wait set.
+            if !(e.receiver.is_disconnected() && e.receiver.is_empty()) {
+                sel.recv(&e.receiver);
+            }
+        }
+        let _ = sel.ready_timeout(cap);
     }
 
     /// Non-blocking fetch.

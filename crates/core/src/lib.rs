@@ -52,6 +52,7 @@ pub mod autoscale;
 pub mod client;
 pub mod fleet;
 pub mod master;
+mod pipeline;
 pub mod service;
 pub mod session;
 pub mod worker;

@@ -1,0 +1,221 @@
+//! Intra-worker software pipelining of the extract → transform → load
+//! stages.
+//!
+//! The sequential worker loop in `service.rs` alternates between waiting
+//! on storage (fetch + decode) and burning CPU (transform + batch), so
+//! each resource idles while the other works. With
+//! [`crate::session::SessionSpec::read_ahead`] `> 0` a worker instead
+//! runs three concurrent stages over bounded channels:
+//!
+//! ```text
+//!   fetch+decode ──bounded(read_ahead)──▶ transform ──bounded(2)──▶ load/deliver
+//!   (storage I/O)                         (CPU)                     (worker thread)
+//! ```
+//!
+//! The fetch stage is the only one that *requests* work from the Master,
+//! the load stage is the only one that *acknowledges* or delivers it, and
+//! the transform stage is stateless (it ships its accounting downstream
+//! as a [`WorkerReport`] delta), so the exactly-once envelope protocol is
+//! unchanged: a split is still in flight from `request_split` until the
+//! client acks its last tensor, wherever it sits in the pipe.
+
+use crate::client::Envelope;
+use crate::master::Master;
+use crate::worker::{Worker, WorkerReport};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use dsi_obs::names;
+use dsi_types::{Batch, Sample};
+use dwrf::IoPlan;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use warehouse::Split;
+
+/// How the fetch stage stopped feeding the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EndReason {
+    /// The Master handed out `None`: every split is assigned or done.
+    Exhausted,
+    /// The drain flag was observed between splits.
+    Drained,
+    /// `read_split` failed; the split must be requeued elsewhere.
+    ReadFailed,
+    /// The Master rejected the request (worker deregistered concurrently).
+    MasterGone,
+}
+
+/// A split fetched and decoded, waiting for the transform stage.
+struct Fetched {
+    split: Split,
+    rows: Vec<Sample>,
+    plan: IoPlan,
+    /// When decode finished — the gap until the transform stage picks the
+    /// item up is time the stages genuinely overlapped.
+    ready_at: Instant,
+}
+
+/// A transformed split, waiting for the load stage.
+struct Transformed {
+    split: Split,
+    batch: Batch,
+    delta: WorkerReport,
+}
+
+/// Main-thread poll slice while waiting on the transform stage; bounds how
+/// stale a kill/drain observation can get when the pipe is idle.
+const POLL_SLICE: Duration = Duration::from_millis(5);
+
+/// Runs one worker as a three-stage pipeline. Drop-in replacement for the
+/// sequential `worker_loop` with identical Master/Client semantics;
+/// selected by `spec.read_ahead > 0`.
+pub(crate) fn pipelined_worker_loop(
+    master: Master,
+    mut worker: Worker,
+    tx: Sender<Envelope>,
+    kill: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
+    read_ahead: usize,
+    obs: Arc<Mutex<Option<dsi_obs::Registry>>>,
+) -> WorkerReport {
+    let id = worker.id();
+    let (fetch_tx, fetch_rx) = bounded::<Fetched>(read_ahead.max(1));
+    let (t_tx, t_rx) = bounded::<Transformed>(2);
+    let end_reason: Arc<Mutex<Option<EndReason>>> = Arc::new(Mutex::new(None));
+
+    // ---- stage 1: fetch + decode ----
+    let fetch = {
+        let master = master.clone();
+        let scan = worker.scan_clone();
+        let kill = Arc::clone(&kill);
+        let drain = Arc::clone(&drain);
+        let end_reason = Arc::clone(&end_reason);
+        std::thread::spawn(move || loop {
+            if kill.load(Ordering::SeqCst) {
+                return;
+            }
+            if drain.load(Ordering::SeqCst) {
+                *end_reason.lock() = Some(EndReason::Drained);
+                return;
+            }
+            match master.request_split(id) {
+                Ok(Some(split)) => match scan.read_split(&split) {
+                    Ok((rows, plan)) => {
+                        let item = Fetched {
+                            split,
+                            rows,
+                            plan,
+                            ready_at: Instant::now(),
+                        };
+                        if fetch_tx.send(item).is_err() {
+                            return; // downstream gone; it decides why
+                        }
+                    }
+                    Err(_) => {
+                        *end_reason.lock() = Some(EndReason::ReadFailed);
+                        return;
+                    }
+                },
+                Ok(None) => {
+                    *end_reason.lock() = Some(EndReason::Exhausted);
+                    return;
+                }
+                Err(_) => {
+                    *end_reason.lock() = Some(EndReason::MasterGone);
+                    return;
+                }
+            }
+        })
+    };
+
+    // ---- stage 2: transform ----
+    let transform = {
+        let spec = worker.spec_arc();
+        let cost = worker.cost_model();
+        std::thread::spawn(move || {
+            while let Ok(f) = fetch_rx.recv() {
+                // Re-read the slot per split so a registry attached after
+                // launch still sees this worker's pipeline telemetry.
+                if let Some(reg) = obs.lock().clone() {
+                    // Depth of the decode read-ahead buffer *behind* this
+                    // item: how far fetch has run ahead of transform.
+                    reg.gauge(names::FASTPATH_PREFETCH_DEPTH, &[])
+                        .set(fetch_rx.len() as f64);
+                    reg.histogram(names::FASTPATH_STAGE_OVERLAP_SECONDS, &[])
+                        .record(f.ready_at.elapsed().as_secs_f64());
+                }
+                // Per-split flush downstream means the carry is always
+                // empty here, so handing transform a fresh one is exact.
+                let (batch, delta) =
+                    Worker::transform_stage(&spec, &cost, &f.split, Batch::new(), f.rows, &f.plan);
+                let out = Transformed {
+                    split: f.split,
+                    batch,
+                    delta,
+                };
+                if t_tx.send(out).is_err() {
+                    return; // main thread gone (kill or shutdown)
+                }
+            }
+        })
+    };
+
+    // ---- stage 3: load + deliver (this thread) ----
+    loop {
+        if kill.load(Ordering::SeqCst) {
+            // Hard crash: return without joining — upstream threads unblock
+            // when their send sees the dropped receiver. No deregistration,
+            // no acknowledgement; the health monitor requeues our splits.
+            return worker.report();
+        }
+        match t_rx.recv_timeout(POLL_SLICE) {
+            Ok(t) => {
+                let mut tensors = worker.load_stage(t.batch, t.delta);
+                // Per-split flush keeps replay exact under failures (no
+                // cross-split rows inside any delivered tensor).
+                tensors.extend(worker.flush());
+                if kill.load(Ordering::SeqCst) {
+                    return worker.report();
+                }
+                if tensors.is_empty() {
+                    let _ = master.complete_split(id, t.split.index);
+                    continue;
+                }
+                let total = tensors.len();
+                for (seq, tensor) in tensors.into_iter().enumerate() {
+                    let env = Envelope {
+                        split: t.split.index,
+                        seq: seq as u32,
+                        last: seq + 1 == total,
+                        worker: id,
+                        tensor,
+                    };
+                    if tx.send(env).is_err() {
+                        // Session shut down under us.
+                        master.deregister_worker(id);
+                        return worker.report();
+                    }
+                }
+                // Completion is acknowledged by the Client that consumes
+                // the split's last tensor — not here.
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => {
+                // Transform exited because fetch closed its channel and the
+                // in-flight items are all delivered; settle with the Master
+                // the same way the sequential loop does.
+                match *end_reason.lock() {
+                    Some(EndReason::Exhausted) | Some(EndReason::Drained) => {
+                        master.drain_worker(id);
+                    }
+                    Some(EndReason::ReadFailed) => master.fail_worker(id),
+                    Some(EndReason::MasterGone) | None => {}
+                }
+                break;
+            }
+        }
+    }
+    let _ = fetch.join();
+    let _ = transform.join();
+    worker.report()
+}

@@ -77,6 +77,14 @@ pub struct SessionSpec {
     /// RecD-style deduplication: workers detect DedupSets in each split,
     /// transform the canonical copy once, and fan results out to members.
     pub dedup: Option<DedupConfig>,
+    /// Splits each worker prefetches ahead of its transform stage. `0`
+    /// (the default) processes splits sequentially; `n > 0` runs the
+    /// three-stage software pipeline (fetch+decode → transform →
+    /// batch/load) with an `n`-deep decode read-ahead buffer.
+    pub read_ahead: usize,
+    /// Zero-copy pooled decode on the extract path. Disable to replay the
+    /// legacy copying decode (ablation baseline).
+    pub fastpath: bool,
 }
 
 impl SessionSpec {
@@ -88,6 +96,15 @@ impl SessionSpec {
     /// The partition range.
     pub fn partitions(&self) -> Range<PartitionId> {
         self.partition_start..self.partition_end
+    }
+
+    /// The DWRF decode mode this spec selects.
+    pub fn decode_mode(&self) -> dwrf::DecodeMode {
+        if self.fastpath {
+            dwrf::DecodeMode::Fastpath
+        } else {
+            dwrf::DecodeMode::Copying
+        }
     }
 }
 
@@ -115,6 +132,8 @@ impl SessionSpecBuilder {
                 buffer_capacity: 8,
                 injections: Vec::new(),
                 dedup: None,
+                read_ahead: 0,
+                fastpath: true,
             },
         }
     }
@@ -188,6 +207,18 @@ impl SessionSpecBuilder {
     /// DedupSet, fan out to members).
     pub fn dedup(mut self, config: DedupConfig) -> Self {
         self.spec.dedup = Some(config);
+        self
+    }
+
+    /// Sets the per-worker decode read-ahead depth (`0` = sequential).
+    pub fn read_ahead(mut self, n: usize) -> Self {
+        self.spec.read_ahead = n;
+        self
+    }
+
+    /// Enables or disables the zero-copy pooled decode path.
+    pub fn fastpath(mut self, on: bool) -> Self {
+        self.spec.fastpath = on;
         self
     }
 

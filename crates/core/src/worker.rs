@@ -16,6 +16,7 @@
 
 use crate::session::SessionSpec;
 use dsi_types::{Batch, MiniBatchTensor, Result, Sample, WorkerId};
+use dwrf::IoPlan;
 use hwsim::{DatacenterTax, NodeSpec, ResourceVector, Utilization};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -71,6 +72,9 @@ pub struct WorkerReport {
     pub storage_rx_bytes: u64,
     /// Compressed bytes the projection actually wanted.
     pub storage_wanted_bytes: u64,
+    /// Bytes memcpy'd on the decode path (≈ 0 under the zero-copy fast
+    /// path; the full legacy volume in copying mode).
+    pub copied_bytes: u64,
     /// Decompressed stream bytes produced by extraction (whole rows for
     /// unflattened map files, selected streams for flattened files).
     pub uncompressed_bytes: u64,
@@ -110,6 +114,7 @@ impl WorkerReport {
         self.batches += other.batches;
         self.storage_rx_bytes += other.storage_rx_bytes;
         self.storage_wanted_bytes += other.storage_wanted_bytes;
+        self.copied_bytes += other.copied_bytes;
         self.uncompressed_bytes += other.uncompressed_bytes;
         self.transform_rx_bytes += other.transform_rx_bytes;
         self.transform_tx_bytes += other.transform_tx_bytes;
@@ -148,6 +153,9 @@ impl WorkerReport {
         registry
             .counter(names::WORKER_MEMBW_BYTES_TOTAL, &[])
             .advance_to(self.membw_bytes.round() as u64);
+        registry
+            .counter(names::FASTPATH_BYTES_COPIED_TOTAL, &[])
+            .advance_to(self.copied_bytes);
         registry
             .counter(names::DEDUP_TRANSFORM_REUSE_HITS_TOTAL, &[])
             .advance_to(self.dedup_reuse_hits);
@@ -265,8 +273,30 @@ impl Worker {
     ///
     /// Propagates storage and decode failures.
     pub fn process_split(&mut self, split: &Split) -> Result<Vec<MiniBatchTensor>> {
-        // ---- extract ----
         let (rows, plan) = self.scan.read_split(split)?;
+        let carry = std::mem::take(&mut self.carry);
+        let (transformed, delta) =
+            Self::transform_stage(&self.spec, &self.cost, split, carry, rows, &plan);
+        Ok(self.load_stage(transformed, delta))
+    }
+
+    /// The pipeline's middle stage: extract accounting, beta-feature
+    /// injection, and the transform plan, all on prefetched rows. Free of
+    /// worker state so it can run on a different thread than the owner of
+    /// the [`WorkerReport`]; its accounting comes back as a report delta
+    /// for [`Worker::load_stage`] to merge. `carry` holds samples left
+    /// over from the previous split (always empty in pipelined execution,
+    /// where every split flushes).
+    pub(crate) fn transform_stage(
+        spec: &SessionSpec,
+        cost: &ExtractCostModel,
+        split: &Split,
+        carry: Batch,
+        rows: Vec<Sample>,
+        plan: &IoPlan,
+    ) -> (Batch, WorkerReport) {
+        let mut delta = WorkerReport::default();
+        // ---- extract accounting ----
         let decoded_bytes: u64 = rows.iter().map(|s| s.payload_bytes() as u64).sum();
         // Over-read bytes are transferred (NIC + memcpy) but never
         // decrypted/decompressed; decode is charged on the true
@@ -274,26 +304,23 @@ impl Worker {
         let transferred = plan.read_bytes;
         let wanted = plan.wanted_bytes;
         let uncompressed = plan.uncompressed_bytes.max(decoded_bytes);
-        self.report.storage_rx_bytes += transferred;
-        self.report.storage_wanted_bytes += wanted;
-        self.report.uncompressed_bytes += uncompressed;
-        self.report.transform_rx_bytes += decoded_bytes;
-        self.report.extract_cycles += wanted as f64
-            * (self.cost.decrypt_cycles_per_byte + self.cost.decompress_cycles_per_byte)
-            + uncompressed as f64 * self.cost.decode_cycles_per_byte;
-        self.report.membw_bytes += transferred as f64 * self.cost.transfer_membw_per_byte
-            + wanted as f64
-                * (self.cost.decrypt_membw_per_byte + self.cost.decompress_membw_per_byte)
-            + uncompressed as f64 * self.cost.decode_membw_per_byte;
-        self.report.samples += rows.len() as u64;
-        self.report.peak_resident_bytes = self
-            .report
-            .peak_resident_bytes
-            .max(uncompressed + transferred);
+        delta.storage_rx_bytes = transferred;
+        delta.storage_wanted_bytes = wanted;
+        delta.copied_bytes = plan.copied_bytes;
+        delta.uncompressed_bytes = uncompressed;
+        delta.transform_rx_bytes = decoded_bytes;
+        delta.extract_cycles = wanted as f64
+            * (cost.decrypt_cycles_per_byte + cost.decompress_cycles_per_byte)
+            + uncompressed as f64 * cost.decode_cycles_per_byte;
+        delta.membw_bytes = transferred as f64 * cost.transfer_membw_per_byte
+            + wanted as f64 * (cost.decrypt_membw_per_byte + cost.decompress_membw_per_byte)
+            + uncompressed as f64 * cost.decode_membw_per_byte;
+        delta.samples = rows.len() as u64;
+        delta.peak_resident_bytes = uncompressed + transferred;
 
         // ---- inject back-filled beta features (dynamic join) ----
         let mut rows = rows;
-        for injection in &self.spec.injections {
+        for injection in &spec.injections {
             for row in &mut rows {
                 injection.apply(row);
             }
@@ -301,25 +328,36 @@ impl Worker {
 
         // ---- transform ----
         let base_row = split.index * 1_000_000; // distinct sampling domains per split
-        let mut batch = std::mem::take(&mut self.carry);
+        let mut batch = carry;
         batch.extend(rows);
-        let (transformed, cost) = if let Some(cfg) = &self.spec.dedup {
-            let (out, cost, stats) =
-                dedup::apply_batch_dedup(&self.spec.plan, batch, base_row, cfg);
-            self.report.dedup_sets += stats.sets;
-            self.report.dedup_rows += stats.rows;
-            self.report.dedup_reuse_hits += stats.reuse_hits;
-            (out, cost)
+        let (transformed, tcost) = if let Some(cfg) = &spec.dedup {
+            let (out, tcost, stats) = dedup::apply_batch_dedup(&spec.plan, batch, base_row, cfg);
+            delta.dedup_sets = stats.sets;
+            delta.dedup_rows = stats.rows;
+            delta.dedup_reuse_hits = stats.reuse_hits;
+            (out, tcost)
         } else {
-            self.spec.plan.apply_batch(batch, base_row)
+            spec.plan.apply_batch(batch, base_row)
         };
-        self.report.transform_cycles += cost.cycles;
-        self.report.feature_generation_cycles += cost.feature_generation_cycles;
-        self.report.sparse_normalization_cycles += cost.sparse_normalization_cycles;
-        self.report.dense_normalization_cycles += cost.dense_normalization_cycles;
-        self.report.membw_bytes += cost.membw_bytes;
+        delta.transform_cycles = tcost.cycles;
+        delta.feature_generation_cycles = tcost.feature_generation_cycles;
+        delta.sparse_normalization_cycles = tcost.sparse_normalization_cycles;
+        delta.dense_normalization_cycles = tcost.dense_normalization_cycles;
+        delta.membw_bytes += tcost.membw_bytes;
+        delta.splits = 1;
+        (transformed, delta)
+    }
 
-        // ---- load (batch into tensors) ----
+    /// The pipeline's final stage: merges the transform stage's report
+    /// delta and batches transformed samples into tensors. Owns the carry
+    /// and the cumulative report, so it always runs on the worker's own
+    /// thread.
+    pub(crate) fn load_stage(
+        &mut self,
+        transformed: Batch,
+        delta: WorkerReport,
+    ) -> Vec<MiniBatchTensor> {
+        self.report.merge(&delta);
         let mut tensors = Vec::new();
         let mut pending: Vec<Sample> = transformed.into_samples();
         let bs = self.spec.batch_size;
@@ -330,8 +368,23 @@ impl Worker {
             tensors.push(self.materialize(&full));
         }
         self.carry = Batch::from_samples(pending);
-        self.report.splits += 1;
-        Ok(tensors)
+        tensors
+    }
+
+    /// The session spec (shared).
+    pub(crate) fn spec_arc(&self) -> Arc<SessionSpec> {
+        Arc::clone(&self.spec)
+    }
+
+    /// The worker's extract cost model.
+    pub(crate) fn cost_model(&self) -> ExtractCostModel {
+        self.cost
+    }
+
+    /// A clone of the worker's table scan (for the pipeline's fetch
+    /// thread).
+    pub(crate) fn scan_clone(&self) -> TableScan {
+        self.scan.clone()
     }
 
     /// Materializes any carried partial batch (end of session).

@@ -95,21 +95,44 @@ fn flush_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
     }
 }
 
+/// If `block` is a stored (uncompressed) block, returns the byte range of
+/// its payload within `block`. Zero-copy readers slice this range out of
+/// the shared stripe buffer instead of decompressing into fresh scratch.
+pub fn stored_payload_range(block: &[u8]) -> Option<std::ops::Range<usize>> {
+    (block.first() == Some(&0)).then_some(1..block.len())
+}
+
 /// Decompresses a block produced by [`compress`].
 ///
 /// # Errors
 ///
 /// Returns [`DsiError::Corrupt`] on malformed input.
 pub fn decompress(block: &[u8]) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    decompress_into(block, &mut out)?;
+    Ok(out)
+}
+
+/// Decompresses a block produced by [`compress`] into `out` (cleared
+/// first), so pooled scratch buffers can absorb the output allocation.
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] on malformed input.
+pub fn decompress_into(block: &[u8], out: &mut Vec<u8>) -> Result<()> {
+    out.clear();
     let (&mode, rest) = block
         .split_first()
         .ok_or_else(|| DsiError::corrupt("empty compressed block"))?;
     match mode {
-        0 => Ok(rest.to_vec()),
+        0 => {
+            out.extend_from_slice(rest);
+            Ok(())
+        }
         1 => {
             let mut pos = 0;
             let expect = read_varint(rest, &mut pos)? as usize;
-            let mut out = Vec::with_capacity(expect);
+            out.reserve(expect);
             while pos < rest.len() {
                 let ctl = rest[pos];
                 pos += 1;
@@ -140,7 +163,7 @@ pub fn decompress(block: &[u8]) -> Result<Vec<u8>> {
                     out.len()
                 )));
             }
-            Ok(out)
+            Ok(())
         }
         _ => Err(DsiError::corrupt("unknown compression mode")),
     }
@@ -203,6 +226,25 @@ mod tests {
         let enc = compress(&data);
         assert!(enc.len() < data.len());
         round_trip(&data);
+    }
+
+    #[test]
+    fn stored_payload_range_identifies_stored_blocks() {
+        let stored = compress(&[7u8; 4]); // too short to match: stored
+        let range = stored_payload_range(&stored).expect("stored block");
+        assert_eq!(&stored[range], &[7u8; 4]);
+        let lz = compress(&b"featurefeaturefeature".repeat(50));
+        assert!(stored_payload_range(&lz).is_none());
+        assert!(stored_payload_range(&[]).is_none());
+    }
+
+    #[test]
+    fn decompress_into_reuses_and_clears_scratch() {
+        let data = b"ab".repeat(300);
+        let enc = compress(&data);
+        let mut scratch = vec![0xee; 17];
+        decompress_into(&enc, &mut scratch).unwrap();
+        assert_eq!(scratch, data);
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub struct IoPlan {
     /// executed (0 for an unexecuted plan). Map-format files decompress
     /// whole rows here even when the projection keeps only a few features.
     pub uncompressed_bytes: u64,
+    /// Bytes physically memcpy'd while executing the plan (0 for an
+    /// unexecuted plan). The zero-copy fast path slices storage buffers
+    /// instead of copying, so this stays near 0; the copying baseline
+    /// counts source assembly plus per-stream materialization.
+    pub copied_bytes: u64,
 }
 
 impl IoPlan {
@@ -111,6 +116,7 @@ impl IoPlan {
             wanted_bytes,
             read_bytes,
             uncompressed_bytes: 0,
+            copied_bytes: 0,
         }
     }
 
@@ -143,6 +149,7 @@ impl IoPlan {
         self.wanted_bytes += other.wanted_bytes;
         self.read_bytes += other.read_bytes;
         self.uncompressed_bytes += other.uncompressed_bytes;
+        self.copied_bytes += other.copied_bytes;
     }
 }
 

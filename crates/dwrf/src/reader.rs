@@ -17,18 +17,35 @@ use crate::stream::{
 use crate::writer::{decode_footer, FileFooter, MAGIC};
 use bytes::Bytes;
 use dsi_types::{DsiError, FeatureId, Projection, Result, Sample};
+use fastpath::{global_pool, ByteView, SourceChunk};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A source of raw file bytes addressed by `(offset, len)`.
 ///
 /// Implementations may charge simulated IO (see the `tectonic` crate).
 pub trait ChunkSource {
-    /// Reads `len` bytes at `offset`.
+    /// Reads `len` bytes at `offset` as a shared view, reporting how many
+    /// bytes the source had to memcpy to produce it (0 for a zero-copy
+    /// slice of resident bytes).
     ///
     /// # Errors
     ///
     /// Implementations return [`DsiError`] on out-of-range or failed reads.
-    fn read(&mut self, offset: u64, len: u64) -> Result<Vec<u8>>;
+    fn read(&mut self, offset: u64, len: u64) -> Result<SourceChunk>;
+}
+
+/// How the reader materializes stream payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DecodeMode {
+    /// Zero-copy: stripe buffers are sliced into stream payloads, decrypt
+    /// writes into pooled scratch, stored compression blocks pass through.
+    #[default]
+    Fastpath,
+    /// The legacy path, kept as an honest ablation baseline: every source
+    /// read and every stream window is materialized into a fresh `Vec`
+    /// (and counted in `IoPlan::copied_bytes`).
+    Copying,
 }
 
 /// A [`ChunkSource`] over an in-memory buffer.
@@ -45,7 +62,7 @@ impl SliceSource {
 }
 
 impl ChunkSource for SliceSource {
-    fn read(&mut self, offset: u64, len: u64) -> Result<Vec<u8>> {
+    fn read(&mut self, offset: u64, len: u64) -> Result<SourceChunk> {
         let start = offset as usize;
         let end = start
             .checked_add(len as usize)
@@ -56,7 +73,9 @@ impl ChunkSource for SliceSource {
                 self.bytes.len()
             )));
         }
-        Ok(self.bytes[start..end].to_vec())
+        Ok(SourceChunk::zero_copy(ByteView::from(
+            self.bytes.slice(start..end),
+        )))
     }
 }
 
@@ -64,8 +83,9 @@ impl ChunkSource for SliceSource {
 #[derive(Debug, Clone)]
 pub struct FileReader {
     bytes: Option<Bytes>,
-    footer: FileFooter,
+    footer: Arc<FileFooter>,
     registry: Option<dsi_obs::Registry>,
+    mode: DecodeMode,
 }
 
 impl FileReader {
@@ -76,22 +96,33 @@ impl FileReader {
     ///
     /// Returns [`DsiError::Corrupt`] if the magic or footer is malformed.
     pub fn open(bytes: Bytes) -> Result<Self> {
-        let footer = parse_footer(&bytes)?;
+        let footer = Arc::new(parse_footer(&bytes)?);
         Ok(Self {
             bytes: Some(bytes),
             footer,
             registry: None,
+            mode: DecodeMode::default(),
         })
     }
 
     /// Creates a reader from a previously-parsed footer; all data must then
-    /// be fetched through an external [`ChunkSource`].
-    pub fn from_footer(footer: FileFooter) -> Self {
+    /// be fetched through an external [`ChunkSource`]. Accepts the footer
+    /// by value or as a shared `Arc` — table scans open one reader per
+    /// split, so sharing the parsed footer avoids a per-split deep clone.
+    pub fn from_footer(footer: impl Into<Arc<FileFooter>>) -> Self {
         Self {
             bytes: None,
-            footer,
+            footer: footer.into(),
             registry: None,
+            mode: DecodeMode::default(),
         }
+    }
+
+    /// Selects how stream payloads are materialized (default
+    /// [`DecodeMode::Fastpath`]).
+    pub fn with_decode_mode(mut self, mode: DecodeMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Attaches a metrics registry: stripe reads then emit
@@ -104,7 +135,7 @@ impl FileReader {
 
     /// The parsed footer.
     pub fn footer(&self) -> &FileFooter {
-        &self.footer
+        self.footer.as_ref()
     }
 
     /// Number of stripes.
@@ -177,18 +208,30 @@ impl FileReader {
         source: &mut dyn ChunkSource,
     ) -> Result<(Vec<Sample>, IoPlan)> {
         let mut plan = self.plan_stripe(idx, selection, policy)?;
-        // Fetch each planned read once.
+        let copied = std::cell::Cell::new(0u64);
+        // Fetch each planned read once. The fast path keeps whatever view
+        // the source produced (usually a zero-copy slice of resident
+        // bytes); the copying baseline replays the legacy reader, which
+        // always materialized every source read into a fresh `Vec`.
         let fetch_started = std::time::Instant::now();
-        let mut buffers: Vec<(u64, Vec<u8>)> = Vec::with_capacity(plan.reads.len());
+        let mut buffers: Vec<(u64, ByteView)> = Vec::with_capacity(plan.reads.len());
         for r in &plan.reads {
-            buffers.push((r.offset, source.read(r.offset, r.len)?));
+            let chunk = source.read(r.offset, r.len)?;
+            copied.set(copied.get() + chunk.copied_bytes);
+            let view = if self.mode == DecodeMode::Copying && chunk.copied_bytes == 0 {
+                copied.set(copied.get() + chunk.view.len() as u64);
+                ByteView::copy_of(&chunk.view)
+            } else {
+                chunk.view
+            };
+            buffers.push((r.offset, view));
         }
         let fetch_secs = fetch_started.elapsed().as_secs_f64();
-        let fetch = |info: &StreamInfo| -> Result<Vec<u8>> {
+        let fetch = |info: &StreamInfo| -> Result<ByteView> {
             for (off, buf) in &buffers {
                 if info.offset >= *off && info.offset + info.len <= off + buf.len() as u64 {
                     let start = (info.offset - off) as usize;
-                    return Ok(buf[start..start + info.len as usize].to_vec());
+                    return Ok(buf.slice(start..start + info.len as usize));
                 }
             }
             Err(DsiError::corrupt("stream not covered by IO plan"))
@@ -196,8 +239,16 @@ impl FileReader {
         let uncompressed = std::cell::Cell::new(0u64);
         let decompress_secs = std::cell::Cell::new(0f64);
         let decode_started = std::time::Instant::now();
-        let rows = self.decode_stripe(idx, selection, fetch, &uncompressed, &decompress_secs)?;
+        let rows = self.decode_stripe(
+            idx,
+            selection,
+            fetch,
+            &uncompressed,
+            &decompress_secs,
+            &copied,
+        )?;
         plan.uncompressed_bytes = uncompressed.get();
+        plan.copied_bytes = copied.get();
         if let Some(reg) = &self.registry {
             use dsi_obs::{names, observe_stage_seconds, stage};
             reg.counter(names::DWRF_STRIPES_DECODED_TOTAL, &[]).inc();
@@ -205,6 +256,9 @@ impl FileReader {
                 .add(plan.read_bytes);
             reg.counter(names::DWRF_WANTED_BYTES_TOTAL, &[])
                 .add(plan.wanted_bytes);
+            reg.counter(names::FASTPATH_BYTES_COPIED_TOTAL, &[])
+                .add(plan.copied_bytes);
+            global_pool().publish_metrics(reg);
             observe_stage_seconds(reg, stage::EXTRACT, fetch_secs);
             observe_stage_seconds(reg, stage::DECOMPRESS, decompress_secs.get());
             // Deserialize excludes decompression: it is the column/map
@@ -224,38 +278,76 @@ impl FileReader {
         &self,
         idx: usize,
         selection: Option<&Projection>,
-        mut fetch: impl FnMut(&StreamInfo) -> Result<Vec<u8>>,
+        mut fetch: impl FnMut(&StreamInfo) -> Result<ByteView>,
         uncompressed: &std::cell::Cell<u64>,
         decompress_secs: &std::cell::Cell<f64>,
+        copied: &std::cell::Cell<u64>,
     ) -> Result<Vec<Sample>> {
         let stripe = &self.footer.stripes[idx];
         let row_count = stripe.row_count as usize;
         let cipher = StreamCipher::new(self.footer.file_key);
-        let mut decode_payload = |info: &StreamInfo| -> Result<Vec<u8>> {
-            let mut payload = fetch(info)?;
-            if self.footer.encrypted {
-                cipher.apply_in_place(info.nonce, &mut payload);
+        let pool = global_pool();
+        let mut decode_payload = |info: &StreamInfo| -> Result<ByteView> {
+            let raw = fetch(info)?;
+            match self.mode {
+                DecodeMode::Copying => {
+                    // Legacy behavior: materialize the stream window out of
+                    // the stripe buffer, decrypt in place, decompress into
+                    // a fresh allocation.
+                    copied.set(copied.get() + raw.len() as u64);
+                    let mut payload = raw.to_vec();
+                    if self.footer.encrypted {
+                        cipher.apply_in_place(info.nonce, &mut payload);
+                    }
+                    if self.footer.compressed {
+                        let started = std::time::Instant::now();
+                        payload = compress::decompress(&payload)?;
+                        decompress_secs
+                            .set(decompress_secs.get() + started.elapsed().as_secs_f64());
+                    }
+                    uncompressed.set(uncompressed.get() + payload.len() as u64);
+                    Ok(ByteView::from(payload))
+                }
+                DecodeMode::Fastpath => {
+                    // Decrypt and decompress are decode *work*, not copies:
+                    // their outputs land in pooled scratch, and stored
+                    // (incompressible) blocks pass through as sub-views.
+                    let mut payload = raw;
+                    if self.footer.encrypted {
+                        let mut scratch = pool.take(payload.len());
+                        cipher.apply_to(info.nonce, &payload, &mut scratch);
+                        payload = scratch.freeze();
+                    }
+                    if self.footer.compressed {
+                        let started = std::time::Instant::now();
+                        payload = match compress::stored_payload_range(&payload) {
+                            Some(range) => payload.slice(range),
+                            None => {
+                                let mut scratch = pool.take(payload.len().saturating_mul(2));
+                                compress::decompress_into(&payload, &mut scratch)?;
+                                scratch.freeze()
+                            }
+                        };
+                        decompress_secs
+                            .set(decompress_secs.get() + started.elapsed().as_secs_f64());
+                    }
+                    uncompressed.set(uncompressed.get() + payload.len() as u64);
+                    Ok(payload)
+                }
             }
-            if self.footer.compressed {
-                let started = std::time::Instant::now();
-                payload = compress::decompress(&payload)?;
-                decompress_secs.set(decompress_secs.get() + started.elapsed().as_secs_f64());
-            }
-            uncompressed.set(uncompressed.get() + payload.len() as u64);
-            Ok(payload)
         };
 
         let wanted = self.wanted_streams(idx, selection);
         let mut labels: Option<Vec<f32>> = None;
         let mut samples: Vec<Sample> = vec![Sample::new(0.0); row_count];
-        let mut dedup_refs: Option<Vec<u8>> = None;
-        let mut dedup_data: Option<Vec<u8>> = None;
+        let mut dedup_refs: Option<ByteView> = None;
+        let mut dedup_data: Option<ByteView> = None;
 
         if self.footer.flattened {
             // Walk feature streams in directory order; each Present stream
             // begins a new column group for its feature.
-            let mut group: Vec<(StreamInfo, Vec<u8>)> = Vec::new();
-            let flush_group = |group: &mut Vec<(StreamInfo, Vec<u8>)>,
+            let mut group: Vec<(StreamInfo, ByteView)> = Vec::new();
+            let flush_group = |group: &mut Vec<(StreamInfo, ByteView)>,
                                samples: &mut [Sample]|
              -> Result<()> {
                 if group.is_empty() {
@@ -573,22 +665,53 @@ mod tests {
     #[test]
     fn corrupt_magic_rejected() {
         let file = build_file(WriterOptions::default(), 4);
-        let mut bytes = file.bytes().to_vec();
-        let n = bytes.len();
-        bytes[n - 1] ^= 0xff;
-        assert!(FileReader::open(Bytes::from(bytes)).is_err());
+        // Magic validation only looks at the 16-byte tail: corrupt a small
+        // sub-slice copy instead of duplicating the whole file.
+        let n = file.bytes().len();
+        let mut tail = file.bytes().slice(n - 16..).to_vec();
+        let t = tail.len();
+        tail[t - 1] ^= 0xff;
+        assert!(FileReader::open(Bytes::from(tail)).is_err());
+        // A shifted zero-copy view misaligns the magic the same way.
+        assert!(parse_footer(&file.bytes().slice(..n - 1)).is_err());
+    }
+
+    /// A [`ChunkSource`] that XORs the bytes of one window, slicing the
+    /// underlying file zero-copy everywhere else.
+    struct CorruptingSource {
+        inner: SliceSource,
+        window: std::ops::Range<u64>,
+    }
+
+    impl ChunkSource for CorruptingSource {
+        fn read(&mut self, offset: u64, len: u64) -> Result<SourceChunk> {
+            let chunk = self.inner.read(offset, len)?;
+            if offset < self.window.end && offset + len > self.window.start {
+                let mut corrupted = chunk.view.to_vec();
+                for (i, b) in corrupted.iter_mut().enumerate() {
+                    if self.window.contains(&(offset + i as u64)) {
+                        *b ^= 0xa5;
+                    }
+                }
+                return Ok(SourceChunk::copied(ByteView::from(corrupted)));
+            }
+            Ok(chunk)
+        }
     }
 
     #[test]
     fn corrupt_stream_detected() {
         let file = build_file(WriterOptions::default(), 50);
-        let mut bytes = file.bytes().to_vec();
-        // Flip bytes early in the stream area.
-        for b in bytes.iter_mut().take(64) {
-            *b ^= 0xa5;
-        }
-        let reader = FileReader::open(Bytes::from(bytes)).unwrap();
-        assert!(reader.read_all_unprojected().is_err());
+        // Flip bytes early in the stream area, overlaying the corruption
+        // on zero-copy views of the original file.
+        let reader = FileReader::from_footer(file.footer().clone());
+        let mut src = CorruptingSource {
+            inner: SliceSource::new(file.bytes().clone()),
+            window: 0..64,
+        };
+        assert!(reader
+            .read_stripe_from(0, None, CoalescePolicy::None, &mut src)
+            .is_err());
     }
 
     #[test]
@@ -634,6 +757,12 @@ mod tests {
         );
         // Coalescing never reads less than wanted.
         assert!(plan.read_bytes >= plan.wanted_bytes);
+        // The zero-copy path over an in-memory source never memcpys.
+        assert_eq!(plan.copied_bytes, 0);
+        assert_eq!(
+            reg.counter_value(names::FASTPATH_BYTES_COPIED_TOTAL, &[]),
+            0
+        );
         // Stage timings landed (extract + decompress + deserialize).
         for st in ["extract", "decompress", "deserialize"] {
             match reg.value(dsi_obs::STAGE_SECONDS, &[("stage", st)]) {
@@ -642,6 +771,42 @@ mod tests {
                 }
                 other => panic!("stage {st}: unexpected {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn copying_mode_matches_fastpath_and_counts_legacy_copies() {
+        for opts in [
+            WriterOptions::default(),
+            WriterOptions {
+                compressed: false,
+                encrypted: false,
+                ..Default::default()
+            },
+            WriterOptions::unflattened_baseline(),
+            WriterOptions::deduped(),
+        ] {
+            let file = build_file(opts, 120);
+            let fast = FileReader::open(file.bytes().clone()).unwrap();
+            let slow = FileReader::open(file.bytes().clone())
+                .unwrap()
+                .with_decode_mode(DecodeMode::Copying);
+            let mut fast_src = SliceSource::new(file.bytes().clone());
+            let mut slow_src = SliceSource::new(file.bytes().clone());
+            let (fast_rows, fast_plan) = fast
+                .read_stripe_from(0, None, CoalescePolicy::default_window(), &mut fast_src)
+                .unwrap();
+            let (slow_rows, slow_plan) = slow
+                .read_stripe_from(0, None, CoalescePolicy::default_window(), &mut slow_src)
+                .unwrap();
+            assert_eq!(fast_rows, slow_rows, "modes must decode identically");
+            assert_eq!(fast_plan.copied_bytes, 0, "fastpath slices, never copies");
+            // The legacy path copied every source read plus every stream
+            // window it materialized.
+            assert_eq!(
+                slow_plan.copied_bytes,
+                slow_plan.read_bytes + slow_plan.wanted_bytes
+            );
         }
     }
 

@@ -91,6 +91,24 @@ pub const DEDUP_TRANSFORM_REUSE_HITS_TOTAL: &str = "dsi_dedup_transform_reuse_hi
 /// Gauge: observed logical rows per canonical payload (1.0 = no duplication).
 pub const DEDUP_RATIO: &str = "dsi_dedup_ratio";
 
+// ---- fastpath: zero-copy decode + pipelined prefetch -----------------------
+
+/// Gauge in `[0,1]`: decode scratch-pool takes served from a free list.
+pub const FASTPATH_POOL_HIT_RATIO: &str = "dsi_fastpath_pool_hit_ratio";
+/// Counter: scratch-pool takes served from a thread-local free list.
+pub const FASTPATH_POOL_HITS_TOTAL: &str = "dsi_fastpath_pool_hits_total";
+/// Counter: scratch-pool takes that had to allocate.
+pub const FASTPATH_POOL_MISSES_TOTAL: &str = "dsi_fastpath_pool_misses_total";
+/// Counter: bytes physically memcpy'd on the storage→decode path
+/// (zero-copy slicing and in-place decode work are not counted).
+pub const FASTPATH_BYTES_COPIED_TOTAL: &str = "dsi_fastpath_bytes_copied_total";
+/// Gauge: splits currently prefetched ahead of the transform stage.
+pub const FASTPATH_PREFETCH_DEPTH: &str = "dsi_fastpath_prefetch_depth";
+/// Histogram (seconds): how long each prefetched split sat decoded and
+/// ready before the transform stage picked it up (decode/transform
+/// overlap won by the worker pipeline).
+pub const FASTPATH_STAGE_OVERLAP_SECONDS: &str = "dsi_fastpath_stage_overlap_seconds";
+
 // ---- trainer ---------------------------------------------------------------
 
 /// Gauge in `[0,1]`: fraction of trainer wall time spent data-stalled.

@@ -10,7 +10,7 @@
 use crate::block::hash_path;
 use crate::cluster::TectonicCluster;
 use dsi_types::{ByteSize, Result};
-use dwrf::ChunkSource;
+use dwrf::{ChunkSource, SourceChunk};
 use hwsim::{DeviceStats, DiskModel, IoRequest};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -223,7 +223,7 @@ impl CachedSource {
 }
 
 impl ChunkSource for CachedSource {
-    fn read(&mut self, offset: u64, len: u64) -> Result<Vec<u8>> {
+    fn read(&mut self, offset: u64, len: u64) -> Result<SourceChunk> {
         // Data bytes always come from the cluster's name-space (contents
         // are authoritative there); the cache decides which *device* is
         // charged for each page.
@@ -242,10 +242,10 @@ impl ChunkSource for CachedSource {
         }
         if missed_any {
             // Misses pay the HDD path.
-            self.cluster.read(&self.path, offset, len)
+            self.cluster.read_view(&self.path, offset, len)
         } else {
             // All pages hot: serve without touching HDDs.
-            self.cluster.read_uncharged(&self.path, offset, len)
+            self.cluster.read_view_uncharged(&self.path, offset, len)
         }
     }
 }
@@ -267,9 +267,9 @@ mod tests {
     fn repeat_reads_hit_the_cache_and_spare_hdds() {
         let (cluster, cache) = setup(ByteSize::mib(8));
         let mut src = CachedSource::new(cluster.clone(), cache.clone(), "hot/file");
-        let a = src.read(100_000, 5_000).unwrap();
+        let a = src.read(100_000, 5_000).unwrap().view;
         cluster.reset_stats();
-        let b = src.read(100_000, 5_000).unwrap();
+        let b = src.read(100_000, 5_000).unwrap().view;
         assert_eq!(a, b);
         // The repeat read touched no HDD.
         assert_eq!(cluster.total_stats().ios, 0);
@@ -284,10 +284,10 @@ mod tests {
         let mut cached = CachedSource::new(cluster.clone(), cache, "hot/file");
         for (off, len) in [(0u64, 100u64), (64 * 1024 - 10, 50), (1_500_000, 4_000)] {
             let direct = cluster.read("hot/file", off, len).unwrap();
-            let through = cached.read(off, len).unwrap();
-            assert_eq!(direct, through, "range ({off}, {len})");
+            let through = cached.read(off, len).unwrap().view;
+            assert_eq!(direct, through.as_slice(), "range ({off}, {len})");
             // Read again from cache.
-            assert_eq!(cached.read(off, len).unwrap(), direct);
+            assert_eq!(cached.read(off, len).unwrap().view.as_slice(), direct);
         }
     }
 

@@ -10,6 +10,7 @@ use crate::block::{place_replicas, BlockId, DEFAULT_BLOCK_SIZE, REPLICATION_FACT
 use crate::node::{NodeStats, StorageNode};
 use bytes::Bytes;
 use dsi_types::{DsiError, NodeId, Result};
+use fastpath::{ByteView, SourceChunk};
 use hwsim::{DeviceStats, DiskModel, SimClock};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
@@ -241,22 +242,7 @@ impl TectonicCluster {
             let block_index = pos / bs;
             let within = pos % bs;
             let take = (bs - within).min(end - pos);
-            let all_replicas = &meta.blocks[block_index as usize];
-            let failed = self.inner.failed.read();
-            let replicas: Vec<NodeId> = all_replicas
-                .iter()
-                .filter(|n| !failed.contains(n))
-                .copied()
-                .collect();
-            drop(failed);
-            if replicas.is_empty() {
-                return Err(DsiError::Unavailable(format!(
-                    "every replica of {path} block {block_index} is on a failed node"
-                )));
-            }
-            let pick =
-                self.inner.replica_cursor.fetch_add(1, Ordering::Relaxed) as usize % replicas.len();
-            let node = replicas[pick];
+            let node = self.pick_live_replica(&meta, path, block_index)?;
             let id = BlockId::new(path, block_index);
             let (bytes, ns) = self.inner.nodes[node.0 as usize]
                 .lock()
@@ -267,6 +253,65 @@ impl TectonicCluster {
         }
         self.inner.clock.advance_ns(total_ns);
         Ok(out)
+    }
+
+    /// Like [`TectonicCluster::read`], but returns a shared view with an
+    /// honest copy ledger: a range resident in a single block is served as
+    /// a zero-copy slice of the replica's stored bytes (`copied_bytes` 0);
+    /// a range spanning blocks must be assembled and reports the copy.
+    /// Disk time is charged identically to [`TectonicCluster::read`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TectonicCluster::read`].
+    pub fn read_view(&self, path: &str, offset: u64, len: u64) -> Result<SourceChunk> {
+        let meta = self
+            .stat(path)
+            .ok_or_else(|| DsiError::not_found(format!("file {path}")))?;
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| DsiError::corrupt("read range overflow"))?;
+        if end > meta.len {
+            return Err(DsiError::corrupt(format!(
+                "read [{offset}, {end}) beyond file of {} bytes",
+                meta.len
+            )));
+        }
+        let bs = self.inner.config.block_size;
+        if len > 0 && offset / bs == (end - 1) / bs {
+            let block_index = offset / bs;
+            let node = self.pick_live_replica(&meta, path, block_index)?;
+            let id = BlockId::new(path, block_index);
+            let (bytes, ns) =
+                self.inner.nodes[node.0 as usize]
+                    .lock()
+                    .read(id, offset % bs, len)?;
+            self.inner.clock.advance_ns(ns);
+            return Ok(SourceChunk::zero_copy(ByteView::from(bytes)));
+        }
+        Ok(SourceChunk::copied(ByteView::from(
+            self.read(path, offset, len)?,
+        )))
+    }
+
+    /// Picks a live replica of `path`'s block `block_index` round-robin.
+    fn pick_live_replica(&self, meta: &FileMeta, path: &str, block_index: u64) -> Result<NodeId> {
+        let all_replicas = &meta.blocks[block_index as usize];
+        let failed = self.inner.failed.read();
+        let replicas: Vec<NodeId> = all_replicas
+            .iter()
+            .filter(|n| !failed.contains(n))
+            .copied()
+            .collect();
+        drop(failed);
+        if replicas.is_empty() {
+            return Err(DsiError::Unavailable(format!(
+                "every replica of {path} block {block_index} is on a failed node"
+            )));
+        }
+        let pick =
+            self.inner.replica_cursor.fetch_add(1, Ordering::Relaxed) as usize % replicas.len();
+        Ok(replicas[pick])
     }
 
     /// Deletes a file: removes its name-node entry and every block replica
@@ -415,6 +460,41 @@ impl TectonicCluster {
         Ok(out)
     }
 
+    /// Uncharged counterpart of [`TectonicCluster::read_view`]: single-block
+    /// ranges are served zero-copy from the primary replica via `peek`,
+    /// multi-block ranges are assembled and reported as copied.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TectonicCluster::read`].
+    pub fn read_view_uncharged(&self, path: &str, offset: u64, len: u64) -> Result<SourceChunk> {
+        let meta = self
+            .stat(path)
+            .ok_or_else(|| DsiError::not_found(format!("file {path}")))?;
+        let end = offset
+            .checked_add(len)
+            .ok_or_else(|| DsiError::corrupt("read range overflow"))?;
+        if end > meta.len {
+            return Err(DsiError::corrupt(format!(
+                "read [{offset}, {end}) beyond file of {} bytes",
+                meta.len
+            )));
+        }
+        let bs = self.inner.config.block_size;
+        if len > 0 && offset / bs == (end - 1) / bs {
+            let block_index = offset / bs;
+            let node = meta.blocks[block_index as usize][0];
+            let id = BlockId::new(path, block_index);
+            let bytes = self.inner.nodes[node.0 as usize]
+                .lock()
+                .peek(id, offset % bs, len)?;
+            return Ok(SourceChunk::zero_copy(ByteView::from(bytes)));
+        }
+        Ok(SourceChunk::copied(ByteView::from(
+            self.read_uncharged(path, offset, len)?,
+        )))
+    }
+
     /// Aggregated device stats across all nodes.
     pub fn total_stats(&self) -> DeviceStats {
         let mut total = DeviceStats::default();
@@ -536,6 +616,36 @@ mod tests {
         assert_eq!(&got[..30], &[1u8; 30]);
         assert_eq!(&got[30..60], &[2u8; 30]);
         assert_eq!(&got[60..], &[3u8; 60]);
+    }
+
+    #[test]
+    fn read_view_is_zero_copy_within_a_block_and_honest_across() {
+        let c = TectonicCluster::new(ClusterConfig {
+            nodes: 5,
+            block_size: 1000,
+            replication: 3,
+            hdd: true,
+        });
+        let data: Vec<u8> = (0..3500u32).map(|i| (i % 251) as u8).collect();
+        c.append("f", Bytes::from(data.clone())).unwrap();
+
+        // Single-block range: served as a slice of the replica's bytes.
+        let chunk = c.read_view("f", 1200, 600).unwrap();
+        assert_eq!(chunk.copied_bytes, 0);
+        assert_eq!(chunk.view.as_slice(), &data[1200..1800]);
+        assert!(c.clock().now_ns() > 0, "view reads still charge disk time");
+
+        // Block-spanning range: must assemble, and says so.
+        let chunk = c.read_view("f", 900, 2200).unwrap();
+        assert_eq!(chunk.copied_bytes, 2200);
+        assert_eq!(chunk.view.as_slice(), &data[900..3100]);
+
+        // Uncharged variant: same bytes, no extra disk time.
+        let before = c.total_stats().ios;
+        let chunk = c.read_view_uncharged("f", 1200, 600).unwrap();
+        assert_eq!(chunk.copied_bytes, 0);
+        assert_eq!(chunk.view.as_slice(), &data[1200..1800]);
+        assert_eq!(c.total_stats().ios, before);
     }
 
     #[test]

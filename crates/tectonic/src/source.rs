@@ -2,7 +2,7 @@
 
 use crate::cluster::TectonicCluster;
 use dsi_types::Result;
-use dwrf::ChunkSource;
+use dwrf::{ChunkSource, SourceChunk};
 
 /// A [`ChunkSource`] that reads one Tectonic file, charging simulated IO on
 /// the storage nodes that serve it.
@@ -28,8 +28,8 @@ impl TectonicSource {
 }
 
 impl ChunkSource for TectonicSource {
-    fn read(&mut self, offset: u64, len: u64) -> Result<Vec<u8>> {
-        self.cluster.read(&self.path, offset, len)
+    fn read(&mut self, offset: u64, len: u64) -> Result<SourceChunk> {
+        self.cluster.read_view(&self.path, offset, len)
     }
 }
 

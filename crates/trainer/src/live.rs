@@ -82,6 +82,61 @@ impl LiveTrainer {
         }
         (report, samples)
     }
+
+    /// Like [`LiveTrainer::train`], but fetches batches on a dedicated
+    /// thread through a `depth`-deep bounded buffer, so the next tensor's
+    /// network/deserialize latency overlaps the current batch's GPU time
+    /// instead of extending the stall. This is the trainer-side leg of the
+    /// end-to-end fastpath pipeline.
+    pub fn train_prefetched(&mut self, max_batches: u64, depth: usize) -> (StallReport, u64) {
+        let demand = self.demand;
+        let time_scale = self.time_scale;
+        let (tx, rx) = crossbeam::channel::bounded(depth.max(1));
+        let client = &mut self.client;
+        let (report, samples) = std::thread::scope(|scope| {
+            scope.spawn(move || {
+                while let Some(tensor) = client.next_batch() {
+                    if tx.send(tensor).is_err() {
+                        break; // consumer reached max_batches
+                    }
+                }
+            });
+            let start = Instant::now();
+            let mut stalled = Duration::ZERO;
+            let mut batches = 0u64;
+            let mut samples = 0u64;
+            while batches < max_batches {
+                let wait_start = Instant::now();
+                let Ok(tensor) = rx.recv() else {
+                    break; // session exhausted
+                };
+                stalled += wait_start.elapsed();
+                batches += 1;
+                samples += tensor.batch_size() as u64;
+                let service = demand.batch_service_secs(tensor.batch_size()) * time_scale;
+                spin_sleep(Duration::from_secs_f64(service));
+            }
+            drop(rx); // unblock the fetcher if it is mid-send
+            let elapsed = start.elapsed();
+            let report = StallReport {
+                batches,
+                elapsed_secs: elapsed.as_secs_f64(),
+                stalled_secs: stalled.as_secs_f64(),
+                stall_fraction: if elapsed.is_zero() {
+                    0.0
+                } else {
+                    stalled.as_secs_f64() / elapsed.as_secs_f64()
+                },
+            };
+            (report, samples)
+        });
+        if let Some(reg) = &self.registry {
+            report.publish_metrics(reg);
+            reg.counter(dsi_obs::names::TRAINER_SAMPLES_TOTAL, &[])
+                .add(samples);
+        }
+        (report, samples)
+    }
 }
 
 /// Sleeps short durations accurately enough for the tests.
@@ -182,6 +237,31 @@ mod tests {
             (reg.gauge_value(names::TRAINER_STALL_FRACTION, &[]) - report.stall_fraction).abs()
                 < 1e-12
         );
+    }
+
+    #[test]
+    fn prefetched_training_matches_sequential_consumption() {
+        let table = build_table(256);
+        let mut s = spec();
+        s.read_ahead = 2; // worker-side pipeline on too
+        let session = DppSession::launch(table, s, 2).unwrap();
+        let demand = GpuDemand::new(3.2e6, 100.0);
+        let mut trainer = LiveTrainer::new(session.client(), demand).with_time_scale(0.1);
+        let (report, samples) = trainer.train_prefetched(u64::MAX, 4);
+        assert_eq!(samples, 256);
+        assert_eq!(report.batches, 8);
+        session.shutdown();
+    }
+
+    #[test]
+    fn prefetched_max_batches_caps_consumption() {
+        let table = build_table(256);
+        let session = DppSession::launch(table, spec(), 2).unwrap();
+        let demand = GpuDemand::new(3.2e6, 100.0);
+        let mut trainer = LiveTrainer::new(session.client(), demand).with_time_scale(0.1);
+        let (report, _) = trainer.train_prefetched(3, 2);
+        assert_eq!(report.batches, 3);
+        session.shutdown();
     }
 
     #[test]

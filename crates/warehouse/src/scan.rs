@@ -10,7 +10,7 @@
 use crate::table::Table;
 use dsi_types::{PartitionId, Projection, Result, Sample};
 use dwrf::writer::FileFooter;
-use dwrf::{CoalescePolicy, FileReader, IoPlan};
+use dwrf::{CoalescePolicy, DecodeMode, FileReader, IoPlan};
 use serde::{Deserialize, Serialize};
 use std::ops::Range;
 use std::sync::Arc;
@@ -46,6 +46,9 @@ pub struct ScanStats {
     pub read_bytes: u64,
     /// IO operations issued.
     pub ios: u64,
+    /// Bytes memcpy'd on the decode path (≈ 0 under the zero-copy fast
+    /// path; the full legacy volume in copying mode).
+    pub copied_bytes: u64,
 }
 
 impl ScanStats {
@@ -65,6 +68,7 @@ impl ScanStats {
         self.wanted_bytes += plan.wanted_bytes;
         self.read_bytes += plan.read_bytes;
         self.ios += plan.io_count() as u64;
+        self.copied_bytes += plan.copied_bytes;
     }
 }
 
@@ -75,6 +79,7 @@ pub struct TableScan {
     partitions: Range<PartitionId>,
     projection: Projection,
     policy: CoalescePolicy,
+    decode: DecodeMode,
 }
 
 impl TableScan {
@@ -88,12 +93,21 @@ impl TableScan {
             partitions,
             projection,
             policy: CoalescePolicy::default_window(),
+            decode: DecodeMode::default(),
         }
     }
 
     /// Overrides the coalescing policy (builder-style).
     pub fn with_policy(mut self, policy: CoalescePolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Overrides the DWRF decode mode (builder-style). The default is the
+    /// zero-copy fast path; [`DecodeMode::Copying`] replays the legacy
+    /// materializing decode for ablations.
+    pub fn with_decode(mut self, decode: DecodeMode) -> Self {
+        self.decode = decode;
         self
     }
 
@@ -145,7 +159,10 @@ impl TableScan {
     ///
     /// Propagates storage and decode failures.
     pub fn read_split(&self, split: &Split) -> Result<(Vec<Sample>, IoPlan)> {
-        let mut reader = FileReader::from_footer((*split.footer).clone());
+        // The footer is shared by reference: splits of the same file decode
+        // against one parsed footer instead of cloning it per split.
+        let mut reader =
+            FileReader::from_footer(Arc::clone(&split.footer)).with_decode_mode(self.decode);
         if let Some(reg) = self.table.registry() {
             reader = reader.with_registry(&reg);
         }
@@ -373,6 +390,26 @@ mod tests {
             .histogram(dsi_obs::span::STAGE_SECONDS, &[("stage", "extract")])
             .snapshot();
         assert_eq!(extract.count, stats.splits);
+    }
+
+    #[test]
+    fn decode_modes_agree_on_rows_but_not_copies() {
+        let table = build_table(25);
+        let proj = Projection::new(vec![FeatureId(1), FeatureId(2)]);
+        let fast = table.scan(PartitionId::new(0)..PartitionId::new(4), proj.clone());
+        let slow = table
+            .scan(PartitionId::new(0)..PartitionId::new(4), proj)
+            .with_decode(DecodeMode::Copying);
+        let (fast_rows, fast_stats) = fast.read_all_with_stats().unwrap();
+        let (slow_rows, slow_stats) = slow.read_all_with_stats().unwrap();
+        assert_eq!(fast_rows, slow_rows, "decode modes must agree on rows");
+        assert_eq!(fast_stats.copied_bytes, 0, "fast path never copies here");
+        // Legacy decode copies each source chunk once (assembly) and each
+        // wanted stream once (materialization).
+        assert_eq!(
+            slow_stats.copied_bytes,
+            slow_stats.read_bytes + slow_stats.wanted_bytes
+        );
     }
 
     #[test]

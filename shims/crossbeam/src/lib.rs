@@ -1,11 +1,13 @@
 //! Offline shim of `crossbeam`, providing the `channel` module surface the
 //! workspace uses: a bounded multi-producer multi-consumer channel with
-//! cloneable senders *and* receivers, blocking `send`/`recv`,
-//! non-blocking `try_recv`, and `len`.
+//! cloneable senders *and* receivers, blocking `send`/`recv`/`recv_timeout`,
+//! non-blocking `try_recv`, `len`, and a [`channel::Select`] that parks the
+//! caller until one of several receivers becomes ready.
 
 pub mod channel {
     use std::collections::VecDeque;
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::{Arc, Condvar, Mutex, Weak};
+    use std::time::{Duration, Instant};
 
     /// Error returned by [`Sender::send`] when every receiver is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -25,6 +27,20 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// The channel is empty and all senders disconnected.
+        Disconnected,
+    }
+
+    /// Error returned by [`Select::ready_timeout`] when no registered
+    /// receiver became ready within the timeout.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ReadyTimeoutError;
+
     struct State<T> {
         buf: VecDeque<T>,
         cap: usize,
@@ -36,6 +52,162 @@ pub mod channel {
         state: Mutex<State<T>>,
         not_full: Condvar,
         not_empty: Condvar,
+        /// Parked [`Select`]s to wake when a message lands or the last
+        /// sender leaves. Lock order: `state` before `watchers`.
+        watchers: Mutex<Vec<Weak<Signal>>>,
+    }
+
+    impl<T> Inner<T> {
+        /// Wakes every parked [`Select`] watching this channel, pruning
+        /// watchers whose `Select` already went away.
+        fn notify_watchers(&self) {
+            let mut ws = self.watchers.lock().unwrap();
+            ws.retain(|w| match w.upgrade() {
+                Some(s) => {
+                    s.notify();
+                    true
+                }
+                None => false,
+            });
+        }
+    }
+
+    /// Wakeup token shared between one [`Select`] wait and the channels it
+    /// watches.
+    #[derive(Default)]
+    struct Signal {
+        fired: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    impl Signal {
+        fn notify(&self) {
+            *self.fired.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+
+        fn reset(&self) {
+            *self.fired.lock().unwrap() = false;
+        }
+
+        /// Parks until [`Signal::notify`] fires or `deadline` passes.
+        fn wait_deadline(&self, deadline: Instant) {
+            let mut fired = self.fired.lock().unwrap();
+            while !*fired {
+                let now = Instant::now();
+                if now >= deadline {
+                    return;
+                }
+                let (g, _) = self.cv.wait_timeout(fired, deadline - now).unwrap();
+                fired = g;
+            }
+        }
+    }
+
+    /// Type-erased receiver hooks used by [`Select`].
+    trait Watchable {
+        fn watch(&self, signal: &Arc<Signal>);
+        fn unwatch(&self, signal: &Arc<Signal>);
+        /// Whether `recv` would return without blocking (data buffered, or
+        /// the channel is disconnected).
+        fn is_ready(&self) -> bool;
+    }
+
+    impl<T> Watchable for Receiver<T> {
+        fn watch(&self, signal: &Arc<Signal>) {
+            self.inner
+                .watchers
+                .lock()
+                .unwrap()
+                .push(Arc::downgrade(signal));
+        }
+
+        fn unwatch(&self, signal: &Arc<Signal>) {
+            self.inner
+                .watchers
+                .lock()
+                .unwrap()
+                .retain(|w| w.upgrade().is_some_and(|s| !Arc::ptr_eq(&s, signal)));
+        }
+
+        fn is_ready(&self) -> bool {
+            let s = self.inner.state.lock().unwrap();
+            !s.buf.is_empty() || s.senders == 0
+        }
+    }
+
+    /// Waits over several receivers at once: registers each via
+    /// [`Select::recv`], then parks in [`Select::ready_timeout`] until one
+    /// has a buffered message or disconnects. Readiness is a hint, as with
+    /// real crossbeam: by the time the caller acts, a competing receiver
+    /// clone may have taken the message, so callers must re-check with
+    /// `try_recv` and re-wait.
+    #[derive(Default)]
+    pub struct Select<'a> {
+        handles: Vec<&'a dyn Watchable>,
+    }
+
+    impl<'a> Select<'a> {
+        /// Creates an empty selector.
+        pub fn new() -> Self {
+            Self {
+                handles: Vec::new(),
+            }
+        }
+
+        /// Registers a receive operation, returning its index.
+        pub fn recv<T>(&mut self, r: &'a Receiver<T>) -> usize {
+            self.handles.push(r);
+            self.handles.len() - 1
+        }
+
+        /// Blocks until a registered receiver is ready or `timeout`
+        /// elapses, returning the ready operation's index. With no
+        /// registered operations, waits out the timeout.
+        ///
+        /// # Errors
+        ///
+        /// [`ReadyTimeoutError`] if nothing became ready in time.
+        pub fn ready_timeout(&self, timeout: Duration) -> Result<usize, ReadyTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let signal = Arc::new(Signal::default());
+            loop {
+                if let Some(i) = self.handles.iter().position(|h| h.is_ready()) {
+                    return Ok(i);
+                }
+                signal.reset();
+                for h in &self.handles {
+                    h.watch(&signal);
+                }
+                // Re-check after registration: a message may have landed
+                // between the poll above and the watch.
+                let ready = self.handles.iter().position(|h| h.is_ready());
+                if ready.is_none() && Instant::now() < deadline {
+                    signal.wait_deadline(deadline);
+                }
+                for h in &self.handles {
+                    h.unwatch(&signal);
+                }
+                if let Some(i) = ready {
+                    return Ok(i);
+                }
+                if Instant::now() >= deadline {
+                    return self
+                        .handles
+                        .iter()
+                        .position(|h| h.is_ready())
+                        .ok_or(ReadyTimeoutError);
+                }
+            }
+        }
+    }
+
+    impl std::fmt::Debug for Select<'_> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Select")
+                .field("handles", &self.handles.len())
+                .finish()
+        }
     }
 
     /// The sending half of a bounded channel.
@@ -60,6 +232,7 @@ pub mod channel {
             }),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
+            watchers: Mutex::new(Vec::new()),
         });
         (
             Sender {
@@ -84,6 +257,7 @@ pub mod channel {
                 if s.buf.len() < s.cap {
                     s.buf.push_back(value);
                     self.inner.not_empty.notify_one();
+                    self.inner.notify_watchers();
                     return Ok(());
                 }
                 s = self.inner.not_full.wait(s).unwrap();
@@ -139,6 +313,44 @@ pub mod channel {
             }
         }
 
+        /// Blocks until a message arrives or `timeout` elapses.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] once the deadline passes with the
+        /// channel still empty; [`RecvTimeoutError::Disconnected`] once the
+        /// channel is drained and senderless.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut s = self.inner.state.lock().unwrap();
+            loop {
+                if let Some(v) = s.buf.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if s.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (g, _) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(s, deadline - now)
+                    .unwrap();
+                s = g;
+            }
+        }
+
+        /// Whether every sender has disconnected. Buffered messages may
+        /// still remain; use with [`Receiver::is_empty`] to detect an
+        /// exhausted channel.
+        pub fn is_disconnected(&self) -> bool {
+            self.inner.state.lock().unwrap().senders == 0
+        }
+
         /// Messages currently buffered.
         pub fn len(&self) -> usize {
             self.inner.state.lock().unwrap().buf.len()
@@ -172,8 +384,11 @@ pub mod channel {
         fn drop(&mut self) {
             let mut s = self.inner.state.lock().unwrap();
             s.senders -= 1;
-            if s.senders == 0 {
+            let last = s.senders == 0;
+            drop(s);
+            if last {
                 self.inner.not_empty.notify_all();
+                self.inner.notify_watchers();
             }
         }
     }
@@ -233,6 +448,62 @@ mod tests {
         assert_eq!(rx.recv(), Ok(1));
         assert_eq!(rx.recv(), Ok(2));
         h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = bounded(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(42).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(42));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn select_wakes_on_send_without_polling() {
+        use std::time::{Duration, Instant};
+        let (tx1, rx1) = bounded::<u32>(1);
+        let (tx2, rx2) = bounded::<u32>(1);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx2.send(7).unwrap();
+            std::mem::forget(tx1); // keep channel 1 alive past the test
+        });
+        let mut sel = Select::new();
+        let i1 = sel.recv(&rx1);
+        let i2 = sel.recv(&rx2);
+        assert_eq!((i1, i2), (0, 1));
+        let start = Instant::now();
+        let ready = sel.ready_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(ready, i2);
+        assert!(start.elapsed() < Duration::from_secs(4), "parked, not spun");
+        assert_eq!(rx2.try_recv(), Ok(7));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn select_reports_disconnect_and_timeout() {
+        use std::time::Duration;
+        let (tx, rx) = bounded::<u32>(1);
+        let mut sel = Select::new();
+        sel.recv(&rx);
+        assert_eq!(
+            sel.ready_timeout(Duration::from_millis(5)),
+            Err(ReadyTimeoutError)
+        );
+        assert!(!rx.is_disconnected());
+        drop(tx);
+        // Disconnected channels are ready: recv would not block.
+        assert_eq!(sel.ready_timeout(Duration::from_millis(5)), Ok(0));
+        assert!(rx.is_disconnected());
     }
 
     #[test]
