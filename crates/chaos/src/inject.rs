@@ -1,0 +1,226 @@
+//! The [`FaultInjector`]: the runtime side of a [`FaultPlan`].
+//!
+//! Pipeline layers hold an `Arc<FaultInjector>` and call
+//! [`FaultInjector::fire`] at their hook point. Each call advances that
+//! hook's operation counter (the virtual clock) and returns any faults
+//! scheduled for exactly that occurrence. Everything injected is
+//! recorded in an append-only log and mirrored into `dsi_chaos_*`
+//! metrics, so invariant checkers can account for every fault.
+
+use crate::plan::{FaultKind, FaultPlan, HookPoint};
+use dsi_obs::names::{CHAOS_HOOK_OPS, CHAOS_INJECTED_TOTAL};
+use dsi_obs::Registry;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One fault that actually fired, with the op count it fired at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The hook point that fired.
+    pub hook: HookPoint,
+    /// The 1-based op count at which it fired.
+    pub nth: u64,
+    /// The fault injected.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hook={} nth={} fault={}",
+            self.hook.name(),
+            self.nth,
+            self.kind
+        )
+    }
+}
+
+/// Executes a [`FaultPlan`] against per-hook operation counters.
+///
+/// Cheap to share (`Arc`), lock-free on the no-fault fast path apart
+/// from one atomic increment per hook call.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    counters: [AtomicU64; HookPoint::ALL.len()],
+    injected: Mutex<Vec<InjectedFault>>,
+    registry: RwLock<Option<Registry>>,
+}
+
+impl FaultInjector {
+    /// Wraps a plan in a shareable injector.
+    pub fn new(plan: FaultPlan) -> Arc<Self> {
+        Arc::new(Self {
+            plan,
+            counters: Default::default(),
+            injected: Mutex::new(Vec::new()),
+            registry: RwLock::new(None),
+        })
+    }
+
+    /// An injector with an empty plan — hooks stay armed but nothing
+    /// ever fires. Used for fault-free baseline runs so both runs
+    /// execute identical code paths.
+    pub fn disarmed() -> Arc<Self> {
+        Self::new(FaultPlan::empty())
+    }
+
+    /// The plan this injector executes.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Mirrors injected-fault counts into `reg` as `dsi_chaos_*` metrics.
+    pub fn attach_registry(&self, reg: Registry) {
+        *self.registry.write() = Some(reg);
+    }
+
+    /// Advances `hook`'s op counter and returns the faults scheduled for
+    /// this occurrence (usually none, occasionally one, rarely several).
+    ///
+    /// The caller is responsible for acting on each returned kind; the
+    /// injector records them as injected regardless, which is what the
+    /// obs-accounting invariant checks against.
+    pub fn fire(&self, hook: HookPoint) -> Vec<FaultKind> {
+        let nth = self.counters[hook.index()].fetch_add(1, Ordering::SeqCst) + 1;
+        if self.plan.events.is_empty() {
+            return Vec::new();
+        }
+        let hits: Vec<FaultKind> = self
+            .plan
+            .events
+            .iter()
+            .filter(|e| e.hook == hook && e.nth == nth)
+            .map(|e| e.kind)
+            .collect();
+        if !hits.is_empty() {
+            let mut log = self.injected.lock();
+            let reg = self.registry.read();
+            for &kind in &hits {
+                log.push(InjectedFault { hook, nth, kind });
+                if let Some(reg) = reg.as_ref() {
+                    reg.counter(CHAOS_INJECTED_TOTAL, &[("fault", kind.label())])
+                        .inc();
+                }
+            }
+        }
+        hits
+    }
+
+    /// Ops observed so far at `hook`.
+    pub fn ops(&self, hook: HookPoint) -> u64 {
+        self.counters[hook.index()].load(Ordering::SeqCst)
+    }
+
+    /// Publishes per-hook op counts as `dsi_chaos_hook_ops` gauges.
+    pub fn publish_metrics(&self) {
+        if let Some(reg) = self.registry.read().as_ref() {
+            for hook in HookPoint::ALL {
+                reg.gauge(CHAOS_HOOK_OPS, &[("hook", hook.name())])
+                    .set(self.ops(hook) as f64);
+            }
+        }
+    }
+
+    /// Snapshot of every fault injected so far, in firing order per hook.
+    pub fn injected(&self) -> Vec<InjectedFault> {
+        self.injected.lock().clone()
+    }
+
+    /// Total number of faults injected so far.
+    pub fn injected_count(&self) -> usize {
+        self.injected.lock().len()
+    }
+
+    /// Injected-fault counts grouped by stable label, for deterministic
+    /// report lines and obs accounting.
+    pub fn injected_counts(&self) -> BTreeMap<&'static str, u64> {
+        let mut counts = BTreeMap::new();
+        for f in self.injected.lock().iter() {
+            *counts.entry(f.kind.label()).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultEvent;
+
+    #[test]
+    fn fires_on_exact_nth_occurrence_only() {
+        let inj = FaultInjector::new(FaultPlan::named(vec![FaultEvent::new(
+            HookPoint::TectonicRead,
+            3,
+            FaultKind::IoError,
+        )]));
+        assert!(inj.fire(HookPoint::TectonicRead).is_empty());
+        assert!(inj.fire(HookPoint::TectonicRead).is_empty());
+        assert_eq!(inj.fire(HookPoint::TectonicRead), vec![FaultKind::IoError]);
+        assert!(inj.fire(HookPoint::TectonicRead).is_empty());
+        assert_eq!(inj.ops(HookPoint::TectonicRead), 4);
+        assert_eq!(inj.injected_count(), 1);
+    }
+
+    #[test]
+    fn hooks_have_independent_clocks() {
+        let inj = FaultInjector::new(FaultPlan::named(vec![FaultEvent::new(
+            HookPoint::WorkerSplit,
+            1,
+            FaultKind::WorkerCrash,
+        )]));
+        assert!(inj.fire(HookPoint::TectonicRead).is_empty());
+        assert_eq!(
+            inj.fire(HookPoint::WorkerSplit),
+            vec![FaultKind::WorkerCrash]
+        );
+    }
+
+    #[test]
+    fn duplicate_events_on_same_occurrence_all_fire() {
+        let inj = FaultInjector::new(FaultPlan::named(vec![
+            FaultEvent::new(HookPoint::Harness, 1, FaultKind::EvictionStorm),
+            FaultEvent::new(HookPoint::Harness, 1, FaultKind::NodeFail),
+        ]));
+        assert_eq!(
+            inj.fire(HookPoint::Harness),
+            vec![FaultKind::EvictionStorm, FaultKind::NodeFail]
+        );
+        assert_eq!(inj.injected_counts().len(), 2);
+    }
+
+    #[test]
+    fn injected_counts_reach_attached_registry() {
+        let reg = Registry::new();
+        let inj = FaultInjector::new(FaultPlan::named(vec![FaultEvent::new(
+            HookPoint::ScribePublish,
+            1,
+            FaultKind::DropRecord,
+        )]));
+        inj.attach_registry(reg.clone());
+        inj.fire(HookPoint::ScribePublish);
+        assert_eq!(
+            reg.counter_value(CHAOS_INJECTED_TOTAL, &[("fault", "drop_record")]),
+            1
+        );
+        inj.publish_metrics();
+        assert_eq!(
+            reg.gauge_value(CHAOS_HOOK_OPS, &[("hook", "scribe_publish")]),
+            1.0
+        );
+    }
+
+    #[test]
+    fn disarmed_injector_never_fires() {
+        let inj = FaultInjector::disarmed();
+        for _ in 0..100 {
+            assert!(inj.fire(HookPoint::TectonicRead).is_empty());
+        }
+        assert_eq!(inj.injected_count(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Greedy delta-debugging shrinker for failing fault schedules.
+//!
+//! The vendored proptest shim is deterministic but cannot shrink, so
+//! the chaos suite carries its own reducer: given a failing
+//! [`FaultPlan`] and a replay oracle, repeatedly drop events that are
+//! not needed to reproduce the failure until the plan is 1-minimal
+//! (removing any single remaining event makes the failure disappear).
+
+use crate::plan::FaultPlan;
+
+/// Shrinks `plan` to a 1-minimal failing schedule.
+///
+/// `still_fails` replays a candidate plan and returns `true` when the
+/// failure still reproduces; it is called `O(events²)` times in the
+/// worst case, so oracles should be bounded (chaos tests replay a
+/// single short epoch per call).
+///
+/// Determinism: candidates are tried in a fixed order (coarse halves
+/// first, then single events left to right, to a fixpoint), so the
+/// same failing plan and oracle always shrink to the same minimum.
+pub fn shrink_plan<F>(plan: &FaultPlan, mut still_fails: F) -> FaultPlan
+where
+    F: FnMut(&FaultPlan) -> bool,
+{
+    let mut current = plan.clone();
+    // Coarse pass: try dropping each half while more than one event
+    // remains — cheap log-factor reduction before the quadratic pass.
+    loop {
+        let n = current.events.len();
+        if n < 2 {
+            break;
+        }
+        let mut reduced = false;
+        for (start, end) in [(0, n / 2), (n / 2, n)] {
+            let mut cand = current.clone();
+            cand.events.drain(start..end);
+            if still_fails(&cand) {
+                current = cand;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+    // Fine pass: drop single events to a fixpoint.
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while i < current.events.len() {
+            let mut cand = current.clone();
+            cand.events.remove(i);
+            if still_fails(&cand) {
+                current = cand;
+                reduced = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultEvent, FaultKind, HookPoint};
+
+    fn event(nth: u64) -> FaultEvent {
+        FaultEvent::new(HookPoint::TectonicRead, nth, FaultKind::IoError)
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let plan = FaultPlan::named((1..=10).map(event).collect());
+        // Failure reproduces iff the event at nth == 7 is present.
+        let shrunk = shrink_plan(&plan, |p| p.events.iter().any(|e| e.nth == 7));
+        assert_eq!(shrunk.events, vec![event(7)]);
+    }
+
+    #[test]
+    fn shrinks_conjunctive_failures_to_both_culprits() {
+        let plan = FaultPlan::named((1..=8).map(event).collect());
+        let shrunk = shrink_plan(&plan, |p| {
+            p.events.iter().any(|e| e.nth == 2) && p.events.iter().any(|e| e.nth == 6)
+        });
+        let mut nths: Vec<u64> = shrunk.events.iter().map(|e| e.nth).collect();
+        nths.sort_unstable();
+        assert_eq!(nths, vec![2, 6]);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        let oracle = |p: &FaultPlan| p.events.len() >= 3;
+        let plan = FaultPlan::named((1..=9).map(event).collect());
+        let shrunk = shrink_plan(&plan, oracle);
+        assert!(oracle(&shrunk));
+        for i in 0..shrunk.events.len() {
+            let mut cand = shrunk.clone();
+            cand.events.remove(i);
+            assert!(!oracle(&cand), "not 1-minimal at {i}");
+        }
+    }
+
+    #[test]
+    fn always_failing_oracle_shrinks_to_empty() {
+        let plan = FaultPlan::named((1..=5).map(event).collect());
+        let shrunk = shrink_plan(&plan, |_| true);
+        assert!(shrunk.events.is_empty());
+    }
+}

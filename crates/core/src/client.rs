@@ -200,6 +200,17 @@ impl Client {
         let mut progress = self.progress.lock();
         let expected = progress.entry(env.split).or_insert(0);
         if env.seq < *expected {
+            drop(progress);
+            if env.last {
+                // The split replayed because its original worker was
+                // presumed dead — possibly *after* this client consumed
+                // every tensor but before (or racing with) the original
+                // ack. Dropping the replayed final tensor without
+                // re-acking would leave the split in flight forever, so
+                // acknowledge the replaying worker here. A stale or
+                // double ack is rejected by the master harmlessly.
+                let _ = self.master.complete_split(env.worker, env.split);
+            }
             return None; // duplicate from a replayed split
         }
         *expected = env.seq + 1;

@@ -61,6 +61,6 @@ pub use autoscale::{AutoScaler, ScalerConfig, ScalingDecision, WorkerTelemetry};
 pub use client::Client;
 pub use fleet::{FleetPoint, FleetSim, FleetTrace};
 pub use master::{Master, MasterCheckpoint, SplitState};
-pub use service::DppSession;
+pub use service::{DppSession, SessionCheckpoint};
 pub use session::{Injection, SessionSpec, SessionSpecBuilder};
 pub use worker::{ExtractCostModel, Worker, WorkerReport};

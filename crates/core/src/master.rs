@@ -282,12 +282,25 @@ impl Master {
     /// # Errors
     ///
     /// Returns [`DsiError::InvalidSpec`] if the checkpoint does not match
-    /// the split count or session.
+    /// the split count or session, or if it marks a split index outside
+    /// the planned range as completed (a corrupt or foreign checkpoint
+    /// would otherwise inflate the completion count and end the session
+    /// early — or never).
     pub fn restore(checkpoint: &MasterCheckpoint, splits: Vec<Split>) -> Result<Master> {
         if checkpoint.total != splits.len() as u64 {
             return Err(DsiError::invalid_spec(format!(
                 "checkpoint covers {} splits, scan planned {}",
                 checkpoint.total,
+                splits.len()
+            )));
+        }
+        if let Some(&bad) = checkpoint
+            .completed
+            .iter()
+            .find(|&&i| i >= splits.len() as u64)
+        {
+            return Err(DsiError::invalid_spec(format!(
+                "checkpoint marks split {bad} completed but only {} splits exist",
                 splits.len()
             )));
         }
@@ -434,6 +447,107 @@ mod tests {
             total: 99,
         };
         assert!(Master::restore(&ckpt, splits).is_err());
+    }
+
+    #[test]
+    fn restore_rejects_out_of_range_completed_split() {
+        let splits = make_splits(2);
+        let ckpt = MasterCheckpoint {
+            session: SessionId(1),
+            completed: [7u64].into_iter().collect(),
+            total: splits.len() as u64,
+        };
+        let err = Master::restore(&ckpt, splits).unwrap_err();
+        assert!(matches!(err, DsiError::InvalidSpec(_)), "{err:?}");
+    }
+
+    #[test]
+    fn restore_from_zero_completed_checkpoint_replays_everything() {
+        // A checkpoint taken before any split finished (e.g. the master
+        // died during the first splits) restores to a full replay.
+        let splits = make_splits(3);
+        let master = Master::new(SessionId(3), splits.clone());
+        let w = master.register_worker();
+        let _in_flight = master.request_split(w).unwrap().unwrap();
+        let ckpt = master.checkpoint();
+        assert!(ckpt.completed.is_empty());
+        assert_eq!(ckpt.progress(), 0.0);
+
+        let restored = Master::restore(&ckpt, splits).unwrap();
+        assert_eq!(restored.completed_splits(), 0);
+        assert!(!restored.is_complete());
+        let w2 = restored.register_worker();
+        let mut served = 0;
+        while let Some(s) = restored.request_split(w2).unwrap() {
+            restored.complete_split(w2, s.index).unwrap();
+            served += 1;
+        }
+        assert_eq!(served, 3, "every split replays");
+        assert!(restored.is_complete());
+    }
+
+    #[test]
+    fn restore_after_every_worker_failed_serves_all_remaining_work() {
+        // All workers die with work in flight; a checkpoint taken *after*
+        // the carnage still restores to a master that finishes the epoch.
+        let splits = make_splits(4);
+        let master = Master::new(SessionId(4), splits.clone());
+        let w1 = master.register_worker();
+        let w2 = master.register_worker();
+        let done = master.request_split(w1).unwrap().unwrap();
+        master.complete_split(w1, done.index).unwrap();
+        let _f1 = master.request_split(w1).unwrap().unwrap();
+        let _f2 = master.request_split(w2).unwrap().unwrap();
+        master.fail_worker(w1);
+        master.fail_worker(w2);
+        assert_eq!(master.worker_count(), 0);
+        let ckpt = master.checkpoint();
+        assert_eq!(ckpt.completed.len(), 1);
+
+        let restored = Master::restore(&ckpt, splits).unwrap();
+        assert_eq!(restored.worker_count(), 0, "restore registers nobody");
+        let w = restored.register_worker();
+        let mut served = Vec::new();
+        while let Some(s) = restored.request_split(w).unwrap() {
+            served.push(s.index);
+            restored.complete_split(w, s.index).unwrap();
+        }
+        served.sort_unstable();
+        assert_eq!(served.len(), 3, "the completed split does not replay");
+        assert!(!served.contains(&done.index));
+        assert!(restored.is_complete());
+    }
+
+    #[test]
+    fn double_restore_from_same_checkpoint_is_independent() {
+        // Restoring twice from one checkpoint (e.g. a botched failover
+        // that started two replacement masters) must yield two masters
+        // with disjoint state: progress on one never leaks into the other.
+        let splits = make_splits(3);
+        let master = Master::new(SessionId(5), splits.clone());
+        let w = master.register_worker();
+        let s = master.request_split(w).unwrap().unwrap();
+        master.complete_split(w, s.index).unwrap();
+        let ckpt = master.checkpoint();
+
+        let a = Master::restore(&ckpt, splits.clone()).unwrap();
+        let b = Master::restore(&ckpt, splits).unwrap();
+        let wa = a.register_worker();
+        while let Some(s) = a.request_split(wa).unwrap() {
+            a.complete_split(wa, s.index).unwrap();
+        }
+        assert!(a.is_complete());
+        // Master B saw none of A's completions.
+        assert_eq!(b.completed_splits(), 1);
+        assert!(!b.is_complete());
+        let wb = b.register_worker();
+        let mut served = 0;
+        while let Some(s) = b.request_split(wb).unwrap() {
+            b.complete_split(wb, s.index).unwrap();
+            served += 1;
+        }
+        assert_eq!(served, 2);
+        assert!(b.is_complete());
     }
 
     #[test]

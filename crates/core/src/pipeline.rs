@@ -21,6 +21,7 @@
 
 use crate::client::Envelope;
 use crate::master::Master;
+use crate::service::{fire_worker_chaos, ChaosSlot, WorkerFate};
 use crate::worker::{Worker, WorkerReport};
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use dsi_obs::names;
@@ -69,6 +70,7 @@ const POLL_SLICE: Duration = Duration::from_millis(5);
 /// Runs one worker as a three-stage pipeline. Drop-in replacement for the
 /// sequential `worker_loop` with identical Master/Client semantics;
 /// selected by `spec.read_ahead > 0`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn pipelined_worker_loop(
     master: Master,
     mut worker: Worker,
@@ -77,6 +79,7 @@ pub(crate) fn pipelined_worker_loop(
     drain: Arc<AtomicBool>,
     read_ahead: usize,
     obs: Arc<Mutex<Option<dsi_obs::Registry>>>,
+    chaos: ChaosSlot,
 ) -> WorkerReport {
     let id = worker.id();
     let (fetch_tx, fetch_rx) = bounded::<Fetched>(read_ahead.max(1));
@@ -170,6 +173,13 @@ pub(crate) fn pipelined_worker_loop(
         }
         match t_rx.recv_timeout(POLL_SLICE) {
             Ok(t) => {
+                // Chaos fires on the load stage, the only stage owned by
+                // the worker's main thread: a crash here abandons every
+                // split still in the pipe, all of which the injected
+                // `fail_worker` requeues (they are in flight at this id).
+                if let WorkerFate::Crash = fire_worker_chaos(&chaos, &master, id) {
+                    return worker.report();
+                }
                 let mut tensors = worker.load_stage(t.batch, t.delta);
                 // Per-split flush keeps replay exact under failures (no
                 // cross-split rows inside any delivered tensor).

@@ -10,6 +10,7 @@ use crate::client::{Client, Endpoint, Envelope, Progress};
 use crate::master::Master;
 use crate::session::SessionSpec;
 use crate::worker::{Worker, WorkerReport};
+use chaos::{FaultInjector, FaultKind, HookPoint};
 use crossbeam::channel::{bounded, Sender};
 use dsi_types::{DsiError, Result, WorkerId};
 use parking_lot::{Mutex, RwLock};
@@ -18,6 +19,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use warehouse::Table;
+
+/// A shared, late-bindable chaos injector slot: worker loops re-read it
+/// per split so an injector attached after launch still takes effect.
+pub(crate) type ChaosSlot = Arc<RwLock<Option<Arc<FaultInjector>>>>;
 
 struct WorkerControl {
     kill: Arc<AtomicBool>,
@@ -36,6 +41,20 @@ pub struct DppSession {
     clients_created: Mutex<usize>,
     progress: Progress,
     obs: Arc<Mutex<Option<dsi_obs::Registry>>>,
+    chaos: ChaosSlot,
+}
+
+/// A whole-session checkpoint: the Master's split-state snapshot plus the
+/// clients' per-split consumption progress, enough to kill the session
+/// process mid-epoch and restore it with exactly-once delivery intact —
+/// replayed tensors that were already consumed dedup against the restored
+/// progress, and their final tensor re-acks the replaying worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionCheckpoint {
+    /// The Master's reader-state snapshot.
+    pub master: crate::master::MasterCheckpoint,
+    /// `(split, consumed tensor count)` pairs, sorted by split.
+    pub progress: Vec<(u64, u32)>,
 }
 
 impl std::fmt::Debug for DppSession {
@@ -55,6 +74,23 @@ impl DppSession {
     ///
     /// Returns [`DsiError::InvalidSpec`] if the selection matches no data.
     pub fn launch(table: Table, spec: SessionSpec, workers: usize) -> Result<DppSession> {
+        Self::launch_chaos(table, spec, workers, None)
+    }
+
+    /// Like [`DppSession::launch`], but installs a chaos fault injector
+    /// *before* the first worker spawns, so nth-operation fault schedules
+    /// observe every split from the very first one (an injector attached
+    /// after launch races against worker startup).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DppSession::launch`].
+    pub fn launch_chaos(
+        table: Table,
+        spec: SessionSpec,
+        workers: usize,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Result<DppSession> {
         let scan = table
             .scan(spec.partitions(), spec.projection.clone())
             .with_policy(spec.policy)
@@ -66,7 +102,20 @@ impl DppSession {
             ));
         }
         let master = Master::new(spec.id, splits);
-        let session = DppSession {
+        let session = Self::assemble(master, spec, table, injector);
+        for _ in 0..workers.max(1) {
+            session.spawn_worker();
+        }
+        Ok(session)
+    }
+
+    fn assemble(
+        master: Master,
+        spec: SessionSpec,
+        table: Table,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> DppSession {
+        DppSession {
             master,
             spec: Arc::new(spec),
             table,
@@ -76,11 +125,8 @@ impl DppSession {
             clients_created: Mutex::new(0),
             progress: Arc::new(Mutex::new(HashMap::new())),
             obs: Arc::new(Mutex::new(None)),
-        };
-        for _ in 0..workers.max(1) {
-            session.spawn_worker();
+            chaos: Arc::new(RwLock::new(injector)),
         }
-        Ok(session)
     }
 
     /// Resumes a session from a Master checkpoint (e.g. after the primary
@@ -104,21 +150,74 @@ impl DppSession {
             .with_decode(spec.decode_mode());
         let splits = scan.plan_splits();
         let master = Master::restore(checkpoint, splits)?;
-        let session = DppSession {
-            master,
-            spec: Arc::new(spec),
-            table,
-            registry: Arc::new(RwLock::new(Vec::new())),
-            controls: Mutex::new(HashMap::new()),
-            finished_reports: Arc::new(Mutex::new(WorkerReport::default())),
-            clients_created: Mutex::new(0),
-            progress: Arc::new(Mutex::new(HashMap::new())),
-            obs: Arc::new(Mutex::new(None)),
-        };
+        let session = Self::assemble(master, spec, table, None);
         for _ in 0..workers.max(1) {
             session.spawn_worker();
         }
         Ok(session)
+    }
+
+    /// Takes a whole-session checkpoint: Master split state plus client
+    /// consumption progress, sorted for a deterministic dump.
+    pub fn checkpoint_session(&self) -> SessionCheckpoint {
+        let mut progress: Vec<(u64, u32)> =
+            self.progress.lock().iter().map(|(&s, &n)| (s, n)).collect();
+        progress.sort_unstable();
+        SessionCheckpoint {
+            master: self.master.checkpoint(),
+            progress,
+        }
+    }
+
+    /// Restores a session from a [`SessionCheckpoint`] (the whole process
+    /// was killed mid-epoch): incomplete splits replay, clients created on
+    /// the restored session inherit the checkpointed consumption progress
+    /// so already-consumed tensors dedup, and the replayed final tensor of
+    /// a fully-consumed split re-acks the replaying worker. The optional
+    /// injector is installed before workers spawn, as in
+    /// [`DppSession::launch_chaos`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DppSession::resume`].
+    pub fn resume_session(
+        table: Table,
+        spec: SessionSpec,
+        checkpoint: &SessionCheckpoint,
+        workers: usize,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Result<DppSession> {
+        let scan = table
+            .scan(spec.partitions(), spec.projection.clone())
+            .with_policy(spec.policy)
+            .with_decode(spec.decode_mode());
+        let splits = scan.plan_splits();
+        let master = Master::restore(&checkpoint.master, splits)?;
+        let session = Self::assemble(master, spec, table, injector);
+        *session.progress.lock() = checkpoint.progress.iter().copied().collect();
+        for _ in 0..workers.max(1) {
+            session.spawn_worker();
+        }
+        Ok(session)
+    }
+
+    /// Attaches a chaos fault injector to every worker loop (current and
+    /// future): each split processed fires the injector's `WorkerSplit`
+    /// hook. For schedules that must observe the first splits, install the
+    /// injector at launch via [`DppSession::launch_chaos`] instead.
+    pub fn attach_chaos(&self, injector: Arc<FaultInjector>) {
+        *self.chaos.write() = Some(injector);
+    }
+
+    /// Worker threads still running (registered or not): crashed workers
+    /// leave the fleet without replacement, so a chaos harness uses this
+    /// to know when to restore capacity.
+    pub fn live_worker_threads(&self) -> usize {
+        self.controls
+            .lock()
+            .values()
+            .filter(|c| !c.handle.is_finished())
+            .count()
     }
 
     /// Attaches a metrics registry to the whole session: the Master
@@ -171,13 +270,14 @@ impl DppSession {
         let drain2 = Arc::clone(&drain);
         let read_ahead = self.spec.read_ahead;
         let obs = Arc::clone(&self.obs);
+        let chaos = Arc::clone(&self.chaos);
         let handle = std::thread::spawn(move || {
             let report = if read_ahead > 0 {
                 crate::pipeline::pipelined_worker_loop(
-                    master, worker, tx, kill2, drain2, read_ahead, obs,
+                    master, worker, tx, kill2, drain2, read_ahead, obs, chaos,
                 )
             } else {
-                worker_loop(master, worker, tx, kill2, drain2)
+                worker_loop(master, worker, tx, kill2, drain2, chaos)
             };
             reports.lock().merge(&report);
             report
@@ -338,12 +438,50 @@ impl DppSession {
     }
 }
 
+/// What an injected `WorkerSplit` fault decided for this worker.
+pub(crate) enum WorkerFate {
+    /// Keep processing (possibly after an injected stall).
+    Continue,
+    /// The worker "crashed": it has already been failed at the Master (so
+    /// its in-flight splits requeue) and its thread must return now.
+    Crash,
+}
+
+/// Fires the `WorkerSplit` chaos hook for one split at `worker`.
+/// `WorkerHang` and `SlowTransform` stall the calling thread in place;
+/// `WorkerCrash` fails the worker at the Master and reports `Crash`.
+pub(crate) fn fire_worker_chaos(
+    chaos: &ChaosSlot,
+    master: &Master,
+    worker: WorkerId,
+) -> WorkerFate {
+    let guard = chaos.read();
+    let Some(injector) = guard.as_ref() else {
+        return WorkerFate::Continue;
+    };
+    let mut fate = WorkerFate::Continue;
+    for kind in injector.fire(HookPoint::WorkerSplit) {
+        match kind {
+            FaultKind::WorkerCrash => {
+                master.fail_worker(worker);
+                fate = WorkerFate::Crash;
+            }
+            FaultKind::WorkerHang { micros } | FaultKind::SlowTransform { micros } => {
+                std::thread::sleep(std::time::Duration::from_micros(micros));
+            }
+            _ => {}
+        }
+    }
+    fate
+}
+
 fn worker_loop(
     master: Master,
     mut worker: Worker,
     tx: Sender<Envelope>,
     kill: Arc<AtomicBool>,
     drain: Arc<AtomicBool>,
+    chaos: ChaosSlot,
 ) -> WorkerReport {
     let id = worker.id();
     loop {
@@ -360,6 +498,11 @@ fn worker_loop(
         }
         match master.request_split(id) {
             Ok(Some(split)) => {
+                if let WorkerFate::Crash = fire_worker_chaos(&chaos, &master, id) {
+                    // The injected crash already requeued this split (and
+                    // any other in-flight work) via the health monitor.
+                    return worker.report();
+                }
                 let mut tensors = match worker.process_split(&split) {
                     Ok(t) => t,
                     Err(_) => {

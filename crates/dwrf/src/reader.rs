@@ -11,7 +11,7 @@ use crate::cipher::StreamCipher;
 use crate::compress;
 use crate::plan::{CoalescePolicy, IoPlan};
 use crate::stream::{
-    decode_dedup_sparse, decode_dense_column, decode_dense_map, decode_labels,
+    checksum64, decode_dedup_sparse, decode_dense_column, decode_dense_map, decode_labels,
     decode_sparse_column, decode_sparse_map, StreamInfo, StreamKind, FILE_LEVEL,
 };
 use crate::writer::{decode_footer, FileFooter, MAGIC};
@@ -289,6 +289,18 @@ impl FileReader {
         let pool = global_pool();
         let mut decode_payload = |info: &StreamInfo| -> Result<ByteView> {
             let raw = fetch(info)?;
+            // Integrity gate, identical in both decode modes: stored bytes
+            // must match the checksum the writer recorded before anything
+            // is decrypted, decompressed, or sliced. Without it, stored
+            // compression blocks and encrypted f32 payloads decode silently
+            // wrong under storage-layer corruption.
+            let got = checksum64(&raw);
+            if got != info.checksum {
+                return Err(DsiError::corrupt(format!(
+                    "stream checksum mismatch (feature {} kind {:?}): stored {:#018x}, read {got:#018x}",
+                    info.feature, info.kind, info.checksum
+                )));
+            }
             match self.mode {
                 DecodeMode::Copying => {
                     // Legacy behavior: materialize the stream window out of
@@ -528,7 +540,8 @@ impl FileReader {
 ///
 /// Returns [`DsiError::Corrupt`] if the magic or structure is invalid.
 pub fn parse_footer(bytes: &Bytes) -> Result<FileFooter> {
-    if bytes.len() < 16 {
+    // Tail layout: [streams][footer][checksum u64][len u64][MAGIC].
+    if bytes.len() < 24 {
         return Err(DsiError::corrupt("file too short for footer"));
     }
     let magic_at = bytes.len() - 8;
@@ -539,10 +552,21 @@ pub fn parse_footer(bytes: &Bytes) -> Result<FileFooter> {
     let mut len_buf = [0u8; 8];
     len_buf.copy_from_slice(&bytes[len_at..magic_at]);
     let footer_len = u64::from_le_bytes(len_buf) as usize;
-    if footer_len > len_at {
+    let crc_at = len_at - 8;
+    if footer_len > crc_at {
         return Err(DsiError::corrupt("footer length out of range"));
     }
-    decode_footer(&bytes[len_at - footer_len..len_at])
+    let mut crc_buf = [0u8; 8];
+    crc_buf.copy_from_slice(&bytes[crc_at..len_at]);
+    let stored = u64::from_le_bytes(crc_buf);
+    let footer_bytes = &bytes[crc_at - footer_len..crc_at];
+    let got = checksum64(footer_bytes);
+    if got != stored {
+        return Err(DsiError::corrupt(format!(
+            "footer checksum mismatch: stored {stored:#018x}, read {got:#018x}"
+        )));
+    }
+    decode_footer(footer_bytes)
 }
 
 #[cfg(test)]
@@ -712,6 +736,65 @@ mod tests {
         assert!(reader
             .read_stripe_from(0, None, CoalescePolicy::None, &mut src)
             .is_err());
+    }
+
+    /// Corruption in the header (footer/tail), in a plain payload stream,
+    /// and inside a compression block must each surface as a typed
+    /// [`DsiError::Corrupt`] — in both decode modes. No silent wrong data.
+    #[test]
+    fn corruption_location_matrix_yields_typed_errors_in_both_modes() {
+        // Header: flip a byte inside the encoded footer region.
+        let file = build_file(WriterOptions::default(), 30);
+        let mut bytes = file.bytes().to_vec();
+        let n = bytes.len();
+        bytes[n - 20] ^= 0x5a; // inside [footer][crc] tail area
+        match FileReader::open(Bytes::from(bytes)) {
+            Err(DsiError::Corrupt(_)) => {}
+            other => panic!("header corruption: expected Corrupt, got {other:?}"),
+        }
+
+        // Payload (uncompressed, unencrypted streams) and compression
+        // block (LZ-compressed streams): corrupt bytes inside the first
+        // data stream's window and decode under both modes.
+        let cases = [
+            WriterOptions {
+                compressed: false,
+                encrypted: false,
+                ..Default::default()
+            },
+            WriterOptions {
+                encrypted: false,
+                ..Default::default()
+            },
+        ];
+        for opts in cases {
+            let file = build_file(opts, 60);
+            let stripe = &file.footer().stripes[0];
+            // Pick a stream comfortably wider than one byte to corrupt
+            // mid-payload (past any mode byte or varint header).
+            let target = stripe
+                .streams
+                .iter()
+                .find(|s| s.len >= 8)
+                .expect("a wide stream");
+            let mid = target.offset + target.len / 2;
+            for mode in [DecodeMode::Fastpath, DecodeMode::Copying] {
+                let reader = FileReader::from_footer(file.footer().clone()).with_decode_mode(mode);
+                let mut src = CorruptingSource {
+                    inner: SliceSource::new(file.bytes().clone()),
+                    window: mid..mid + 2,
+                };
+                match reader.read_stripe_from(0, None, CoalescePolicy::None, &mut src) {
+                    Err(DsiError::Corrupt(msg)) => {
+                        assert!(msg.contains("checksum mismatch"), "{msg}")
+                    }
+                    other => panic!(
+                        "stream corruption (compressed={}, {mode:?}): expected Corrupt, got {other:?}",
+                        file.footer().compressed
+                    ),
+                }
+            }
+        }
     }
 
     #[test]

@@ -101,6 +101,26 @@ pub struct StreamInfo {
     pub len: u64,
     /// Cipher nonce.
     pub nonce: u64,
+    /// [`checksum64`] of the stored (post-compress, post-encrypt) bytes.
+    ///
+    /// Verified before any decode work in both `DecodeMode::Fastpath` and
+    /// `DecodeMode::Copying`, so storage-layer corruption always surfaces
+    /// as a typed [`DsiError::Corrupt`] instead of silently wrong tensors
+    /// (stored compression blocks and encrypted f32 payloads would
+    /// otherwise decode without complaint).
+    pub checksum: u64,
+}
+
+/// FNV-1a over `bytes`, the integrity checksum for stored streams and
+/// footers. Not cryptographic — it guards against bit rot and injected
+/// corruption, not adversaries (the stream cipher handles privacy).
+pub fn checksum64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// The raw (unencoded) streams produced for one column of one stripe.

@@ -5,7 +5,7 @@ use crate::compress;
 use crate::encoding::MetaWriter;
 use crate::layout::StreamOrder;
 use crate::stream::{
-    encode_dedup_sparse, encode_dense_column, encode_dense_map, encode_labels,
+    checksum64, encode_dedup_sparse, encode_dense_column, encode_dense_map, encode_labels,
     encode_sparse_column, encode_sparse_map, DedupEncodeStats, StreamInfo, StreamKind, FILE_LEVEL,
 };
 use bytes::Bytes;
@@ -259,6 +259,7 @@ impl FileWriter {
                 offset: writer.buf.len() as u64,
                 len: payload.len() as u64,
                 nonce,
+                checksum: checksum64(&payload),
             });
             writer.buf.extend_from_slice(&payload);
         };
@@ -359,6 +360,9 @@ impl FileWriter {
         let footer_bytes = encode_footer(&footer);
         let mut buf = self.buf;
         buf.extend_from_slice(&footer_bytes);
+        // Footer integrity: [footer][checksum u64][len u64][MAGIC], so a
+        // corrupted directory is rejected before any stream is trusted.
+        buf.extend_from_slice(&checksum64(&footer_bytes).to_le_bytes());
         buf.extend_from_slice(&(footer_bytes.len() as u64).to_le_bytes());
         buf.extend_from_slice(MAGIC);
         Ok(DwrfFile {
@@ -389,7 +393,8 @@ pub fn encode_footer(footer: &FileFooter) -> Vec<u8> {
                 .u64(s.kind.tag())
                 .u64(s.offset)
                 .u64(s.len)
-                .u64(s.nonce);
+                .u64(s.nonce)
+                .u64(s.checksum);
         }
     }
     w.into_bytes()
@@ -419,6 +424,7 @@ pub fn decode_footer(buf: &[u8]) -> Result<FileFooter> {
                 offset: r.u64()?,
                 len: r.u64()?,
                 nonce: r.u64()?,
+                checksum: r.u64()?,
             });
         }
         stripes.push(StripeMeta {

@@ -109,6 +109,15 @@ pub const FASTPATH_PREFETCH_DEPTH: &str = "dsi_fastpath_prefetch_depth";
 /// overlap won by the worker pipeline).
 pub const FASTPATH_STAGE_OVERLAP_SECONDS: &str = "dsi_fastpath_stage_overlap_seconds";
 
+// ---- chaos: deterministic fault injection ----------------------------------
+
+/// Counter, labels `{fault}`: faults injected by the chaos harness, by
+/// stable fault-kind label (`io_error`, `worker_crash`, ...).
+pub const CHAOS_INJECTED_TOTAL: &str = "dsi_chaos_injected_total";
+/// Gauge, labels `{hook}`: operations observed at each chaos hook point
+/// (the injector's virtual clock).
+pub const CHAOS_HOOK_OPS: &str = "dsi_chaos_hook_ops";
+
 // ---- trainer ---------------------------------------------------------------
 
 /// Gauge in `[0,1]`: fraction of trainer wall time spent data-stalled.

@@ -2,8 +2,9 @@
 
 use crate::logdevice::{LogStream, Lsn};
 use crate::record::ScribeRecord;
+use chaos::{FaultInjector, FaultKind, HookPoint};
 use dsi_types::Result;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -13,6 +14,10 @@ pub type Topic = String;
 #[derive(Default)]
 struct BusInner {
     streams: RwLock<HashMap<Topic, Arc<RwLock<LogStream>>>>,
+    chaos: RwLock<Option<Arc<FaultInjector>>>,
+    /// A record held back by an injected `ReorderRecord` fault: it is
+    /// appended only after the *next* publish, swapping arrival order.
+    held: Mutex<Option<(Topic, ScribeRecord)>>,
 }
 
 /// A cheaply-cloneable handle to the message bus.
@@ -50,13 +55,72 @@ impl MessageBus {
         )
     }
 
+    /// Attaches a chaos fault injector: every subsequent publish fires
+    /// the injector's `ScribePublish` hook, which may drop, duplicate, or
+    /// reorder the record.
+    pub fn attach_chaos(&self, injector: Arc<FaultInjector>) {
+        *self.inner.chaos.write() = Some(injector);
+    }
+
     /// Publishes a record to a topic, returning its LSN.
+    ///
+    /// With a chaos injector attached the record may be dropped (the
+    /// topic tail is returned unchanged), duplicated (appended twice;
+    /// the first LSN is returned), or reordered (held back until the
+    /// next publish lands, then appended after it).
     pub fn publish(&self, topic: &str, record: ScribeRecord) -> Lsn {
-        self.stream(topic).write().append(record)
+        let mut drop_it = false;
+        let mut duplicate = false;
+        let mut hold = false;
+        if let Some(injector) = self.inner.chaos.read().as_ref() {
+            for kind in injector.fire(HookPoint::ScribePublish) {
+                match kind {
+                    FaultKind::DropRecord => drop_it = true,
+                    FaultKind::DuplicateRecord => duplicate = true,
+                    FaultKind::ReorderRecord => hold = true,
+                    _ => {}
+                }
+            }
+        }
+        if drop_it {
+            return self.stream(topic).write().tail();
+        }
+        if hold {
+            let previous = self.inner.held.lock().replace((topic.to_string(), record));
+            if let Some((held_topic, held_record)) = previous {
+                self.stream(&held_topic).write().append(held_record);
+            }
+            return self.stream(topic).write().tail();
+        }
+        let lsn = if duplicate {
+            let stream = self.stream(topic);
+            let mut s = stream.write();
+            let first = s.append(record.clone());
+            s.append(record);
+            first
+        } else {
+            self.stream(topic).write().append(record)
+        };
+        // An earlier ReorderRecord hold is released now that a successor
+        // record has landed, completing the order swap.
+        if let Some((held_topic, held_record)) = self.inner.held.lock().take() {
+            self.stream(&held_topic).write().append(held_record);
+        }
+        lsn
+    }
+
+    /// Releases any chaos-held record: a reordered record must only be
+    /// delayed, never lost, so readers force it out before observing the
+    /// stream.
+    fn release_held(&self) {
+        if let Some((held_topic, held_record)) = self.inner.held.lock().take() {
+            self.stream(&held_topic).write().append(held_record);
+        }
     }
 
     /// The next-LSN (tail) of a topic; `Lsn(0)` for unknown topics.
     pub fn tail(&self, topic: &str) -> Lsn {
+        self.release_held();
         self.inner
             .streams
             .read()
@@ -70,6 +134,7 @@ impl MessageBus {
     ///
     /// Returns an error if `from` precedes the topic's trim point.
     pub fn read(&self, topic: &str, from: Lsn, to: Lsn) -> Result<Vec<ScribeRecord>> {
+        self.release_held();
         match self.inner.streams.read().get(topic) {
             Some(s) => s.read().read_range(from, to),
             None => Ok(Vec::new()),
@@ -153,6 +218,48 @@ mod tests {
             }
         });
         assert_eq!(bus.tail("t"), Lsn(400));
+    }
+
+    #[test]
+    fn chaos_faults_drop_duplicate_and_reorder() {
+        use chaos::{FaultEvent, FaultPlan};
+        let bus = MessageBus::new();
+        let plan = FaultPlan::named(vec![
+            FaultEvent::new(HookPoint::ScribePublish, 1, FaultKind::DropRecord),
+            FaultEvent::new(HookPoint::ScribePublish, 2, FaultKind::DuplicateRecord),
+            FaultEvent::new(HookPoint::ScribePublish, 3, FaultKind::ReorderRecord),
+        ]);
+        bus.attach_chaos(FaultInjector::new(plan));
+        for id in 1..=4u64 {
+            bus.publish("t", EventRecord::positive(id, 0).into());
+        }
+        let ids: Vec<u64> = bus
+            .read("t", Lsn(0), bus.tail("t"))
+            .unwrap()
+            .into_iter()
+            .map(|r| match r {
+                ScribeRecord::Event(e) => e.request_id,
+                other => panic!("unexpected record {other:?}"),
+            })
+            .collect();
+        // 1 dropped, 2 duplicated, 3 held until 4 landed.
+        assert_eq!(ids, vec![2, 2, 4, 3]);
+    }
+
+    #[test]
+    fn chaos_reorder_hold_is_released_to_readers() {
+        use chaos::{FaultEvent, FaultPlan};
+        let bus = MessageBus::new();
+        let plan = FaultPlan::named(vec![FaultEvent::new(
+            HookPoint::ScribePublish,
+            1,
+            FaultKind::ReorderRecord,
+        )]);
+        bus.attach_chaos(FaultInjector::new(plan));
+        bus.publish("t", EventRecord::positive(9, 0).into());
+        // No successor record ever arrives; reading must still surface it.
+        let got = bus.read("t", Lsn(0), Lsn(10)).unwrap();
+        assert_eq!(got.len(), 1);
     }
 
     #[test]

@@ -195,6 +195,17 @@ impl SsdCache {
             },
         );
     }
+
+    /// Drops every resident page at once (a chaos "eviction storm"):
+    /// subsequent reads all miss and fall through to the HDD cluster.
+    /// Returns the number of pages evicted.
+    pub fn evict_all(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        let dropped = inner.pages.len() as u64;
+        inner.pages.clear();
+        inner.evictions += dropped;
+        dropped
+    }
 }
 
 /// A [`ChunkSource`] reading one file through a shared [`SsdCache`]: page

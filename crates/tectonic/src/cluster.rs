@@ -9,6 +9,7 @@
 use crate::block::{place_replicas, BlockId, DEFAULT_BLOCK_SIZE, REPLICATION_FACTOR};
 use crate::node::{NodeStats, StorageNode};
 use bytes::Bytes;
+use chaos::{FaultInjector, FaultKind, HookPoint};
 use dsi_types::{DsiError, NodeId, Result};
 use fastpath::{ByteView, SourceChunk};
 use hwsim::{DeviceStats, DiskModel, SimClock};
@@ -81,6 +82,7 @@ struct ClusterInner {
     files: RwLock<HashMap<String, FileMeta>>,
     replica_cursor: AtomicU64,
     clock: SimClock,
+    chaos: RwLock<Option<Arc<FaultInjector>>>,
 }
 
 /// A handle to a simulated Tectonic cluster.
@@ -129,6 +131,7 @@ impl TectonicCluster {
                 files: RwLock::new(HashMap::new()),
                 replica_cursor: AtomicU64::new(0),
                 clock: SimClock::new(),
+                chaos: RwLock::new(None),
             }),
         }
     }
@@ -214,6 +217,41 @@ impl TectonicCluster {
         self.inner.files.read().values().map(|m| m.len).sum()
     }
 
+    /// Attaches a chaos fault injector: every subsequent logical read
+    /// (a [`TectonicCluster::read`] or [`TectonicCluster::read_view`]
+    /// call) fires the injector's `TectonicRead` hook exactly once.
+    pub fn attach_chaos(&self, injector: Arc<FaultInjector>) {
+        *self.inner.chaos.write() = Some(injector);
+    }
+
+    /// Fires the `TectonicRead` chaos hook once per logical read.
+    ///
+    /// Applies latency faults to the cluster clock immediately, surfaces
+    /// injected IO errors, and returns an optional XOR mask the caller
+    /// must apply to the served bytes ([`FaultKind::CorruptChunk`]).
+    fn fire_read_chaos(&self, path: &str, offset: u64) -> Result<Option<u8>> {
+        let guard = self.inner.chaos.read();
+        let Some(injector) = guard.as_ref() else {
+            return Ok(None);
+        };
+        let mut xor = None;
+        for kind in injector.fire(HookPoint::TectonicRead) {
+            match kind {
+                FaultKind::IoError => {
+                    return Err(DsiError::Unavailable(format!(
+                        "chaos: injected IO error reading {path} at offset {offset}"
+                    )))
+                }
+                FaultKind::SlowIo { micros } => {
+                    self.inner.clock.advance_ns(micros * 1_000);
+                }
+                FaultKind::CorruptChunk { xor: mask } => xor = Some(mask),
+                _ => {}
+            }
+        }
+        Ok(xor)
+    }
+
     /// Reads `len` bytes of `path` at `offset`, charging simulated disk
     /// time on the chosen replicas and advancing the cluster clock.
     ///
@@ -222,6 +260,18 @@ impl TectonicCluster {
     /// Returns [`DsiError::NotFound`] for missing files and
     /// [`DsiError::Corrupt`] for out-of-range reads.
     pub fn read(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let xor = self.fire_read_chaos(path, offset)?;
+        let mut out = self.read_charged(path, offset, len)?;
+        if let (Some(mask), Some(first)) = (xor, out.first_mut()) {
+            *first ^= mask;
+        }
+        Ok(out)
+    }
+
+    /// The chaos-free body of [`TectonicCluster::read`], shared with the
+    /// multi-block fallback of [`TectonicCluster::read_view`] so one
+    /// logical read never fires the chaos hook twice.
+    fn read_charged(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
         let meta = self
             .stat(path)
             .ok_or_else(|| DsiError::not_found(format!("file {path}")))?;
@@ -265,6 +315,7 @@ impl TectonicCluster {
     ///
     /// Same conditions as [`TectonicCluster::read`].
     pub fn read_view(&self, path: &str, offset: u64, len: u64) -> Result<SourceChunk> {
+        let xor = self.fire_read_chaos(path, offset)?;
         let meta = self
             .stat(path)
             .ok_or_else(|| DsiError::not_found(format!("file {path}")))?;
@@ -287,11 +338,22 @@ impl TectonicCluster {
                     .lock()
                     .read(id, offset % bs, len)?;
             self.inner.clock.advance_ns(ns);
+            if let Some(mask) = xor {
+                // Corruption forces a private copy: the replica's stored
+                // bytes must stay pristine for other readers.
+                let mut owned = bytes.to_vec();
+                if let Some(first) = owned.first_mut() {
+                    *first ^= mask;
+                }
+                return Ok(SourceChunk::copied(ByteView::from(owned)));
+            }
             return Ok(SourceChunk::zero_copy(ByteView::from(bytes)));
         }
-        Ok(SourceChunk::copied(ByteView::from(
-            self.read(path, offset, len)?,
-        )))
+        let mut owned = self.read_charged(path, offset, len)?;
+        if let (Some(mask), Some(first)) = (xor, owned.first_mut()) {
+            *first ^= mask;
+        }
+        Ok(SourceChunk::copied(ByteView::from(owned)))
     }
 
     /// Picks a live replica of `path`'s block `block_index` round-robin.

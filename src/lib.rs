@@ -54,6 +54,7 @@
 
 #![warn(missing_docs)]
 
+pub use chaos;
 pub use cluster;
 pub use dedup;
 pub use dpp;
@@ -70,6 +71,7 @@ pub use warehouse;
 
 /// Commonly-used items across the whole pipeline.
 pub mod prelude {
+    pub use chaos::{FaultInjector, FaultKind, FaultPlan, HookPoint};
     pub use dedup::{DedupConfig, DedupSet, DedupStats};
     pub use dpp::{AutoScaler, Client, DppSession, Master, SessionSpec};
     pub use dsi_obs::{json_snapshot, prometheus_text, PipelineReport, Registry};

@@ -1,7 +1,13 @@
 //! Fault-tolerance integration: worker crashes, master checkpoint/restore,
 //! and scaling under churn.
+//!
+//! Fault *scheduling* here goes through `crates/chaos`: crashes fire at
+//! named nth-operation points of a printable [`FaultPlan`] instead of
+//! ad-hoc row counters, so every schedule is reproducible and shrinkable.
+//! (The full invariant-checked chaos suite lives in `tests/chaos.rs`.)
 
 use dpp::{Master, SessionSpec};
+use dsi::chaos::FaultEvent;
 use dsi::prelude::*;
 use std::collections::HashSet;
 
@@ -43,34 +49,74 @@ fn spec(days: u32) -> SessionSpec {
 
 #[test]
 fn repeated_crashes_never_lose_or_duplicate_rows() {
+    // Four worker kills scheduled on the chaos injector's per-batch
+    // virtual clock (400 rows / 20-row batches = 20 ticks).
+    let injector = FaultInjector::new(FaultPlan::named(vec![
+        FaultEvent::new(HookPoint::Harness, 3, FaultKind::WorkerKill),
+        FaultEvent::new(HookPoint::Harness, 6, FaultKind::WorkerKill),
+        FaultEvent::new(HookPoint::Harness, 9, FaultKind::WorkerKill),
+        FaultEvent::new(HookPoint::Harness, 12, FaultKind::WorkerKill),
+    ]));
     let table = build_table(4, 100);
     let session = DppSession::launch(table, spec(4), 3).unwrap();
     let mut client = session.client();
     let mut seen = HashSet::new();
-    let mut consumed = 0usize;
     let mut crashes = 0;
     while let Some(tensor) = client.next_batch() {
         for &l in &tensor.labels {
             assert!(seen.insert(l as u64), "row {l} duplicated");
-            consumed += 1;
         }
-        // Crash a live worker every ~60 rows consumed, up to 4 times.
-        if crashes < 4 && consumed > (crashes + 1) * 60 {
-            let victim = session.master().checkpoint(); // any progress point
-            let _ = victim; // (checkpoint exercised under churn)
-                            // Find a live worker id via telemetry ordering: crash the
-                            // first registered one that still exists.
-            let ids: Vec<_> = (0..20).map(dsi_types::WorkerId).collect();
-            for id in ids {
-                if session.crash_and_replace(id).is_ok() {
-                    crashes += 1;
-                    break;
+        for kind in injector.fire(HookPoint::Harness) {
+            if kind == FaultKind::WorkerKill {
+                // Crash the first live worker; replacement ids grow, so
+                // scan from 0 upward.
+                for id in (0..20).map(dsi_types::WorkerId) {
+                    if session.crash_and_replace(id).is_ok() {
+                        crashes += 1;
+                        break;
+                    }
                 }
             }
         }
     }
     assert_eq!(seen.len(), 400, "all rows delivered exactly once");
-    assert!(crashes >= 3, "exercised at least 3 crashes, got {crashes}");
+    assert_eq!(
+        crashes,
+        4,
+        "schedule fires every kill:\n{}",
+        injector.plan()
+    );
+    assert!(session.is_complete());
+    session.shutdown();
+}
+
+#[test]
+fn injected_worker_crashes_mid_split_never_lose_or_duplicate_rows() {
+    // Same invariant with crashes injected *inside* the worker loop
+    // (the WorkerSplit hook) rather than by the harness: the injector is
+    // installed at launch so the schedule observes the very first split.
+    let injector = FaultInjector::new(FaultPlan::named(vec![
+        FaultEvent::new(HookPoint::WorkerSplit, 2, FaultKind::WorkerCrash),
+        FaultEvent::new(HookPoint::WorkerSplit, 7, FaultKind::WorkerCrash),
+    ]));
+    let table = build_table(4, 100);
+    let session =
+        DppSession::launch_chaos(table, spec(4), 3, Some(std::sync::Arc::clone(&injector)))
+            .unwrap();
+    let mut client = session.client();
+    let mut seen = HashSet::new();
+    while let Some(tensor) = client.next_batch() {
+        for &l in &tensor.labels {
+            assert!(seen.insert(l as u64), "row {l} duplicated");
+        }
+    }
+    assert_eq!(seen.len(), 400, "all rows delivered exactly once");
+    assert_eq!(
+        injector.injected_counts().get("worker_crash"),
+        Some(&2),
+        "both crashes fired:\n{}",
+        injector.plan()
+    );
     assert!(session.is_complete());
     session.shutdown();
 }
