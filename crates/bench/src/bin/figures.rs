@@ -107,6 +107,9 @@ fn main() {
     if want("fastpath") {
         fastpath_ablation(smoke);
     }
+    if want("wire") {
+        wire_ablation(smoke);
+    }
     if want("fleet") {
         fleet();
     }
@@ -1451,6 +1454,156 @@ fn fastpath_ablation(smoke: bool) {
         eprintln!("(could not write BENCH_fastpath.json: {e})");
     } else {
         println!("(wrote BENCH_fastpath.json)");
+    }
+}
+
+fn wire_ablation(smoke: bool) {
+    use dpp::{DppSession, Transport, WireConfig};
+    use dsi_obs::{PipelineReport, Registry};
+    use std::time::Instant;
+
+    let cfg = if smoke {
+        LabConfig {
+            features: 60,
+            days: 1,
+            rows_per_day: 8_192,
+            rows_per_stripe: 1_024,
+            seed: 0xd51f,
+        }
+    } else {
+        LabConfig {
+            features: 120,
+            days: 2,
+            rows_per_day: 16_384,
+            rows_per_stripe: 1_024,
+            seed: 0xd51f,
+        }
+    };
+    let lab = RmLab::build(RmClass::Rm1, cfg);
+    let base = lab.session_spec(lab.rc_projection(), 256);
+
+    // One end-to-end run per transport over the same table and seed: the
+    // only variable is how tensors travel from workers to the client —
+    // through a channel, or serialized over localhost TCP (optionally
+    // ciphered and compressed). The measured wire_* counters are the
+    // datacenter tax (§IV-D) paid for real rather than modeled.
+    let run = |transport: Transport| {
+        let mut spec = base.clone();
+        spec.transport = transport;
+        let reg = Registry::new();
+        let session =
+            DppSession::launch(lab.table.clone(), spec, 2).expect("lab selection is non-empty");
+        session.attach_registry(&reg);
+        let mut client = session.client();
+        let start = Instant::now();
+        let mut samples = 0u64;
+        while let Some(t) = client.next_batch() {
+            samples += t.batch_size() as u64;
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let report = session.shutdown();
+        assert_eq!(report.samples, samples, "exactly-once delivery");
+        (samples as f64 / secs, PipelineReport::collect(&reg))
+    };
+    let trials = if smoke { 2 } else { 5 };
+    let best = |transport: Transport| {
+        let (mut q, r) = run(transport);
+        for _ in 1..trials {
+            let (qn, _) = run(transport);
+            q = q.max(qn);
+        }
+        (q, r)
+    };
+
+    let key = 0x00D5_1F00;
+    let variants = [
+        ("in-process", Transport::InProcess),
+        ("tcp", Transport::Tcp(WireConfig::plaintext())),
+        ("tcp+cipher", Transport::Tcp(WireConfig::encrypted(key))),
+        (
+            "tcp+cipher+zip",
+            Transport::Tcp(WireConfig {
+                encrypt: true,
+                compress: true,
+                key,
+            }),
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for (label, transport) in variants {
+        let (qps, pr) = best(transport);
+        rows.push(vec![
+            label.into(),
+            f(qps / 1e3, 1),
+            f(pr.wire_payload_bytes as f64 / 1e6, 2),
+            f(pr.wire_tx_bytes as f64 / 1e6, 2),
+            f(pr.wire_compression_ratio(), 2),
+            f(pr.wire_serialize_nanos as f64 / 1e6, 1),
+            f(pr.wire_encrypt_nanos as f64 / 1e6, 1),
+            f(pr.wire_deserialize_nanos as f64 / 1e6, 1),
+            f(pr.wire_tax_seconds() * 1e3, 1),
+        ]);
+        results.push((label, qps, pr));
+    }
+    print_table(
+        "Extension (wire): framed TCP data plane vs in-process channel (RM1, same seed)",
+        &[
+            "transport",
+            "kQPS",
+            "payload MB",
+            "tx MB",
+            "comp",
+            "ser ms",
+            "cipher ms",
+            "deser ms",
+            "tax ms",
+        ],
+        &rows,
+    );
+    let inproc = results[0].1;
+    let tcp = &results[1];
+    let secure = &results[3];
+    println!(
+        "(localhost TCP keeps {:.0}% of in-process throughput; serialization is {:.0}% of the \
+         wire tax and the cipher adds {:.1} ms/epoch — the paper's \"significant portion of \
+         power\" spent on transport, measured instead of modeled)",
+        tcp.1 / inproc.max(1e-9) * 100.0,
+        secure.2.wire_serialize_nanos as f64
+            / (secure.2.wire_serialize_nanos
+                + secure.2.wire_encrypt_nanos
+                + secure.2.wire_deserialize_nanos)
+                .max(1) as f64
+            * 100.0,
+        secure.2.wire_encrypt_nanos as f64 / 1e6,
+    );
+
+    let json = format!(
+        "{{\n  \"samples_per_sec_inprocess\": {:.1},\n  \"samples_per_sec_tcp\": {:.1},\n  \
+         \"samples_per_sec_tcp_cipher\": {:.1},\n  \"samples_per_sec_tcp_cipher_zip\": {:.1},\n  \
+         \"wire_frames\": {},\n  \"wire_payload_bytes\": {},\n  \"wire_tx_bytes\": {},\n  \
+         \"compression_ratio\": {:.3},\n  \"serialize_nanos\": {},\n  \"encrypt_nanos\": {},\n  \
+         \"deserialize_nanos\": {},\n  \"wire_tax_seconds\": {:.6},\n  \"reconnects\": {},\n  \
+         \"samples\": {},\n  \"smoke\": {smoke}\n}}\n",
+        inproc,
+        tcp.1,
+        results[2].1,
+        secure.1,
+        secure.2.wire_frames,
+        secure.2.wire_payload_bytes,
+        secure.2.wire_tx_bytes,
+        secure.2.wire_compression_ratio(),
+        secure.2.wire_serialize_nanos,
+        secure.2.wire_encrypt_nanos,
+        secure.2.wire_deserialize_nanos,
+        secure.2.wire_tax_seconds(),
+        secure.2.wire_reconnects,
+        secure.2.worker_samples,
+    );
+    if let Err(e) = std::fs::write("BENCH_wire.json", &json) {
+        eprintln!("(could not write BENCH_wire.json: {e})");
+    } else {
+        println!("(wrote BENCH_wire.json)");
     }
 }
 

@@ -28,16 +28,20 @@ pub enum HookPoint {
     /// test's client has consumed (client reconnects, master kill+restore,
     /// eviction storms, node failures, worker kills).
     Harness,
+    /// The wire transport's server-side frame writer — once per data frame
+    /// shipped over TCP (`Transport::Tcp` sessions only).
+    WireFrame,
 }
 
 impl HookPoint {
     /// Every hook point, in a fixed order (also the injector's counter
     /// index order).
-    pub const ALL: [HookPoint; 4] = [
+    pub const ALL: [HookPoint; 5] = [
         HookPoint::TectonicRead,
         HookPoint::ScribePublish,
         HookPoint::WorkerSplit,
         HookPoint::Harness,
+        HookPoint::WireFrame,
     ];
 
     /// Stable snake_case name used in dumps and obs labels.
@@ -47,6 +51,7 @@ impl HookPoint {
             HookPoint::ScribePublish => "scribe_publish",
             HookPoint::WorkerSplit => "worker_split",
             HookPoint::Harness => "harness",
+            HookPoint::WireFrame => "wire_frame",
         }
     }
 
@@ -56,6 +61,7 @@ impl HookPoint {
             HookPoint::ScribePublish => 1,
             HookPoint::WorkerSplit => 2,
             HookPoint::Harness => 3,
+            HookPoint::WireFrame => 4,
         }
     }
 }
@@ -114,6 +120,19 @@ pub enum FaultKind {
     /// Harness: a live worker is hard-killed and replaced
     /// (`DppSession::crash_and_replace`).
     WorkerKill,
+    /// Wire: the server drops the TCP connection before writing the frame;
+    /// unacked envelopes replay on reconnect.
+    ConnDrop,
+    /// Wire: the server writes only a prefix of the frame, then drops the
+    /// connection; the client must reject the torn frame and resync by
+    /// reconnecting.
+    PartialFrame,
+    /// Wire: the frame write stalls for `micros` of wall time first
+    /// (congested NIC / straggling network stack).
+    SlowSocket {
+        /// Wall-clock stall in microseconds.
+        micros: u64,
+    },
 }
 
 impl FaultKind {
@@ -135,6 +154,9 @@ impl FaultKind {
             FaultKind::EvictionStorm => "eviction_storm",
             FaultKind::NodeFail => "node_fail",
             FaultKind::WorkerKill => "worker_kill",
+            FaultKind::ConnDrop => "conn_drop",
+            FaultKind::PartialFrame => "partial_frame",
+            FaultKind::SlowSocket { .. } => "slow_socket",
         }
     }
 }
@@ -146,6 +168,7 @@ impl fmt::Display for FaultKind {
             FaultKind::CorruptChunk { xor } => write!(f, "corrupt_chunk(xor={xor:#04x})"),
             FaultKind::WorkerHang { micros } => write!(f, "worker_hang({micros}us)"),
             FaultKind::SlowTransform { micros } => write!(f, "slow_transform({micros}us)"),
+            FaultKind::SlowSocket { micros } => write!(f, "slow_socket({micros}us)"),
             other => f.write_str(other.label()),
         }
     }
@@ -199,6 +222,8 @@ pub struct ChaosConfig {
     pub max_splits: u64,
     /// Upper bound (inclusive) for `nth` on [`HookPoint::Harness`].
     pub max_batches: u64,
+    /// Upper bound (inclusive) for `nth` on [`HookPoint::WireFrame`].
+    pub max_frames: u64,
     /// Hook points random events may target.
     pub hooks: Vec<HookPoint>,
 }
@@ -211,6 +236,7 @@ impl Default for ChaosConfig {
             max_publishes: 16,
             max_splits: 12,
             max_batches: 10,
+            max_frames: 10,
             hooks: HookPoint::ALL.to_vec(),
         }
     }
@@ -289,6 +315,16 @@ impl FaultPlan {
                         2 => FaultKind::EvictionStorm,
                         3 => FaultKind::NodeFail,
                         _ => FaultKind::WorkerKill,
+                    },
+                ),
+                HookPoint::WireFrame => (
+                    cfg.max_frames,
+                    match rng.next_below(3) {
+                        0 => FaultKind::ConnDrop,
+                        1 => FaultKind::PartialFrame,
+                        _ => FaultKind::SlowSocket {
+                            micros: 100 + rng.next_below(400),
+                        },
                     },
                 ),
             };

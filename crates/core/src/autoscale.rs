@@ -95,9 +95,23 @@ impl AutoScaler {
 
     /// Evaluates one tick of telemetry and returns a decision.
     ///
-    /// An empty fleet always scales up to `min_workers`.
+    /// An empty fleet always scales up — to `min_workers`, or to a single
+    /// worker when `min_workers` is 0 (a fleet with zero workers can never
+    /// make progress, and every later watermark is undefined over it).
     pub fn evaluate(&mut self, telemetry: &[WorkerTelemetry]) -> ScalingDecision {
         let n = telemetry.len();
+        if n == 0 {
+            // Handled explicitly: the mean-buffered / mean-utilization
+            // divisions below would be 0/0 = NaN, which compares false
+            // against every watermark and froze a dead fleet at Hold.
+            self.down_streak = 0;
+            let target = self.config.min_workers.max(1).min(self.config.max_workers);
+            return if target == 0 {
+                ScalingDecision::Hold // max_workers == 0: scaling is off
+            } else {
+                ScalingDecision::ScaleUp(target)
+            };
+        }
         if n < self.config.min_workers {
             self.down_streak = 0;
             return ScalingDecision::ScaleUp(self.config.min_workers - n);
@@ -176,6 +190,28 @@ mod tests {
     fn empty_fleet_scales_to_minimum() {
         let mut s = AutoScaler::default();
         assert_eq!(s.evaluate(&[]), ScalingDecision::ScaleUp(1));
+    }
+
+    #[test]
+    fn empty_fleet_recovers_even_with_zero_min_workers() {
+        // Regression: with `min_workers: 0` an empty fleet used to reach
+        // the watermark math, divide by n == 0, and produce NaN means —
+        // NaN compares false everywhere, so the scaler held a dead fleet
+        // at zero workers forever.
+        let mut s = AutoScaler::new(ScalerConfig {
+            min_workers: 0,
+            ..Default::default()
+        });
+        assert_eq!(s.evaluate(&[]), ScalingDecision::ScaleUp(1));
+
+        // A scaler whose max is also 0 has scaling disabled: Hold, not a
+        // ScaleUp the session could never honor.
+        let mut off = AutoScaler::new(ScalerConfig {
+            min_workers: 0,
+            max_workers: 0,
+            ..Default::default()
+        });
+        assert_eq!(off.evaluate(&[]), ScalingDecision::Hold);
     }
 
     #[test]

@@ -27,20 +27,10 @@ use std::time::{Duration, Instant};
 /// go unobserved.
 const WAIT_SLICE: Duration = Duration::from_millis(5);
 
-/// A tensor in flight from a Worker to a Client.
-#[derive(Debug, Clone)]
-pub(crate) struct Envelope {
-    /// Split the tensor's rows came from.
-    pub(crate) split: u64,
-    /// Sequence number of this tensor within the split.
-    pub(crate) seq: u32,
-    /// Whether this is the split's final tensor.
-    pub(crate) last: bool,
-    /// The worker that produced (or replayed) the split.
-    pub(crate) worker: WorkerId,
-    /// The payload.
-    pub(crate) tensor: MiniBatchTensor,
-}
+/// A tensor in flight from a Worker to a Client. Shared with the TCP
+/// transport so both the in-process and wire data planes carry the exact
+/// same cargo (and the wire path can replay it through the same dedup).
+pub(crate) use wire::WireEnvelope as Envelope;
 
 /// A worker endpoint visible to clients.
 #[derive(Debug, Clone)]
@@ -390,6 +380,62 @@ mod tests {
         // empty channel + live sender -> Pending until deadline.
         let got = c.next_batch_deadline(Duration::from_millis(20));
         assert!(got.is_none());
+    }
+
+    #[test]
+    fn zero_deadline_returns_buffered_batch() {
+        // A zero-duration deadline still polls once: an already-buffered
+        // batch is returned rather than timing out before looking.
+        let (tx, rx) = bounded::<Envelope>(2);
+        let endpoints = vec![Endpoint {
+            id: WorkerId(0),
+            receiver: rx,
+            capacity: 2,
+        }];
+        tx.send(envelope(0, 0, true, 4.0)).unwrap();
+        let mut c = client(endpoints, empty_master(), usize::MAX);
+        let got = c.next_batch_deadline(Duration::ZERO);
+        assert_eq!(got.unwrap().labels[0], 4.0);
+        drop(tx);
+    }
+
+    #[test]
+    fn zero_deadline_on_empty_buffer_times_out_immediately() {
+        let (_tx, rx) = bounded::<Envelope>(1);
+        let endpoints = vec![Endpoint {
+            id: WorkerId(0),
+            receiver: rx,
+            capacity: 1,
+        }];
+        let mut c = client(endpoints, empty_master(), usize::MAX);
+        let start = Instant::now();
+        assert!(c.next_batch_deadline(Duration::ZERO).is_none());
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "zero deadline must not park for a full wait slice cycle"
+        );
+    }
+
+    #[test]
+    fn deadline_timeout_charges_starved_polls_not_batches() {
+        use dsi_obs::names;
+        let (_tx, rx) = bounded::<Envelope>(1);
+        let endpoints = vec![Endpoint {
+            id: WorkerId(0),
+            receiver: rx,
+            capacity: 1,
+        }];
+        let mut c = client(endpoints, empty_master(), usize::MAX);
+        let reg = dsi_obs::Registry::new();
+        c.attach_registry(&reg);
+        assert!(c.next_batch_deadline(Duration::from_millis(20)).is_none());
+        // Every Pending poll before the deadline counts as a starved poll;
+        // nothing is charged to the batch counter or fetch histogram.
+        let starved = reg.counter_value(names::CLIENT_STARVED_POLLS_TOTAL, &[]);
+        assert!(starved >= 1, "timeout produced no starved polls");
+        assert_eq!(reg.counter_value(names::CLIENT_BATCHES_TOTAL, &[]), 0);
+        let snap = reg.histogram(names::CLIENT_FETCH_SECONDS, &[]).snapshot();
+        assert_eq!(snap.count, 0);
     }
 
     #[test]

@@ -140,7 +140,10 @@ impl FleetSim {
                 ScalingDecision::ScaleUp(k) => workers += k,
                 ScalingDecision::ScaleDown(k) => {
                     // Draining takes one tick: capacity leaves next step.
-                    draining = k.min(workers.saturating_sub(1));
+                    // Clamp to the scaler's own floor — the old hardcoded
+                    // `workers - 1` silently kept one worker alive even
+                    // when the controller was configured to scale to zero.
+                    draining = k.min(workers.saturating_sub(scaler.config().min_workers));
                 }
                 ScalingDecision::Hold => {}
             }
@@ -219,6 +222,44 @@ mod tests {
             trace.final_workers
         );
         assert_eq!(trace.stall_fraction, 0.0, "draining must not cause stalls");
+    }
+
+    #[test]
+    fn zero_min_workers_drains_fleet_to_zero() {
+        // Regression: the drain clamp was hardcoded to `workers - 1`, so a
+        // scaler configured with `min_workers: 0` could never empty the
+        // fleet even with zero demand. The clamp now honors the scaler's
+        // own floor; the fleet touches zero and (via the empty-fleet
+        // recovery path) bounces back rather than freezing.
+        let mut sim = rm_like();
+        sim.demand_qps = 0.0;
+        let mut scaler = AutoScaler::new(ScalerConfig {
+            min_workers: 0,
+            ..Default::default()
+        });
+        let trace = sim.run(&mut scaler, 4, 2_000.0);
+        assert!(
+            trace.points.iter().any(|p| p.workers == 0),
+            "fleet never reached zero workers: min over run = {}",
+            trace.points.iter().map(|p| p.workers).min().unwrap()
+        );
+        assert!(trace.final_workers <= 1, "idle fleet stayed scaled up");
+    }
+
+    #[test]
+    fn min_workers_floor_respected_while_draining() {
+        let mut sim = rm_like();
+        sim.demand_qps = 0.0;
+        let mut scaler = AutoScaler::new(ScalerConfig {
+            min_workers: 3,
+            ..Default::default()
+        });
+        let trace = sim.run(&mut scaler, 24, 2_000.0);
+        assert!(
+            trace.points.iter().all(|p| p.workers >= 3),
+            "fleet dipped below the configured floor"
+        );
+        assert_eq!(trace.final_workers, 3);
     }
 
     #[test]

@@ -62,5 +62,6 @@ pub use client::Client;
 pub use fleet::{FleetPoint, FleetSim, FleetTrace};
 pub use master::{Master, MasterCheckpoint, SplitState};
 pub use service::{DppSession, SessionCheckpoint};
-pub use session::{Injection, SessionSpec, SessionSpecBuilder};
+pub use session::{Injection, SessionSpec, SessionSpecBuilder, Transport};
+pub use wire::WireConfig;
 pub use worker::{ExtractCostModel, Worker, WorkerReport};

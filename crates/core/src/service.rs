@@ -8,7 +8,7 @@
 use crate::autoscale::{AutoScaler, ScalingDecision, WorkerTelemetry};
 use crate::client::{Client, Endpoint, Envelope, Progress};
 use crate::master::Master;
-use crate::session::SessionSpec;
+use crate::session::{SessionSpec, Transport};
 use crate::worker::{Worker, WorkerReport};
 use chaos::{FaultInjector, FaultKind, HookPoint};
 use crossbeam::channel::{bounded, Sender};
@@ -42,6 +42,9 @@ pub struct DppSession {
     progress: Progress,
     obs: Arc<Mutex<Option<dsi_obs::Registry>>>,
     chaos: ChaosSlot,
+    /// Per-worker TCP servers when the spec selects [`Transport::Tcp`];
+    /// empty for in-process sessions.
+    wires: Mutex<HashMap<WorkerId, wire::WireServer>>,
 }
 
 /// A whole-session checkpoint: the Master's split-state snapshot plus the
@@ -126,6 +129,7 @@ impl DppSession {
             progress: Arc::new(Mutex::new(HashMap::new())),
             obs: Arc::new(Mutex::new(None)),
             chaos: Arc::new(RwLock::new(injector)),
+            wires: Mutex::new(HashMap::new()),
         }
     }
 
@@ -282,9 +286,34 @@ impl DppSession {
             reports.lock().merge(&report);
             report
         });
+        // In-process: the worker's bounded channel *is* the endpoint. TCP:
+        // the channel feeds a per-worker wire server, and the endpoint is
+        // fed by a client reader dialing it — same capacity on both hops,
+        // so backpressure reaches the worker exactly as before.
+        let receiver = match self.spec.transport {
+            Transport::InProcess => rx,
+            Transport::Tcp(cfg) => {
+                let server = wire::WireServer::serve(
+                    rx,
+                    cfg,
+                    self.spec.buffer_capacity,
+                    Arc::clone(&self.obs),
+                    Arc::clone(&self.chaos),
+                )
+                .expect("bind localhost wire server");
+                let receiver = wire::connect(
+                    server.port(),
+                    cfg,
+                    self.spec.buffer_capacity,
+                    Arc::clone(&self.obs),
+                );
+                self.wires.lock().insert(id, server);
+                receiver
+            }
+        };
         self.registry.write().push(Endpoint {
             id,
-            receiver: rx,
+            receiver,
             capacity: self.spec.buffer_capacity,
         });
         self.controls.lock().insert(
@@ -346,6 +375,10 @@ impl DppSession {
         // with the crash, and a worker blocked on a full buffer unblocks
         // (its send fails) instead of deadlocking the health monitor.
         self.registry.write().retain(|e| e.id != worker);
+        // In TCP mode the worker's send unblocks only once its wire server
+        // drops the source channel — stop and join the server (via drop)
+        // before joining the worker thread.
+        drop(self.wires.lock().remove(&worker));
         let _ = control.handle.join();
         // The health monitor requeues the dead worker's unconsumed work...
         self.master.fail_worker(worker);
@@ -356,12 +389,21 @@ impl DppSession {
     /// Telemetry snapshot for the autoscaler: buffered tensors per live
     /// worker and a utilization proxy (a full buffer means the worker is
     /// ahead of demand; an empty one means it is saturated).
+    ///
+    /// Workers already flagged to drain are excluded — they are exiting
+    /// capacity, and counting them once made back-to-back scale-down
+    /// ticks each see the pre-drain fleet size and drain the fleet below
+    /// the scaler's `min_workers` floor.
     pub fn telemetry(&self) -> Vec<WorkerTelemetry> {
         let controls = self.controls.lock();
         self.registry
             .read()
             .iter()
-            .filter(|e| controls.get(&e.id).is_some_and(|c| !c.handle.is_finished()))
+            .filter(|e| {
+                controls
+                    .get(&e.id)
+                    .is_some_and(|c| !c.handle.is_finished() && !c.drain.load(Ordering::SeqCst))
+            })
             .map(|e| {
                 let buffered = e.receiver.len();
                 WorkerTelemetry {
@@ -370,6 +412,17 @@ impl DppSession {
                 }
             })
             .collect()
+    }
+
+    /// Workers flagged to drain whose threads have not yet exited. These
+    /// are capacity already leaving the fleet; [`DppSession::telemetry`]
+    /// excludes them so the autoscaler never double-drains.
+    pub fn draining_workers(&self) -> usize {
+        self.controls
+            .lock()
+            .values()
+            .filter(|c| c.drain.load(Ordering::SeqCst) && !c.handle.is_finished())
+            .count()
     }
 
     /// Runs one autoscaler tick: evaluates telemetry and applies the
@@ -424,8 +477,17 @@ impl DppSession {
                 c.drain.store(true, Ordering::SeqCst);
             }
         }
-        // Drop receivers so blocked senders error out and exit.
+        // Signal every wire server first so none of the joins below waits
+        // on a blocked socket, then drop receivers so blocked in-process
+        // senders error out and exit.
+        let wires = std::mem::take(&mut *self.wires.lock());
+        for server in wires.values() {
+            server.stop();
+        }
         self.registry.write().clear();
+        // Dropping each server stops and joins it, dropping its source
+        // receiver — which is what unblocks a TCP-mode worker's send.
+        drop(wires);
         let controls = std::mem::take(&mut *self.controls.lock());
         for (_, c) in controls {
             let _ = c.handle.join();
@@ -623,6 +685,38 @@ mod tests {
     }
 
     #[test]
+    fn tcp_transport_delivers_every_row_exactly_once() {
+        let table = build_table(3, 64);
+        let mut sp = spec(3);
+        sp.transport = Transport::Tcp(wire::WireConfig::plaintext());
+        let session = DppSession::launch(table, sp, 4).unwrap();
+        let mut client = session.client();
+        let labels = drain_labels(&mut client);
+        assert_eq!(labels, (0..192).collect::<Vec<_>>());
+        assert!(session.is_complete());
+        let report = session.shutdown();
+        assert_eq!(report.samples, 192);
+    }
+
+    #[test]
+    fn tcp_transport_survives_worker_crash() {
+        let table = build_table(3, 64);
+        let mut sp = spec(3);
+        sp.transport = Transport::Tcp(wire::WireConfig::encrypted(0x7A57));
+        let session = DppSession::launch(table, sp, 2).unwrap();
+        let victim = {
+            let reg = session.registry.read();
+            reg[0].id
+        };
+        let replacement = session.crash_and_replace(victim).unwrap();
+        assert_ne!(victim, replacement);
+        let mut client = session.client();
+        let labels = drain_labels(&mut client);
+        assert_eq!(labels, (0..192).collect::<Vec<_>>());
+        session.shutdown();
+    }
+
+    #[test]
     fn multiple_partitioned_clients_cover_the_fleet() {
         let table = build_table(2, 64);
         let session = DppSession::launch(table, spec(2), 4).unwrap();
@@ -691,6 +785,51 @@ mod tests {
         assert!(grew, "expected a scale-up from {before} workers");
         // Finish the session.
         while client.next_batch().is_some() {}
+        session.shutdown();
+    }
+
+    #[test]
+    fn back_to_back_drain_ticks_never_breach_min_workers() {
+        use crate::autoscale::ScalerConfig;
+        // Regression: telemetry counted drain-flagged workers as live, so
+        // each consecutive scale-down tick saw the pre-drain fleet size,
+        // found `n - min_workers` still removable, and drained again —
+        // walking the live fleet below the scaler's floor.
+        let table = build_table(4, 128);
+        let session = DppSession::launch(table, spec(4), 4).unwrap();
+        // Nobody consumes: buffers fill and utilization bottoms out, the
+        // over-provisioned signal. Wait for every buffer to look full.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while std::time::Instant::now() < deadline {
+            let t = session.telemetry();
+            if t.len() == 4 && t.iter().all(|w| w.buffered_batches >= 3) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let mut scaler = AutoScaler::new(ScalerConfig {
+            min_workers: 3,
+            low_buffer_watermark: 0.5,
+            high_buffer_watermark: 2.0,
+            ..Default::default()
+        });
+        for _ in 0..6 {
+            session.autoscale_tick(&mut scaler);
+        }
+        assert!(
+            session.draining_workers() <= 1,
+            "double-drained: {} workers draining",
+            session.draining_workers()
+        );
+        assert!(
+            session.telemetry().len() >= 3,
+            "live fleet fell below min_workers: {}",
+            session.telemetry().len()
+        );
+        // The drained epoch still delivers every row exactly once.
+        let mut client = session.client();
+        let labels = drain_labels(&mut client);
+        assert_eq!(labels, (0..512).collect::<Vec<_>>());
         session.shutdown();
     }
 

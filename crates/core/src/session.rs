@@ -11,6 +11,25 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::ops::Range;
 use transforms::TransformPlan;
+use wire::WireConfig;
+
+/// How the data plane carries tensors from Workers to Clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Transport {
+    /// In-process bounded channels (the default): the Worker→Client
+    /// boundary is free, and the datacenter tax is charged analytically
+    /// by `hwsim::DatacenterTax`.
+    #[default]
+    InProcess,
+    /// Framed TCP over localhost: every envelope is serialized, framed,
+    /// checksummed, optionally compressed and stream-cipher encrypted,
+    /// shipped through a real socket, and deserialized on the far side —
+    /// the datacenter tax paid for real and measured via `dsi_wire_*`
+    /// metrics. Flow control is credit-based (mirroring the bounded
+    /// channel), and reconnects replay unacked envelopes through the
+    /// client's exactly-once dedup.
+    Tcp(WireConfig),
+}
 
 /// A dynamically-joined (back-filled) beta feature.
 ///
@@ -85,6 +104,9 @@ pub struct SessionSpec {
     /// Zero-copy pooled decode on the extract path. Disable to replay the
     /// legacy copying decode (ablation baseline).
     pub fastpath: bool,
+    /// How tensors cross the Worker→Client boundary: in-process channels
+    /// (free, tax modeled analytically) or framed TCP (tax measured).
+    pub transport: Transport,
 }
 
 impl SessionSpec {
@@ -134,6 +156,7 @@ impl SessionSpecBuilder {
                 dedup: None,
                 read_ahead: 0,
                 fastpath: true,
+                transport: Transport::InProcess,
             },
         }
     }
@@ -222,6 +245,12 @@ impl SessionSpecBuilder {
         self
     }
 
+    /// Selects the Worker→Client data-plane transport.
+    pub fn transport(mut self, transport: Transport) -> Self {
+        self.spec.transport = transport;
+        self
+    }
+
     /// Finishes the spec.
     pub fn build(self) -> SessionSpec {
         self.spec
@@ -246,6 +275,21 @@ mod tests {
         assert_eq!(spec.batch_size, 32);
         assert_eq!(spec.buffer_capacity, 4);
         assert!(spec.plan.is_empty());
+        assert_eq!(spec.transport, Transport::InProcess);
+    }
+
+    #[test]
+    fn transport_selects_tcp() {
+        let spec = SessionSpec::builder(SessionId(9))
+            .transport(Transport::Tcp(WireConfig::encrypted(0xABCD)))
+            .build();
+        match spec.transport {
+            Transport::Tcp(cfg) => {
+                assert!(cfg.encrypt);
+                assert_eq!(cfg.key, 0xABCD);
+            }
+            Transport::InProcess => panic!("expected TCP transport"),
+        }
     }
 
     #[test]

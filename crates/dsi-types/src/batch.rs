@@ -165,6 +165,16 @@ impl DenseMatrix {
         self.data[r * self.cols + c] = v;
     }
 
+    /// Reassembles a matrix from a row-major buffer (wire deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_parts(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major buffer shape mismatch");
+        Self { rows, cols, data }
+    }
+
     /// The backing row-major buffer.
     pub fn as_slice(&self) -> &[f32] {
         &self.data
@@ -218,6 +228,49 @@ impl SparseTensor {
     /// The feature this tensor holds.
     pub fn feature(&self) -> FeatureId {
         self.feature
+    }
+
+    /// Reassembles a tensor from its CSR parts (wire deserialization).
+    /// `scores` of `None` rebuilds an unscored tensor; `Some(scores)` must
+    /// be value-aligned. The round trip through
+    /// [`SparseTensor::offsets`]/[`SparseTensor::values`]/[`SparseTensor::scores`]
+    /// is bitwise exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offsets` is empty, does not start at 0, is not monotone,
+    /// does not end at `values.len()`, or if scores are misaligned.
+    pub fn from_parts(
+        feature: FeatureId,
+        offsets: Vec<u32>,
+        values: Vec<u64>,
+        scores: Option<Vec<f32>>,
+    ) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have rows + 1 entries");
+        assert_eq!(offsets[0], 0, "offsets must start at zero");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotone"
+        );
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            values.len(),
+            "offsets must end at nnz"
+        );
+        let (scores, scored) = match scores {
+            Some(s) => {
+                assert_eq!(s.len(), values.len(), "scores must align with values");
+                (s, true)
+            }
+            None => (Vec::new(), false),
+        };
+        Self {
+            feature,
+            offsets,
+            values,
+            scores,
+            scored,
+        }
     }
 
     /// Appends one sample's list as the next row.
@@ -460,5 +513,46 @@ mod tests {
     fn dense_matrix_bounds_checked() {
         let m = DenseMatrix::zeros(2, 2);
         let _ = m.get(2, 0);
+    }
+
+    #[test]
+    fn from_parts_round_trips_bitwise() {
+        let b = make_batch();
+        let t = b.materialize(&[FeatureId(1)], &[FeatureId(5)]);
+        let dense =
+            DenseMatrix::from_parts(t.dense.rows(), t.dense.cols(), t.dense.as_slice().to_vec());
+        assert_eq!(dense, t.dense);
+        let st = &t.sparse[0];
+        let rebuilt = SparseTensor::from_parts(
+            st.feature(),
+            st.offsets().to_vec(),
+            st.values().to_vec(),
+            st.scores().map(|s| s.to_vec()),
+        );
+        assert_eq!(&rebuilt, st);
+
+        // Scored tensors round-trip with the scored flag preserved.
+        let mut scored = SparseTensor::new(FeatureId(9));
+        scored.push_row(&SparseList::from_scored(vec![1], vec![2.0]));
+        scored.push_row(&SparseList::from_ids(vec![3, 4]));
+        let rebuilt = SparseTensor::from_parts(
+            scored.feature(),
+            scored.offsets().to_vec(),
+            scored.values().to_vec(),
+            scored.scores().map(|s| s.to_vec()),
+        );
+        assert_eq!(rebuilt, scored);
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must end at nnz")]
+    fn from_parts_rejects_truncated_values() {
+        let _ = SparseTensor::from_parts(FeatureId(1), vec![0, 2], vec![7], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn dense_from_parts_rejects_bad_shape() {
+        let _ = DenseMatrix::from_parts(2, 2, vec![0.0; 3]);
     }
 }

@@ -109,6 +109,29 @@ pub const FASTPATH_PREFETCH_DEPTH: &str = "dsi_fastpath_prefetch_depth";
 /// overlap won by the worker pipeline).
 pub const FASTPATH_STAGE_OVERLAP_SECONDS: &str = "dsi_fastpath_stage_overlap_seconds";
 
+// ---- wire: framed TCP data plane -------------------------------------------
+
+/// Counter: data frames written to the wire by worker-side senders
+/// (replays after a reconnect count again — they are re-sent bytes).
+pub const WIRE_FRAMES_TOTAL: &str = "dsi_wire_frames_total";
+/// Counter: serialized envelope payload bytes before compression and
+/// encryption (the logical tensor volume crossing the boundary).
+pub const WIRE_PAYLOAD_BYTES_TOTAL: &str = "dsi_wire_payload_bytes_total";
+/// Counter: bytes actually written to the socket (frame headers plus the
+/// post-compression, post-encryption payload).
+pub const WIRE_TX_BYTES_TOTAL: &str = "dsi_wire_tx_bytes_total";
+/// Counter (nanoseconds): time spent serializing envelopes into frames.
+pub const WIRE_SERIALIZE_NANOS_TOTAL: &str = "dsi_wire_serialize_nanos_total";
+/// Counter (nanoseconds): time spent in the stream cipher, both encrypting
+/// on send and decrypting on receive (the TLS stand-in).
+pub const WIRE_ENCRYPT_NANOS_TOTAL: &str = "dsi_wire_encrypt_nanos_total";
+/// Counter (nanoseconds): time spent checksum-verifying, decompressing,
+/// and deserializing received frames back into envelopes.
+pub const WIRE_DESERIALIZE_NANOS_TOTAL: &str = "dsi_wire_deserialize_nanos_total";
+/// Counter: client-side reconnects to a worker's wire server (each one
+/// triggers a replay of that worker's unacked envelopes).
+pub const WIRE_RECONNECTS_TOTAL: &str = "dsi_wire_reconnects_total";
+
 // ---- chaos: deterministic fault injection ----------------------------------
 
 /// Counter, labels `{fault}`: faults injected by the chaos harness, by

@@ -77,6 +77,20 @@ pub struct PipelineReport {
     pub dedup_reuse_hits: u64,
     /// Observed rows per canonical payload (1.0 = no duplication).
     pub dedup_ratio: f64,
+    /// Data frames shipped over the wire transport (0 = in-process run).
+    pub wire_frames: u64,
+    /// Serialized envelope bytes before compression/encryption.
+    pub wire_payload_bytes: u64,
+    /// Bytes actually written to the socket (headers + wire payload).
+    pub wire_tx_bytes: u64,
+    /// Nanoseconds spent serializing envelopes.
+    pub wire_serialize_nanos: u64,
+    /// Nanoseconds spent in the stream cipher (encrypt + decrypt).
+    pub wire_encrypt_nanos: u64,
+    /// Nanoseconds spent verifying/decompressing/deserializing frames.
+    pub wire_deserialize_nanos: u64,
+    /// Client reconnects to worker wire servers.
+    pub wire_reconnects: u64,
 }
 
 impl PipelineReport {
@@ -189,6 +203,23 @@ impl PipelineReport {
                     report.dedup_reuse_hits = *c
                 }
                 (names::DEDUP_RATIO, MetricValue::Gauge(v)) => report.dedup_ratio = *v,
+                (names::WIRE_FRAMES_TOTAL, MetricValue::Counter(c)) => report.wire_frames = *c,
+                (names::WIRE_PAYLOAD_BYTES_TOTAL, MetricValue::Counter(c)) => {
+                    report.wire_payload_bytes = *c
+                }
+                (names::WIRE_TX_BYTES_TOTAL, MetricValue::Counter(c)) => report.wire_tx_bytes = *c,
+                (names::WIRE_SERIALIZE_NANOS_TOTAL, MetricValue::Counter(c)) => {
+                    report.wire_serialize_nanos = *c
+                }
+                (names::WIRE_ENCRYPT_NANOS_TOTAL, MetricValue::Counter(c)) => {
+                    report.wire_encrypt_nanos = *c
+                }
+                (names::WIRE_DESERIALIZE_NANOS_TOTAL, MetricValue::Counter(c)) => {
+                    report.wire_deserialize_nanos = *c
+                }
+                (names::WIRE_RECONNECTS_TOTAL, MetricValue::Counter(c)) => {
+                    report.wire_reconnects = *c
+                }
                 _ => {}
             }
         }
@@ -237,6 +268,30 @@ impl PipelineReport {
             .sum();
         tax as f64 / total as f64
     }
+
+    /// Whether a wire transport carried the data plane in this run. When
+    /// true, the measured `wire_*` tax supersedes the analytic
+    /// [`PipelineReport::tax_cycle_share`] figure.
+    pub fn wire_active(&self) -> bool {
+        self.wire_frames > 0
+    }
+
+    /// Measured datacenter-tax seconds actually paid on the wire:
+    /// serialize + cipher + deserialize time.
+    pub fn wire_tax_seconds(&self) -> f64 {
+        (self.wire_serialize_nanos + self.wire_encrypt_nanos + self.wire_deserialize_nanos) as f64
+            / 1e9
+    }
+
+    /// Wire compression ratio: serialized payload bytes divided by bytes
+    /// on the wire (1.0 when nothing was sent).
+    pub fn wire_compression_ratio(&self) -> f64 {
+        if self.wire_tx_bytes == 0 {
+            1.0
+        } else {
+            self.wire_payload_bytes as f64 / self.wire_tx_bytes as f64
+        }
+    }
 }
 
 fn human_bytes(b: u64) -> String {
@@ -283,7 +338,18 @@ impl fmt::Display for PipelineReport {
                 row.stage, row.spans, row.seconds, time_pct, row.cycles, cyc_pct
             )?;
         }
-        if total_cycles > 0 {
+        if self.wire_active() {
+            // A real wire carried the data plane: report the measured tax
+            // instead of the analytic cycle model.
+            writeln!(
+                f,
+                "datacenter tax (measured on wire): {:.6}s = serialize {:.6}s + cipher {:.6}s + deserialize {:.6}s",
+                self.wire_tax_seconds(),
+                self.wire_serialize_nanos as f64 / 1e9,
+                self.wire_encrypt_nanos as f64 / 1e9,
+                self.wire_deserialize_nanos as f64 / 1e9,
+            )?;
+        } else if total_cycles > 0 {
             writeln!(
                 f,
                 "datacenter tax (tls+deserialize): {:.1}% of cycles",
@@ -346,6 +412,19 @@ impl fmt::Display for PipelineReport {
                 self.dedup_ratio,
                 human_bytes(self.dedup_bytes_saved),
                 self.dedup_reuse_hits
+            )?;
+        }
+
+        if self.wire_active() {
+            writeln!(f, "\n-- wire transport (measured datacenter tax) --")?;
+            writeln!(
+                f,
+                "frames: {}  payload: {}  on wire: {}  compression: {:.2}x  reconnects: {}",
+                self.wire_frames,
+                human_bytes(self.wire_payload_bytes),
+                human_bytes(self.wire_tx_bytes),
+                self.wire_compression_ratio(),
+                self.wire_reconnects
             )?;
         }
 
@@ -437,6 +516,38 @@ mod tests {
     fn overread_ratio_handles_zero_wanted() {
         let report = PipelineReport::default();
         assert_eq!(report.overread_ratio(), 1.0);
+    }
+
+    #[test]
+    fn wire_section_supersedes_analytic_tax() {
+        let r = Registry::new();
+        add_stage_cycles(&r, stage::EXTRACT, 400);
+        add_stage_cycles(&r, stage::TLS, 100);
+        r.counter(names::WIRE_FRAMES_TOTAL, &[]).add(12);
+        r.counter(names::WIRE_PAYLOAD_BYTES_TOTAL, &[]).add(4096);
+        r.counter(names::WIRE_TX_BYTES_TOTAL, &[]).add(2048);
+        r.counter(names::WIRE_SERIALIZE_NANOS_TOTAL, &[]).add(1_000);
+        r.counter(names::WIRE_ENCRYPT_NANOS_TOTAL, &[]).add(2_000);
+        r.counter(names::WIRE_DESERIALIZE_NANOS_TOTAL, &[])
+            .add(3_000);
+        r.counter(names::WIRE_RECONNECTS_TOTAL, &[]).add(1);
+        let report = PipelineReport::collect(&r);
+        assert!(report.wire_active());
+        assert_eq!(report.wire_frames, 12);
+        assert!((report.wire_tax_seconds() - 6e-6).abs() < 1e-12);
+        assert!((report.wire_compression_ratio() - 2.0).abs() < 1e-12);
+        let text = report.to_string();
+        assert!(text.contains("wire transport (measured datacenter tax)"));
+        assert!(text.contains("datacenter tax (measured on wire)"));
+        // The analytic cycle-share line is replaced, not duplicated.
+        assert!(!text.contains("% of cycles"));
+
+        // In-process runs keep the analytic line and print no wire section.
+        let r2 = Registry::new();
+        add_stage_cycles(&r2, stage::TLS, 100);
+        let off = PipelineReport::collect(&r2).to_string();
+        assert!(off.contains("% of cycles"));
+        assert!(!off.contains("wire transport"));
     }
 
     #[test]

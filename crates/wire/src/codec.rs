@@ -1,0 +1,314 @@
+//! Binary codec for envelopes crossing the Worker→Client wire.
+//!
+//! The workspace's serde shim erases `#[derive(Serialize)]` into nothing,
+//! so the wire format is hand-rolled on the DWRF varint primitives:
+//! varints for counts/ids, raw little-endian bytes for `f32` runs. The
+//! layout is self-describing enough to reject truncation and garbage with
+//! a `DsiError::Corrupt` instead of panicking — the transport treats any
+//! decode failure as a torn frame and forces a reconnect.
+
+use dsi_types::{
+    DenseMatrix, DsiError, FeatureId, MiniBatchTensor, Result, SparseTensor, WorkerId,
+};
+use dwrf::encoding::{read_varint, write_varint};
+
+/// A tensor in flight from a Worker to a Client, tagged with everything the
+/// exactly-once protocol needs: the split it came from, its sequence number
+/// within the split, and whether it is the split's final tensor.
+///
+/// This is the unit of delivery on both the in-process path (bounded
+/// channels) and the TCP path (one data frame per envelope); `dpp` aliases
+/// its internal `Envelope` to this type so the two transports carry
+/// byte-identical cargo.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireEnvelope {
+    /// Split the tensor was cooked from.
+    pub split: u64,
+    /// Sequence number of this tensor within the split, starting at 0.
+    pub seq: u32,
+    /// Whether this is the last tensor of the split (acking it completes
+    /// the split at the master).
+    pub last: bool,
+    /// Worker that produced the tensor.
+    pub worker: WorkerId,
+    /// The materialized mini-batch itself.
+    pub tensor: MiniBatchTensor,
+}
+
+fn write_f32_seq(out: &mut Vec<u8>, values: &[f32]) {
+    write_varint(out, values.len() as u64);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_f32_seq(buf: &[u8], pos: &mut usize) -> Result<Vec<f32>> {
+    let n = read_varint(buf, pos)? as usize;
+    let bytes = n
+        .checked_mul(4)
+        .ok_or_else(|| DsiError::corrupt("f32 sequence length overflow"))?;
+    let end = pos
+        .checked_add(bytes)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| DsiError::corrupt("f32 sequence truncated"))?;
+    let mut out = Vec::with_capacity(n);
+    let mut at = *pos;
+    while at < end {
+        out.push(f32::from_le_bytes([
+            buf[at],
+            buf[at + 1],
+            buf[at + 2],
+            buf[at + 3],
+        ]));
+        at += 4;
+    }
+    *pos = end;
+    Ok(out)
+}
+
+fn write_u64_seq(out: &mut Vec<u8>, values: &[u64]) {
+    write_varint(out, values.len() as u64);
+    for &v in values {
+        write_varint(out, v);
+    }
+}
+
+fn read_u64_seq(buf: &[u8], pos: &mut usize) -> Result<Vec<u64>> {
+    let n = read_varint(buf, pos)? as usize;
+    if n > buf.len().saturating_sub(*pos) {
+        // Each element takes at least one byte; an impossible count means
+        // a truncated or corrupt buffer, so bail before allocating.
+        return Err(DsiError::corrupt("u64 sequence truncated"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(read_varint(buf, pos)?);
+    }
+    Ok(out)
+}
+
+/// Serialize an envelope into the wire byte layout.
+pub fn encode_envelope(env: &WireEnvelope) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + env.tensor.payload_bytes());
+    write_varint(&mut out, env.split);
+    write_varint(&mut out, env.seq as u64);
+    out.push(env.last as u8);
+    write_varint(&mut out, env.worker.0);
+
+    let t = &env.tensor;
+    write_varint(&mut out, t.dense.rows() as u64);
+    write_varint(&mut out, t.dense.cols() as u64);
+    for v in t.dense.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    write_f32_seq(&mut out, &t.labels);
+
+    write_varint(&mut out, t.sparse.len() as u64);
+    for s in &t.sparse {
+        write_varint(&mut out, s.feature().0);
+        write_u64_seq(
+            &mut out,
+            &s.offsets().iter().map(|&o| o as u64).collect::<Vec<_>>(),
+        );
+        write_u64_seq(&mut out, s.values());
+        match s.scores() {
+            Some(scores) => {
+                out.push(1);
+                write_f32_seq(&mut out, scores);
+            }
+            None => out.push(0),
+        }
+    }
+    out
+}
+
+fn read_u8(buf: &[u8], pos: &mut usize) -> Result<u8> {
+    let b = *buf
+        .get(*pos)
+        .ok_or_else(|| DsiError::corrupt("envelope truncated"))?;
+    *pos += 1;
+    Ok(b)
+}
+
+/// Deserialize an envelope from the wire byte layout, reconstructing the
+/// tensors bitwise-identically via the validated `from_parts` constructors.
+pub fn decode_envelope(buf: &[u8]) -> Result<WireEnvelope> {
+    let pos = &mut 0usize;
+    let split = read_varint(buf, pos)?;
+    let seq = read_varint(buf, pos)? as u32;
+    let last = match read_u8(buf, pos)? {
+        0 => false,
+        1 => true,
+        other => {
+            return Err(DsiError::corrupt(format!(
+                "bad last-tensor flag {other:#x}"
+            )))
+        }
+    };
+    let worker = WorkerId(read_varint(buf, pos)?);
+
+    let rows = read_varint(buf, pos)? as usize;
+    let cols = read_varint(buf, pos)? as usize;
+    let cells = rows
+        .checked_mul(cols)
+        .ok_or_else(|| DsiError::corrupt("dense shape overflow"))?;
+    let end = pos
+        .checked_add(cells * 4)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| DsiError::corrupt("dense matrix truncated"))?;
+    let mut data = Vec::with_capacity(cells);
+    let mut at = *pos;
+    while at < end {
+        data.push(f32::from_le_bytes([
+            buf[at],
+            buf[at + 1],
+            buf[at + 2],
+            buf[at + 3],
+        ]));
+        at += 4;
+    }
+    *pos = end;
+    let dense = DenseMatrix::from_parts(rows, cols, data);
+    let labels = read_f32_seq(buf, pos)?;
+
+    let n_sparse = read_varint(buf, pos)? as usize;
+    if n_sparse > buf.len().saturating_sub(*pos) {
+        return Err(DsiError::corrupt("sparse tensor count truncated"));
+    }
+    let mut sparse = Vec::with_capacity(n_sparse);
+    for _ in 0..n_sparse {
+        let feature = FeatureId(read_varint(buf, pos)?);
+        let offsets_u64 = read_u64_seq(buf, pos)?;
+        let mut offsets = Vec::with_capacity(offsets_u64.len());
+        for o in offsets_u64 {
+            if o > u32::MAX as u64 {
+                return Err(DsiError::corrupt("CSR offset exceeds u32"));
+            }
+            offsets.push(o as u32);
+        }
+        let values = read_u64_seq(buf, pos)?;
+        let scores = match read_u8(buf, pos)? {
+            0 => None,
+            1 => Some(read_f32_seq(buf, pos)?),
+            other => return Err(DsiError::corrupt(format!("bad scores flag {other:#x}"))),
+        };
+        // Validate CSR shape here (rather than letting `from_parts`
+        // assert) so wire garbage surfaces as an error, not a panic.
+        if offsets.is_empty() || offsets[0] != 0 {
+            return Err(DsiError::corrupt("CSR offsets must start at 0"));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(DsiError::corrupt("CSR offsets must be monotone"));
+        }
+        if *offsets.last().expect("non-empty") as usize != values.len() {
+            return Err(DsiError::corrupt("CSR offsets do not cover values"));
+        }
+        if let Some(s) = &scores {
+            if s.len() != values.len() {
+                return Err(DsiError::corrupt("CSR scores misaligned with values"));
+            }
+        }
+        sparse.push(SparseTensor::from_parts(feature, offsets, values, scores));
+    }
+
+    if *pos != buf.len() {
+        return Err(DsiError::corrupt(format!(
+            "envelope has {} trailing bytes",
+            buf.len() - *pos
+        )));
+    }
+    if labels.len() != rows {
+        return Err(DsiError::corrupt("labels misaligned with dense rows"));
+    }
+    Ok(WireEnvelope {
+        split,
+        seq,
+        last,
+        worker,
+        tensor: MiniBatchTensor {
+            dense,
+            sparse,
+            labels,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsi_types::{Batch, Sample, SparseList};
+
+    fn sample_envelope(seed: u64) -> WireEnvelope {
+        let mut batch = Batch::new();
+        for i in 0..5u64 {
+            let mut s = Sample::new((seed + i) as f32 * 0.5);
+            s.set_dense(FeatureId(1), i as f32 * 1.25 + seed as f32);
+            s.set_dense(FeatureId(2), -(i as f32));
+            if i != 2 {
+                s.set_sparse(
+                    FeatureId(7),
+                    SparseList::from_ids(vec![seed + i, seed + i + 100]),
+                );
+            }
+            if i % 2 == 0 {
+                s.set_sparse(
+                    FeatureId(9),
+                    SparseList::from_scored(vec![i], vec![0.25 * i as f32]),
+                );
+            }
+            batch.push(s);
+        }
+        let tensor =
+            batch.materialize(&[FeatureId(1), FeatureId(2)], &[FeatureId(7), FeatureId(9)]);
+        WireEnvelope {
+            split: 42 + seed,
+            seq: 7,
+            last: seed.is_multiple_of(2),
+            worker: WorkerId(3),
+            tensor,
+        }
+    }
+
+    #[test]
+    fn round_trips_bitwise() {
+        for seed in 0..4 {
+            let env = sample_envelope(seed);
+            let bytes = encode_envelope(&env);
+            let back = decode_envelope(&bytes).expect("decode");
+            assert_eq!(back, env);
+        }
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let env = sample_envelope(1);
+        let bytes = encode_envelope(&env);
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_envelope(&bytes[..cut]).is_err(),
+                "truncation at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let env = sample_envelope(2);
+        let mut bytes = encode_envelope(&env);
+        bytes.push(0xFF);
+        assert!(decode_envelope(&bytes).is_err());
+    }
+
+    #[test]
+    fn corrupt_flag_bytes_error_not_panic() {
+        let env = sample_envelope(3);
+        let bytes = encode_envelope(&env);
+        // Flip every byte one at a time: decode must never panic, and the
+        // result is either an error or a (differently-valued) envelope.
+        for i in 0..bytes.len() {
+            let mut mutated = bytes.clone();
+            mutated[i] ^= 0x5A;
+            let _ = decode_envelope(&mutated);
+        }
+    }
+}

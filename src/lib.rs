@@ -68,12 +68,13 @@ pub use tectonic;
 pub use trainer;
 pub use transforms;
 pub use warehouse;
+pub use wire;
 
 /// Commonly-used items across the whole pipeline.
 pub mod prelude {
     pub use chaos::{FaultInjector, FaultKind, FaultPlan, HookPoint};
     pub use dedup::{DedupConfig, DedupSet, DedupStats};
-    pub use dpp::{AutoScaler, Client, DppSession, Master, SessionSpec};
+    pub use dpp::{AutoScaler, Client, DppSession, Master, SessionSpec, Transport};
     pub use dsi_obs::{json_snapshot, prometheus_text, PipelineReport, Registry};
     pub use dsi_types::{
         Batch, ByteSize, DsiError, FeatureId, MiniBatchTensor, PartitionId, Projection, Sample,
@@ -87,4 +88,5 @@ pub mod prelude {
     pub use trainer::{DedupIngest, GpuDemand, LiveTrainer, StallSim};
     pub use transforms::{TransformOp, TransformPlan};
     pub use warehouse::{Table, TableConfig, Warehouse};
+    pub use wire::WireConfig;
 }

@@ -80,6 +80,7 @@ struct EpochOpts {
     with_cache: bool,
     fastpath: bool,
     workers: usize,
+    transport: Transport,
 }
 
 impl Default for EpochOpts {
@@ -89,6 +90,7 @@ impl Default for EpochOpts {
             with_cache: false,
             fastpath: true,
             workers: 3,
+            transport: Transport::InProcess,
         }
     }
 }
@@ -103,6 +105,7 @@ fn chaos_spec(opts: EpochOpts) -> SessionSpec {
         .buffer_capacity(4)
         .read_ahead(opts.read_ahead)
         .fastpath(opts.fastpath)
+        .transport(opts.transport)
         .build()
 }
 
@@ -585,6 +588,60 @@ fn regression_double_master_kill_restore_under_pipeline() {
         ..EpochOpts::default()
     };
     check_plan_injects(plan, opts, &["master_kill_restore"]);
+}
+
+// ---------------------------------------------------------------------
+// Wire transport: faults on the TCP data plane.
+// ---------------------------------------------------------------------
+
+#[test]
+fn regression_wire_connection_drops_replay_unacked_envelopes() {
+    // Severed sockets, a torn frame mid-write, and a slow socket on the
+    // worker->client wire: the client reconnects, the server replays its
+    // unacked envelope window, and the exactly-once dedup absorbs every
+    // replayed duplicate — the epoch still matches the baseline bitwise.
+    let plan = FaultPlan::named(vec![
+        FaultEvent::new(HookPoint::WireFrame, 2, FaultKind::ConnDrop),
+        FaultEvent::new(HookPoint::WireFrame, 5, FaultKind::PartialFrame),
+        FaultEvent::new(
+            HookPoint::WireFrame,
+            8,
+            FaultKind::SlowSocket { micros: 300 },
+        ),
+        FaultEvent::new(HookPoint::WireFrame, 11, FaultKind::ConnDrop),
+    ]);
+    let opts = EpochOpts {
+        transport: Transport::Tcp(WireConfig::plaintext()),
+        ..EpochOpts::default()
+    };
+    check_plan_injects(plan, opts, &["conn_drop", "partial_frame", "slow_socket"]);
+}
+
+#[test]
+fn regression_wire_drops_compose_with_worker_kill_and_master_restart() {
+    // Wire faults racing control-plane chaos over an encrypted transport:
+    // killing a worker tears down its wire server mid-replay, and the
+    // master restart rebuilds every socket from the checkpoint.
+    let plan = FaultPlan::named(vec![
+        FaultEvent::new(HookPoint::WireFrame, 3, FaultKind::ConnDrop),
+        FaultEvent::new(HookPoint::WireFrame, 7, FaultKind::PartialFrame),
+        FaultEvent::new(HookPoint::Harness, 3, FaultKind::WorkerKill),
+        FaultEvent::new(HookPoint::Harness, 6, FaultKind::MasterKillRestore),
+    ]);
+    let opts = EpochOpts {
+        transport: Transport::Tcp(WireConfig::encrypted(0x007E_57ED)),
+        ..EpochOpts::default()
+    };
+    check_plan_injects(
+        plan,
+        opts,
+        &[
+            "conn_drop",
+            "partial_frame",
+            "worker_kill",
+            "master_kill_restore",
+        ],
+    );
 }
 
 // ---------------------------------------------------------------------

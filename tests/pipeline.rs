@@ -1,5 +1,6 @@
 //! End-to-end pipeline integration: logs → ETL → warehouse → DPP → trainer.
 
+use dsi::obs::names as obs_names;
 use dsi::prelude::*;
 use dsi_types::FeatureKind;
 use std::collections::HashSet;
@@ -203,6 +204,152 @@ fn dedup_pipeline_is_exactly_once_and_bitwise_identical() {
     }
     assert_eq!(rows, 600);
     assert_eq!(seen.len(), 600);
+}
+
+/// A small deterministic table for transport comparisons.
+fn wire_table(id: u64) -> Table {
+    let cluster = TectonicCluster::new(ClusterConfig::small());
+    let opts = WriterOptions {
+        rows_per_stripe: 32,
+        ..Default::default()
+    };
+    let table = Table::create(
+        cluster,
+        TableConfig::new(TableId(id), "wire").with_writer_options(opts),
+    )
+    .unwrap();
+    for day in 0..3u32 {
+        let samples: Vec<Sample> = (0..96u64)
+            .map(|i| {
+                let rid = day as u64 * 96 + i;
+                let mut s = Sample::new((rid % 2) as f32);
+                s.set_dense(FeatureId(1), rid as f32);
+                s.set_sparse(FeatureId(2), SparseList::from_ids(vec![rid % 13, rid % 31]));
+                s
+            })
+            .collect();
+        table
+            .write_partition(PartitionId::new(day), samples)
+            .unwrap();
+    }
+    table
+}
+
+fn wire_spec(transport: Transport) -> SessionSpec {
+    SessionSpec::builder(SessionId(21))
+        .partitions(PartitionId::new(0)..PartitionId::new(3))
+        .projection(Projection::new(vec![FeatureId(1), FeatureId(2)]))
+        .plan(TransformPlan::new(vec![TransformOp::SigridHash {
+            input: FeatureId(2),
+            salt: 3,
+            modulus: 1_000,
+        }]))
+        .batch_size(24)
+        .dense_ids(vec![FeatureId(1)])
+        .sparse_ids(vec![FeatureId(2)])
+        .buffer_capacity(4)
+        .transport(transport)
+        .build()
+}
+
+#[test]
+fn tcp_transport_batches_bitwise_identical_to_in_process() {
+    // One worker keeps batch order deterministic, so the two transports
+    // are comparable tensor for tensor: serializing through the socket
+    // (with encryption AND compression on) must not change a single bit.
+    let table = wire_table(21);
+    let drain = |transport: Transport| {
+        let session = DppSession::launch(table.clone(), wire_spec(transport), 1).unwrap();
+        let mut client = session.client();
+        let mut batches = Vec::new();
+        while let Some(t) = client.next_batch() {
+            batches.push(t);
+        }
+        assert!(session.is_complete());
+        session.shutdown();
+        batches
+    };
+    let in_process = drain(Transport::InProcess);
+    let tcp = drain(Transport::Tcp(WireConfig::plaintext()));
+    let tcp_secure = drain(Transport::Tcp(WireConfig {
+        encrypt: true,
+        compress: true,
+        key: 0x00D5_1F00,
+    }));
+    // 9 stripes of 32 rows, each batched as 24 + 8 within its split.
+    assert_eq!(in_process.len(), 18);
+    assert_eq!(in_process, tcp);
+    assert_eq!(in_process, tcp_secure);
+}
+
+#[test]
+fn tcp_transport_multiworker_encrypted_exactly_once() {
+    let table = wire_table(22);
+    let session = DppSession::launch(
+        table,
+        wire_spec(Transport::Tcp(WireConfig::encrypted(0xC0FFEE))),
+        3,
+    )
+    .unwrap();
+    let mut client = session.client();
+    let mut seen = HashSet::new();
+    while let Some(t) = client.next_batch() {
+        for r in 0..t.batch_size() {
+            let rid = t.dense.get(r, 0) as u64;
+            assert!(seen.insert(rid), "request {rid} delivered twice over TCP");
+        }
+    }
+    assert_eq!(seen.len(), 288);
+    assert!(session.is_complete());
+    session.shutdown();
+}
+
+#[test]
+fn wire_reconnects_during_fetch_preserve_exactly_once() {
+    // Chaos severs wire connections mid-epoch (drops + torn frames); the
+    // client keeps fetching on a deadline, the servers replay unacked
+    // envelopes, and the dedup still delivers every row exactly once.
+    let plan = FaultPlan::named(vec![
+        chaos::FaultEvent::new(HookPoint::WireFrame, 2, FaultKind::ConnDrop),
+        chaos::FaultEvent::new(HookPoint::WireFrame, 6, FaultKind::PartialFrame),
+        chaos::FaultEvent::new(
+            HookPoint::WireFrame,
+            9,
+            FaultKind::SlowSocket { micros: 400 },
+        ),
+        chaos::FaultEvent::new(HookPoint::WireFrame, 13, FaultKind::ConnDrop),
+    ]);
+    let injector = FaultInjector::new(plan);
+    let table = wire_table(23);
+    let session = DppSession::launch_chaos(
+        table,
+        wire_spec(Transport::Tcp(WireConfig::plaintext())),
+        2,
+        Some(injector),
+    )
+    .unwrap();
+    let reg = Registry::new();
+    session.attach_registry(&reg);
+    let mut client = session.client();
+    let mut seen = HashSet::new();
+    loop {
+        match client.next_batch_deadline(std::time::Duration::from_millis(50)) {
+            Some(t) => {
+                for r in 0..t.batch_size() {
+                    let rid = t.dense.get(r, 0) as u64;
+                    assert!(seen.insert(rid), "request {rid} delivered twice");
+                }
+            }
+            None if session.is_complete() => break,
+            None => {} // deadline lapsed mid-reconnect; keep fetching
+        }
+    }
+    assert_eq!(seen.len(), 288);
+    session.shutdown();
+    assert!(
+        reg.counter_value(obs_names::WIRE_RECONNECTS_TOTAL, &[]) > 0,
+        "chaos schedule should have forced at least one reconnect"
+    );
 }
 
 #[test]
