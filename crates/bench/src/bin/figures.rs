@@ -110,6 +110,9 @@ fn main() {
     if want("wire") {
         wire_ablation(smoke);
     }
+    if want("trace") {
+        trace_ablation(smoke);
+    }
     if want("fleet") {
         fleet();
     }
@@ -1604,6 +1607,225 @@ fn wire_ablation(smoke: bool) {
         eprintln!("(could not write BENCH_wire.json: {e})");
     } else {
         println!("(wrote BENCH_wire.json)");
+    }
+}
+
+/// Extension (trace): end-to-end per-batch distributed tracing. Measures
+/// the sampling overhead of the default 1-in-4 rate against tracing-off on
+/// the same table and seed, then runs one known extract-bound and one known
+/// transform-bound job at full sampling and checks the critical-path
+/// analyzer's bottleneck verdicts. Writes `BENCH_trace.json` plus a
+/// Perfetto-loadable `PERFETTO_trace.json` holding a few example traces.
+fn trace_ablation(smoke: bool) {
+    use dpp::DppSession;
+    use dsi_obs::Registry;
+    use dsi_trace::TraceConfig;
+    use std::time::Instant;
+
+    let cfg = if smoke {
+        LabConfig {
+            features: 60,
+            days: 1,
+            rows_per_day: 8_192,
+            rows_per_stripe: 1_024,
+            seed: 0x7ace,
+        }
+    } else {
+        LabConfig {
+            features: 120,
+            days: 2,
+            rows_per_day: 16_384,
+            rows_per_stripe: 1_024,
+            seed: 0x7ace,
+        }
+    };
+    let lab = RmLab::build(RmClass::Rm1, cfg);
+
+    // One end-to-end run: the registry is attached before the first worker
+    // spawns so split 0 is traced, and the whole session drains through a
+    // client as usual.
+    let run = |base: &dpp::SessionSpec, trace: TraceConfig| {
+        let mut spec = base.clone();
+        spec.trace = trace;
+        let reg = Registry::new();
+        let session =
+            DppSession::launch_observed_chaos(lab.table.clone(), spec, 2, Some(&reg), None)
+                .expect("lab selection is non-empty");
+        let mut client = session.client();
+        let start = Instant::now();
+        let mut samples = 0u64;
+        while let Some(t) = client.next_batch() {
+            samples += t.batch_size() as u64;
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let report = session.shutdown();
+        assert_eq!(report.samples, samples, "exactly-once delivery");
+        (samples as f64 / secs, reg, samples)
+    };
+    // ---- overhead: default sampling vs off, identical spec and seed.
+    // Short runs are scheduler-noise-dominated, so trials interleave the
+    // two configurations (each pair shares machine conditions) and each
+    // side keeps its best; one warmup run heats the allocator and caches.
+    let base = lab.session_spec(lab.rc_projection(), 256);
+    let trials = if smoke { 7 } else { 5 };
+    let (_, reg_on, samples) = run(&base, TraceConfig::default_sampled());
+    let sampled_spans = reg_on.trace_spans().len();
+    let (mut qps_off, mut qps_on) = (0.0f64, 0.0f64);
+    for _ in 0..trials {
+        let (q_off, _, _) = run(&base, TraceConfig::off());
+        let (q_on, _, _) = run(&base, TraceConfig::default_sampled());
+        qps_off = qps_off.max(q_off);
+        qps_on = qps_on.max(q_on);
+    }
+    let overhead_pct = (qps_off - qps_on) / qps_off.max(1e-9) * 100.0;
+
+    // ---- two known job shapes at full sampling, for verdicts. The
+    // extract-bound job projects a narrow feature subset with no transform
+    // plan (coalesced over-reads dominate); the transform-bound one runs
+    // the full production plan tiled 8x over the wide RC projection.
+    let schema = lab.table.schema();
+    let narrow_ids: Vec<dsi_types::FeatureId> =
+        schema.logged_ids().into_iter().step_by(12).collect();
+    let narrow = Projection::new(narrow_ids);
+    let mut extract_spec = lab.session_spec(narrow.clone(), 256);
+    extract_spec.plan = TransformPlan::empty();
+    extract_spec.sparse_ids = schema
+        .ids_of_kind(dsi_types::FeatureKind::Sparse)
+        .into_iter()
+        .filter(|f| narrow.contains(*f))
+        .collect();
+    let mut transform_spec = lab.session_spec(lab.rc_projection(), 256);
+    let tiled: Vec<TransformOp> = (0..8)
+        .flat_map(|_| transform_spec.plan.ops().to_vec())
+        .collect();
+    transform_spec.plan = TransformPlan::new(tiled);
+
+    let mut rows = Vec::new();
+    let mut reports = Vec::new();
+    let mut perfetto_spans = Vec::new();
+    for (job, spec) in [
+        ("narrow extract-bound", &extract_spec),
+        ("tiled transform-bound", &transform_spec),
+    ] {
+        let (_, reg, _) = run(spec, TraceConfig::all());
+        let spans = reg.trace_spans();
+        if reg.trace_dropped() == 0 {
+            dsi_trace::validate(&spans).expect("traces are structurally valid");
+        }
+        let report = dsi_trace::analyze(&spans);
+        rows.push(vec![
+            job.into(),
+            f(report.traces as f64, 0),
+            f(report.spans as f64, 0),
+            f(report.categories.extract * 1e3, 1),
+            f(report.categories.transform * 1e3, 1),
+            f(report.categories.wire * 1e3, 1),
+            f(report.end_to_end_p50_ms, 2),
+            report.verdict.as_str().into(),
+        ]);
+        if perfetto_spans.is_empty() {
+            // Keep a handful of example traces for the Perfetto export so
+            // the committed artifact stays small.
+            let mut keep: Vec<u64> = spans.iter().map(|s| s.trace_id).collect();
+            keep.sort_unstable();
+            keep.dedup();
+            keep.truncate(3);
+            perfetto_spans = spans
+                .iter()
+                .filter(|s| keep.contains(&s.trace_id))
+                .copied()
+                .collect();
+        }
+        reports.push((job, report));
+    }
+    print_table(
+        "Extension (trace): per-batch distributed tracing + critical-path attribution (RM1, same seed)",
+        &[
+            "job",
+            "traces",
+            "spans",
+            "extract ms",
+            "transform ms",
+            "wire ms",
+            "e2e p50 ms",
+            "verdict",
+        ],
+        &rows,
+    );
+    let extract_verdict = reports[0].1.verdict;
+    let transform_verdict = reports[1].1.verdict;
+    assert_eq!(
+        extract_verdict,
+        dsi_trace::Verdict::ExtractBound,
+        "narrow no-plan job must attribute to extract"
+    );
+    assert_eq!(
+        transform_verdict,
+        dsi_trace::Verdict::TransformBound,
+        "tiled full-plan job must attribute to transform"
+    );
+    println!(
+        "(default 1-in-{} sampling costs {overhead_pct:.2}% end-to-end throughput \
+         ({:.0} vs {:.0} samples/s) and collected {sampled_spans} spans; the analyzer \
+         attributes the narrow job to {} and the tiled-plan job to {})",
+        dsi_trace::DEFAULT_SAMPLE_ONE_IN,
+        qps_on,
+        qps_off,
+        extract_verdict.as_str(),
+        transform_verdict.as_str(),
+    );
+    if !perfetto_spans.is_empty() {
+        println!("\nexample trace (extract-bound job):");
+        let first = perfetto_spans[0].trace_id;
+        let one: Vec<_> = perfetto_spans
+            .iter()
+            .filter(|s| s.trace_id == first)
+            .copied()
+            .collect();
+        print!("{}", dsi_trace::text_tree(&one));
+    }
+
+    let (_, xr) = &reports[0];
+    let (_, tr) = &reports[1];
+    let json = format!(
+        "{{\n  \"samples_per_sec_off\": {qps_off:.1},\n  \"samples_per_sec_traced\": {qps_on:.1},\n  \
+         \"overhead_pct\": {overhead_pct:.3},\n  \"sample_one_in\": {},\n  \
+         \"sampled_spans\": {sampled_spans},\n  \
+         \"extract_bound\": {{\"traces\": {}, \"spans\": {}, \"verdict\": \"{}\", \
+         \"extract_ms\": {:.3}, \"transform_ms\": {:.3}, \"wire_ms\": {:.3}, \
+         \"trainer_ms\": {:.3}, \"end_to_end_p50_ms\": {:.3}}},\n  \
+         \"transform_bound\": {{\"traces\": {}, \"spans\": {}, \"verdict\": \"{}\", \
+         \"extract_ms\": {:.3}, \"transform_ms\": {:.3}, \"wire_ms\": {:.3}, \
+         \"trainer_ms\": {:.3}, \"end_to_end_p50_ms\": {:.3}}},\n  \
+         \"samples\": {samples},\n  \"smoke\": {smoke}\n}}\n",
+        dsi_trace::DEFAULT_SAMPLE_ONE_IN,
+        xr.traces,
+        xr.spans,
+        xr.verdict.as_str(),
+        xr.categories.extract * 1e3,
+        xr.categories.transform * 1e3,
+        xr.categories.wire * 1e3,
+        xr.categories.trainer * 1e3,
+        xr.end_to_end_p50_ms,
+        tr.traces,
+        tr.spans,
+        tr.verdict.as_str(),
+        tr.categories.extract * 1e3,
+        tr.categories.transform * 1e3,
+        tr.categories.wire * 1e3,
+        tr.categories.trainer * 1e3,
+        tr.end_to_end_p50_ms,
+    );
+    if let Err(e) = std::fs::write("BENCH_trace.json", &json) {
+        eprintln!("(could not write BENCH_trace.json: {e})");
+    } else {
+        println!("(wrote BENCH_trace.json)");
+    }
+    let perfetto = dsi_trace::perfetto_json(&perfetto_spans);
+    if let Err(e) = std::fs::write("PERFETTO_trace.json", &perfetto) {
+        eprintln!("(could not write PERFETTO_trace.json: {e})");
+    } else {
+        println!("(wrote PERFETTO_trace.json — load it at https://ui.perfetto.dev)");
     }
 }
 

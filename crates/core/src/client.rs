@@ -55,6 +55,12 @@ pub struct Client {
     offset: usize,
     cursor: usize,
     obs: Option<dsi_obs::Registry>,
+    /// `job` label value for session-scoped metrics, so two concurrent
+    /// sessions publishing into one registry never collide.
+    job: String,
+    /// Trace context of the most recently delivered tensor's `Deliver`
+    /// span; the trainer's `Consume` span parents under it.
+    last_trace: dsi_obs::TraceContext,
 }
 
 impl Client {
@@ -65,6 +71,7 @@ impl Client {
         fanout: usize,
         offset: usize,
     ) -> Self {
+        let job = master.session().to_string();
         Self {
             registry,
             master,
@@ -73,6 +80,8 @@ impl Client {
             offset,
             cursor: 0,
             obs: None,
+            job,
+            last_trace: dsi_obs::TraceContext::NONE,
         }
     }
 
@@ -90,9 +99,11 @@ impl Client {
     /// Records a successful fetch: latency since `start` plus the batch.
     fn note_batch(&self, start: Instant) {
         if let Some(reg) = &self.obs {
-            reg.histogram(dsi_obs::names::CLIENT_FETCH_SECONDS, &[])
+            let labels = [("job", self.job.as_str())];
+            reg.histogram(dsi_obs::names::CLIENT_FETCH_SECONDS, &labels)
                 .record(start.elapsed().as_secs_f64());
-            reg.counter(dsi_obs::names::CLIENT_BATCHES_TOTAL, &[]).inc();
+            reg.counter(dsi_obs::names::CLIENT_BATCHES_TOTAL, &labels)
+                .inc();
         }
     }
 
@@ -100,8 +111,53 @@ impl Client {
     /// would have stalled on this poll.
     fn note_starved(&self) {
         if let Some(reg) = &self.obs {
-            reg.counter(dsi_obs::names::CLIENT_STARVED_POLLS_TOTAL, &[])
-                .inc();
+            reg.counter(
+                dsi_obs::names::CLIENT_STARVED_POLLS_TOTAL,
+                &[("job", self.job.as_str())],
+            )
+            .inc();
+        }
+    }
+
+    /// Trace context of the most recently delivered (non-duplicate) tensor,
+    /// i.e. its `Deliver` span. `NONE` until a sampled tensor arrives.
+    pub fn last_trace(&self) -> dsi_obs::TraceContext {
+        self.last_trace
+    }
+
+    /// The `job` label value (the session id) this client stamps on its
+    /// session-scoped metrics; trainers reuse it for theirs.
+    pub fn job(&self) -> &str {
+        &self.job
+    }
+
+    /// Records a `Deliver` span for a sampled envelope. Replayed duplicates
+    /// are flagged so they show up as sibling spans under the same
+    /// worker-side `Load` span rather than vanishing from the trace.
+    fn note_deliver(&mut self, env: &Envelope, duplicate: bool) {
+        if env.trace_id == 0 {
+            return;
+        }
+        let Some(reg) = &self.obs else { return };
+        let now = dsi_obs::now_ns();
+        let span_id = dsi_obs::next_span_id();
+        reg.record_span(dsi_obs::TraceSpan {
+            trace_id: env.trace_id,
+            span_id,
+            parent_id: env.parent_span,
+            kind: dsi_obs::SpanKind::Deliver,
+            start_ns: now,
+            end_ns: now,
+            split: env.split,
+            worker: env.worker.0,
+            seq: env.seq,
+            flags: if duplicate { dsi_obs::FLAG_REPLAY } else { 0 },
+        });
+        if !duplicate {
+            self.last_trace = dsi_obs::TraceContext {
+                trace_id: env.trace_id,
+                span_id,
+            };
         }
     }
 
@@ -186,11 +242,12 @@ impl Client {
 
     /// Accepts an envelope if it is not a replayed duplicate, acking its
     /// split on the final tensor.
-    fn accept(&self, env: Envelope) -> Option<MiniBatchTensor> {
+    fn accept(&mut self, env: Envelope) -> Option<MiniBatchTensor> {
         let mut progress = self.progress.lock();
         let expected = progress.entry(env.split).or_insert(0);
         if env.seq < *expected {
             drop(progress);
+            self.note_deliver(&env, true);
             if env.last {
                 // The split replayed because its original worker was
                 // presumed dead — possibly *after* this client consumed
@@ -205,6 +262,7 @@ impl Client {
         }
         *expected = env.seq + 1;
         drop(progress);
+        self.note_deliver(&env, false);
         if env.last {
             // Late acks for crashed workers are rejected by the master and
             // simply replayed; ignore the error.
@@ -283,6 +341,8 @@ mod tests {
             seq,
             last,
             worker: WorkerId(0),
+            trace_id: 0,
+            parent_span: 0,
             tensor: Batch::from_samples(vec![Sample::new(label)]).materialize(&[], &[]),
         }
     }
@@ -430,11 +490,13 @@ mod tests {
         c.attach_registry(&reg);
         assert!(c.next_batch_deadline(Duration::from_millis(20)).is_none());
         // Every Pending poll before the deadline counts as a starved poll;
-        // nothing is charged to the batch counter or fetch histogram.
-        let starved = reg.counter_value(names::CLIENT_STARVED_POLLS_TOTAL, &[]);
+        // nothing is charged to the batch counter or fetch histogram. All
+        // session-scoped client metrics carry the session's `job` label.
+        let job = [("job", "sess1")];
+        let starved = reg.counter_value(names::CLIENT_STARVED_POLLS_TOTAL, &job);
         assert!(starved >= 1, "timeout produced no starved polls");
-        assert_eq!(reg.counter_value(names::CLIENT_BATCHES_TOTAL, &[]), 0);
-        let snap = reg.histogram(names::CLIENT_FETCH_SECONDS, &[]).snapshot();
+        assert_eq!(reg.counter_value(names::CLIENT_BATCHES_TOTAL, &job), 0);
+        let snap = reg.histogram(names::CLIENT_FETCH_SECONDS, &job).snapshot();
         assert_eq!(snap.count, 0);
     }
 
@@ -481,11 +543,57 @@ mod tests {
         assert!(c.try_next_batch().is_some());
         // Channel empty but the sender is alive: a starved poll.
         assert!(c.try_next_batch().is_none());
-        assert_eq!(reg.counter_value(names::CLIENT_BATCHES_TOTAL, &[]), 1);
-        assert_eq!(reg.counter_value(names::CLIENT_STARVED_POLLS_TOTAL, &[]), 1);
-        let snap = reg.histogram(names::CLIENT_FETCH_SECONDS, &[]).snapshot();
+        let job = [("job", "sess1")];
+        assert_eq!(reg.counter_value(names::CLIENT_BATCHES_TOTAL, &job), 1);
+        assert_eq!(
+            reg.counter_value(names::CLIENT_STARVED_POLLS_TOTAL, &job),
+            1
+        );
+        let snap = reg.histogram(names::CLIENT_FETCH_SECONDS, &job).snapshot();
         assert_eq!(snap.count, 1);
         drop(tx);
+    }
+
+    #[test]
+    fn deliver_spans_parent_under_envelope_and_flag_replays() {
+        let (tx, rx) = bounded(8);
+        let endpoints = vec![Endpoint {
+            id: WorkerId(0),
+            receiver: rx,
+            capacity: 8,
+        }];
+        let mut traced = envelope(3, 0, true, 1.0);
+        traced.trace_id = 0xFACE;
+        traced.parent_span = 77;
+        tx.send(traced.clone()).unwrap();
+        tx.send(traced).unwrap(); // replayed duplicate
+        tx.send(envelope(4, 0, true, 2.0)).unwrap(); // unsampled
+        drop(tx);
+        let mut c = client(endpoints, empty_master(), usize::MAX);
+        let reg = dsi_obs::Registry::new();
+        c.attach_registry(&reg);
+        assert!(c.next_batch().is_some());
+        assert!(c.next_batch().is_some());
+        assert!(c.next_batch().is_none());
+
+        let spans = reg.trace_spans();
+        assert_eq!(spans.len(), 2, "one original + one replayed Deliver");
+        for s in &spans {
+            assert_eq!(s.kind, dsi_obs::SpanKind::Deliver);
+            assert_eq!(s.trace_id, 0xFACE);
+            assert_eq!(s.parent_id, 77);
+            assert_eq!(s.split, 3);
+        }
+        assert_eq!(
+            spans.iter().filter(|s| s.is_replay()).count(),
+            1,
+            "the duplicate is flagged as a replay sibling"
+        );
+        assert_ne!(spans[0].span_id, spans[1].span_id);
+        // The client's last-delivered context points at the original span.
+        let original = spans.iter().find(|s| !s.is_replay()).unwrap();
+        assert_eq!(c.last_trace().trace_id, 0xFACE);
+        assert_eq!(c.last_trace().span_id, original.span_id);
     }
 
     #[test]
@@ -521,6 +629,8 @@ mod tests {
             seq: 0,
             last: true,
             worker: w,
+            trace_id: 0,
+            parent_span: 0,
             tensor: Batch::from_samples(vec![Sample::new(1.0)]).materialize(&[], &[]),
         })
         .unwrap();

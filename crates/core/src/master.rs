@@ -8,6 +8,8 @@
 //! are simply requeued; the Master itself checkpoints its reader state
 //! periodically and is replicated to avoid a single point of failure.
 
+use dsi_obs::{next_span_id, now_ns, SpanKind, TraceContext, TraceSpan};
+use dsi_trace::TraceConfig;
 use dsi_types::{DsiError, Result, SessionId, WorkerId};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -57,6 +59,7 @@ struct MasterState {
     next_worker_id: u64,
     completed_count: u64,
     registry: Option<dsi_obs::Registry>,
+    trace: TraceConfig,
 }
 
 impl MasterState {
@@ -113,8 +116,18 @@ impl Master {
                 next_worker_id: 0,
                 completed_count: 0,
                 registry: None,
+                trace: TraceConfig::off(),
             })),
         }
+    }
+
+    /// Enables distributed tracing for split serves. Like
+    /// [`Master::attach_registry`], setting it through any replica covers
+    /// all clones — and must be re-applied after [`Master::restore`]
+    /// (checkpoints do not carry tracing state), so re-served splits after
+    /// a failover land in the same deterministic traces.
+    pub fn set_trace_config(&self, trace: TraceConfig) {
+        self.state.lock().trace = trace;
     }
 
     /// The owning session.
@@ -180,6 +193,22 @@ impl Master {
     ///
     /// Returns [`DsiError::InvalidState`] for unregistered workers.
     pub fn request_split(&self, worker: WorkerId) -> Result<Option<Split>> {
+        Ok(self.request_split_ctx(worker)?.map(|(split, _)| split))
+    }
+
+    /// [`Master::request_split`] plus the split's trace context.
+    ///
+    /// When the split is sampled (deterministic in session and split
+    /// index) and a registry is attached, serving it records a top-level
+    /// `Schedule` span and returns the context the worker's spans parent
+    /// under. A split re-served after a worker failure or master restore
+    /// gets a *fresh* `Schedule` span in the *same* trace — replayed
+    /// executions appear as sibling subtrees.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::InvalidState`] for unregistered workers.
+    pub fn request_split_ctx(&self, worker: WorkerId) -> Result<Option<(Split, TraceContext)>> {
         let mut s = self.state.lock();
         if !s.registered.contains(&worker) {
             return Err(DsiError::InvalidState(format!(
@@ -195,7 +224,28 @@ impl Master {
                     .insert(idx);
                 let split = s.splits[idx as usize].clone();
                 s.publish_metrics();
-                Ok(Some(split))
+                let mut ctx = TraceContext::NONE;
+                let trace_id = s.trace.trace_id(self.session, idx);
+                if trace_id != 0 {
+                    if let Some(reg) = &s.registry {
+                        let span_id = next_span_id();
+                        let now = now_ns();
+                        reg.record_span(TraceSpan {
+                            trace_id,
+                            span_id,
+                            parent_id: 0,
+                            kind: SpanKind::Schedule,
+                            start_ns: now,
+                            end_ns: now,
+                            split: idx,
+                            worker: worker.0,
+                            seq: 0,
+                            flags: 0,
+                        });
+                        ctx = TraceContext { trace_id, span_id };
+                    }
+                }
+                Ok(Some((split, ctx)))
             }
             None => Ok(None),
         }
@@ -325,6 +375,7 @@ impl Master {
                 registered: BTreeSet::new(),
                 next_worker_id: 0,
                 registry: None,
+                trace: TraceConfig::off(),
             })),
         })
     }
@@ -589,6 +640,40 @@ mod tests {
         master.checkpoint();
         master.checkpoint();
         assert_eq!(reg.counter_value(names::MASTER_CHECKPOINTS_TOTAL, &[]), 2);
+    }
+
+    #[test]
+    fn traced_serves_record_schedule_spans_with_sibling_replays() {
+        let master = Master::new(SessionId(6), make_splits(3));
+        let reg = dsi_obs::Registry::new();
+        master.attach_registry(&reg);
+        master.set_trace_config(TraceConfig::all());
+        let w = master.register_worker();
+        let (s0, ctx) = master.request_split_ctx(w).unwrap().unwrap();
+        assert!(ctx.is_sampled());
+
+        // The worker dies: the split requeues and is re-served — same
+        // deterministic trace, fresh sibling Schedule span.
+        master.fail_worker(w);
+        let w2 = master.register_worker();
+        let (s0b, ctx2) = master.request_split_ctx(w2).unwrap().unwrap();
+        assert_eq!(s0b.index, s0.index);
+        assert_eq!(ctx2.trace_id, ctx.trace_id, "replay stays in one trace");
+        assert_ne!(ctx2.span_id, ctx.span_id, "each serve is its own span");
+
+        let spans = reg.trace_spans();
+        let schedules: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Schedule && s.split == s0.index)
+            .collect();
+        assert_eq!(schedules.len(), 2);
+        assert!(schedules.iter().all(|s| s.parent_id == 0), "siblings");
+
+        // Without a trace config (or when not sampled) the context is NONE
+        // and nothing further is recorded.
+        master.set_trace_config(TraceConfig::off());
+        let (_, none_ctx) = master.request_split_ctx(w2).unwrap().unwrap();
+        assert!(!none_ctx.is_sampled());
     }
 
     #[test]

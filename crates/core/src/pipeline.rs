@@ -24,7 +24,7 @@ use crate::master::Master;
 use crate::service::{fire_worker_chaos, ChaosSlot, WorkerFate};
 use crate::worker::{Worker, WorkerReport};
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
-use dsi_obs::names;
+use dsi_obs::{names, next_span_id, now_ns, SpanKind, TraceContext, TraceSpan};
 use dsi_types::{Batch, Sample};
 use dwrf::IoPlan;
 use parking_lot::Mutex;
@@ -51,6 +51,9 @@ struct Fetched {
     split: Split,
     rows: Vec<Sample>,
     plan: IoPlan,
+    /// Trace context of the split's `Schedule` span (NONE when unsampled);
+    /// each stage parents its span under it as the item crosses channels.
+    trace: TraceContext,
     /// When decode finished — the gap until the transform stage picks the
     /// item up is time the stages genuinely overlapped.
     ready_at: Instant,
@@ -61,6 +64,33 @@ struct Transformed {
     split: Split,
     batch: Batch,
     delta: WorkerReport,
+    trace: TraceContext,
+}
+
+/// Records a stage span under the split's schedule context. `start_ns` is
+/// captured by the caller just before the stage ran.
+#[allow(clippy::too_many_arguments)]
+fn record_stage_span(
+    reg: &dsi_obs::Registry,
+    ctx: TraceContext,
+    span_id: u64,
+    kind: SpanKind,
+    start_ns: u64,
+    split: u64,
+    worker: u64,
+) {
+    reg.record_span(TraceSpan {
+        trace_id: ctx.trace_id,
+        span_id,
+        parent_id: ctx.span_id,
+        kind,
+        start_ns,
+        end_ns: now_ns(),
+        split,
+        worker,
+        seq: 0,
+        flags: 0,
+    });
 }
 
 /// Main-thread poll slice while waiting on the transform stage; bounds how
@@ -93,6 +123,7 @@ pub(crate) fn pipelined_worker_loop(
         let kill = Arc::clone(&kill);
         let drain = Arc::clone(&drain);
         let end_reason = Arc::clone(&end_reason);
+        let obs = Arc::clone(&obs);
         std::thread::spawn(move || loop {
             if kill.load(Ordering::SeqCst) {
                 return;
@@ -101,24 +132,58 @@ pub(crate) fn pipelined_worker_loop(
                 *end_reason.lock() = Some(EndReason::Drained);
                 return;
             }
-            match master.request_split(id) {
-                Ok(Some(split)) => match scan.read_split(&split) {
-                    Ok((rows, plan)) => {
-                        let item = Fetched {
-                            split,
-                            rows,
-                            plan,
-                            ready_at: Instant::now(),
+            match master.request_split_ctx(id) {
+                Ok(Some((split, ctx))) => {
+                    // Traced reads hang the storage subtree under a fresh
+                    // Extract span; the context rides the channel with the
+                    // item so later stages stay causally linked.
+                    let reg = if ctx.is_sampled() {
+                        obs.lock().clone()
+                    } else {
+                        None
+                    };
+                    let read = if let Some(reg) = &reg {
+                        let extract_id = next_span_id();
+                        let t0 = now_ns();
+                        let extract_ctx = TraceContext {
+                            trace_id: ctx.trace_id,
+                            span_id: extract_id,
                         };
-                        if fetch_tx.send(item).is_err() {
-                            return; // downstream gone; it decides why
+                        let r = scan.read_split_traced(&split, extract_ctx, reg);
+                        if r.is_ok() {
+                            record_stage_span(
+                                reg,
+                                ctx,
+                                extract_id,
+                                SpanKind::Extract,
+                                t0,
+                                split.index,
+                                id.0,
+                            );
+                        }
+                        r
+                    } else {
+                        scan.read_split(&split)
+                    };
+                    match read {
+                        Ok((rows, plan)) => {
+                            let item = Fetched {
+                                split,
+                                rows,
+                                plan,
+                                trace: ctx,
+                                ready_at: Instant::now(),
+                            };
+                            if fetch_tx.send(item).is_err() {
+                                return; // downstream gone; it decides why
+                            }
+                        }
+                        Err(_) => {
+                            *end_reason.lock() = Some(EndReason::ReadFailed);
+                            return;
                         }
                     }
-                    Err(_) => {
-                        *end_reason.lock() = Some(EndReason::ReadFailed);
-                        return;
-                    }
-                },
+                }
                 Ok(None) => {
                     *end_reason.lock() = Some(EndReason::Exhausted);
                     return;
@@ -135,11 +200,13 @@ pub(crate) fn pipelined_worker_loop(
     let transform = {
         let spec = worker.spec_arc();
         let cost = worker.cost_model();
+        let obs = Arc::clone(&obs);
         std::thread::spawn(move || {
             while let Ok(f) = fetch_rx.recv() {
                 // Re-read the slot per split so a registry attached after
                 // launch still sees this worker's pipeline telemetry.
-                if let Some(reg) = obs.lock().clone() {
+                let reg = obs.lock().clone();
+                if let Some(reg) = &reg {
                     // Depth of the decode read-ahead buffer *behind* this
                     // item: how far fetch has run ahead of transform.
                     reg.gauge(names::FASTPATH_PREFETCH_DEPTH, &[])
@@ -147,14 +214,29 @@ pub(crate) fn pipelined_worker_loop(
                     reg.histogram(names::FASTPATH_STAGE_OVERLAP_SECONDS, &[])
                         .record(f.ready_at.elapsed().as_secs_f64());
                 }
+                let t1 = now_ns();
                 // Per-split flush downstream means the carry is always
                 // empty here, so handing transform a fresh one is exact.
                 let (batch, delta) =
                     Worker::transform_stage(&spec, &cost, &f.split, Batch::new(), f.rows, &f.plan);
+                if f.trace.is_sampled() {
+                    if let Some(reg) = &reg {
+                        record_stage_span(
+                            reg,
+                            f.trace,
+                            next_span_id(),
+                            SpanKind::Transform,
+                            t1,
+                            f.split.index,
+                            id.0,
+                        );
+                    }
+                }
                 let out = Transformed {
                     split: f.split,
                     batch,
                     delta,
+                    trace: f.trace,
                 };
                 if t_tx.send(out).is_err() {
                     return; // main thread gone (kill or shutdown)
@@ -180,10 +262,32 @@ pub(crate) fn pipelined_worker_loop(
                 if let WorkerFate::Crash = fire_worker_chaos(&chaos, &master, id) {
                     return worker.report();
                 }
+                let t2 = now_ns();
                 let mut tensors = worker.load_stage(t.batch, t.delta);
                 // Per-split flush keeps replay exact under failures (no
                 // cross-split rows inside any delivered tensor).
                 tensors.extend(worker.flush());
+                // All of a split's envelopes carry the Load span as their
+                // parent, so wire/client spans attach per delivered tensor.
+                let mut deliver = TraceContext::NONE;
+                if t.trace.is_sampled() {
+                    if let Some(reg) = obs.lock().clone() {
+                        let load_id = next_span_id();
+                        record_stage_span(
+                            &reg,
+                            t.trace,
+                            load_id,
+                            SpanKind::Load,
+                            t2,
+                            t.split.index,
+                            id.0,
+                        );
+                        deliver = TraceContext {
+                            trace_id: t.trace.trace_id,
+                            span_id: load_id,
+                        };
+                    }
+                }
                 if kill.load(Ordering::SeqCst) {
                     return worker.report();
                 }
@@ -198,6 +302,8 @@ pub(crate) fn pipelined_worker_loop(
                         seq: seq as u32,
                         last: seq + 1 == total,
                         worker: id,
+                        trace_id: deliver.trace_id,
+                        parent_span: deliver.span_id,
                         tensor,
                     };
                     if tx.send(env).is_err() {

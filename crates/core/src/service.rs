@@ -94,6 +94,25 @@ impl DppSession {
         workers: usize,
         injector: Option<Arc<FaultInjector>>,
     ) -> Result<DppSession> {
+        Self::launch_observed_chaos(table, spec, workers, None, injector)
+    }
+
+    /// Like [`DppSession::launch_chaos`], but also attaches `registry`
+    /// *before* the first worker spawns. A registry attached after launch
+    /// races worker startup, so the session's earliest splits would be
+    /// served without Schedule spans (and therefore untraced); this
+    /// constructor guarantees trace coverage from split zero.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DppSession::launch`].
+    pub fn launch_observed_chaos(
+        table: Table,
+        spec: SessionSpec,
+        workers: usize,
+        registry: Option<&dsi_obs::Registry>,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Result<DppSession> {
         let scan = table
             .scan(spec.partitions(), spec.projection.clone())
             .with_policy(spec.policy)
@@ -106,6 +125,9 @@ impl DppSession {
         }
         let master = Master::new(spec.id, splits);
         let session = Self::assemble(master, spec, table, injector);
+        if let Some(reg) = registry {
+            session.attach_registry(reg);
+        }
         for _ in 0..workers.max(1) {
             session.spawn_worker();
         }
@@ -118,6 +140,9 @@ impl DppSession {
         table: Table,
         injector: Option<Arc<FaultInjector>>,
     ) -> DppSession {
+        // Tracing state is not part of checkpoints, so this also re-arms
+        // sampling on every resume/restore path (they all assemble here).
+        master.set_trace_config(spec.trace);
         DppSession {
             master,
             spec: Arc::new(spec),
@@ -191,6 +216,25 @@ impl DppSession {
         workers: usize,
         injector: Option<Arc<FaultInjector>>,
     ) -> Result<DppSession> {
+        Self::resume_observed_session(table, spec, checkpoint, workers, None, injector)
+    }
+
+    /// Like [`DppSession::resume_session`], but attaches `registry` before
+    /// the first replacement worker spawns, so replayed splits are traced
+    /// from the first post-restore schedule (see
+    /// [`DppSession::launch_observed_chaos`]).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DppSession::resume`].
+    pub fn resume_observed_session(
+        table: Table,
+        spec: SessionSpec,
+        checkpoint: &SessionCheckpoint,
+        workers: usize,
+        registry: Option<&dsi_obs::Registry>,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Result<DppSession> {
         let scan = table
             .scan(spec.partitions(), spec.projection.clone())
             .with_policy(spec.policy)
@@ -199,6 +243,9 @@ impl DppSession {
         let master = Master::restore(&checkpoint.master, splits)?;
         let session = Self::assemble(master, spec, table, injector);
         *session.progress.lock() = checkpoint.progress.iter().copied().collect();
+        if let Some(reg) = registry {
+            session.attach_registry(reg);
+        }
         for _ in 0..workers.max(1) {
             session.spawn_worker();
         }
@@ -239,10 +286,15 @@ impl DppSession {
 
     /// Publishes the merged telemetry of all *finished* workers into the
     /// attached registry (live workers report at thread exit). No-op
-    /// without an attached registry.
+    /// without an attached registry. Worker metrics carry a `job` label
+    /// (the session id) so concurrent sessions sharing one registry never
+    /// collide on their monotone counters.
     pub fn publish_metrics(&self) {
         if let Some(reg) = self.obs.lock().clone() {
-            self.finished_reports.lock().publish_metrics(&reg);
+            let job = self.master.session().to_string();
+            self.finished_reports
+                .lock()
+                .publish_metrics_labeled(&reg, &job);
         }
     }
 
@@ -281,7 +333,7 @@ impl DppSession {
                     master, worker, tx, kill2, drain2, read_ahead, obs, chaos,
                 )
             } else {
-                worker_loop(master, worker, tx, kill2, drain2, chaos)
+                worker_loop(master, worker, tx, kill2, drain2, obs, chaos)
             };
             reports.lock().merge(&report);
             report
@@ -494,7 +546,7 @@ impl DppSession {
         }
         let report = *self.finished_reports.lock();
         if let Some(reg) = self.obs.lock().as_ref() {
-            report.publish_metrics(reg);
+            report.publish_metrics_labeled(reg, &self.master.session().to_string());
         }
         report
     }
@@ -543,6 +595,7 @@ fn worker_loop(
     tx: Sender<Envelope>,
     kill: Arc<AtomicBool>,
     drain: Arc<AtomicBool>,
+    obs: Arc<Mutex<Option<dsi_obs::Registry>>>,
     chaos: ChaosSlot,
 ) -> WorkerReport {
     let id = worker.id();
@@ -558,22 +611,30 @@ fn worker_loop(
             master.drain_worker(id);
             break;
         }
-        match master.request_split(id) {
-            Ok(Some(split)) => {
+        match master.request_split_ctx(id) {
+            Ok(Some((split, ctx))) => {
                 if let WorkerFate::Crash = fire_worker_chaos(&chaos, &master, id) {
                     // The injected crash already requeued this split (and
                     // any other in-flight work) via the health monitor.
                     return worker.report();
                 }
-                let mut tensors = match worker.process_split(&split) {
-                    Ok(t) => t,
-                    Err(_) => {
-                        // Storage failure: report self as failed so the
-                        // split is requeued elsewhere.
-                        master.fail_worker(id);
-                        return worker.report();
-                    }
+                // Re-read the registry slot per split so a registry attached
+                // after launch still collects this worker's stage spans.
+                let reg = if ctx.is_sampled() {
+                    obs.lock().clone()
+                } else {
+                    None
                 };
+                let (mut tensors, deliver) =
+                    match worker.process_split_traced(&split, ctx, reg.as_ref()) {
+                        Ok(t) => t,
+                        Err(_) => {
+                            // Storage failure: report self as failed so the
+                            // split is requeued elsewhere.
+                            master.fail_worker(id);
+                            return worker.report();
+                        }
+                    };
                 // Per-split flush keeps replay exact under failures (no
                 // cross-split rows inside any delivered tensor).
                 tensors.extend(worker.flush());
@@ -595,6 +656,8 @@ fn worker_loop(
                         seq: seq as u32,
                         last: seq + 1 == total,
                         worker: id,
+                        trace_id: deliver.trace_id,
+                        parent_span: deliver.span_id,
                         tensor,
                     };
                     if tx.send(env).is_err() {
@@ -913,19 +976,22 @@ mod tests {
             reg.counter_value(names::MASTER_SPLITS_COMPLETED_TOTAL, &[]),
             total
         );
+        // Session-scoped metrics carry the session id as a `job` label so
+        // concurrent sessions sharing a registry never collide.
+        let job = [("job", "sess5")];
         // Client fetch latency histogram saw every delivered batch.
-        let fetch = reg.histogram(names::CLIENT_FETCH_SECONDS, &[]).snapshot();
+        let fetch = reg.histogram(names::CLIENT_FETCH_SECONDS, &job).snapshot();
         assert_eq!(
             fetch.count,
-            reg.counter_value(names::CLIENT_BATCHES_TOTAL, &[])
+            reg.counter_value(names::CLIENT_BATCHES_TOTAL, &job)
         );
         assert!(fetch.count > 0);
         // Shutdown bridged the merged worker report.
         assert_eq!(
-            reg.counter_value(names::WORKER_SAMPLES_TOTAL, &[]),
+            reg.counter_value(names::WORKER_SAMPLES_TOTAL, &job),
             report.samples
         );
-        assert!(reg.counter_value(names::WORKER_STORAGE_RX_BYTES_TOTAL, &[]) > 0);
+        assert!(reg.counter_value(names::WORKER_STORAGE_RX_BYTES_TOTAL, &job) > 0);
     }
 
     #[test]
@@ -1028,9 +1094,56 @@ mod tests {
         assert!(overlap.count > 0, "stage overlap histogram is empty");
         // The decode path ran zero-copy end to end.
         assert_eq!(
-            reg.counter_value(names::FASTPATH_BYTES_COPIED_TOTAL, &[]),
+            reg.counter_value(names::FASTPATH_BYTES_COPIED_TOTAL, &[("job", "sess5")]),
             0
         );
+    }
+
+    #[test]
+    fn traced_session_produces_wellformed_end_to_end_traces() {
+        // Full-rate sampling over both worker modes: every split's trace
+        // must pass structural validation and decompose into
+        // Schedule → {Extract(StorageRead{TectonicIo..}, DwrfDecode),
+        // Transform, Load} → Deliver.
+        for read_ahead in [0usize, 3] {
+            let table = build_table(3, 64);
+            let mut sp = spec(3);
+            sp.read_ahead = read_ahead;
+            sp.trace = dsi_trace::TraceConfig::all();
+            let reg = dsi_obs::Registry::new();
+            let session =
+                DppSession::launch_observed_chaos(table, sp, 2, Some(&reg), None).unwrap();
+            let mut client = session.client();
+            let labels = drain_labels(&mut client);
+            assert_eq!(labels.len(), 192);
+            let total = session.master().total_splits();
+            session.shutdown();
+
+            let spans = reg.trace_spans();
+            dsi_trace::validate(&spans).expect("structurally valid traces");
+            let traces: std::collections::HashSet<u64> = spans.iter().map(|s| s.trace_id).collect();
+            assert_eq!(traces.len() as u64, total, "one trace per split");
+            use dsi_obs::SpanKind;
+            for kind in [
+                SpanKind::Schedule,
+                SpanKind::Extract,
+                SpanKind::StorageRead,
+                SpanKind::TectonicIo,
+                SpanKind::DwrfDecode,
+                SpanKind::Transform,
+                SpanKind::Load,
+                SpanKind::Deliver,
+            ] {
+                let n = spans.iter().filter(|s| s.kind == kind).count();
+                assert!(
+                    n as u64 >= total,
+                    "read_ahead={read_ahead}: kind {kind:?} appears {n} times for {total} splits"
+                );
+            }
+            let report = dsi_trace::analyze(&spans);
+            assert_eq!(report.traces as u64, total);
+            assert!(report.end_to_end_p50_ms > 0.0);
+        }
     }
 
     #[test]

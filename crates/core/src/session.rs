@@ -5,6 +5,7 @@
 //! transformations to apply, and how tensors are batched and buffered.
 
 use dedup::DedupConfig;
+use dsi_trace::TraceConfig;
 use dsi_types::{FeatureId, FeatureValue, PartitionId, Projection, Sample, SessionId};
 use dwrf::CoalescePolicy;
 use serde::{Deserialize, Serialize};
@@ -107,6 +108,9 @@ pub struct SessionSpec {
     /// How tensors cross the Worker→Client boundary: in-process channels
     /// (free, tax modeled analytically) or framed TCP (tax measured).
     pub transport: Transport,
+    /// Distributed tracing: deterministic per-split sampling rate for
+    /// end-to-end span collection (off by default).
+    pub trace: TraceConfig,
 }
 
 impl SessionSpec {
@@ -157,6 +161,7 @@ impl SessionSpecBuilder {
                 read_ahead: 0,
                 fastpath: true,
                 transport: Transport::InProcess,
+                trace: TraceConfig::off(),
             },
         }
     }
@@ -248,6 +253,12 @@ impl SessionSpecBuilder {
     /// Selects the Worker→Client data-plane transport.
     pub fn transport(mut self, transport: Transport) -> Self {
         self.spec.transport = transport;
+        self
+    }
+
+    /// Sets the distributed-tracing sampling config (off by default).
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.spec.trace = trace;
         self
     }
 

@@ -137,28 +137,43 @@ impl WorkerReport {
     /// advance monotonically, so republishing a merged session report —
     /// or a superset after further merges — is idempotent.
     pub fn publish_metrics(&self, registry: &dsi_obs::Registry) {
+        self.publish_with(registry, None);
+    }
+
+    /// [`WorkerReport::publish_metrics`] with a `job` label on every
+    /// series, so two concurrent sessions publishing into one registry
+    /// keep distinct (and correctly monotone) counters instead of
+    /// colliding on `advance_to`.
+    pub fn publish_metrics_labeled(&self, registry: &dsi_obs::Registry, job: &str) {
+        self.publish_with(registry, Some(job));
+    }
+
+    fn publish_with(&self, registry: &dsi_obs::Registry, job: Option<&str>) {
         use dsi_obs::{names, span};
-        registry
-            .counter(names::WORKER_SAMPLES_TOTAL, &[])
-            .advance_to(self.samples);
-        registry
-            .counter(names::WORKER_BATCHES_TOTAL, &[])
-            .advance_to(self.batches);
-        registry
-            .counter(names::WORKER_STORAGE_RX_BYTES_TOTAL, &[])
-            .advance_to(self.storage_rx_bytes);
-        registry
-            .counter(names::WORKER_STORAGE_WANTED_BYTES_TOTAL, &[])
-            .advance_to(self.storage_wanted_bytes);
-        registry
-            .counter(names::WORKER_MEMBW_BYTES_TOTAL, &[])
-            .advance_to(self.membw_bytes.round() as u64);
-        registry
-            .counter(names::FASTPATH_BYTES_COPIED_TOTAL, &[])
-            .advance_to(self.copied_bytes);
-        registry
-            .counter(names::DEDUP_TRANSFORM_REUSE_HITS_TOTAL, &[])
-            .advance_to(self.dedup_reuse_hits);
+        let base: Vec<(&str, &str)> = match job {
+            Some(j) => vec![("job", j)],
+            None => Vec::new(),
+        };
+        for (name, total) in [
+            (names::WORKER_SAMPLES_TOTAL, self.samples),
+            (names::WORKER_BATCHES_TOTAL, self.batches),
+            (names::WORKER_STORAGE_RX_BYTES_TOTAL, self.storage_rx_bytes),
+            (
+                names::WORKER_STORAGE_WANTED_BYTES_TOTAL,
+                self.storage_wanted_bytes,
+            ),
+            (
+                names::WORKER_MEMBW_BYTES_TOTAL,
+                self.membw_bytes.round() as u64,
+            ),
+            (names::FASTPATH_BYTES_COPIED_TOTAL, self.copied_bytes),
+            (
+                names::DEDUP_TRANSFORM_REUSE_HITS_TOTAL,
+                self.dedup_reuse_hits,
+            ),
+        ] {
+            registry.counter(name, &base).advance_to(total);
+        }
         for (stage, cycles) in [
             (span::stage::EXTRACT, self.extract_cycles),
             (span::stage::TRANSFORM, self.transform_cycles),
@@ -175,8 +190,10 @@ impl WorkerReport {
                 self.dense_normalization_cycles,
             ),
         ] {
+            let mut labels = base.clone();
+            labels.push(("stage", stage));
             registry
-                .counter(span::STAGE_CYCLES_TOTAL, &[("stage", stage)])
+                .counter(span::STAGE_CYCLES_TOTAL, &labels)
                 .advance_to(cycles.round() as u64);
         }
     }
@@ -278,6 +295,69 @@ impl Worker {
         let (transformed, delta) =
             Self::transform_stage(&self.spec, &self.cost, split, carry, rows, &plan);
         Ok(self.load_stage(transformed, delta))
+    }
+
+    /// [`Worker::process_split`] under a distributed-trace context: the
+    /// three stages record `Extract`, `Transform`, and `Load` spans as
+    /// children of `ctx` (the split's `Schedule` span), with the storage
+    /// subtree beneath `Extract`. Returns the tensors plus the delivery
+    /// context (the `Load` span) that wire/client/trainer spans continue
+    /// under. Falls back to the untraced path when `ctx` is unsampled or
+    /// no registry is attached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and decode failures.
+    pub fn process_split_traced(
+        &mut self,
+        split: &Split,
+        ctx: dsi_obs::TraceContext,
+        obs: Option<&dsi_obs::Registry>,
+    ) -> Result<(Vec<MiniBatchTensor>, dsi_obs::TraceContext)> {
+        use dsi_obs::{next_span_id, now_ns, SpanKind, TraceContext, TraceSpan};
+        let Some(reg) = obs.filter(|_| ctx.is_sampled()) else {
+            return Ok((self.process_split(split)?, TraceContext::NONE));
+        };
+        let worker_id = self.id.0;
+        let span = move |span_id, kind, start_ns, end_ns| TraceSpan {
+            trace_id: ctx.trace_id,
+            span_id,
+            parent_id: ctx.span_id,
+            kind,
+            start_ns,
+            end_ns,
+            split: split.index,
+            worker: worker_id,
+            seq: 0,
+            flags: 0,
+        };
+
+        let extract_id = next_span_id();
+        let extract_ctx = TraceContext {
+            trace_id: ctx.trace_id,
+            span_id: extract_id,
+        };
+        let t0 = now_ns();
+        let (rows, plan) = self.scan.read_split_traced(split, extract_ctx, reg)?;
+        reg.record_span(span(extract_id, SpanKind::Extract, t0, now_ns()));
+
+        let t1 = now_ns();
+        let carry = std::mem::take(&mut self.carry);
+        let (transformed, delta) =
+            Self::transform_stage(&self.spec, &self.cost, split, carry, rows, &plan);
+        reg.record_span(span(next_span_id(), SpanKind::Transform, t1, now_ns()));
+
+        let load_id = next_span_id();
+        let t2 = now_ns();
+        let tensors = self.load_stage(transformed, delta);
+        reg.record_span(span(load_id, SpanKind::Load, t2, now_ns()));
+        Ok((
+            tensors,
+            TraceContext {
+                trace_id: ctx.trace_id,
+                span_id: load_id,
+            },
+        ))
     }
 
     /// The pipeline's middle stage: extract accounting, beta-feature

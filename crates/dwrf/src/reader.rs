@@ -79,6 +79,18 @@ impl ChunkSource for SliceSource {
     }
 }
 
+/// Where a traced read records its spans: the registry to push into, the
+/// parent (extract) context, the split index for span metadata, and the
+/// pre-allocated `StorageRead` span id (pre-allocated so the caller can
+/// parent per-chunk storage-IO spans under it before it is recorded).
+#[derive(Debug, Clone)]
+struct TraceSink {
+    registry: dsi_obs::Registry,
+    ctx: dsi_obs::TraceContext,
+    split: u64,
+    storage_span: u64,
+}
+
 /// Reads DWRF files.
 #[derive(Debug, Clone)]
 pub struct FileReader {
@@ -86,6 +98,7 @@ pub struct FileReader {
     footer: Arc<FileFooter>,
     registry: Option<dsi_obs::Registry>,
     mode: DecodeMode,
+    trace: Option<TraceSink>,
 }
 
 impl FileReader {
@@ -102,6 +115,7 @@ impl FileReader {
             footer,
             registry: None,
             mode: DecodeMode::default(),
+            trace: None,
         })
     }
 
@@ -115,6 +129,7 @@ impl FileReader {
             footer: footer.into(),
             registry: None,
             mode: DecodeMode::default(),
+            trace: None,
         }
     }
 
@@ -130,6 +145,29 @@ impl FileReader {
     /// extract/decompress/deserialize stage timings.
     pub fn with_registry(mut self, registry: &dsi_obs::Registry) -> Self {
         self.registry = Some(registry.clone());
+        self
+    }
+
+    /// Attaches a distributed-trace context: stripe reads then record a
+    /// `StorageRead` span over the fetch phase (with id `storage_span`,
+    /// pre-allocated by the caller so per-chunk storage-IO spans can
+    /// parent under it) and a `DwrfDecode` span over the decode phase,
+    /// both children of `ctx`. No-op when `ctx` is unsampled.
+    pub fn with_trace(
+        mut self,
+        registry: &dsi_obs::Registry,
+        ctx: dsi_obs::TraceContext,
+        split: u64,
+        storage_span: u64,
+    ) -> Self {
+        if ctx.is_sampled() {
+            self.trace = Some(TraceSink {
+                registry: registry.clone(),
+                ctx,
+                split,
+                storage_span,
+            });
+        }
         self
     }
 
@@ -214,6 +252,7 @@ impl FileReader {
         // bytes); the copying baseline replays the legacy reader, which
         // always materialized every source read into a fresh `Vec`.
         let fetch_started = std::time::Instant::now();
+        let fetch_start_ns = dsi_obs::now_ns();
         let mut buffers: Vec<(u64, ByteView)> = Vec::with_capacity(plan.reads.len());
         for r in &plan.reads {
             let chunk = source.read(r.offset, r.len)?;
@@ -227,6 +266,20 @@ impl FileReader {
             buffers.push((r.offset, view));
         }
         let fetch_secs = fetch_started.elapsed().as_secs_f64();
+        if let Some(sink) = &self.trace {
+            sink.registry.record_span(dsi_obs::TraceSpan {
+                trace_id: sink.ctx.trace_id,
+                span_id: sink.storage_span,
+                parent_id: sink.ctx.span_id,
+                kind: dsi_obs::SpanKind::StorageRead,
+                start_ns: fetch_start_ns,
+                end_ns: dsi_obs::now_ns(),
+                split: sink.split,
+                worker: 0,
+                seq: 0,
+                flags: 0,
+            });
+        }
         let fetch = |info: &StreamInfo| -> Result<ByteView> {
             for (off, buf) in &buffers {
                 if info.offset >= *off && info.offset + info.len <= off + buf.len() as u64 {
@@ -239,6 +292,7 @@ impl FileReader {
         let uncompressed = std::cell::Cell::new(0u64);
         let decompress_secs = std::cell::Cell::new(0f64);
         let decode_started = std::time::Instant::now();
+        let decode_start_ns = dsi_obs::now_ns();
         let rows = self.decode_stripe(
             idx,
             selection,
@@ -247,6 +301,20 @@ impl FileReader {
             &decompress_secs,
             &copied,
         )?;
+        if let Some(sink) = &self.trace {
+            sink.registry.record_span(dsi_obs::TraceSpan {
+                trace_id: sink.ctx.trace_id,
+                span_id: dsi_obs::next_span_id(),
+                parent_id: sink.ctx.span_id,
+                kind: dsi_obs::SpanKind::DwrfDecode,
+                start_ns: decode_start_ns,
+                end_ns: dsi_obs::now_ns(),
+                split: sink.split,
+                worker: 0,
+                seq: 0,
+                flags: 0,
+            });
+        }
         plan.uncompressed_bytes = uncompressed.get();
         plan.copied_bytes = copied.get();
         if let Some(reg) = &self.registry {

@@ -31,6 +31,7 @@ pub mod names;
 pub mod registry;
 pub mod report;
 pub mod span;
+pub mod trace;
 
 pub use expo::{json_snapshot, prometheus_text};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
@@ -40,6 +41,7 @@ pub use span::{
     add_stage_cycles, observe_stage_seconds, stage, SpanTimer, StageScope, STAGE_CYCLES_TOTAL,
     STAGE_SECONDS,
 };
+pub use trace::{next_span_id, now_ns, SpanKind, SpanRing, TraceContext, TraceSpan, FLAG_REPLAY};
 
 use std::sync::OnceLock;
 

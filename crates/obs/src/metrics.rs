@@ -340,4 +340,93 @@ mod tests {
         assert!(s.p50 <= 0.125 && s.p50 > 0.1, "p50 {}", s.p50);
         assert_eq!(s.p50, s.p99);
     }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.sum, 0.0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p95, 0.0);
+        assert_eq!(s.p99, 0.0);
+        assert_eq!(s.max, 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_error_bounded_at_bucket_boundaries() {
+        // Values recorded exactly at bucket lower bounds are the
+        // worst-case for a midpoint estimator: the estimate sits half a
+        // sub-bucket above the true value. The documented bound is
+        // `1 / (2 * SUBBUCKETS)` of an octave, i.e. relative error
+        // <= 1/16 + slack for the octave's width.
+        let bound = 1.0 / Histogram::SUBBUCKETS as f64; // 12.5% worst case
+        for i in (Histogram::BUCKETS / 2)..(Histogram::BUCKETS / 2 + 32) {
+            let v = Histogram::bucket_lower(i);
+            let h = Histogram::new();
+            for _ in 0..100 {
+                h.record(v);
+            }
+            // One far outlier so the observed-max cap cannot mask the
+            // midpoint estimator (p50/p95/p99 ranks all stay in v's
+            // bucket: ceil(0.99 * 101) = 100 <= 100).
+            h.record(v * 128.0);
+            let s = h.snapshot();
+            for (name, q) in [("p50", s.p50), ("p95", s.p95), ("p99", s.p99)] {
+                let rel = (q - v).abs() / v;
+                assert!(rel <= bound, "bucket {i} {name}: {q} vs {v}, rel {rel:.4}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_accurate_on_uniform_and_skewed_distributions() {
+        // Uniform [1, 10_000]: p50/p95/p99 within the log-linear bound.
+        let h = Histogram::new();
+        for i in 1..=10_000u64 {
+            h.record(i as f64);
+        }
+        for (q, exact) in [(0.50, 5_000.0), (0.95, 9_500.0), (0.99, 9_900.0)] {
+            let est = h.quantile(q);
+            let rel = (est - exact).abs() / exact;
+            assert!(rel < 0.10, "uniform q{q}: {est} vs {exact} rel {rel:.3}");
+        }
+
+        // Heavily skewed: 99 fast values + 1 slow outlier. p50 tracks the
+        // fast mode, p99 lands within one sub-bucket of the outlier's
+        // magnitude — and never above the exact max.
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(0.001);
+        }
+        h.record(10.0);
+        let p50 = h.quantile(0.50);
+        assert!((p50 - 0.001).abs() / 0.001 < 0.13, "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= 0.001 && p99 <= h.max(), "p99 {p99}");
+        assert_eq!(h.quantile(1.0), 10.0, "q=1 caps at the exact max");
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_rank() {
+        let h = Histogram::new();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..5_000 {
+            // Deterministic xorshift values across several octaves.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            h.record((state % 100_000) as f64 / 100.0);
+        }
+        let mut prev = 0.0;
+        for step in 0..=20 {
+            let q = step as f64 / 20.0;
+            let est = h.quantile(q);
+            assert!(est >= prev, "quantile({q}) = {est} < {prev}");
+            prev = est;
+        }
+        assert!(prev <= h.max());
+    }
 }

@@ -7,11 +7,12 @@
 //! read-lock + BTreeMap probe, cheap enough for per-batch use.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 
 use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::trace::{SpanRing, TraceSpan};
 
 /// Identity of one metric series: a name plus sorted label pairs.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
@@ -76,6 +77,9 @@ pub enum MetricValue {
 #[derive(Debug, Clone, Default)]
 pub struct Registry {
     inner: Arc<RwLock<BTreeMap<MetricKey, Metric>>>,
+    /// Lazily-allocated span collector: registries that never trace pay
+    /// nothing, and clones share the same ring.
+    spans: Arc<OnceLock<SpanRing>>,
 }
 
 impl Registry {
@@ -199,6 +203,37 @@ impl Registry {
             Some(_) => panic!("metric {name} is not a gauge"),
             None => 0.0,
         }
+    }
+
+    /// The registry's span ring, allocating it on first use.
+    pub fn trace_ring(&self) -> &SpanRing {
+        self.spans
+            .get_or_init(|| SpanRing::new(SpanRing::DEFAULT_CAPACITY))
+    }
+
+    /// Records one completed trace span into the registry's span ring.
+    /// Unsampled spans (`trace_id == 0`) are silently skipped so call
+    /// sites can record unconditionally against a [`crate::trace::TraceContext`].
+    #[inline]
+    pub fn record_span(&self, span: TraceSpan) {
+        if span.trace_id == 0 {
+            return;
+        }
+        self.trace_ring().push(span);
+    }
+
+    /// All stable spans collected so far (empty when tracing never ran),
+    /// sorted by start time.
+    pub fn trace_spans(&self) -> Vec<TraceSpan> {
+        match self.spans.get() {
+            Some(ring) => ring.snapshot(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Spans lost to ring overruns (0 when tracing never ran).
+    pub fn trace_dropped(&self) -> u64 {
+        self.spans.get().map_or(0, |ring| ring.dropped())
     }
 }
 

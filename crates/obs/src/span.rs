@@ -85,12 +85,18 @@ impl StageScope {
 
 impl Drop for StageScope {
     fn drop(&mut self) {
-        STAGE_STACK.with(|s| {
-            let mut stack = s.borrow_mut();
-            // Scopes are expected to drop in LIFO order; tolerate misuse
-            // by removing this path wherever it sits.
-            if let Some(pos) = stack.iter().rposition(|p| *p == self.path) {
-                stack.remove(pos);
+        // Stack cleanup must happen before the histogram record and must
+        // tolerate any state: scopes dropped during a panic unwind (or
+        // after an inner guard was leaked) would otherwise strand a stale
+        // parent path that mislabels every later span on this thread.
+        // Truncating at our own entry also clears orphaned deeper entries
+        // whose guards never ran. `try_with`/`try_borrow_mut` keep the
+        // drop safe during thread teardown and re-entrant unwinds.
+        let _ = STAGE_STACK.try_with(|s| {
+            if let Ok(mut stack) = s.try_borrow_mut() {
+                if let Some(pos) = stack.iter().rposition(|p| *p == self.path) {
+                    stack.truncate(pos);
+                }
             }
         });
         self.registry
@@ -213,6 +219,38 @@ mod tests {
         // Dropped-without-stop also records exactly once.
         drop(SpanTimer::start(&r, stage::STALL));
         assert_eq!(stage_count(&r, "stall"), 2);
+    }
+
+    #[test]
+    fn panicking_scope_leaves_no_stale_parent_path() {
+        // A scope dropped during unwind (e.g. a chaos-injected worker
+        // crash mid-stage) must clean the thread-local stack so later
+        // spans on this thread are not mislabeled as its children.
+        let r = Registry::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _outer = StageScope::enter(&r, stage::EXTRACT);
+            let _inner = StageScope::enter(&r, stage::DECOMPRESS);
+            panic!("injected crash");
+        }));
+        assert!(result.is_err());
+        let after = StageScope::enter(&r, stage::TRANSFORM);
+        assert_eq!(after.path(), "transform", "stale parent path survived");
+    }
+
+    #[test]
+    fn leaked_inner_scope_is_swept_by_outer_drop() {
+        // A leaked guard (never dropped — e.g. forgotten during a caught
+        // panic) strands its entry; the enclosing scope's drop must sweep
+        // it instead of leaving it to prefix every later span forever.
+        let r = Registry::new();
+        {
+            let _outer = StageScope::enter(&r, stage::LOAD);
+            let inner = StageScope::enter(&r, stage::TLS);
+            assert_eq!(inner.path(), "load/tls");
+            std::mem::forget(inner);
+        }
+        let after = StageScope::enter(&r, stage::TRANSFORM);
+        assert_eq!(after.path(), "transform", "orphaned entry survived");
     }
 
     #[test]

@@ -1,0 +1,479 @@
+//! Distributed-tracing primitives: span records and the bounded
+//! lock-free ring that collects them.
+//!
+//! These are the *mechanisms* only — context creation, deterministic
+//! sampling, critical-path analysis, and exporters live in the
+//! `dsi-trace` crate. Keeping the record types and the collector here
+//! lets every instrumented crate (tectonic, dwrf, wire, trainer) emit
+//! spans through the [`crate::Registry`] handle it already holds,
+//! without a new dependency edge.
+//!
+//! A [`TraceSpan`] is a fixed-size value (eight `u64` words), so the
+//! collector can be a seqlock ring of atomic words: writers claim a slot
+//! with one `fetch_add`, publish with one release store, and never
+//! block; readers snapshot slots and discard torn ones. A registry that
+//! never records a span pays nothing — the ring allocates lazily.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The causal context carried along a batch's journey: which trace the
+/// current work belongs to and which span is its parent.
+///
+/// `trace_id == 0` means *not sampled*: every recording site checks
+/// [`TraceContext::is_sampled`] and becomes a no-op, so unsampled splits
+/// pay only a branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceContext {
+    /// Deterministic id of the whole trace (one per sampled split).
+    pub trace_id: u64,
+    /// Span id the next recorded span should parent under.
+    pub span_id: u64,
+}
+
+impl TraceContext {
+    /// The unsampled context: carried everywhere a sampled one could be,
+    /// making every recording site a cheap branch.
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        span_id: 0,
+    };
+
+    /// Whether spans should be recorded for this context.
+    #[inline]
+    pub fn is_sampled(&self) -> bool {
+        self.trace_id != 0
+    }
+
+    /// A context for work causally under `span_id` in the same trace.
+    #[inline]
+    pub fn child(&self, span_id: u64) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            span_id,
+        }
+    }
+}
+
+/// What a span measured. The discriminants are stable (they are packed
+/// into the ring's meta word and into exported traces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// A split was handed to a worker by the Master (top-level span;
+    /// re-serves after a failure create sibling `Schedule` spans).
+    Schedule = 0,
+    /// Worker extract stage: storage fetch + decode of one split.
+    Extract = 1,
+    /// The storage-fetch phase inside extract (Tectonic reads).
+    StorageRead = 2,
+    /// One chunk read served by the Tectonic cluster.
+    TectonicIo = 3,
+    /// The DWRF stripe-decode phase inside extract.
+    DwrfDecode = 4,
+    /// Worker transform stage over one split.
+    Transform = 5,
+    /// Worker load stage: batching + tensor materialization.
+    Load = 6,
+    /// A data frame written to the TCP wire (replays flagged).
+    WireSend = 7,
+    /// A data frame received and decoded from the TCP wire.
+    WireRecv = 8,
+    /// An envelope arriving at `Client::accept` (replays flagged).
+    Deliver = 9,
+    /// The trainer consuming the delivered batch (simulated GPU step).
+    Consume = 10,
+}
+
+impl SpanKind {
+    /// Stable lower-case name, used by exporters and reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Schedule => "schedule",
+            SpanKind::Extract => "extract",
+            SpanKind::StorageRead => "storage_read",
+            SpanKind::TectonicIo => "tectonic_io",
+            SpanKind::DwrfDecode => "dwrf_decode",
+            SpanKind::Transform => "transform",
+            SpanKind::Load => "load",
+            SpanKind::WireSend => "wire_send",
+            SpanKind::WireRecv => "wire_recv",
+            SpanKind::Deliver => "deliver",
+            SpanKind::Consume => "consume",
+        }
+    }
+
+    /// Inverse of the `repr(u8)` discriminant (None for garbage).
+    pub fn from_u8(v: u8) -> Option<SpanKind> {
+        Some(match v {
+            0 => SpanKind::Schedule,
+            1 => SpanKind::Extract,
+            2 => SpanKind::StorageRead,
+            3 => SpanKind::TectonicIo,
+            4 => SpanKind::DwrfDecode,
+            5 => SpanKind::Transform,
+            6 => SpanKind::Load,
+            7 => SpanKind::WireSend,
+            8 => SpanKind::WireRecv,
+            9 => SpanKind::Deliver,
+            10 => SpanKind::Consume,
+            _ => return None,
+        })
+    }
+}
+
+/// Flag bit: this span is a replayed execution (wire replay after a
+/// reconnect, or a duplicate delivery deduped by the client).
+pub const FLAG_REPLAY: u8 = 1;
+
+/// One completed span. Fixed-size so the ring can store it as atomic
+/// words; `seq`/`split`/`worker` carry enough payload to label exported
+/// traces without a side table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Trace this span belongs to.
+    pub trace_id: u64,
+    /// Unique id of this span (process-wide, never 0).
+    pub span_id: u64,
+    /// Parent span id; 0 for top-level spans.
+    pub parent_id: u64,
+    /// Kind of work measured.
+    pub kind: SpanKind,
+    /// Start, nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// End, nanoseconds since the process trace epoch.
+    pub end_ns: u64,
+    /// Split index the work belonged to.
+    pub split: u64,
+    /// Worker id (0 where not applicable).
+    pub worker: u64,
+    /// Envelope sequence number (0 where not applicable).
+    pub seq: u32,
+    /// Flag bits ([`FLAG_REPLAY`]).
+    pub flags: u8,
+}
+
+impl TraceSpan {
+    /// Span duration in nanoseconds (0 for instant spans).
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Whether the replay flag is set.
+    pub fn is_replay(&self) -> bool {
+        self.flags & FLAG_REPLAY != 0
+    }
+
+    fn encode(&self) -> [u64; 8] {
+        let meta =
+            ((self.seq as u64) << 32) | ((self.kind as u8 as u64) << 8) | (self.flags as u64);
+        [
+            self.trace_id,
+            self.span_id,
+            self.parent_id,
+            self.start_ns,
+            self.end_ns,
+            self.split,
+            self.worker,
+            meta,
+        ]
+    }
+
+    fn decode(words: [u64; 8]) -> Option<TraceSpan> {
+        let kind = SpanKind::from_u8(((words[7] >> 8) & 0xFF) as u8)?;
+        Some(TraceSpan {
+            trace_id: words[0],
+            span_id: words[1],
+            parent_id: words[2],
+            kind,
+            start_ns: words[3],
+            end_ns: words[4],
+            split: words[5],
+            worker: words[6],
+            seq: (words[7] >> 32) as u32,
+            flags: (words[7] & 0xFF) as u8,
+        })
+    }
+}
+
+static TRACE_EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Monotonic nanoseconds since the process trace epoch (first call).
+/// All spans in a process share this clock, so cross-thread spans order
+/// correctly in exported traces.
+pub fn now_ns() -> u64 {
+    TRACE_EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+}
+
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A fresh process-unique span id (never 0; 0 means "no parent").
+pub fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+struct Slot {
+    /// Seqlock version: even = stable, odd = write in progress. The
+    /// version doubles as a lap counter — slot generation `g` is stable
+    /// at version `2 * (g + 1)` — so a lapped writer's stale CAS fails
+    /// instead of corrupting a newer record.
+    version: AtomicU64,
+    words: [AtomicU64; 8],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            version: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Bounded lock-free span collector: a seqlock ring that overwrites the
+/// oldest record when full. Writers never block and never see a lock;
+/// a torn slot (writer raced the reader, or a lapped writer lost its
+/// claim) is skipped by the reader and counted in
+/// [`SpanRing::dropped`].
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.recorded())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl SpanRing {
+    /// Default ring capacity in spans (~4.7 MiB of slots).
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// Creates a ring holding up to `capacity` spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> SpanRing {
+        assert!(capacity > 0, "span ring capacity must be positive");
+        SpanRing {
+            slots: (0..capacity).map(|_| Slot::new()).collect(),
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Spans pushed since creation (including ones since overwritten).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Pushes claimed by a writer that was lapped before publishing
+    /// (the span is lost; concurrent writers outran the ring).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Records one span. Never blocks; returns `false` only when this
+    /// writer was lapped mid-claim and its slot was lost.
+    pub fn push(&self, span: TraceSpan) -> bool {
+        let idx = self.head.fetch_add(1, Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let slot = &self.slots[(idx % cap) as usize];
+        let expected = (idx / cap) * 2;
+        if slot
+            .version
+            .compare_exchange(expected, expected + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        for (w, v) in slot.words.iter().zip(span.encode()) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.version.store(expected + 2, Ordering::Release);
+        true
+    }
+
+    /// A consistent snapshot of every stable span in the ring, sorted by
+    /// start time. Slots mid-write are skipped.
+    pub fn snapshot(&self) -> Vec<TraceSpan> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter() {
+            let v1 = slot.version.load(Ordering::Acquire);
+            if v1 == 0 || v1 % 2 != 0 {
+                continue;
+            }
+            let words = std::array::from_fn(|i| slot.words[i].load(Ordering::Relaxed));
+            std::sync::atomic::fence(Ordering::Acquire);
+            let v2 = slot.version.load(Ordering::Relaxed);
+            if v1 != v2 {
+                continue; // torn read: a writer raced us
+            }
+            if let Some(span) = TraceSpan::decode(words) {
+                out.push(span);
+            }
+        }
+        out.sort_by_key(|s| (s.start_ns, s.span_id));
+        out
+    }
+
+    /// Resets the ring. Only meaningful at quiescence (no concurrent
+    /// writers); racing pushes may be lost but the ring stays valid.
+    pub fn clear(&self) {
+        for slot in self.slots.iter() {
+            slot.version.store(0, Ordering::Relaxed);
+        }
+        self.head.store(0, Ordering::SeqCst);
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(trace: u64, id: u64, parent: u64, start: u64) -> TraceSpan {
+        TraceSpan {
+            trace_id: trace,
+            span_id: id,
+            parent_id: parent,
+            kind: SpanKind::Extract,
+            start_ns: start,
+            end_ns: start + 10,
+            split: 3,
+            worker: 1,
+            seq: 2,
+            flags: 0,
+        }
+    }
+
+    #[test]
+    fn span_round_trips_through_words() {
+        let mut s = span(7, 8, 9, 100);
+        s.kind = SpanKind::Consume;
+        s.flags = FLAG_REPLAY;
+        s.seq = 0xABCD;
+        let back = TraceSpan::decode(s.encode()).expect("decode");
+        assert_eq!(back, s);
+        assert!(back.is_replay());
+        assert_eq!(back.duration_ns(), 10);
+    }
+
+    #[test]
+    fn kind_round_trips_and_rejects_garbage() {
+        for k in 0..=10u8 {
+            let kind = SpanKind::from_u8(k).expect("valid kind");
+            assert_eq!(kind as u8, k);
+            assert!(!kind.as_str().is_empty());
+        }
+        assert!(SpanKind::from_u8(11).is_none());
+        assert!(SpanKind::from_u8(255).is_none());
+    }
+
+    #[test]
+    fn ring_collects_and_sorts_by_start() {
+        let ring = SpanRing::new(8);
+        ring.push(span(1, 2, 0, 50));
+        ring.push(span(1, 3, 2, 10));
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].span_id, 3);
+        assert_eq!(got[1].span_id, 2);
+        assert_eq!(ring.recorded(), 2);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let ring = SpanRing::new(4);
+        for i in 0..10u64 {
+            assert!(ring.push(span(1, i + 1, 0, i)));
+        }
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 4);
+        // Only the newest four survive.
+        let ids: Vec<u64> = got.iter().map(|s| s.span_id).collect();
+        assert_eq!(ids, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn ring_clear_resets() {
+        let ring = SpanRing::new(4);
+        ring.push(span(1, 1, 0, 1));
+        ring.clear();
+        assert!(ring.snapshot().is_empty());
+        assert_eq!(ring.recorded(), 0);
+        ring.push(span(1, 2, 0, 2));
+        assert_eq!(ring.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_corrupt() {
+        let ring = std::sync::Arc::new(SpanRing::new(64));
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let ring = std::sync::Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        ring.push(span(t + 1, t * 10_000 + i + 1, 0, i));
+                    }
+                });
+            }
+            // Concurrent reader: every snapshot must decode cleanly.
+            for _ in 0..50 {
+                for s in ring.snapshot() {
+                    assert!(s.trace_id >= 1 && s.trace_id <= 4);
+                    assert_eq!(s.duration_ns(), 10);
+                }
+            }
+        });
+        let total = ring.recorded();
+        assert_eq!(total, 4000);
+        let got = ring.snapshot();
+        assert!(got.len() <= 64);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn context_sampling_and_children() {
+        assert!(!TraceContext::NONE.is_sampled());
+        let ctx = TraceContext {
+            trace_id: 9,
+            span_id: 4,
+        };
+        assert!(ctx.is_sampled());
+        let child = ctx.child(77);
+        assert_eq!(child.trace_id, 9);
+        assert_eq!(child.span_id, 77);
+    }
+
+    #[test]
+    fn span_ids_are_unique_and_nonzero() {
+        let a = next_span_id();
+        let b = next_span_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn now_ns_is_monotone() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -217,6 +217,7 @@ pub struct CachedSource {
     cache: SsdCache,
     path: String,
     file_hash: u64,
+    trace: Option<crate::source::SourceTrace>,
 }
 
 impl CachedSource {
@@ -229,12 +230,26 @@ impl CachedSource {
             cache,
             path,
             file_hash,
+            trace: None,
         }
+    }
+
+    /// Attaches a trace context: every chunk read then records a
+    /// `TectonicIo` span under `ctx` (no-op when `ctx` is unsampled).
+    pub fn with_trace(
+        mut self,
+        registry: &dsi_obs::Registry,
+        ctx: dsi_obs::TraceContext,
+        split: u64,
+    ) -> Self {
+        self.trace = crate::source::SourceTrace::attach(registry, ctx, split);
+        self
     }
 }
 
 impl ChunkSource for CachedSource {
     fn read(&mut self, offset: u64, len: u64) -> Result<SourceChunk> {
+        let start_ns = dsi_obs::now_ns();
         // Data bytes always come from the cluster's name-space (contents
         // are authoritative there); the cache decides which *device* is
         // charged for each page.
@@ -251,13 +266,17 @@ impl ChunkSource for CachedSource {
                 self.cache.fill_page(key);
             }
         }
-        if missed_any {
+        let chunk = if missed_any {
             // Misses pay the HDD path.
-            self.cluster.read_view(&self.path, offset, len)
+            self.cluster.read_view(&self.path, offset, len)?
         } else {
             // All pages hot: serve without touching HDDs.
-            self.cluster.read_view_uncharged(&self.path, offset, len)
+            self.cluster.read_view_uncharged(&self.path, offset, len)?
+        };
+        if let Some(trace) = &self.trace {
+            trace.record_io(start_ns);
         }
+        Ok(chunk)
     }
 }
 

@@ -4,12 +4,51 @@ use crate::cluster::TectonicCluster;
 use dsi_types::Result;
 use dwrf::{ChunkSource, SourceChunk};
 
+/// Trace attachment for a chunk source: each `read` records a
+/// `TectonicIo` span under the parent (storage-read) context.
+#[derive(Debug, Clone)]
+pub(crate) struct SourceTrace {
+    registry: dsi_obs::Registry,
+    ctx: dsi_obs::TraceContext,
+    split: u64,
+}
+
+impl SourceTrace {
+    pub(crate) fn attach(
+        registry: &dsi_obs::Registry,
+        ctx: dsi_obs::TraceContext,
+        split: u64,
+    ) -> Option<Self> {
+        ctx.is_sampled().then(|| Self {
+            registry: registry.clone(),
+            ctx,
+            split,
+        })
+    }
+
+    pub(crate) fn record_io(&self, start_ns: u64) {
+        self.registry.record_span(dsi_obs::TraceSpan {
+            trace_id: self.ctx.trace_id,
+            span_id: dsi_obs::next_span_id(),
+            parent_id: self.ctx.span_id,
+            kind: dsi_obs::SpanKind::TectonicIo,
+            start_ns,
+            end_ns: dsi_obs::now_ns(),
+            split: self.split,
+            worker: 0,
+            seq: 0,
+            flags: 0,
+        });
+    }
+}
+
 /// A [`ChunkSource`] that reads one Tectonic file, charging simulated IO on
 /// the storage nodes that serve it.
 #[derive(Debug, Clone)]
 pub struct TectonicSource {
     cluster: TectonicCluster,
     path: String,
+    trace: Option<SourceTrace>,
 }
 
 impl TectonicSource {
@@ -18,7 +57,20 @@ impl TectonicSource {
         Self {
             cluster,
             path: path.into(),
+            trace: None,
         }
+    }
+
+    /// Attaches a trace context: every chunk read then records a
+    /// `TectonicIo` span under `ctx` (no-op when `ctx` is unsampled).
+    pub fn with_trace(
+        mut self,
+        registry: &dsi_obs::Registry,
+        ctx: dsi_obs::TraceContext,
+        split: u64,
+    ) -> Self {
+        self.trace = SourceTrace::attach(registry, ctx, split);
+        self
     }
 
     /// The file path this source reads.
@@ -29,7 +81,12 @@ impl TectonicSource {
 
 impl ChunkSource for TectonicSource {
     fn read(&mut self, offset: u64, len: u64) -> Result<SourceChunk> {
-        self.cluster.read_view(&self.path, offset, len)
+        let start_ns = dsi_obs::now_ns();
+        let chunk = self.cluster.read_view(&self.path, offset, len)?;
+        if let Some(trace) = &self.trace {
+            trace.record_io(start_ns);
+        }
+        Ok(chunk)
     }
 }
 
@@ -69,6 +126,48 @@ mod tests {
         let stats = cluster.total_stats();
         assert!(stats.bytes >= plan.read_bytes);
         assert!(stats.busy_ns > 0);
+    }
+
+    #[test]
+    fn traced_reads_record_tectonic_io_spans() {
+        let mut w = FileWriter::new(WriterOptions::default());
+        for i in 0..30u64 {
+            let mut s = Sample::new(i as f32);
+            s.set_dense(FeatureId(1), i as f32);
+            w.push(s);
+        }
+        let file = w.finish().unwrap();
+        let cluster = TectonicCluster::new(ClusterConfig::small());
+        cluster.append("tbl/p0/t", file.bytes().clone()).unwrap();
+
+        let reg = dsi_obs::Registry::new();
+        let ctx = dsi_obs::TraceContext {
+            trace_id: 0xBEEF,
+            span_id: 42,
+        };
+        let reader = FileReader::from_footer(file.footer().clone());
+        let mut src = TectonicSource::new(cluster, "tbl/p0/t").with_trace(&reg, ctx, 3);
+        let proj = Projection::new(vec![FeatureId(1)]);
+        reader
+            .read_stripe_from(0, Some(&proj), CoalescePolicy::default_window(), &mut src)
+            .unwrap();
+        let spans = reg.trace_spans();
+        assert!(!spans.is_empty(), "every chunk read records a span");
+        for s in &spans {
+            assert_eq!(s.kind, dsi_obs::SpanKind::TectonicIo);
+            assert_eq!(s.trace_id, 0xBEEF);
+            assert_eq!(s.parent_id, 42);
+            assert_eq!(s.split, 3);
+        }
+
+        // Unsampled context: no spans recorded.
+        let reg2 = dsi_obs::Registry::new();
+        let src2 = TectonicSource::new(
+            crate::cluster::TectonicCluster::new(ClusterConfig::small()),
+            "x",
+        )
+        .with_trace(&reg2, dsi_obs::TraceContext::NONE, 0);
+        assert!(src2.trace.is_none());
     }
 
     #[test]

@@ -62,7 +62,9 @@ impl LiveTrainer {
             samples += tensor.batch_size() as u64;
             // "Train": occupy the GPU for the batch's service time.
             let service = self.demand.batch_service_secs(tensor.batch_size()) * self.time_scale;
+            let consume_start = dsi_obs::now_ns();
             spin_sleep(Duration::from_secs_f64(service));
+            record_consume(&self.registry, self.client.last_trace(), consume_start);
         }
         let elapsed = start.elapsed();
         let report = StallReport {
@@ -76,9 +78,12 @@ impl LiveTrainer {
             },
         };
         if let Some(reg) = &self.registry {
-            report.publish_metrics(reg);
-            reg.counter(dsi_obs::names::TRAINER_SAMPLES_TOTAL, &[])
-                .add(samples);
+            report.publish_metrics_labeled(reg, self.client.job());
+            reg.counter(
+                dsi_obs::names::TRAINER_SAMPLES_TOTAL,
+                &[("job", self.client.job())],
+            )
+            .add(samples);
         }
         (report, samples)
     }
@@ -91,12 +96,20 @@ impl LiveTrainer {
     pub fn train_prefetched(&mut self, max_batches: u64, depth: usize) -> (StallReport, u64) {
         let demand = self.demand;
         let time_scale = self.time_scale;
-        let (tx, rx) = crossbeam::channel::bounded(depth.max(1));
+        let registry = self.registry.clone();
+        // The prefetch channel carries each tensor's delivery trace context
+        // alongside it, so Consume spans stay attached to the right trace
+        // even with `depth` tensors in flight between fetch and consume.
+        let (tx, rx) = crossbeam::channel::bounded::<(
+            dsi_types::MiniBatchTensor,
+            dsi_obs::TraceContext,
+        )>(depth.max(1));
         let client = &mut self.client;
         let (report, samples) = std::thread::scope(|scope| {
             scope.spawn(move || {
                 while let Some(tensor) = client.next_batch() {
-                    if tx.send(tensor).is_err() {
+                    let trace = client.last_trace();
+                    if tx.send((tensor, trace)).is_err() {
                         break; // consumer reached max_batches
                     }
                 }
@@ -107,14 +120,16 @@ impl LiveTrainer {
             let mut samples = 0u64;
             while batches < max_batches {
                 let wait_start = Instant::now();
-                let Ok(tensor) = rx.recv() else {
+                let Ok((tensor, trace)) = rx.recv() else {
                     break; // session exhausted
                 };
                 stalled += wait_start.elapsed();
                 batches += 1;
                 samples += tensor.batch_size() as u64;
                 let service = demand.batch_service_secs(tensor.batch_size()) * time_scale;
+                let consume_start = dsi_obs::now_ns();
                 spin_sleep(Duration::from_secs_f64(service));
+                record_consume(&registry, trace, consume_start);
             }
             drop(rx); // unblock the fetcher if it is mid-send
             let elapsed = start.elapsed();
@@ -131,12 +146,41 @@ impl LiveTrainer {
             (report, samples)
         });
         if let Some(reg) = &self.registry {
-            report.publish_metrics(reg);
-            reg.counter(dsi_obs::names::TRAINER_SAMPLES_TOTAL, &[])
-                .add(samples);
+            report.publish_metrics_labeled(reg, self.client.job());
+            reg.counter(
+                dsi_obs::names::TRAINER_SAMPLES_TOTAL,
+                &[("job", self.client.job())],
+            )
+            .add(samples);
         }
         (report, samples)
     }
+}
+
+/// Records the trainer-side `Consume` span: the GPU service time of one
+/// batch, parented under the delivering client's `Deliver` span. No-op
+/// without a registry or for unsampled tensors.
+fn record_consume(
+    registry: &Option<dsi_obs::Registry>,
+    trace: dsi_obs::TraceContext,
+    start_ns: u64,
+) {
+    let Some(reg) = registry else { return };
+    if !trace.is_sampled() {
+        return;
+    }
+    reg.record_span(dsi_obs::TraceSpan {
+        trace_id: trace.trace_id,
+        span_id: dsi_obs::next_span_id(),
+        parent_id: trace.span_id,
+        kind: dsi_obs::SpanKind::Consume,
+        start_ns,
+        end_ns: dsi_obs::now_ns(),
+        split: 0,
+        worker: 0,
+        seq: 0,
+        flags: 0,
+    });
 }
 
 /// Sleeps short durations accurately enough for the tests.
@@ -225,18 +269,62 @@ mod tests {
             .with_registry(&reg);
         let (report, samples) = trainer.train(u64::MAX);
         session.shutdown();
+        // Trainer metrics carry the session's `job` label.
+        let job = [("job", "sess1")];
         assert_eq!(
-            reg.counter_value(names::TRAINER_SAMPLES_TOTAL, &[]),
+            reg.counter_value(names::TRAINER_SAMPLES_TOTAL, &job),
             samples
         );
         assert_eq!(
-            reg.counter_value(names::TRAINER_BATCHES_TOTAL, &[]),
+            reg.counter_value(names::TRAINER_BATCHES_TOTAL, &job),
             report.batches
         );
         assert!(
-            (reg.gauge_value(names::TRAINER_STALL_FRACTION, &[]) - report.stall_fraction).abs()
+            (reg.gauge_value(names::TRAINER_STALL_FRACTION, &job) - report.stall_fraction).abs()
                 < 1e-12
         );
+    }
+
+    #[test]
+    fn consume_spans_terminate_traces_in_both_modes() {
+        for prefetched in [false, true] {
+            let table = build_table(128);
+            let mut s = spec();
+            s.trace = dsi_trace::TraceConfig::all();
+            let reg = dsi_obs::Registry::new();
+            let session = DppSession::launch_observed_chaos(table, s, 2, Some(&reg), None).unwrap();
+            let demand = GpuDemand::new(3.2e6, 100.0);
+            let mut trainer = LiveTrainer::new(session.client(), demand)
+                .with_time_scale(0.01)
+                .with_registry(&reg);
+            let (_, samples) = if prefetched {
+                trainer.train_prefetched(u64::MAX, 2)
+            } else {
+                trainer.train(u64::MAX)
+            };
+            assert_eq!(samples, 128);
+            session.shutdown();
+
+            let spans = reg.trace_spans();
+            dsi_trace::validate(&spans).expect("traces stay well-formed through Consume");
+            let consumes: Vec<_> = spans
+                .iter()
+                .filter(|sp| sp.kind == dsi_obs::SpanKind::Consume)
+                .collect();
+            assert!(
+                !consumes.is_empty(),
+                "prefetched={prefetched}: trainer recorded no Consume spans"
+            );
+            // Every Consume parents under a Deliver span of the same trace.
+            for c in &consumes {
+                assert!(
+                    spans.iter().any(|sp| sp.kind == dsi_obs::SpanKind::Deliver
+                        && sp.span_id == c.parent_id
+                        && sp.trace_id == c.trace_id),
+                    "Consume span must chain to a Deliver span"
+                );
+            }
+        }
     }
 
     #[test]

@@ -28,18 +28,30 @@ impl StallReport {
     /// one `stall` stage observation carrying the total stalled time (so
     /// the pipeline report's stage table shows where the GPU waited).
     pub fn publish_metrics(&self, registry: &dsi_obs::Registry) {
+        self.publish_with(registry, None);
+    }
+
+    /// Like [`StallReport::publish_metrics`], but stamps every metric with
+    /// a `job` label so two concurrent training sessions publishing into
+    /// one registry never collide.
+    pub fn publish_metrics_labeled(&self, registry: &dsi_obs::Registry, job: &str) {
+        self.publish_with(registry, Some(job));
+    }
+
+    fn publish_with(&self, registry: &dsi_obs::Registry, job: Option<&str>) {
         use dsi_obs::names;
+        let labels: Vec<(&str, &str)> = job.map(|j| vec![("job", j)]).unwrap_or_default();
         registry
-            .gauge(names::TRAINER_STALL_FRACTION, &[])
+            .gauge(names::TRAINER_STALL_FRACTION, &labels)
             .set(self.stall_fraction);
         registry
-            .gauge(names::TRAINER_STALLED_SECONDS, &[])
+            .gauge(names::TRAINER_STALLED_SECONDS, &labels)
             .set(self.stalled_secs);
         registry
-            .gauge(names::TRAINER_ELAPSED_SECONDS, &[])
+            .gauge(names::TRAINER_ELAPSED_SECONDS, &labels)
             .set(self.elapsed_secs);
         registry
-            .counter(names::TRAINER_BATCHES_TOTAL, &[])
+            .counter(names::TRAINER_BATCHES_TOTAL, &labels)
             .add(self.batches);
         dsi_obs::observe_stage_seconds(registry, dsi_obs::stage::STALL, self.stalled_secs);
     }

@@ -159,12 +159,53 @@ impl TableScan {
     ///
     /// Propagates storage and decode failures.
     pub fn read_split(&self, split: &Split) -> Result<(Vec<Sample>, IoPlan)> {
+        self.read_split_inner(split, None)
+    }
+
+    /// [`TableScan::read_split`] under a distributed-trace context: the
+    /// fetch phase records a `StorageRead` span, each chunk read a
+    /// `TectonicIo` span beneath it, and the decode phase a `DwrfDecode`
+    /// span — all within `ctx`'s trace, parented under `ctx`'s span (the
+    /// worker's extract span). Falls back to the untraced path when `ctx`
+    /// is unsampled.
+    ///
+    /// # Errors
+    ///
+    /// Propagates storage and decode failures.
+    pub fn read_split_traced(
+        &self,
+        split: &Split,
+        ctx: dsi_obs::TraceContext,
+        trace_registry: &dsi_obs::Registry,
+    ) -> Result<(Vec<Sample>, IoPlan)> {
+        if !ctx.is_sampled() {
+            return self.read_split_inner(split, None);
+        }
+        self.read_split_inner(split, Some((ctx, trace_registry)))
+    }
+
+    fn read_split_inner(
+        &self,
+        split: &Split,
+        trace: Option<(dsi_obs::TraceContext, &dsi_obs::Registry)>,
+    ) -> Result<(Vec<Sample>, IoPlan)> {
         // The footer is shared by reference: splits of the same file decode
         // against one parsed footer instead of cloning it per split.
         let mut reader =
             FileReader::from_footer(Arc::clone(&split.footer)).with_decode_mode(self.decode);
         if let Some(reg) = self.table.registry() {
             reader = reader.with_registry(&reg);
+        }
+        // Pre-allocate the StorageRead span id so per-chunk TectonicIo
+        // spans can parent under it before the reader records it.
+        let mut storage_ctx = dsi_obs::TraceContext::NONE;
+        if let Some((ctx, reg)) = trace {
+            let storage_span = dsi_obs::next_span_id();
+            reader = reader.with_trace(reg, ctx, split.index, storage_span);
+            storage_ctx = dsi_obs::TraceContext {
+                trace_id: ctx.trace_id,
+                span_id: storage_span,
+            };
         }
         match self.table.cache() {
             Some(cache) => {
@@ -173,6 +214,9 @@ impl TableScan {
                     cache,
                     split.path.clone(),
                 );
+                if let Some((_, reg)) = trace {
+                    source = source.with_trace(reg, storage_ctx, split.index);
+                }
                 reader.read_stripe_from(
                     split.stripe,
                     Some(&self.projection),
@@ -183,6 +227,9 @@ impl TableScan {
             None => {
                 let mut source =
                     TectonicSource::new(self.table.cluster().clone(), split.path.clone());
+                if let Some((_, reg)) = trace {
+                    source = source.with_trace(reg, storage_ctx, split.index);
+                }
                 reader.read_stripe_from(
                     split.stripe,
                     Some(&self.projection),
@@ -410,6 +457,53 @@ mod tests {
             slow_stats.copied_bytes,
             slow_stats.read_bytes + slow_stats.wanted_bytes
         );
+    }
+
+    #[test]
+    fn traced_split_read_builds_storage_span_subtree() {
+        let table = build_table(25);
+        let scan = table.scan(
+            PartitionId::new(0)..PartitionId::new(1),
+            Projection::new(vec![FeatureId(1), FeatureId(2)]),
+        );
+        let split = &scan.plan_splits()[0];
+        let reg = dsi_obs::Registry::new();
+        let extract_ctx = dsi_obs::TraceContext {
+            trace_id: 0xACE,
+            span_id: 500,
+        };
+        let (rows, _) = scan.read_split_traced(split, extract_ctx, &reg).unwrap();
+        assert_eq!(rows.len(), 25);
+
+        let spans = reg.trace_spans();
+        let storage: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == dsi_obs::SpanKind::StorageRead)
+            .collect();
+        let decode: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == dsi_obs::SpanKind::DwrfDecode)
+            .collect();
+        let io: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == dsi_obs::SpanKind::TectonicIo)
+            .collect();
+        assert_eq!(storage.len(), 1);
+        assert_eq!(decode.len(), 1);
+        assert!(!io.is_empty());
+        assert_eq!(storage[0].parent_id, 500);
+        assert_eq!(decode[0].parent_id, 500);
+        for s in &io {
+            assert_eq!(s.parent_id, storage[0].span_id, "io under StorageRead");
+        }
+        assert!(spans.iter().all(|s| s.trace_id == 0xACE));
+        assert!(spans.iter().all(|s| s.split == split.index));
+
+        // Unsampled context records nothing.
+        let reg2 = dsi_obs::Registry::new();
+        scan.read_split_traced(split, dsi_obs::TraceContext::NONE, &reg2)
+            .unwrap();
+        assert!(reg2.trace_spans().is_empty());
     }
 
     #[test]

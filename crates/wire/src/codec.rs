@@ -31,6 +31,11 @@ pub struct WireEnvelope {
     pub last: bool,
     /// Worker that produced the tensor.
     pub worker: WorkerId,
+    /// Distributed-trace id for the split's trace (0 = not sampled).
+    pub trace_id: u64,
+    /// Span id of the worker-side span this delivery continues under
+    /// (the split's `Load` span); receiver-side spans parent beneath it.
+    pub parent_span: u64,
     /// The materialized mini-batch itself.
     pub tensor: MiniBatchTensor,
 }
@@ -94,6 +99,8 @@ pub fn encode_envelope(env: &WireEnvelope) -> Vec<u8> {
     write_varint(&mut out, env.seq as u64);
     out.push(env.last as u8);
     write_varint(&mut out, env.worker.0);
+    write_varint(&mut out, env.trace_id);
+    write_varint(&mut out, env.parent_span);
 
     let t = &env.tensor;
     write_varint(&mut out, t.dense.rows() as u64);
@@ -146,6 +153,8 @@ pub fn decode_envelope(buf: &[u8]) -> Result<WireEnvelope> {
         }
     };
     let worker = WorkerId(read_varint(buf, pos)?);
+    let trace_id = read_varint(buf, pos)?;
+    let parent_span = read_varint(buf, pos)?;
 
     let rows = read_varint(buf, pos)? as usize;
     let cols = read_varint(buf, pos)? as usize;
@@ -225,6 +234,8 @@ pub fn decode_envelope(buf: &[u8]) -> Result<WireEnvelope> {
         seq,
         last,
         worker,
+        trace_id,
+        parent_span,
         tensor: MiniBatchTensor {
             dense,
             sparse,
@@ -265,6 +276,8 @@ mod tests {
             seq: 7,
             last: seed.is_multiple_of(2),
             worker: WorkerId(3),
+            trace_id: 0xABCD_EF00 + seed,
+            parent_span: 17 + seed,
             tensor,
         }
     }

@@ -38,7 +38,7 @@ use std::time::{Duration, Instant};
 
 use chaos::{FaultInjector, FaultKind, HookPoint};
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use dsi_obs::{names, Registry};
+use dsi_obs::{names, next_span_id, now_ns, Registry, SpanKind, TraceSpan, FLAG_REPLAY};
 use dwrf::cipher::StreamCipher;
 use dwrf::compress;
 use parking_lot::{Mutex, RwLock};
@@ -70,6 +70,51 @@ fn with_registry(obs: &WireObs, f: impl FnOnce(&Registry)) {
     if let Some(reg) = obs.lock().as_ref() {
         f(reg);
     }
+}
+
+/// One encoded data frame held in the server's unacked ring, plus the
+/// trace coordinates needed to record replayed sends as sibling spans.
+struct UnackedFrame {
+    bytes: Vec<u8>,
+    trace_id: u64,
+    parent_span: u64,
+    split: u64,
+    seq: u32,
+    worker: u64,
+}
+
+/// Record a `WireSend`/`WireRecv`/`Deliver`-style span for one frame if
+/// the split is sampled. Fresh span id per call: a frame sent twice (the
+/// replay path) shows up as two sibling spans under the same parent.
+#[allow(clippy::too_many_arguments)]
+fn record_wire_span(
+    obs: &WireObs,
+    kind: SpanKind,
+    trace_id: u64,
+    parent_span: u64,
+    start_ns: u64,
+    split: u64,
+    seq: u32,
+    worker: u64,
+    flags: u8,
+) {
+    if trace_id == 0 {
+        return;
+    }
+    with_registry(obs, |reg| {
+        reg.record_span(TraceSpan {
+            trace_id,
+            span_id: next_span_id(),
+            parent_id: parent_span,
+            kind,
+            start_ns,
+            end_ns: now_ns(),
+            split,
+            worker,
+            seq,
+            flags,
+        });
+    });
 }
 
 /// Serialize an envelope into a ready-to-send data frame, charging
@@ -306,7 +351,7 @@ fn server_loop(
 ) {
     // Encoded frames sent but not yet credited, oldest first. Survives
     // across connections: a reconnecting client gets them all replayed.
-    let mut unacked: VecDeque<Vec<u8>> = VecDeque::new();
+    let mut unacked: VecDeque<UnackedFrame> = VecDeque::new();
     let mut source_done = false;
     let mut nonce: u64 = 0;
 
@@ -342,8 +387,21 @@ fn server_loop(
         // The credit reader only pops via `popped` below, so the window is
         // stable here even if credits race in.
         for frame in &unacked {
-            match send_data_frame(&mut stream, frame, &chaos, &obs, &stop) {
-                SendOutcome::Sent => {}
+            let send_start = now_ns();
+            match send_data_frame(&mut stream, &frame.bytes, &chaos, &obs, &stop) {
+                SendOutcome::Sent => {
+                    record_wire_span(
+                        &obs,
+                        SpanKind::WireSend,
+                        frame.trace_id,
+                        frame.parent_span,
+                        send_start,
+                        frame.split,
+                        frame.seq,
+                        frame.worker,
+                        FLAG_REPLAY,
+                    );
+                }
                 SendOutcome::ConnDead => {
                     alive.store(false, Ordering::SeqCst);
                     break;
@@ -387,10 +445,31 @@ fn server_loop(
                     Ok(env) => {
                         let frame = encode_data_frame(&env, nonce, &cfg, &obs);
                         nonce += 1;
-                        unacked.push_back(frame);
-                        let bytes = unacked.back().expect("just pushed").clone();
+                        unacked.push_back(UnackedFrame {
+                            bytes: frame,
+                            trace_id: env.trace_id,
+                            parent_span: env.parent_span,
+                            split: env.split,
+                            seq: env.seq,
+                            worker: env.worker.0,
+                        });
+                        let entry = unacked.back().expect("just pushed");
+                        let bytes = entry.bytes.clone();
+                        let send_start = now_ns();
                         match send_data_frame(&mut stream, &bytes, &chaos, &obs, &stop) {
-                            SendOutcome::Sent => {}
+                            SendOutcome::Sent => {
+                                record_wire_span(
+                                    &obs,
+                                    SpanKind::WireSend,
+                                    env.trace_id,
+                                    env.parent_span,
+                                    send_start,
+                                    env.split,
+                                    env.seq,
+                                    env.worker.0,
+                                    0,
+                                );
+                            }
                             SendOutcome::ConnDead => alive.store(false, Ordering::SeqCst),
                             SendOutcome::Stopped => {
                                 alive.store(false, Ordering::SeqCst);
@@ -468,10 +547,22 @@ fn client_loop(port: u16, cfg: WireConfig, tx: Sender<WireEnvelope>, obs: WireOb
             };
             match frame.kind {
                 FrameKind::Data => {
+                    let recv_start = now_ns();
                     let env = match decode_data_frame(&frame, &cfg, &obs) {
                         Ok(env) => env,
                         Err(_) => continue 'dial,
                     };
+                    record_wire_span(
+                        &obs,
+                        SpanKind::WireRecv,
+                        env.trace_id,
+                        env.parent_span,
+                        recv_start,
+                        env.split,
+                        env.seq,
+                        env.worker.0,
+                        0,
+                    );
                     if tx.send(env).is_err() {
                         return; // endpoint dropped; session is shutting down
                     }
@@ -507,6 +598,8 @@ mod tests {
             seq,
             last,
             worker: WorkerId(0),
+            trace_id: 0,
+            parent_span: 0,
             tensor: batch.materialize(&[FeatureId(1)], &[FeatureId(2)]),
         }
     }
@@ -645,6 +738,75 @@ mod tests {
         producer.join().expect("producer");
         server.join();
         assert_eq!(seen.len(), 24, "every envelope must arrive at least once");
+    }
+
+    #[test]
+    fn traced_frames_record_send_recv_spans_and_replay_siblings() {
+        // Sever the connection at the second frame: that frame stays
+        // unacked and is replayed on reconnect, which must surface as a
+        // sibling WireSend span flagged as a replay.
+        let plan = FaultPlan::named(vec![FaultEvent::new(
+            HookPoint::WireFrame,
+            1,
+            FaultKind::ConnDrop,
+        )]);
+        let chaos: WireChaos = Arc::new(RwLock::new(Some(FaultInjector::new(plan))));
+        let reg = Registry::new();
+        let obs: WireObs = Arc::new(Mutex::new(Some(reg.clone())));
+
+        let (tx, rx) = bounded::<WireEnvelope>(4);
+        let cfg = WireConfig::plaintext();
+        let server = WireServer::serve(rx, cfg, 4, obs.clone(), chaos).expect("serve");
+        let out = connect(server.port(), cfg, 4, obs.clone());
+        let producer = thread::spawn(move || {
+            for i in 0..4u64 {
+                let mut env = envelope(i, 0, true);
+                env.trace_id = 100 + i;
+                env.parent_span = 7 + i;
+                tx.send(env).expect("send");
+            }
+        });
+        let mut delivered = HashSet::new();
+        while let Ok(env) = out.recv() {
+            delivered.insert(env.split);
+        }
+        producer.join().expect("producer");
+        server.join();
+        assert_eq!(delivered.len(), 4);
+
+        let spans = reg.trace_spans();
+        let sends: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::WireSend)
+            .collect();
+        let recvs: Vec<_> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::WireRecv)
+            .collect();
+        assert!(sends.len() >= 4, "one send per frame, got {}", sends.len());
+        assert!(
+            recvs.len() >= 4,
+            "one recv per delivery, got {}",
+            recvs.len()
+        );
+        assert!(
+            sends.iter().any(|s| s.is_replay()),
+            "replayed frame must be flagged"
+        );
+        for s in sends.iter().chain(recvs.iter()) {
+            assert_eq!(s.parent_id, 7 + s.split, "spans parent under the envelope");
+            assert_eq!(s.trace_id, 100 + s.split);
+        }
+        // A replayed send shares trace and parent with the original — a
+        // sibling, not a child (span ids are fresh per send).
+        let replay = sends.iter().find(|s| s.is_replay()).expect("replay span");
+        let original = sends
+            .iter()
+            .find(|s| !s.is_replay() && s.split == replay.split);
+        if let Some(orig) = original {
+            assert_ne!(orig.span_id, replay.span_id);
+            assert_eq!(orig.parent_id, replay.parent_id);
+        }
     }
 
     #[test]

@@ -123,8 +123,9 @@ fn main() -> dsi_types::Result<()> {
     let report = PipelineReport::collect(&registry);
     println!("\n{report}");
 
-    // The registry and the trainer's own report must agree exactly.
-    let gauge = registry.gauge_value(dsi::obs::names::TRAINER_STALL_FRACTION, &[]);
+    // The registry and the trainer's own report must agree exactly. The
+    // trainer stamps its metrics with the session's `job` label.
+    let gauge = registry.gauge_value(dsi::obs::names::TRAINER_STALL_FRACTION, &[("job", "sess1")]);
     assert!(
         (gauge - stall.stall_fraction).abs() < 1e-12,
         "stall gauge {gauge} != trainer report {}",

@@ -59,6 +59,7 @@ pub use cluster;
 pub use dedup;
 pub use dpp;
 pub use dsi_obs as obs;
+pub use dsi_trace as trace;
 pub use dsi_types as types;
 pub use dwrf;
 pub use hwsim;
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use dedup::{DedupConfig, DedupSet, DedupStats};
     pub use dpp::{AutoScaler, Client, DppSession, Master, SessionSpec, Transport};
     pub use dsi_obs::{json_snapshot, prometheus_text, PipelineReport, Registry};
+    pub use dsi_trace::{CriticalPathReport, TraceConfig, Verdict};
     pub use dsi_types::{
         Batch, ByteSize, DsiError, FeatureId, MiniBatchTensor, PartitionId, Projection, Sample,
         Schema, SessionId, SparseList, TableId,

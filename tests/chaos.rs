@@ -81,6 +81,7 @@ struct EpochOpts {
     fastpath: bool,
     workers: usize,
     transport: Transport,
+    trace: bool,
 }
 
 impl Default for EpochOpts {
@@ -91,6 +92,7 @@ impl Default for EpochOpts {
             fastpath: true,
             workers: 3,
             transport: Transport::InProcess,
+            trace: false,
         }
     }
 }
@@ -106,6 +108,11 @@ fn chaos_spec(opts: EpochOpts) -> SessionSpec {
         .read_ahead(opts.read_ahead)
         .fastpath(opts.fastpath)
         .transport(opts.transport)
+        .trace(if opts.trace {
+            TraceConfig::all()
+        } else {
+            TraceConfig::off()
+        })
         .build()
 }
 
@@ -126,21 +133,24 @@ fn launch_with_retry(
     workers: usize,
     injector: &Arc<FaultInjector>,
     from: Option<&SessionCheckpoint>,
+    registry: Option<&Registry>,
 ) -> DppSession {
     let mut last = None;
     for _ in 0..8 {
         let attempt = match from {
-            None => DppSession::launch_chaos(
+            None => DppSession::launch_observed_chaos(
                 world.table.clone(),
                 spec.clone(),
                 workers,
+                registry,
                 Some(Arc::clone(injector)),
             ),
-            Some(ckpt) => DppSession::resume_session(
+            Some(ckpt) => DppSession::resume_observed_session(
                 world.table.clone(),
                 spec.clone(),
                 ckpt,
                 workers,
+                registry,
                 Some(Arc::clone(injector)),
             ),
         };
@@ -179,7 +189,10 @@ fn drive_epoch(injector: Arc<FaultInjector>, opts: EpochOpts) -> EpochRun {
         cache
     });
     let spec = chaos_spec(opts);
-    let mut session = launch_with_retry(&world, &spec, opts.workers, &injector, None);
+    // Traced epochs need the registry attached *before* the first worker
+    // spawns, or the earliest splits race worker startup and go untraced.
+    let observed = opts.trace.then_some(&registry);
+    let mut session = launch_with_retry(&world, &spec, opts.workers, &injector, None, observed);
     session.attach_registry(&registry);
     let mut client = session.client();
     let mut trace = EpochTrace::new();
@@ -224,6 +237,7 @@ fn drive_epoch(injector: Arc<FaultInjector>, opts: EpochOpts) -> EpochRun {
                                 opts.workers,
                                 &injector,
                                 Some(&ckpt),
+                                observed,
                             );
                             session.attach_registry(&registry);
                             client = session.client();
@@ -644,6 +658,70 @@ fn regression_wire_drops_compose_with_worker_kill_and_master_restart() {
     );
 }
 
+#[test]
+fn composed_chaos_traces_stay_valid_with_replays_as_sibling_spans() {
+    // The composed control+data-plane schedule (wire drop, worker kill,
+    // master kill+restore) with 100% trace sampling: every retry path in
+    // the pipeline must keep the span tree structurally sound. Trace ids
+    // are deterministic per (session, split), so a replayed split — from
+    // whichever fault — lands in the SAME trace as its first attempt, as
+    // sibling spans, never as an orphan or a second trace.
+    let plan = FaultPlan::named(vec![
+        FaultEvent::new(HookPoint::WireFrame, 3, FaultKind::ConnDrop),
+        FaultEvent::new(HookPoint::Harness, 3, FaultKind::WorkerKill),
+        FaultEvent::new(HookPoint::Harness, 6, FaultKind::MasterKillRestore),
+    ]);
+    let opts = EpochOpts {
+        transport: Transport::Tcp(WireConfig::plaintext()),
+        trace: true,
+        ..EpochOpts::default()
+    };
+    let run = run_epoch(plan, opts);
+    assert_eq!(run.trace.len(), TOTAL_TENSORS, "epoch lost tensors");
+    assert!(
+        run.injector.injected_count() >= 3,
+        "composed schedule under-fired:\n{}",
+        run.injector.plan()
+    );
+    let spans = run.registry.trace_spans();
+    assert_eq!(run.registry.trace_dropped(), 0, "span ring overflowed");
+    if let Err(errors) = dsi::trace::validate(&spans) {
+        panic!(
+            "structurally invalid traces under chaos:\n  {}",
+            errors.join("\n  ")
+        );
+    }
+    // Full sampling + observed launch/resume: every split's trace is
+    // present and complete down to delivery.
+    let schedules = dsi::trace::schedule_counts(&spans);
+    assert_eq!(
+        schedules.len(),
+        TOTAL_TENSORS,
+        "expected one trace per split"
+    );
+    for &trace_id in schedules.keys() {
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.trace_id == trace_id && s.kind == dsi::obs::SpanKind::Deliver),
+            "trace {trace_id:#x} never reached the client"
+        );
+    }
+    // Replay evidence: a worker kill or master restore re-schedules the
+    // in-flight split (a second parent-0 Schedule sibling in the same
+    // trace), and wire drops replay envelopes (FLAG_REPLAY siblings).
+    let rescheduled = schedules.values().filter(|&&n| n > 1).count();
+    let replay_flagged = spans.iter().filter(|s| s.is_replay()).count();
+    assert!(
+        rescheduled + replay_flagged > 0,
+        "no replayed split visible as a sibling span:\n{}",
+        run.injector.plan()
+    );
+    let report = dsi::trace::analyze(&spans);
+    assert_eq!(report.traces, TOTAL_TENSORS, "analyzer lost traces");
+    assert!(report.end_to_end_p50_ms > 0.0, "degenerate end-to-end p50");
+}
+
 // ---------------------------------------------------------------------
 // Corruption must never reach the trainer.
 // ---------------------------------------------------------------------
@@ -675,7 +753,7 @@ fn corrupted_blocks_never_reach_the_trainer() {
         let world = build_world();
         world.cluster.attach_chaos(Arc::clone(&injector));
         let spec = chaos_spec(EpochOpts::default());
-        let session = launch_with_retry(&world, &spec, 3, &injector, None);
+        let session = launch_with_retry(&world, &spec, 3, &injector, None, None);
         let client = session.client();
         let mut trainer =
             LiveTrainer::new(client, GpuDemand::new(3.2e6, 100.0)).with_time_scale(0.1);

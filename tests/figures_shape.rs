@@ -200,6 +200,88 @@ fn s7_codesign_improves_dpp_and_power() {
 }
 
 #[test]
+fn trace_bench_artifact_matches_schema() {
+    // `figures trace` commits its ablation results; validate the schema and
+    // the acceptance envelope (overhead under 3%, verdicts on the two known
+    // job shapes) without a JSON parser dependency.
+    fn num(section: &str, key: &str) -> f64 {
+        let pat = format!("\"{key}\":");
+        let at = section
+            .find(&pat)
+            .unwrap_or_else(|| panic!("BENCH_trace.json missing key {key:?}"));
+        let rest = section[at + pat.len()..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end]
+            .parse()
+            .unwrap_or_else(|_| panic!("BENCH_trace.json key {key:?} is not numeric"))
+    }
+    fn verdict_block<'a>(body: &'a str, name: &str) -> &'a str {
+        let start = body
+            .find(&format!("\"{name}\""))
+            .unwrap_or_else(|| panic!("BENCH_trace.json missing block {name:?}"));
+        let section = &body[start..];
+        let end = section.find('}').expect("verdict block closes");
+        let section = &section[..end];
+        for key in [
+            "traces",
+            "spans",
+            "verdict",
+            "extract_ms",
+            "transform_ms",
+            "wire_ms",
+            "trainer_ms",
+            "end_to_end_p50_ms",
+        ] {
+            assert!(
+                section.contains(&format!("\"{key}\":")),
+                "block {name:?} missing key {key:?}"
+            );
+        }
+        assert!(num(section, "traces") >= 1.0, "{name}: no traces");
+        assert!(
+            num(section, "spans") > num(section, "traces"),
+            "{name}: spans per trace"
+        );
+        assert!(
+            num(section, "end_to_end_p50_ms") > 0.0,
+            "{name}: degenerate p50"
+        );
+        section
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_trace.json");
+    let body = std::fs::read_to_string(path)
+        .expect("BENCH_trace.json is committed at the repo root (run `figures trace`)");
+    assert!(num(&body, "samples_per_sec_off") > 0.0);
+    assert!(num(&body, "samples_per_sec_traced") > 0.0);
+    assert!(
+        num(&body, "overhead_pct") < 3.0,
+        "default-rate tracing overhead out of envelope"
+    );
+    assert_eq!(num(&body, "sample_one_in") as u64, 4, "default sample rate");
+    assert!(
+        num(&body, "sampled_spans") >= 1.0,
+        "sampling collected spans"
+    );
+    assert!(num(&body, "samples") > 0.0);
+    assert!(
+        body.contains("\"smoke\": false"),
+        "committed run is full-size"
+    );
+    let extract = verdict_block(&body, "extract_bound");
+    assert!(
+        extract.contains("\"verdict\": \"extract\""),
+        "narrow job verdict"
+    );
+    let transform = verdict_block(&body, "transform_bound");
+    assert!(
+        transform.contains("\"verdict\": \"transform\""),
+        "tiled job verdict"
+    );
+}
+
+#[test]
 fn datasets_dwarf_local_storage() {
     // Table III: used partitions alone are petabytes — orders of magnitude
     // beyond a trainer node's local storage.
