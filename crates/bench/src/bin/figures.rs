@@ -113,6 +113,9 @@ fn main() {
     if want("trace") {
         trace_ablation(smoke);
     }
+    if want("tenancy") {
+        tenancy_ablation(smoke);
+    }
     if want("fleet") {
         fleet();
     }
@@ -1826,6 +1829,295 @@ fn trace_ablation(smoke: bool) {
         eprintln!("(could not write PERFETTO_trace.json: {e})");
     } else {
         println!("(wrote PERFETTO_trace.json — load it at https://ui.perfetto.dev)");
+    }
+}
+
+/// Per-tenant measurements from one arm of the tenancy ablation.
+#[derive(Clone, Copy, Default)]
+struct TenantStat {
+    samples: u64,
+    batches: u64,
+    starved: u64,
+    secs: f64,
+    max_deficit: usize,
+    preemptions: u64,
+}
+
+impl TenantStat {
+    fn qps(&self) -> f64 {
+        self.samples as f64 / self.secs.max(1e-9)
+    }
+    /// Fraction of client polls that found no batch while the job was
+    /// still incomplete — the trainer-side starvation signal.
+    fn stall_fraction(&self) -> f64 {
+        self.starved as f64 / (self.starved + self.batches).max(1) as f64
+    }
+}
+
+/// Multi-tenancy ablation: three tenants (two low-priority, one
+/// high-priority arriving mid-run) on one shared 6-slot fleet under the
+/// reconciler, vs the same three jobs on statically partitioned workers
+/// (2 each, no reallocation). The reconciler converges the early jobs to
+/// 3+3, then preempts down to 1+1 to give the priority-4 arrival 4
+/// workers; after the low-priority epochs finish it re-expands. Every
+/// job must still deliver its epoch exactly once.
+fn tenancy_ablation(smoke: bool) {
+    use dpp::DppSession;
+    use dsi_fleet::{FleetConfig, FleetDriver, JobSpec, TenantId};
+    use dsi_obs::{PipelineReport, Registry};
+    use dsi_types::SessionId;
+    use std::time::{Duration, Instant};
+
+    let cfg = if smoke {
+        LabConfig {
+            features: 60,
+            days: 1,
+            rows_per_day: 4_096,
+            rows_per_stripe: 512,
+            seed: 0x7e4a,
+        }
+    } else {
+        LabConfig {
+            features: 100,
+            days: 2,
+            rows_per_day: 16_384,
+            rows_per_stripe: 512,
+            seed: 0x7e4a,
+        }
+    };
+    let lab = RmLab::build(RmClass::Rm1, cfg);
+    let batch = 256usize;
+    let rows_per_job = cfg.days as u64 * cfg.rows_per_day;
+    let batches_per_job = rows_per_job / batch as u64;
+
+    // Tenant line-up: A and B are equal low-priority batch jobs that can
+    // use the whole fleet; C is a high-priority job (weight 4, floor 2)
+    // submitted once A+B are ~25% through their epochs.
+    let spec_for = |id: u64| {
+        let mut spec = lab.session_spec(lab.rc_projection(), batch);
+        spec.id = SessionId(id);
+        spec
+    };
+    let demands = [(1u64, 1u32, 1usize, 6usize), (2, 1, 1, 6), (3, 4, 2, 4)];
+    let ids = [SessionId(1), SessionId(2), SessionId(3)];
+
+    // ---- reconciler arm: one FleetDriver over 2 nodes x 3 slots.
+    let reg = Registry::new();
+    let driver = FleetDriver::new(FleetConfig {
+        nodes: 2,
+        slots_per_node: 3,
+    });
+    driver.attach_registry(&reg);
+    let mut stats = [TenantStat::default(); 3];
+    let mut starts = [Instant::now(); 3];
+    let mut ends: [Option<Instant>; 3] = [None; 3];
+    let mut clients = Vec::new();
+    for i in 0..2 {
+        let (id, priority, min, max) = demands[i];
+        let spec = JobSpec::new(spec_for(id), TenantId(id), priority, min, max);
+        driver
+            .submit(spec, lab.table.clone())
+            .expect("fresh job id");
+        starts[i] = Instant::now();
+        clients.push((i, driver.client(ids[i]).expect("job submitted")));
+    }
+    let mut c_submitted = false;
+    let mut idle = 0u32;
+    loop {
+        driver.tick();
+        for (i, &id) in ids.iter().enumerate() {
+            if let Some(status) = driver.registry().status(id) {
+                stats[i].max_deficit = stats[i].max_deficit.max(status.fair_share_deficit);
+            }
+        }
+        if !c_submitted && stats[0].batches + stats[1].batches >= batches_per_job / 2 {
+            let (id, priority, min, max) = demands[2];
+            let spec = JobSpec::new(spec_for(id), TenantId(id), priority, min, max);
+            driver
+                .submit(spec, lab.table.clone())
+                .expect("fresh job id");
+            starts[2] = Instant::now();
+            clients.push((2, driver.client(ids[2]).expect("job submitted")));
+            c_submitted = true;
+        }
+        let mut progressed = false;
+        for (i, client) in clients.iter_mut() {
+            let mut got = false;
+            while let Some(tensor) = client.try_next_batch() {
+                stats[*i].samples += tensor.batch_size() as u64;
+                stats[*i].batches += 1;
+                got = true;
+            }
+            if got {
+                progressed = true;
+            } else if ends[*i].is_none() {
+                stats[*i].starved += 1;
+            }
+            if ends[*i].is_none() && driver.is_complete(ids[*i]) {
+                ends[*i] = Some(Instant::now());
+            }
+        }
+        if c_submitted && ends.iter().all(|e| e.is_some()) {
+            break;
+        }
+        if progressed {
+            idle = 0;
+        } else {
+            idle += 1;
+            assert!(idle < 60_000, "fleet made no progress for 60s");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    driver.tick(); // publish final statuses
+    for (i, &id) in ids.iter().enumerate() {
+        stats[i].secs = (ends[i].unwrap() - starts[i]).as_secs_f64();
+        stats[i].preemptions = driver.registry().status(id).expect("job known").preemptions;
+        assert_eq!(stats[i].samples, rows_per_job, "tenant {id} exactly-once");
+        driver.remove(id).expect("job known").shutdown();
+    }
+    let report = PipelineReport::collect(&reg);
+    let preemptions_total = report.fleet_preemptions();
+    let reconciles = report.fleet_reconciles;
+    assert!(
+        preemptions_total >= 1,
+        "the high-priority arrival must preempt at least one worker"
+    );
+    let fleet_stats = stats;
+
+    // ---- static arm: the same three jobs, 2 dedicated workers each, no
+    // control plane. C launches at the same ~25% trigger.
+    let mut stats = [TenantStat::default(); 3];
+    let mut starts = [Instant::now(); 3];
+    let mut ends: [Option<Instant>; 3] = [None; 3];
+    let mut sessions = Vec::new();
+    for i in 0..2 {
+        let session = DppSession::launch(lab.table.clone(), spec_for(demands[i].0), 2)
+            .expect("lab selection is non-empty");
+        starts[i] = Instant::now();
+        sessions.push((i, session.client(), session));
+    }
+    let mut c_submitted = false;
+    let mut idle = 0u32;
+    loop {
+        if !c_submitted && stats[0].batches + stats[1].batches >= batches_per_job / 2 {
+            let session = DppSession::launch(lab.table.clone(), spec_for(demands[2].0), 2)
+                .expect("lab selection is non-empty");
+            starts[2] = Instant::now();
+            sessions.push((2, session.client(), session));
+            c_submitted = true;
+        }
+        let mut progressed = false;
+        for (i, client, session) in sessions.iter_mut() {
+            let mut got = false;
+            while let Some(tensor) = client.try_next_batch() {
+                stats[*i].samples += tensor.batch_size() as u64;
+                stats[*i].batches += 1;
+                got = true;
+            }
+            if got {
+                progressed = true;
+            } else if ends[*i].is_none() {
+                stats[*i].starved += 1;
+            }
+            if ends[*i].is_none() && session.is_complete() {
+                ends[*i] = Some(Instant::now());
+            }
+        }
+        if c_submitted && ends.iter().all(|e| e.is_some()) {
+            break;
+        }
+        if progressed {
+            idle = 0;
+        } else {
+            idle += 1;
+            assert!(idle < 60_000, "static sessions made no progress for 60s");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    for (i, _, _) in sessions.iter() {
+        stats[*i].secs = (ends[*i].unwrap() - starts[*i]).as_secs_f64();
+        // Under static partitioning a job is permanently short of its
+        // full demand by however much its fixed 2 slots miss max_workers.
+        stats[*i].max_deficit = demands[*i].3.saturating_sub(2);
+        assert_eq!(
+            stats[*i].samples, rows_per_job,
+            "static tenant exactly-once"
+        );
+    }
+    for (_, _, session) in sessions {
+        session.shutdown();
+    }
+    let static_stats = stats;
+
+    let mut rows = Vec::new();
+    for (i, name) in ["A (pri 1)", "B (pri 1)", "C (pri 4, late)"]
+        .iter()
+        .enumerate()
+    {
+        for (arm, s) in [
+            ("reconciler", &fleet_stats[i]),
+            ("static 2+2+2", &static_stats[i]),
+        ] {
+            rows.push(vec![
+                name.to_string(),
+                arm.into(),
+                f(s.samples as f64, 0),
+                f(s.qps(), 0),
+                pct(s.stall_fraction()),
+                f(s.max_deficit as f64, 0),
+                f(s.preemptions as f64, 0),
+            ]);
+        }
+    }
+    print_table(
+        "Extension (tenancy): 3 tenants on one 6-slot fleet — reconciler vs static partition (RM1, same seed)",
+        &[
+            "tenant",
+            "arm",
+            "samples",
+            "samples/s",
+            "stall",
+            "max deficit",
+            "preempted",
+        ],
+        &rows,
+    );
+    let speedup = fleet_stats[2].qps() / static_stats[2].qps().max(1e-9);
+    println!(
+        "({reconciles} reconcile ticks moved {preemptions_total} workers by preemption; the \
+         high-priority arrival ran {speedup:.2}x the static partition's samples/s)",
+    );
+
+    let tenant_json = |s: &TenantStat| {
+        format!(
+            "{{\"samples\": {}, \"samples_per_sec\": {:.1}, \"stall_fraction\": {:.4}, \
+             \"max_deficit\": {}, \"preemptions\": {}}}",
+            s.samples,
+            s.qps(),
+            s.stall_fraction(),
+            s.max_deficit,
+            s.preemptions,
+        )
+    };
+    let json = format!(
+        "{{\n  \"fleet_slots\": 6,\n  \"rows_per_job\": {rows_per_job},\n  \
+         \"reconciler\": {{\n    \"tenant_a\": {},\n    \"tenant_b\": {},\n    \
+         \"tenant_c\": {},\n    \"preemptions_total\": {preemptions_total},\n    \
+         \"reconcile_ticks\": {reconciles}\n  }},\n  \
+         \"static\": {{\n    \"tenant_a\": {},\n    \"tenant_b\": {},\n    \
+         \"tenant_c\": {}\n  }},\n  \
+         \"high_priority_speedup\": {speedup:.3},\n  \"smoke\": {smoke}\n}}\n",
+        tenant_json(&fleet_stats[0]),
+        tenant_json(&fleet_stats[1]),
+        tenant_json(&fleet_stats[2]),
+        tenant_json(&static_stats[0]),
+        tenant_json(&static_stats[1]),
+        tenant_json(&static_stats[2]),
+    );
+    if let Err(e) = std::fs::write("BENCH_tenancy.json", &json) {
+        eprintln!("(could not write BENCH_tenancy.json: {e})");
+    } else {
+        println!("(wrote BENCH_tenancy.json)");
     }
 }
 

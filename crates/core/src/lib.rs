@@ -61,7 +61,7 @@ pub use autoscale::{AutoScaler, ScalerConfig, ScalingDecision, WorkerTelemetry};
 pub use client::Client;
 pub use fleet::{FleetPoint, FleetSim, FleetTrace};
 pub use master::{Master, MasterCheckpoint, SplitState};
-pub use service::{DppSession, SessionCheckpoint};
+pub use service::{DppSession, SessionCheckpoint, WorkerObservation};
 pub use session::{Injection, SessionSpec, SessionSpecBuilder, Transport};
 pub use wire::WireConfig;
 pub use worker::{ExtractCostModel, Worker, WorkerReport};

@@ -201,17 +201,22 @@ pub(crate) fn pipelined_worker_loop(
         let spec = worker.spec_arc();
         let cost = worker.cost_model();
         let obs = Arc::clone(&obs);
+        // Sessions share registries under the fleet control plane, so the
+        // per-worker pipeline gauges carry the job label like every other
+        // session-scoped metric.
+        let job: Arc<str> = master.session().to_string().into();
         std::thread::spawn(move || {
             while let Ok(f) = fetch_rx.recv() {
                 // Re-read the slot per split so a registry attached after
                 // launch still sees this worker's pipeline telemetry.
                 let reg = obs.lock().clone();
                 if let Some(reg) = &reg {
+                    let labels = [("job", job.as_ref())];
                     // Depth of the decode read-ahead buffer *behind* this
                     // item: how far fetch has run ahead of transform.
-                    reg.gauge(names::FASTPATH_PREFETCH_DEPTH, &[])
+                    reg.gauge(names::FASTPATH_PREFETCH_DEPTH, &labels)
                         .set(fetch_rx.len() as f64);
-                    reg.histogram(names::FASTPATH_STAGE_OVERLAP_SECONDS, &[])
+                    reg.histogram(names::FASTPATH_STAGE_OVERLAP_SECONDS, &labels)
                         .record(f.ready_at.elapsed().as_secs_f64());
                 }
                 let t1 = now_ns();

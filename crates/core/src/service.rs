@@ -30,6 +30,36 @@ struct WorkerControl {
     handle: JoinHandle<WorkerReport>,
 }
 
+/// One worker's control-plane view: identity, buffer occupancy, and
+/// lifecycle flags, captured atomically per worker.
+///
+/// [`DppSession::observe`] is the single derivation point for live-worker
+/// accounting — [`DppSession::telemetry`], [`DppSession::draining_workers`],
+/// the autoscaler's drain-victim selection, and the fleet reconciler's
+/// observed state are all views over this snapshot, so none of them can
+/// disagree about which workers still count as capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerObservation {
+    /// The worker.
+    pub id: WorkerId,
+    /// Tensors currently buffered in the worker's endpoint.
+    pub buffered: usize,
+    /// The endpoint's buffer capacity (batches).
+    pub capacity: usize,
+    /// Whether the worker has been flagged to drain (capacity that is
+    /// already leaving the fleet).
+    pub draining: bool,
+    /// Whether the worker thread has exited.
+    pub finished: bool,
+}
+
+impl WorkerObservation {
+    /// Whether this worker still counts as live capacity.
+    pub fn is_live(&self) -> bool {
+        !self.finished && !self.draining
+    }
+}
+
 /// A running preprocessing session.
 pub struct DppSession {
     master: Master,
@@ -113,6 +143,29 @@ impl DppSession {
         registry: Option<&dsi_obs::Registry>,
         injector: Option<Arc<FaultInjector>>,
     ) -> Result<DppSession> {
+        let session = Self::launch_managed(table, spec, registry, injector)?;
+        for _ in 0..workers.max(1) {
+            session.spawn_worker();
+        }
+        Ok(session)
+    }
+
+    /// Launches a session with *zero* workers: an external control plane
+    /// (the dsi-fleet reconciler) owns the worker lifecycle, calling
+    /// [`DppSession::spawn_worker`] and [`DppSession::drain_worker_by_id`]
+    /// as its assignments change. Clients attached before the first
+    /// assignment park politely — an empty endpoint set reports `Pending`
+    /// rather than completion — so trainers can connect immediately.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`DppSession::launch`].
+    pub fn launch_managed(
+        table: Table,
+        spec: SessionSpec,
+        registry: Option<&dsi_obs::Registry>,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Result<DppSession> {
         let scan = table
             .scan(spec.partitions(), spec.projection.clone())
             .with_policy(spec.policy)
@@ -127,9 +180,6 @@ impl DppSession {
         let session = Self::assemble(master, spec, table, injector);
         if let Some(reg) = registry {
             session.attach_registry(reg);
-        }
-        for _ in 0..workers.max(1) {
-            session.spawn_worker();
         }
         Ok(session)
     }
@@ -318,7 +368,8 @@ impl DppSession {
             .table
             .scan(self.spec.partitions(), self.spec.projection.clone())
             .with_policy(self.spec.policy)
-            .with_decode(self.spec.decode_mode());
+            .with_decode(self.spec.decode_mode())
+            .with_job(&self.master.session().to_string());
         let worker = Worker::new(id, Arc::clone(&self.spec), scan);
         let master = self.master.clone();
         let reports = Arc::clone(&self.finished_reports);
@@ -345,12 +396,14 @@ impl DppSession {
         let receiver = match self.spec.transport {
             Transport::InProcess => rx,
             Transport::Tcp(cfg) => {
+                let job = self.master.session().to_string();
                 let server = wire::WireServer::serve(
                     rx,
                     cfg,
                     self.spec.buffer_capacity,
                     Arc::clone(&self.obs),
                     Arc::clone(&self.chaos),
+                    &job,
                 )
                 .expect("bind localhost wire server");
                 let receiver = wire::connect(
@@ -358,6 +411,7 @@ impl DppSession {
                     cfg,
                     self.spec.buffer_capacity,
                     Arc::clone(&self.obs),
+                    &job,
                 );
                 self.wires.lock().insert(id, server);
                 receiver
@@ -438,6 +492,28 @@ impl DppSession {
         Ok(self.spawn_worker())
     }
 
+    /// Atomic control-plane snapshot of every worker the session has a
+    /// registered endpoint for: buffer occupancy plus lifecycle flags.
+    /// This is the single source of live-worker truth — telemetry,
+    /// draining counts, autoscaler victim selection, and the fleet
+    /// reconciler's observed state are all derived from it.
+    pub fn observe(&self) -> Vec<WorkerObservation> {
+        let controls = self.controls.lock();
+        self.registry
+            .read()
+            .iter()
+            .filter_map(|e| {
+                controls.get(&e.id).map(|c| WorkerObservation {
+                    id: e.id,
+                    buffered: e.receiver.len(),
+                    capacity: e.capacity,
+                    draining: c.drain.load(Ordering::SeqCst),
+                    finished: c.handle.is_finished(),
+                })
+            })
+            .collect()
+    }
+
     /// Telemetry snapshot for the autoscaler: buffered tensors per live
     /// worker and a utilization proxy (a full buffer means the worker is
     /// ahead of demand; an empty one means it is saturated).
@@ -447,21 +523,12 @@ impl DppSession {
     /// ticks each see the pre-drain fleet size and drain the fleet below
     /// the scaler's `min_workers` floor.
     pub fn telemetry(&self) -> Vec<WorkerTelemetry> {
-        let controls = self.controls.lock();
-        self.registry
-            .read()
-            .iter()
-            .filter(|e| {
-                controls
-                    .get(&e.id)
-                    .is_some_and(|c| !c.handle.is_finished() && !c.drain.load(Ordering::SeqCst))
-            })
-            .map(|e| {
-                let buffered = e.receiver.len();
-                WorkerTelemetry {
-                    buffered_batches: buffered,
-                    max_utilization: 1.0 - buffered as f64 / e.capacity.max(1) as f64,
-                }
+        self.observe()
+            .into_iter()
+            .filter(WorkerObservation::is_live)
+            .map(|o| WorkerTelemetry {
+                buffered_batches: o.buffered,
+                max_utilization: 1.0 - o.buffered as f64 / o.capacity.max(1) as f64,
             })
             .collect()
     }
@@ -470,17 +537,36 @@ impl DppSession {
     /// are capacity already leaving the fleet; [`DppSession::telemetry`]
     /// excludes them so the autoscaler never double-drains.
     pub fn draining_workers(&self) -> usize {
-        self.controls
-            .lock()
-            .values()
-            .filter(|c| c.drain.load(Ordering::SeqCst) && !c.handle.is_finished())
+        self.observe()
+            .iter()
+            .filter(|o| o.draining && !o.finished)
             .count()
+    }
+
+    /// Flags one worker to drain gracefully: it finishes its in-flight
+    /// split, its buffered tensors stay deliverable, and exactly-once
+    /// hands off to whichever worker replays anything unacknowledged.
+    /// Returns `false` for unknown, already-draining, or finished workers.
+    pub fn drain_worker_by_id(&self, worker: WorkerId) -> bool {
+        let controls = self.controls.lock();
+        match controls.get(&worker) {
+            Some(c) if !c.handle.is_finished() => !c.drain.swap(true, Ordering::SeqCst),
+            _ => false,
+        }
     }
 
     /// Runs one autoscaler tick: evaluates telemetry and applies the
     /// decision (spawning or draining workers). Returns the decision.
     pub fn autoscale_tick(&self, scaler: &mut AutoScaler) -> ScalingDecision {
-        let telemetry = self.telemetry();
+        let observed = self.observe();
+        let telemetry: Vec<WorkerTelemetry> = observed
+            .iter()
+            .filter(|o| o.is_live())
+            .map(|o| WorkerTelemetry {
+                buffered_batches: o.buffered,
+                max_utilization: 1.0 - o.buffered as f64 / o.capacity.max(1) as f64,
+            })
+            .collect();
         let decision = scaler.evaluate(&telemetry);
         match decision {
             ScalingDecision::ScaleUp(k) => {
@@ -489,29 +575,26 @@ impl DppSession {
                 }
             }
             ScalingDecision::ScaleDown(k) => {
-                let controls = self.controls.lock();
-                // Drain the most-buffered (least needed) workers first.
-                let mut candidates: Vec<(usize, WorkerId)> = self
-                    .registry
-                    .read()
-                    .iter()
-                    .filter(|e| {
-                        controls.get(&e.id).is_some_and(|c| {
-                            !c.handle.is_finished() && !c.drain.load(Ordering::SeqCst)
-                        })
-                    })
-                    .map(|e| (e.receiver.len(), e.id))
-                    .collect();
-                candidates.sort_by_key(|c| std::cmp::Reverse(c.0));
-                for (_, id) in candidates.into_iter().take(k) {
-                    if let Some(c) = controls.get(&id) {
-                        c.drain.store(true, Ordering::SeqCst);
-                    }
+                for id in self.drain_victims(&observed, k) {
+                    self.drain_worker_by_id(id);
                 }
             }
             ScalingDecision::Hold => {}
         }
         decision
+    }
+
+    /// Picks up to `k` drain victims from an observation snapshot: the
+    /// most-buffered (least needed) live workers first. Shared by the
+    /// autoscaler and the fleet reconciler so both preempt the same way.
+    pub fn drain_victims(&self, observed: &[WorkerObservation], k: usize) -> Vec<WorkerId> {
+        let mut candidates: Vec<(usize, WorkerId)> = observed
+            .iter()
+            .filter(|o| o.is_live())
+            .map(|o| (o.buffered, o.id))
+            .collect();
+        candidates.sort_by_key(|c| (std::cmp::Reverse(c.0), c.1));
+        candidates.into_iter().take(k).map(|(_, id)| id).collect()
     }
 
     /// Whether every split has been processed and acknowledged.
@@ -1089,7 +1172,7 @@ mod tests {
         // Every fetched split waited measurably between decode and
         // transform, so the overlap histogram saw every split.
         let overlap = reg
-            .histogram(names::FASTPATH_STAGE_OVERLAP_SECONDS, &[])
+            .histogram(names::FASTPATH_STAGE_OVERLAP_SECONDS, &[("job", "sess5")])
             .snapshot();
         assert!(overlap.count > 0, "stage overlap histogram is empty");
         // The decode path ran zero-copy end to end.

@@ -99,6 +99,7 @@ pub struct FileReader {
     registry: Option<dsi_obs::Registry>,
     mode: DecodeMode,
     trace: Option<TraceSink>,
+    job: Option<Arc<str>>,
 }
 
 impl FileReader {
@@ -116,6 +117,7 @@ impl FileReader {
             registry: None,
             mode: DecodeMode::default(),
             trace: None,
+            job: None,
         })
     }
 
@@ -130,6 +132,7 @@ impl FileReader {
             registry: None,
             mode: DecodeMode::default(),
             trace: None,
+            job: None,
         }
     }
 
@@ -145,6 +148,19 @@ impl FileReader {
     /// extract/decompress/deserialize stage timings.
     pub fn with_registry(mut self, registry: &dsi_obs::Registry) -> Self {
         self.registry = Some(registry.clone());
+        self
+    }
+
+    /// Labels this reader's *pool* metric publications with the owning
+    /// session (`{job="sessN"}`). Only the shared-buffer-pool series are
+    /// labeled: the `dsi_dwrf_*` and bytes-copied counters stay unlabeled
+    /// because they are per-stripe deltas (`add`) that the session's
+    /// worker reports re-publish per job via `advance_to` — labeling both
+    /// would double-count the same series. An empty `job` is ignored.
+    pub fn with_job(mut self, job: &str) -> Self {
+        if !job.is_empty() {
+            self.job = Some(job.into());
+        }
         self
     }
 
@@ -326,7 +342,7 @@ impl FileReader {
                 .add(plan.wanted_bytes);
             reg.counter(names::FASTPATH_BYTES_COPIED_TOTAL, &[])
                 .add(plan.copied_bytes);
-            global_pool().publish_metrics(reg);
+            global_pool().publish_metrics_labeled(reg, self.job.as_deref().unwrap_or(""));
             observe_stage_seconds(reg, stage::EXTRACT, fetch_secs);
             observe_stage_seconds(reg, stage::DECOMPRESS, decompress_secs.get());
             // Deserialize excludes decompression: it is the column/map

@@ -370,15 +370,26 @@ impl BufferPool {
     /// Publishes the pool's hit ratio and take counters into `registry`.
     /// Counters use `advance_to`, so repeated publishing is idempotent.
     pub fn publish_metrics(&self, registry: &dsi_obs::Registry) {
+        self.publish_metrics_labeled(registry, "");
+    }
+
+    /// Like [`BufferPool::publish_metrics`], but labels the series with
+    /// the publishing session (`{job="sessN"}`). Sessions share registries
+    /// under the fleet control plane; the label keeps one tenant's view of
+    /// the shared pool from clobbering another's. An empty `job` publishes
+    /// unlabeled, matching the single-session default.
+    pub fn publish_metrics_labeled(&self, registry: &dsi_obs::Registry, job: &str) {
         use dsi_obs::names;
+        let jl = [("job", job)];
+        let labels: &[(&str, &str)] = if job.is_empty() { &[] } else { &jl };
         registry
-            .gauge(names::FASTPATH_POOL_HIT_RATIO, &[])
+            .gauge(names::FASTPATH_POOL_HIT_RATIO, labels)
             .set(self.hit_ratio());
         registry
-            .counter(names::FASTPATH_POOL_HITS_TOTAL, &[])
+            .counter(names::FASTPATH_POOL_HITS_TOTAL, labels)
             .advance_to(self.hits());
         registry
-            .counter(names::FASTPATH_POOL_MISSES_TOTAL, &[])
+            .counter(names::FASTPATH_POOL_MISSES_TOTAL, labels)
             .advance_to(self.misses());
     }
 }

@@ -1,0 +1,319 @@
+//! The reconciler itself: owns the managed sessions, runs the
+//! observe → allocate → plan → execute loop, and publishes per-tenant
+//! status + metrics after every tick.
+
+use crate::fairshare::{self, Demand};
+use crate::job::{JobPhase, JobRegistry, JobSpec, JobStatus};
+use crate::placement::PlacementScorer;
+use crate::reconcile::{plan, FleetAction, ObservedJob};
+use chaos::FaultInjector;
+use dpp::{Client, DppSession, WorkerObservation};
+use dsi_obs::names;
+use dsi_types::{NodeId, Result, SessionId, WorkerId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+use warehouse::Table;
+
+/// Sizing of the shared worker fleet the reconciler arbitrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Compute nodes in the fleet.
+    pub nodes: usize,
+    /// Worker slots per node; total capacity is `nodes * slots_per_node`.
+    pub slots_per_node: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 4,
+            slots_per_node: 4,
+        }
+    }
+}
+
+struct ManagedJob {
+    session: DppSession,
+    /// Which node each of this job's workers was placed on, so drains and
+    /// natural exits return the slot (and its warm pool) to the scorer.
+    placements: HashMap<WorkerId, NodeId>,
+}
+
+/// The multi-tenant control plane: a [`JobRegistry`] of desired state, a
+/// [`PlacementScorer`] tracking the shared fleet, and the managed
+/// [`DppSession`]s that consume worker assignments instead of owning them.
+///
+/// Call [`FleetDriver::tick`] periodically (or from a dedicated thread);
+/// each tick is one reconcile pass and is safe to run at any frequency —
+/// a converged fleet executes nothing.
+pub struct FleetDriver {
+    registry: JobRegistry,
+    placer: Mutex<PlacementScorer>,
+    jobs: Mutex<HashMap<SessionId, ManagedJob>>,
+    obs: Mutex<Option<dsi_obs::Registry>>,
+}
+
+impl FleetDriver {
+    /// Builds a driver over a uniform fleet.
+    pub fn new(config: FleetConfig) -> Self {
+        Self::with_scorer(PlacementScorer::uniform(
+            config.nodes,
+            config.slots_per_node,
+        ))
+    }
+
+    /// Builds a driver over an explicit placement scorer (heterogeneous
+    /// nodes, custom locality).
+    pub fn with_scorer(placer: PlacementScorer) -> Self {
+        Self {
+            registry: JobRegistry::new(),
+            placer: Mutex::new(placer),
+            jobs: Mutex::new(HashMap::new()),
+            obs: Mutex::new(None),
+        }
+    }
+
+    /// Total worker slots the fleet can host.
+    pub fn capacity(&self) -> usize {
+        self.placer.lock().capacity()
+    }
+
+    /// The desired/observed state registry (submit watchers, dashboards).
+    pub fn registry(&self) -> &JobRegistry {
+        &self.registry
+    }
+
+    /// Attaches a metrics registry: every managed session launched after
+    /// this publishes its job-labeled pipeline metrics here, and the
+    /// driver publishes `dsi_fleet_*` per-tenant gauges each tick.
+    pub fn attach_registry(&self, registry: &dsi_obs::Registry) {
+        *self.obs.lock() = Some(registry.clone());
+    }
+
+    /// Submits a job: launches its session with *zero* workers (the next
+    /// tick assigns capacity) and registers its desired state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DppSession::launch_managed`] validation failures; the
+    /// job is not registered when launch fails.
+    pub fn submit(&self, spec: JobSpec, table: Table) -> Result<()> {
+        self.submit_with_chaos(spec, table, None)
+    }
+
+    /// Like [`FleetDriver::submit`], but installs a per-job chaos fault
+    /// injector before any worker can spawn — the cross-tenant blast-radius
+    /// harness: faults target exactly one tenant's session.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FleetDriver::submit`].
+    pub fn submit_with_chaos(
+        &self,
+        spec: JobSpec,
+        table: Table,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Result<()> {
+        let obs = self.obs.lock().clone();
+        let session =
+            DppSession::launch_managed(table, spec.session.clone(), obs.as_ref(), injector)?;
+        self.jobs.lock().insert(
+            spec.id(),
+            ManagedJob {
+                session,
+                placements: HashMap::new(),
+            },
+        );
+        self.registry.submit(spec);
+        Ok(())
+    }
+
+    /// Creates a trainer-side client for a managed job. Clients created
+    /// before the first tick park until workers are assigned.
+    pub fn client(&self, job: SessionId) -> Option<Client> {
+        self.jobs.lock().get(&job).map(|j| j.session.client())
+    }
+
+    /// Whether the job's epoch is fully delivered and acknowledged.
+    pub fn is_complete(&self, job: SessionId) -> bool {
+        self.jobs
+            .lock()
+            .get(&job)
+            .is_some_and(|j| j.session.is_complete())
+    }
+
+    /// Detaches a job from the control plane, returning its session so the
+    /// caller can [`DppSession::shutdown`] it and collect the report. Its
+    /// slots return to the fleet on the way out.
+    pub fn remove(&self, job: SessionId) -> Option<DppSession> {
+        self.registry.remove(job);
+        let managed = self.jobs.lock().remove(&job)?;
+        let mut placer = self.placer.lock();
+        for (_, node) in managed.placements {
+            placer.release(node);
+        }
+        Some(managed.session)
+    }
+
+    /// Runs one reconcile pass and returns the actions it executed.
+    ///
+    /// observe → fair-share → diff → execute → publish: worker exits
+    /// release their placement slots, the allocator recomputes targets
+    /// from the registry's current demand, [`plan`] diffs, and the
+    /// executor spawns/drains through the sessions' drain protocol (so
+    /// preemption inherits exactly-once delivery for free).
+    pub fn tick(&self) -> Vec<FleetAction> {
+        let start = Instant::now();
+        let specs = self.registry.specs();
+        let mut jobs = self.jobs.lock();
+        let mut placer = self.placer.lock();
+
+        // Observe: one snapshot per job; release slots of exited workers.
+        let mut observations: HashMap<SessionId, Vec<WorkerObservation>> = HashMap::new();
+        let mut observed: Vec<ObservedJob> = Vec::new();
+        for spec in &specs {
+            let Some(managed) = jobs.get_mut(&spec.id()) else {
+                continue;
+            };
+            let snapshot = managed.session.observe();
+            for o in &snapshot {
+                if o.finished {
+                    if let Some(node) = managed.placements.remove(&o.id) {
+                        placer.release(node);
+                    }
+                }
+            }
+            observed.push(ObservedJob {
+                job: spec.id(),
+                active: snapshot.iter().filter(|o| o.is_live()).count(),
+                draining: snapshot
+                    .iter()
+                    .filter(|o| o.draining && !o.finished)
+                    .count(),
+                completed: managed.session.is_complete(),
+            });
+            observations.insert(spec.id(), snapshot);
+        }
+
+        // Allocate: fair-share targets over jobs that still want workers.
+        let demands: Vec<Demand> = specs
+            .iter()
+            .zip(&observed)
+            .filter(|(_, o)| !o.completed)
+            .map(|(s, _)| s.demand())
+            .collect();
+        let targets = fairshare::fair_share(placer.capacity(), &demands);
+
+        // Diff and execute.
+        let actions = plan(&observed, &demands, &targets);
+        for action in &actions {
+            match *action {
+                FleetAction::Spawn { job } => {
+                    if let (Some(managed), Some(node)) = (jobs.get_mut(&job), placer.place()) {
+                        let id = managed.session.spawn_worker();
+                        managed.placements.insert(id, node);
+                    }
+                }
+                FleetAction::Drain { job, count }
+                | FleetAction::Reassign {
+                    from: job, count, ..
+                } => {
+                    Self::drain(&mut jobs, &mut placer, &observations, job, count);
+                }
+                FleetAction::Preempt { victim, count, .. } => {
+                    Self::drain(&mut jobs, &mut placer, &observations, victim, count);
+                }
+            }
+        }
+
+        // Publish status + metrics.
+        let obs = self.obs.lock().clone();
+        for (spec, o) in specs.iter().zip(&observed) {
+            let target = targets
+                .iter()
+                .find(|(j, _)| *j == spec.id())
+                .map(|(_, t)| *t)
+                .unwrap_or(0);
+            let preempted: u64 = actions
+                .iter()
+                .filter_map(|a| match a {
+                    FleetAction::Preempt { victim, count, .. } if *victim == spec.id() => {
+                        Some(*count as u64)
+                    }
+                    _ => None,
+                })
+                .sum();
+            let prior = self.registry.status(spec.id()).unwrap_or_default();
+            let status = JobStatus {
+                phase: if o.completed {
+                    JobPhase::Completed
+                } else if o.active + o.draining > 0 {
+                    JobPhase::Running
+                } else {
+                    JobPhase::Pending
+                },
+                desired_workers: target,
+                allocated_workers: o.active,
+                draining_workers: o.draining,
+                preemptions: prior.preemptions + preempted,
+                fair_share_deficit: if o.completed {
+                    0
+                } else {
+                    fairshare::deficit(&spec.demand(), target)
+                },
+            };
+            self.registry.publish(spec.id(), status);
+            if let Some(reg) = obs.as_ref() {
+                let job = spec.id().to_string();
+                let tenant = spec.tenant.to_string();
+                let labels = [("job", job.as_str()), ("tenant", tenant.as_str())];
+                reg.gauge(names::FLEET_ALLOCATED_WORKERS, &labels)
+                    .set(status.allocated_workers as f64);
+                reg.gauge(names::FLEET_DESIRED_WORKERS, &labels)
+                    .set(status.desired_workers as f64);
+                reg.gauge(names::FLEET_FAIR_SHARE_DEFICIT, &labels)
+                    .set(status.fair_share_deficit as f64);
+                reg.counter(names::FLEET_PREEMPTIONS_TOTAL, &labels)
+                    .advance_to(status.preemptions);
+            }
+        }
+        if let Some(reg) = obs.as_ref() {
+            for action in &actions {
+                reg.counter(names::FLEET_ACTIONS_TOTAL, &[("action", action.kind())])
+                    .inc();
+            }
+            reg.gauge(names::FLEET_JOBS, &[]).set(specs.len() as f64);
+            reg.histogram(names::FLEET_RECONCILE_SECONDS, &[])
+                .record(start.elapsed().as_secs_f64());
+        }
+        actions
+    }
+
+    /// Drains `count` workers of `job`, most-buffered first, returning
+    /// their slots to the scorer eagerly: the drained worker is committed
+    /// to leave, so its slot can be handed to a beneficiary in the same
+    /// tick (physical overshoot is bounded by the draining count).
+    fn drain(
+        jobs: &mut HashMap<SessionId, ManagedJob>,
+        placer: &mut PlacementScorer,
+        observations: &HashMap<SessionId, Vec<WorkerObservation>>,
+        job: SessionId,
+        count: usize,
+    ) {
+        let Some(managed) = jobs.get_mut(&job) else {
+            return;
+        };
+        let Some(snapshot) = observations.get(&job) else {
+            return;
+        };
+        for id in managed.session.drain_victims(snapshot, count) {
+            if managed.session.drain_worker_by_id(id) {
+                if let Some(node) = managed.placements.remove(&id) {
+                    placer.release(node);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Weighted max-min fair share over a fixed worker fleet.
+//!
+//! When the aggregate demand of every submitted job exceeds the shared
+//! fleet's capacity, the reconciler arbitrates with the classic
+//! progressive-filling allocation the paper's DPP service implies (§6:
+//! many concurrent jobs draw from one disaggregated worker pool): each
+//! job's guaranteed minimum is satisfied first, then remaining slots are
+//! water-filled one at a time to whichever unsaturated job has the
+//! smallest priority-normalized share. The result is deterministic for a
+//! given demand vector, which is what makes reconciliation idempotent —
+//! the same observed world always produces the same desired world.
+
+use dsi_types::SessionId;
+
+/// One job's worker demand as seen by the allocator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Demand {
+    /// The job (session) this demand belongs to.
+    pub job: SessionId,
+    /// Fair-share weight — the job's priority. Zero is treated as 1.
+    pub weight: u32,
+    /// Guaranteed floor: satisfied before any water-filling, in priority
+    /// order when even the floors exceed capacity.
+    pub min: usize,
+    /// Demand ceiling: the allocator never assigns more than this.
+    pub max: usize,
+}
+
+impl Demand {
+    /// The effective floor (a `min` above `max` is clamped down — the
+    /// ceiling wins, matching the scaler-config convention).
+    pub fn floor(&self) -> usize {
+        self.min.min(self.max)
+    }
+
+    /// The effective weight (zero-weight jobs still progress).
+    pub fn weight(&self) -> u64 {
+        u64::from(self.weight.max(1))
+    }
+}
+
+/// Allocates `capacity` worker slots across `demands` by weighted max-min
+/// fair share. Returns `(job, workers)` pairs in the demands' order.
+///
+/// Properties (proptested below):
+/// * the allocations never sum past `capacity`;
+/// * no job exceeds its `max`;
+/// * every job reaches its floor whenever the floors fit in `capacity`
+///   (infeasible floors are served in descending-weight order);
+/// * weighted max-min: no saturated-above-floor job could donate a slot
+///   to an unsaturated job without the donor's normalized share dropping
+///   below what the recipient's would become.
+pub fn fair_share(capacity: usize, demands: &[Demand]) -> Vec<(SessionId, usize)> {
+    let mut alloc: Vec<usize> = vec![0; demands.len()];
+    let mut left = capacity;
+
+    // Floors first. When even the floors do not fit, higher-priority jobs
+    // keep their guarantee and the tail goes hungry: order by descending
+    // weight, ties broken by session id for determinism.
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(demands[i].weight()), demands[i].job.0));
+    for &i in &order {
+        let take = demands[i].floor().min(left);
+        alloc[i] = take;
+        left -= take;
+    }
+
+    // Progressive filling: one slot at a time to the unsaturated job whose
+    // share-above-floor, normalized by weight, would stay smallest. The
+    // comparison `(extra_i + 1) / w_i < (extra_j + 1) / w_j` is done by
+    // cross-multiplication to stay exact in integers.
+    while left > 0 {
+        let mut best: Option<usize> = None;
+        for (i, d) in demands.iter().enumerate() {
+            if alloc[i] >= d.max {
+                continue;
+            }
+            let cost_i = (alloc[i].saturating_sub(d.floor()) as u64 + 1, d.weight());
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    let d_b = &demands[b];
+                    let cost_b = (
+                        alloc[b].saturating_sub(d_b.floor()) as u64 + 1,
+                        d_b.weight(),
+                    );
+                    // cost_i.0 / cost_i.1 < cost_b.0 / cost_b.1 ?
+                    let lhs = cost_i.0 * cost_b.1;
+                    let rhs = cost_b.0 * cost_i.1;
+                    if lhs < rhs || (lhs == rhs && d.job.0 < d_b.job.0) {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        match best {
+            Some(i) => alloc[i] += 1,
+            None => break, // every job saturated; leave the rest idle
+        }
+        left -= 1;
+    }
+
+    demands.iter().zip(alloc).map(|(d, a)| (d.job, a)).collect()
+}
+
+/// How many workers short of its full demand (`max`) a job sits under the
+/// given targets — the paper's contention signal, surfaced per tenant as
+/// `dsi_fleet_fair_share_deficit`.
+pub fn deficit(demand: &Demand, target: usize) -> usize {
+    demand.max.saturating_sub(target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d(job: u64, weight: u32, min: usize, max: usize) -> Demand {
+        Demand {
+            job: SessionId(job),
+            weight,
+            min,
+            max,
+        }
+    }
+
+    fn alloc_of(out: &[(SessionId, usize)], job: u64) -> usize {
+        out.iter()
+            .find(|(j, _)| j.0 == job)
+            .map(|(_, a)| *a)
+            .unwrap()
+    }
+
+    #[test]
+    fn equal_weights_split_evenly() {
+        let out = fair_share(6, &[d(1, 1, 0, 10), d(2, 1, 0, 10), d(3, 1, 0, 10)]);
+        assert_eq!(out.iter().map(|(_, a)| a).sum::<usize>(), 6);
+        for (_, a) in &out {
+            assert_eq!(*a, 2);
+        }
+    }
+
+    #[test]
+    fn weights_skew_the_split() {
+        // Weight 4 vs 1 vs 1 over 6 slots: the heavy job takes 4.
+        let out = fair_share(6, &[d(1, 1, 0, 10), d(2, 1, 0, 10), d(3, 4, 0, 10)]);
+        assert_eq!(alloc_of(&out, 3), 4);
+        assert_eq!(alloc_of(&out, 1), 1);
+        assert_eq!(alloc_of(&out, 2), 1);
+    }
+
+    #[test]
+    fn floors_come_first_then_weighted_filling() {
+        // Job 1's floor of 3 is honored even though job 2 outweighs it.
+        let out = fair_share(4, &[d(1, 1, 3, 10), d(2, 8, 0, 10)]);
+        assert_eq!(alloc_of(&out, 1), 3);
+        assert_eq!(alloc_of(&out, 2), 1);
+    }
+
+    #[test]
+    fn infeasible_floors_serve_high_priority_first() {
+        let out = fair_share(3, &[d(1, 1, 3, 3), d(2, 9, 3, 3)]);
+        assert_eq!(alloc_of(&out, 2), 3);
+        assert_eq!(alloc_of(&out, 1), 0);
+    }
+
+    #[test]
+    fn saturated_jobs_leave_slack_idle() {
+        let out = fair_share(10, &[d(1, 1, 0, 2), d(2, 1, 0, 3)]);
+        assert_eq!(out.iter().map(|(_, a)| a).sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn min_above_max_is_clamped() {
+        let out = fair_share(8, &[d(1, 1, 7, 2), d(2, 1, 0, 8)]);
+        assert_eq!(alloc_of(&out, 1), 2);
+        assert_eq!(alloc_of(&out, 2), 6);
+    }
+
+    fn arb_demands() -> impl Strategy<Value = Vec<Demand>> {
+        proptest::collection::vec((0u32..8, 0usize..6, 0usize..12), 1..7).prop_map(|rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, (weight, min, max))| Demand {
+                    job: SessionId(i as u64),
+                    weight,
+                    min,
+                    max,
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn never_exceeds_capacity(capacity in 0usize..40, demands in arb_demands()) {
+            let out = fair_share(capacity, &demands);
+            prop_assert!(out.iter().map(|(_, a)| a).sum::<usize>() <= capacity);
+        }
+
+        #[test]
+        fn respects_per_job_bounds(capacity in 0usize..40, demands in arb_demands()) {
+            let out = fair_share(capacity, &demands);
+            let floors_fit = demands.iter().map(Demand::floor).sum::<usize>() <= capacity;
+            for (dmd, (job, a)) in demands.iter().zip(&out) {
+                prop_assert_eq!(dmd.job, *job);
+                prop_assert!(*a <= dmd.max, "alloc {} over max {}", a, dmd.max);
+                if floors_fit {
+                    prop_assert!(
+                        *a >= dmd.floor(),
+                        "alloc {} under feasible floor {}",
+                        a,
+                        dmd.floor()
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn weighted_max_min_invariant(capacity in 0usize..40, demands in arb_demands()) {
+            // For any job i still below its max and any job j holding slots
+            // above its floor, j's normalized share must not exceed what
+            // i's would become with one more slot — otherwise moving a
+            // slot j→i would raise the minimum share, contradicting
+            // weighted max-min fairness.
+            let out = fair_share(capacity, &demands);
+            let total: usize = out.iter().map(|(_, a)| a).sum();
+            for (di, (_, ai)) in demands.iter().zip(&out) {
+                if *ai >= di.max || total < capacity {
+                    continue; // i saturated, or nobody is short of slots
+                }
+                let need_i = (*ai).saturating_sub(di.floor()) as u64 + 1;
+                for (dj, (_, aj)) in demands.iter().zip(&out) {
+                    if dj.job == di.job || *aj <= dj.floor() {
+                        continue;
+                    }
+                    let have_j = (*aj - dj.floor()) as u64;
+                    // have_j / w_j <= need_i / w_i  (cross-multiplied)
+                    prop_assert!(
+                        have_j * di.weight() <= need_i * dj.weight(),
+                        "job {:?} holds {} above floor (w={}) while job {:?} \
+                         would only reach {} (w={})",
+                        dj.job, have_j, dj.weight(), di.job, need_i, di.weight()
+                    );
+                }
+            }
+        }
+
+        #[test]
+        fn deterministic(capacity in 0usize..40, demands in arb_demands()) {
+            prop_assert_eq!(fair_share(capacity, &demands), fair_share(capacity, &demands));
+        }
+    }
+}

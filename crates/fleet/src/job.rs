@@ -1,0 +1,335 @@
+//! Declarative job state: what each tenant asked for, and what the
+//! reconciler last observed.
+//!
+//! The registry is the control plane's source of truth. Tenants submit a
+//! [`JobSpec`] (a `SessionSpec` plus tenant identity, priority, and a
+//! min/max worker demand window); the reconciler publishes a [`JobStatus`]
+//! back after every tick. Watchers block on a generation counter, so a
+//! dashboard — or a test — can wait for "the world changed" instead of
+//! polling.
+
+use dpp::SessionSpec;
+use dsi_types::SessionId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Identifies the tenant (team / model family) that owns a job.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TenantId(pub u64);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A tenant's declarative request: run this session with a worker count
+/// somewhere in `[min_workers, max_workers]`, arbitrated by `priority`.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// The full data-pipeline description (table range, projection,
+    /// batching, transport) — exactly what a standalone `DppSession`
+    /// would be launched with.
+    pub session: SessionSpec,
+    /// Owning tenant; stamped on every per-job metric.
+    pub tenant: TenantId,
+    /// Fair-share weight. Higher priorities both earn a larger share and
+    /// may preempt lower-priority workers when the fleet is full.
+    pub priority: u32,
+    /// Guaranteed worker floor (satisfied before any water-filling).
+    pub min_workers: usize,
+    /// Worker demand ceiling — the job never asks for more than this.
+    pub max_workers: usize,
+}
+
+impl JobSpec {
+    /// Creates a spec with the given fleet-facing knobs.
+    pub fn new(
+        session: SessionSpec,
+        tenant: TenantId,
+        priority: u32,
+        min_workers: usize,
+        max_workers: usize,
+    ) -> Self {
+        Self {
+            session,
+            tenant,
+            priority,
+            min_workers,
+            max_workers,
+        }
+    }
+
+    /// The job's identity — its session id.
+    pub fn id(&self) -> SessionId {
+        self.session.id
+    }
+
+    /// This spec's demand row for the fair-share allocator.
+    pub fn demand(&self) -> crate::fairshare::Demand {
+        crate::fairshare::Demand {
+            job: self.id(),
+            weight: self.priority,
+            min: self.min_workers,
+            max: self.max_workers,
+        }
+    }
+}
+
+/// Where a job sits in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobPhase {
+    /// Submitted but not yet holding any workers.
+    Pending,
+    /// Reconciler is actively assigning workers.
+    Running,
+    /// The session's epoch finished; its workers have been released.
+    Completed,
+}
+
+/// The reconciler's last published view of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Fair-share target from the latest tick.
+    pub desired_workers: usize,
+    /// Live (non-draining, non-finished) workers currently assigned.
+    pub allocated_workers: usize,
+    /// Workers finishing their in-flight split before exiting.
+    pub draining_workers: usize,
+    /// Cumulative workers taken from this job to serve higher priorities.
+    pub preemptions: u64,
+    /// Workers short of the job's full `max_workers` demand under the
+    /// current allocation — the paper's contention signal.
+    pub fair_share_deficit: usize,
+}
+
+impl Default for JobStatus {
+    fn default() -> Self {
+        Self {
+            phase: JobPhase::Pending,
+            desired_workers: 0,
+            allocated_workers: 0,
+            draining_workers: 0,
+            preemptions: 0,
+            fair_share_deficit: 0,
+        }
+    }
+}
+
+struct Entry {
+    spec: JobSpec,
+    status: JobStatus,
+}
+
+#[derive(Default)]
+struct Inner {
+    jobs: BTreeMap<SessionId, Entry>,
+    generation: u64,
+}
+
+/// Watchable registry of every job the control plane knows about.
+///
+/// Desired state ([`JobSpec`]) comes from tenants; observed state
+/// ([`JobStatus`]) comes from the reconciler. Every mutation bumps a
+/// generation counter and wakes watchers.
+#[derive(Default)]
+pub struct JobRegistry {
+    inner: Mutex<Inner>,
+    changed: Condvar,
+}
+
+impl JobRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a job. Re-submitting an existing id replaces its spec but
+    /// keeps accumulated status (preemption counts survive spec updates).
+    pub fn submit(&self, spec: JobSpec) {
+        let mut inner = self.inner.lock().unwrap();
+        let id = spec.id();
+        match inner.jobs.get_mut(&id) {
+            Some(entry) => entry.spec = spec,
+            None => {
+                inner.jobs.insert(
+                    id,
+                    Entry {
+                        spec,
+                        status: JobStatus::default(),
+                    },
+                );
+            }
+        }
+        inner.generation += 1;
+        self.changed.notify_all();
+    }
+
+    /// Removes a job, returning whether it existed.
+    pub fn remove(&self, id: SessionId) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let existed = inner.jobs.remove(&id).is_some();
+        if existed {
+            inner.generation += 1;
+            self.changed.notify_all();
+        }
+        existed
+    }
+
+    /// The spec for `id`, if registered.
+    pub fn spec(&self, id: SessionId) -> Option<JobSpec> {
+        self.inner
+            .lock()
+            .unwrap()
+            .jobs
+            .get(&id)
+            .map(|e| e.spec.clone())
+    }
+
+    /// The last published status for `id`, if registered.
+    pub fn status(&self, id: SessionId) -> Option<JobStatus> {
+        self.inner.lock().unwrap().jobs.get(&id).map(|e| e.status)
+    }
+
+    /// All registered jobs' specs, ordered by session id.
+    pub fn specs(&self) -> Vec<JobSpec> {
+        self.inner
+            .lock()
+            .unwrap()
+            .jobs
+            .values()
+            .map(|e| e.spec.clone())
+            .collect()
+    }
+
+    /// All `(spec, status)` pairs, ordered by session id.
+    pub fn snapshot(&self) -> Vec<(JobSpec, JobStatus)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .jobs
+            .values()
+            .map(|e| (e.spec.clone(), e.status))
+            .collect()
+    }
+
+    /// Publishes a fresh status for `id` (no-op when unregistered) and
+    /// wakes watchers.
+    pub fn publish(&self, id: SessionId, status: JobStatus) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(entry) = inner.jobs.get_mut(&id) {
+            entry.status = status;
+            inner.generation += 1;
+            self.changed.notify_all();
+        }
+    }
+
+    /// Current generation; increments on every submit/remove/publish.
+    pub fn generation(&self) -> u64 {
+        self.inner.lock().unwrap().generation
+    }
+
+    /// Blocks until the generation exceeds `seen` (or the timeout lapses);
+    /// returns the generation observed on wake.
+    pub fn wait_past(&self, seen: u64, timeout: Duration) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let deadline = std::time::Instant::now() + timeout;
+        while inner.generation <= seen {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                break;
+            }
+            let (guard, wait) = self.changed.wait_timeout(inner, left).unwrap();
+            inner = guard;
+            if wait.timed_out() {
+                break;
+            }
+        }
+        inner.generation
+    }
+
+    /// Number of registered jobs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().jobs.len()
+    }
+
+    /// Whether the registry holds no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().jobs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpp::SessionSpec;
+
+    fn spec(id: u64, priority: u32) -> JobSpec {
+        let session = SessionSpec::builder(SessionId(id)).build();
+        JobSpec::new(session, TenantId(id), priority, 1, 4)
+    }
+
+    #[test]
+    fn submit_publish_and_watch() {
+        let reg = JobRegistry::new();
+        let g0 = reg.generation();
+        reg.submit(spec(1, 2));
+        assert!(reg.generation() > g0);
+        assert_eq!(reg.status(SessionId(1)).unwrap().phase, JobPhase::Pending);
+
+        let g1 = reg.generation();
+        reg.publish(
+            SessionId(1),
+            JobStatus {
+                phase: JobPhase::Running,
+                desired_workers: 3,
+                allocated_workers: 3,
+                ..JobStatus::default()
+            },
+        );
+        assert_eq!(reg.wait_past(g1, Duration::from_millis(10)), g1 + 1);
+        assert_eq!(reg.status(SessionId(1)).unwrap().allocated_workers, 3);
+    }
+
+    #[test]
+    fn resubmit_keeps_status() {
+        let reg = JobRegistry::new();
+        reg.submit(spec(1, 2));
+        reg.publish(
+            SessionId(1),
+            JobStatus {
+                preemptions: 5,
+                ..JobStatus::default()
+            },
+        );
+        reg.submit(spec(1, 9));
+        assert_eq!(reg.spec(SessionId(1)).unwrap().priority, 9);
+        assert_eq!(reg.status(SessionId(1)).unwrap().preemptions, 5);
+    }
+
+    #[test]
+    fn remove_and_emptiness() {
+        let reg = JobRegistry::new();
+        assert!(reg.is_empty());
+        reg.submit(spec(1, 1));
+        reg.submit(spec(2, 1));
+        assert_eq!(reg.len(), 2);
+        assert!(reg.remove(SessionId(1)));
+        assert!(!reg.remove(SessionId(1)));
+        assert_eq!(reg.specs().len(), 1);
+    }
+
+    #[test]
+    fn wait_past_times_out_without_change() {
+        let reg = JobRegistry::new();
+        let g = reg.generation();
+        assert_eq!(reg.wait_past(g, Duration::from_millis(5)), g);
+    }
+}

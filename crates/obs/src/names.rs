@@ -141,6 +141,30 @@ pub const CHAOS_INJECTED_TOTAL: &str = "dsi_chaos_injected_total";
 /// (the injector's virtual clock).
 pub const CHAOS_HOOK_OPS: &str = "dsi_chaos_hook_ops";
 
+// ---- fleet: multi-tenant reconciler control plane --------------------------
+
+/// Gauge, labels `{job, tenant}`: live (non-draining) workers currently
+/// assigned to a job by the fleet reconciler.
+pub const FLEET_ALLOCATED_WORKERS: &str = "dsi_fleet_allocated_workers";
+/// Gauge, labels `{job, tenant}`: the job's fair-share worker target from
+/// the latest reconcile tick.
+pub const FLEET_DESIRED_WORKERS: &str = "dsi_fleet_desired_workers";
+/// Gauge, labels `{job, tenant}`: workers short of the job's full demand
+/// (`max_workers`) under the current allocation — the fleet's contention
+/// signal.
+pub const FLEET_FAIR_SHARE_DEFICIT: &str = "dsi_fleet_fair_share_deficit";
+/// Counter, labels `{job, tenant}`: workers taken from this job to serve
+/// a strictly higher-priority tenant.
+pub const FLEET_PREEMPTIONS_TOTAL: &str = "dsi_fleet_preemptions_total";
+/// Counter, labels `{action}`: reconcile actions executed, by stable kind
+/// label (`spawn`, `drain`, `preempt`, `reassign`).
+pub const FLEET_ACTIONS_TOTAL: &str = "dsi_fleet_actions_total";
+/// Histogram (seconds): wall time of each reconcile tick (observe → plan
+/// → execute → publish).
+pub const FLEET_RECONCILE_SECONDS: &str = "dsi_fleet_reconcile_seconds";
+/// Gauge: jobs currently registered with the fleet control plane.
+pub const FLEET_JOBS: &str = "dsi_fleet_jobs";
+
 // ---- trainer ---------------------------------------------------------------
 
 /// Gauge in `[0,1]`: fraction of trainer wall time spent data-stalled.

@@ -34,6 +34,24 @@ pub struct NodeRow {
     pub bytes: u64,
 }
 
+/// Per-job (tenant) fleet-control-plane totals, keyed by the `job` label
+/// the reconciler stamps on every `dsi_fleet_*` series.
+#[derive(Debug, Clone, Default)]
+pub struct FleetRow {
+    /// Job (session) label, e.g. `sess3`.
+    pub job: String,
+    /// Tenant label, e.g. `t7`.
+    pub tenant: String,
+    /// Workers currently allocated to the job.
+    pub allocated: u64,
+    /// Workers the fair-share allocator wants the job to have.
+    pub desired: u64,
+    /// Workers short of the job's full demand under contention.
+    pub deficit: u64,
+    /// Workers preempted away from this job so far.
+    pub preemptions: u64,
+}
+
 /// Collected characterization numbers for one run.
 #[derive(Debug, Clone, Default)]
 pub struct PipelineReport {
@@ -91,6 +109,12 @@ pub struct PipelineReport {
     pub wire_deserialize_nanos: u64,
     /// Client reconnects to worker wire servers.
     pub wire_reconnects: u64,
+    /// Per-tenant fleet rows (empty when no reconciler ran).
+    pub fleet: Vec<FleetRow>,
+    /// Reconcile ticks executed by the fleet control plane.
+    pub fleet_reconciles: u64,
+    /// Total wall seconds spent inside reconcile ticks.
+    pub fleet_reconcile_seconds: f64,
 }
 
 impl PipelineReport {
@@ -180,13 +204,13 @@ impl PipelineReport {
                     report.wanted_bytes += *c
                 }
                 (names::WORKER_SAMPLES_TOTAL, MetricValue::Counter(c)) => {
-                    report.worker_samples = *c
+                    report.worker_samples += *c
                 }
                 (names::WORKER_BATCHES_TOTAL, MetricValue::Counter(c)) => {
-                    report.worker_batches = *c
+                    report.worker_batches += *c
                 }
                 (names::TRAINER_BATCHES_TOTAL, MetricValue::Counter(c)) => {
-                    report.trainer_batches = *c
+                    report.trainer_batches += *c
                 }
                 (names::TRAINER_STALL_FRACTION, MetricValue::Gauge(v)) => {
                     report.stall_fraction = *v
@@ -203,22 +227,48 @@ impl PipelineReport {
                     report.dedup_reuse_hits = *c
                 }
                 (names::DEDUP_RATIO, MetricValue::Gauge(v)) => report.dedup_ratio = *v,
-                (names::WIRE_FRAMES_TOTAL, MetricValue::Counter(c)) => report.wire_frames = *c,
+                (names::WIRE_FRAMES_TOTAL, MetricValue::Counter(c)) => report.wire_frames += *c,
                 (names::WIRE_PAYLOAD_BYTES_TOTAL, MetricValue::Counter(c)) => {
-                    report.wire_payload_bytes = *c
+                    report.wire_payload_bytes += *c
                 }
-                (names::WIRE_TX_BYTES_TOTAL, MetricValue::Counter(c)) => report.wire_tx_bytes = *c,
+                (names::WIRE_TX_BYTES_TOTAL, MetricValue::Counter(c)) => report.wire_tx_bytes += *c,
                 (names::WIRE_SERIALIZE_NANOS_TOTAL, MetricValue::Counter(c)) => {
-                    report.wire_serialize_nanos = *c
+                    report.wire_serialize_nanos += *c
                 }
                 (names::WIRE_ENCRYPT_NANOS_TOTAL, MetricValue::Counter(c)) => {
-                    report.wire_encrypt_nanos = *c
+                    report.wire_encrypt_nanos += *c
                 }
                 (names::WIRE_DESERIALIZE_NANOS_TOTAL, MetricValue::Counter(c)) => {
-                    report.wire_deserialize_nanos = *c
+                    report.wire_deserialize_nanos += *c
                 }
                 (names::WIRE_RECONNECTS_TOTAL, MetricValue::Counter(c)) => {
-                    report.wire_reconnects = *c
+                    report.wire_reconnects += *c
+                }
+                (
+                    names::FLEET_ALLOCATED_WORKERS
+                    | names::FLEET_DESIRED_WORKERS
+                    | names::FLEET_FAIR_SHARE_DEFICIT,
+                    MetricValue::Gauge(v),
+                ) => {
+                    if let Some(job) = label("job") {
+                        let tenant = label("tenant").unwrap_or_default();
+                        let row = fleet_row(&mut report.fleet, job, tenant);
+                        match key.name.as_str() {
+                            names::FLEET_ALLOCATED_WORKERS => row.allocated = *v as u64,
+                            names::FLEET_DESIRED_WORKERS => row.desired = *v as u64,
+                            _ => row.deficit = *v as u64,
+                        }
+                    }
+                }
+                (names::FLEET_PREEMPTIONS_TOTAL, MetricValue::Counter(c)) => {
+                    if let Some(job) = label("job") {
+                        let tenant = label("tenant").unwrap_or_default();
+                        fleet_row(&mut report.fleet, job, tenant).preemptions = *c;
+                    }
+                }
+                (names::FLEET_RECONCILE_SECONDS, MetricValue::Histogram(s)) => {
+                    report.fleet_reconciles = s.count;
+                    report.fleet_reconcile_seconds = s.sum;
                 }
                 _ => {}
             }
@@ -236,7 +286,13 @@ impl PipelineReport {
                 _ => a.node.cmp(&b.node),
             },
         );
+        report.fleet.sort_by(|a, b| a.job.cmp(&b.job));
         report
+    }
+
+    /// Total workers preempted across every tenant.
+    pub fn fleet_preemptions(&self) -> u64 {
+        self.fleet.iter().map(|r| r.preemptions).sum()
     }
 
     /// Read amplification: bytes read divided by bytes wanted (1.0 when
@@ -292,6 +348,25 @@ impl PipelineReport {
             self.wire_payload_bytes as f64 / self.wire_tx_bytes as f64
         }
     }
+}
+
+/// Find-or-insert the fleet row for `job`, back-filling the tenant label
+/// (the gauge and counter series carry it redundantly).
+fn fleet_row(rows: &mut Vec<FleetRow>, job: String, tenant: String) -> &mut FleetRow {
+    let idx = match rows.iter().position(|r| r.job == job) {
+        Some(i) => i,
+        None => {
+            rows.push(FleetRow {
+                job,
+                ..FleetRow::default()
+            });
+            rows.len() - 1
+        }
+    };
+    if rows[idx].tenant.is_empty() {
+        rows[idx].tenant = tenant;
+    }
+    &mut rows[idx]
 }
 
 fn human_bytes(b: u64) -> String {
@@ -428,6 +503,25 @@ impl fmt::Display for PipelineReport {
             )?;
         }
 
+        if !self.fleet.is_empty() {
+            writeln!(f, "\n-- fleet control plane (multi-tenant) --")?;
+            writeln!(
+                f,
+                "jobs: {}  reconciles: {}  reconcile time: {:.6}s  preemptions: {}",
+                self.fleet.len(),
+                self.fleet_reconciles,
+                self.fleet_reconcile_seconds,
+                self.fleet_preemptions()
+            )?;
+            for r in &self.fleet {
+                writeln!(
+                    f,
+                    "  job {:<8} tenant {:<6} allocated {:>3} / desired {:>3}  deficit {:>3}  preempted {}",
+                    r.job, r.tenant, r.allocated, r.desired, r.deficit, r.preemptions
+                )?;
+            }
+        }
+
         writeln!(f, "\n-- preprocessing / training --")?;
         writeln!(
             f,
@@ -548,6 +642,61 @@ mod tests {
         let off = PipelineReport::collect(&r2).to_string();
         assert!(off.contains("% of cycles"));
         assert!(!off.contains("wire transport"));
+    }
+
+    #[test]
+    fn fleet_section_collects_per_tenant_rows() {
+        let r = Registry::new();
+        for (job, tenant, alloc, desired, deficit, preempt) in [
+            ("sess1", "t1", 3.0, 3.0, 0.0, 0u64),
+            ("sess2", "t2", 1.0, 1.0, 5.0, 2u64),
+        ] {
+            let labels = [("job", job), ("tenant", tenant)];
+            r.gauge(names::FLEET_ALLOCATED_WORKERS, &labels).set(alloc);
+            r.gauge(names::FLEET_DESIRED_WORKERS, &labels).set(desired);
+            r.gauge(names::FLEET_FAIR_SHARE_DEFICIT, &labels)
+                .set(deficit);
+            r.counter(names::FLEET_PREEMPTIONS_TOTAL, &labels)
+                .advance_to(preempt);
+        }
+        r.histogram(names::FLEET_RECONCILE_SECONDS, &[]).record(0.5);
+        r.histogram(names::FLEET_RECONCILE_SECONDS, &[])
+            .record(0.25);
+        let report = PipelineReport::collect(&r);
+        assert_eq!(report.fleet.len(), 2);
+        assert_eq!(report.fleet[0].job, "sess1");
+        assert_eq!(report.fleet[0].tenant, "t1");
+        assert_eq!(report.fleet[0].allocated, 3);
+        assert_eq!(report.fleet[1].deficit, 5);
+        assert_eq!(report.fleet[1].preemptions, 2);
+        assert_eq!(report.fleet_preemptions(), 2);
+        assert_eq!(report.fleet_reconciles, 2);
+        assert!((report.fleet_reconcile_seconds - 0.75).abs() < 1e-12);
+        let text = report.to_string();
+        assert!(text.contains("fleet control plane (multi-tenant)"));
+        assert!(text.contains("tenant t2"));
+
+        // Single-session runs with no reconciler print no fleet section.
+        let off = PipelineReport::collect(&Registry::new()).to_string();
+        assert!(!off.contains("fleet control plane"));
+    }
+
+    #[test]
+    fn labeled_series_accumulate_across_jobs() {
+        // Two sessions sharing one registry publish job-labeled worker and
+        // wire counters; the report sums them instead of keeping whichever
+        // series iterated last.
+        let r = Registry::new();
+        for (job, samples, frames) in [("sess1", 100u64, 7u64), ("sess2", 40, 5)] {
+            let labels = [("job", job)];
+            r.counter(names::WORKER_SAMPLES_TOTAL, &labels)
+                .advance_to(samples);
+            r.counter(names::WIRE_FRAMES_TOTAL, &labels)
+                .advance_to(frames);
+        }
+        let report = PipelineReport::collect(&r);
+        assert_eq!(report.worker_samples, 140);
+        assert_eq!(report.wire_frames, 12);
     }
 
     #[test]

@@ -80,6 +80,7 @@ pub struct TableScan {
     projection: Projection,
     policy: CoalescePolicy,
     decode: DecodeMode,
+    job: Option<Arc<str>>,
 }
 
 impl TableScan {
@@ -94,6 +95,7 @@ impl TableScan {
             projection,
             policy: CoalescePolicy::default_window(),
             decode: DecodeMode::default(),
+            job: None,
         }
     }
 
@@ -108,6 +110,17 @@ impl TableScan {
     /// materializing decode for ablations.
     pub fn with_decode(mut self, decode: DecodeMode) -> Self {
         self.decode = decode;
+        self
+    }
+
+    /// Labels the scan's session-scoped metric publications (the shared
+    /// decode-pool series) with the owning job (builder-style). Sessions
+    /// sharing one registry under the fleet control plane set this to
+    /// their session id; an empty `job` keeps them unlabeled.
+    pub fn with_job(mut self, job: &str) -> Self {
+        if !job.is_empty() {
+            self.job = Some(job.into());
+        }
         self
     }
 
@@ -195,6 +208,9 @@ impl TableScan {
             FileReader::from_footer(Arc::clone(&split.footer)).with_decode_mode(self.decode);
         if let Some(reg) = self.table.registry() {
             reader = reader.with_registry(&reg);
+        }
+        if let Some(job) = &self.job {
+            reader = reader.with_job(job);
         }
         // Pre-allocate the StorageRead span id so per-chunk TectonicIo
         // spans can parent under it before the reader records it.

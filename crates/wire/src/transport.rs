@@ -72,6 +72,19 @@ fn with_registry(obs: &WireObs, f: impl FnOnce(&Registry)) {
     }
 }
 
+/// Like [`with_registry`], but also hands the closure the session-scoped
+/// label set: `{job="sessN"}` when the transport belongs to a session, or
+/// no labels for standalone/test transfers. Sessions share registries
+/// under the fleet control plane, so the `dsi_wire_*` counters must not
+/// collide across tenants.
+fn with_job_registry(obs: &WireObs, job: &str, f: impl FnOnce(&Registry, &[(&str, &str)])) {
+    if let Some(reg) = obs.lock().as_ref() {
+        let jl = [("job", job)];
+        let labels: &[(&str, &str)] = if job.is_empty() { &[] } else { &jl };
+        f(reg, labels);
+    }
+}
+
 /// One encoded data frame held in the server's unacked ring, plus the
 /// trace coordinates needed to record replayed sends as sibling spans.
 struct UnackedFrame {
@@ -119,7 +132,13 @@ fn record_wire_span(
 
 /// Serialize an envelope into a ready-to-send data frame, charging
 /// serialize/encrypt time and byte volume to the wire metrics.
-fn encode_data_frame(env: &WireEnvelope, nonce: u64, cfg: &WireConfig, obs: &WireObs) -> Vec<u8> {
+fn encode_data_frame(
+    env: &WireEnvelope,
+    nonce: u64,
+    cfg: &WireConfig,
+    obs: &WireObs,
+    job: &str,
+) -> Vec<u8> {
     let start = Instant::now();
     let mut payload = encode_envelope(env);
     let logical_bytes = payload.len() as u64;
@@ -137,13 +156,13 @@ fn encode_data_frame(env: &WireEnvelope, nonce: u64, cfg: &WireConfig, obs: &Wir
         encrypt_ns = enc_start.elapsed().as_nanos() as u64;
     }
     let frame = encode_frame(FrameKind::Data, flags, nonce, &payload);
-    with_registry(obs, |reg| {
-        reg.counter(names::WIRE_PAYLOAD_BYTES_TOTAL, &[])
+    with_job_registry(obs, job, |reg, labels| {
+        reg.counter(names::WIRE_PAYLOAD_BYTES_TOTAL, labels)
             .add(logical_bytes);
-        reg.counter(names::WIRE_SERIALIZE_NANOS_TOTAL, &[])
+        reg.counter(names::WIRE_SERIALIZE_NANOS_TOTAL, labels)
             .add(serialize_ns);
         if encrypt_ns > 0 {
-            reg.counter(names::WIRE_ENCRYPT_NANOS_TOTAL, &[])
+            reg.counter(names::WIRE_ENCRYPT_NANOS_TOTAL, labels)
                 .add(encrypt_ns);
         }
     });
@@ -153,7 +172,12 @@ fn encode_data_frame(env: &WireEnvelope, nonce: u64, cfg: &WireConfig, obs: &Wir
 /// Reverse [`encode_data_frame`]: decrypt, decompress, and deserialize a
 /// received data frame, charging decrypt time to the encrypt counter (the
 /// cipher runs on both directions) and the rest to deserialize.
-fn decode_data_frame(frame: &Frame, cfg: &WireConfig, obs: &WireObs) -> io::Result<WireEnvelope> {
+fn decode_data_frame(
+    frame: &Frame,
+    cfg: &WireConfig,
+    obs: &WireObs,
+    job: &str,
+) -> io::Result<WireEnvelope> {
     let mismatch = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
     if frame.flags & FLAG_ENCRYPTED != 0 && !cfg.encrypt {
         return Err(mismatch("peer sent encrypted frame to plaintext session"));
@@ -179,12 +203,12 @@ fn decode_data_frame(frame: &Frame, cfg: &WireConfig, obs: &WireObs) -> io::Resu
     let env = decode_envelope(&payload)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let deserialize_ns = start.elapsed().as_nanos() as u64;
-    with_registry(obs, |reg| {
+    with_job_registry(obs, job, |reg, labels| {
         if encrypt_ns > 0 {
-            reg.counter(names::WIRE_ENCRYPT_NANOS_TOTAL, &[])
+            reg.counter(names::WIRE_ENCRYPT_NANOS_TOTAL, labels)
                 .add(encrypt_ns);
         }
-        reg.counter(names::WIRE_DESERIALIZE_NANOS_TOTAL, &[])
+        reg.counter(names::WIRE_DESERIALIZE_NANOS_TOTAL, labels)
             .add(deserialize_ns);
     });
     Ok(env)
@@ -202,13 +226,16 @@ impl WireServer {
     /// Bind a fresh localhost port and start serving `source`'s envelopes
     /// to whichever client dials in. `window` is the credit window — the
     /// maximum number of unacknowledged frames in flight, mirroring the
-    /// in-process `buffer_capacity`.
+    /// in-process `buffer_capacity`. `job` labels this server's wire
+    /// metrics (the owning session id; empty for unlabeled standalone
+    /// transfers).
     pub fn serve(
         source: Receiver<WireEnvelope>,
         cfg: WireConfig,
         window: usize,
         obs: WireObs,
         chaos: WireChaos,
+        job: &str,
     ) -> io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         listener.set_nonblocking(true)?;
@@ -216,9 +243,10 @@ impl WireServer {
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = stop.clone();
         let window = window.max(1);
+        let job = job.to_string();
         let thread = thread::Builder::new()
             .name(format!("wire-server-{port}"))
-            .spawn(move || server_loop(listener, source, cfg, window, stop2, obs, chaos))
+            .spawn(move || server_loop(listener, source, cfg, window, stop2, obs, chaos, job))
             .expect("spawn wire server thread");
         Ok(Self {
             port,
@@ -272,6 +300,7 @@ fn send_data_frame(
     chaos: &WireChaos,
     obs: &WireObs,
     stop: &Arc<AtomicBool>,
+    job: &str,
 ) -> SendOutcome {
     let faults = {
         let guard = chaos.read();
@@ -304,9 +333,9 @@ fn send_data_frame(
     }
     match write_all_retry(stream, bytes, &stop_check) {
         Ok(true) => {
-            with_registry(obs, |reg| {
-                reg.counter(names::WIRE_FRAMES_TOTAL, &[]).inc();
-                reg.counter(names::WIRE_TX_BYTES_TOTAL, &[])
+            with_job_registry(obs, job, |reg, labels| {
+                reg.counter(names::WIRE_FRAMES_TOTAL, labels).inc();
+                reg.counter(names::WIRE_TX_BYTES_TOTAL, labels)
                     .add(bytes.len() as u64);
             });
             SendOutcome::Sent
@@ -340,6 +369,7 @@ fn credit_reader(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn server_loop(
     listener: TcpListener,
     source: Receiver<WireEnvelope>,
@@ -348,6 +378,7 @@ fn server_loop(
     stop: Arc<AtomicBool>,
     obs: WireObs,
     chaos: WireChaos,
+    job: String,
 ) {
     // Encoded frames sent but not yet credited, oldest first. Survives
     // across connections: a reconnecting client gets them all replayed.
@@ -388,7 +419,7 @@ fn server_loop(
         // stable here even if credits race in.
         for frame in &unacked {
             let send_start = now_ns();
-            match send_data_frame(&mut stream, &frame.bytes, &chaos, &obs, &stop) {
+            match send_data_frame(&mut stream, &frame.bytes, &chaos, &obs, &stop, &job) {
                 SendOutcome::Sent => {
                     record_wire_span(
                         &obs,
@@ -443,7 +474,7 @@ fn server_loop(
             if unacked.len() < window && !source_done {
                 match source.recv_timeout(SOURCE_POLL) {
                     Ok(env) => {
-                        let frame = encode_data_frame(&env, nonce, &cfg, &obs);
+                        let frame = encode_data_frame(&env, nonce, &cfg, &obs, &job);
                         nonce += 1;
                         unacked.push_back(UnackedFrame {
                             bytes: frame,
@@ -456,7 +487,7 @@ fn server_loop(
                         let entry = unacked.back().expect("just pushed");
                         let bytes = entry.bytes.clone();
                         let send_start = now_ns();
-                        match send_data_frame(&mut stream, &bytes, &chaos, &obs, &stop) {
+                        match send_data_frame(&mut stream, &bytes, &chaos, &obs, &stop, &job) {
                             SendOutcome::Sent => {
                                 record_wire_span(
                                     &obs,
@@ -497,21 +528,26 @@ fn server_loop(
 /// `dsi_wire_reconnects_total`) and exits — dropping its sender, which the
 /// DPP client observes as the endpoint disconnecting — on a `Goodbye`
 /// frame, on channel teardown, or once the server stops answering dials.
+///
+/// `job` labels this client's wire metrics (the owning session id; empty
+/// for unlabeled standalone transfers).
 pub fn connect(
     port: u16,
     cfg: WireConfig,
     capacity: usize,
     obs: WireObs,
+    job: &str,
 ) -> Receiver<WireEnvelope> {
     let (tx, rx) = bounded(capacity.max(1));
+    let job = job.to_string();
     thread::Builder::new()
         .name(format!("wire-client-{port}"))
-        .spawn(move || client_loop(port, cfg, tx, obs))
+        .spawn(move || client_loop(port, cfg, tx, obs, job))
         .expect("spawn wire client thread");
     rx
 }
 
-fn client_loop(port: u16, cfg: WireConfig, tx: Sender<WireEnvelope>, obs: WireObs) {
+fn client_loop(port: u16, cfg: WireConfig, tx: Sender<WireEnvelope>, obs: WireObs, job: String) {
     let mut connected_before = false;
     let mut failed_dials = 0u32;
     'dial: loop {
@@ -531,8 +567,8 @@ fn client_loop(port: u16, cfg: WireConfig, tx: Sender<WireEnvelope>, obs: WireOb
         let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
         let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
         if connected_before {
-            with_registry(&obs, |reg| {
-                reg.counter(names::WIRE_RECONNECTS_TOTAL, &[]).inc();
+            with_job_registry(&obs, &job, |reg, labels| {
+                reg.counter(names::WIRE_RECONNECTS_TOTAL, labels).inc();
             });
         }
         connected_before = true;
@@ -548,7 +584,7 @@ fn client_loop(port: u16, cfg: WireConfig, tx: Sender<WireEnvelope>, obs: WireOb
             match frame.kind {
                 FrameKind::Data => {
                     let recv_start = now_ns();
-                    let env = match decode_data_frame(&frame, &cfg, &obs) {
+                    let env = match decode_data_frame(&frame, &cfg, &obs, &job) {
                         Ok(env) => env,
                         Err(_) => continue 'dial,
                     };
@@ -614,8 +650,8 @@ mod tests {
 
     fn run_transfer(cfg: WireConfig, n: u64) -> Vec<WireEnvelope> {
         let (tx, rx) = bounded::<WireEnvelope>(4);
-        let server = WireServer::serve(rx, cfg, 4, no_obs(), no_chaos()).expect("serve");
-        let out = connect(server.port(), cfg, 4, no_obs());
+        let server = WireServer::serve(rx, cfg, 4, no_obs(), no_chaos(), "").expect("serve");
+        let out = connect(server.port(), cfg, 4, no_obs(), "");
         let producer = thread::spawn(move || {
             for i in 0..n {
                 tx.send(envelope(i, 0, true)).expect("send");
@@ -658,8 +694,8 @@ mod tests {
         let (tx, rx) = bounded::<WireEnvelope>(2);
         let server_cfg = WireConfig::encrypted(0xAAAA);
         let client_cfg = WireConfig::encrypted(0xBBBB);
-        let server = WireServer::serve(rx, server_cfg, 2, no_obs(), no_chaos()).expect("serve");
-        let out = connect(server.port(), client_cfg, 2, no_obs());
+        let server = WireServer::serve(rx, server_cfg, 2, no_obs(), no_chaos(), "").expect("serve");
+        let out = connect(server.port(), client_cfg, 2, no_obs(), "");
         tx.send(envelope(1, 0, true)).expect("send");
         drop(tx);
         // Wrong-key decryption yields garbage that fails the codec, so the
@@ -679,8 +715,8 @@ mod tests {
             tx.send(envelope(i, 0, true)).expect("send");
         }
         let cfg = WireConfig::plaintext();
-        let server = WireServer::serve(rx, cfg, 2, no_obs(), no_chaos()).expect("serve");
-        let out = connect(server.port(), cfg, 2, no_obs());
+        let server = WireServer::serve(rx, cfg, 2, no_obs(), no_chaos(), "").expect("serve");
+        let out = connect(server.port(), cfg, 2, no_obs(), "");
         // Client channel (2) + credit window (2): at most ~5 envelopes can
         // leave the source while nobody consumes (one may sit in the
         // server's recv hand-off).
@@ -717,8 +753,8 @@ mod tests {
 
         let (tx, rx) = bounded::<WireEnvelope>(4);
         let cfg = WireConfig::plaintext();
-        let server = WireServer::serve(rx, cfg, 4, obs.clone(), chaos).expect("serve");
-        let out = connect(server.port(), cfg, 4, obs.clone());
+        let server = WireServer::serve(rx, cfg, 4, obs.clone(), chaos, "").expect("serve");
+        let out = connect(server.port(), cfg, 4, obs.clone(), "");
         let producer = thread::spawn(move || {
             for i in 0..24 {
                 tx.send(envelope(i, 0, true)).expect("send");
@@ -756,8 +792,8 @@ mod tests {
 
         let (tx, rx) = bounded::<WireEnvelope>(4);
         let cfg = WireConfig::plaintext();
-        let server = WireServer::serve(rx, cfg, 4, obs.clone(), chaos).expect("serve");
-        let out = connect(server.port(), cfg, 4, obs.clone());
+        let server = WireServer::serve(rx, cfg, 4, obs.clone(), chaos, "").expect("serve");
+        let out = connect(server.port(), cfg, 4, obs.clone(), "");
         let producer = thread::spawn(move || {
             for i in 0..4u64 {
                 let mut env = envelope(i, 0, true);
@@ -813,8 +849,8 @@ mod tests {
     fn stop_unblocks_stalled_worker_sender() {
         let (tx, rx) = bounded::<WireEnvelope>(1);
         let cfg = WireConfig::plaintext();
-        let server = WireServer::serve(rx, cfg, 1, no_obs(), no_chaos()).expect("serve");
-        let out = connect(server.port(), cfg, 1, no_obs());
+        let server = WireServer::serve(rx, cfg, 1, no_obs(), no_chaos(), "").expect("serve");
+        let out = connect(server.port(), cfg, 1, no_obs(), "");
         // Nobody consumes `out`: the producer below fills client channel +
         // window + source channel and then blocks in send.
         let producer = thread::spawn(move || {

@@ -7,7 +7,8 @@
 //! generation ([`scribe`]), a partitioned warehouse of DWRF columnar files
 //! ([`warehouse`], [`dwrf`]) on a Tectonic-style distributed filesystem
 //! ([`tectonic`]), the disaggregated DPP online-preprocessing service
-//! ([`dpp`], [`transforms`]), RecD-style end-to-end deduplication
+//! ([`dpp`], [`transforms`]) with its multi-tenant fleet control plane
+//! ([`fleet`]), RecD-style end-to-end deduplication
 //! ([`dedup`]), trainer-side models ([`trainer`]),
 //! fleet-level coordination ([`cluster`]), a hardware simulation substrate
 //! ([`hwsim`]), and calibrated synthetic workloads ([`synth`]).
@@ -58,6 +59,7 @@ pub use chaos;
 pub use cluster;
 pub use dedup;
 pub use dpp;
+pub use dsi_fleet as fleet;
 pub use dsi_obs as obs;
 pub use dsi_trace as trace;
 pub use dsi_types as types;
@@ -76,6 +78,9 @@ pub mod prelude {
     pub use chaos::{FaultInjector, FaultKind, FaultPlan, HookPoint};
     pub use dedup::{DedupConfig, DedupSet, DedupStats};
     pub use dpp::{AutoScaler, Client, DppSession, Master, SessionSpec, Transport};
+    pub use dsi_fleet::{
+        FleetAction, FleetConfig, FleetDriver, JobPhase, JobRegistry, JobSpec, JobStatus, TenantId,
+    };
     pub use dsi_obs::{json_snapshot, prometheus_text, PipelineReport, Registry};
     pub use dsi_trace::{CriticalPathReport, TraceConfig, Verdict};
     pub use dsi_types::{

@@ -282,6 +282,88 @@ fn trace_bench_artifact_matches_schema() {
 }
 
 #[test]
+fn tenancy_bench_artifact_matches_schema() {
+    // `figures tenancy` commits the multi-tenant ablation: 3 tenants on one
+    // 6-slot fleet, reconciler vs static partitioning. Validate the schema
+    // and the acceptance envelope (every tenant delivered its full epoch,
+    // the high-priority arrival was served by preemption and beat the
+    // static partition) without a JSON parser dependency.
+    fn num(section: &str, key: &str) -> f64 {
+        let pat = format!("\"{key}\":");
+        let at = section
+            .find(&pat)
+            .unwrap_or_else(|| panic!("BENCH_tenancy.json missing key {key:?}"));
+        let rest = section[at + pat.len()..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end]
+            .parse()
+            .unwrap_or_else(|_| panic!("BENCH_tenancy.json key {key:?} is not numeric"))
+    }
+    fn arm_block<'a>(body: &'a str, name: &str) -> &'a str {
+        let start = body
+            .find(&format!("\"{name}\": {{"))
+            .unwrap_or_else(|| panic!("BENCH_tenancy.json missing arm {name:?}"));
+        let section = &body[start..];
+        // The arm block ends at the first close brace at its own nesting
+        // level; tenant sub-blocks open and close inside it.
+        let mut depth = 0i32;
+        let mut end = section.len();
+        for (i, c) in section.char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let section = &section[..end];
+        let rows = num(body, "rows_per_job");
+        for tenant in ["tenant_a", "tenant_b", "tenant_c"] {
+            let t_at = section
+                .find(&format!("\"{tenant}\""))
+                .unwrap_or_else(|| panic!("arm {name:?} missing {tenant:?}"));
+            let t = &section[t_at..];
+            let t = &t[..t.find('}').expect("tenant block closes")];
+            assert_eq!(num(t, "samples"), rows, "{name}/{tenant} exactly-once");
+            assert!(num(t, "samples_per_sec") > 0.0, "{name}/{tenant} rate");
+            let stall = num(t, "stall_fraction");
+            assert!((0.0..=1.0).contains(&stall), "{name}/{tenant} stall");
+        }
+        section
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_tenancy.json");
+    let body = std::fs::read_to_string(path)
+        .expect("BENCH_tenancy.json is committed at the repo root (run `figures tenancy`)");
+    assert_eq!(num(&body, "fleet_slots") as u64, 6);
+    assert!(num(&body, "rows_per_job") > 0.0);
+    let reconciler = arm_block(&body, "reconciler");
+    arm_block(&body, "static");
+    assert!(
+        num(reconciler, "preemptions_total") >= 1.0,
+        "the high-priority arrival preempts"
+    );
+    assert!(
+        num(reconciler, "reconcile_ticks") >= 1.0,
+        "reconcile ticks recorded"
+    );
+    assert!(
+        num(&body, "high_priority_speedup") > 1.0,
+        "priority tenant must beat its static partition"
+    );
+    assert!(
+        body.contains("\"smoke\": false"),
+        "committed run is full-size"
+    );
+}
+
+#[test]
 fn datasets_dwarf_local_storage() {
     // Table III: used partitions alone are petabytes — orders of magnitude
     // beyond a trainer node's local storage.

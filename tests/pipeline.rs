@@ -346,8 +346,10 @@ fn wire_reconnects_during_fetch_preserve_exactly_once() {
     }
     assert_eq!(seen.len(), 288);
     session.shutdown();
+    // Wire metrics are tenant-scoped: the reconnects land under this
+    // session's job label.
     assert!(
-        reg.counter_value(obs_names::WIRE_RECONNECTS_TOTAL, &[]) > 0,
+        reg.counter_value(obs_names::WIRE_RECONNECTS_TOTAL, &[("job", "sess21")]) > 0,
         "chaos schedule should have forced at least one reconnect"
     );
 }
