@@ -1,0 +1,186 @@
+//! Micro-benchmarks for the batched codec kernels: chunked varint decode,
+//! run-aware RLE, bulk little-endian f32 streams, and pooled envelope
+//! serialization — the hot loops behind the fastpath and wire numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dsi_types::{Batch, FeatureId, Sample, SparseList, WorkerId};
+use dwrf::encoding::{
+    read_f32s, read_varint, read_varints_into, rle_decode, rle_encode, write_f32s, write_varint,
+    write_varints,
+};
+use std::hint::black_box;
+use wire::codec::{decode_envelope, encode_envelope, encode_envelope_into};
+use wire::WireEnvelope;
+
+const N: usize = 4096;
+
+/// Mixed-width values: mostly single-byte (the common hashed-id residue),
+/// with multi-byte stragglers so the chunked word path and the scalar tail
+/// both run.
+fn varint_values() -> Vec<u64> {
+    (0..N as u64)
+        .map(|i| {
+            if i % 7 == 0 {
+                i.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            } else {
+                i % 128
+            }
+        })
+        .collect()
+}
+
+fn bench_varint(c: &mut Criterion) {
+    let values = varint_values();
+    let mut encoded = Vec::new();
+    for &v in &values {
+        write_varint(&mut encoded, v);
+    }
+    let mut group = c.benchmark_group("codec_varint");
+    group.throughput(Throughput::Elements(N as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(encoded.len());
+            for &v in &values {
+                write_varint(&mut out, v);
+            }
+            black_box(out)
+        })
+    });
+    group.bench_function("decode_scalar_loop", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            let mut out = Vec::with_capacity(N);
+            for _ in 0..N {
+                out.push(read_varint(&encoded, &mut pos).expect("valid"));
+            }
+            black_box(out)
+        })
+    });
+    group.bench_function("decode_chunked", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            let mut out = Vec::with_capacity(N);
+            read_varints_into(&encoded, &mut pos, N, &mut out).expect("valid");
+            black_box(out)
+        })
+    });
+    // Delta-encoded CSR offsets are almost entirely single-byte varints —
+    // the shape the 8-wide probe is built for.
+    let small: Vec<u64> = (0..N as u64).map(|i| i % 96).collect();
+    let mut encoded_small = Vec::new();
+    write_varints(&mut encoded_small, &small);
+    group.bench_function("decode_scalar_loop_small", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            let mut out = Vec::with_capacity(N);
+            for _ in 0..N {
+                out.push(read_varint(&encoded_small, &mut pos).expect("valid"));
+            }
+            black_box(out)
+        })
+    });
+    group.bench_function("decode_chunked_small", |b| {
+        b.iter(|| {
+            let mut pos = 0;
+            let mut out = Vec::with_capacity(N);
+            read_varints_into(&encoded_small, &mut pos, N, &mut out).expect("valid");
+            black_box(out)
+        })
+    });
+    group.finish();
+}
+
+fn bench_rle(c: &mut Criterion) {
+    // Run-heavy (offsets of mostly-empty rows) and run-free (hashed ids)
+    // inputs hit the repeat and literal arms respectively.
+    let runs: Vec<u64> = (0..N as u64).map(|i| (i / 64) * 3).collect();
+    let literals: Vec<u64> = (0..N as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let mut group = c.benchmark_group("codec_rle");
+    group.throughput(Throughput::Elements(N as u64));
+    for (name, data) in [("runs", &runs), ("literals", &literals)] {
+        let encoded = rle_encode(data);
+        group.bench_function(format!("encode_{name}"), |b| {
+            b.iter(|| black_box(rle_encode(black_box(data))))
+        });
+        group.bench_function(format!("decode_{name}"), |b| {
+            b.iter(|| black_box(rle_decode(black_box(&encoded)).expect("valid")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_f32(c: &mut Criterion) {
+    let values: Vec<f32> = (0..N).map(|i| (i as f32) * 0.37 - 100.0).collect();
+    // write_f32s emits raw little-endian bytes; read_f32s takes the same stream.
+    let mut raw = Vec::new();
+    write_f32s(&mut raw, &values);
+    let mut group = c.benchmark_group("codec_f32");
+    group.throughput(Throughput::Bytes((values.len() * 4) as u64));
+    group.bench_function("encode", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            write_f32s(&mut out, black_box(&values));
+            black_box(out)
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(read_f32s(black_box(&raw)).expect("valid")))
+    });
+    group.finish();
+}
+
+fn sample_envelope() -> WireEnvelope {
+    let mut batch = Batch::new();
+    for i in 0..256u64 {
+        let mut s = Sample::new((i % 2) as f32);
+        for f in 0..32u64 {
+            s.set_dense(FeatureId(f), (i ^ f) as f32 * 0.01);
+        }
+        for f in 32..48u64 {
+            s.set_sparse(
+                FeatureId(f),
+                SparseList::from_ids((0..8).map(|k| i * 31 + k * f).collect()),
+            );
+        }
+        batch.push(s);
+    }
+    let dense: Vec<FeatureId> = (0..32).map(FeatureId).collect();
+    let sparse: Vec<FeatureId> = (32..48).map(FeatureId).collect();
+    WireEnvelope {
+        split: 7,
+        seq: 0,
+        last: false,
+        worker: WorkerId(1),
+        trace_id: 0,
+        parent_span: 0,
+        tensor: batch.materialize(&dense, &sparse),
+    }
+}
+
+fn bench_envelope(c: &mut Criterion) {
+    let env = sample_envelope();
+    let bytes = encode_envelope(&env);
+    let mut group = c.benchmark_group("codec_envelope");
+    group.sample_size(30);
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function("serialize_fresh_alloc", |b| {
+        b.iter(|| black_box(encode_envelope(black_box(&env))))
+    });
+    group.bench_function("serialize_reused_buf", |b| {
+        let mut buf = Vec::with_capacity(bytes.len());
+        b.iter(|| {
+            buf.clear();
+            encode_envelope_into(black_box(&env), &mut buf);
+            black_box(buf.len())
+        })
+    });
+    group.bench_function("deserialize", |b| {
+        b.iter(|| black_box(decode_envelope(black_box(&bytes)).expect("valid")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_varint, bench_rle, bench_f32, bench_envelope);
+criterion_main!(benches);

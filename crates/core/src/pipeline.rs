@@ -199,6 +199,7 @@ pub(crate) fn pipelined_worker_loop(
     // ---- stage 2: transform ----
     let transform = {
         let spec = worker.spec_arc();
+        let exec = worker.exec_arc();
         let cost = worker.cost_model();
         let obs = Arc::clone(&obs);
         // Sessions share registries under the fleet control plane, so the
@@ -222,8 +223,15 @@ pub(crate) fn pipelined_worker_loop(
                 let t1 = now_ns();
                 // Per-split flush downstream means the carry is always
                 // empty here, so handing transform a fresh one is exact.
-                let (batch, delta) =
-                    Worker::transform_stage(&spec, &cost, &f.split, Batch::new(), f.rows, &f.plan);
+                let (batch, delta) = Worker::transform_stage(
+                    &spec,
+                    &exec,
+                    &cost,
+                    &f.split,
+                    Batch::new(),
+                    f.rows,
+                    &f.plan,
+                );
                 if f.trace.is_sampled() {
                     if let Some(reg) = &reg {
                         record_stage_span(

@@ -20,7 +20,48 @@ use dwrf::IoPlan;
 use hwsim::{DatacenterTax, NodeSpec, ResourceVector, Utilization};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use transforms::{ColumnarPlan, COLUMNAR_KERNELS};
 use warehouse::{Split, TableScan};
+
+/// The session's transform plan compiled for execution: the row-path
+/// residue plus the columnar tail that runs over materialized tensors in
+/// the load stage. Splitting happens once per worker (not per split), and
+/// only for fastpath sessions without dedup — dedup's canonical-row reuse
+/// needs the whole plan on the row path, and non-fastpath sessions are the
+/// copying baseline the ablation compares against.
+#[derive(Debug)]
+pub(crate) struct ExecPlan {
+    /// Ops that must see individual [`Sample`]s (feature generation,
+    /// sampling, and anything feeding them).
+    pub row: transforms::TransformPlan,
+    /// Ops vectorized over the materialized tensor's contiguous buffers.
+    pub columnar: ColumnarPlan,
+    /// Per-feature materialization caps aligned with `spec.sparse_ids`
+    /// (empty = no caps): the columnar plan's `FirstX` ops pushed all the
+    /// way into materialization, so the truncated-away tail is never
+    /// copied, hashed, or shipped.
+    pub sparse_caps: Vec<usize>,
+}
+
+impl ExecPlan {
+    pub(crate) fn for_spec(spec: &SessionSpec) -> Self {
+        if spec.fastpath && spec.dedup.is_none() {
+            let (row, columnar) = ColumnarPlan::split_plan(&spec.plan);
+            let sparse_caps = columnar.sparse_caps(&spec.sparse_ids);
+            Self {
+                row,
+                columnar,
+                sparse_caps,
+            }
+        } else {
+            Self {
+                row: spec.plan.clone(),
+                columnar: ColumnarPlan::empty(),
+                sparse_caps: Vec::new(),
+            }
+        }
+    }
+}
 
 /// Cycle and memory-traffic coefficients for the extract stage.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -104,6 +145,10 @@ pub struct WorkerReport {
     pub dedup_reuse_hits: u64,
     /// Tensor bytes the shared-row wire encoding avoided shipping.
     pub dedup_tx_saved_bytes: u64,
+    /// Wall nanoseconds per columnar transform kernel, indexed by
+    /// [`transforms::COLUMNAR_KERNELS`] slot (all zero when the plan runs
+    /// entirely on the row path).
+    pub columnar_kernel_nanos: [u64; COLUMNAR_KERNELS.len()],
 }
 
 impl WorkerReport {
@@ -129,6 +174,13 @@ impl WorkerReport {
         self.dedup_rows += other.dedup_rows;
         self.dedup_reuse_hits += other.dedup_reuse_hits;
         self.dedup_tx_saved_bytes += other.dedup_tx_saved_bytes;
+        for (mine, theirs) in self
+            .columnar_kernel_nanos
+            .iter_mut()
+            .zip(other.columnar_kernel_nanos)
+        {
+            *mine += theirs;
+        }
     }
 
     /// Publishes the report's cumulative totals into `registry`: sample /
@@ -196,6 +248,16 @@ impl WorkerReport {
                 .counter(span::STAGE_CYCLES_TOTAL, &labels)
                 .advance_to(cycles.round() as u64);
         }
+        for (op, nanos) in COLUMNAR_KERNELS.iter().zip(self.columnar_kernel_nanos) {
+            if nanos == 0 {
+                continue;
+            }
+            let mut labels = base.clone();
+            labels.push(("op", op));
+            registry
+                .counter(names::TRANSFORM_KERNEL_NANOS_TOTAL, &labels)
+                .advance_to(nanos);
+        }
     }
 
     /// Mean per-sample resource demand including the datacenter tax on
@@ -244,6 +306,7 @@ impl WorkerReport {
 pub struct Worker {
     id: WorkerId,
     spec: Arc<SessionSpec>,
+    exec: Arc<ExecPlan>,
     scan: TableScan,
     cost: ExtractCostModel,
     carry: Batch,
@@ -254,9 +317,11 @@ impl Worker {
     /// Creates a worker. `scan` must be the session's scan (same
     /// projection/policy the Master planned splits from).
     pub fn new(id: WorkerId, spec: Arc<SessionSpec>, scan: TableScan) -> Self {
+        let exec = Arc::new(ExecPlan::for_spec(&spec));
         Self {
             id,
             spec,
+            exec,
             scan,
             cost: ExtractCostModel::default(),
             carry: Batch::new(),
@@ -292,8 +357,9 @@ impl Worker {
     pub fn process_split(&mut self, split: &Split) -> Result<Vec<MiniBatchTensor>> {
         let (rows, plan) = self.scan.read_split(split)?;
         let carry = std::mem::take(&mut self.carry);
-        let (transformed, delta) =
-            Self::transform_stage(&self.spec, &self.cost, split, carry, rows, &plan);
+        let (transformed, delta) = Self::transform_stage(
+            &self.spec, &self.exec, &self.cost, split, carry, rows, &plan,
+        );
         Ok(self.load_stage(transformed, delta))
     }
 
@@ -343,8 +409,9 @@ impl Worker {
 
         let t1 = now_ns();
         let carry = std::mem::take(&mut self.carry);
-        let (transformed, delta) =
-            Self::transform_stage(&self.spec, &self.cost, split, carry, rows, &plan);
+        let (transformed, delta) = Self::transform_stage(
+            &self.spec, &self.exec, &self.cost, split, carry, rows, &plan,
+        );
         reg.record_span(span(next_span_id(), SpanKind::Transform, t1, now_ns()));
 
         let load_id = next_span_id();
@@ -369,6 +436,7 @@ impl Worker {
     /// where every split flushes).
     pub(crate) fn transform_stage(
         spec: &SessionSpec,
+        exec: &ExecPlan,
         cost: &ExtractCostModel,
         split: &Split,
         carry: Batch,
@@ -417,7 +485,10 @@ impl Worker {
             delta.dedup_reuse_hits = stats.reuse_hits;
             (out, tcost)
         } else {
-            spec.plan.apply_batch(batch, base_row)
+            // Columnar-eligible ops were hoisted out of `exec.row`; they
+            // run vectorized over the materialized tensor in the load
+            // stage, so only the residue pays the per-sample path here.
+            exec.row.apply_batch(batch, base_row)
         };
         delta.transform_cycles = tcost.cycles;
         delta.feature_generation_cycles = tcost.feature_generation_cycles;
@@ -456,6 +527,11 @@ impl Worker {
         Arc::clone(&self.spec)
     }
 
+    /// The compiled row/columnar execution plan (shared).
+    pub(crate) fn exec_arc(&self) -> Arc<ExecPlan> {
+        Arc::clone(&self.exec)
+    }
+
     /// The worker's extract cost model.
     pub(crate) fn cost_model(&self) -> ExtractCostModel {
         self.cost
@@ -477,7 +553,34 @@ impl Worker {
     }
 
     fn materialize(&mut self, batch: &Batch) -> MiniBatchTensor {
-        let tensor = batch.materialize(&self.spec.dense_ids, &self.spec.sparse_ids);
+        let ctx = (!self.exec.columnar.is_empty()).then(|| {
+            self.exec.columnar.capture_ctx(
+                batch.samples(),
+                &self.spec.dense_ids,
+                &self.spec.sparse_ids,
+            )
+        });
+        let mut tensor = batch.materialize_capped(
+            &self.spec.dense_ids,
+            &self.spec.sparse_ids,
+            &self.exec.sparse_caps,
+        );
+        if let Some(ctx) = ctx {
+            let applied = self.exec.columnar.apply_with_cost(
+                &mut tensor,
+                &self.spec.dense_ids,
+                &ctx,
+                self.spec.plan.cost_model(),
+            );
+            self.report.transform_cycles += applied.cost.cycles;
+            self.report.feature_generation_cycles += applied.cost.feature_generation_cycles;
+            self.report.sparse_normalization_cycles += applied.cost.sparse_normalization_cycles;
+            self.report.dense_normalization_cycles += applied.cost.dense_normalization_cycles;
+            self.report.membw_bytes += applied.cost.membw_bytes;
+            for (slot, nanos) in applied.kernel_nanos.iter().enumerate() {
+                self.report.columnar_kernel_nanos[slot] += nanos;
+            }
+        }
         let bytes = tensor.payload_bytes() as u64;
         // Dedup sessions ship sparse rows shared within a set as 4-byte
         // back-references instead of repeated payloads, so the wire (and

@@ -74,28 +74,69 @@ impl Batch {
         dense_ids: &[FeatureId],
         sparse_ids: &[FeatureId],
     ) -> MiniBatchTensor {
+        self.materialize_capped(dense_ids, sparse_ids, &[])
+    }
+
+    /// [`Batch::materialize`] with per-feature row caps: sparse feature
+    /// `sparse_ids[i]` copies at most `caps[i]` values per row into the
+    /// tensor (`usize::MAX` = uncapped; an empty `caps` slice means no
+    /// caps at all). Equivalent to materializing uncapped and then
+    /// truncating every row — without ever copying the truncated-away
+    /// tail. Columnar execution uses this to hoist `FirstX` ops all the
+    /// way into materialization: prefix truncation commutes with the
+    /// per-element columnar kernels, so the downstream passes see only
+    /// the bytes that survive.
+    pub fn materialize_capped(
+        &self,
+        dense_ids: &[FeatureId],
+        sparse_ids: &[FeatureId],
+        caps: &[usize],
+    ) -> MiniBatchTensor {
+        assert!(
+            caps.is_empty() || caps.len() == sparse_ids.len(),
+            "caps must align with sparse_ids"
+        );
         let rows = self.samples.len();
+        // Sorted (feature, slot) indexes: the samples' feature maps iterate
+        // in id order, so each row is one sequential merge-join instead of
+        // one tree descent per column.
+        let mut dense_cols: Vec<(FeatureId, usize)> =
+            dense_ids.iter().enumerate().map(|(c, &f)| (f, c)).collect();
+        dense_cols.sort_unstable();
+        let mut sparse_slots: Vec<(FeatureId, usize)> = sparse_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, i))
+            .collect();
+        sparse_slots.sort_unstable();
+
         let mut dense = DenseMatrix::zeros(rows, dense_ids.len());
+        let mut sparse: Vec<SparseTensor> =
+            sparse_ids.iter().map(|&id| SparseTensor::new(id)).collect();
+        let empty = SparseList::new();
         for (r, s) in self.samples.iter().enumerate() {
-            for (c, &id) in dense_ids.iter().enumerate() {
-                if let Some(v) = s.dense(id) {
-                    dense.set(r, c, v);
+            let row = dense.row_mut(r);
+            let mut cols = dense_cols.iter().peekable();
+            for (id, v) in s.dense_iter() {
+                while cols.next_if(|&&(f, _)| f < id).is_some() {}
+                while let Some(&(_, c)) = cols.next_if(|&&(f, _)| f == id) {
+                    row[c] = v;
                 }
             }
-        }
-        let sparse = sparse_ids
-            .iter()
-            .map(|&id| {
-                let mut t = SparseTensor::new(id);
-                for s in &self.samples {
-                    match s.sparse(id) {
-                        Some(list) => t.push_row(list),
-                        None => t.push_row(&SparseList::new()),
-                    }
+            let mut slots = sparse_slots.iter().peekable();
+            for (id, list) in s.sparse_iter() {
+                while let Some(&(_, slot)) = slots.next_if(|&&(f, _)| f < id) {
+                    sparse[slot].push_row(&empty);
                 }
-                t
-            })
-            .collect();
+                while let Some(&(_, slot)) = slots.next_if(|&&(f, _)| f == id) {
+                    let cap = caps.get(slot).copied().unwrap_or(usize::MAX);
+                    sparse[slot].push_row_capped(list, cap);
+                }
+            }
+            for &(_, slot) in slots {
+                sparse[slot].push_row(&empty);
+            }
+        }
         let labels = self.samples.iter().map(Sample::label).collect();
         MiniBatchTensor {
             dense,
@@ -180,6 +221,17 @@ impl DenseMatrix {
         &self.data
     }
 
+    /// Mutable view of row `r` (materialization fills a whole row per
+    /// sample, so one slice borrow replaces per-element index math).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Payload size in bytes.
     pub fn payload_bytes(&self) -> usize {
         self.data.len() * std::mem::size_of::<f32>()
@@ -196,6 +248,29 @@ impl DenseMatrix {
         for r in 0..self.rows {
             let i = r * self.cols + c;
             self.data[i] = f(self.data[i]);
+        }
+    }
+
+    /// Applies `f` to column `c` only in rows where `rows[r]` is true
+    /// (masked columnar path: the row path skips samples missing a dense
+    /// feature, whose materialized zeros must stay untouched). Rows beyond
+    /// `rows.len()` are left unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= cols`.
+    pub fn map_col_rows_in_place<F: FnMut(f32) -> f32>(
+        &mut self,
+        c: usize,
+        rows: &[bool],
+        mut f: F,
+    ) {
+        assert!(c < self.cols, "column out of bounds");
+        for (r, &wanted) in rows.iter().enumerate().take(self.rows) {
+            if wanted {
+                let i = r * self.cols + c;
+                self.data[i] = f(self.data[i]);
+            }
         }
     }
 }
@@ -275,13 +350,31 @@ impl SparseTensor {
 
     /// Appends one sample's list as the next row.
     pub fn push_row(&mut self, list: &SparseList) {
-        self.values.extend_from_slice(list.ids());
-        if let Some(scores) = list.scores() {
+        self.push_row_capped(list, usize::MAX);
+    }
+
+    /// [`SparseTensor::push_row`] keeping at most `cap` values — exactly
+    /// equivalent to pushing `list.truncate(cap)` (including the canonical
+    /// form: a row truncated to empty carries no scores) without cloning
+    /// the list.
+    pub fn push_row_capped(&mut self, list: &SparseList, cap: usize) {
+        let keep = list.len().min(cap);
+        if keep > 0 && list.scores().is_some() && !self.scored {
+            // First scored row after unscored ones: backfill unit scores
+            // for every value already pushed so scores stay value-aligned.
             self.scored = true;
-            self.scores.extend_from_slice(scores);
-        } else if self.scored {
-            // Keep scores aligned when a mix of scored/unscored rows appears.
-            self.scores.extend(list.ids().iter().map(|_| 1.0f32));
+            self.scores.resize(self.values.len(), 1.0);
+        }
+        self.values.extend_from_slice(&list.ids()[..keep]);
+        match list.scores() {
+            Some(scores) if keep > 0 => self.scores.extend_from_slice(&scores[..keep]),
+            _ => {
+                if self.scored {
+                    // Keep scores aligned when a mix of scored/unscored
+                    // rows appears.
+                    self.scores.resize(self.values.len(), 1.0);
+                }
+            }
         }
         self.offsets.push(self.values.len() as u32);
     }
@@ -342,6 +435,17 @@ impl SparseTensor {
     /// Truncates every row to at most `x` values (columnar `FirstX`),
     /// rebuilding offsets and compacting values/scores in one pass.
     pub fn truncate_rows(&mut self, x: usize) {
+        if self.values.is_empty() {
+            // Canonical form: an empty tensor carries no scores.
+            self.scored = false;
+            self.scores.clear();
+            return;
+        }
+        // Already within the cap everywhere (common when materialization
+        // pre-capped the column): skip the rebuild entirely.
+        if self.offsets.windows(2).all(|w| (w[1] - w[0]) as usize <= x) {
+            return;
+        }
         let rows = self.rows();
         let mut new_values = Vec::with_capacity(self.values.len().min(rows * x));
         let mut new_scores = Vec::new();
@@ -360,6 +464,13 @@ impl SparseTensor {
         self.values = new_values;
         self.scores = new_scores;
         self.offsets = new_offsets;
+        // Canonical form: an empty list carries no scores, so a column whose
+        // every row truncated away must come out unscored — exactly what the
+        // row path produces via `SparseList::truncate`.
+        if self.values.is_empty() {
+            self.scored = false;
+            self.scores.clear();
+        }
     }
 
     /// Applies `f` to every score in place (columnar `ComputeScore`); no-op
@@ -367,6 +478,28 @@ impl SparseTensor {
     pub fn map_scores_in_place<F: FnMut(f32) -> f32>(&mut self, mut f: F) {
         for v in &mut self.scores {
             *v = f(*v);
+        }
+    }
+
+    /// Applies `f` to the scores of rows where `rows[r]` is true (masked
+    /// columnar `ComputeScore`: the row path skips unscored samples, whose
+    /// materialized scores are unit backfills that must stay untouched).
+    /// Rows beyond `rows.len()` are left unchanged; no-op for unscored
+    /// tensors.
+    pub fn map_scores_rows_in_place<F: FnMut(f32) -> f32>(&mut self, rows: &[bool], mut f: F) {
+        if !self.scored {
+            return;
+        }
+        let n = self.rows();
+        for (r, &wanted) in rows.iter().enumerate().take(n) {
+            if !wanted {
+                continue;
+            }
+            let start = self.offsets[r] as usize;
+            let end = self.offsets[r + 1] as usize;
+            for v in &mut self.scores[start..end] {
+                *v = f(*v);
+            }
         }
     }
 }
@@ -506,6 +639,20 @@ mod tests {
         assert_eq!(t.scores().unwrap(), &[0.1, 0.2, 0.4]);
         t.map_scores_in_place(|s| s * 10.0);
         assert!((t.scores().unwrap()[2] - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn truncate_rows_to_empty_drops_scored_flag() {
+        // Mirrors `SparseList`'s canonical form: once every row truncates
+        // away, the column must look exactly like an unscored empty tensor
+        // (what the row path produces via per-list `truncate`).
+        let mut t = SparseTensor::new(FeatureId(1));
+        t.push_row(&SparseList::from_scored(vec![1, 2], vec![0.1, 0.2]));
+        t.push_row(&SparseList::from_scored(vec![3], vec![0.3]));
+        t.truncate_rows(0);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.nnz(), 0);
+        assert!(t.scores().is_none());
     }
 
     #[test]

@@ -19,10 +19,64 @@ pub fn write_varint(out: &mut Vec<u8>, mut v: u64) {
 
 /// Reads a LEB128 varint from `buf` starting at `*pos`, advancing `*pos`.
 ///
+/// Dispatches to a single-byte fast path (headers, lengths, small ids are
+/// one byte), then an unrolled bounds-check-free decode over a 10-byte
+/// window when the buffer has slack, falling back to the byte-at-a-time
+/// scalar loop only near the end of the buffer.
+///
 /// # Errors
 ///
 /// Returns [`DsiError::Corrupt`] on truncated or over-long input.
+#[inline]
 pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    if let Some(&b) = buf.get(*pos) {
+        if b < 0x80 {
+            *pos += 1;
+            return Ok(b as u64);
+        }
+    }
+    read_varint_multi(buf, pos)
+}
+
+/// Multi-byte continuation of [`read_varint`]. A varint is at most 10
+/// bytes; when that whole window is in-bounds the decode runs over a fixed
+/// `[u8; 10]` with constant indices (no per-byte bounds checks).
+fn read_varint_multi(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let tail = &buf[(*pos).min(buf.len())..];
+    if tail.len() >= 10 {
+        let w: [u8; 10] = tail[..10].try_into().expect("length checked");
+        let mut v = (w[0] & 0x7f) as u64;
+        macro_rules! step {
+            ($i:literal) => {
+                v |= ((w[$i] & 0x7f) as u64) << (7 * $i);
+                if w[$i] & 0x80 == 0 {
+                    *pos += $i + 1;
+                    return Ok(v);
+                }
+            };
+        }
+        if w[0] & 0x80 == 0 {
+            *pos += 1;
+            return Ok(v);
+        }
+        step!(1);
+        step!(2);
+        step!(3);
+        step!(4);
+        step!(5);
+        step!(6);
+        step!(7);
+        step!(8);
+        step!(9);
+        return Err(DsiError::corrupt("varint overflow"));
+    }
+    read_varint_scalar(buf, pos)
+}
+
+/// The scalar reference decoder: byte-at-a-time with per-byte bounds and
+/// overflow checks. The chunked paths above must match it bit-for-bit
+/// (property-tested in `tests/props.rs`).
+pub fn read_varint_scalar(buf: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
@@ -39,6 +93,80 @@ pub fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
         }
         shift += 7;
     }
+}
+
+/// Decodes `n` consecutive varints into `out`, 8 at a time where possible:
+/// when the next 8 bytes are all single-byte varints (no continuation bit
+/// set anywhere in the little-endian word), all 8 decode in one step —
+/// the common case for dictionary indexes, lengths, and small ids.
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] on truncated or over-long input.
+pub fn read_varints_into(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<u64>) -> Result<()> {
+    const MSB: u64 = 0x8080_8080_8080_8080;
+    out.reserve(n);
+    let mut remaining = n;
+    while remaining > 0 {
+        if remaining >= 8 {
+            if let Some(w) = buf.get(*pos..*pos + 8) {
+                let word = u64::from_le_bytes(w.try_into().expect("length checked"));
+                if word & MSB == 0 {
+                    for k in 0..8 {
+                        out.push((word >> (8 * k)) & 0x7f);
+                    }
+                    *pos += 8;
+                    remaining -= 8;
+                    continue;
+                }
+            }
+        }
+        out.push(read_varint(buf, pos)?);
+        remaining -= 1;
+    }
+    Ok(())
+}
+
+/// Bulk varint writer: encodes `values` into a stack slab flushed with one
+/// `extend_from_slice` per window instead of one `Vec::push` per byte.
+/// Eight consecutive values that are all single-byte (the common case for
+/// dictionary indexes, CSR offsets deltas, and small hashed ids) store as
+/// a straight 8-byte copy. Byte-for-byte identical to repeated
+/// [`write_varint`] (property-tested in `tests/props.rs`).
+pub fn write_varints(out: &mut Vec<u8>, values: &[u64]) {
+    // A varint is at most 10 bytes; keep a whole worst-case chunk of slack
+    // so the inner loops never bounds-check the slab.
+    let mut slab = [0u8; 256];
+    let mut fill = 0usize;
+    out.reserve(values.len());
+    for chunk in values.chunks(8) {
+        if fill + 80 > slab.len() {
+            out.extend_from_slice(&slab[..fill]);
+            fill = 0;
+        }
+        if chunk.len() == 8 && chunk.iter().all(|&v| v < 0x80) {
+            for (cell, &v) in slab[fill..fill + 8].iter_mut().zip(chunk) {
+                *cell = v as u8;
+            }
+            fill += 8;
+            continue;
+        }
+        for &v in chunk {
+            let mut v = v;
+            loop {
+                let byte = (v & 0x7f) as u8;
+                v >>= 7;
+                if v == 0 {
+                    slab[fill] = byte;
+                    fill += 1;
+                    break;
+                }
+                slab[fill] = byte | 0x80;
+                fill += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&slab[..fill]);
 }
 
 /// Zigzag-encodes a signed value so small magnitudes become small varints.
@@ -58,7 +186,10 @@ pub fn unzigzag(v: u64) -> i64 {
 /// `h >> 1` copies of the next varint value; else a literal run of `h >> 1`
 /// varint values.
 pub fn rle_encode(values: &[u64]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(values.len());
+    // Worst case is one all-literal run: a header plus up to 10 varint
+    // bytes per value. Reserving `values.len()` (the old hint) forced
+    // repeated reallocation on literal-heavy columns.
+    let mut out = Vec::with_capacity(16 + values.len().saturating_mul(10));
     let mut i = 0;
     while i < values.len() {
         // Count the repeat run at i.
@@ -94,30 +225,52 @@ pub fn rle_encode(values: &[u64]) -> Vec<u8> {
     out
 }
 
-/// Decodes a buffer produced by [`rle_encode`].
+/// Default decoded-length cap for [`rle_decode`] — far above any stripe's
+/// row count, guards only against corrupt headers requesting absurd
+/// expansions. Callers that know the expected count should use
+/// [`rle_decode_capped`] with a tight bound.
+pub const RLE_DEFAULT_MAX_VALUES: usize = 1 << 26;
+
+/// Decodes a buffer produced by [`rle_encode`] with the default length cap.
 ///
 /// # Errors
 ///
 /// Returns [`DsiError::Corrupt`] on malformed input.
 pub fn rle_decode(buf: &[u8]) -> Result<Vec<u64>> {
-    /// Upper bound on decoded values — far above any stripe's row count,
-    /// guards only against corrupt headers requesting absurd expansions.
-    const MAX_VALUES: usize = 1 << 26;
+    rle_decode_capped(buf, RLE_DEFAULT_MAX_VALUES)
+}
+
+/// Decodes a buffer produced by [`rle_encode`], rejecting any run header
+/// whose decoded length would push the output past `max_values` *before*
+/// allocating — a 12-byte adversarial buffer cannot force a multi-hundred-
+/// megabyte reservation. Repeat runs extend via `resize` (one fill, no
+/// per-element pushes); literal runs bulk-decode through
+/// [`read_varints_into`].
+///
+/// # Errors
+///
+/// Returns [`DsiError::Corrupt`] on malformed input or when the decoded
+/// length would exceed `max_values`.
+pub fn rle_decode_capped(buf: &[u8], max_values: usize) -> Result<Vec<u64>> {
     let mut out = Vec::new();
     let mut pos = 0;
     while pos < buf.len() {
         let header = read_varint(buf, &mut pos)?;
         let count = (header >> 1) as usize;
-        if out.len().saturating_add(count) > MAX_VALUES {
+        if out.len().saturating_add(count) > max_values {
             return Err(DsiError::corrupt("rle output too long"));
         }
         if header & 1 == 0 {
             let value = read_varint(buf, &mut pos)?;
-            out.extend(std::iter::repeat_n(value, count));
+            out.resize(out.len() + count, value);
         } else {
-            for _ in 0..count {
-                out.push(read_varint(buf, &mut pos)?);
+            // Each literal varint is at least one byte, so a literal header
+            // larger than the remaining buffer is corrupt — reject before
+            // reserving.
+            if count > buf.len() - pos {
+                return Err(DsiError::corrupt("rle literal run exceeds buffer"));
             }
+            read_varints_into(buf, &mut pos, count, &mut out)?;
         }
     }
     Ok(out)
@@ -125,6 +278,7 @@ pub fn rle_decode(buf: &[u8]) -> Result<Vec<u64>> {
 
 /// Appends little-endian `f32`s.
 pub fn write_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    out.reserve(4 * values.len());
     for v in values {
         out.extend_from_slice(&v.to_le_bytes());
     }
@@ -212,13 +366,24 @@ pub fn write_bitmap(out: &mut Vec<u8>, bits: &[bool]) {
 pub fn read_bitmap(buf: &[u8], pos: &mut usize) -> Result<Vec<bool>> {
     let n = read_varint(buf, pos)? as usize;
     let nbytes = n.div_ceil(8);
-    if *pos + nbytes > buf.len() {
+    if buf.len().saturating_sub(*pos) < nbytes {
         return Err(DsiError::corrupt("truncated bitmap"));
     }
+    let bytes = &buf[*pos..*pos + nbytes];
     let mut bits = Vec::with_capacity(n);
-    for i in 0..n {
-        let byte = buf[*pos + i / 8];
-        bits.push(byte & (1 << (i % 8)) != 0);
+    // Full bytes unpack 8 bits at a time with no index arithmetic; only
+    // the tail byte pays a partial loop.
+    for &byte in &bytes[..n / 8] {
+        for b in 0..8 {
+            bits.push(byte & (1 << b) != 0);
+        }
+    }
+    let rem = n % 8;
+    if rem > 0 {
+        let byte = bytes[n / 8];
+        for b in 0..rem {
+            bits.push(byte & (1 << b) != 0);
+        }
     }
     *pos += nbytes;
     Ok(bits)

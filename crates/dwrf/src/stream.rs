@@ -8,8 +8,8 @@
 //! replaced.
 
 use crate::encoding::{
-    read_bitmap, read_f32s, read_f32s_xor, read_varint, rle_decode, rle_encode, write_bitmap,
-    write_f32s, write_f32s_xor, write_varint,
+    read_bitmap, read_f32s, read_f32s_xor, read_varint, read_varints_into, rle_decode_capped,
+    rle_encode, write_bitmap, write_f32s, write_f32s_xor, write_varint,
 };
 use dsi_types::{DsiError, FeatureId, Result, Sample, SparseList};
 use serde::{Deserialize, Serialize};
@@ -111,16 +111,40 @@ pub struct StreamInfo {
     pub checksum: u64,
 }
 
-/// FNV-1a over `bytes`, the integrity checksum for stored streams and
-/// footers. Not cryptographic — it guards against bit rot and injected
-/// corruption, not adversaries (the stream cipher handles privacy).
+/// Integrity checksum for stored streams, footers, and wire frames. Not
+/// cryptographic — it guards against bit rot and injected corruption, not
+/// adversaries (the stream cipher handles privacy).
+///
+/// FNV-style xor-multiply folding, but over four independent 64-bit lanes
+/// of 8-byte words instead of single bytes: byte-at-a-time FNV-1a is a
+/// strict serial dependency chain (~3 cycles *latency* per byte on the
+/// multiply), which showed up as a per-frame tax on the wire hot path.
+/// Four lanes keep the multiplier pipeline full, folding 32 bytes per
+/// round; the tail and the total length fold in byte-wise.
 pub fn checksum64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut lanes = [
+        SEED,
+        SEED ^ PRIME,
+        SEED.rotate_left(17),
+        SEED.rotate_left(31),
+    ];
+    let mut chunks = bytes.chunks_exact(32);
+    for c in &mut chunks {
+        for (lane, w) in lanes.iter_mut().zip(c.chunks_exact(8)) {
+            let v = u64::from_le_bytes(w.try_into().expect("8-byte word"));
+            *lane = (*lane ^ v).wrapping_mul(PRIME);
+        }
     }
-    h
+    let mut h = lanes[0];
+    for &lane in &lanes[1..] {
+        h = (h ^ lane).wrapping_mul(PRIME);
+    }
+    for &b in chunks.remainder() {
+        h = (h ^ b as u64).wrapping_mul(PRIME);
+    }
+    (h ^ bytes.len() as u64).wrapping_mul(PRIME)
 }
 
 /// The raw (unencoded) streams produced for one column of one stripe.
@@ -267,8 +291,10 @@ pub fn decode_sparse_column(
 ) -> Result<Vec<Option<SparseList>>> {
     let mut pos = 0;
     let bits = read_bitmap(present, &mut pos)?;
-    let lens = rle_decode(lengths)?;
     let present_count = bits.iter().filter(|&&b| b).count();
+    // The bitmap bounds the row count, so a corrupt length header cannot
+    // force an allocation beyond one length per present row.
+    let lens = rle_decode_capped(lengths, present_count)?;
     if lens.len() != present_count {
         return Err(DsiError::corrupt(format!(
             "sparse column has {} lengths for {present_count} present rows",
@@ -280,10 +306,11 @@ pub fn decode_sparse_column(
         Some(buf) => {
             let mut dp = 0;
             let n = read_varint(buf, &mut dp)? as usize;
-            let mut values = Vec::with_capacity(n);
-            for _ in 0..n {
-                values.push(read_varint(buf, &mut dp)?);
+            if n > buf.len() - dp {
+                return Err(DsiError::corrupt("dictionary count exceeds buffer"));
             }
+            let mut values = Vec::new();
+            read_varints_into(buf, &mut dp, n, &mut values)?;
             if dp != buf.len() {
                 return Err(DsiError::corrupt("trailing bytes in dictionary stream"));
             }
@@ -291,21 +318,24 @@ pub fn decode_sparse_column(
         }
         None => None,
     };
-    let total: u64 = lens.iter().sum();
-    let mut ids = Vec::with_capacity(total as usize);
-    let mut dpos = 0;
-    for _ in 0..total {
-        let raw = read_varint(data, &mut dpos)?;
-        let id = match &dictionary {
-            Some(d) => *d
-                .get(raw as usize)
-                .ok_or_else(|| DsiError::corrupt("dictionary index out of range"))?,
-            None => raw,
-        };
-        ids.push(id);
+    let total = lens.iter().sum::<u64>() as usize;
+    if total > data.len() {
+        // Each id is at least one varint byte.
+        return Err(DsiError::corrupt("sparse data stream shorter than lengths"));
     }
+    let mut ids = Vec::new();
+    let mut dpos = 0;
+    read_varints_into(data, &mut dpos, total, &mut ids)?;
     if dpos != data.len() {
         return Err(DsiError::corrupt("trailing bytes in sparse data stream"));
+    }
+    if let Some(d) = &dictionary {
+        // Resolve dictionary indexes in one pass over the flat id buffer.
+        for id in &mut ids {
+            *id = *d
+                .get(*id as usize)
+                .ok_or_else(|| DsiError::corrupt("dictionary index out of range"))?;
+        }
     }
     let score_vals = match scores {
         Some(s) => {
@@ -540,7 +570,7 @@ pub fn decode_dedup_sparse(
     if pos != data.len() {
         return Err(DsiError::corrupt("trailing bytes in dedup data stream"));
     }
-    let indexes = rle_decode(refs)?;
+    let indexes = rle_decode_capped(refs, rows)?;
     if indexes.len() != rows {
         return Err(DsiError::corrupt(format!(
             "dedup refs hold {} rows, stripe has {rows}",

@@ -128,9 +128,19 @@ pub const WIRE_ENCRYPT_NANOS_TOTAL: &str = "dsi_wire_encrypt_nanos_total";
 /// Counter (nanoseconds): time spent checksum-verifying, decompressing,
 /// and deserializing received frames back into envelopes.
 pub const WIRE_DESERIALIZE_NANOS_TOTAL: &str = "dsi_wire_deserialize_nanos_total";
+/// Counter (nanoseconds): time spent compressing payloads on send and
+/// never mixed into [`WIRE_SERIALIZE_NANOS_TOTAL`].
+pub const WIRE_COMPRESS_NANOS_TOTAL: &str = "dsi_wire_compress_nanos_total";
+/// Gauge: hit ratio of the pooled wire send buffer (1.0 = every frame
+/// reused a pooled allocation; fresh allocations drag it down).
+pub const WIRE_BUF_POOL_HIT_RATIO: &str = "dsi_wire_buf_pool_hit_ratio";
 /// Counter: client-side reconnects to a worker's wire server (each one
 /// triggers a replay of that worker's unacked envelopes).
 pub const WIRE_RECONNECTS_TOTAL: &str = "dsi_wire_reconnects_total";
+/// Counter (nanoseconds), labels `{op}`: wall time spent in each columnar
+/// transform kernel (`op` is the kernel name, e.g. `sigrid_hash`) when the
+/// load stage routes eligible ops over materialized tensors.
+pub const TRANSFORM_KERNEL_NANOS_TOTAL: &str = "dsi_transform_kernel_nanos_total";
 
 // ---- chaos: deterministic fault injection ----------------------------------
 

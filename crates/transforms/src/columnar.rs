@@ -12,10 +12,54 @@
 //! on the row path. [`ColumnarPlan::try_from_plan`] splits a plan
 //! accordingly.
 
+use crate::cost::{OpClass, OpCost};
 use crate::op::TransformOp;
+use crate::plan::PlanCost;
 use dsi_types::rng::mix2;
-use dsi_types::{FeatureId, MiniBatchTensor};
+use dsi_types::{FeatureId, MiniBatchTensor, Sample};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Kernel names for per-op timing attribution, indexed by
+/// [`ColumnarPlan::kernel_slot`].
+pub const COLUMNAR_KERNELS: [&str; 8] = [
+    "sigrid_hash",
+    "positive_modulus",
+    "first_x",
+    "compute_score",
+    "clamp",
+    "logit",
+    "box_cox",
+    "get_local_hour",
+];
+
+/// Per-batch execution context captured from the (post-row-path) samples
+/// before materialization: the row path skips samples missing a feature,
+/// so exact columnar replay needs per-row presence/scored masks — and
+/// per-row lengths for sparse inputs the session does not materialize, so
+/// cycle accounting stays identical to the row path.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarCtx {
+    /// Per dense input feature: `(present mask, present count)`.
+    dense_present: BTreeMap<FeatureId, (Vec<bool>, u64)>,
+    /// Per `ComputeScore` input feature: rows whose list carries scores
+    /// (the row path no-ops on unscored lists; their materialized unit
+    /// backfills must stay untouched).
+    scored_rows: BTreeMap<FeatureId, Vec<bool>>,
+    /// Per sparse input feature *not* in the session's `sparse_ids`:
+    /// per-row lengths, tracked so cost accounting matches the row path
+    /// even for features the tensor never materializes.
+    shadow_lens: BTreeMap<FeatureId, Vec<u32>>,
+}
+
+/// Result of a costed columnar application.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnarApply {
+    /// Cycle accounting, identical in shape to the row path's.
+    pub cost: PlanCost,
+    /// Wall nanoseconds per kernel, indexed like [`COLUMNAR_KERNELS`].
+    pub kernel_nanos: [u64; COLUMNAR_KERNELS.len()],
+}
 
 /// A transform plan restricted to columnar-executable ops.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -24,6 +68,10 @@ pub struct ColumnarPlan {
 }
 
 impl ColumnarPlan {
+    /// An empty plan (sessions that route everything through the row path).
+    pub fn empty() -> Self {
+        ColumnarPlan { ops: Vec::new() }
+    }
     /// Whether an op can run columnar (per-element over one feature).
     pub fn supports(op: &TransformOp) -> bool {
         matches!(
@@ -50,23 +98,92 @@ impl ColumnarPlan {
         }
     }
 
-    /// Splits a plan into `(columnar-executable suffix, row-path prefix)`:
-    /// the longest suffix of qualifying ops can run columnar after the
-    /// row path handles the rest.
+    /// Every feature an op reads or writes — the commutation footprint.
+    fn footprint(op: &TransformOp) -> Vec<FeatureId> {
+        let mut f = op.sparse_inputs();
+        // Generation ops whose dense input differs from their output.
+        if let TransformOp::Bucketize { input, .. } | TransformOp::Onehot { input, .. } = op {
+            f.push(*input);
+        }
+        if let Some(out) = op.output_feature() {
+            f.push(out);
+        }
+        f
+    }
+
+    /// The single feature a qualifying (in-place, single-feature) op
+    /// touches.
+    fn input_of(op: &TransformOp) -> FeatureId {
+        op.output_feature().expect("columnar ops are in-place")
+    }
+
+    /// Splits a plan into a row-path residue and a columnar plan such that
+    /// applying the residue (per sample) and then the columnar plan (per
+    /// tensor) is exactly equivalent to the original plan.
+    ///
+    /// Not just a suffix split: scanning from the end, a qualifying op
+    /// hoists into the columnar plan whenever its feature is untouched by
+    /// every *later* residue op — ops on disjoint features commute, so a
+    /// sparse normalization early in a production plan still vectorizes
+    /// even when feature-generation ops follow it. Only ops feeding (or
+    /// fed by) the residue stay on the row path.
     pub fn split_plan(
         plan: &crate::plan::TransformPlan,
     ) -> (crate::plan::TransformPlan, ColumnarPlan) {
-        let ops = plan.ops();
-        let mut cut = ops.len();
-        while cut > 0 && Self::supports(&ops[cut - 1]) {
-            cut -= 1;
+        let mut row = Vec::new();
+        let mut col = Vec::new();
+        let mut blocked: BTreeSet<FeatureId> = BTreeSet::new();
+        for op in plan.ops().iter().rev() {
+            if Self::supports(op) && !blocked.contains(&Self::input_of(op)) {
+                col.push(op.clone());
+            } else {
+                blocked.extend(Self::footprint(op));
+                row.push(op.clone());
+            }
         }
+        row.reverse();
+        col.reverse();
         (
-            crate::plan::TransformPlan::new(ops[..cut].to_vec()),
-            ColumnarPlan {
-                ops: ops[cut..].to_vec(),
-            },
+            crate::plan::TransformPlan::new(row),
+            ColumnarPlan { ops: col },
         )
+    }
+
+    /// Per-feature materialization caps implied by this plan's `FirstX`
+    /// ops: the minimum `x` across every `FirstX` on the feature.
+    ///
+    /// Prefix truncation commutes with every columnar kernel (they are all
+    /// per-element or per-row over one feature, and truncation keeps a
+    /// prefix), so materialization may drop the capped-away tail up front —
+    /// the downstream flat-buffer passes then touch only surviving bytes.
+    /// Cost accounting stays row-path-exact via the virtual lengths
+    /// captured in [`ColumnarCtx`].
+    pub fn prefix_caps(&self) -> BTreeMap<FeatureId, usize> {
+        let mut caps: BTreeMap<FeatureId, usize> = BTreeMap::new();
+        for op in &self.ops {
+            if let TransformOp::FirstX { input, x } = op {
+                caps.entry(*input)
+                    .and_modify(|c| *c = (*c).min(*x))
+                    .or_insert(*x);
+            }
+        }
+        caps
+    }
+
+    /// [`ColumnarPlan::prefix_caps`] aligned to a session's `sparse_ids`
+    /// materialization order (`usize::MAX` = uncapped), ready to hand to
+    /// `Batch::materialize_capped`. Returns an empty vec when nothing is
+    /// capped so the uncapped path stays allocation-free.
+    pub fn sparse_caps(&self, sparse_ids: &[FeatureId]) -> Vec<usize> {
+        let caps = self.prefix_caps();
+        if sparse_ids.iter().any(|f| caps.contains_key(f)) {
+            sparse_ids
+                .iter()
+                .map(|f| caps.get(f).copied().unwrap_or(usize::MAX))
+                .collect()
+        } else {
+            Vec::new()
+        }
     }
 
     /// The plan's ops.
@@ -153,6 +270,270 @@ impl ColumnarPlan {
                 other => debug_assert!(Self::supports(other), "unsupported columnar op"),
             }
         }
+    }
+
+    /// Timing slot of a qualifying op in [`COLUMNAR_KERNELS`].
+    pub fn kernel_slot(op: &TransformOp) -> usize {
+        match op {
+            TransformOp::SigridHash { .. } => 0,
+            TransformOp::PositiveModulus { .. } => 1,
+            TransformOp::FirstX { .. } => 2,
+            TransformOp::ComputeScore { .. } => 3,
+            TransformOp::Clamp { .. } => 4,
+            TransformOp::Logit { .. } => 5,
+            TransformOp::BoxCox { .. } => 6,
+            TransformOp::GetLocalHour { .. } => 7,
+            _ => unreachable!("unsupported columnar op"),
+        }
+    }
+
+    /// Captures the per-row masks this plan needs from the batch that is
+    /// about to materialize. `samples` must be the post-row-path samples
+    /// (the exact rows `Batch::materialize` will see); `dense_ids` /
+    /// `sparse_ids` are the session's materialization lists.
+    pub fn capture_ctx(
+        &self,
+        samples: &[Sample],
+        _dense_ids: &[FeatureId],
+        sparse_ids: &[FeatureId],
+    ) -> ColumnarCtx {
+        let mut ctx = ColumnarCtx::default();
+        // Features whose materialization is capped keep virtual lengths
+        // too: the tensor is born pre-truncated, but the row path charges
+        // pre-truncation lengths, so cost accounting must replay them.
+        let capped = self.prefix_caps();
+        // First decide which features need which captures, then fill every
+        // mask in ONE id-ordered merge-join pass over the samples (their
+        // feature maps iterate in id order); per-feature `s.dense(f)` /
+        // `s.sparse(f)` probes would pay one tree descent per sample per
+        // feature, which dominated the split path's fixed cost.
+        let mut dense_feats: Vec<FeatureId> = Vec::new();
+        let mut shadow_feats: Vec<FeatureId> = Vec::new();
+        let mut scored_feats: Vec<FeatureId> = Vec::new();
+        for op in &self.ops {
+            let f = Self::input_of(op);
+            match op {
+                TransformOp::Clamp { .. }
+                | TransformOp::Logit { .. }
+                | TransformOp::BoxCox { .. }
+                | TransformOp::GetLocalHour { .. } => dense_feats.push(f),
+                TransformOp::SigridHash { .. }
+                | TransformOp::PositiveModulus { .. }
+                | TransformOp::FirstX { .. }
+                | TransformOp::ComputeScore { .. } => {
+                    if matches!(op, TransformOp::ComputeScore { .. }) {
+                        scored_feats.push(f);
+                    }
+                    if !sparse_ids.contains(&f) || capped.contains_key(&f) {
+                        shadow_feats.push(f);
+                    }
+                }
+                _ => {}
+            }
+        }
+        dense_feats.sort_unstable();
+        dense_feats.dedup();
+        shadow_feats.sort_unstable();
+        shadow_feats.dedup();
+        scored_feats.sort_unstable();
+        scored_feats.dedup();
+        // Sorted union of the sparse-side features, each tagged with its
+        // slot in the shadow / scored output tables.
+        let mut sparse_want: Vec<(FeatureId, Option<usize>, Option<usize>)> = shadow_feats
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| (f, Some(i), None))
+            .collect();
+        for (j, &f) in scored_feats.iter().enumerate() {
+            match sparse_want.binary_search_by_key(&f, |e| e.0) {
+                Ok(k) => sparse_want[k].2 = Some(j),
+                Err(k) => sparse_want.insert(k, (f, None, Some(j))),
+            }
+        }
+
+        let rows = samples.len();
+        let mut dense_masks: Vec<(Vec<bool>, u64)> =
+            dense_feats.iter().map(|_| (vec![false; rows], 0)).collect();
+        let mut shadow: Vec<Vec<u32>> = shadow_feats.iter().map(|_| vec![0; rows]).collect();
+        let mut scored: Vec<Vec<bool>> = scored_feats.iter().map(|_| vec![false; rows]).collect();
+        for (r, s) in samples.iter().enumerate() {
+            let mut cols = dense_feats.iter().enumerate().peekable();
+            for (id, _) in s.dense_iter() {
+                while cols.next_if(|&(_, &f)| f < id).is_some() {}
+                if let Some((i, _)) = cols.next_if(|&(_, &f)| f == id) {
+                    dense_masks[i].0[r] = true;
+                    dense_masks[i].1 += 1;
+                }
+            }
+            let mut want = sparse_want.iter().peekable();
+            for (id, list) in s.sparse_iter() {
+                while want.next_if(|&&(f, _, _)| f < id).is_some() {}
+                if let Some(&(_, sh, sc)) = want.next_if(|&&(f, _, _)| f == id) {
+                    if let Some(i) = sh {
+                        shadow[i][r] = list.len() as u32;
+                    }
+                    if let Some(j) = sc {
+                        scored[j][r] = list.scores().is_some();
+                    }
+                }
+            }
+        }
+        for (f, m) in dense_feats.into_iter().zip(dense_masks) {
+            ctx.dense_present.insert(f, m);
+        }
+        for (f, lens) in shadow_feats.into_iter().zip(shadow) {
+            ctx.shadow_lens.insert(f, lens);
+        }
+        for (f, rows) in scored_feats.into_iter().zip(scored) {
+            ctx.scored_rows.insert(f, rows);
+        }
+        ctx
+    }
+
+    /// Applies the plan to a materialized mini-batch with row-path-exact
+    /// masking and cycle accounting. Sparse ops run as single passes over
+    /// the flat CSR buffers; dense ops run over contiguous column slices
+    /// (whole-column when every row carries the feature, masked
+    /// otherwise). Returns the accumulated [`PlanCost`] — elements counted
+    /// exactly as the row path counts them — plus wall time per kernel.
+    pub fn apply_with_cost(
+        &self,
+        tensor: &mut MiniBatchTensor,
+        dense_ids: &[FeatureId],
+        ctx: &ColumnarCtx,
+        cost_model: &OpCost,
+    ) -> ColumnarApply {
+        let dense_col = |f: FeatureId| dense_ids.iter().position(|&d| d == f);
+        let mut out = ColumnarApply::default();
+        // Shadow lengths evolve as ops apply (FirstX truncates), exactly as
+        // the row path's sample lists would. They exist for features the
+        // session never materializes AND for capped features, whose tensors
+        // were born pre-truncated — either way the row path's charge is the
+        // virtual length, not the tensor's.
+        let mut shadow = ctx.shadow_lens.clone();
+        for op in &self.ops {
+            let f = Self::input_of(op);
+            let start = std::time::Instant::now();
+            // Elements touched *before* the op applies, as the row path
+            // counts them (FirstX charges pre-truncation lengths).
+            let elements;
+            // Charge virtual lengths when tracked, tensor nnz otherwise.
+            let charge =
+                |shadow: &BTreeMap<FeatureId, Vec<u32>>, tensor: &MiniBatchTensor| match shadow
+                    .get(&f)
+                {
+                    Some(lens) => lens.iter().map(|&v| v as u64).sum(),
+                    None => tensor
+                        .sparse
+                        .iter()
+                        .find(|t| t.feature() == f)
+                        .map_or(0, |t| t.values().len() as u64),
+                };
+            match op {
+                TransformOp::SigridHash { salt, modulus, .. } => {
+                    elements = charge(&shadow, tensor);
+                    if let Some(t) = tensor.sparse.iter_mut().find(|t| t.feature() == f) {
+                        t.map_values_in_place(|v| mix2(*salt, v) % modulus);
+                    }
+                }
+                TransformOp::PositiveModulus { modulus, .. } => {
+                    elements = charge(&shadow, tensor);
+                    if let Some(t) = tensor.sparse.iter_mut().find(|t| t.feature() == f) {
+                        t.map_values_in_place(|v| v % modulus);
+                    }
+                }
+                TransformOp::FirstX { x, .. } => {
+                    elements = charge(&shadow, tensor);
+                    if let Some(t) = tensor.sparse.iter_mut().find(|t| t.feature() == f) {
+                        // No-op when materialization already capped at or
+                        // below x; still truncates when a later, smaller
+                        // FirstX follows a larger cap.
+                        t.truncate_rows(*x);
+                    }
+                    if let Some(lens) = shadow.get_mut(&f) {
+                        let cap = (*x).min(u32::MAX as usize) as u32;
+                        for l in lens.iter_mut() {
+                            *l = (*l).min(cap);
+                        }
+                    }
+                }
+                TransformOp::ComputeScore { scale, offset, .. } => {
+                    elements = charge(&shadow, tensor);
+                    if let Some(t) = tensor.sparse.iter_mut().find(|t| t.feature() == f) {
+                        if let Some(mask) = ctx.scored_rows.get(&f) {
+                            t.map_scores_rows_in_place(mask, |s| s * scale + offset);
+                        }
+                    }
+                }
+                TransformOp::Clamp { min, max, .. } => {
+                    elements =
+                        self.dense_apply(tensor, ctx, f, dense_col(f), |v| v.clamp(*min, *max));
+                }
+                TransformOp::Logit { .. } => {
+                    elements = self.dense_apply(tensor, ctx, f, dense_col(f), |v| {
+                        let p = (v as f64).clamp(1e-6, 1.0 - 1e-6);
+                        (p / (1.0 - p)).ln() as f32
+                    });
+                }
+                TransformOp::BoxCox { lambda, .. } => {
+                    elements = self.dense_apply(tensor, ctx, f, dense_col(f), |v| {
+                        let x = (v as f64).max(1e-9);
+                        if lambda.abs() < 1e-12 {
+                            x.ln() as f32
+                        } else {
+                            ((x.powf(*lambda) - 1.0) / lambda) as f32
+                        }
+                    });
+                }
+                TransformOp::GetLocalHour { tz_offset_secs, .. } => {
+                    let tz = *tz_offset_secs as i64;
+                    elements = self.dense_apply(tensor, ctx, f, dense_col(f), |v| {
+                        ((v as i64 + tz).rem_euclid(86_400) / 3_600) as f32
+                    });
+                }
+                other => {
+                    debug_assert!(Self::supports(other), "unsupported columnar op");
+                    elements = 0;
+                }
+            }
+            out.kernel_nanos[Self::kernel_slot(op)] += start.elapsed().as_nanos() as u64;
+            let cycles = cost_model.cycles(op, elements);
+            out.cost.cycles += cycles;
+            out.cost.elements += elements;
+            out.cost.membw_bytes += elements as f64 * cost_model.membw_bytes_per_element;
+            match OpCost::class_of(op) {
+                OpClass::FeatureGeneration => out.cost.feature_generation_cycles += cycles,
+                OpClass::SparseNormalization => out.cost.sparse_normalization_cycles += cycles,
+                OpClass::DenseNormalization => out.cost.dense_normalization_cycles += cycles,
+                OpClass::Filter => {}
+            }
+        }
+        out
+    }
+
+    /// Masked dense-column application: whole-column pass when every row
+    /// carries the feature, per-row mask otherwise, skipped (cost still
+    /// charged) when the session does not materialize the column. Returns
+    /// elements touched (present-row count, exactly the row path's sum).
+    fn dense_apply<F: FnMut(f32) -> f32>(
+        &self,
+        tensor: &mut MiniBatchTensor,
+        ctx: &ColumnarCtx,
+        f: FeatureId,
+        col: Option<usize>,
+        kernel: F,
+    ) -> u64 {
+        let Some((mask, count)) = ctx.dense_present.get(&f) else {
+            return 0;
+        };
+        if let Some(c) = col {
+            if *count as usize == mask.len() {
+                tensor.dense.map_col_in_place(c, kernel);
+            } else {
+                tensor.dense.map_col_rows_in_place(c, mask, kernel);
+            }
+        }
+        *count
     }
 }
 

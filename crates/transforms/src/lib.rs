@@ -43,7 +43,7 @@ pub mod op;
 pub mod plan;
 
 pub use accel::{AccelModel, Placement};
-pub use columnar::ColumnarPlan;
+pub use columnar::{ColumnarApply, ColumnarCtx, ColumnarPlan, COLUMNAR_KERNELS};
 pub use cost::{OpClass, OpCost};
 pub use op::TransformOp;
 pub use plan::TransformPlan;

@@ -2,7 +2,9 @@
 //!
 //! The workspace's serde shim erases `#[derive(Serialize)]` into nothing,
 //! so the wire format is hand-rolled on the DWRF varint primitives:
-//! varints for counts/ids, raw little-endian bytes for `f32` runs. The
+//! varints for counts/ids, delta-encoded varints for CSR offsets (row
+//! lengths are single-byte, so the 8-wide bulk kernels apply), and raw
+//! little-endian bytes for `f32` runs. The
 //! layout is self-describing enough to reject truncation and garbage with
 //! a `DsiError::Corrupt` instead of panicking — the transport treats any
 //! decode failure as a torn frame and forces a reconnect.
@@ -10,7 +12,7 @@
 use dsi_types::{
     DenseMatrix, DsiError, FeatureId, MiniBatchTensor, Result, SparseTensor, WorkerId,
 };
-use dwrf::encoding::{read_varint, write_varint};
+use dwrf::encoding::{read_varint, read_varints_into, write_varint, write_varints};
 
 /// A tensor in flight from a Worker to a Client, tagged with everything the
 /// exactly-once protocol needs: the split it came from, its sequence number
@@ -40,11 +42,25 @@ pub struct WireEnvelope {
     pub tensor: MiniBatchTensor,
 }
 
+/// Width of the stack staging buffer for bulk little-endian f32 writes:
+/// 64 floats fill one 256-byte slab per `extend_from_slice`, so a dense
+/// column costs one bulk copy per slab instead of one per element.
+const F32_SLAB: usize = 64;
+
+fn write_f32_slab(out: &mut Vec<u8>, values: &[f32]) {
+    out.reserve(values.len() * 4);
+    let mut slab = [0u8; F32_SLAB * 4];
+    for chunk in values.chunks(F32_SLAB) {
+        for (cell, v) in slab.chunks_exact_mut(4).zip(chunk) {
+            cell.copy_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&slab[..chunk.len() * 4]);
+    }
+}
+
 fn write_f32_seq(out: &mut Vec<u8>, values: &[f32]) {
     write_varint(out, values.len() as u64);
-    for v in values {
-        out.extend_from_slice(&v.to_le_bytes());
-    }
+    write_f32_slab(out, values);
 }
 
 fn read_f32_seq(buf: &[u8], pos: &mut usize) -> Result<Vec<f32>> {
@@ -57,24 +73,38 @@ fn read_f32_seq(buf: &[u8], pos: &mut usize) -> Result<Vec<f32>> {
         .filter(|&e| e <= buf.len())
         .ok_or_else(|| DsiError::corrupt("f32 sequence truncated"))?;
     let mut out = Vec::with_capacity(n);
-    let mut at = *pos;
-    while at < end {
-        out.push(f32::from_le_bytes([
-            buf[at],
-            buf[at + 1],
-            buf[at + 2],
-            buf[at + 3],
-        ]));
-        at += 4;
-    }
+    out.extend(
+        buf[*pos..end]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk"))),
+    );
     *pos = end;
     Ok(out)
 }
 
+/// Sequence encodings for [`write_u64_seq`]: LEB128 varints, or a fixed
+/// 4-byte little-endian slab when every value fits in a `u32`. Hashed ids
+/// (the dominant sparse payload) land mid-range after the modulus, where
+/// varints average ~3 bytes but decode byte-at-a-time; the u32 slab pays
+/// one extra byte per id for a bulk-copy decode.
+const SEQ_VARINT: u8 = 0;
+const SEQ_U32_SLAB: u8 = 1;
+
 fn write_u64_seq(out: &mut Vec<u8>, values: &[u64]) {
     write_varint(out, values.len() as u64);
-    for &v in values {
-        write_varint(out, v);
+    if values.iter().all(|&v| v <= u32::MAX as u64) {
+        out.push(SEQ_U32_SLAB);
+        out.reserve(values.len() * 4);
+        let mut slab = [0u8; F32_SLAB * 4];
+        for chunk in values.chunks(F32_SLAB) {
+            for (cell, &v) in slab.chunks_exact_mut(4).zip(chunk) {
+                cell.copy_from_slice(&(v as u32).to_le_bytes());
+            }
+            out.extend_from_slice(&slab[..chunk.len() * 4]);
+        }
+    } else {
+        out.push(SEQ_VARINT);
+        write_varints(out, values);
     }
 }
 
@@ -85,48 +115,86 @@ fn read_u64_seq(buf: &[u8], pos: &mut usize) -> Result<Vec<u64>> {
         // a truncated or corrupt buffer, so bail before allocating.
         return Err(DsiError::corrupt("u64 sequence truncated"));
     }
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        out.push(read_varint(buf, pos)?);
+    match read_u8(buf, pos)? {
+        SEQ_VARINT => {
+            let mut out = Vec::new();
+            read_varints_into(buf, pos, n, &mut out)?;
+            Ok(out)
+        }
+        SEQ_U32_SLAB => {
+            let bytes = n
+                .checked_mul(4)
+                .ok_or_else(|| DsiError::corrupt("u32 slab length overflow"))?;
+            let end = pos
+                .checked_add(bytes)
+                .filter(|&e| e <= buf.len())
+                .ok_or_else(|| DsiError::corrupt("u32 slab truncated"))?;
+            let mut out = Vec::with_capacity(n);
+            out.extend(
+                buf[*pos..end]
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")) as u64),
+            );
+            *pos = end;
+            Ok(out)
+        }
+        other => Err(DsiError::corrupt(format!("bad u64 seq mode {other:#x}"))),
     }
-    Ok(out)
 }
 
 /// Serialize an envelope into the wire byte layout.
 pub fn encode_envelope(env: &WireEnvelope) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 + env.tensor.payload_bytes());
-    write_varint(&mut out, env.split);
-    write_varint(&mut out, env.seq as u64);
+    encode_envelope_into(env, &mut out);
+    out
+}
+
+/// [`encode_envelope`] into a caller-supplied buffer (appended), so the
+/// transport can serialize straight into a pooled frame buffer without an
+/// intermediate allocation.
+pub fn encode_envelope_into(env: &WireEnvelope, out: &mut Vec<u8>) {
+    out.reserve(64 + env.tensor.payload_bytes());
+    write_varint(out, env.split);
+    write_varint(out, env.seq as u64);
     out.push(env.last as u8);
-    write_varint(&mut out, env.worker.0);
-    write_varint(&mut out, env.trace_id);
-    write_varint(&mut out, env.parent_span);
+    write_varint(out, env.worker.0);
+    write_varint(out, env.trace_id);
+    write_varint(out, env.parent_span);
 
     let t = &env.tensor;
-    write_varint(&mut out, t.dense.rows() as u64);
-    write_varint(&mut out, t.dense.cols() as u64);
-    for v in t.dense.as_slice() {
-        out.extend_from_slice(&v.to_le_bytes());
-    }
-    write_f32_seq(&mut out, &t.labels);
+    write_varint(out, t.dense.rows() as u64);
+    write_varint(out, t.dense.cols() as u64);
+    write_f32_slab(out, t.dense.as_slice());
+    write_f32_seq(out, &t.labels);
 
-    write_varint(&mut out, t.sparse.len() as u64);
+    write_varint(out, t.sparse.len() as u64);
+    let mut deltas: Vec<u64> = Vec::new();
     for s in &t.sparse {
-        write_varint(&mut out, s.feature().0);
-        write_u64_seq(
-            &mut out,
-            &s.offsets().iter().map(|&o| o as u64).collect::<Vec<_>>(),
-        );
-        write_u64_seq(&mut out, s.values());
+        write_varint(out, s.feature().0);
+        write_varint(out, s.offsets().len() as u64);
+        // CSR offsets go out delta-encoded: each delta is a row length,
+        // typically a single-byte varint (post-FirstX rows are short), so
+        // the 8-wide bulk varint paths hit on both ends — absolute
+        // offsets grow into multi-byte varints that defeat them.
+        deltas.clear();
+        deltas.reserve(s.offsets().len());
+        let mut prev = 0u64;
+        for &o in s.offsets() {
+            // Monotonicity is a SparseTensor invariant, so this cannot
+            // underflow.
+            deltas.push(o as u64 - prev);
+            prev = o as u64;
+        }
+        write_varints(out, &deltas);
+        write_u64_seq(out, s.values());
         match s.scores() {
             Some(scores) => {
                 out.push(1);
-                write_f32_seq(&mut out, scores);
+                write_f32_seq(out, scores);
             }
             None => out.push(0),
         }
     }
-    out
 }
 
 fn read_u8(buf: &[u8], pos: &mut usize) -> Result<u8> {
@@ -166,16 +234,11 @@ pub fn decode_envelope(buf: &[u8]) -> Result<WireEnvelope> {
         .filter(|&e| e <= buf.len())
         .ok_or_else(|| DsiError::corrupt("dense matrix truncated"))?;
     let mut data = Vec::with_capacity(cells);
-    let mut at = *pos;
-    while at < end {
-        data.push(f32::from_le_bytes([
-            buf[at],
-            buf[at + 1],
-            buf[at + 2],
-            buf[at + 3],
-        ]));
-        at += 4;
-    }
+    data.extend(
+        buf[*pos..end]
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4-byte chunk"))),
+    );
     *pos = end;
     let dense = DenseMatrix::from_parts(rows, cols, data);
     let labels = read_f32_seq(buf, pos)?;
@@ -185,15 +248,27 @@ pub fn decode_envelope(buf: &[u8]) -> Result<WireEnvelope> {
         return Err(DsiError::corrupt("sparse tensor count truncated"));
     }
     let mut sparse = Vec::with_capacity(n_sparse);
+    let mut deltas: Vec<u64> = Vec::new();
     for _ in 0..n_sparse {
         let feature = FeatureId(read_varint(buf, pos)?);
-        let offsets_u64 = read_u64_seq(buf, pos)?;
-        let mut offsets = Vec::with_capacity(offsets_u64.len());
-        for o in offsets_u64 {
-            if o > u32::MAX as u64 {
-                return Err(DsiError::corrupt("CSR offset exceeds u32"));
-            }
-            offsets.push(o as u32);
+        // Offsets arrive delta-encoded (see `encode_envelope_into`);
+        // prefix-summing non-negative deltas makes them monotone by
+        // construction, so only the start-at-0 and u32-range checks
+        // remain.
+        let n_off = read_varint(buf, pos)? as usize;
+        if n_off > buf.len().saturating_sub(*pos) {
+            return Err(DsiError::corrupt("CSR offsets truncated"));
+        }
+        deltas.clear();
+        read_varints_into(buf, pos, n_off, &mut deltas)?;
+        let mut offsets = Vec::with_capacity(n_off);
+        let mut acc: u64 = 0;
+        for &d in &deltas {
+            acc = acc
+                .checked_add(d)
+                .filter(|&a| a <= u32::MAX as u64)
+                .ok_or_else(|| DsiError::corrupt("CSR offset exceeds u32"))?;
+            offsets.push(acc as u32);
         }
         let values = read_u64_seq(buf, pos)?;
         let scores = match read_u8(buf, pos)? {
@@ -205,9 +280,6 @@ pub fn decode_envelope(buf: &[u8]) -> Result<WireEnvelope> {
         // assert) so wire garbage surfaces as an error, not a panic.
         if offsets.is_empty() || offsets[0] != 0 {
             return Err(DsiError::corrupt("CSR offsets must start at 0"));
-        }
-        if offsets.windows(2).any(|w| w[0] > w[1]) {
-            return Err(DsiError::corrupt("CSR offsets must be monotone"));
         }
         if *offsets.last().expect("non-empty") as usize != values.len() {
             return Err(DsiError::corrupt("CSR offsets do not cover values"));

@@ -88,15 +88,42 @@ pub struct Frame {
 /// Encode a complete frame (header + payload) into one buffer, ready for a
 /// single `write_all`.
 pub fn encode_frame(kind: FrameKind, flags: u8, nonce: u64, payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-    out.extend_from_slice(&MAGIC.to_le_bytes());
-    out.push(kind.to_byte());
-    out.push(flags);
-    out.extend_from_slice(&nonce.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&checksum64(payload).to_le_bytes());
+    let mut out = vec![0u8; HEADER_LEN];
+    out.reserve(payload.len());
     out.extend_from_slice(payload);
+    fill_header(
+        &mut out,
+        kind,
+        flags,
+        nonce,
+        payload.len() as u32,
+        checksum64(payload),
+    );
     out
+}
+
+/// Write the 24-byte header into `buf[..HEADER_LEN]` in place. The caller
+/// has already laid the payload down at `buf[HEADER_LEN..]` (the pooled
+/// send path serializes payload-first, then back-fills the header), so the
+/// whole frame is ready for a single `write_all` with zero extra copies.
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than [`HEADER_LEN`].
+pub fn fill_header(
+    buf: &mut [u8],
+    kind: FrameKind,
+    flags: u8,
+    nonce: u64,
+    len: u32,
+    checksum: u64,
+) {
+    buf[0..2].copy_from_slice(&MAGIC.to_le_bytes());
+    buf[2] = kind.to_byte();
+    buf[3] = flags;
+    buf[4..12].copy_from_slice(&nonce.to_le_bytes());
+    buf[12..16].copy_from_slice(&len.to_le_bytes());
+    buf[16..24].copy_from_slice(&checksum.to_le_bytes());
 }
 
 /// Parsed header fields: kind, flags, nonce, payload length, checksum.
@@ -215,27 +242,46 @@ pub fn write_all_retry(
 /// waiting; any corruption surfaces as `InvalidData` so the caller can
 /// tear down and reconnect.
 pub fn read_frame(stream: &mut TcpStream, stop: &dyn Fn() -> bool) -> io::Result<Option<Frame>> {
+    let mut payload = Vec::new();
+    Ok(read_frame_into(stream, stop, &mut payload)?.map(|h| {
+        payload.truncate(h.len);
+        Frame {
+            kind: h.kind,
+            flags: h.flags,
+            nonce: h.nonce,
+            payload,
+        }
+    }))
+}
+
+/// [`read_frame`] into a caller-reused payload buffer: the frame's payload
+/// lands in `payload[..header.len]` and the validated header is returned.
+/// The buffer only grows (it is never shrunk or zeroed beyond the first
+/// fill), so a steady-state reader of similar-size frames does no per-frame
+/// allocation or memset.
+pub fn read_frame_into(
+    stream: &mut TcpStream,
+    stop: &dyn Fn() -> bool,
+    payload: &mut Vec<u8>,
+) -> io::Result<Option<Header>> {
     let mut header = [0u8; HEADER_LEN];
     if !read_exact_retry(stream, &mut header, stop)? {
         return Ok(None);
     }
     let h = parse_header(&header)?;
-    let mut payload = vec![0u8; h.len];
-    if !read_exact_retry(stream, &mut payload, stop)? {
+    if payload.len() < h.len {
+        payload.resize(h.len, 0);
+    }
+    if !read_exact_retry(stream, &mut payload[..h.len], stop)? {
         return Ok(None);
     }
-    if checksum64(&payload) != h.checksum {
+    if checksum64(&payload[..h.len]) != h.checksum {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             "frame checksum mismatch",
         ));
     }
-    Ok(Some(Frame {
-        kind: h.kind,
-        flags: h.flags,
-        nonce: h.nonce,
-        payload,
-    }))
+    Ok(Some(h))
 }
 
 #[cfg(test)]

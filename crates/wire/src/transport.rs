@@ -43,11 +43,13 @@ use dwrf::cipher::StreamCipher;
 use dwrf::compress;
 use parking_lot::{Mutex, RwLock};
 
-use crate::codec::{decode_envelope, encode_envelope, WireEnvelope};
+use crate::codec::{decode_envelope, encode_envelope_into, WireEnvelope};
 use crate::frame::{
-    encode_frame, read_frame, write_all_retry, Frame, FrameKind, FLAG_COMPRESSED, FLAG_ENCRYPTED,
+    encode_frame, fill_header, read_frame, read_frame_into, write_all_retry, FrameKind, Header,
+    FLAG_COMPRESSED, FLAG_ENCRYPTED, HEADER_LEN,
 };
 use crate::WireConfig;
+use fastpath::{BufferPool, ByteView};
 
 /// Shared optional metrics registry, shaped like the DPP session's slot so
 /// the session can hand its own `Arc` straight through.
@@ -59,7 +61,10 @@ pub type WireChaos = Arc<RwLock<Option<Arc<FaultInjector>>>>;
 
 const ACCEPT_POLL: Duration = Duration::from_millis(1);
 const SOURCE_POLL: Duration = Duration::from_millis(2);
-const CREDIT_POLL: Duration = Duration::from_micros(300);
+/// Fallback timeout while parked on the credit-wake channel with a full
+/// window; the wake normally arrives well before this (it is only a guard
+/// against a lost edge trigger around connection teardown).
+const CREDIT_POLL: Duration = Duration::from_millis(2);
 const IO_TIMEOUT: Duration = Duration::from_millis(25);
 const CONNECT_RETRY: Duration = Duration::from_millis(2);
 /// Consecutive failed dials before the client reader concludes the server
@@ -88,7 +93,7 @@ fn with_job_registry(obs: &WireObs, job: &str, f: impl FnOnce(&Registry, &[(&str
 /// One encoded data frame held in the server's unacked ring, plus the
 /// trace coordinates needed to record replayed sends as sibling spans.
 struct UnackedFrame {
-    bytes: Vec<u8>,
+    bytes: ByteView,
     trace_id: u64,
     parent_span: u64,
     split: u64,
@@ -130,78 +135,101 @@ fn record_wire_span(
     });
 }
 
-/// Serialize an envelope into a ready-to-send data frame, charging
-/// serialize/encrypt time and byte volume to the wire metrics.
+/// Serialize an envelope into a ready-to-send data frame, built in place
+/// inside a pooled buffer: header bytes reserved up front, envelope
+/// serialized directly behind them, compression/encryption applied over
+/// the payload span, header back-filled last. One pool take per frame and
+/// zero intermediate copies on the plaintext path. Serialize, compress,
+/// and encrypt time are charged to separate counters so no stage is ever
+/// double-billed.
 fn encode_data_frame(
     env: &WireEnvelope,
     nonce: u64,
     cfg: &WireConfig,
     obs: &WireObs,
     job: &str,
-) -> Vec<u8> {
+    pool: &BufferPool,
+) -> ByteView {
+    let mut buf = pool.take(HEADER_LEN + 64 + env.tensor.payload_bytes());
+    buf.resize(HEADER_LEN, 0);
     let start = Instant::now();
-    let mut payload = encode_envelope(env);
-    let logical_bytes = payload.len() as u64;
-    let mut flags = 0u8;
-    if cfg.compress {
-        payload = compress::compress(&payload);
-        flags |= FLAG_COMPRESSED;
-    }
+    encode_envelope_into(env, &mut buf);
     let serialize_ns = start.elapsed().as_nanos() as u64;
+    let logical_bytes = (buf.len() - HEADER_LEN) as u64;
+    let mut flags = 0u8;
+    let mut compress_ns = 0u64;
+    if cfg.compress {
+        let zip_start = Instant::now();
+        let zipped = compress::compress(&buf[HEADER_LEN..]);
+        buf.truncate(HEADER_LEN);
+        buf.extend_from_slice(&zipped);
+        flags |= FLAG_COMPRESSED;
+        compress_ns = zip_start.elapsed().as_nanos() as u64;
+    }
     let mut encrypt_ns = 0u64;
     if cfg.encrypt {
         let enc_start = Instant::now();
-        StreamCipher::new(cfg.key).apply_in_place(nonce, &mut payload);
+        StreamCipher::new(cfg.key).apply_in_place(nonce, &mut buf[HEADER_LEN..]);
         flags |= FLAG_ENCRYPTED;
         encrypt_ns = enc_start.elapsed().as_nanos() as u64;
     }
-    let frame = encode_frame(FrameKind::Data, flags, nonce, &payload);
+    let len = (buf.len() - HEADER_LEN) as u32;
+    let checksum = dwrf::stream::checksum64(&buf[HEADER_LEN..]);
+    fill_header(&mut buf, FrameKind::Data, flags, nonce, len, checksum);
     with_job_registry(obs, job, |reg, labels| {
         reg.counter(names::WIRE_PAYLOAD_BYTES_TOTAL, labels)
             .add(logical_bytes);
         reg.counter(names::WIRE_SERIALIZE_NANOS_TOTAL, labels)
             .add(serialize_ns);
+        if compress_ns > 0 {
+            reg.counter(names::WIRE_COMPRESS_NANOS_TOTAL, labels)
+                .add(compress_ns);
+        }
         if encrypt_ns > 0 {
             reg.counter(names::WIRE_ENCRYPT_NANOS_TOTAL, labels)
                 .add(encrypt_ns);
         }
+        reg.gauge(names::WIRE_BUF_POOL_HIT_RATIO, labels)
+            .set(pool.hit_ratio());
     });
-    frame
+    buf.freeze()
 }
 
 /// Reverse [`encode_data_frame`]: decrypt, decompress, and deserialize a
 /// received data frame, charging decrypt time to the encrypt counter (the
 /// cipher runs on both directions) and the rest to deserialize.
 fn decode_data_frame(
-    frame: &Frame,
+    header: &Header,
+    payload: &mut [u8],
     cfg: &WireConfig,
     obs: &WireObs,
     job: &str,
 ) -> io::Result<WireEnvelope> {
     let mismatch = |what: &str| io::Error::new(io::ErrorKind::InvalidData, what.to_string());
-    if frame.flags & FLAG_ENCRYPTED != 0 && !cfg.encrypt {
+    if header.flags & FLAG_ENCRYPTED != 0 && !cfg.encrypt {
         return Err(mismatch("peer sent encrypted frame to plaintext session"));
     }
-    if frame.flags & FLAG_ENCRYPTED == 0 && cfg.encrypt {
+    if header.flags & FLAG_ENCRYPTED == 0 && cfg.encrypt {
         return Err(mismatch("peer sent plaintext frame to encrypted session"));
     }
-    if frame.flags & FLAG_COMPRESSED != 0 && !cfg.compress {
+    if header.flags & FLAG_COMPRESSED != 0 && !cfg.compress {
         return Err(mismatch("unexpected compressed frame"));
     }
-    let mut payload = frame.payload.clone();
     let mut encrypt_ns = 0u64;
     if cfg.encrypt {
         let start = Instant::now();
-        StreamCipher::new(cfg.key).apply_in_place(frame.nonce, &mut payload);
+        StreamCipher::new(cfg.key).apply_in_place(header.nonce, payload);
         encrypt_ns = start.elapsed().as_nanos() as u64;
     }
     let start = Instant::now();
-    if frame.flags & FLAG_COMPRESSED != 0 {
-        payload = compress::decompress(&payload)
+    let env = if header.flags & FLAG_COMPRESSED != 0 {
+        let unzipped = compress::decompress(payload)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        decode_envelope(&unzipped)
+    } else {
+        decode_envelope(payload)
     }
-    let env = decode_envelope(&payload)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     let deserialize_ns = start.elapsed().as_nanos() as u64;
     with_job_registry(obs, job, |reg, labels| {
         if encrypt_ns > 0 {
@@ -302,16 +330,17 @@ fn send_data_frame(
     stop: &Arc<AtomicBool>,
     job: &str,
 ) -> SendOutcome {
+    // Fire the hook only when an injector is installed: the common
+    // (chaos-free) poll must not allocate a faults Vec per frame.
     let faults = {
         let guard = chaos.read();
-        match guard.as_ref() {
-            Some(injector) => injector.fire(HookPoint::WireFrame),
-            None => Vec::new(),
-        }
+        guard
+            .as_ref()
+            .map(|injector| injector.fire(HookPoint::WireFrame))
     };
     let mut drop_conn = false;
     let mut partial = false;
-    for fault in faults {
+    for fault in faults.into_iter().flatten() {
         match fault {
             FaultKind::ConnDrop => drop_conn = true,
             FaultKind::PartialFrame => partial = true,
@@ -347,17 +376,22 @@ fn send_data_frame(
 
 /// Per-connection credit reader: bumps `acked` once per credit received,
 /// flips `alive` off on EOF or a socket error so the writer reconnects.
+/// Each credit also edge-triggers `wake` (capacity 1, `try_send`) so a
+/// writer parked on a full window resumes immediately instead of sleeping
+/// through a poll interval.
 fn credit_reader(
     mut stream: TcpStream,
     alive: Arc<AtomicBool>,
     acked: Arc<AtomicU64>,
     stop: Arc<AtomicBool>,
+    wake: Sender<()>,
 ) {
     let stop_check = || stop.load(Ordering::SeqCst) || !alive.load(Ordering::SeqCst);
     loop {
         match read_frame(&mut stream, &stop_check) {
             Ok(Some(frame)) if frame.kind == FrameKind::Credit => {
                 acked.fetch_add(frame.nonce.max(1), Ordering::SeqCst);
+                let _ = wake.try_send(());
             }
             Ok(Some(_)) => {}
             Ok(None) => return,
@@ -382,6 +416,9 @@ fn server_loop(
 ) {
     // Encoded frames sent but not yet credited, oldest first. Survives
     // across connections: a reconnecting client gets them all replayed.
+    // Frames live in pooled buffers that recycle once credited, so a
+    // steady-state stream reuses the same few allocations.
+    let pool = BufferPool::new();
     let mut unacked: VecDeque<UnackedFrame> = VecDeque::new();
     let mut source_done = false;
     let mut nonce: u64 = 0;
@@ -403,13 +440,14 @@ fn server_loop(
         let _ = reader_stream.set_read_timeout(Some(IO_TIMEOUT));
         let alive = Arc::new(AtomicBool::new(true));
         let acked = Arc::new(AtomicU64::new(0));
+        let (wake_tx, wake_rx) = bounded::<()>(1);
         let reader = {
             let alive = alive.clone();
             let acked = acked.clone();
             let stop = stop.clone();
             thread::Builder::new()
                 .name("wire-credit-reader".into())
-                .spawn(move || credit_reader(reader_stream, alive, acked, stop))
+                .spawn(move || credit_reader(reader_stream, alive, acked, stop, wake_tx))
                 .expect("spawn credit reader")
         };
         let mut popped: u64 = 0;
@@ -474,20 +512,24 @@ fn server_loop(
             if unacked.len() < window && !source_done {
                 match source.recv_timeout(SOURCE_POLL) {
                     Ok(env) => {
-                        let frame = encode_data_frame(&env, nonce, &cfg, &obs, &job);
+                        let bytes = encode_data_frame(&env, nonce, &cfg, &obs, &job, &pool);
                         nonce += 1;
+                        let send_start = now_ns();
+                        let outcome =
+                            send_data_frame(&mut stream, &bytes, &chaos, &obs, &stop, &job);
+                        // Push after sending (a ByteView is cheap to move,
+                        // and sending first avoids re-borrowing the ring);
+                        // the frame stays unacked either way, so a dead
+                        // connection still replays it.
                         unacked.push_back(UnackedFrame {
-                            bytes: frame,
+                            bytes,
                             trace_id: env.trace_id,
                             parent_span: env.parent_span,
                             split: env.split,
                             seq: env.seq,
                             worker: env.worker.0,
                         });
-                        let entry = unacked.back().expect("just pushed");
-                        let bytes = entry.bytes.clone();
-                        let send_start = now_ns();
-                        match send_data_frame(&mut stream, &bytes, &chaos, &obs, &stop, &job) {
+                        match outcome {
                             SendOutcome::Sent => {
                                 record_wire_span(
                                     &obs,
@@ -513,7 +555,10 @@ fn server_loop(
                     Err(RecvTimeoutError::Disconnected) => source_done = true,
                 }
             } else {
-                thread::sleep(CREDIT_POLL);
+                // Window full: park until the credit reader signals (or the
+                // guard timeout lapses) rather than sleeping blind — on a
+                // busy box the wake lands as soon as the peer credits.
+                let _ = wake_rx.recv_timeout(CREDIT_POLL);
             }
         }
     }
@@ -572,19 +617,28 @@ fn client_loop(port: u16, cfg: WireConfig, tx: Sender<WireEnvelope>, obs: WireOb
             });
         }
         connected_before = true;
+        // Payload buffer reused across this connection's frames: steady
+        // state reads straight into warm memory, no per-frame allocation.
+        let mut payload = Vec::new();
         loop {
             // The reader has no independent stop flag: the server closing
             // the socket (EOF) or refusing dials is its exit signal, and a
             // dropped endpoint surfaces as a send error below.
-            let frame = match read_frame(&mut stream, &|| false) {
-                Ok(Some(f)) => f,
+            let header = match read_frame_into(&mut stream, &|| false, &mut payload) {
+                Ok(Some(h)) => h,
                 Ok(None) => unreachable!("stop predicate is constant false"),
                 Err(_) => continue 'dial,
             };
-            match frame.kind {
+            match header.kind {
                 FrameKind::Data => {
                     let recv_start = now_ns();
-                    let env = match decode_data_frame(&frame, &cfg, &obs, &job) {
+                    let env = match decode_data_frame(
+                        &header,
+                        &mut payload[..header.len],
+                        &cfg,
+                        &obs,
+                        &job,
+                    ) {
                         Ok(env) => env,
                         Err(_) => continue 'dial,
                     };

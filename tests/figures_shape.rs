@@ -364,6 +364,99 @@ fn tenancy_bench_artifact_matches_schema() {
 }
 
 #[test]
+fn fastpath_bench_artifact_matches_schema() {
+    // `figures fastpath` commits the decode-fastpath ablation: read-ahead +
+    // zero-copy extract on vs off, plus the wide full-plan job that used to
+    // regress behind the row path. Validate the schema and the acceptance
+    // envelope without a JSON parser dependency.
+    fn num(section: &str, key: &str) -> f64 {
+        let pat = format!("\"{key}\":");
+        let at = section
+            .find(&pat)
+            .unwrap_or_else(|| panic!("BENCH_fastpath.json missing key {key:?}"));
+        let rest = section[at + pat.len()..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end]
+            .parse()
+            .unwrap_or_else(|_| panic!("BENCH_fastpath.json key {key:?} is not numeric"))
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_fastpath.json");
+    let body = std::fs::read_to_string(path)
+        .expect("BENCH_fastpath.json is committed at the repo root (run `figures fastpath`)");
+    assert!(num(&body, "samples_per_sec_on") > num(&body, "samples_per_sec_off"));
+    assert!(
+        num(&body, "speedup") >= 1.2,
+        "fastpath speedup on the narrow job"
+    );
+    assert!(
+        num(&body, "speedup_full_plan") >= 1.2,
+        "the wide full-plan job must not regress behind the row path"
+    );
+    assert!(
+        num(&body, "copy_reduction") > 4.0,
+        "zero-copy extract slashes copied bytes"
+    );
+    assert!(num(&body, "samples") > 0.0);
+    assert!(
+        body.contains("\"smoke\": false"),
+        "committed run is full-size"
+    );
+}
+
+#[test]
+fn wire_bench_artifact_matches_schema() {
+    // `figures wire` commits the transport ablation: in-process channel vs
+    // framed TCP (plaintext / cipher / cipher+zip). The codec-kernel work
+    // pins plaintext TCP at >= 85% of in-process; validate that envelope and
+    // the per-stage timing keys without a JSON parser dependency.
+    fn num(section: &str, key: &str) -> f64 {
+        let pat = format!("\"{key}\":");
+        let at = section
+            .find(&pat)
+            .unwrap_or_else(|| panic!("BENCH_wire.json missing key {key:?}"));
+        let rest = section[at + pat.len()..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end]
+            .parse()
+            .unwrap_or_else(|_| panic!("BENCH_wire.json key {key:?} is not numeric"))
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_wire.json");
+    let body = std::fs::read_to_string(path)
+        .expect("BENCH_wire.json is committed at the repo root (run `figures wire`)");
+    let inprocess = num(&body, "samples_per_sec_inprocess");
+    let tcp = num(&body, "samples_per_sec_tcp");
+    assert!(inprocess > 0.0 && tcp > 0.0);
+    assert!(
+        tcp >= 0.85 * inprocess,
+        "plaintext TCP keeps >= 85% of in-process: {:.0} vs {:.0}",
+        tcp,
+        inprocess
+    );
+    assert!(num(&body, "samples_per_sec_tcp_cipher") > 0.0);
+    assert!(num(&body, "samples_per_sec_tcp_cipher_zip") > 0.0);
+    assert!(num(&body, "wire_frames") >= 1.0);
+    assert!(num(&body, "wire_payload_bytes") > 0.0);
+    assert!(
+        num(&body, "compression_ratio") > 1.0,
+        "zip variant actually compresses"
+    );
+    // Pooled + delta-encoded serialization: well under 10 ms per epoch
+    // (down from 94 ms before the codec kernels).
+    assert!(num(&body, "serialize_nanos") < 10_000_000.0);
+    assert!(num(&body, "deserialize_nanos") > 0.0);
+    assert_eq!(num(&body, "reconnects"), 0.0, "clean run has no reconnects");
+    assert!(num(&body, "samples") > 0.0);
+    assert!(
+        body.contains("\"smoke\": false"),
+        "committed run is full-size"
+    );
+}
+
+#[test]
 fn datasets_dwarf_local_storage() {
     // Table III: used partitions alone are petabytes — orders of magnitude
     // beyond a trainer node's local storage.

@@ -39,6 +39,70 @@ fn arb_sample() -> impl Strategy<Value = Sample> {
         })
 }
 
+/// Random transform ops over the [`arb_sample`] feature id space: sparse
+/// normalization on 40..80, dense normalization on 0..40, generation ops
+/// deriving into 80..90 (forcing a row-path residue), and sampling.
+fn arb_plan_op() -> impl Strategy<Value = TransformOp> {
+    prop_oneof![
+        (40u64..80, any::<u64>(), 1u64..100_000).prop_map(|(f, salt, modulus)| {
+            TransformOp::SigridHash {
+                input: FeatureId(f),
+                salt,
+                modulus,
+            }
+        }),
+        (40u64..80, 1u64..1_000).prop_map(|(f, modulus)| TransformOp::PositiveModulus {
+            input: FeatureId(f),
+            modulus,
+        }),
+        (40u64..80, 0usize..15).prop_map(|(f, x)| TransformOp::FirstX {
+            input: FeatureId(f),
+            x,
+        }),
+        (60u64..80, -2.0f32..2.0, -1.0f32..1.0).prop_map(|(f, scale, offset)| {
+            TransformOp::ComputeScore {
+                input: FeatureId(f),
+                scale,
+                offset,
+            }
+        }),
+        (0u64..40, -10.0f32..0.0, 0.0f32..10.0).prop_map(|(f, min, max)| TransformOp::Clamp {
+            input: FeatureId(f),
+            min,
+            max,
+        }),
+        (0u64..40).prop_map(|f| TransformOp::Logit {
+            input: FeatureId(f)
+        }),
+        (0u64..40, 0.1f64..3.0).prop_map(|(f, lambda)| TransformOp::BoxCox {
+            input: FeatureId(f),
+            lambda,
+        }),
+        (0u64..40, -43_200i32..43_200).prop_map(|(f, tz_offset_secs)| {
+            TransformOp::GetLocalHour {
+                input: FeatureId(f),
+                tz_offset_secs,
+            }
+        }),
+        (40u64..60, 40u64..60, 80u64..90).prop_map(|(a, b, output)| TransformOp::Cartesian {
+            a: FeatureId(a),
+            b: FeatureId(b),
+            output: FeatureId(output),
+        }),
+        (40u64..60, 1usize..4, 80u64..90).prop_map(|(f, n, output)| TransformOp::NGram {
+            input: FeatureId(f),
+            n,
+            output: FeatureId(output),
+        }),
+        (0u64..40, 80u64..90).prop_map(|(f, output)| TransformOp::Bucketize {
+            input: FeatureId(f),
+            borders: vec![-0.5, 0.0, 0.5],
+            output: FeatureId(output),
+        }),
+        (0.3f64..1.0, any::<u64>()).prop_map(|(rate, seed)| TransformOp::Sampling { rate, seed }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -343,6 +407,220 @@ proptest! {
         let mut col = batch.materialize(&dense_ids, &sparse_ids);
         columnar.apply(&mut col, &dense_ids);
         prop_assert_eq!(row, col);
+    }
+
+    #[test]
+    fn unrolled_varint_matches_scalar_reference(
+        data in proptest::collection::vec(any::<u8>(), 0..32),
+        start in 0usize..32,
+    ) {
+        use dwrf::encoding::{read_varint, read_varint_scalar};
+        // Arbitrary bytes from an arbitrary start: exercises truncated,
+        // over-long, and boundary-straddling windows (start near the end
+        // forces the scalar fallback; start deep inside hits the unrolled
+        // 10-byte path).
+        let start = start.min(data.len());
+        let mut fast_pos = start;
+        let mut slow_pos = start;
+        let fast = read_varint(&data, &mut fast_pos);
+        let slow = read_varint_scalar(&data, &mut slow_pos);
+        match (fast, slow) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(fast_pos, slow_pos);
+            }
+            // Error *messages* may differ (the unrolled path reports
+            // overflow where the scalar runs off the buffer first), but
+            // Ok-vs-Err must agree on every input.
+            (a, b) => prop_assert_eq!(a.is_err(), b.is_err()),
+        }
+    }
+
+    #[test]
+    fn chunked_varint_sequence_matches_scalar_reference(
+        values in proptest::collection::vec(
+            prop_oneof![0u64..128, any::<u64>()], // single-byte heavy: trigger the 8-wide word path
+            0..64,
+        ),
+        trailing in proptest::collection::vec(any::<u8>(), 0..4),
+    ) {
+        use dwrf::encoding::{read_varint_scalar, read_varints_into, write_varint};
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        buf.extend_from_slice(&trailing); // slack after the sequence must not confuse the word path
+        let mut pos = 0;
+        let mut chunked = Vec::new();
+        read_varints_into(&buf, &mut pos, values.len(), &mut chunked).expect("valid sequence");
+        let mut ref_pos = 0;
+        let scalar: Vec<u64> = (0..values.len())
+            .map(|_| read_varint_scalar(&buf, &mut ref_pos).expect("valid sequence"))
+            .collect();
+        prop_assert_eq!(&chunked, &scalar);
+        prop_assert_eq!(&chunked, &values);
+        prop_assert_eq!(pos, ref_pos);
+        // Truncation: asking for one more varint than encoded must fail
+        // once the slack runs out of decodable bytes.
+        if trailing.is_empty() {
+            let mut p = 0;
+            let mut over = Vec::new();
+            prop_assert!(
+                read_varints_into(&buf, &mut p, values.len() + 1, &mut over).is_err()
+            );
+        }
+    }
+
+    #[test]
+    fn bulk_varint_writer_matches_scalar_reference(
+        values in proptest::collection::vec(
+            prop_oneof![0u64..128, any::<u64>()], // single-byte heavy: trigger the 8-wide slab path
+            0..300, // cross the 256-byte slab flush boundary
+        ),
+        prefix in proptest::collection::vec(any::<u8>(), 0..4),
+    ) {
+        use dwrf::encoding::{write_varint, write_varints};
+        let mut scalar = prefix.clone();
+        for &v in &values {
+            write_varint(&mut scalar, v);
+        }
+        let mut bulk = prefix; // appends after existing bytes, like the codec does
+        write_varints(&mut bulk, &values);
+        prop_assert_eq!(&bulk, &scalar);
+    }
+
+    #[test]
+    fn rle_decode_matches_reference_and_caps_before_alloc(
+        values in proptest::collection::vec(
+            prop_oneof![0u64..4, any::<u64>()], // small domain: force repeat runs
+            0..120,
+        ),
+    ) {
+        use dwrf::encoding::{read_varint_scalar, rle_decode, rle_decode_capped, rle_encode};
+        let buf = rle_encode(&values);
+        // Scalar reference decoder: byte-at-a-time varints, per-element pushes.
+        let mut reference = Vec::new();
+        let mut pos = 0;
+        while pos < buf.len() {
+            let header = read_varint_scalar(&buf, &mut pos).expect("header");
+            let count = (header >> 1) as usize;
+            if header & 1 == 0 {
+                let v = read_varint_scalar(&buf, &mut pos).expect("value");
+                for _ in 0..count {
+                    reference.push(v);
+                }
+            } else {
+                for _ in 0..count {
+                    reference.push(read_varint_scalar(&buf, &mut pos).expect("literal"));
+                }
+            }
+        }
+        prop_assert_eq!(&reference, &values);
+        prop_assert_eq!(&rle_decode(&buf).expect("decodable"), &values);
+        prop_assert_eq!(&rle_decode_capped(&buf, values.len()).expect("decodable"), &values);
+        if !values.is_empty() {
+            // A cap below the true count must reject (before allocating).
+            prop_assert!(rle_decode_capped(&buf, values.len() - 1).is_err());
+        }
+        // Truncating the encoded buffer anywhere must never panic.
+        for cut in 0..buf.len() {
+            let _ = rle_decode_capped(&buf[..cut], values.len());
+        }
+    }
+
+    #[test]
+    fn f32_stream_round_trips_and_rejects_ragged_tails(
+        values in proptest::collection::vec(any::<f32>(), 0..80),
+    ) {
+        use dwrf::encoding::{read_f32s, write_f32s};
+        let mut buf = Vec::new();
+        write_f32s(&mut buf, &values);
+        let decoded = read_f32s(&buf).expect("aligned stream");
+        prop_assert_eq!(decoded.len(), values.len());
+        // Bitwise comparison (NaN-safe): the chunked reader must preserve
+        // every payload exactly, including NaN bit patterns.
+        for (a, b) in decoded.iter().zip(&values) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        if !values.is_empty() {
+            for ragged in 1..4 {
+                prop_assert!(read_f32s(&buf[..buf.len() - ragged]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn split_plan_columnar_equals_row_path_over_random_plans(
+        samples in proptest::collection::vec(arb_sample(), 1..24),
+        ops in proptest::collection::vec(arb_plan_op(), 0..12),
+        base_row in 0u64..1_000_000,
+    ) {
+        use dsi_types::Batch;
+        use transforms::ColumnarPlan;
+        let plan = TransformPlan::new(ops);
+        let dense_ids: Vec<FeatureId> = (0..40).map(FeatureId).collect();
+        // Materialize only part of the sparse id space: ops on 72..80 hit
+        // the shadow-length accounting path (cost without tensor data).
+        let sparse_ids: Vec<FeatureId> = (40..72).map(FeatureId).collect();
+        let batch: Batch = samples.into_iter().collect();
+
+        let (full_out, full_cost) = plan.apply_batch(batch.clone(), base_row);
+        let row_tensor = full_out.materialize(&dense_ids, &sparse_ids);
+
+        let (residue, columnar) = ColumnarPlan::split_plan(&plan);
+        let (half_out, half_cost) = residue.apply_batch(batch, base_row);
+        let ctx = columnar.capture_ctx(half_out.samples(), &dense_ids, &sparse_ids);
+        let mut col_tensor = half_out.materialize(&dense_ids, &sparse_ids);
+        let applied = columnar.apply_with_cost(
+            &mut col_tensor,
+            &dense_ids,
+            &ctx,
+            plan.cost_model(),
+        );
+
+        prop_assert_eq!(&row_tensor, &col_tensor, "split execution must be bitwise-equal");
+        prop_assert_eq!(
+            full_cost.elements,
+            half_cost.elements + applied.cost.elements,
+            "element accounting must be exact across the split"
+        );
+        let split_cycles = half_cost.cycles + applied.cost.cycles;
+        prop_assert!(
+            (full_cost.cycles - split_cycles).abs() <= 1e-6 * full_cost.cycles.max(1.0),
+            "cycle accounting must match: {} vs {}",
+            full_cost.cycles,
+            split_cycles
+        );
+
+        // The production path additionally pushes the columnar plan's
+        // FirstX caps into materialization (prefix truncation commutes
+        // with every columnar kernel): same bitwise result, same exact
+        // cost accounting, without ever copying the truncated-away tail.
+        let caps = columnar.sparse_caps(&sparse_ids);
+        let mut capped_tensor = half_out.materialize_capped(&dense_ids, &sparse_ids, &caps);
+        let capped = columnar.apply_with_cost(
+            &mut capped_tensor,
+            &dense_ids,
+            &ctx,
+            plan.cost_model(),
+        );
+        prop_assert_eq!(
+            &row_tensor,
+            &capped_tensor,
+            "capped materialization must stay bitwise-equal"
+        );
+        prop_assert_eq!(
+            applied.cost.elements,
+            capped.cost.elements,
+            "capped materialization must not change cost accounting"
+        );
+        prop_assert!(
+            (applied.cost.cycles - capped.cost.cycles).abs()
+                <= 1e-6 * applied.cost.cycles.max(1.0),
+            "capped cycles must match uncapped: {} vs {}",
+            applied.cost.cycles,
+            capped.cost.cycles
+        );
     }
 
     #[test]
