@@ -35,6 +35,10 @@ use transforms::{AccelModel, TransformOp, TransformPlan};
 ///   change set exists to close).
 /// - wire: plaintext TCP below 75% of in-process throughput means
 ///   serialization is eating the data plane again.
+/// - durability: any chunk left under-replicated after the budgeted
+///   rebuild drains means self-healing failed to converge, and foreground
+///   reads keeping less than 50% of disk IOs means rebuild traffic is
+///   swamping the epoch it is supposed to yield to.
 fn gate(targets: &[String]) -> i32 {
     fn num(artifact: &str, body: &str, key: &str) -> f64 {
         let pat = format!("\"{key}\":");
@@ -66,6 +70,26 @@ fn gate(targets: &[String]) -> i32 {
             failures += 1;
         } else {
             println!("gate ok fastpath: speedup_full_plan {full:.3}, speedup {narrow:.3}");
+        }
+    }
+    if want("durability") {
+        let body = read("BENCH_durability.json");
+        let under = num("BENCH_durability.json", &body, "under_replicated_final");
+        let share = num("BENCH_durability.json", &body, "foreground_share");
+        if under != 0.0 {
+            eprintln!("gate FAIL durability: {under:.0} chunks left under-replicated");
+            failures += 1;
+        } else if share < 0.5 {
+            eprintln!(
+                "gate FAIL durability: foreground kept only {:.0}% of disk IOs (floor 50%)",
+                share * 100.0
+            );
+            failures += 1;
+        } else {
+            println!(
+                "gate ok durability: rebuild converged, foreground kept {:.0}% of disk IOs",
+                share * 100.0
+            );
         }
     }
     if want("wire") {
@@ -177,6 +201,9 @@ fn main() {
     }
     if want("wire") {
         wire_ablation(smoke);
+    }
+    if want("durability") {
+        durability_ablation(smoke);
     }
     if want("trace") {
         trace_ablation(smoke);
@@ -1688,6 +1715,228 @@ fn wire_ablation(smoke: bool) {
         eprintln!("(could not write BENCH_wire.json: {e})");
     } else {
         println!("(wrote BENCH_wire.json)");
+    }
+}
+
+/// Extension (durability): replicated, self-healing Tectonic under replica
+/// loss. For R in {2, 3}, runs one clean epoch as a throughput baseline,
+/// then an epoch where the most-loaded storage node is killed a third of
+/// the way in: the heartbeat detector declares it dead, its chunks queue
+/// for rebuild, and the queue drains at a bounded per-batch IOPS budget so
+/// rebuild traffic contends with the epoch's own foreground reads on the
+/// same simulated disks. Reports the measured foreground share of disk
+/// IOs, rebuild volume, and residual under-replication (must be zero).
+/// Writes `BENCH_durability.json`.
+fn durability_ablation(smoke: bool) {
+    use dpp::DppSession;
+    use std::time::Instant;
+    use tectonic::ClusterConfig;
+
+    let cfg = if smoke {
+        LabConfig {
+            features: 60,
+            days: 1,
+            rows_per_day: 4_096,
+            rows_per_stripe: 512,
+            seed: 0xd94,
+        }
+    } else {
+        LabConfig {
+            features: 120,
+            days: 2,
+            rows_per_day: 16_384,
+            rows_per_stripe: 1_024,
+            seed: 0xd94,
+        }
+    };
+    let batch = 256usize;
+    let budget_per_batch = 8u64;
+    let trials = if smoke { 2 } else { 3 };
+
+    struct Variant {
+        r: usize,
+        qps_base: f64,
+        qps_rebuild: f64,
+        rebuild_ios: u64,
+        total_ios: u64,
+        foreground_share: f64,
+        rebuilt_chunks: u64,
+        under_replicated_final: u64,
+        failovers: u64,
+        samples: u64,
+    }
+
+    let run_r = |r: usize| -> Variant {
+        // Small blocks so the victim holds many chunks and the rebuild
+        // queue is deep enough for budget pacing to matter.
+        let lab = RmLab::build_custom(
+            RmClass::Rm3,
+            cfg,
+            None,
+            None,
+            Some(ClusterConfig {
+                nodes: 8,
+                block_size: 256 * 1024,
+                replication: r,
+                hdd: true,
+            }),
+        );
+        let spec = lab.session_spec(lab.rc_projection(), batch);
+        let cluster = lab.table.cluster().clone();
+
+        let clean_epoch = || {
+            let session = DppSession::launch(lab.table.clone(), spec.clone(), 2)
+                .expect("lab selection is non-empty");
+            let mut client = session.client();
+            let start = Instant::now();
+            let mut samples = 0u64;
+            while let Some(t) = client.next_batch() {
+                samples += t.batch_size() as u64;
+            }
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            session.shutdown();
+            samples as f64 / secs
+        };
+        let mut qps_base = clean_epoch();
+        for _ in 1..trials {
+            qps_base = qps_base.max(clean_epoch());
+        }
+
+        // The rebuild epoch: same table, same spec, but the most-loaded
+        // node dies a third of the way through, and every consumed batch
+        // buys the rebuild queue a small IO budget.
+        let victim = {
+            let mut held: std::collections::HashMap<dsi_types::NodeId, u64> =
+                std::collections::HashMap::new();
+            for path in cluster.list_files() {
+                for replicas in cluster.stat(&path).expect("listed file stats").blocks {
+                    for n in replicas {
+                        *held.entry(n).or_insert(0) += 1;
+                    }
+                }
+            }
+            held.into_iter()
+                .max_by_key(|&(n, c)| (c, std::cmp::Reverse(n.0)))
+                .expect("non-empty cluster")
+                .0
+        };
+        let total_batches = (cfg.days as u64 * cfg.rows_per_day).div_ceil(batch as u64);
+        let kill_at = total_batches / 3;
+        cluster.reset_stats();
+        let ios0 = cluster.total_stats().ios;
+        let d0 = cluster.durability();
+        let session = DppSession::launch(lab.table.clone(), spec.clone(), 2)
+            .expect("lab selection is non-empty");
+        let mut client = session.client();
+        let start = Instant::now();
+        let mut samples = 0u64;
+        let mut batches = 0u64;
+        while let Some(t) = client.next_batch() {
+            samples += t.batch_size() as u64;
+            batches += 1;
+            if batches == kill_at {
+                cluster.fail_node(victim);
+                for _ in 0..tectonic::DEFAULT_HEARTBEAT_K {
+                    cluster.heartbeat_tick();
+                }
+            } else if batches > kill_at {
+                cluster.pump_rebuild(budget_per_batch);
+            }
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        session.shutdown();
+        // Foreground is done; drain whatever backlog the per-batch budget
+        // left, still in budgeted pumps.
+        while cluster.pump_rebuild(budget_per_batch).remaining > 0 {}
+        let d1 = cluster.durability();
+        let total_ios = cluster.total_stats().ios - ios0;
+        let rebuild_ios = d1.rebuild_ios - d0.rebuild_ios;
+        Variant {
+            r,
+            qps_base,
+            qps_rebuild: samples as f64 / secs,
+            rebuild_ios,
+            total_ios,
+            foreground_share: (total_ios.saturating_sub(rebuild_ios)) as f64
+                / (total_ios.max(1)) as f64,
+            rebuilt_chunks: d1.rebuilt_chunks - d0.rebuilt_chunks,
+            under_replicated_final: d1.under_replicated,
+            failovers: d1.failovers - d0.failovers,
+            samples,
+        }
+    };
+
+    let variants: Vec<Variant> = [2usize, 3].iter().map(|&r| run_r(r)).collect();
+    let rows: Vec<Vec<String>> = variants
+        .iter()
+        .map(|v| {
+            vec![
+                format!("R{}", v.r),
+                f(v.qps_base / 1e3, 1),
+                f(v.qps_rebuild / 1e3, 1),
+                f(v.qps_rebuild / v.qps_base.max(1e-9), 2),
+                v.rebuild_ios.to_string(),
+                v.total_ios.to_string(),
+                pct(v.foreground_share),
+                v.rebuilt_chunks.to_string(),
+                v.under_replicated_final.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Extension (durability): node loss mid-epoch, budgeted rebuild vs foreground (RM3)",
+        &[
+            "repl",
+            "base kQPS",
+            "rebuild kQPS",
+            "ratio",
+            "rebuild IOs",
+            "total IOs",
+            "fg share",
+            "rebuilt",
+            "under-rep",
+        ],
+        &rows,
+    );
+    let r3 = variants.last().expect("two variants");
+    let r2 = variants.first().expect("two variants");
+    println!(
+        "(killing the most-loaded of 8 nodes mid-epoch: the epoch still delivers every sample, \
+         rebuild at {budget_per_batch} IOs/batch restores R{} with foreground keeping {} of disk \
+         IOs, and {} chunks re-replicate without a single one left under-replicated)",
+        r3.r,
+        pct(r3.foreground_share),
+        r3.rebuilt_chunks,
+    );
+
+    let json = format!(
+        "{{\n  \"samples_per_sec_baseline\": {:.1},\n  \"samples_per_sec_rebuild\": {:.1},\n  \
+         \"throughput_ratio\": {:.3},\n  \"foreground_share\": {:.4},\n  \
+         \"rebuild_ios\": {},\n  \"total_ios\": {},\n  \"rebuild_chunks\": {},\n  \
+         \"under_replicated_final\": {},\n  \"failovers\": {},\n  \
+         \"rebuild_budget_per_batch\": {},\n  \"r2_samples_per_sec_rebuild\": {:.1},\n  \
+         \"r2_foreground_share\": {:.4},\n  \"r2_rebuild_chunks\": {},\n  \
+         \"r2_under_replicated_final\": {},\n  \"samples\": {},\n  \"smoke\": {smoke}\n}}\n",
+        r3.qps_base,
+        r3.qps_rebuild,
+        r3.qps_rebuild / r3.qps_base.max(1e-9),
+        r3.foreground_share,
+        r3.rebuild_ios,
+        r3.total_ios,
+        r3.rebuilt_chunks,
+        r3.under_replicated_final.max(r2.under_replicated_final),
+        r3.failovers,
+        budget_per_batch,
+        r2.qps_rebuild,
+        r2.foreground_share,
+        r2.rebuilt_chunks,
+        r2.under_replicated_final,
+        r3.samples,
+    );
+    if let Err(e) = std::fs::write("BENCH_durability.json", &json) {
+        eprintln!("(could not write BENCH_durability.json: {e})");
+    } else {
+        println!("(wrote BENCH_durability.json)");
     }
 }
 

@@ -217,6 +217,55 @@ pub fn check_obs_accounting(
     report.check("obs_accounting", ok, detail);
 }
 
+/// Plain-number snapshot of a storage tier's durability state at the end
+/// of a run (the tectonic crate depends on chaos, so the checker takes
+/// raw counters rather than cluster types).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurabilityStats {
+    /// Chunks still below their target live replica count.
+    pub under_replicated: u64,
+    /// Chunks still queued for rebuild.
+    pub rebuild_queue_depth: u64,
+    /// Nodes the failure detector currently declares dead.
+    pub dead_nodes: u64,
+    /// Checksum mismatches detected on reads.
+    pub checksum_failures: u64,
+    /// Bad replicas repaired in place after a verified read.
+    pub read_repairs: u64,
+    /// Chunks re-replicated by the rebuild worker.
+    pub rebuilt_chunks: u64,
+}
+
+/// Durability invariants over an end-of-run [`DurabilityStats`] snapshot:
+///
+/// * **rebuild_converged** — no chunk is left under-replicated and the
+///   rebuild queue drained to empty (self-healing finished within the
+///   run);
+/// * **repair_accounting** — every detected checksum failure led to at
+///   least one in-place repair or queued rebuild (corruption is never
+///   detected and then silently forgotten).
+pub fn check_durability(report: &mut InvariantReport, stats: &DurabilityStats) {
+    report.check(
+        "rebuild_converged",
+        stats.under_replicated == 0 && stats.rebuild_queue_depth == 0,
+        format!(
+            "under_replicated={} queue={} dead_nodes={} rebuilt={}",
+            stats.under_replicated,
+            stats.rebuild_queue_depth,
+            stats.dead_nodes,
+            stats.rebuilt_chunks
+        ),
+    );
+    report.check(
+        "repair_accounting",
+        stats.checksum_failures == 0 || stats.read_repairs + stats.rebuilt_chunks > 0,
+        format!(
+            "checksum_failures={} read_repairs={} rebuilt={}",
+            stats.checksum_failures, stats.read_repairs, stats.rebuilt_chunks
+        ),
+    );
+}
+
 /// Deterministic summary line of what the injector actually fired, for
 /// replay-identical report output.
 pub fn note_injected(report: &mut InvariantReport, injector: &FaultInjector) {
@@ -374,5 +423,52 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn durability_checker_accepts_a_healed_cluster() {
+        let mut report = InvariantReport::new();
+        check_durability(
+            &mut report,
+            &DurabilityStats {
+                under_replicated: 0,
+                rebuild_queue_depth: 0,
+                dead_nodes: 1,
+                checksum_failures: 2,
+                read_repairs: 2,
+                rebuilt_chunks: 5,
+            },
+        );
+        assert!(report.ok(), "{}", report.render());
+    }
+
+    #[test]
+    fn durability_checker_flags_unconverged_rebuild() {
+        let mut report = InvariantReport::new();
+        check_durability(
+            &mut report,
+            &DurabilityStats {
+                under_replicated: 3,
+                ..DurabilityStats::default()
+            },
+        );
+        assert!(!report.ok());
+        assert!(report.render().contains("rebuild_converged"));
+    }
+
+    #[test]
+    fn durability_checker_flags_forgotten_corruption() {
+        let mut report = InvariantReport::new();
+        check_durability(
+            &mut report,
+            &DurabilityStats {
+                checksum_failures: 1,
+                read_repairs: 0,
+                rebuilt_chunks: 0,
+                ..DurabilityStats::default()
+            },
+        );
+        assert!(!report.ok());
+        assert!(report.render().contains("repair_accounting"));
     }
 }

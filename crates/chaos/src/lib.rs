@@ -47,8 +47,8 @@ pub mod shrink;
 
 pub use inject::{FaultInjector, InjectedFault};
 pub use invariants::{
-    check_exactly_once, check_obs_accounting, note_injected, tensor_fingerprint, with_watchdog,
-    EpochTrace, InvariantReport,
+    check_durability, check_exactly_once, check_obs_accounting, note_injected, tensor_fingerprint,
+    with_watchdog, DurabilityStats, EpochTrace, InvariantReport,
 };
 pub use plan::{ChaosConfig, FaultEvent, FaultKind, FaultPlan, HookPoint};
 pub use shrink::shrink_plan;

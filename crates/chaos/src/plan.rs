@@ -84,6 +84,16 @@ pub enum FaultKind {
         /// Non-zero mask XORed into the first byte of the chunk.
         xor: u8,
     },
+    /// At-rest corruption: one byte of the replica the read is about to
+    /// consult is XOR-flipped *on the storage node* before the read.
+    /// Unlike [`FaultKind::CorruptChunk`] (in-flight, private copy), the
+    /// stored copy itself is bad — the cluster's per-page checksums must
+    /// detect it, fail the read over to a surviving replica, and repair
+    /// the bad copy in place.
+    CorruptReplica {
+        /// Non-zero mask XORed into the replica's first byte.
+        xor: u8,
+    },
     /// A published record is silently dropped before the log append.
     DropRecord,
     /// A published record is appended twice.
@@ -143,6 +153,7 @@ impl FaultKind {
             FaultKind::IoError => "io_error",
             FaultKind::SlowIo { .. } => "slow_io",
             FaultKind::CorruptChunk { .. } => "corrupt_chunk",
+            FaultKind::CorruptReplica { .. } => "corrupt_replica",
             FaultKind::DropRecord => "drop_record",
             FaultKind::DuplicateRecord => "duplicate_record",
             FaultKind::ReorderRecord => "reorder_record",
@@ -166,6 +177,7 @@ impl fmt::Display for FaultKind {
         match self {
             FaultKind::SlowIo { micros } => write!(f, "slow_io({micros}us)"),
             FaultKind::CorruptChunk { xor } => write!(f, "corrupt_chunk(xor={xor:#04x})"),
+            FaultKind::CorruptReplica { xor } => write!(f, "corrupt_replica(xor={xor:#04x})"),
             FaultKind::WorkerHang { micros } => write!(f, "worker_hang({micros}us)"),
             FaultKind::SlowTransform { micros } => write!(f, "slow_transform({micros}us)"),
             FaultKind::SlowSocket { micros } => write!(f, "slow_socket({micros}us)"),
@@ -277,12 +289,15 @@ impl FaultPlan {
             let (max_nth, kind) = match hook {
                 HookPoint::TectonicRead => (
                     cfg.max_reads,
-                    match rng.next_below(3) {
+                    match rng.next_below(4) {
                         0 => FaultKind::IoError,
                         1 => FaultKind::SlowIo {
                             micros: 50 + rng.next_below(200),
                         },
-                        _ => FaultKind::CorruptChunk {
+                        2 => FaultKind::CorruptChunk {
+                            xor: (rng.next_below(255) + 1) as u8,
+                        },
+                        _ => FaultKind::CorruptReplica {
                             xor: (rng.next_below(255) + 1) as u8,
                         },
                     },
@@ -378,8 +393,11 @@ mod tests {
         };
         for seed in 0..32 {
             for e in &FaultPlan::random(seed, &cfg).events {
-                if let FaultKind::CorruptChunk { xor } = e.kind {
-                    assert_ne!(xor, 0);
+                match e.kind {
+                    FaultKind::CorruptChunk { xor } | FaultKind::CorruptReplica { xor } => {
+                        assert_ne!(xor, 0)
+                    }
+                    _ => {}
                 }
             }
         }

@@ -38,6 +38,20 @@ pub const CACHE_RESIDENT_PAGES: &str = "dsi_cache_resident_pages";
 pub const STORAGE_NODE_IOS_TOTAL: &str = "dsi_storage_node_ios_total";
 /// Counter, labels `{node}`: bytes served per storage node.
 pub const STORAGE_NODE_BYTES_TOTAL: &str = "dsi_storage_node_bytes_total";
+/// Counter: per-page checksum verification failures detected on reads.
+pub const TECTONIC_CHECKSUM_FAILURES_TOTAL: &str = "dsi_tectonic_checksum_failures_total";
+/// Counter: bad replicas repaired in place after a verified read.
+pub const TECTONIC_READ_REPAIRS_TOTAL: &str = "dsi_tectonic_read_repairs_total";
+/// Counter: reads served by a non-first-choice replica.
+pub const TECTONIC_FAILOVERS_TOTAL: &str = "dsi_tectonic_read_failovers_total";
+/// Counter: chunks re-replicated by the rebuild worker.
+pub const TECTONIC_REBUILT_CHUNKS_TOTAL: &str = "dsi_tectonic_rebuilt_chunks_total";
+/// Counter: disk IOs charged to rebuild traffic (reads + writes).
+pub const TECTONIC_REBUILD_IOS_TOTAL: &str = "dsi_tectonic_rebuild_ios_total";
+/// Gauge: nodes currently declared dead by the heartbeat detector.
+pub const TECTONIC_DEAD_NODES: &str = "dsi_tectonic_dead_nodes";
+/// Gauge: chunks currently below their target live replica count.
+pub const TECTONIC_UNDER_REPLICATED_CHUNKS: &str = "dsi_tectonic_under_replicated_chunks";
 
 // ---- dwrf: columnar format reader -----------------------------------------
 

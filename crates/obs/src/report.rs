@@ -75,6 +75,20 @@ pub struct PipelineReport {
     pub read_bytes: u64,
     /// Bytes the readers actually wanted.
     pub wanted_bytes: u64,
+    /// Per-page checksum failures detected by storage reads.
+    pub tectonic_checksum_failures: u64,
+    /// Bad replicas repaired in place after a verified read.
+    pub tectonic_read_repairs: u64,
+    /// Reads served by a non-first-choice replica.
+    pub tectonic_failovers: u64,
+    /// Chunks re-replicated by the rebuild worker.
+    pub tectonic_rebuilt_chunks: u64,
+    /// Disk IOs charged to rebuild traffic.
+    pub tectonic_rebuild_ios: u64,
+    /// Storage nodes currently declared dead by the heartbeat detector.
+    pub tectonic_dead_nodes: u64,
+    /// Chunks currently below their target live replica count.
+    pub tectonic_under_replicated: u64,
     /// Samples produced by workers.
     pub worker_samples: u64,
     /// Batches produced by workers.
@@ -227,6 +241,27 @@ impl PipelineReport {
                     report.dedup_reuse_hits = *c
                 }
                 (names::DEDUP_RATIO, MetricValue::Gauge(v)) => report.dedup_ratio = *v,
+                (names::TECTONIC_CHECKSUM_FAILURES_TOTAL, MetricValue::Counter(c)) => {
+                    report.tectonic_checksum_failures += *c
+                }
+                (names::TECTONIC_READ_REPAIRS_TOTAL, MetricValue::Counter(c)) => {
+                    report.tectonic_read_repairs += *c
+                }
+                (names::TECTONIC_FAILOVERS_TOTAL, MetricValue::Counter(c)) => {
+                    report.tectonic_failovers += *c
+                }
+                (names::TECTONIC_REBUILT_CHUNKS_TOTAL, MetricValue::Counter(c)) => {
+                    report.tectonic_rebuilt_chunks += *c
+                }
+                (names::TECTONIC_REBUILD_IOS_TOTAL, MetricValue::Counter(c)) => {
+                    report.tectonic_rebuild_ios += *c
+                }
+                (names::TECTONIC_DEAD_NODES, MetricValue::Gauge(v)) => {
+                    report.tectonic_dead_nodes += *v as u64
+                }
+                (names::TECTONIC_UNDER_REPLICATED_CHUNKS, MetricValue::Gauge(v)) => {
+                    report.tectonic_under_replicated += *v as u64
+                }
                 (names::WIRE_FRAMES_TOTAL, MetricValue::Counter(c)) => report.wire_frames += *c,
                 (names::WIRE_PAYLOAD_BYTES_TOTAL, MetricValue::Counter(c)) => {
                     report.wire_payload_bytes += *c
@@ -330,6 +365,20 @@ impl PipelineReport {
     /// [`PipelineReport::tax_cycle_share`] figure.
     pub fn wire_active(&self) -> bool {
         self.wire_frames > 0
+    }
+
+    /// Whether any durability machinery fired in this run: checksum
+    /// failures detected, replicas repaired, reads failed over, chunks
+    /// rebuilt, or residual dead/under-replicated state.
+    pub fn durability_active(&self) -> bool {
+        self.tectonic_checksum_failures
+            + self.tectonic_read_repairs
+            + self.tectonic_failovers
+            + self.tectonic_rebuilt_chunks
+            + self.tectonic_rebuild_ios
+            + self.tectonic_dead_nodes
+            + self.tectonic_under_replicated
+            > 0
     }
 
     /// Measured datacenter-tax seconds actually paid on the wire:
@@ -477,6 +526,25 @@ impl fmt::Display for PipelineReport {
             100.0 * self.cache_hit_rate
         )?;
 
+        if self.durability_active() {
+            writeln!(f, "\n-- storage durability --")?;
+            writeln!(
+                f,
+                "checksum failures: {}  read repairs: {}  failovers: {}",
+                self.tectonic_checksum_failures,
+                self.tectonic_read_repairs,
+                self.tectonic_failovers
+            )?;
+            writeln!(
+                f,
+                "rebuilt chunks: {}  rebuild IOs: {}  dead nodes: {}  under-replicated: {}",
+                self.tectonic_rebuilt_chunks,
+                self.tectonic_rebuild_ios,
+                self.tectonic_dead_nodes,
+                self.tectonic_under_replicated
+            )?;
+        }
+
         if self.dedup_sets + self.dedup_rows + self.dedup_reuse_hits > 0 {
             writeln!(f, "\n-- dedup (RecD) --")?;
             writeln!(
@@ -580,6 +648,38 @@ mod tests {
         assert_eq!(report.nodes[0].bytes, 100);
         assert_eq!(report.nodes[1].node, "2");
         assert_eq!(report.nodes[2].node, "10");
+    }
+
+    #[test]
+    fn durability_section_collects_and_displays() {
+        let r = Registry::new();
+        r.counter(names::TECTONIC_CHECKSUM_FAILURES_TOTAL, &[])
+            .add(2);
+        r.counter(names::TECTONIC_READ_REPAIRS_TOTAL, &[]).add(2);
+        r.counter(names::TECTONIC_FAILOVERS_TOTAL, &[]).add(5);
+        r.counter(names::TECTONIC_REBUILT_CHUNKS_TOTAL, &[]).add(7);
+        r.counter(names::TECTONIC_REBUILD_IOS_TOTAL, &[]).add(28);
+        r.gauge(names::TECTONIC_DEAD_NODES, &[]).set(1.0);
+        r.gauge(names::TECTONIC_UNDER_REPLICATED_CHUNKS, &[])
+            .set(3.0);
+        let report = PipelineReport::collect(&r);
+        assert_eq!(report.tectonic_checksum_failures, 2);
+        assert_eq!(report.tectonic_read_repairs, 2);
+        assert_eq!(report.tectonic_failovers, 5);
+        assert_eq!(report.tectonic_rebuilt_chunks, 7);
+        assert_eq!(report.tectonic_rebuild_ios, 28);
+        assert_eq!(report.tectonic_dead_nodes, 1);
+        assert_eq!(report.tectonic_under_replicated, 3);
+        assert!(report.durability_active());
+        let text = report.to_string();
+        assert!(text.contains("-- storage durability --"));
+        assert!(text.contains("read repairs: 2"));
+        assert!(text.contains("dead nodes: 1  under-replicated: 3"));
+
+        // Healthy runs print no durability section.
+        let healthy = PipelineReport::collect(&Registry::new());
+        assert!(!healthy.durability_active());
+        assert!(!healthy.to_string().contains("storage durability"));
     }
 
     #[test]

@@ -56,14 +56,49 @@ pub fn place_replicas(block: BlockId, node_count: usize, replicas: usize) -> Vec
         replicas <= node_count,
         "cannot place {replicas} replicas on {node_count} nodes"
     );
+    let candidates: Vec<NodeId> = (0..node_count as u64).map(NodeId).collect();
+    place_replicas_among(block, &candidates, replicas)
+}
+
+/// Rendezvous placement restricted to an explicit candidate set (the live
+/// nodes). Each candidate keeps its weight `mix2(key, node)` regardless of
+/// which other nodes are present, so removing one node relocates only the
+/// replicas it held (minimal churn). If fewer than `replicas` candidates
+/// exist the placement degrades gracefully and returns all of them.
+///
+/// # Panics
+///
+/// Panics if `candidates` is empty.
+pub fn place_replicas_among(block: BlockId, candidates: &[NodeId], replicas: usize) -> Vec<NodeId> {
+    assert!(!candidates.is_empty(), "no candidate nodes");
     let key = block.placement_key();
-    let mut weighted: Vec<(u64, u64)> = (0..node_count as u64).map(|n| (mix2(key, n), n)).collect();
+    let mut weighted: Vec<(u64, u64)> = candidates.iter().map(|n| (mix2(key, n.0), n.0)).collect();
     weighted.sort_unstable_by(|a, b| b.cmp(a));
     weighted
         .into_iter()
         .take(replicas)
         .map(|(_, n)| NodeId(n))
         .collect()
+}
+
+/// Whole-chunk FNV-1a checksum folded 8 bytes at a time (word-at-a-time so
+/// verification costs stay proportional to bytes read, not a per-byte mix).
+pub fn chunk_checksum(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for w in &mut chunks {
+        h = (h ^ u64::from_le_bytes(w.try_into().unwrap())).wrapping_mul(0x100_0000_01b3);
+        h ^= h >> 29;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        // Fold the length in so "abc" and "abc\0" differ.
+        h = (h ^ u64::from_le_bytes(tail) ^ (rem.len() as u64) << 56).wrapping_mul(0x100_0000_01b3);
+        h ^= h >> 29;
+    }
+    h
 }
 
 #[cfg(test)]
@@ -117,5 +152,97 @@ mod tests {
     #[should_panic(expected = "cannot place")]
     fn too_many_replicas_panics() {
         place_replicas(BlockId::new("f", 0), 2, 3);
+    }
+
+    #[test]
+    fn among_full_set_matches_place_replicas() {
+        for i in 0..200 {
+            let b = BlockId::new("table/p1/f", i);
+            let full: Vec<NodeId> = (0..12).map(NodeId).collect();
+            assert_eq!(place_replicas(b, 12, 3), place_replicas_among(b, &full, 3));
+        }
+    }
+
+    #[test]
+    fn among_yields_distinct_live_nodes_deterministically() {
+        let live: Vec<NodeId> = [0u64, 2, 3, 5, 6, 7].into_iter().map(NodeId).collect();
+        for i in 0..500 {
+            let b = BlockId::new("f", i);
+            let a = place_replicas_among(b, &live, 3);
+            assert_eq!(a, place_replicas_among(b, &live, 3), "deterministic");
+            let mut uniq = a.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 3, "3 distinct nodes");
+            assert!(a.iter().all(|n| live.contains(n)), "only live nodes");
+        }
+    }
+
+    #[test]
+    fn among_is_order_independent() {
+        let fwd: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let rev: Vec<NodeId> = (0..10).rev().map(NodeId).collect();
+        for i in 0..100 {
+            let b = BlockId::new("f", i);
+            assert_eq!(
+                place_replicas_among(b, &fwd, 3),
+                place_replicas_among(b, &rev, 3)
+            );
+        }
+    }
+
+    #[test]
+    fn removing_a_node_relocates_only_its_replicas() {
+        let all: Vec<NodeId> = (0..10).map(NodeId).collect();
+        let removed = NodeId(4);
+        let without: Vec<NodeId> = all.iter().copied().filter(|&n| n != removed).collect();
+        let mut relocated = 0usize;
+        for i in 0..1000 {
+            let b = BlockId::new("f", i);
+            let before = place_replicas_among(b, &all, 3);
+            let after = place_replicas_among(b, &without, 3);
+            // Minimal churn: every surviving replica keeps its placement.
+            for n in before.iter().filter(|&&n| n != removed) {
+                assert!(after.contains(n), "block {i}: survivor {n} relocated");
+            }
+            if before.contains(&removed) {
+                relocated += 1;
+                assert!(!after.contains(&removed));
+            } else {
+                // Order within the set may shift, membership may not.
+                let (mut b1, mut a1) = (before.clone(), after.clone());
+                b1.sort();
+                a1.sort();
+                assert_eq!(b1, a1, "block {i}: untouched block moved");
+            }
+        }
+        // ~3/10 of blocks held a replica on the removed node.
+        assert!((200..=400).contains(&relocated), "relocated {relocated}");
+    }
+
+    #[test]
+    fn degraded_placement_returns_all_candidates() {
+        let live = [NodeId(3), NodeId(7)];
+        let got = place_replicas_among(BlockId::new("f", 1), &live, 3);
+        assert_eq!(got.len(), 2);
+        assert!(got.contains(&NodeId(3)) && got.contains(&NodeId(7)));
+    }
+
+    #[test]
+    fn chunk_checksum_detects_single_bit_flips() {
+        let mut data = vec![0u8; 4096];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        let clean = chunk_checksum(&data);
+        assert_eq!(clean, chunk_checksum(&data), "deterministic");
+        for pos in [0usize, 7, 8, 100, 4090, 4095] {
+            let mut bad = data.clone();
+            bad[pos] ^= 0x40;
+            assert_ne!(clean, chunk_checksum(&bad), "flip at {pos} undetected");
+        }
+        // Tail-length folding: a trailing zero byte changes the sum.
+        assert_ne!(chunk_checksum(b"abc"), chunk_checksum(b"abc\0"));
+        assert_ne!(chunk_checksum(b""), chunk_checksum(b"\0"));
     }
 }

@@ -255,23 +255,29 @@ impl ChunkSource for CachedSource {
         // charged for each page.
         let first = offset / PAGE_SIZE;
         let last = (offset + len.max(1) - 1) / PAGE_SIZE;
-        let mut missed_any = false;
+        let mut missed: Vec<PageKey> = Vec::new();
         for page in first..=last {
             let key = PageKey {
                 file: self.file_hash,
                 page,
             };
             if !self.cache.touch_page(key) {
-                missed_any = true;
-                self.cache.fill_page(key);
+                missed.push(key);
             }
         }
-        let chunk = if missed_any {
-            // Misses pay the HDD path.
-            self.cluster.read_view(&self.path, offset, len)?
-        } else {
+        let chunk = if missed.is_empty() {
             // All pages hot: serve without touching HDDs.
             self.cluster.read_view_uncharged(&self.path, offset, len)?
+        } else {
+            // Misses pay the HDD path. Fill only after the cluster read
+            // succeeds: filling first would leave pages resident after a
+            // failed read, so the retry would count a bogus hit and the
+            // hit rate would double-count the same fetch.
+            let chunk = self.cluster.read_view(&self.path, offset, len)?;
+            for key in missed {
+                self.cache.fill_page(key);
+            }
+            chunk
         };
         if let Some(trace) = &self.trace {
             trace.record_io(start_ns);
@@ -398,6 +404,61 @@ mod tests {
             .map(|i| reg.counter_value(names::STORAGE_NODE_IOS_TOTAL, &[("node", &i.to_string())]))
             .sum();
         assert_eq!(total, cluster.total_stats().ios);
+    }
+
+    #[test]
+    fn failed_cluster_read_leaves_no_resident_pages() {
+        // Regression: fills used to happen before the cluster read, so an
+        // injected IoError left the pages resident and the retry counted a
+        // bogus hit — inflating the hit rate for bytes never fetched.
+        let (cluster, cache) = setup(ByteSize::mib(8));
+        let plan = chaos::FaultPlan::named(vec![chaos::FaultEvent::new(
+            chaos::HookPoint::TectonicRead,
+            1,
+            chaos::FaultKind::IoError,
+        )]);
+        cluster.attach_chaos(chaos::FaultInjector::new(plan));
+        let mut src = CachedSource::new(cluster, cache.clone(), "hot/file");
+        assert!(src
+            .read(0, 5_000)
+            .unwrap_err()
+            .to_string()
+            .contains("injected IO error"));
+        assert_eq!(cache.len(), 0, "failed read must not fill the cache");
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 0);
+        assert!(stats.misses >= 1);
+
+        // The retry is a genuine miss (not a phantom hit) and fills pages.
+        let chunk = src.read(0, 5_000).unwrap();
+        assert_eq!(chunk.view.len(), 5_000);
+        assert!(!cache.is_empty());
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn cached_path_fails_over_to_live_replica() {
+        // A dead primary replica is transparent to the cached source: the
+        // miss path fails over inside the cluster and hit accounting stays
+        // exact (one miss per page, then pure hits).
+        let (cluster, cache) = setup(ByteSize::mib(8));
+        let primary = cluster.stat("hot/file").unwrap().blocks[0][0];
+        cluster.fail_node(primary);
+        let mut src = CachedSource::new(cluster.clone(), cache.clone(), "hot/file");
+        let direct = cluster.read("hot/file", 100, 3_000).unwrap();
+        let through = src.read(100, 3_000).unwrap().view;
+        assert_eq!(direct, through.as_slice());
+        let after_miss = cache.stats();
+        let again = src.read(100, 3_000).unwrap().view;
+        assert_eq!(again.as_slice(), direct);
+        let after_hit = cache.stats();
+        assert_eq!(
+            after_hit.misses, after_miss.misses,
+            "repeat read is all hits"
+        );
+        assert!(after_hit.hits > after_miss.hits);
+        // The dead primary is skipped silently (not a checksum failure).
+        assert_eq!(cluster.durability().checksum_failures, 0);
     }
 
     #[test]

@@ -2,11 +2,21 @@
 //!
 //! [`TectonicCluster`] is a cheaply-cloneable handle (shared state behind
 //! locks) so DPP Workers on many threads can read concurrently. Appends
-//! split data into blocks, place three replicas by rendezvous hashing, and
-//! update the name-node file metadata. Reads pick a replica round-robin and
-//! charge the owning node's simulated disk.
+//! split data into blocks, fan R replicas out by rendezvous hashing over
+//! the live nodes, and record each chunk in the [`ChunkDirectory`] with its
+//! whole-chunk checksum. Reads pick a replica round-robin, verify per-page
+//! checksums on the serving node, and transparently fail over to a
+//! surviving replica on corruption — repairing the bad copy in place.
+//! Node loss is detected by the heartbeat detector after K missed beats
+//! and healed by draining the priority rebuild queue under an IOPS budget
+//! ([`TectonicCluster::pump_rebuild`]), so rebuild traffic contends with
+//! foreground reads on the same simulated disks and clock.
 
-use crate::block::{place_replicas, BlockId, DEFAULT_BLOCK_SIZE, REPLICATION_FACTOR};
+use crate::block::{
+    chunk_checksum, place_replicas_among, BlockId, DEFAULT_BLOCK_SIZE, REPLICATION_FACTOR,
+};
+use crate::directory::{ChunkDirectory, ChunkInfo};
+use crate::heal::{HeartbeatDetector, RebuildProgress, RebuildQueue};
 use crate::node::{NodeStats, StorageNode};
 use bytes::Bytes;
 use chaos::{FaultInjector, FaultKind, HookPoint};
@@ -15,7 +25,7 @@ use fastpath::{ByteView, SourceChunk};
 use hwsim::{DeviceStats, DiskModel, SimClock};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -66,7 +76,8 @@ impl Default for ClusterConfig {
     }
 }
 
-/// Name-node metadata for one file.
+/// Name-node metadata for one file (reconstructed from the chunk
+/// directory, which is the authoritative replica map).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FileMeta {
     /// Total file length in bytes.
@@ -75,14 +86,55 @@ pub struct FileMeta {
     pub blocks: Vec<Vec<NodeId>>,
 }
 
+/// Snapshot of the cluster's durability machinery: monotonic counters for
+/// the verified-read/failover/repair path plus the current degradation
+/// state (dead nodes, under-replicated chunks, rebuild backlog).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DurabilityCounters {
+    /// Per-page checksum verification failures detected on reads.
+    pub checksum_failures: u64,
+    /// Replicas repaired in place after a verified read found a bad copy.
+    pub read_repairs: u64,
+    /// Reads served by a non-first-choice replica (node failed or corrupt).
+    pub failovers: u64,
+    /// Chunks re-replicated by the rebuild worker.
+    pub rebuilt_chunks: u64,
+    /// Disk IOs charged to rebuild traffic (source reads + target writes).
+    pub rebuild_ios: u64,
+    /// Nodes currently declared dead by the heartbeat detector.
+    pub dead_nodes: u64,
+    /// Chunks currently below their target live replica count.
+    pub under_replicated: u64,
+    /// Chunks currently queued for rebuild.
+    pub rebuild_queue_depth: u64,
+}
+
+/// Faults drawn for one logical read: an in-flight XOR applied to the
+/// served bytes, and/or at-rest corruption planted on the replica the
+/// read is about to consult (exercising detect → failover → repair).
+#[derive(Debug, Clone, Copy, Default)]
+struct ReadChaos {
+    xor: Option<u8>,
+    at_rest: Option<u8>,
+}
+
 struct ClusterInner {
     config: ClusterConfig,
     nodes: Vec<Mutex<StorageNode>>,
-    failed: RwLock<std::collections::HashSet<NodeId>>,
-    files: RwLock<HashMap<String, FileMeta>>,
+    failed: RwLock<HashSet<NodeId>>,
+    /// Path → logical file length; replica maps live in `directory`.
+    files: RwLock<HashMap<String, u64>>,
+    directory: RwLock<ChunkDirectory>,
+    detector: Mutex<HeartbeatDetector>,
+    rebuild: Mutex<RebuildQueue>,
     replica_cursor: AtomicU64,
     clock: SimClock,
     chaos: RwLock<Option<Arc<FaultInjector>>>,
+    checksum_failures: AtomicU64,
+    read_repairs: AtomicU64,
+    failovers: AtomicU64,
+    rebuilt_chunks: AtomicU64,
+    rebuild_ios: AtomicU64,
 }
 
 /// A handle to a simulated Tectonic cluster.
@@ -114,7 +166,7 @@ impl TectonicCluster {
             config.replication >= 1 && config.replication <= config.nodes,
             "replication must be within [1, nodes]"
         );
-        let nodes = (0..config.nodes)
+        let nodes: Vec<Mutex<StorageNode>> = (0..config.nodes)
             .map(|_| {
                 Mutex::new(StorageNode::new(if config.hdd {
                     DiskModel::hdd()
@@ -123,15 +175,24 @@ impl TectonicCluster {
                 }))
             })
             .collect();
+        let node_count = config.nodes;
         Self {
             inner: Arc::new(ClusterInner {
                 config,
                 nodes,
-                failed: RwLock::new(std::collections::HashSet::new()),
+                failed: RwLock::new(HashSet::new()),
                 files: RwLock::new(HashMap::new()),
+                directory: RwLock::new(ChunkDirectory::new()),
+                detector: Mutex::new(HeartbeatDetector::new(node_count)),
+                rebuild: Mutex::new(RebuildQueue::new()),
                 replica_cursor: AtomicU64::new(0),
                 clock: SimClock::new(),
                 chaos: RwLock::new(None),
+                checksum_failures: AtomicU64::new(0),
+                read_repairs: AtomicU64::new(0),
+                failovers: AtomicU64::new(0),
+                rebuilt_chunks: AtomicU64::new(0),
+                rebuild_ios: AtomicU64::new(0),
             }),
         }
     }
@@ -151,58 +212,141 @@ impl TectonicCluster {
         self.inner.nodes.len()
     }
 
+    /// Nodes currently live (not failed).
+    fn live_nodes(&self, failed: &HashSet<NodeId>) -> Vec<NodeId> {
+        (0..self.inner.nodes.len() as u64)
+            .map(NodeId)
+            .filter(|n| !failed.contains(n))
+            .collect()
+    }
+
     /// Appends a new file (or appends more bytes to an existing one),
-    /// splitting it into replicated blocks.
+    /// splitting it into blocks whose replicas fan out R ways over the
+    /// live nodes by rendezvous hashing. With fewer than R live nodes the
+    /// write degrades gracefully (all live nodes hold a copy) and the
+    /// chunk is queued for rebuild once capacity returns.
     ///
     /// # Errors
     ///
-    /// Returns [`DsiError::Exhausted`] if any target node is out of space.
+    /// Returns [`DsiError::Exhausted`] if a target node is out of space,
+    /// or [`DsiError::Unavailable`] if no live node can accept the write.
     pub fn append(&self, path: &str, data: Bytes) -> Result<()> {
         let mut files = self.inner.files.write();
-        let meta = files.entry(path.to_string()).or_insert(FileMeta {
-            len: 0,
-            blocks: Vec::new(),
-        });
+        let mut dir = self.inner.directory.write();
+        let len = files.entry(path.to_string()).or_insert(0);
         let bs = self.inner.config.block_size;
+        let r = self.inner.config.replication;
+        let failed = self.inner.failed.read().clone();
+        let live = self.live_nodes(&failed);
+        if live.is_empty() {
+            return Err(DsiError::Unavailable(
+                "no live storage node can accept the write".into(),
+            ));
+        }
         let mut written = 0u64;
         // Fill the tail block first if the file doesn't end on a boundary.
         // Append-only semantics: we only ever add new blocks; a partial tail
-        // block is replaced by a longer one on its original nodes.
+        // block is replaced by a longer one on its replicas.
         while written < data.len() as u64 {
-            let block_index = meta.len / bs;
-            let within = meta.len % bs;
+            let block_index = *len / bs;
+            let within = *len % bs;
             let take = ((bs - within).min(data.len() as u64 - written)) as usize;
             let chunk = data.slice(written as usize..written as usize + take);
             let id = BlockId::new(path, block_index);
             if within == 0 {
-                let replicas =
-                    place_replicas(id, self.inner.config.nodes, self.inner.config.replication);
+                let replicas = place_replicas_among(id, &live, r);
                 for &node in &replicas {
                     self.inner.nodes[node.0 as usize]
                         .lock()
                         .store(id, chunk.clone())?;
                 }
-                meta.blocks.push(replicas);
+                let degraded = replicas.len() < r;
+                dir.insert(
+                    id,
+                    ChunkInfo {
+                        replicas: replicas.clone(),
+                        checksum: chunk_checksum(&chunk),
+                        len: take as u64,
+                    },
+                );
+                if degraded {
+                    self.inner.rebuild.lock().push(id, replicas.len());
+                }
             } else {
-                // Extend the partial tail block in place on its replicas.
-                let replicas = meta.blocks[block_index as usize].clone();
-                for &node in &replicas {
-                    let mut n = self.inner.nodes[node.0 as usize].lock();
-                    let (existing, _) = n.read(id, 0, within)?;
-                    let mut combined = existing.to_vec();
-                    combined.extend_from_slice(&chunk);
-                    n.store(id, Bytes::from(combined))?;
+                // Extend the partial tail block in place. Failed holders are
+                // dropped from the replica set (their copy is now stale) and
+                // the write tops back up to R on live non-holders.
+                let info = dir
+                    .get(id)
+                    .cloned()
+                    .ok_or_else(|| DsiError::corrupt(format!("missing chunk {id:?}")))?;
+                let mut holders: Vec<NodeId> = info
+                    .replicas
+                    .iter()
+                    .filter(|n| !failed.contains(n))
+                    .copied()
+                    .collect();
+                if holders.is_empty() {
+                    return Err(DsiError::Unavailable(format!(
+                        "every replica of {path} block {block_index} is on a failed node"
+                    )));
+                }
+                let (existing, _) = self.inner.nodes[holders[0].0 as usize]
+                    .lock()
+                    .read(id, 0, within)?;
+                let mut combined = existing.to_vec();
+                combined.extend_from_slice(&chunk);
+                let combined = Bytes::from(combined);
+                if holders.len() < r {
+                    let spare: Vec<NodeId> = live
+                        .iter()
+                        .filter(|n| !holders.contains(n))
+                        .copied()
+                        .collect();
+                    if !spare.is_empty() {
+                        holders.extend(place_replicas_among(id, &spare, r - holders.len()));
+                    }
+                }
+                for &node in &holders {
+                    self.inner.nodes[node.0 as usize]
+                        .lock()
+                        .store(id, combined.clone())?;
+                }
+                let degraded = holders.len() < r;
+                dir.insert(
+                    id,
+                    ChunkInfo {
+                        replicas: holders.clone(),
+                        checksum: chunk_checksum(&combined),
+                        len: combined.len() as u64,
+                    },
+                );
+                if degraded {
+                    self.inner.rebuild.lock().push(id, holders.len());
                 }
             }
-            meta.len += take as u64;
+            *len += take as u64;
             written += take as u64;
         }
         Ok(())
     }
 
-    /// File metadata, if the file exists.
+    /// File metadata, if the file exists. The per-block replica lists are
+    /// reconstructed from the chunk directory, so they reflect failovers
+    /// and rebuilds.
     pub fn stat(&self, path: &str) -> Option<FileMeta> {
-        self.inner.files.read().get(path).cloned()
+        let len = *self.inner.files.read().get(path)?;
+        let dir = self.inner.directory.read();
+        let bs = self.inner.config.block_size;
+        let nblocks = len.div_ceil(bs);
+        let blocks = (0..nblocks)
+            .map(|i| {
+                dir.get(BlockId::new(path, i))
+                    .map(|info| info.replicas.clone())
+                    .unwrap_or_default()
+            })
+            .collect();
+        Some(FileMeta { len, blocks })
     }
 
     /// Lists all file paths.
@@ -214,7 +358,7 @@ impl TectonicCluster {
 
     /// Total logical bytes across files (before replication).
     pub fn total_file_bytes(&self) -> u64 {
-        self.inner.files.read().values().map(|m| m.len).sum()
+        self.inner.files.read().values().sum()
     }
 
     /// Attaches a chaos fault injector: every subsequent logical read
@@ -227,14 +371,15 @@ impl TectonicCluster {
     /// Fires the `TectonicRead` chaos hook once per logical read.
     ///
     /// Applies latency faults to the cluster clock immediately, surfaces
-    /// injected IO errors, and returns an optional XOR mask the caller
-    /// must apply to the served bytes ([`FaultKind::CorruptChunk`]).
-    fn fire_read_chaos(&self, path: &str, offset: u64) -> Result<Option<u8>> {
+    /// injected IO errors, and returns the corruption faults the caller
+    /// must apply: an in-flight XOR ([`FaultKind::CorruptChunk`]) and/or
+    /// at-rest replica corruption ([`FaultKind::CorruptReplica`]).
+    fn fire_read_chaos(&self, path: &str, offset: u64) -> Result<ReadChaos> {
         let guard = self.inner.chaos.read();
         let Some(injector) = guard.as_ref() else {
-            return Ok(None);
+            return Ok(ReadChaos::default());
         };
-        let mut xor = None;
+        let mut chaos = ReadChaos::default();
         for kind in injector.fire(HookPoint::TectonicRead) {
             match kind {
                 FaultKind::IoError => {
@@ -245,58 +390,81 @@ impl TectonicCluster {
                 FaultKind::SlowIo { micros } => {
                     self.inner.clock.advance_ns(micros * 1_000);
                 }
-                FaultKind::CorruptChunk { xor: mask } => xor = Some(mask),
+                FaultKind::CorruptChunk { xor: mask } => chaos.xor = Some(mask),
+                FaultKind::CorruptReplica { xor: mask } => chaos.at_rest = Some(mask),
                 _ => {}
             }
         }
-        Ok(xor)
+        Ok(chaos)
     }
 
     /// Reads `len` bytes of `path` at `offset`, charging simulated disk
     /// time on the chosen replicas and advancing the cluster clock.
+    /// Checksums are verified on the serving node; a corrupt replica is
+    /// transparently failed over and repaired in place.
     ///
     /// # Errors
     ///
     /// Returns [`DsiError::NotFound`] for missing files and
     /// [`DsiError::Corrupt`] for out-of-range reads.
     pub fn read(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
-        let xor = self.fire_read_chaos(path, offset)?;
-        let mut out = self.read_charged(path, offset, len)?;
-        if let (Some(mask), Some(first)) = (xor, out.first_mut()) {
+        let chaos = self.fire_read_chaos(path, offset)?;
+        let mut out = self.read_charged(path, offset, len, chaos.at_rest)?;
+        if let (Some(mask), Some(first)) = (chaos.xor, out.first_mut()) {
             *first ^= mask;
         }
         Ok(out)
     }
 
-    /// The chaos-free body of [`TectonicCluster::read`], shared with the
-    /// multi-block fallback of [`TectonicCluster::read_view`] so one
-    /// logical read never fires the chaos hook twice.
-    fn read_charged(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
-        let meta = self
-            .stat(path)
+    /// Validates a read range against the file length.
+    fn check_range(&self, path: &str, offset: u64, len: u64) -> Result<u64> {
+        let flen = *self
+            .inner
+            .files
+            .read()
+            .get(path)
             .ok_or_else(|| DsiError::not_found(format!("file {path}")))?;
         let end = offset
             .checked_add(len)
             .ok_or_else(|| DsiError::corrupt("read range overflow"))?;
-        if end > meta.len {
+        if end > flen {
             return Err(DsiError::corrupt(format!(
-                "read [{offset}, {end}) beyond file of {} bytes",
-                meta.len
+                "read [{offset}, {end}) beyond file of {flen} bytes"
             )));
         }
+        Ok(end)
+    }
+
+    /// The chaos-free body of [`TectonicCluster::read`], shared with the
+    /// multi-block fallback of [`TectonicCluster::read_view`] so one
+    /// logical read never fires the chaos hook twice. `corrupt_first`
+    /// plants at-rest corruption on the first replica the first block's
+    /// read will consult.
+    fn read_charged(
+        &self,
+        path: &str,
+        offset: u64,
+        len: u64,
+        corrupt_first: Option<u8>,
+    ) -> Result<Vec<u8>> {
+        let end = self.check_range(path, offset, len)?;
         let bs = self.inner.config.block_size;
         let mut out = Vec::with_capacity(len as usize);
         let mut pos = offset;
         let mut total_ns = 0u64;
+        let mut corrupt_once = corrupt_first;
         while pos < end {
             let block_index = pos / bs;
             let within = pos % bs;
             let take = (bs - within).min(end - pos);
-            let node = self.pick_live_replica(&meta, path, block_index)?;
-            let id = BlockId::new(path, block_index);
-            let (bytes, ns) = self.inner.nodes[node.0 as usize]
-                .lock()
-                .read(id, within, take)?;
+            let (bytes, ns) = self.read_block_verified(
+                path,
+                block_index,
+                within,
+                take,
+                true,
+                corrupt_once.take(),
+            )?;
             out.extend_from_slice(&bytes);
             total_ns += ns;
             pos += take;
@@ -315,30 +483,15 @@ impl TectonicCluster {
     ///
     /// Same conditions as [`TectonicCluster::read`].
     pub fn read_view(&self, path: &str, offset: u64, len: u64) -> Result<SourceChunk> {
-        let xor = self.fire_read_chaos(path, offset)?;
-        let meta = self
-            .stat(path)
-            .ok_or_else(|| DsiError::not_found(format!("file {path}")))?;
-        let end = offset
-            .checked_add(len)
-            .ok_or_else(|| DsiError::corrupt("read range overflow"))?;
-        if end > meta.len {
-            return Err(DsiError::corrupt(format!(
-                "read [{offset}, {end}) beyond file of {} bytes",
-                meta.len
-            )));
-        }
+        let chaos = self.fire_read_chaos(path, offset)?;
+        let end = self.check_range(path, offset, len)?;
         let bs = self.inner.config.block_size;
         if len > 0 && offset / bs == (end - 1) / bs {
             let block_index = offset / bs;
-            let node = self.pick_live_replica(&meta, path, block_index)?;
-            let id = BlockId::new(path, block_index);
             let (bytes, ns) =
-                self.inner.nodes[node.0 as usize]
-                    .lock()
-                    .read(id, offset % bs, len)?;
+                self.read_block_verified(path, block_index, offset % bs, len, true, chaos.at_rest)?;
             self.inner.clock.advance_ns(ns);
-            if let Some(mask) = xor {
+            if let Some(mask) = chaos.xor {
                 // Corruption forces a private copy: the replica's stored
                 // bytes must stay pristine for other readers.
                 let mut owned = bytes.to_vec();
@@ -349,67 +502,163 @@ impl TectonicCluster {
             }
             return Ok(SourceChunk::zero_copy(ByteView::from(bytes)));
         }
-        let mut owned = self.read_charged(path, offset, len)?;
-        if let (Some(mask), Some(first)) = (xor, owned.first_mut()) {
+        let mut owned = self.read_charged(path, offset, len, chaos.at_rest)?;
+        if let (Some(mask), Some(first)) = (chaos.xor, owned.first_mut()) {
             *first ^= mask;
         }
         Ok(SourceChunk::copied(ByteView::from(owned)))
     }
 
-    /// Picks a live replica of `path`'s block `block_index` round-robin.
-    fn pick_live_replica(&self, meta: &FileMeta, path: &str, block_index: u64) -> Result<NodeId> {
-        let all_replicas = &meta.blocks[block_index as usize];
-        let failed = self.inner.failed.read();
-        let replicas: Vec<NodeId> = all_replicas
+    /// Serves one intra-block range from a live replica with verification,
+    /// failover, and read-repair.
+    ///
+    /// Candidates are the chunk's live replicas in round-robin rotation
+    /// order. A replica whose touched pages fail checksum verification is
+    /// skipped (counted as a checksum failure) and, once a good replica
+    /// serves the range, overwritten in place with the verified payload
+    /// (read-repair). `corrupt_first` plants at-rest corruption on the
+    /// replica about to be consulted, guaranteeing the detect → failover
+    /// → repair path actually runs under chaos.
+    fn read_block_verified(
+        &self,
+        path: &str,
+        block_index: u64,
+        within: u64,
+        take: u64,
+        charge: bool,
+        corrupt_first: Option<u8>,
+    ) -> Result<(Bytes, u64)> {
+        let id = BlockId::new(path, block_index);
+        let info = self
+            .inner
+            .directory
+            .read()
+            .get(id)
+            .cloned()
+            .ok_or_else(|| DsiError::not_found(format!("block {block_index} of {path}")))?;
+        let failed = self.inner.failed.read().clone();
+        let live: Vec<NodeId> = info
+            .replicas
             .iter()
             .filter(|n| !failed.contains(n))
             .copied()
             .collect();
-        drop(failed);
-        if replicas.is_empty() {
+        if live.is_empty() {
             return Err(DsiError::Unavailable(format!(
                 "every replica of {path} block {block_index} is on a failed node"
             )));
         }
-        let pick =
-            self.inner.replica_cursor.fetch_add(1, Ordering::Relaxed) as usize % replicas.len();
-        Ok(replicas[pick])
+        let start = self.inner.replica_cursor.fetch_add(1, Ordering::Relaxed) as usize % live.len();
+        if let Some(mask) = corrupt_first {
+            self.inner.nodes[live[start].0 as usize]
+                .lock()
+                .corrupt(id, mask);
+        }
+        let mut bad: Vec<NodeId> = Vec::new();
+        let mut last_err: Option<DsiError> = None;
+        for i in 0..live.len() {
+            let node = live[(start + i) % live.len()];
+            let attempt = {
+                let mut n = self.inner.nodes[node.0 as usize].lock();
+                if charge {
+                    n.read(id, within, take)
+                } else {
+                    n.peek(id, within, take).map(|b| (b, 0))
+                }
+            };
+            match attempt {
+                Ok((bytes, ns)) => {
+                    if i > 0 {
+                        self.inner.failovers.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if !bad.is_empty() {
+                        self.read_repair(id, &info, node, &bad);
+                    }
+                    return Ok((bytes, ns));
+                }
+                Err(DsiError::Corrupt(e)) => {
+                    self.inner.checksum_failures.fetch_add(1, Ordering::Relaxed);
+                    bad.push(node);
+                    last_err = Some(DsiError::Corrupt(e));
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            DsiError::Unavailable(format!("no replica of {path} block {block_index} served"))
+        }))
     }
 
-    /// Deletes a file: removes its name-node entry and every block replica
-    /// (retention and privacy reaping — old partitions are deleted even in
-    /// an append-only store).
+    /// Overwrites corrupt replicas with the canonical payload fetched from
+    /// a known-good holder, after validating it against the directory's
+    /// whole-chunk checksum. Best-effort: a failed repair leaves the bad
+    /// replica for the rebuild path.
+    fn read_repair(&self, id: BlockId, info: &ChunkInfo, good: NodeId, bad: &[NodeId]) {
+        let data = match self.inner.nodes[good.0 as usize]
+            .lock()
+            .peek(id, 0, info.len)
+        {
+            Ok(d) => d,
+            Err(_) => return,
+        };
+        if chunk_checksum(&data) != info.checksum {
+            return;
+        }
+        for &node in bad {
+            if self.inner.nodes[node.0 as usize]
+                .lock()
+                .store(id, data.clone())
+                .is_ok()
+            {
+                self.inner.read_repairs.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Deletes a file: removes its name-node entry, directory entries, and
+    /// every block replica (retention and privacy reaping — old partitions
+    /// are deleted even in an append-only store).
     ///
     /// # Errors
     ///
     /// Returns [`DsiError::NotFound`] for unknown paths.
     pub fn delete(&self, path: &str) -> Result<()> {
-        let meta = self
+        let len = self
             .inner
             .files
             .write()
             .remove(path)
             .ok_or_else(|| DsiError::not_found(format!("file {path}")))?;
-        for (block_index, replicas) in meta.blocks.iter().enumerate() {
-            let id = BlockId::new(path, block_index as u64);
-            for &node in replicas {
-                self.inner.nodes[node.0 as usize].lock().remove(id);
+        let mut dir = self.inner.directory.write();
+        let mut rebuild = self.inner.rebuild.lock();
+        let bs = self.inner.config.block_size;
+        for block_index in 0..len.div_ceil(bs) {
+            let id = BlockId::new(path, block_index);
+            if let Some(info) = dir.remove(id) {
+                for &node in &info.replicas {
+                    self.inner.nodes[node.0 as usize].lock().remove(id);
+                }
             }
+            rebuild.discard(id);
         }
         Ok(())
     }
 
-    /// Marks a storage node failed: it stops serving reads until repaired.
-    /// Durable data survives via the remaining replicas.
+    /// Marks a storage node failed: it stops serving reads and misses its
+    /// heartbeats until recovered. The heartbeat detector declares it dead
+    /// after K missed beats ([`TectonicCluster::heartbeat_tick`]), which
+    /// queues its chunks for rebuild. Durable data survives via the
+    /// remaining replicas meanwhile.
     pub fn fail_node(&self, node: NodeId) {
         self.inner.failed.write().insert(node);
     }
 
-    /// Returns a failed node to service (e.g. after replacement). Blocks it
-    /// hosted are stale until [`TectonicCluster::repair`] runs, but since
-    /// files are immutable its replicas remain valid.
+    /// Returns a failed node to service (e.g. after replacement), clearing
+    /// its heartbeat failure history. Since files are immutable its
+    /// replicas remain valid wherever the directory still lists them.
     pub fn recover_node(&self, node: NodeId) {
         self.inner.failed.write().remove(&node);
+        self.inner.detector.lock().recover(node);
     }
 
     /// Currently failed nodes.
@@ -419,91 +668,233 @@ impl TectonicCluster {
         v
     }
 
-    /// Re-replicates every block that lost a replica to a failed node,
-    /// copying from a surviving replica onto a healthy node not already
-    /// holding the block. Returns the number of replicas restored.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`DsiError::Unavailable`] if some block has no surviving
-    /// replica, or [`DsiError::Exhausted`] if healthy nodes lack capacity.
-    pub fn repair(&self) -> Result<u64> {
-        let failed: std::collections::HashSet<NodeId> =
-            self.inner.failed.read().iter().copied().collect();
-        if failed.is_empty() {
-            return Ok(0);
+    /// Overrides the heartbeat missed-beat threshold K.
+    pub fn set_heartbeat_k(&self, k: u32) {
+        self.inner.detector.lock().set_k(k);
+    }
+
+    /// One heartbeat round: failed nodes miss their beat, live nodes beat.
+    /// Nodes reaching K consecutive misses are declared dead and their
+    /// chunks are queued for rebuild, most under-replicated first. Returns
+    /// the newly-dead nodes.
+    pub fn heartbeat_tick(&self) -> Vec<NodeId> {
+        let failed = self.inner.failed.read().clone();
+        let newly_dead = self.inner.detector.lock().tick(&failed);
+        if !newly_dead.is_empty() {
+            self.enqueue_chunks_of(&newly_dead);
         }
-        let mut restored = 0u64;
-        let mut files = self.inner.files.write();
-        let healthy: Vec<NodeId> = (0..self.inner.nodes.len() as u64)
-            .map(NodeId)
-            .filter(|n| !failed.contains(n))
-            .collect();
-        for (path, meta) in files.iter_mut() {
-            for (block_index, replicas) in meta.blocks.iter_mut().enumerate() {
-                let lost = replicas.iter().filter(|n| failed.contains(n)).count();
-                if lost == 0 {
-                    continue;
-                }
-                let id = BlockId::new(path, block_index as u64);
-                let source = replicas
-                    .iter()
-                    .find(|n| !failed.contains(n))
-                    .copied()
-                    .ok_or_else(|| {
-                        DsiError::Unavailable(format!(
-                            "block {block_index} of {path} lost every replica"
-                        ))
-                    })?;
-                let data = {
-                    let node = self.inner.nodes[source.0 as usize].lock();
-                    node.peek(id, 0, node.peek_len(id)?)?
-                };
-                // Place replacements on healthy nodes not already holding it.
-                let mut targets: Vec<NodeId> = healthy
-                    .iter()
-                    .filter(|n| !replicas.contains(n))
-                    .copied()
-                    .collect();
-                targets.sort_by_key(|n| {
-                    crate::block::place_replicas(id, healthy.len().max(1), 1)
-                        .first()
-                        .map_or(u64::MAX, |p| p.0 ^ n.0)
-                });
-                for target in targets.into_iter().take(lost) {
-                    self.inner.nodes[target.0 as usize]
-                        .lock()
-                        .store(id, data.clone())?;
-                    // Swap one failed replica entry for the new holder.
-                    if let Some(slot) = replicas.iter_mut().find(|n| failed.contains(n)) {
-                        *slot = target;
-                    }
-                    restored += 1;
+        newly_dead
+    }
+
+    /// Nodes currently declared dead by the heartbeat detector.
+    pub fn dead_nodes(&self) -> Vec<NodeId> {
+        self.inner.detector.lock().dead_nodes()
+    }
+
+    /// Queues every chunk with a replica on any of `nodes` for rebuild.
+    fn enqueue_chunks_of(&self, nodes: &[NodeId]) {
+        let failed = self.inner.failed.read().clone();
+        let dir = self.inner.directory.read();
+        let mut rebuild = self.inner.rebuild.lock();
+        let mut seen: HashSet<BlockId> = HashSet::new();
+        for &node in nodes {
+            for id in dir.chunks_on(node) {
+                if seen.insert(id) {
+                    let live = dir
+                        .get(id)
+                        .map(|info| info.replicas.iter().filter(|n| !failed.contains(n)).count())
+                        .unwrap_or(0);
+                    rebuild.push(id, live);
                 }
             }
         }
-        Ok(restored)
+    }
+
+    /// Chunks whose live replica count is below the target (R, capped by
+    /// the live node count), most under-replicated first.
+    pub fn under_replicated_chunks(&self) -> Vec<BlockId> {
+        let failed = self.failed_nodes();
+        let live_nodes = self.inner.nodes.len() - failed.len();
+        let target = self.inner.config.replication.min(live_nodes.max(1));
+        self.inner
+            .directory
+            .read()
+            .under_replicated(&failed, target)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Drains the rebuild queue under an IOPS budget: pops the most
+    /// under-replicated chunks, copies each from a checksum-verified live
+    /// source onto rendezvous-chosen live targets (charging real disk time
+    /// on both ends, so rebuild contends with foreground reads), and
+    /// updates the directory. Chunks with no live verified source are
+    /// requeued. The budget bounds the IOs *started* per call; one chunk
+    /// may overshoot by its own cost.
+    pub fn pump_rebuild(&self, io_budget: u64) -> RebuildProgress {
+        let mut progress = RebuildProgress::default();
+        let mut requeue: Vec<(BlockId, usize)> = Vec::new();
+        let mut total_ns = 0u64;
+        let r = self.inner.config.replication;
+        while progress.ios < io_budget {
+            let Some(id) = self.inner.rebuild.lock().pop() else {
+                break;
+            };
+            // Snapshot; the chunk may have been deleted or healed since.
+            let Some(info) = self.inner.directory.read().get(id).cloned() else {
+                continue;
+            };
+            let failed = self.inner.failed.read().clone();
+            let holders: Vec<NodeId> = info
+                .replicas
+                .iter()
+                .filter(|n| !failed.contains(n))
+                .copied()
+                .collect();
+            let has_lost_holder = holders.len() < info.replicas.len();
+            if holders.len() >= r && !has_lost_holder {
+                continue; // healed while queued
+            }
+            // Find a checksum-verified source among the live holders.
+            let mut data: Option<Bytes> = None;
+            for &src in &holders {
+                let attempt = self.inner.nodes[src.0 as usize]
+                    .lock()
+                    .read(id, 0, info.len);
+                progress.ios += 1;
+                match attempt {
+                    Ok((bytes, ns)) if chunk_checksum(&bytes) == info.checksum => {
+                        total_ns += ns;
+                        data = Some(bytes);
+                        break;
+                    }
+                    Ok(_) | Err(DsiError::Corrupt(_)) => {
+                        self.inner.checksum_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {}
+                }
+            }
+            let Some(data) = data else {
+                requeue.push((id, holders.len()));
+                continue;
+            };
+            // Fan the chunk back out to R over live non-holders.
+            let spare: Vec<NodeId> = self
+                .live_nodes(&failed)
+                .into_iter()
+                .filter(|n| !holders.contains(n))
+                .collect();
+            let needed = r.saturating_sub(holders.len());
+            let mut new_replicas = holders.clone();
+            if needed > 0 && !spare.is_empty() {
+                for target in place_replicas_among(id, &spare, needed) {
+                    if let Ok(ns) = self.inner.nodes[target.0 as usize]
+                        .lock()
+                        .store_charged(id, data.clone())
+                    {
+                        total_ns += ns;
+                        progress.ios += 1;
+                        new_replicas.push(target);
+                    }
+                }
+            }
+            if new_replicas != info.replicas {
+                if let Some(entry) = self.inner.directory.write().get_mut(id) {
+                    entry.replicas = new_replicas.clone();
+                }
+            }
+            if new_replicas.len() > holders.len() {
+                progress.chunks_rebuilt += 1;
+                self.inner.rebuilt_chunks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        {
+            let mut rebuild = self.inner.rebuild.lock();
+            for (id, live) in requeue {
+                rebuild.push(id, live);
+            }
+            progress.remaining = rebuild.len() as u64;
+        }
+        self.inner
+            .rebuild_ios
+            .fetch_add(progress.ios, Ordering::Relaxed);
+        self.inner.clock.advance_ns(total_ns);
+        progress
+    }
+
+    /// Re-replicates every block that lost a replica to a failed node by
+    /// declaring the failed nodes dead (skipping the heartbeat grace
+    /// period), queueing their chunks, and draining the rebuild queue with
+    /// an unbounded budget. Returns the number of chunks re-replicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::Unavailable`] if some chunk has no live,
+    /// checksum-verified replica to rebuild from.
+    pub fn repair(&self) -> Result<u64> {
+        let failed = self.failed_nodes();
+        if failed.is_empty() {
+            return Ok(0);
+        }
+        {
+            let mut detector = self.inner.detector.lock();
+            for &node in &failed {
+                detector.force_dead(node);
+            }
+        }
+        self.enqueue_chunks_of(&failed);
+        let progress = self.pump_rebuild(u64::MAX);
+        if progress.remaining > 0 {
+            return Err(DsiError::Unavailable(format!(
+                "{} chunks have no live replica to rebuild from",
+                progress.remaining
+            )));
+        }
+        Ok(progress.chunks_rebuilt)
+    }
+
+    /// Snapshot of the durability counters and degradation state.
+    pub fn durability(&self) -> DurabilityCounters {
+        DurabilityCounters {
+            checksum_failures: self.inner.checksum_failures.load(Ordering::Relaxed),
+            read_repairs: self.inner.read_repairs.load(Ordering::Relaxed),
+            failovers: self.inner.failovers.load(Ordering::Relaxed),
+            rebuilt_chunks: self.inner.rebuilt_chunks.load(Ordering::Relaxed),
+            rebuild_ios: self.inner.rebuild_ios.load(Ordering::Relaxed),
+            dead_nodes: self.dead_nodes().len() as u64,
+            under_replicated: self.under_replicated_chunks().len() as u64,
+            rebuild_queue_depth: self.inner.rebuild.lock().len() as u64,
+        }
+    }
+
+    /// Corrupts one live resident replica of `path`'s block `block_index`
+    /// at rest (test hook for the durability suite). Returns the node
+    /// whose copy was corrupted, if any.
+    pub fn corrupt_replica(&self, path: &str, block_index: u64, xor: u8) -> Option<NodeId> {
+        let id = BlockId::new(path, block_index);
+        let info = self.inner.directory.read().get(id).cloned()?;
+        let failed = self.inner.failed.read().clone();
+        let target = info
+            .replicas
+            .iter()
+            .find(|n| !failed.contains(n))
+            .copied()?;
+        self.inner.nodes[target.0 as usize]
+            .lock()
+            .corrupt(id, xor)
+            .then_some(target)
     }
 
     /// Like [`TectonicCluster::read`] but charges no disk time — used by
-    /// cache tiers that accounted the IO on another device.
+    /// cache tiers that accounted the IO on another device. Still verifies
+    /// checksums and fails over to a live replica.
     ///
     /// # Errors
     ///
     /// Same conditions as [`TectonicCluster::read`].
     pub fn read_uncharged(&self, path: &str, offset: u64, len: u64) -> Result<Vec<u8>> {
-        let meta = self
-            .stat(path)
-            .ok_or_else(|| DsiError::not_found(format!("file {path}")))?;
-        let end = offset
-            .checked_add(len)
-            .ok_or_else(|| DsiError::corrupt("read range overflow"))?;
-        if end > meta.len {
-            return Err(DsiError::corrupt(format!(
-                "read [{offset}, {end}) beyond file of {} bytes",
-                meta.len
-            )));
-        }
+        let end = self.check_range(path, offset, len)?;
         let bs = self.inner.config.block_size;
         let mut out = Vec::with_capacity(len as usize);
         let mut pos = offset;
@@ -511,11 +902,8 @@ impl TectonicCluster {
             let block_index = pos / bs;
             let within = pos % bs;
             let take = (bs - within).min(end - pos);
-            let node = meta.blocks[block_index as usize][0];
-            let id = BlockId::new(path, block_index);
-            let bytes = self.inner.nodes[node.0 as usize]
-                .lock()
-                .peek(id, within, take)?;
+            let (bytes, _) =
+                self.read_block_verified(path, block_index, within, take, false, None)?;
             out.extend_from_slice(&bytes);
             pos += take;
         }
@@ -523,33 +911,19 @@ impl TectonicCluster {
     }
 
     /// Uncharged counterpart of [`TectonicCluster::read_view`]: single-block
-    /// ranges are served zero-copy from the primary replica via `peek`,
+    /// ranges are served zero-copy from a live replica via `peek`,
     /// multi-block ranges are assembled and reported as copied.
     ///
     /// # Errors
     ///
     /// Same conditions as [`TectonicCluster::read`].
     pub fn read_view_uncharged(&self, path: &str, offset: u64, len: u64) -> Result<SourceChunk> {
-        let meta = self
-            .stat(path)
-            .ok_or_else(|| DsiError::not_found(format!("file {path}")))?;
-        let end = offset
-            .checked_add(len)
-            .ok_or_else(|| DsiError::corrupt("read range overflow"))?;
-        if end > meta.len {
-            return Err(DsiError::corrupt(format!(
-                "read [{offset}, {end}) beyond file of {} bytes",
-                meta.len
-            )));
-        }
+        let end = self.check_range(path, offset, len)?;
         let bs = self.inner.config.block_size;
         if len > 0 && offset / bs == (end - 1) / bs {
             let block_index = offset / bs;
-            let node = meta.blocks[block_index as usize][0];
-            let id = BlockId::new(path, block_index);
-            let bytes = self.inner.nodes[node.0 as usize]
-                .lock()
-                .peek(id, offset % bs, len)?;
+            let (bytes, _) =
+                self.read_block_verified(path, block_index, offset % bs, len, false, None)?;
             return Ok(SourceChunk::zero_copy(ByteView::from(bytes)));
         }
         Ok(SourceChunk::copied(ByteView::from(
@@ -607,9 +981,9 @@ impl TectonicCluster {
             .sum()
     }
 
-    /// Publishes per-node IO telemetry into `registry`:
-    /// `dsi_storage_node_ios_total{node}` and
-    /// `dsi_storage_node_bytes_total{node}`.
+    /// Publishes per-node IO telemetry and the durability counters into
+    /// `registry`: `dsi_storage_node_{ios,bytes}_total{node}` plus the
+    /// `dsi_tectonic_*` replication/rebuild/read-repair series.
     pub fn publish_metrics(&self, registry: &dsi_obs::Registry) {
         use dsi_obs::names;
         for (i, n) in self.inner.nodes.iter().enumerate() {
@@ -622,6 +996,28 @@ impl TectonicCluster {
                 .counter(names::STORAGE_NODE_BYTES_TOTAL, &[("node", &node)])
                 .advance_to(s.bytes);
         }
+        let d = self.durability();
+        registry
+            .counter(names::TECTONIC_CHECKSUM_FAILURES_TOTAL, &[])
+            .advance_to(d.checksum_failures);
+        registry
+            .counter(names::TECTONIC_READ_REPAIRS_TOTAL, &[])
+            .advance_to(d.read_repairs);
+        registry
+            .counter(names::TECTONIC_FAILOVERS_TOTAL, &[])
+            .advance_to(d.failovers);
+        registry
+            .counter(names::TECTONIC_REBUILT_CHUNKS_TOTAL, &[])
+            .advance_to(d.rebuilt_chunks);
+        registry
+            .counter(names::TECTONIC_REBUILD_IOS_TOTAL, &[])
+            .advance_to(d.rebuild_ios);
+        registry
+            .gauge(names::TECTONIC_DEAD_NODES, &[])
+            .set(d.dead_nodes as f64);
+        registry
+            .gauge(names::TECTONIC_UNDER_REPLICATED_CHUNKS, &[])
+            .set(d.under_replicated as f64);
     }
 }
 
@@ -860,5 +1256,116 @@ mod tests {
             }
         });
         assert_eq!(c.total_stats().ios, 200);
+    }
+
+    #[test]
+    fn corrupt_replica_is_detected_failed_over_and_repaired() {
+        let c = TectonicCluster::new(ClusterConfig {
+            nodes: 6,
+            block_size: 4096,
+            replication: 3,
+            hdd: true,
+        });
+        let data: Vec<u8> = (0..4096u32).map(|i| (i % 241) as u8).collect();
+        c.append("f", Bytes::from(data.clone())).unwrap();
+        let victim = c
+            .corrupt_replica("f", 0, 0x5A)
+            .expect("a replica to corrupt");
+        // Enough reads that round-robin rotation lands on the bad replica.
+        for _ in 0..6 {
+            assert_eq!(c.read("f", 0, 4096).unwrap(), data, "reads stay correct");
+        }
+        let d = c.durability();
+        assert!(d.checksum_failures >= 1, "corruption detected: {d:?}");
+        assert!(d.read_repairs >= 1, "bad copy repaired in place: {d:?}");
+        assert!(d.failovers >= 1, "read failed over: {d:?}");
+        // The repaired replica serves clean reads again: no new failures.
+        let before = c.durability().checksum_failures;
+        for _ in 0..6 {
+            assert_eq!(c.read("f", 0, 4096).unwrap(), data);
+        }
+        assert_eq!(c.durability().checksum_failures, before);
+        let _ = victim;
+    }
+
+    #[test]
+    fn heartbeat_declares_dead_after_k_misses_and_rebuild_converges() {
+        let c = TectonicCluster::new(ClusterConfig {
+            nodes: 8,
+            block_size: 1024,
+            replication: 3,
+            hdd: true,
+        });
+        c.append("f", Bytes::from(vec![4u8; 16 * 1024])).unwrap();
+        c.fail_node(NodeId(3));
+        assert!(c.heartbeat_tick().is_empty(), "miss 1 of K=3");
+        assert!(c.heartbeat_tick().is_empty(), "miss 2 of K=3");
+        assert_eq!(c.heartbeat_tick(), vec![NodeId(3)], "dead after K misses");
+        let lost = c.under_replicated_chunks().len();
+        assert!(lost > 0, "node 3 held some replicas");
+        assert_eq!(c.durability().rebuild_queue_depth as usize, lost);
+        // Drain under a small budget: each pump is bounded, queue shrinks.
+        let budget = 4u64;
+        let mut pumps = 0;
+        loop {
+            let p = c.pump_rebuild(budget);
+            assert!(
+                p.ios <= budget + 3,
+                "pump overshot its budget: {} ios",
+                p.ios
+            );
+            pumps += 1;
+            if p.remaining == 0 {
+                break;
+            }
+            assert!(pumps < 100, "rebuild failed to converge");
+        }
+        assert!(pumps > 1, "budget forces multiple pumps");
+        assert!(
+            c.under_replicated_chunks().is_empty(),
+            "fully re-replicated"
+        );
+        let meta = c.stat("f").unwrap();
+        for replicas in &meta.blocks {
+            assert_eq!(replicas.len(), 3);
+            assert!(!replicas.contains(&NodeId(3)));
+        }
+        let d = c.durability();
+        assert!(d.rebuilt_chunks >= lost as u64);
+        assert!(d.rebuild_ios > 0);
+        assert_eq!(d.dead_nodes, 1);
+    }
+
+    #[test]
+    fn degraded_append_heals_after_recovery() {
+        let c = TectonicCluster::new(ClusterConfig {
+            nodes: 3,
+            block_size: 1024,
+            replication: 3,
+            hdd: true,
+        });
+        c.fail_node(NodeId(1));
+        c.append("f", Bytes::from(vec![8u8; 2048])).unwrap();
+        // Degraded write: only 2 live nodes hold each block.
+        let meta = c.stat("f").unwrap();
+        for replicas in &meta.blocks {
+            assert_eq!(replicas.len(), 2);
+        }
+        assert_eq!(
+            c.under_replicated_chunks().len(),
+            0,
+            "target capped at live"
+        );
+        assert_eq!(c.read("f", 0, 2048).unwrap(), vec![8u8; 2048]);
+        // Node rejoins: the queued chunks top back up to R3.
+        c.recover_node(NodeId(1));
+        assert!(!c.under_replicated_chunks().is_empty(), "now below R again");
+        let p = c.pump_rebuild(u64::MAX);
+        assert_eq!(p.remaining, 0);
+        let meta = c.stat("f").unwrap();
+        for replicas in &meta.blocks {
+            assert_eq!(replicas.len(), 3);
+        }
+        assert!(c.under_replicated_chunks().is_empty());
     }
 }

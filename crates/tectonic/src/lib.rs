@@ -8,9 +8,15 @@
 //! seek/transfer time and the cluster reports IOPS, throughput, and
 //! busy-time telemetry per node.
 //!
-//! * [`block`] — block sizing and rendezvous-hash replica placement;
-//! * [`node`] — a storage node: device + block store + telemetry;
+//! * [`block`] — block sizing, rendezvous-hash replica placement, and the
+//!   whole-chunk checksum;
+//! * [`node`] — a storage node: device + block store (with per-page
+//!   checksums verified on read) + telemetry;
 //! * [`cluster`] — the name node and client API ([`TectonicCluster`]);
+//! * [`directory`] — the chunk directory mapping every block to its
+//!   replica set and checksum;
+//! * [`heal`] — heartbeat failure detection and the priority rebuild
+//!   queue behind self-healing;
 //! * [`source`] — a [`dwrf::ChunkSource`] adapter so DWRF readers fetch
 //!   through the cluster and are charged for IO;
 //! * [`provision`] — node-level HDD/SSD efficiency specs and the
@@ -37,13 +43,20 @@
 pub mod block;
 pub mod cache;
 pub mod cluster;
+pub mod directory;
+pub mod heal;
 pub mod node;
 pub mod provision;
 pub mod source;
 
-pub use block::{place_replicas, BlockId, DEFAULT_BLOCK_SIZE, REPLICATION_FACTOR};
+pub use block::{
+    chunk_checksum, place_replicas, place_replicas_among, BlockId, DEFAULT_BLOCK_SIZE,
+    REPLICATION_FACTOR,
+};
 pub use cache::{CacheStats, CachedSource, SsdCache};
-pub use cluster::{ClusterConfig, FileMeta, TectonicCluster};
-pub use node::{NodeStats, StorageNode};
+pub use cluster::{ClusterConfig, DurabilityCounters, FileMeta, TectonicCluster};
+pub use directory::{ChunkDirectory, ChunkInfo};
+pub use heal::{HeartbeatDetector, RebuildProgress, RebuildQueue, DEFAULT_HEARTBEAT_K};
+pub use node::{NodeStats, StorageNode, CHECKSUM_PAGE};
 pub use provision::{ProvisionPlan, StorageNodeClass, TieredPlacement};
 pub use source::TectonicSource;

@@ -1,12 +1,55 @@
 //! A storage node: one simulated disk plus its resident blocks and
 //! telemetry.
 
-use crate::block::BlockId;
+use crate::block::{chunk_checksum, BlockId};
 use bytes::Bytes;
 use dsi_types::{DsiError, Result};
 use hwsim::{DeviceStats, DiskModel, IoRequest};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+
+/// Checksum granularity: sums are kept per 64 KiB page so read-time
+/// verification costs are proportional to bytes actually read.
+pub const CHECKSUM_PAGE: usize = 64 * 1024;
+
+/// A resident replica: its disk offset, payload, and per-page checksums
+/// computed at store time and verified on every read.
+#[derive(Debug)]
+struct StoredBlock {
+    offset: u64,
+    data: Bytes,
+    page_sums: Vec<u64>,
+}
+
+impl StoredBlock {
+    fn new(offset: u64, data: Bytes) -> Self {
+        let page_sums = data.chunks(CHECKSUM_PAGE).map(chunk_checksum).collect();
+        Self {
+            offset,
+            data,
+            page_sums,
+        }
+    }
+
+    /// Verifies the checksums of every page overlapping `[offset, end)`.
+    fn verify_range(&self, id: BlockId, offset: u64, end: u64) -> Result<()> {
+        if end == offset {
+            return Ok(());
+        }
+        let first = offset as usize / CHECKSUM_PAGE;
+        let last = (end as usize - 1) / CHECKSUM_PAGE;
+        for page in first..=last {
+            let lo = page * CHECKSUM_PAGE;
+            let hi = (lo + CHECKSUM_PAGE).min(self.data.len());
+            if chunk_checksum(&self.data[lo..hi]) != self.page_sums[page] {
+                return Err(DsiError::corrupt(format!(
+                    "checksum mismatch in block {id:?} page {page}"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
 
 /// Cumulative node telemetry (device stats plus IO size distribution).
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -28,7 +71,7 @@ impl NodeStats {
 #[derive(Debug)]
 pub struct StorageNode {
     disk: DiskModel,
-    blocks: HashMap<BlockId, (u64, Bytes)>,
+    blocks: HashMap<BlockId, StoredBlock>,
     next_offset: u64,
     io_sizes: Vec<u64>,
     record_io_sizes: bool,
@@ -65,8 +108,42 @@ impl StorageNode {
         }
         let offset = self.next_offset;
         self.next_offset += data.len() as u64;
-        self.blocks.insert(id, (offset, data));
+        self.blocks.insert(id, StoredBlock::new(offset, data));
         Ok(())
+    }
+
+    /// Stores a block replica like [`StorageNode::store`] but also charges
+    /// one write IO of simulated disk time (rebuild/repair traffic that
+    /// must contend with foreground reads). Returns the service time in
+    /// nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DsiError::Exhausted`] if the disk is out of capacity.
+    pub fn store_charged(&mut self, id: BlockId, data: Bytes) -> Result<u64> {
+        let len = data.len() as u64;
+        self.store(id, data)?;
+        let offset = self.next_offset - len;
+        let ns = self.disk.serve(IoRequest::new(offset, len));
+        if self.record_io_sizes {
+            self.io_sizes.push(len);
+        }
+        Ok(ns)
+    }
+
+    /// Flips bits in a resident replica *without* refreshing its page
+    /// checksums — simulates at-rest media corruption that the next
+    /// verifying read must detect. Returns false if the block is absent.
+    pub fn corrupt(&mut self, id: BlockId, xor: u8) -> bool {
+        match self.blocks.get_mut(&id) {
+            Some(block) if !block.data.is_empty() => {
+                let mut bytes = block.data.to_vec();
+                bytes[0] ^= xor;
+                block.data = Bytes::from(bytes);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Whether this node holds a replica of `id`.
@@ -84,23 +161,27 @@ impl StorageNode {
         self.next_offset
     }
 
-    /// Reads `len` bytes at `offset` within block `id`, charging disk time.
-    /// Returns the data and the simulated service time in nanoseconds.
+    /// Reads `len` bytes at `offset` within block `id`, charging disk time
+    /// and verifying the checksums of every touched page. Returns the data
+    /// and the simulated service time in nanoseconds.
     ///
     /// # Errors
     ///
     /// Returns [`DsiError::NotFound`] if the block is absent, or
-    /// [`DsiError::Corrupt`] if the range exceeds the block.
+    /// [`DsiError::Corrupt`] if the range exceeds the block or a touched
+    /// page fails checksum verification.
     pub fn read(&mut self, id: BlockId, offset: u64, len: u64) -> Result<(Bytes, u64)> {
-        let (disk_offset, data) = self
+        let block = self
             .blocks
             .get(&id)
             .ok_or_else(|| DsiError::not_found(format!("block {id:?}")))?;
         let end = offset
             .checked_add(len)
-            .filter(|&e| e <= data.len() as u64)
+            .filter(|&e| e <= block.data.len() as u64)
             .ok_or_else(|| DsiError::corrupt("read beyond block"))?;
-        let slice = data.slice(offset as usize..end as usize);
+        block.verify_range(id, offset, end)?;
+        let slice = block.data.slice(offset as usize..end as usize);
+        let disk_offset = block.offset;
         let ns = self.disk.serve(IoRequest::new(disk_offset + offset, len));
         if self.record_io_sizes {
             self.io_sizes.push(len);
@@ -109,22 +190,23 @@ impl StorageNode {
     }
 
     /// Reads block bytes without charging the device (cache-served data
-    /// whose IO was accounted elsewhere).
+    /// whose IO was accounted elsewhere). Still verifies touched pages.
     ///
     /// # Errors
     ///
     /// Returns [`DsiError::NotFound`] / [`DsiError::Corrupt`] like
     /// [`StorageNode::read`].
     pub fn peek(&self, id: BlockId, offset: u64, len: u64) -> Result<Bytes> {
-        let (_, data) = self
+        let block = self
             .blocks
             .get(&id)
             .ok_or_else(|| DsiError::not_found(format!("block {id:?}")))?;
         let end = offset
             .checked_add(len)
-            .filter(|&e| e <= data.len() as u64)
+            .filter(|&e| e <= block.data.len() as u64)
             .ok_or_else(|| DsiError::corrupt("read beyond block"))?;
-        Ok(data.slice(offset as usize..end as usize))
+        block.verify_range(id, offset, end)?;
+        Ok(block.data.slice(offset as usize..end as usize))
     }
 
     /// Removes a block replica (retention/reaping). The disk space is
@@ -141,7 +223,7 @@ impl StorageNode {
     pub fn peek_len(&self, id: BlockId) -> Result<u64> {
         self.blocks
             .get(&id)
-            .map(|(_, data)| data.len() as u64)
+            .map(|block| block.data.len() as u64)
             .ok_or_else(|| DsiError::not_found(format!("block {id:?}")))
     }
 
@@ -224,6 +306,36 @@ mod tests {
         assert!(n
             .store(BlockId::new("f", 1), Bytes::from(vec![0u8; 60]))
             .is_err());
+    }
+
+    #[test]
+    fn corrupted_replica_fails_checksum_on_read() {
+        let mut n = node();
+        let id = BlockId::new("f", 0);
+        n.store(id, Bytes::from(vec![7u8; 1000])).unwrap();
+        assert!(n.corrupt(id, 0x01));
+        let err = n.read(id, 0, 100).unwrap_err();
+        assert!(matches!(err, DsiError::Corrupt(_)), "got {err:?}");
+        assert!(matches!(n.peek(id, 0, 100), Err(DsiError::Corrupt(_))));
+        // XOR back restores the original byte and the stored sums match again.
+        assert!(n.corrupt(id, 0x01));
+        assert!(n.read(id, 0, 100).is_ok());
+        // Corrupting a missing block reports false.
+        assert!(!n.corrupt(BlockId::new("f", 9), 0x01));
+    }
+
+    #[test]
+    fn checksum_verification_is_per_page() {
+        let mut n = node();
+        let id = BlockId::new("f", 0);
+        // Two checksum pages; corrupt byte 0 (first page only).
+        n.store(id, Bytes::from(vec![3u8; CHECKSUM_PAGE + 100]))
+            .unwrap();
+        assert!(n.corrupt(id, 0xFF));
+        assert!(n.read(id, 0, 10).is_err(), "touched corrupt page");
+        // A read confined to the clean second page still succeeds.
+        let (data, _) = n.read(id, CHECKSUM_PAGE as u64, 50).unwrap();
+        assert_eq!(data.as_ref(), &[3u8; 50][..]);
     }
 
     #[test]

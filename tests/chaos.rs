@@ -22,8 +22,8 @@
 
 use dpp::{SessionCheckpoint, SessionSpec};
 use dsi::chaos::{
-    check_exactly_once, check_obs_accounting, note_injected, shrink_plan, with_watchdog,
-    ChaosConfig, EpochTrace, FaultEvent, InvariantReport,
+    check_durability, check_exactly_once, check_obs_accounting, note_injected, shrink_plan,
+    with_watchdog, ChaosConfig, DurabilityStats, EpochTrace, FaultEvent, InvariantReport,
 };
 use dsi::prelude::*;
 use dsi::types::{NodeId, WorkerId};
@@ -121,6 +121,21 @@ struct EpochRun {
     trace: EpochTrace,
     injector: Arc<FaultInjector>,
     registry: Registry,
+    durability: DurabilityStats,
+}
+
+/// Snapshots the cluster's durability machinery into the plain-number
+/// form the chaos invariant checkers consume.
+fn durability_snapshot(cluster: &TectonicCluster) -> DurabilityStats {
+    let d = cluster.durability();
+    DurabilityStats {
+        under_replicated: d.under_replicated,
+        rebuild_queue_depth: d.rebuild_queue_depth,
+        dead_nodes: d.dead_nodes,
+        checksum_failures: d.checksum_failures,
+        read_repairs: d.read_repairs,
+        rebuilt_chunks: d.rebuilt_chunks,
+    }
 }
 
 /// Launch with bounded retries: an IO fault scheduled early enough can
@@ -219,14 +234,24 @@ fn drive_epoch(injector: Arc<FaultInjector>, opts: EpochOpts) -> EpochRun {
                             }
                         }
                         FaultKind::NodeFail => {
-                            // At most one storage node down at a time:
-                            // recover earlier casualties first so R3
-                            // replication always leaves a live replica.
-                            for node in world.cluster.failed_nodes() {
-                                world.cluster.recover_node(node);
+                            // Up to R-1 storage nodes down at once: recover
+                            // the oldest casualty beyond that cap so every
+                            // chunk keeps at least one live replica.
+                            let mut downed = world.cluster.failed_nodes();
+                            while downed.len() >= tectonic::REPLICATION_FACTOR - 1 {
+                                world.cluster.recover_node(downed.remove(0));
                             }
                             let victim = batches % world.cluster.node_count() as u64;
                             world.cluster.fail_node(NodeId(victim));
+                            // The heartbeat detector declares the victim
+                            // dead after K missed beats and queues its
+                            // chunks; drain the queue under a small IOPS
+                            // budget so rebuild traffic contends with the
+                            // epoch's own foreground reads.
+                            for _ in 0..tectonic::DEFAULT_HEARTBEAT_K {
+                                world.cluster.heartbeat_tick();
+                            }
+                            while world.cluster.pump_rebuild(8).remaining > 0 {}
                         }
                         FaultKind::MasterKillRestore => {
                             let ckpt = session.checkpoint_session();
@@ -266,11 +291,14 @@ fn drive_epoch(injector: Arc<FaultInjector>, opts: EpochOpts) -> EpochRun {
         }
     }
     injector.publish_metrics();
+    world.cluster.publish_metrics(&registry);
+    let durability = durability_snapshot(&world.cluster);
     session.shutdown();
     EpochRun {
         trace,
         injector,
         registry,
+        durability,
     }
 }
 
@@ -297,6 +325,7 @@ fn check_plan(plan: FaultPlan, opts: EpochOpts) -> String {
     note_injected(&mut report, &faulty.injector);
     check_exactly_once(&mut report, &faulty.trace, &baseline.trace);
     check_obs_accounting(&mut report, &faulty.injector, &faulty.registry);
+    check_durability(&mut report, &faulty.durability);
     assert!(
         report.ok(),
         "invariants violated under plan:\n{}\n{report}",
@@ -766,6 +795,189 @@ fn corrupted_blocks_never_reach_the_trainer() {
 }
 
 // ---------------------------------------------------------------------
+// Durability: replica loss and at-rest corruption mid-epoch.
+// ---------------------------------------------------------------------
+
+#[test]
+fn durability_kill_one_storage_node_mid_epoch_over_tcp_pipeline() {
+    // A storage node dies while the 3-stage pipeline streams batches over
+    // TCP: the heartbeat detector declares it dead, its chunks rebuild
+    // under a bounded IOPS budget, and the epoch loses nothing.
+    let plan = FaultPlan::named(vec![FaultEvent::new(
+        HookPoint::Harness,
+        3,
+        FaultKind::NodeFail,
+    )]);
+    let opts = EpochOpts {
+        read_ahead: 2,
+        transport: Transport::Tcp(WireConfig::plaintext()),
+        ..EpochOpts::default()
+    };
+    check_plan_injects(plan, opts, &["node_fail"]);
+}
+
+#[test]
+fn durability_kill_r_minus_one_storage_nodes_mid_epoch_over_tcp_pipeline() {
+    // Three node kills in quick succession keep R-1 = 2 nodes dead at
+    // once (the harness caps concurrency there so a live replica always
+    // survives). Every tensor must still arrive exactly once, bitwise
+    // identical, and the rebuild queue must be drained by epoch end.
+    let plan = FaultPlan::named(vec![
+        FaultEvent::new(HookPoint::Harness, 2, FaultKind::NodeFail),
+        FaultEvent::new(HookPoint::Harness, 4, FaultKind::NodeFail),
+        FaultEvent::new(HookPoint::Harness, 6, FaultKind::NodeFail),
+    ]);
+    let opts = EpochOpts {
+        read_ahead: 2,
+        transport: Transport::Tcp(WireConfig::plaintext()),
+        ..EpochOpts::default()
+    };
+    check_plan_injects(plan, opts, &["node_fail"]);
+}
+
+#[test]
+fn durability_corrupt_replica_is_detected_failed_over_and_repaired() {
+    // At-rest corruption planted on the very replica the next read
+    // consults: the per-page checksum trips, the read fails over to a
+    // clean replica, and read-repair rewrites the bad copy — all
+    // transparent to the consumer, which still matches the baseline.
+    let plan = FaultPlan::named(vec![
+        FaultEvent::new(
+            HookPoint::TectonicRead,
+            3,
+            FaultKind::CorruptReplica { xor: 0x5A },
+        ),
+        FaultEvent::new(
+            HookPoint::TectonicRead,
+            8,
+            FaultKind::CorruptReplica { xor: 0xFF },
+        ),
+    ]);
+    let baseline = run_baseline(EpochOpts::default());
+    let faulty = run_epoch(plan, EpochOpts::default());
+    let mut report = InvariantReport::new();
+    note_injected(&mut report, &faulty.injector);
+    check_exactly_once(&mut report, &faulty.trace, &baseline.trace);
+    check_obs_accounting(&mut report, &faulty.injector, &faulty.registry);
+    check_durability(&mut report, &faulty.durability);
+    assert!(
+        report.ok(),
+        "invariants violated under plan:\n{}\n{report}",
+        faulty.injector.plan()
+    );
+    assert!(
+        faulty.durability.checksum_failures >= 1,
+        "corruption was never detected: {:?}",
+        faulty.durability
+    );
+    assert!(
+        faulty.durability.read_repairs >= 1,
+        "bad replica was never repaired: {:?}",
+        faulty.durability
+    );
+}
+
+#[test]
+fn at_rest_corruption_never_reaches_the_trainer() {
+    // Feed a chaos epoch straight into the live trainer with replicas
+    // corrupted on disk: checksum verification catches every bad page
+    // inside the storage layer, reads fail over and repair in place, and
+    // the trainer consumes every sample without ever seeing a decode
+    // error — unlike in-flight CorruptChunk, no split even replays.
+    let injector = FaultInjector::new(FaultPlan::named(vec![
+        FaultEvent::new(
+            HookPoint::TectonicRead,
+            4,
+            FaultKind::CorruptReplica { xor: 0xFF },
+        ),
+        FaultEvent::new(
+            HookPoint::TectonicRead,
+            9,
+            FaultKind::CorruptReplica { xor: 0x01 },
+        ),
+    ]));
+    let (samples, durability) = with_watchdog(WATCHDOG, injector.plan().to_string(), move || {
+        let world = build_world();
+        world.cluster.attach_chaos(Arc::clone(&injector));
+        let spec = chaos_spec(EpochOpts::default());
+        let session = launch_with_retry(&world, &spec, 3, &injector, None, None);
+        let client = session.client();
+        let mut trainer =
+            LiveTrainer::new(client, GpuDemand::new(3.2e6, 100.0)).with_time_scale(0.1);
+        let (_stalls, samples) = trainer.train(u64::MAX);
+        assert!(injector.injected_count() >= 1, "corruption never injected");
+        session.shutdown();
+        (samples, durability_snapshot(&world.cluster))
+    });
+    assert_eq!(samples, TOTAL_ROWS as u64);
+    assert!(durability.checksum_failures >= 1, "{durability:?}");
+    assert!(durability.read_repairs >= 1, "{durability:?}");
+    let mut report = InvariantReport::new();
+    check_durability(&mut report, &durability);
+    assert!(report.ok(), "{report}");
+}
+
+#[test]
+fn durability_rebuild_converges_under_bounded_iops_budget() {
+    // Cluster-level convergence over real table data: kill a node, let
+    // the heartbeat detector declare it dead, then drain the rebuild
+    // queue in small budgeted pumps. Each pump starts at most `budget`
+    // IOs (one in-flight chunk may overshoot by its own read+writes),
+    // and at convergence every chunk is back to R live replicas.
+    let world = build_world();
+    // Kill the node holding the most chunks so the rebuild queue is
+    // deep enough that a budget of 1 demonstrably takes several pumps.
+    let mut held: std::collections::HashMap<NodeId, u64> = std::collections::HashMap::new();
+    for path in world.cluster.list_files() {
+        for replicas in world.cluster.stat(&path).unwrap().blocks {
+            for n in replicas {
+                *held.entry(n).or_insert(0) += 1;
+            }
+        }
+    }
+    let (victim, chunks_held) = held
+        .into_iter()
+        .max_by_key(|&(n, c)| (c, std::cmp::Reverse(n.0)))
+        .unwrap();
+    assert!(chunks_held >= 2, "world too small: {chunks_held} chunks");
+    world.cluster.fail_node(victim);
+    for _ in 0..tectonic::DEFAULT_HEARTBEAT_K {
+        world.cluster.heartbeat_tick();
+    }
+    assert_eq!(world.cluster.dead_nodes(), vec![victim]);
+    let budget = 1u64;
+    let mut pumps = 0u64;
+    loop {
+        let p = world.cluster.pump_rebuild(budget);
+        pumps += 1;
+        assert!(
+            p.ios <= budget + tectonic::REPLICATION_FACTOR as u64,
+            "pump overshot its budget: {} IOs",
+            p.ios
+        );
+        if p.remaining == 0 {
+            break;
+        }
+        assert!(pumps < 10_000, "rebuild failed to converge");
+    }
+    assert!(pumps > 1, "budget {budget} drained the queue in one pump");
+    let d = world.cluster.durability();
+    assert_eq!(d.under_replicated, 0, "{d:?}");
+    assert!(d.rebuilt_chunks > 0, "{d:?}");
+    // Every block of every file is back at full replication on live nodes.
+    for path in world.cluster.list_files() {
+        let meta = world.cluster.stat(&path).unwrap();
+        for (i, replicas) in meta.blocks.iter().enumerate() {
+            let live = replicas.iter().filter(|&&n| n != victim).count();
+            assert!(
+                live >= tectonic::REPLICATION_FACTOR,
+                "{path} block {i} has {live} live replicas"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Random schedules with shrinking to a minimal failing plan.
 // ---------------------------------------------------------------------
 
@@ -811,6 +1023,7 @@ fn random_schedules_hold_invariants_or_shrink_to_minimal_plan() {
         note_injected(&mut report, &faulty.injector);
         check_exactly_once(&mut report, &faulty.trace, &baseline.trace);
         check_obs_accounting(&mut report, &faulty.injector, &faulty.registry);
+        check_durability(&mut report, &faulty.durability);
         if report.ok() {
             Ok(report.render())
         } else {

@@ -457,6 +457,61 @@ fn wire_bench_artifact_matches_schema() {
 }
 
 #[test]
+fn durability_bench_artifact_matches_schema() {
+    // `figures durability` commits the replica-loss ablation: a storage
+    // node killed mid-epoch, heartbeat detection, and a budgeted rebuild
+    // contending with foreground reads. Validate the schema and the
+    // acceptance envelope without a JSON parser dependency.
+    fn num(section: &str, key: &str) -> f64 {
+        let pat = format!("\"{key}\":");
+        let at = section
+            .find(&pat)
+            .unwrap_or_else(|| panic!("BENCH_durability.json missing key {key:?}"));
+        let rest = section[at + pat.len()..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end]
+            .parse()
+            .unwrap_or_else(|_| panic!("BENCH_durability.json key {key:?} is not numeric"))
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_durability.json");
+    let body = std::fs::read_to_string(path)
+        .expect("BENCH_durability.json is committed at the repo root (run `figures durability`)");
+    let base = num(&body, "samples_per_sec_baseline");
+    let rebuild = num(&body, "samples_per_sec_rebuild");
+    assert!(base > 0.0 && rebuild > 0.0);
+    assert!(
+        num(&body, "throughput_ratio") > 0.0,
+        "rebuild epoch still makes progress"
+    );
+    assert_eq!(
+        num(&body, "under_replicated_final"),
+        0.0,
+        "self-healing must converge: no chunk left under-replicated"
+    );
+    assert!(
+        num(&body, "foreground_share") >= 0.5,
+        "budgeted rebuild leaves foreground the majority of disk IOs"
+    );
+    assert!(num(&body, "rebuild_chunks") >= 1.0, "rebuild did real work");
+    assert!(num(&body, "rebuild_ios") >= 1.0);
+    assert!(num(&body, "total_ios") > num(&body, "rebuild_ios"));
+    assert!(num(&body, "rebuild_budget_per_batch") >= 1.0);
+    assert_eq!(
+        num(&body, "r2_under_replicated_final"),
+        0.0,
+        "R2 variant converges too"
+    );
+    assert!(num(&body, "r2_foreground_share") > 0.0);
+    assert!(num(&body, "samples") > 0.0);
+    assert!(
+        body.contains("\"smoke\": false"),
+        "committed run is full-size"
+    );
+}
+
+#[test]
 fn datasets_dwarf_local_storage() {
     // Table III: used partitions alone are petabytes — orders of magnitude
     // beyond a trainer node's local storage.
