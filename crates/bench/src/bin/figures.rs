@@ -92,6 +92,42 @@ fn gate(targets: &[String]) -> i32 {
             );
         }
     }
+    if want("autotune") {
+        let body = read("BENCH_autotune.json");
+        // The tuner must both converge faster and land on lower
+        // steady-state stall than the static scaler on the two scenarios
+        // the worker knob alone cannot fix.
+        for scen in ["extract_bound", "trainer_bound"] {
+            let t_ttc = num("BENCH_autotune.json", &body, &format!("{scen}_tuner_ttc_s"));
+            let s_ttc = num(
+                "BENCH_autotune.json",
+                &body,
+                &format!("{scen}_static_ttc_s"),
+            );
+            let t_ss = num(
+                "BENCH_autotune.json",
+                &body,
+                &format!("{scen}_tuner_steady_stall"),
+            );
+            let s_ss = num(
+                "BENCH_autotune.json",
+                &body,
+                &format!("{scen}_static_steady_stall"),
+            );
+            if t_ttc >= s_ttc || t_ss >= s_ss {
+                eprintln!(
+                    "gate FAIL autotune: {scen} tuner (ttc {t_ttc:.0}s, steady {t_ss:.4}) \
+                     did not beat static (ttc {s_ttc:.0}s, steady {s_ss:.4})"
+                );
+                failures += 1;
+            } else {
+                println!(
+                    "gate ok autotune: {scen} tuner ttc {t_ttc:.0}s < static {s_ttc:.0}s, \
+                     steady {t_ss:.4} < {s_ss:.4}"
+                );
+            }
+        }
+    }
     if want("wire") {
         let body = read("BENCH_wire.json");
         let inproc = num("BENCH_wire.json", &body, "samples_per_sec_inprocess");
@@ -210,6 +246,9 @@ fn main() {
     }
     if want("tenancy") {
         tenancy_ablation(smoke);
+    }
+    if want("autotune") {
+        autotune_ablation(smoke);
     }
     if want("fleet") {
         fleet();
@@ -2542,5 +2581,115 @@ fn scaled_demand(report: &WorkerReport, tax: &DatacenterTax, scale: f64) -> Reso
         nic_tx_bytes: base.nic_tx_bytes * scale,
         resident_bytes: base.resident_bytes * scale,
         residency_secs: base.residency_secs,
+    }
+}
+
+/// Extension (ROADMAP item 4): closed-loop online tuning vs the static
+/// watermark autoscaler over four deterministic pipeline scenarios
+/// (extract-bound, transform-bound, trainer-bound, diurnal load). Both
+/// policies run the same virtual-time simulation, the same knob fences,
+/// the same synthesized signal stream; the report compares time to
+/// converge (suffix-mean stall under the 2% target) and steady-state
+/// stall (mean of the final third). Writes `BENCH_autotune.json`.
+fn autotune_ablation(smoke: bool) {
+    use dsi_tune::{run_scenario, Scenario};
+
+    let scenarios: Vec<Scenario> = Scenario::all()
+        .into_iter()
+        .map(|s| if smoke { s.smoke() } else { s })
+        .collect();
+
+    struct Arm {
+        ttc: f64,
+        steady: f64,
+        overall: f64,
+        mean_workers: f64,
+        final_knobs: dpp::Knobs,
+    }
+    let arm = |t: &dsi_tune::TuneTrace| Arm {
+        ttc: t.time_to_converge,
+        steady: t.steady_stall,
+        overall: t.stall_fraction,
+        mean_workers: t.mean_workers,
+        final_knobs: t.final_knobs,
+    };
+
+    let mut rows = Vec::new();
+    let mut blocks = Vec::new();
+    for s in &scenarios {
+        let mut tuner = dsi_tune::OnlineTuner::new(dsi_tune::TunerConfig {
+            bounds: s.bounds,
+            stall_target: s.stall_target,
+            ..dsi_tune::TunerConfig::default()
+        });
+        let tuned = arm(&run_scenario(s, &mut tuner));
+        let stat = arm(&run_scenario(s, &mut s.static_policy()));
+        for (name, a) in [("online-tuner", &tuned), ("static-watermark", &stat)] {
+            rows.push(vec![
+                s.name.to_string(),
+                name.into(),
+                f(a.ttc, 0),
+                pct(a.steady),
+                pct(a.overall),
+                f(a.mean_workers, 1),
+                format!(
+                    "w={} ra={} b={} p={}",
+                    a.final_knobs.workers,
+                    a.final_knobs.read_ahead,
+                    a.final_knobs.batch_size,
+                    a.final_knobs.parallelism
+                ),
+            ]);
+        }
+        let key = s.name.replace('-', "_");
+        let arm_json = |prefix: &str, a: &Arm| {
+            format!(
+                "\"{key}_{prefix}_ttc_s\": {:.1}, \"{key}_{prefix}_steady_stall\": {:.5}, \
+                 \"{key}_{prefix}_overall_stall\": {:.5}, \"{key}_{prefix}_mean_workers\": {:.2}, \
+                 \"{key}_{prefix}_final_workers\": {}, \"{key}_{prefix}_final_read_ahead\": {}, \
+                 \"{key}_{prefix}_final_batch\": {}, \"{key}_{prefix}_final_parallelism\": {}",
+                a.ttc,
+                a.steady,
+                a.overall,
+                a.mean_workers,
+                a.final_knobs.workers,
+                a.final_knobs.read_ahead,
+                a.final_knobs.batch_size,
+                a.final_knobs.parallelism,
+            )
+        };
+        blocks.push(format!(
+            "  {},\n  {}",
+            arm_json("tuner", &tuned),
+            arm_json("static", &stat)
+        ));
+    }
+    print_table(
+        "Extension (autotune): closed-loop tuner vs static watermark scaler (virtual-time, 2% stall target)",
+        &[
+            "scenario",
+            "policy",
+            "ttc (s)",
+            "steady stall",
+            "overall stall",
+            "mean workers",
+            "final knobs",
+        ],
+        &rows,
+    );
+    println!(
+        "(ttc = first time after which every sliding-window mean stall stays under target; \
+         duration caps a never-converging run)"
+    );
+    let json = format!(
+        "{{\n  \"scenario_count\": {},\n  \"stall_target\": {:.3},\n{},\n  \"smoke\": {smoke}\n}}\n",
+        scenarios.len(),
+        scenarios[0].stall_target,
+        blocks.join(",\n"),
+    );
+    if let Err(e) = std::fs::write("BENCH_autotune.json", &json) {
+        eprintln!("(could not write BENCH_autotune.json: {e})");
+    } else {
+        println!("(wrote BENCH_autotune.json)");
     }
 }

@@ -139,10 +139,13 @@ impl AutoScaler {
             && mean_util < self.config.scale_down_utilization
         {
             // Buffers full and workers idle: over-provisioned. Require two
-            // consecutive ticks before draining (hysteresis).
+            // consecutive ticks before draining (hysteresis). The streak
+            // stays armed while the condition persists, so sustained
+            // idleness drains every tick — resetting here made a
+            // persistently idle fleet drain only on alternating ticks
+            // (Hold/Down/Hold/Down), halving convergence.
             self.down_streak += 1;
             if self.down_streak >= 2 {
-                self.down_streak = 0;
                 let removable = n - self.config.min_workers;
                 return if removable == 0 {
                     ScalingDecision::Hold
@@ -239,8 +242,36 @@ mod tests {
         let mut s = AutoScaler::default();
         let t = telemetry(8, 10, 0.2);
         assert_eq!(s.evaluate(&t), ScalingDecision::Hold); // first tick
-        assert_eq!(s.evaluate(&t), ScalingDecision::ScaleDown(2)); // second
-        assert_eq!(s.evaluate(&t), ScalingDecision::Hold); // streak reset
+        assert_eq!(s.evaluate(&t), ScalingDecision::ScaleDown(2));
+        // The over-provision condition still holds, so the streak stays
+        // armed and draining continues tick over tick.
+        assert_eq!(s.evaluate(&t), ScalingDecision::ScaleDown(2));
+    }
+
+    #[test]
+    fn sustained_idleness_drains_every_tick() {
+        // Regression: the scaler used to reset its hysteresis streak after
+        // each ScaleDown, so a persistently idle fleet drained on
+        // alternating ticks only (Hold/Down/Hold/Down). After the initial
+        // two-tick hysteresis, every subsequent idle tick must drain.
+        let mut s = AutoScaler::default();
+        let mut workers = 16usize;
+        let d = s.evaluate(&telemetry(workers, 10, 0.1));
+        assert_eq!(d, ScalingDecision::Hold); // hysteresis tick
+        for tick in 0..7 {
+            let d = s.evaluate(&telemetry(workers, 10, 0.1));
+            assert!(
+                matches!(d, ScalingDecision::ScaleDown(_)),
+                "tick {tick} after hysteresis should drain, got {d:?}"
+            );
+            workers = AutoScaler::apply(d, workers);
+        }
+        assert_eq!(workers, 1, "seven drain ticks from 16 reach min_workers");
+        // At the floor the decision degrades to Hold, never below min.
+        assert_eq!(
+            s.evaluate(&telemetry(workers, 10, 0.1)),
+            ScalingDecision::Hold
+        );
     }
 
     #[test]

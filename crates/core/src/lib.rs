@@ -55,6 +55,7 @@ pub mod master;
 mod pipeline;
 pub mod service;
 pub mod session;
+pub mod tuning;
 pub mod worker;
 
 pub use autoscale::{AutoScaler, ScalerConfig, ScalingDecision, WorkerTelemetry};
@@ -63,5 +64,6 @@ pub use fleet::{FleetPoint, FleetSim, FleetTrace};
 pub use master::{Master, MasterCheckpoint, SplitState};
 pub use service::{DppSession, SessionCheckpoint, WorkerObservation};
 pub use session::{Injection, SessionSpec, SessionSpecBuilder, Transport};
+pub use tuning::{KnobBounds, Knobs, TunerPolicy, TunerSignals};
 pub use wire::WireConfig;
 pub use worker::{ExtractCostModel, Worker, WorkerReport};

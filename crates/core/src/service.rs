@@ -60,10 +60,22 @@ impl WorkerObservation {
     }
 }
 
+/// Live knob overrides applied on top of a session's immutable spec.
+///
+/// `None` means "use the spec's value". Overrides take effect on every
+/// worker spawned after the set; a tuner rolls them through the running
+/// fleet by rotating workers ([`DppSession::rotate_worker`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct KnobOverrides {
+    read_ahead: Option<usize>,
+    batch_size: Option<usize>,
+}
+
 /// A running preprocessing session.
 pub struct DppSession {
     master: Master,
     spec: Arc<SessionSpec>,
+    knobs: Mutex<KnobOverrides>,
     table: Table,
     registry: Arc<RwLock<Vec<Endpoint>>>,
     controls: Mutex<HashMap<WorkerId, WorkerControl>>,
@@ -196,6 +208,7 @@ impl DppSession {
         DppSession {
             master,
             spec: Arc::new(spec),
+            knobs: Mutex::new(KnobOverrides::default()),
             table,
             registry: Arc::new(RwLock::new(Vec::new())),
             controls: Mutex::new(HashMap::new()),
@@ -358,24 +371,67 @@ impl DppSession {
         &self.spec
     }
 
+    /// Overrides the read-ahead depth for workers spawned from now on.
+    /// Running workers keep their depth; use [`DppSession::rotate_worker`]
+    /// to roll the change through the fleet.
+    pub fn set_read_ahead(&self, depth: usize) {
+        self.knobs.lock().read_ahead = Some(depth);
+    }
+
+    /// Overrides the batch size for workers spawned from now on (clamped
+    /// to at least 1). Mid-run batch changes alter the tensor sequence a
+    /// split produces, so callers that need replayed splits bitwise
+    /// identical (chaos invariants) must leave this knob frozen.
+    pub fn set_batch_size(&self, batch: usize) {
+        self.knobs.lock().batch_size = Some(batch.max(1));
+    }
+
+    /// The spec new workers are spawned with: the immutable session spec
+    /// plus any live knob overrides.
+    pub fn effective_spec(&self) -> SessionSpec {
+        let knobs = *self.knobs.lock();
+        let mut spec = (*self.spec).clone();
+        if let Some(depth) = knobs.read_ahead {
+            spec.read_ahead = depth;
+        }
+        if let Some(batch) = knobs.batch_size {
+            spec.batch_size = batch;
+        }
+        spec
+    }
+
+    /// Drains the most-buffered live worker and spawns a replacement that
+    /// picks up the current knob overrides — the unit step for rolling a
+    /// read-ahead/batch change through a running fleet without losing
+    /// capacity or exactly-once delivery (the drained worker finishes its
+    /// in-flight split; anything unacknowledged replays). Returns the
+    /// `(drained, replacement)` pair, or `None` when no worker is live.
+    pub fn rotate_worker(&self) -> Option<(WorkerId, WorkerId)> {
+        let observed = self.observe();
+        let victim = self.drain_victims(&observed, 1).into_iter().next()?;
+        self.drain_worker_by_id(victim);
+        Some((victim, self.spawn_worker()))
+    }
+
     /// Spawns one additional Worker, returning its id.
     pub fn spawn_worker(&self) -> WorkerId {
+        let spec = Arc::new(self.effective_spec());
         let id = self.master.register_worker();
-        let (tx, rx) = bounded::<Envelope>(self.spec.buffer_capacity);
+        let (tx, rx) = bounded::<Envelope>(spec.buffer_capacity);
         let kill = Arc::new(AtomicBool::new(false));
         let drain = Arc::new(AtomicBool::new(false));
         let scan = self
             .table
-            .scan(self.spec.partitions(), self.spec.projection.clone())
-            .with_policy(self.spec.policy)
-            .with_decode(self.spec.decode_mode())
+            .scan(spec.partitions(), spec.projection.clone())
+            .with_policy(spec.policy)
+            .with_decode(spec.decode_mode())
             .with_job(&self.master.session().to_string());
-        let worker = Worker::new(id, Arc::clone(&self.spec), scan);
+        let worker = Worker::new(id, Arc::clone(&spec), scan);
         let master = self.master.clone();
         let reports = Arc::clone(&self.finished_reports);
         let kill2 = Arc::clone(&kill);
         let drain2 = Arc::clone(&drain);
-        let read_ahead = self.spec.read_ahead;
+        let read_ahead = spec.read_ahead;
         let obs = Arc::clone(&self.obs);
         let chaos = Arc::clone(&self.chaos);
         let handle = std::thread::spawn(move || {
@@ -393,14 +449,14 @@ impl DppSession {
         // the channel feeds a per-worker wire server, and the endpoint is
         // fed by a client reader dialing it — same capacity on both hops,
         // so backpressure reaches the worker exactly as before.
-        let receiver = match self.spec.transport {
+        let receiver = match spec.transport {
             Transport::InProcess => rx,
             Transport::Tcp(cfg) => {
                 let job = self.master.session().to_string();
                 let server = wire::WireServer::serve(
                     rx,
                     cfg,
-                    self.spec.buffer_capacity,
+                    spec.buffer_capacity,
                     Arc::clone(&self.obs),
                     Arc::clone(&self.chaos),
                     &job,
@@ -409,7 +465,7 @@ impl DppSession {
                 let receiver = wire::connect(
                     server.port(),
                     cfg,
-                    self.spec.buffer_capacity,
+                    spec.buffer_capacity,
                     Arc::clone(&self.obs),
                     &job,
                 );
@@ -420,7 +476,7 @@ impl DppSession {
         self.registry.write().push(Endpoint {
             id,
             receiver,
-            capacity: self.spec.buffer_capacity,
+            capacity: spec.buffer_capacity,
         });
         self.controls.lock().insert(
             id,

@@ -1,0 +1,332 @@
+//! The knob surface shared by every pipeline-tuning policy.
+//!
+//! The paper's DPP scales one resource (worker count) with a fixed-rule
+//! watermark controller ([`crate::autoscale::AutoScaler`]). InTune-style
+//! online tuning generalizes this: a policy reads live telemetry and
+//! jointly moves *all* the data-pipeline knobs — workers, read-ahead
+//! depth, batch size, per-stage parallelism. This module defines that
+//! shared vocabulary ([`Knobs`], [`KnobBounds`], [`TunerSignals`]) and
+//! the [`TunerPolicy`] trait both the static scaler and the closed-loop
+//! tuner in `crates/tune` implement, so a session (or the fleet
+//! reconciler) can swap policies without rewiring.
+
+use crate::autoscale::{AutoScaler, ScalingDecision, WorkerTelemetry};
+use dsi_obs::SignalSnapshot;
+use serde::{Deserialize, Serialize};
+
+/// One joint setting of every tunable pipeline resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Knobs {
+    /// DPP worker (preprocessing node) count.
+    pub workers: usize,
+    /// Splits each worker prefetches ahead of its transform stage
+    /// (`SessionSpec::read_ahead`).
+    pub read_ahead: usize,
+    /// Samples per produced tensor batch (`SessionSpec::batch_size`).
+    pub batch_size: usize,
+    /// Intra-worker parallelism of the transform stage (lanes).
+    pub parallelism: usize,
+}
+
+impl Knobs {
+    /// Number of knob axes a policy can move.
+    pub const AXES: usize = 4;
+
+    /// Reads the knob on one axis (0 = workers, 1 = read_ahead,
+    /// 2 = batch_size, 3 = parallelism).
+    pub fn axis(&self, axis: usize) -> usize {
+        match axis {
+            0 => self.workers,
+            1 => self.read_ahead,
+            2 => self.batch_size,
+            3 => self.parallelism,
+            _ => panic!("knob axis {axis} out of range"),
+        }
+    }
+
+    /// Returns a copy with one axis replaced.
+    pub fn with_axis(mut self, axis: usize, value: usize) -> Self {
+        match axis {
+            0 => self.workers = value,
+            1 => self.read_ahead = value,
+            2 => self.batch_size = value,
+            3 => self.parallelism = value,
+            _ => panic!("knob axis {axis} out of range"),
+        }
+        self
+    }
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Self {
+            workers: 1,
+            read_ahead: 0,
+            batch_size: 64,
+            parallelism: 1,
+        }
+    }
+}
+
+/// Hard per-knob `[min, max]` floors and ceilings a policy must never
+/// cross — guarded exploration's outer fence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KnobBounds {
+    /// Worker-count window.
+    pub workers: (usize, usize),
+    /// Read-ahead window.
+    pub read_ahead: (usize, usize),
+    /// Batch-size window.
+    pub batch_size: (usize, usize),
+    /// Per-stage parallelism window.
+    pub parallelism: (usize, usize),
+}
+
+impl KnobBounds {
+    /// Bounds window for one axis (same numbering as [`Knobs::axis`]).
+    pub fn axis(&self, axis: usize) -> (usize, usize) {
+        match axis {
+            0 => self.workers,
+            1 => self.read_ahead,
+            2 => self.batch_size,
+            3 => self.parallelism,
+            _ => panic!("knob axis {axis} out of range"),
+        }
+    }
+
+    /// Clamps every knob into its window.
+    pub fn clamp(&self, knobs: Knobs) -> Knobs {
+        let c = |v: usize, (lo, hi): (usize, usize)| v.clamp(lo, hi.max(lo));
+        Knobs {
+            workers: c(knobs.workers, self.workers),
+            read_ahead: c(knobs.read_ahead, self.read_ahead),
+            batch_size: c(knobs.batch_size, self.batch_size),
+            parallelism: c(knobs.parallelism, self.parallelism),
+        }
+    }
+
+    /// Freezes one axis at its current value (equal min/max), so a policy
+    /// can be told "do not move this knob" — e.g. batch size during a
+    /// bitwise-compared chaos run.
+    pub fn freeze(mut self, axis: usize, at: usize) -> Self {
+        match axis {
+            0 => self.workers = (at, at),
+            1 => self.read_ahead = (at, at),
+            2 => self.batch_size = (at, at),
+            3 => self.parallelism = (at, at),
+            _ => panic!("knob axis {axis} out of range"),
+        }
+        self
+    }
+}
+
+impl Default for KnobBounds {
+    fn default() -> Self {
+        Self {
+            workers: (1, 512),
+            read_ahead: (0, 8),
+            batch_size: (16, 512),
+            parallelism: (1, 8),
+        }
+    }
+}
+
+/// Everything a tuning policy sees on one control tick: the sampled
+/// metric stream plus the session's own buffered-tensor telemetry
+/// (which never transits the registry, so it cannot be NaN-poisoned).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TunerSignals {
+    /// Registry sample — stall fraction, fetch tail, starvation,
+    /// fastpath pool health, per-stage seconds.
+    pub snapshot: SignalSnapshot,
+    /// Mean tensors buffered per live worker (the §III-B1 watermark
+    /// signal).
+    pub mean_buffered: f64,
+    /// Mean worker utilization proxy in `[0, 1]`.
+    pub mean_utilization: f64,
+    /// Live (non-draining) workers observed this tick.
+    pub live_workers: usize,
+}
+
+impl TunerSignals {
+    /// Builds signals from a session's worker telemetry plus a registry
+    /// sample. Means over an empty fleet are 0, never NaN.
+    pub fn from_telemetry(snapshot: SignalSnapshot, telemetry: &[WorkerTelemetry]) -> Self {
+        let n = telemetry.len();
+        let (buf, util) = telemetry.iter().fold((0.0, 0.0), |(b, u), t| {
+            (b + t.buffered_batches as f64, u + t.max_utilization)
+        });
+        let mean = |sum: f64| {
+            if n == 0 {
+                0.0
+            } else {
+                dsi_obs::finite_or_zero(sum / n as f64)
+            }
+        };
+        Self {
+            snapshot,
+            mean_buffered: mean(buf),
+            mean_utilization: mean(util),
+            live_workers: n,
+        }
+    }
+
+    /// Synthesizes the uniform per-worker telemetry the watermark scaler
+    /// consumes natively.
+    pub fn to_telemetry(&self) -> Vec<WorkerTelemetry> {
+        vec![
+            WorkerTelemetry {
+                buffered_batches: self.mean_buffered.round().max(0.0) as usize,
+                max_utilization: self.mean_utilization,
+            };
+            self.live_workers
+        ]
+    }
+}
+
+/// A pipeline-tuning policy: maps one tick of signals to the next joint
+/// knob setting. Implementations must stay inside [`TunerPolicy::bounds`];
+/// callers may re-clamp defensively.
+pub trait TunerPolicy {
+    /// Stable policy name for reports and bench artifacts.
+    fn name(&self) -> &'static str;
+
+    /// The hard knob fences this policy honors.
+    fn bounds(&self) -> KnobBounds;
+
+    /// One control tick: given signals and the currently-applied knobs,
+    /// returns the knobs to apply next (possibly unchanged).
+    fn decide(&mut self, signals: &TunerSignals, current: &Knobs) -> Knobs;
+}
+
+/// The static watermark scaler as a [`TunerPolicy`]: moves only the
+/// worker-count axis, exactly as [`AutoScaler::evaluate`] always has.
+impl TunerPolicy for AutoScaler {
+    fn name(&self) -> &'static str {
+        "static-watermark"
+    }
+
+    fn bounds(&self) -> KnobBounds {
+        KnobBounds {
+            workers: (self.config().min_workers, self.config().max_workers),
+            ..KnobBounds::default()
+        }
+    }
+
+    fn decide(&mut self, signals: &TunerSignals, current: &Knobs) -> Knobs {
+        let telemetry = signals.to_telemetry();
+        let decision = self.evaluate(&telemetry);
+        let workers = AutoScaler::apply(decision, current.workers);
+        let workers = match decision {
+            // evaluate() already fences against min/max for live counts,
+            // but clamp anyway: `current.workers` may lag the observed
+            // fleet the decision was computed over.
+            ScalingDecision::ScaleUp(_) => workers.min(self.config().max_workers),
+            ScalingDecision::ScaleDown(_) => workers.max(self.config().min_workers),
+            ScalingDecision::Hold => workers,
+        };
+        Knobs {
+            workers,
+            ..*current
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoscale::ScalerConfig;
+
+    fn signals(n: usize, buffered: f64, util: f64) -> TunerSignals {
+        TunerSignals {
+            snapshot: SignalSnapshot::default(),
+            mean_buffered: buffered,
+            mean_utilization: util,
+            live_workers: n,
+        }
+    }
+
+    #[test]
+    fn autoscaler_policy_moves_only_workers() {
+        let mut policy = AutoScaler::default();
+        let current = Knobs {
+            workers: 8,
+            read_ahead: 2,
+            batch_size: 64,
+            parallelism: 2,
+        };
+        // Starved buffers: scale out by one step, everything else fixed.
+        let next = policy.decide(&signals(8, 0.0, 0.9), &current);
+        assert_eq!(next.workers, 10);
+        assert_eq!(next.read_ahead, 2);
+        assert_eq!(next.batch_size, 64);
+        assert_eq!(next.parallelism, 2);
+    }
+
+    #[test]
+    fn autoscaler_policy_reports_worker_bounds() {
+        let policy = AutoScaler::new(ScalerConfig {
+            min_workers: 2,
+            max_workers: 32,
+            ..Default::default()
+        });
+        assert_eq!(policy.bounds().workers, (2, 32));
+        assert_eq!(policy.name(), "static-watermark");
+    }
+
+    #[test]
+    fn autoscaler_policy_drains_every_tick_once_armed() {
+        // The fixed down_streak bug, observed through the policy facade:
+        // sustained idleness keeps draining tick over tick.
+        let mut policy = AutoScaler::default();
+        let mut knobs = Knobs {
+            workers: 8,
+            ..Knobs::default()
+        };
+        let idle = |n: usize| signals(n, 10.0, 0.1);
+        knobs = policy.decide(&idle(8), &knobs); // hysteresis tick
+        assert_eq!(knobs.workers, 8);
+        knobs = policy.decide(&idle(8), &knobs);
+        assert_eq!(knobs.workers, 6);
+        knobs = policy.decide(&idle(6), &knobs);
+        assert_eq!(knobs.workers, 4, "drain continues without a Hold gap");
+    }
+
+    #[test]
+    fn bounds_clamp_and_freeze() {
+        let bounds = KnobBounds::default().freeze(2, 64);
+        let wild = Knobs {
+            workers: 10_000,
+            read_ahead: 99,
+            batch_size: 4,
+            parallelism: 0,
+        };
+        let clamped = bounds.clamp(wild);
+        assert_eq!(clamped.workers, 512);
+        assert_eq!(clamped.read_ahead, 8);
+        assert_eq!(clamped.batch_size, 64, "frozen axis pins to its value");
+        assert_eq!(clamped.parallelism, 1);
+    }
+
+    #[test]
+    fn signals_from_empty_telemetry_are_zero() {
+        let s = TunerSignals::from_telemetry(SignalSnapshot::default(), &[]);
+        assert_eq!(s.mean_buffered, 0.0);
+        assert_eq!(s.mean_utilization, 0.0);
+        assert_eq!(s.live_workers, 0);
+        assert!(s.to_telemetry().is_empty());
+    }
+
+    #[test]
+    fn axis_accessors_round_trip() {
+        let k = Knobs {
+            workers: 3,
+            read_ahead: 1,
+            batch_size: 32,
+            parallelism: 2,
+        };
+        for axis in 0..Knobs::AXES {
+            assert_eq!(k.with_axis(axis, 7).axis(axis), 7);
+        }
+    }
+}

@@ -7,8 +7,8 @@ use crate::job::{JobPhase, JobRegistry, JobSpec, JobStatus};
 use crate::placement::PlacementScorer;
 use crate::reconcile::{plan, FleetAction, ObservedJob};
 use chaos::FaultInjector;
-use dpp::{Client, DppSession, WorkerObservation};
-use dsi_obs::names;
+use dpp::{Client, DppSession, Knobs, TunerPolicy, TunerSignals, WorkerObservation};
+use dsi_obs::{names, SignalSnapshot};
 use dsi_types::{NodeId, Result, SessionId, WorkerId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -41,6 +41,14 @@ struct ManagedJob {
     placements: HashMap<WorkerId, NodeId>,
 }
 
+/// Per-job closed-loop tuner state: the policy, the knob setting it last
+/// applied, and the cumulative signal sample it diffs against.
+struct JobTuner {
+    policy: Box<dyn TunerPolicy + Send>,
+    knobs: Knobs,
+    last: SignalSnapshot,
+}
+
 /// The multi-tenant control plane: a [`JobRegistry`] of desired state, a
 /// [`PlacementScorer`] tracking the shared fleet, and the managed
 /// [`DppSession`]s that consume worker assignments instead of owning them.
@@ -53,6 +61,7 @@ pub struct FleetDriver {
     placer: Mutex<PlacementScorer>,
     jobs: Mutex<HashMap<SessionId, ManagedJob>>,
     obs: Mutex<Option<dsi_obs::Registry>>,
+    tuners: Mutex<HashMap<SessionId, JobTuner>>,
 }
 
 impl FleetDriver {
@@ -72,6 +81,7 @@ impl FleetDriver {
             placer: Mutex::new(placer),
             jobs: Mutex::new(HashMap::new()),
             obs: Mutex::new(None),
+            tuners: Mutex::new(HashMap::new()),
         }
     }
 
@@ -130,6 +140,50 @@ impl FleetDriver {
         Ok(())
     }
 
+    /// Delegates this job's per-tick scaling to `policy`: instead of the
+    /// static fair-share demand from [`JobSpec`], the reconciler feeds the
+    /// policy the job's live signal stream each tick, lets it move the
+    /// joint knob setting, applies depth knobs (read-ahead, batch size) as
+    /// session overrides, and presents the policy's worker target as the
+    /// job's demand (still clamped inside the spec's min/max window, still
+    /// arbitrated by fair-share against other tenants).
+    ///
+    /// Returns `false` (and installs nothing) when the job is unknown.
+    pub fn enable_autotune(&self, job: SessionId, policy: Box<dyn TunerPolicy + Send>) -> bool {
+        let jobs = self.jobs.lock();
+        let Some(managed) = jobs.get(&job) else {
+            return false;
+        };
+        let spec = managed.session.effective_spec();
+        let floor = self
+            .registry
+            .specs()
+            .iter()
+            .find(|s| s.id() == job)
+            .map(|s| s.min_workers)
+            .unwrap_or(1);
+        let knobs = Knobs {
+            workers: managed.session.worker_count().max(floor).max(1),
+            read_ahead: spec.read_ahead,
+            batch_size: spec.batch_size,
+            parallelism: 1,
+        };
+        self.tuners.lock().insert(
+            job,
+            JobTuner {
+                policy,
+                knobs,
+                last: SignalSnapshot::default(),
+            },
+        );
+        true
+    }
+
+    /// The knob setting the job's tuner currently wants, if autotuned.
+    pub fn autotuned_knobs(&self, job: SessionId) -> Option<Knobs> {
+        self.tuners.lock().get(&job).map(|t| t.knobs)
+    }
+
     /// Creates a trainer-side client for a managed job. Clients created
     /// before the first tick park until workers are assigned.
     pub fn client(&self, job: SessionId) -> Option<Client> {
@@ -149,6 +203,7 @@ impl FleetDriver {
     /// slots return to the fleet on the way out.
     pub fn remove(&self, job: SessionId) -> Option<DppSession> {
         self.registry.remove(job);
+        self.tuners.lock().remove(&job);
         let managed = self.jobs.lock().remove(&job)?;
         let mut placer = self.placer.lock();
         for (_, node) in managed.placements {
@@ -197,13 +252,58 @@ impl FleetDriver {
             observations.insert(spec.id(), snapshot);
         }
 
+        // Autotune: for delegated jobs, one policy tick over the live
+        // signal window decides the joint knob setting. Depth knobs are
+        // applied to the session immediately (fleet-spawned replacements
+        // pick them up); the worker knob becomes the job's demand below.
+        let obs = self.obs.lock().clone();
+        let mut tuners = self.tuners.lock();
+        for (spec, o) in specs.iter().zip(&observed) {
+            if o.completed {
+                continue;
+            }
+            let (Some(jt), Some(managed)) = (tuners.get_mut(&spec.id()), jobs.get(&spec.id()))
+            else {
+                continue;
+            };
+            managed.session.publish_metrics();
+            let cumulative = match obs.as_ref() {
+                Some(reg) => SignalSnapshot::sample_job(reg, &spec.id().to_string()),
+                None => SignalSnapshot::default(),
+            };
+            let window = cumulative.delta(&jt.last);
+            jt.last = cumulative;
+            let signals = TunerSignals::from_telemetry(window, &managed.session.telemetry());
+            // No live lane surface on a managed session: freeze that axis.
+            let bounds = jt.policy.bounds().freeze(3, jt.knobs.parallelism);
+            let next = bounds.clamp(jt.policy.decide(&signals, &jt.knobs));
+            if next.read_ahead != jt.knobs.read_ahead {
+                managed.session.set_read_ahead(next.read_ahead);
+            }
+            if next.batch_size != jt.knobs.batch_size {
+                managed.session.set_batch_size(next.batch_size);
+            }
+            jt.knobs = next;
+        }
+
         // Allocate: fair-share targets over jobs that still want workers.
+        // Autotuned jobs demand exactly what their policy asked for
+        // (pinched into the spec's own min/max window).
         let demands: Vec<Demand> = specs
             .iter()
             .zip(&observed)
             .filter(|(_, o)| !o.completed)
-            .map(|(s, _)| s.demand())
+            .map(|(s, _)| {
+                let mut d = s.demand();
+                if let Some(jt) = tuners.get(&s.id()) {
+                    let want = jt.knobs.workers.clamp(s.min_workers, s.max_workers.max(1));
+                    d.min = want;
+                    d.max = want;
+                }
+                d
+            })
             .collect();
+        drop(tuners);
         let targets = fairshare::fair_share(placer.capacity(), &demands);
 
         // Diff and execute.
@@ -229,7 +329,6 @@ impl FleetDriver {
         }
 
         // Publish status + metrics.
-        let obs = self.obs.lock().clone();
         for (spec, o) in specs.iter().zip(&observed) {
             let target = targets
                 .iter()

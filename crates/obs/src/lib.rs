@@ -30,6 +30,7 @@ pub mod metrics;
 pub mod names;
 pub mod registry;
 pub mod report;
+pub mod signal;
 pub mod span;
 pub mod trace;
 
@@ -37,6 +38,7 @@ pub use expo::{json_snapshot, prometheus_text};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use registry::{Metric, MetricKey, MetricValue, Registry};
 pub use report::{NodeRow, PipelineReport, StageRow};
+pub use signal::{finite_or_zero, SignalSnapshot};
 pub use span::{
     add_stage_cycles, observe_stage_seconds, stage, SpanTimer, StageScope, STAGE_CYCLES_TOTAL,
     STAGE_SECONDS,

@@ -109,7 +109,7 @@ impl Gauge {
 }
 
 /// An immutable view of a histogram's state.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct HistogramSnapshot {
     /// Values recorded.
     pub count: u64,

@@ -69,6 +69,7 @@ impl LiveTrainer {
         let elapsed = start.elapsed();
         let report = StallReport {
             batches,
+            produced: batches,
             elapsed_secs: elapsed.as_secs_f64(),
             stalled_secs: stalled.as_secs_f64(),
             stall_fraction: if elapsed.is_zero() {
@@ -135,6 +136,7 @@ impl LiveTrainer {
             let elapsed = start.elapsed();
             let report = StallReport {
                 batches,
+                produced: batches,
                 elapsed_secs: elapsed.as_secs_f64(),
                 stalled_secs: stalled.as_secs_f64(),
                 stall_fraction: if elapsed.is_zero() {

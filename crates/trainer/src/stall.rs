@@ -14,6 +14,9 @@ use serde::{Deserialize, Serialize};
 pub struct StallReport {
     /// Batches consumed.
     pub batches: u64,
+    /// Batches produced by the pipeline (consumed plus any still
+    /// buffered at exit).
+    pub produced: u64,
     /// Total simulated seconds.
     pub elapsed_secs: f64,
     /// Seconds the GPU spent waiting for data.
@@ -139,23 +142,38 @@ impl StallSim {
             let batch_ready = match available.pop_front() {
                 Some(_) => now,
                 None => {
-                    // Stall until the producer delivers.
+                    // Stall until the producer delivers, then route the
+                    // delivery through the single production path so the
+                    // batch is counted in `produced` and the producer
+                    // clock advances exactly as it does for buffered
+                    // batches (an inline copy here used to bypass the
+                    // buffer-capacity backpressure bump and drift the
+                    // produced count from the buffered path on one seed).
                     let ready = next_produce.max(now);
                     stalled += ready - now;
-                    // The batch produced at `ready` is consumed immediately.
-                    let interval = if self.producer_jitter > 0.0 {
-                        rng.next_lognormal(self.produce_interval, self.producer_jitter)
-                    } else {
-                        self.produce_interval
-                    };
-                    next_produce = ready + interval;
+                    produce_until(
+                        ready,
+                        &mut available,
+                        &mut next_produce,
+                        &mut produced,
+                        &mut rng,
+                    );
+                    available
+                        .pop_front()
+                        .expect("producer delivered a batch at its own ready time");
                     ready
                 }
             };
             now = batch_ready + self.consume_interval;
         }
+        assert_eq!(
+            produced,
+            batches + available.len() as u64,
+            "every produced batch is either consumed or still buffered"
+        );
         StallReport {
             batches,
+            produced,
             elapsed_secs: now,
             stalled_secs: stalled,
             stall_fraction: if now > 0.0 { stalled / now } else { 0.0 },
@@ -233,6 +251,33 @@ mod tests {
     #[should_panic(expected = "rates must be positive")]
     fn invalid_rates_rejected() {
         StallSim::from_rates(0.0, 1.0, 1);
+    }
+
+    #[test]
+    fn stall_path_batches_are_counted_as_produced() {
+        // Regression: the stall branch used to sample the producer
+        // interval inline instead of routing through `produce_until`, so
+        // every directly-consumed batch was missing from `produced` — an
+        // undersupplied trainer reported almost nothing produced while
+        // consuming thousands of batches.
+        let sim = StallSim::from_rates(50.0, 100.0, 8).with_jitter(0.3);
+        let r = sim.run(5_000, 7);
+        assert!(
+            r.produced >= r.batches,
+            "produced {} must cover the {} consumed batches",
+            r.produced,
+            r.batches
+        );
+        assert!(
+            r.produced <= r.batches + 8,
+            "at most buffer_capacity batches may remain buffered, produced {}",
+            r.produced
+        );
+
+        // Deterministic oversupplied run: the buffer is the only slack.
+        let sim = StallSim::from_rates(1000.0, 100.0, 4);
+        let r = sim.run(1_000, 9);
+        assert!((r.batches..=r.batches + 4).contains(&r.produced));
     }
 
     #[test]

@@ -1,0 +1,240 @@
+//! Applies a [`TunerPolicy`] to a running [`DppSession`].
+//!
+//! [`LiveTuner`] closes the loop the sim only models: each
+//! [`LiveTuner::tick`] samples the attached metrics registry into a
+//! [`SignalSnapshot`], folds in the session's own worker telemetry, asks
+//! the policy for the next joint knob setting, and applies the delta to
+//! the live fleet — spawning or draining workers for the worker axis,
+//! installing spec overrides (plus a worker rotation so they take
+//! effect) for the depth axes.
+//!
+//! The per-stage `parallelism` axis has no live control surface on a
+//! [`DppSession`] (transform lanes are fixed at spawn), so the adapter
+//! freezes that axis at its current value; the sim and the fleet
+//! reconciler exercise it instead.
+
+use dpp::{DppSession, KnobBounds, Knobs, TunerPolicy, TunerSignals};
+use dsi_obs::{Registry, SignalSnapshot};
+
+/// What one live control tick changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KnobDelta {
+    /// Workers spawned this tick.
+    pub spawned: usize,
+    /// Workers put into drain this tick.
+    pub drained: usize,
+    /// Whether a worker was rotated to roll a depth-knob change through.
+    pub rotated: bool,
+    /// The knob setting now in force.
+    pub applied: Knobs,
+}
+
+impl KnobDelta {
+    /// Whether the tick changed anything.
+    pub fn is_noop(&self) -> bool {
+        self.spawned == 0 && self.drained == 0 && !self.rotated
+    }
+}
+
+/// Drives a [`TunerPolicy`] against a live session. The caller owns the
+/// cadence: invoke [`LiveTuner::tick`] from wherever the control loop
+/// lives (a trainer epoch boundary, a fleet reconciler pass, a timer).
+pub struct LiveTuner {
+    policy: Box<dyn TunerPolicy + Send>,
+    knobs: Knobs,
+    last: SignalSnapshot,
+    ticks: u64,
+}
+
+impl LiveTuner {
+    /// Wraps `policy`, reading the session's current spec for the initial
+    /// knob setting and freezing the lane axis (see module docs).
+    pub fn new(policy: Box<dyn TunerPolicy + Send>, session: &DppSession) -> Self {
+        let spec = session.effective_spec();
+        let knobs = Knobs {
+            workers: session.worker_count().max(1),
+            read_ahead: spec.read_ahead,
+            batch_size: spec.batch_size,
+            parallelism: 1,
+        };
+        Self {
+            policy,
+            knobs: Knobs {
+                parallelism: knobs.parallelism,
+                ..knobs
+            },
+            last: SignalSnapshot::default(),
+            ticks: 0,
+        }
+    }
+
+    /// The bounds in force: the policy's, with the lane axis frozen.
+    pub fn bounds(&self) -> KnobBounds {
+        self.policy.bounds().freeze(3, self.knobs.parallelism)
+    }
+
+    /// The knob setting currently applied.
+    pub fn knobs(&self) -> Knobs {
+        self.knobs
+    }
+
+    /// Control ticks run so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// One control tick: sample, decide, apply. `registry` must be the
+    /// one attached to the session for the signal stream to be live;
+    /// metrics are published first so the sample is current.
+    pub fn tick(&mut self, session: &DppSession, registry: &Registry) -> KnobDelta {
+        self.ticks += 1;
+        session.publish_metrics();
+        let job = session.master().session().to_string();
+        let cumulative = SignalSnapshot::sample_job(registry, &job);
+        // Policies react to *recent* conditions: feed the delta since the
+        // previous tick, not lifetime totals.
+        let window = cumulative.delta(&self.last);
+        self.last = cumulative;
+        let signals = TunerSignals::from_telemetry(window, &session.telemetry());
+        let bounds = self.bounds();
+        let next = bounds.clamp(self.policy.decide(&signals, &self.knobs));
+        self.apply(session, next)
+    }
+
+    /// Applies `next` to the session, returning what changed. Exposed so
+    /// harnesses (fleet reconciler, chaos tests) can drive the policy
+    /// themselves and still reuse the actuation path.
+    pub fn apply(&mut self, session: &DppSession, next: Knobs) -> KnobDelta {
+        let prev = self.knobs;
+        let mut delta = KnobDelta {
+            applied: next,
+            ..KnobDelta::default()
+        };
+        let depth_changed =
+            next.read_ahead != prev.read_ahead || next.batch_size != prev.batch_size;
+        if next.read_ahead != prev.read_ahead {
+            session.set_read_ahead(next.read_ahead);
+        }
+        if next.batch_size != prev.batch_size {
+            session.set_batch_size(next.batch_size);
+        }
+        if next.workers > prev.workers {
+            for _ in prev.workers..next.workers {
+                session.spawn_worker();
+                delta.spawned += 1;
+            }
+        } else if next.workers < prev.workers {
+            let observed = session.observe();
+            for victim in session.drain_victims(&observed, prev.workers - next.workers) {
+                session.drain_worker_by_id(victim);
+                delta.drained += 1;
+            }
+        } else if depth_changed {
+            // Depth-only change: roll one worker so the new spec takes
+            // effect without waiting for natural churn. (A worker change
+            // above already spawns with the fresh spec.)
+            delta.rotated = session.rotate_worker().is_some();
+        }
+        self.knobs = next;
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{OnlineTuner, TunerConfig};
+    use dpp::SessionSpec;
+    use dsi_types::{FeatureId, PartitionId, Projection, Sample, SessionId, SparseList, TableId};
+    use warehouse::{Table, TableConfig};
+
+    fn table() -> Table {
+        let cluster = tectonic::TectonicCluster::new(tectonic::ClusterConfig::small());
+        let opts = dwrf::WriterOptions {
+            rows_per_stripe: 32,
+            ..Default::default()
+        };
+        let table = Table::create(
+            cluster,
+            TableConfig::new(TableId(1), "tune-live").with_writer_options(opts),
+        )
+        .unwrap();
+        let samples: Vec<Sample> = (0..256u64)
+            .map(|i| {
+                let mut s = Sample::new(i as f32);
+                s.set_dense(FeatureId(1), i as f32);
+                s.set_sparse(FeatureId(2), SparseList::from_ids(vec![i % 13]));
+                s
+            })
+            .collect();
+        table.write_partition(PartitionId::new(0), samples).unwrap();
+        table
+    }
+
+    fn spec() -> SessionSpec {
+        SessionSpec::builder(SessionId(7))
+            .partitions(PartitionId::new(0)..PartitionId::new(1))
+            .projection(Projection::new(vec![FeatureId(1), FeatureId(2)]))
+            .batch_size(16)
+            .dense_ids(vec![FeatureId(1)])
+            .sparse_ids(vec![FeatureId(2)])
+            .buffer_capacity(8)
+            .build()
+    }
+
+    #[test]
+    fn live_tick_applies_worker_and_depth_moves() {
+        let session = DppSession::launch(table(), spec(), 1).unwrap();
+        let registry = Registry::new();
+        session.attach_registry(&registry);
+        let policy = OnlineTuner::new(TunerConfig::default());
+        let mut tuner = LiveTuner::new(Box::new(policy), &session);
+        assert_eq!(tuner.knobs().workers, 1);
+
+        // Manual actuation: grow the fleet and deepen read-ahead.
+        let grown = Knobs {
+            workers: 3,
+            read_ahead: 2,
+            ..tuner.knobs()
+        };
+        let delta = tuner.apply(&session, grown);
+        assert_eq!(delta.spawned, 2);
+        assert_eq!(session.worker_count(), 3);
+        assert_eq!(session.effective_spec().read_ahead, 2);
+
+        // Depth-only change rotates a worker through the new spec.
+        let deeper = Knobs {
+            read_ahead: 3,
+            ..tuner.knobs()
+        };
+        let delta = tuner.apply(&session, deeper);
+        assert_eq!(delta.spawned, 0);
+        assert!(delta.rotated);
+
+        // Policy-driven ticks never cross the frozen lane axis and never
+        // panic on a live registry.
+        for _ in 0..3 {
+            let d = tuner.tick(&session, &registry);
+            assert_eq!(d.applied.parallelism, tuner.knobs().parallelism);
+        }
+        let mut client = session.client();
+        while client.next_batch().is_some() {}
+        session.shutdown();
+    }
+
+    #[test]
+    fn live_tick_on_fresh_registry_is_nan_free() {
+        let session = DppSession::launch(table(), spec(), 1).unwrap();
+        let registry = Registry::new();
+        session.attach_registry(&registry);
+        let mut tuner =
+            LiveTuner::new(Box::new(OnlineTuner::new(TunerConfig::default())), &session);
+        // First tick samples an almost-empty registry: every signal must
+        // be finite (satellite: NaN-poisoning audit).
+        let d = tuner.tick(&session, &registry);
+        assert!(d.applied.workers >= 1);
+        let mut client = session.client();
+        while client.next_batch().is_some() {}
+        session.shutdown();
+    }
+}

@@ -62,6 +62,7 @@ pub use dpp;
 pub use dsi_fleet as fleet;
 pub use dsi_obs as obs;
 pub use dsi_trace as trace;
+pub use dsi_tune as tune;
 pub use dsi_types as types;
 pub use dwrf;
 pub use hwsim;
@@ -77,12 +78,16 @@ pub use wire;
 pub mod prelude {
     pub use chaos::{FaultInjector, FaultKind, FaultPlan, HookPoint};
     pub use dedup::{DedupConfig, DedupSet, DedupStats};
-    pub use dpp::{AutoScaler, Client, DppSession, Master, SessionSpec, Transport};
+    pub use dpp::{
+        AutoScaler, Client, DppSession, KnobBounds, Knobs, Master, SessionSpec, Transport,
+        TunerPolicy,
+    };
     pub use dsi_fleet::{
         FleetAction, FleetConfig, FleetDriver, JobPhase, JobRegistry, JobSpec, JobStatus, TenantId,
     };
     pub use dsi_obs::{json_snapshot, prometheus_text, PipelineReport, Registry};
     pub use dsi_trace::{CriticalPathReport, TraceConfig, Verdict};
+    pub use dsi_tune::{LiveTuner, OnlineTuner, Scenario, TunerConfig};
     pub use dsi_types::{
         Batch, ByteSize, DsiError, FeatureId, MiniBatchTensor, PartitionId, Projection, Sample,
         Schema, SessionId, SparseList, TableId,

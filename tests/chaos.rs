@@ -1078,3 +1078,167 @@ fn mutation_check_broken_invariant_shrinks_to_minimal_printed_plan() {
     let path = dump_failing_plan(&minimal, "mutation-check: intentional");
     assert!(std::path::Path::new(&path).exists());
 }
+
+// ---------------------------------------------------------------------
+// Closed-loop tuning under chaos: the online tuner actively rolls knob
+// changes through the fleet while a storage node dies mid-epoch.
+// ---------------------------------------------------------------------
+
+#[test]
+fn tuner_moves_knobs_while_node_dies_mid_epoch_exactly_once() {
+    // The composed scenario ISSUE satellite 4 asks for: a LiveTuner is
+    // ticking every batch — growing the fleet, deepening read-ahead,
+    // rotating workers through the new spec — when NodeFail hits twice.
+    // Each loss runs the full declaration path (K missed heartbeats →
+    // chunks queued → budgeted rebuild) while the tuner keeps actuating.
+    // Delivery must stay exactly-once and bitwise-identical to the
+    // fault-free, untouched-knobs baseline. The batch-size axis is frozen
+    // (a mid-run change would legitimately alter tensor shapes); workers
+    // and read-ahead are the delivery-invariant knobs the tuner may move.
+    let opts = EpochOpts {
+        workers: 2,
+        ..EpochOpts::default()
+    };
+    let baseline = run_baseline(opts);
+    assert_eq!(baseline.trace.len(), TOTAL_TENSORS);
+
+    let plan = FaultPlan::named(vec![
+        FaultEvent::new(HookPoint::Harness, 3, FaultKind::NodeFail),
+        FaultEvent::new(HookPoint::Harness, 6, FaultKind::NodeFail),
+    ]);
+    let injector = FaultInjector::new(plan);
+    let context = injector.plan().to_string();
+    let faulty = with_watchdog(WATCHDOG, context, move || {
+        let registry = Registry::new();
+        injector.attach_registry(registry.clone());
+        let world = build_world();
+        world.cluster.attach_chaos(Arc::clone(&injector));
+        let spec = chaos_spec(opts);
+        let session = launch_with_retry(&world, &spec, opts.workers, &injector, None, None);
+        session.attach_registry(&registry);
+
+        let policy = OnlineTuner::new(TunerConfig {
+            bounds: KnobBounds {
+                workers: (1, 5),
+                read_ahead: (0, 2),
+                batch_size: (ROWS_PER_STRIPE, ROWS_PER_STRIPE), // frozen
+                parallelism: (1, 1),
+            },
+            ..TunerConfig::default()
+        });
+        let mut tuner = LiveTuner::new(Box::new(policy), &session);
+        assert_eq!(tuner.knobs().batch_size, ROWS_PER_STRIPE);
+
+        let mut client = session.client();
+        let mut trace = EpochTrace::new();
+        let mut batches: u64 = 0;
+        let mut forced_moves = 0u32;
+        let mut idle = 0u32;
+        loop {
+            match client.next_batch_deadline(Duration::from_millis(100)) {
+                Some(tensor) => {
+                    trace.push(&tensor);
+                    batches += 1;
+                    idle = 0;
+                    for kind in injector.fire(HookPoint::Harness) {
+                        if kind == FaultKind::NodeFail {
+                            let mut downed = world.cluster.failed_nodes();
+                            while downed.len() >= tectonic::REPLICATION_FACTOR - 1 {
+                                world.cluster.recover_node(downed.remove(0));
+                            }
+                            let victim = batches % world.cluster.node_count() as u64;
+                            world.cluster.fail_node(NodeId(victim));
+                            for _ in 0..tectonic::DEFAULT_HEARTBEAT_K {
+                                world.cluster.heartbeat_tick();
+                            }
+                            while world.cluster.pump_rebuild(8).remaining > 0 {}
+                        }
+                    }
+                    // Forced knob motion bracketing the two node losses, so
+                    // the tuner is provably mid-flight when they land; the
+                    // policy also runs its own closed loop every batch.
+                    match batches {
+                        2 => {
+                            let grown = Knobs {
+                                workers: tuner.knobs().workers + 1,
+                                read_ahead: 1,
+                                ..tuner.knobs()
+                            };
+                            let d = tuner.apply(&session, grown);
+                            assert_eq!(d.spawned, 1);
+                            forced_moves += 1;
+                        }
+                        5 => {
+                            // Depth-only move between the two losses: rolls
+                            // a worker through the new spec via drain+spawn.
+                            let deeper = Knobs {
+                                read_ahead: 2,
+                                ..tuner.knobs()
+                            };
+                            let d = tuner.apply(&session, deeper);
+                            assert!(d.rotated || d.spawned > 0, "{d:?}");
+                            forced_moves += 1;
+                        }
+                        8 => {
+                            let slimmer = Knobs {
+                                workers: tuner.knobs().workers.saturating_sub(1).max(1),
+                                ..tuner.knobs()
+                            };
+                            tuner.apply(&session, slimmer);
+                            forced_moves += 1;
+                        }
+                        _ => {
+                            tuner.tick(&session, &registry);
+                        }
+                    }
+                    assert_eq!(
+                        tuner.knobs().batch_size,
+                        ROWS_PER_STRIPE,
+                        "frozen batch axis must never move"
+                    );
+                }
+                None => {
+                    if session.is_complete() {
+                        break;
+                    }
+                    if session.live_worker_threads() == 0 {
+                        session.spawn_worker();
+                    }
+                    idle += 1;
+                    assert!(
+                        idle < 300,
+                        "no progress for 30s under plan:\n{}",
+                        injector.plan()
+                    );
+                }
+            }
+        }
+        assert_eq!(forced_moves, 3, "all three bracketed knob moves ran");
+        injector.publish_metrics();
+        world.cluster.publish_metrics(&registry);
+        let durability = durability_snapshot(&world.cluster);
+        session.shutdown();
+        EpochRun {
+            trace,
+            injector,
+            registry,
+            durability,
+        }
+    });
+
+    let mut report = InvariantReport::new();
+    note_injected(&mut report, &faulty.injector);
+    check_exactly_once(&mut report, &faulty.trace, &baseline.trace);
+    check_obs_accounting(&mut report, &faulty.injector, &faulty.registry);
+    check_durability(&mut report, &faulty.durability);
+    assert!(
+        report.ok(),
+        "invariants violated under tuned chaos run:\n{}\n{report}",
+        faulty.injector.plan()
+    );
+    assert!(
+        report.render().contains("node_fail"),
+        "node failure never injected:\n{}",
+        report.render()
+    );
+}

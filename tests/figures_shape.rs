@@ -521,3 +521,89 @@ fn datasets_dwarf_local_storage() {
         assert!(p.all_partitions.bytes() as f64 / PIB as f64 > 1.0);
     }
 }
+
+#[test]
+fn autotune_bench_artifact_matches_schema() {
+    // `figures autotune` commits the closed-loop tuning ablation: the
+    // online tuner vs the static watermark scaler over four deterministic
+    // pipeline scenarios. Validate the flat per-scenario key schema and
+    // the acceptance envelope (tuner converges, static cannot on the
+    // scenarios the worker knob alone does not fix) without a JSON parser.
+    fn num(body: &str, key: &str) -> f64 {
+        let pat = format!("\"{key}\":");
+        let at = body
+            .find(&pat)
+            .unwrap_or_else(|| panic!("BENCH_autotune.json missing key {key:?}"));
+        let rest = body[at + pat.len()..].trim_start();
+        let end = rest
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+            .unwrap_or(rest.len());
+        rest[..end]
+            .parse()
+            .unwrap_or_else(|_| panic!("BENCH_autotune.json key {key:?} is not numeric"))
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_autotune.json");
+    let body = std::fs::read_to_string(path)
+        .expect("BENCH_autotune.json is committed at the repo root (run `figures autotune`)");
+    assert_eq!(num(&body, "scenario_count"), 4.0);
+    let target = num(&body, "stall_target");
+    assert!(target > 0.0 && target < 0.1);
+
+    // Every scenario carries both arms with the full metric set; ttc is
+    // reported for all four (the acceptance criterion).
+    for scen in [
+        "extract_bound",
+        "transform_bound",
+        "trainer_bound",
+        "diurnal",
+    ] {
+        for arm in ["tuner", "static"] {
+            for metric in [
+                "ttc_s",
+                "steady_stall",
+                "overall_stall",
+                "mean_workers",
+                "final_workers",
+                "final_read_ahead",
+                "final_batch",
+                "final_parallelism",
+            ] {
+                num(&body, &format!("{scen}_{arm}_{metric}"));
+            }
+        }
+        assert!(
+            num(&body, &format!("{scen}_tuner_steady_stall")) < target,
+            "{scen}: tuner must end converged"
+        );
+    }
+
+    // The headline claims the gate enforces, re-checked on the committed
+    // artifact: the tuner converges faster AND lands on lower steady
+    // stall than the static scaler wherever workers alone cannot help.
+    for scen in ["extract_bound", "transform_bound", "trainer_bound"] {
+        assert!(
+            num(&body, &format!("{scen}_tuner_ttc_s"))
+                < num(&body, &format!("{scen}_static_ttc_s")),
+            "{scen}: tuner converges faster"
+        );
+        assert!(
+            num(&body, &format!("{scen}_tuner_steady_stall"))
+                < num(&body, &format!("{scen}_static_steady_stall")),
+            "{scen}: tuner ends with less stall"
+        );
+        assert!(
+            num(&body, &format!("{scen}_tuner_mean_workers"))
+                < num(&body, &format!("{scen}_static_mean_workers")),
+            "{scen}: tuner spends fewer worker-seconds than the pegged static fleet"
+        );
+    }
+
+    // The tuner fixed each bottleneck with the matching knob.
+    assert!(num(&body, "extract_bound_tuner_final_read_ahead") > 0.0);
+    assert!(num(&body, "transform_bound_tuner_final_parallelism") > 1.0);
+    assert!(num(&body, "trainer_bound_tuner_final_batch") > 32.0);
+    assert!(
+        body.contains("\"smoke\": false"),
+        "committed run is full-size"
+    );
+}

@@ -450,3 +450,75 @@ fn reconciler_converges_and_does_not_oscillate() {
         }
     });
 }
+
+#[test]
+fn autotuned_job_delivers_exactly_once_and_tuner_steers_demand() {
+    with_watchdog(
+        WATCHDOG,
+        "autotuned job under the reconciler".into(),
+        || {
+            const DAYS: u32 = 3;
+            let table = build_table(1, DAYS);
+            let reg = Registry::new();
+            let driver = FleetDriver::new(FleetConfig {
+                nodes: 2,
+                slots_per_node: 3,
+            });
+            driver.attach_registry(&reg);
+
+            // One autotuned job next to one statically-scaled neighbor: the
+            // tuner's demand still goes through fair-share arbitration.
+            for id in [1u64, 2] {
+                let spec = JobSpec::new(
+                    session_spec(id, DAYS, Transport::InProcess),
+                    TenantId(id),
+                    1,
+                    1,
+                    4,
+                );
+                driver.submit(spec, table.clone()).unwrap();
+            }
+            let tuned = SessionId(1);
+            let policy = OnlineTuner::new(TunerConfig {
+                bounds: KnobBounds {
+                    workers: (1, 4),
+                    read_ahead: (0, 2),
+                    // Mid-run batch changes would alter the delivered tensor
+                    // shapes; exactly-once bitwise comparison requires the
+                    // batch axis frozen (see the chaos suite).
+                    batch_size: (ROWS_PER_STRIPE, ROWS_PER_STRIPE),
+                    parallelism: (1, 1),
+                },
+                ..TunerConfig::default()
+            });
+            assert!(driver.enable_autotune(tuned, Box::new(policy)));
+            assert!(
+                !driver.enable_autotune(SessionId(99), Box::new(AutoScaler::default())),
+                "unknown job refuses a tuner"
+            );
+
+            let ids = [tuned, SessionId(2)];
+            let (traces, _) = drive_to_completion(&driver, &ids);
+
+            // The tuner held demand inside both its own and the spec's fences.
+            let knobs = driver.autotuned_knobs(tuned).expect("tuner installed");
+            assert!((1..=4).contains(&knobs.workers), "{knobs:?}");
+            assert_eq!(knobs.batch_size, ROWS_PER_STRIPE, "frozen axis held");
+
+            // Both tenants delivered exactly once, bitwise vs their solo runs.
+            let rows_per_job = DAYS as usize * ROWS_PER_DAY as usize;
+            for &id in &ids {
+                let solo = solo_trace(&table, &session_spec(id.0, DAYS, Transport::InProcess));
+                assert_eq!(traces[&id].samples(), rows_per_job, "job {id}");
+                assert_eq!(
+                    traces[&id].sorted(),
+                    solo.sorted(),
+                    "job {id} diverged from its solo run"
+                );
+            }
+            for &id in &ids {
+                driver.remove(id).unwrap().shutdown();
+            }
+        },
+    );
+}
